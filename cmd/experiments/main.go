@@ -1,0 +1,162 @@
+// Command experiments regenerates the paper's evaluation figures (3-7) and
+// the Table 1 worked example. Results are printed as aligned tables and
+// ASCII plots and optionally written as CSV files.
+//
+// Usage:
+//
+//	experiments [-figure 3|4|5|6|7|0] [-full] [-procs 16] [-reps N]
+//	            [-seed N] [-algos DLS,BSA,HEFT,CPOP] [-out dir] [-plot]
+//	experiments -example        # the Table 1 / Figure 2 worked example
+//
+// -figure 0 (default) runs all five figures. Without -full a reduced size
+// sweep runs in seconds; -full uses the paper's complete design (sizes
+// 50..500, three granularities — takes minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dls"
+	"repro/internal/experiment"
+	"repro/internal/paperexample"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	figure := flag.Int("figure", 0, "figure to regenerate (3-7; 0 = all)")
+	full := flag.Bool("full", false, "use the paper's full design (sizes 50..500; takes minutes)")
+	procs := flag.Int("procs", 16, "processors per topology")
+	reps := flag.Int("reps", 1, "independent repetitions per design point")
+	seed := flag.Int64("seed", 1999, "master seed")
+	algos := flag.String("algos", "DLS,BSA", "comma-separated algorithms: DLS, BSA, HEFT, CPOP")
+	outDir := flag.String("out", "", "directory for CSV output (omit to skip)")
+	plot := flag.Bool("plot", false, "print ASCII plots in addition to tables")
+	example := flag.Bool("example", false, "run the Table 1 / Figure 2 worked example and exit")
+	ablation := flag.Bool("ablation", false, "run the BSA design-choice ablation study and exit")
+	flag.Parse()
+
+	if *example {
+		return runExample()
+	}
+	if *ablation {
+		cfg := experiment.QuickConfig()
+		cfg.Procs = *procs
+		cfg.Reps = *reps
+		cfg.Seed = *seed
+		rows, err := experiment.RunAblation(cfg, experiment.DefaultAblationVariants())
+		if err != nil {
+			return err
+		}
+		fmt.Println("== BSA ablation study (random graphs, hypercube) ==")
+		fmt.Printf("%18s %12s %10s %12s %8s\n", "variant", "mean SL", "vs base", "migrations", "sweeps")
+		for _, r := range rows {
+			fmt.Printf("%18s %12.0f %9.2fx %12.1f %8.1f\n", r.Variant, r.MeanSL, r.MeanVsBase, r.Migrations, r.Sweeps)
+		}
+		return nil
+	}
+
+	cfg := experiment.QuickConfig()
+	if *full {
+		cfg = experiment.PaperConfig()
+	}
+	cfg.Procs = *procs
+	cfg.Reps = *reps
+	cfg.Seed = *seed
+	cfg.Algorithms = nil
+	for _, a := range strings.Split(*algos, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		cfg.Algorithms = append(cfg.Algorithms, experiment.Algorithm(strings.ToUpper(a)))
+	}
+
+	figures := []int{3, 4, 5, 6, 7}
+	if *figure != 0 {
+		figures = []int{*figure}
+	}
+	for _, f := range figures {
+		start := time.Now()
+		fig, err := experiment.Run(f, cfg)
+		if err != nil {
+			return err
+		}
+		if err := fig.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+		if *plot {
+			if err := fig.WritePlot(os.Stdout, 64, 16); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\n(%s regenerated in %v)\n\n", fig.Name, time.Since(start).Round(time.Millisecond))
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, fig.Name+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := fig.WriteCSV(file); err != nil {
+				file.Close()
+				return err
+			}
+			if err := file.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+// runExample reproduces the paper's worked example: the Figure 1 graph on
+// the Table 1 heterogeneous ring, scheduled by BSA and DLS.
+func runExample() error {
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+
+	fmt.Println("== Table 1 / Figure 2 worked example ==")
+	fmt.Println("Actual execution costs (Table 1):")
+	fmt.Printf("%6s %6s %6s %6s %6s\n", "task", "P1", "P2", "P3", "P4")
+	for i := 0; i < 9; i++ {
+		fmt.Printf("%6s %6.0f %6.0f %6.0f %6.0f\n", fmt.Sprintf("T%d", i+1),
+			paperexample.ExecTable[i][0], paperexample.ExecTable[i][1],
+			paperexample.ExecTable[i][2], paperexample.ExecTable[i][3])
+	}
+
+	res, err := core.Schedule(g, sys, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nBSA (paper reports SL = 138 for its original edge costs):\n")
+	fmt.Printf("first pivot: %s (CP length %.0f); serial order:", sys.Net.Proc(res.InitialPivot).Name, res.PivotCPLength)
+	for _, t := range res.Serial {
+		fmt.Printf(" %s", g.Task(t).Name)
+	}
+	fmt.Println()
+	if err := res.Schedule.WriteGantt(os.Stdout); err != nil {
+		return err
+	}
+
+	dres, err := dls.Schedule(g, sys, dls.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nDLS on the same instance:\n")
+	return dres.Schedule.WriteGantt(os.Stdout)
+}

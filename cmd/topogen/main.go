@@ -1,0 +1,104 @@
+// Command topogen generates processor network topologies and writes them as
+// JSON (and optionally Graphviz DOT).
+//
+// Usage:
+//
+//	topogen -kind ring|hypercube|clique|random|mesh|star|tree|line
+//	        -procs 16 [-seed 1] [-o topo.json] [-dot topo.dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/network"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", "ring", "topology: ring, hypercube, clique, random, mesh, star, tree or line")
+	procs := flag.Int("procs", 16, "number of processors (power of two for hypercube, r*c for mesh)")
+	rows := flag.Int("rows", 4, "rows for -kind mesh")
+	seed := flag.Int64("seed", 1, "random seed for -kind random")
+	out := flag.String("o", "", "output JSON file (default stdout)")
+	dot := flag.String("dot", "", "also write Graphviz DOT to this file")
+	flag.Parse()
+
+	var (
+		nw  *network.Network
+		err error
+	)
+	switch *kind {
+	case "ring":
+		nw, err = network.Ring(*procs)
+	case "hypercube":
+		d := 0
+		for 1<<d < *procs {
+			d++
+		}
+		if 1<<d != *procs {
+			return fmt.Errorf("hypercube needs a power-of-two processor count, got %d", *procs)
+		}
+		nw, err = network.Hypercube(d)
+	case "clique":
+		nw, err = network.FullyConnected(*procs)
+	case "random":
+		minDeg, maxDeg := 2, 8
+		if *procs <= 2 {
+			minDeg = 1
+		}
+		if maxDeg > *procs-1 {
+			maxDeg = *procs - 1
+		}
+		nw, err = network.RandomConnected(*procs, minDeg, maxDeg, rand.New(rand.NewSource(*seed)))
+	case "mesh":
+		if *procs%*rows != 0 {
+			return fmt.Errorf("mesh: procs %d not divisible by rows %d", *procs, *rows)
+		}
+		nw, err = network.Mesh2D(*rows, *procs / *rows)
+	case "star":
+		nw, err = network.Star(*procs)
+	case "tree":
+		nw, err = network.BinaryTree(*procs)
+	case "line":
+		nw, err = network.Line(*procs)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s topology: %d processors, %d links\n", *kind, nw.NumProcs(), nw.NumLinks())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := nw.WriteJSON(w); err != nil {
+		return err
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := nw.WriteDOT(f, *kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package repro reproduces Kwok & Ahmad's BSA algorithm ("Link
+// Contention-Constrained Scheduling and Mapping of Tasks and Messages to a
+// Network of Heterogeneous Processors", ICPP 1999): a static scheduler that
+// maps precedence-constrained task graphs onto arbitrary networks of
+// heterogeneous processors, treating communication links as first-class
+// contended resources and routing messages incrementally without a routing
+// table.
+//
+// The implementation lives under internal/: the BSA algorithm in
+// internal/core, the DLS baseline in internal/dls, contention-aware HEFT
+// and CPOP extensions in internal/heft and internal/cpop, and the
+// supporting substrates (task graphs, networks, heterogeneity model,
+// schedule timelines, workload generators, experiment harness, replay
+// simulator) in their own packages. Executables are under cmd/ and runnable
+// examples under examples/. The benchmarks in bench_test.go regenerate the
+// paper's tables and figures at reduced scale; cmd/experiments regenerates
+// them in full.
+package repro

@@ -1,0 +1,95 @@
+// Gaussian schedules a Gaussian-elimination task graph — one of the
+// paper's regular applications — onto a heterogeneous ring, comparing all
+// four implemented schedulers across granularities. It shows how
+// communication weight flips the ranking between clustering (BSA) and
+// greedy spreading (DLS/HEFT/CPOP) strategies.
+//
+//	go run ./examples/gaussian
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cpop"
+	"repro/internal/dls"
+	"repro/internal/generator"
+	"repro/internal/heft"
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/schedule"
+)
+
+func main() {
+	nw, err := network.Ring(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Gaussian elimination (N=14, ~100 tasks) on a heterogeneous 8-ring")
+	fmt.Printf("%12s %10s %10s %10s %10s\n", "granularity", "BSA", "DLS", "HEFT", "CPOP")
+
+	for _, gran := range []float64{0.1, 1.0, 10.0} {
+		rng := rand.New(rand.NewSource(7))
+		g, err := generator.Gaussian(14, gran, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		sl := map[string]float64{}
+		sl["BSA"] = mustLen(func() (*schedule.Schedule, error) {
+			r, err := core.Schedule(g, sys, core.Options{Seed: 7})
+			return sched(r, err)
+		})
+		sl["DLS"] = mustLen(func() (*schedule.Schedule, error) {
+			r, err := dls.Schedule(g, sys, dls.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return r.Schedule, nil
+		})
+		sl["HEFT"] = mustLen(func() (*schedule.Schedule, error) {
+			r, err := heft.Schedule(g, sys)
+			if err != nil {
+				return nil, err
+			}
+			return r.Schedule, nil
+		})
+		sl["CPOP"] = mustLen(func() (*schedule.Schedule, error) {
+			r, err := cpop.Schedule(g, sys)
+			if err != nil {
+				return nil, err
+			}
+			return r.Schedule, nil
+		})
+		fmt.Printf("%12.1f %10.0f %10.0f %10.0f %10.0f\n", gran, sl["BSA"], sl["DLS"], sl["HEFT"], sl["CPOP"])
+	}
+
+	fmt.Println("\nFine granularity (0.1) makes communication 10x heavier than")
+	fmt.Println("computation: BSA's contention-aware clustering shines there.")
+}
+
+func sched(r *core.Result, err error) (*schedule.Schedule, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Schedule, nil
+}
+
+// mustLen runs a scheduler, validates the schedule and returns its length.
+func mustLen(f func() (*schedule.Schedule, error)) float64 {
+	s, err := f()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		log.Fatalf("infeasible schedule: %v", err)
+	}
+	return s.Length()
+}

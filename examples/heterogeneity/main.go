@@ -1,0 +1,55 @@
+// Heterogeneity sweeps the heterogeneity factor range — the paper's
+// Figure 7 axis — on a fixed random workload and hypercube, showing how
+// schedule length degrades as the processor pool becomes more uneven and
+// how BSA exploits fast processors for critical tasks (pivot selection).
+//
+//	go run ./examples/heterogeneity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dls"
+	"repro/internal/generator"
+	"repro/internal/hetero"
+	"repro/internal/network"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(13))
+	g, err := generator.RandomLayered(150, 1.0, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := network.Hypercube(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d-task random graph (granularity 1.0) on a 16-processor hypercube\n\n", g.NumTasks())
+	fmt.Printf("%14s %10s %10s %12s %10s\n", "het range", "BSA", "DLS", "BSA pivot", "migrations")
+
+	for _, hi := range []float64{1, 10, 50, 100, 200} {
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, hi, rand.New(rand.NewSource(17)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bres, err := core.Schedule(g, sys, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dres, err := dls.Schedule(g, sys, dls.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   [1, %5.0f] %10.0f %10.0f %12s %10d\n",
+			hi, bres.Schedule.Length(), dres.Schedule.Length(),
+			nw.Proc(bres.InitialPivot).Name, bres.Migrations)
+	}
+
+	fmt.Println("\n[1,1] is a homogeneous system; widening the range increases the")
+	fmt.Println("penalty of placing a task on the wrong processor, so schedule")
+	fmt.Println("lengths grow while the fastest-processor costs stay nominal.")
+}

@@ -1,0 +1,77 @@
+// Topologies studies the effect of processor connectivity — the axis of
+// the paper's Figures 3-6 panels — by scheduling the same random workload
+// on a ring, a hypercube, a clique and a random topology, and reporting
+// schedule length, link utilisation and route lengths for BSA and DLS.
+//
+//	go run ./examples/topologies
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dls"
+	"repro/internal/generator"
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/schedule"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	g, err := generator.RandomLayered(120, 1.0, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: random graph, %d tasks, %d messages, granularity %.2f\n\n",
+		g.NumTasks(), g.NumEdges(), g.Granularity())
+
+	topos := []struct {
+		name  string
+		build func() (*network.Network, error)
+	}{
+		{"ring", func() (*network.Network, error) { return network.Ring(16) }},
+		{"hypercube", func() (*network.Network, error) { return network.Hypercube(4) }},
+		{"clique", func() (*network.Network, error) { return network.FullyConnected(16) }},
+		{"random", func() (*network.Network, error) {
+			return network.RandomConnected(16, 2, 8, rand.New(rand.NewSource(5)))
+		}},
+	}
+
+	fmt.Printf("%10s %6s | %9s %8s %8s | %9s %8s %8s\n",
+		"topology", "links", "BSA SL", "links%", "maxHops", "DLS SL", "links%", "maxHops")
+	for _, tp := range topos {
+		nw, err := tp.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(11)))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		bres, err := core.Schedule(g, sys, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dres, err := dls.Schedule(g, sys, dls.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range []*schedule.Schedule{bres.Schedule, dres.Schedule} {
+			if err := s.Validate(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		bst, dst := bres.Schedule.ComputeStats(), dres.Schedule.ComputeStats()
+		fmt.Printf("%10s %6d | %9.0f %7.1f%% %8d | %9.0f %7.1f%% %8d\n",
+			tp.name, nw.NumLinks(),
+			bst.Length, 100*bst.AvgLinkUtil, bst.MaxRouteHops,
+			dst.Length, 100*dst.AvgLinkUtil, dst.MaxRouteHops)
+	}
+
+	fmt.Println("\nHigher connectivity gives every scheduler shorter schedules;")
+	fmt.Println("low-connectivity topologies stress contention-aware message mapping.")
+}

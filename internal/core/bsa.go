@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Options control BSA. The zero value is the paper's algorithm with seed 0.
+type Options struct {
+	// Seed drives the tie-breaking RNG used during critical-path selection
+	// (the paper breaks CP ties randomly).
+	Seed int64
+
+	// DisableVIPFollow turns off the heuristic of migrating a task to the
+	// neighbour hosting its VIP (the predecessor sending the latest
+	// message) when no neighbour strictly improves its finish time.
+	// Ablation knob.
+	DisableVIPFollow bool
+
+	// DisableRoutePruning keeps raw incremental routes instead of splicing
+	// out loops. Ablation knob; the paper's routes are the pruned ones.
+	DisableRoutePruning bool
+
+	// DisableMigrationGuard turns off the global bubble-up check: by
+	// default a committed migration whose rebuilt schedule is more than
+	// GuardSlack longer than before is rolled back, since the paper's
+	// local finish-time evaluation cannot see downstream effects on
+	// successors (see DESIGN.md §3). Ablation knob.
+	DisableMigrationGuard bool
+
+	// GuardSlack is the relative schedule-length regression tolerated by
+	// the migration guard. A small positive slack lets chain heads migrate
+	// first (briefly lengthening the schedule until their successors
+	// follow via the VIP rule) while still rejecting catastrophic moves;
+	// the elitism pass restores the best state seen at the end, so slack
+	// never worsens the final result. Zero means DefaultGuardSlack; use a
+	// negative value for a strict no-regression guard.
+	GuardSlack float64
+
+	// MaxSweeps bounds how many breadth-first pivot sweeps run. The
+	// paper's pseudocode describes a single sweep, but one sweep drains the
+	// first pivot only once — it equilibrates with its direct neighbours
+	// and stays overloaded, which contradicts the paper's measured results
+	// (see DESIGN.md §3). We therefore iterate the sweep until no task
+	// migrates, bounded by MaxSweeps. Zero means "until fixpoint"
+	// (bounded by 4m as a safety net); 1 reproduces the literal
+	// single-sweep pseudocode (ablation knob).
+	MaxSweeps int
+}
+
+// Result is the outcome of a BSA run.
+type Result struct {
+	Schedule *schedule.Schedule
+
+	// InitialPivot is the processor that gave the shortest CP length.
+	InitialPivot network.ProcID
+	// PivotCPLength is that shortest CP length.
+	PivotCPLength float64
+	// Serial is the serialization order injected into the pivot.
+	Serial []taskgraph.TaskID
+
+	// Migrations counts committed task migrations; Evaluations counts
+	// tentative finish-time computations on neighbour processors; Sweeps
+	// counts breadth-first pivot passes (the last one is always
+	// migration-free).
+	Migrations  int
+	Evaluations int
+	Sweeps      int
+	// Reverted counts migrations rolled back by the bubble-up guard.
+	Reverted int
+	// RestoredBest reports whether the final elitism pass had to rewind to
+	// an earlier, shorter state.
+	RestoredBest bool
+}
+
+// Schedule runs the BSA algorithm on g over sys and returns a complete,
+// validated-by-construction schedule. It errors on malformed inputs; with
+// valid inputs it always produces a feasible schedule (there is no failure
+// mode — in the worst case no task migrates off the initial pivot).
+func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, error) {
+	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	res := &Result{}
+	if g.NumTasks() == 0 {
+		res.Schedule = schedule.New(g, sys)
+		return res, nil
+	}
+
+	// Stage 1: pivot selection.
+	pivot0, cpLen := SelectPivot(g, sys)
+	res.InitialPivot, res.PivotCPLength = pivot0, cpLen
+
+	// Stage 2: serialization onto the pivot, using actual execution costs
+	// there and nominal communication costs.
+	exec := sys.ExecCostsOn(pivot0, g.NominalExecCosts())
+	serial := Serialize(g, exec, nil, rng)
+	res.Serial = serial
+
+	slack := opt.GuardSlack
+	switch {
+	case slack == 0:
+		slack = DefaultGuardSlack
+	case slack < 0:
+		slack = 0
+	}
+	en := newEngine(g, sys, serial, pivot0, !opt.DisableRoutePruning, slack)
+
+	// Stage 3: breadth-first bubble migration, iterated to a fixpoint.
+	maxSweeps := opt.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 4 * sys.Net.NumProcs()
+	}
+	bfs := sys.Net.BFSOrder(pivot0)
+	stale := 0
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		migrationsBefore := res.Migrations
+		bestBefore := en.bestLen
+		res.Sweeps++
+		sweepOnce(en, sys, bfs, opt, res)
+		if res.Migrations == migrationsBefore {
+			break // fixpoint: nothing moved
+		}
+		// VIP-following can shuffle tasks indefinitely; stop once two
+		// consecutive sweeps fail to improve the best schedule seen.
+		if en.bestLen >= bestBefore-cmpEps {
+			stale++
+			if stale >= 2 {
+				break
+			}
+		} else {
+			stale = 0
+		}
+	}
+
+	// Elitism: migrations may have regressed within the guard slack; end on
+	// the best state visited.
+	if en.restoreBest() {
+		res.RestoredBest = true
+	}
+
+	res.Evaluations = en.evaluations
+	res.Schedule = en.s
+	return res, nil
+}
+
+// DefaultGuardSlack is the default relative regression tolerance of the
+// migration guard (see Options.GuardSlack).
+const DefaultGuardSlack = 0.05
+
+// vipSlack is the relative finish-time regression a task accepts when
+// following its VIP to a neighbour. The paper's prose describes following
+// the VIP even when the finish time "does not improve"; a bounded tolerance
+// keeps that behaviour from chasing VIPs onto heavily congested processors
+// (the migration guard and the final elitism pass bound the global damage
+// either way).
+const vipSlack = 0.0
+
+// sweepOnce performs one breadth-first pivot pass: every processor in bfs
+// order becomes the pivot, and each task residing on it is considered for
+// migration to a neighbour.
+func sweepOnce(en *engine, sys *hetero.System, bfs []network.ProcID, opt Options, res *Result) {
+	for _, pivot := range bfs {
+		neighbors := sys.Net.Neighbors(pivot)
+		if len(neighbors) == 0 {
+			continue
+		}
+		for _, t := range en.tasksOn(pivot) {
+			ts := &en.s.Tasks[t]
+			_, vip := en.s.DRT(t)
+			curFT := ts.End
+
+			bestFT := math.Inf(1)
+			bestY := network.ProcID(-1)
+			var vipFT float64
+			vipY := network.ProcID(-1)
+			for _, a := range neighbors {
+				ft, _ := en.evalMigration(t, a.Proc)
+				if ft < bestFT-cmpEps {
+					bestFT, bestY = ft, a.Proc
+				}
+				if vip >= 0 && en.assign[vip] == a.Proc {
+					vipFT, vipY = ft, a.Proc
+				}
+			}
+			guard := !opt.DisableMigrationGuard
+			switch {
+			case bestY >= 0 && bestFT < curFT-cmpEps:
+				// Strict improvement: bubble up.
+				if en.commitMigration(t, bestY, guard) {
+					res.Migrations++
+				} else {
+					res.Reverted++
+				}
+			case !opt.DisableVIPFollow && vipY >= 0 && vipFT <= curFT*(1+vipSlack)+cmpEps:
+				// No neighbour strictly improves the finish time, but the
+				// VIP lives on one: follow it ("if the finish time does
+				// not improve, a task will also migrate if its VIP is
+				// scheduled to that neighbor"). Colocating with the VIP
+				// removes the message's link crossing, relieving the
+				// saturated links around the pivot and letting this task's
+				// successors improve later; the migration guard still
+				// reverts moves that regress the overall schedule.
+				if en.commitMigration(t, vipY, guard) {
+					res.Migrations++
+				} else {
+					res.Reverted++
+				}
+			}
+		}
+	}
+}

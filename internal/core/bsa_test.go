@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/paperexample"
+	"repro/internal/taskgraph"
+)
+
+func TestBSAPaperExample(t *testing.T) {
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schedule
+	if !s.Complete() {
+		t.Fatal("incomplete schedule")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if res.InitialPivot != 1 {
+		t.Errorf("pivot=P%d, want P2", res.InitialPivot+1)
+	}
+	// The serialized-on-pivot baseline is the sum of exec costs on P2
+	// (=248); migrations must improve on that. The paper reports 138 for
+	// its (not fully recoverable) edge costs; our reconstruction should
+	// land in the same region and certainly well below serial.
+	sl := s.Length()
+	var serialLen float64
+	for i := 0; i < 9; i++ {
+		serialLen += paperexample.ExecTable[i][1]
+	}
+	if sl >= serialLen {
+		t.Errorf("SL=%v not better than serialized %v", sl, serialLen)
+	}
+	if res.Migrations == 0 {
+		t.Error("expected at least one migration")
+	}
+	t.Logf("paper example: SL=%.0f (paper: 138), migrations=%d, comm=%.0f", sl, res.Migrations, s.TotalComm())
+}
+
+func TestBSASingleProcessor(t *testing.T) {
+	g := paperexample.Graph()
+	nw, _ := network.Ring(1)
+	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One processor: schedule length is the serial sum of nominal costs.
+	if got, want := res.Schedule.Length(), g.TotalExecCost(); got != want {
+		t.Errorf("SL=%v, want serial %v", got, want)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("migrations=%d on a single processor", res.Migrations)
+	}
+}
+
+func TestBSAEmptyGraph(t *testing.T) {
+	g, _ := taskgraph.NewBuilder().Build()
+	nw, _ := network.Ring(4)
+	sys := hetero.NewUniform(nw, 0, 0)
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Length() != 0 {
+		t.Error("empty graph should give empty schedule")
+	}
+}
+
+func TestBSASingleTask(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	b.AddTask("only", 50)
+	g, _ := b.Build()
+	nw, _ := network.Ring(4)
+	sys := hetero.NewUniform(nw, 1, 0)
+	sys.Exec[0] = []float64{1, 0.5, 2, 3} // P2 is fastest
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pivot selection picks the fastest processor; the task never migrates
+	// (it starts at its DRT), so SL = 25.
+	if got := res.Schedule.Length(); got != 25 {
+		t.Errorf("SL=%v, want 25", got)
+	}
+	if res.InitialPivot != 1 {
+		t.Errorf("pivot=P%d, want P2", res.InitialPivot+1)
+	}
+}
+
+func TestBSAInvalidSystem(t *testing.T) {
+	g := paperexample.Graph()
+	nw, _ := network.Ring(4)
+	sys := hetero.NewUniform(nw, 3, 0) // wrong dimensions
+	if _, err := Schedule(g, sys, Options{}); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func TestBSADeterminism(t *testing.T) {
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+	a, err := Schedule(g, sys, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(g, sys, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.Length() != b.Schedule.Length() || a.Migrations != b.Migrations {
+		t.Fatal("BSA not deterministic for a fixed seed")
+	}
+	for i := range a.Schedule.Tasks {
+		if a.Schedule.Tasks[i] != b.Schedule.Tasks[i] {
+			t.Fatalf("task %d placement differs", i)
+		}
+	}
+}
+
+// randomSystem builds a random heterogeneous system over a random
+// connected topology.
+func randomSystem(t *testing.T, rng *rand.Rand, g *taskgraph.Graph, m int) *hetero.System {
+	t.Helper()
+	nw, err := network.RandomConnected(m, 1, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBSARandomInstancesAreValid(t *testing.T) {
+	// The central safety property: on arbitrary inputs BSA produces a
+	// complete schedule satisfying every feasibility constraint the
+	// validator checks (precedence, contention, store-and-forward routing,
+	// heterogeneous durations).
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%30
+		m := 2 + int(mRaw)%8
+		g := randomConnectedDAG(rng, n, 0.15)
+		nw, err := network.RandomConnected(m, 1, m, rng)
+		if err != nil {
+			return true
+		}
+		sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		if err != nil {
+			return false
+		}
+		res, err := Schedule(g, sys, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return res.Schedule.Complete() && res.Schedule.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSATopologyVariety(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomConnectedDAG(rng, 40, 0.1)
+	build := func(nw *network.Network, err error) *hetero.System {
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	topos := map[string]*hetero.System{
+		"ring": build(network.Ring(8)),
+		"cube": build(network.Hypercube(3)),
+		"mesh": build(network.Mesh2D(2, 4)),
+		"star": build(network.Star(8)),
+		"line": build(network.Line(8)),
+		"full": build(network.FullyConnected(8)),
+	}
+	for name, sys := range topos {
+		res, err := Schedule(g, sys, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBSAUsesFasterProcessors(t *testing.T) {
+	// Chain of 4 tasks with tiny comm costs; P2 is 10x faster for all
+	// tasks. BSA should migrate the chain off the pivot... or rather,
+	// pivot selection should pick P2 and keep everything there: SL must be
+	// close to the fast serial time.
+	b := taskgraph.NewBuilder()
+	prev := b.AddTask("c0", 100)
+	for i := 1; i < 4; i++ {
+		cur := b.AddTask(tName(i), 100)
+		b.AddEdge(prev, cur, 1)
+		prev = cur
+	}
+	g, _ := b.Build()
+	nw, _ := network.Ring(4)
+	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	for i := 0; i < g.NumTasks(); i++ {
+		sys.Exec[i] = []float64{1, 0.1, 1, 1}
+	}
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialPivot != 1 {
+		t.Errorf("pivot=P%d, want fast P2", res.InitialPivot+1)
+	}
+	if got := res.Schedule.Length(); got != 40 {
+		t.Errorf("SL=%v, want 40 (chain stays on fast processor)", got)
+	}
+}
+
+func TestBSAParallelismExploited(t *testing.T) {
+	// A fork of independent heavy tasks: BSA must spread them across
+	// processors, beating the serialized length.
+	b := taskgraph.NewBuilder()
+	root := b.AddTask("root", 10)
+	sink := b.AddTask("sink", 10)
+	for i := 0; i < 6; i++ {
+		x := b.AddTask(tName(i+2), 100)
+		b.AddEdge(root, x, 1)
+		b.AddEdge(x, sink, 1)
+	}
+	g, _ := b.Build()
+	nw, _ := network.FullyConnected(4)
+	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	serial := g.TotalExecCost()
+	if got := res.Schedule.Length(); got >= serial {
+		t.Errorf("SL=%v did not beat serial %v", got, serial)
+	}
+	if res.Migrations < 2 {
+		t.Errorf("migrations=%d, expected the fork to spread", res.Migrations)
+	}
+}
+
+func TestBSAOptionsAblation(t *testing.T) {
+	// The ablation knobs must still yield valid schedules.
+	rng := rand.New(rand.NewSource(31))
+	g := randomConnectedDAG(rng, 35, 0.12)
+	sys := randomSystem(t, rng, g, 6)
+	for _, opt := range []Options{
+		{},
+		{DisableVIPFollow: true},
+		{DisableRoutePruning: true},
+		{DisableVIPFollow: true, DisableRoutePruning: true},
+	} {
+		res, err := Schedule(g, sys, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+	}
+}
+
+func TestBSAScheduleLengthLowerBound(t *testing.T) {
+	// SL can never beat the bottom level computed with each task's fastest
+	// processor and zero communication.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%25
+		g := randomConnectedDAG(rng, n, 0.2)
+		nw, err := network.Ring(4)
+		if err != nil {
+			return false
+		}
+		sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 8, rng)
+		if err != nil {
+			return false
+		}
+		res, err := Schedule(g, sys, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		minExec := make([]float64, n)
+		for i := 0; i < n; i++ {
+			best := sys.ExecCost(i, 0, g.Task(taskgraph.TaskID(i)).Cost)
+			for p := 1; p < 4; p++ {
+				if c := sys.ExecCost(i, network.ProcID(p), g.Task(taskgraph.TaskID(i)).Cost); c < best {
+					best = c
+				}
+			}
+			minExec[i] = best
+		}
+		zeroComm := make([]float64, g.NumEdges())
+		lb := taskgraph.CPLength(g, minExec, zeroComm)
+		return res.Schedule.Length() >= lb-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

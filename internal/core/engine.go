@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// engine holds BSA's mutable state. The ground truth is (serial, assign,
+// routes); the schedule is deterministically rebuilt from them after every
+// committed migration, which keeps timelines globally consistent while
+// migration *decisions* are evaluated locally against the current
+// timelines, as in the paper.
+type engine struct {
+	g      *taskgraph.Graph
+	sys    *hetero.System
+	serial []taskgraph.TaskID
+	assign []network.ProcID
+	routes [][]network.LinkID
+	s      *schedule.Schedule
+
+	pruneRoutes bool
+	guardSlack  float64
+
+	// Elitism: the best (assign, routes) state seen so far, restored at the
+	// end of the run. Migrations may regress the schedule length within the
+	// guard slack (chain heads move before their successors follow), so the
+	// final state is not necessarily the best one visited.
+	bestLen    float64
+	bestAssign []network.ProcID
+	bestRoutes [][]network.LinkID
+
+	// Counters for Result.
+	rebuilds    int
+	evaluations int
+}
+
+func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID, pivot network.ProcID, pruneRoutes bool, guardSlack float64) *engine {
+	en := &engine{
+		g:           g,
+		sys:         sys,
+		serial:      serial,
+		assign:      make([]network.ProcID, g.NumTasks()),
+		routes:      make([][]network.LinkID, g.NumEdges()),
+		s:           schedule.New(g, sys),
+		pruneRoutes: pruneRoutes,
+		guardSlack:  guardSlack,
+	}
+	for i := range en.assign {
+		en.assign[i] = pivot
+	}
+	en.rebuild()
+	en.bestLen = en.s.Length()
+	en.bestAssign = append([]network.ProcID(nil), en.assign...)
+	en.bestRoutes = make([][]network.LinkID, len(en.routes))
+	return en
+}
+
+// noteState records the current state if it is the best seen so far.
+func (en *engine) noteState() {
+	l := en.s.Length()
+	if l >= en.bestLen-cmpEps {
+		return
+	}
+	en.bestLen = l
+	copy(en.bestAssign, en.assign)
+	for i := range en.routes {
+		en.bestRoutes[i] = append(en.bestRoutes[i][:0], en.routes[i]...)
+	}
+}
+
+// restoreBest reverts to the best recorded state if the current one is
+// worse, and reports whether a restore happened.
+func (en *engine) restoreBest() bool {
+	if en.s.Length() <= en.bestLen+cmpEps {
+		return false
+	}
+	copy(en.assign, en.bestAssign)
+	for i := range en.routes {
+		en.routes[i] = append(en.routes[i][:0], en.bestRoutes[i]...)
+	}
+	en.rebuild()
+	return true
+}
+
+// rebuild recomputes the full timeline from (serial, assign, routes):
+// tasks in serial order, each task's incoming messages placed hop-by-hop
+// (insertion-based) before the task itself is placed at the earliest
+// insertion slot at or after its DRT. serial is a linear extension, so
+// senders are always placed before their messages.
+func (en *engine) rebuild() {
+	en.rebuilds++
+	en.s.Reset()
+	for _, t := range en.serial {
+		var drt float64
+		for _, e := range en.g.In(t) {
+			arr, err := en.s.PlaceMessage(e, en.routes[e])
+			if err != nil {
+				// Routes are maintained to always connect the assigned
+				// endpoints; failure here is a bug, not an input condition.
+				panic(fmt.Sprintf("core: rebuild message %d: %v", e, err))
+			}
+			if arr > drt {
+				drt = arr
+			}
+		}
+		if _, err := en.s.PlaceTaskEarliest(t, en.assign[t], drt); err != nil {
+			panic(fmt.Sprintf("core: rebuild task %d: %v", t, err))
+		}
+	}
+}
+
+// tasksOn returns the tasks currently assigned to p, ordered by their
+// current start time (ties by ID).
+func (en *engine) tasksOn(p network.ProcID) []taskgraph.TaskID {
+	var ts []taskgraph.TaskID
+	for i := range en.assign {
+		if en.assign[i] == p {
+			ts = append(ts, taskgraph.TaskID(i))
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		si, sj := en.s.Tasks[ts[i]].Start, en.s.Tasks[ts[j]].Start
+		if si != sj {
+			return si < sj
+		}
+		return ts[i] < ts[j]
+	})
+	return ts
+}
+
+// overlay accumulates tentative link reservations during one migration
+// evaluation so that the candidate task's own messages serialize on shared
+// links without mutating real timelines.
+type overlay map[network.LinkID][]schedule.Slot
+
+func (o overlay) add(l network.LinkID, start, end float64) {
+	slots := o[l]
+	idx := sort.Search(len(slots), func(i int) bool { return slots[i].Start >= start })
+	slots = append(slots, schedule.Slot{})
+	copy(slots[idx+1:], slots[idx:])
+	slots[idx] = schedule.Slot{Start: start, End: end}
+	o[l] = slots
+}
+
+// evalMigration computes the finish time task t would obtain on neighbour y
+// of its current processor, using the paper's local evaluation: each
+// incoming message keeps its current hop schedule up to the point where it
+// must be extended (or truncated) to reach y, and the new hop takes the
+// earliest insertion slot on the connecting link. Returns the tentative
+// finish time and data-ready time on y.
+func (en *engine) evalMigration(t taskgraph.TaskID, y network.ProcID) (ft, drt float64) {
+	en.evaluations++
+	pivot := en.assign[t]
+	ov := make(overlay, 2)
+	for _, e := range en.g.In(t) {
+		edge := en.g.Edge(e)
+		u := edge.From
+		var arr float64
+		switch {
+		case en.assign[u] == y:
+			// Message becomes intra-processor.
+			arr = en.s.Tasks[u].End
+		default:
+			// Does the current route already pass through y? If so the
+			// message would be truncated there.
+			arr = -1
+			for _, h := range en.s.Msgs[e].Hops {
+				if h.To == y {
+					arr = h.End
+					break
+				}
+			}
+			if arr < 0 {
+				// Extend with the hop pivot->y.
+				ready := en.s.Arrival(e) // end of current route at pivot
+				l, ok := en.sys.Net.LinkBetween(pivot, y)
+				if !ok {
+					panic(fmt.Sprintf("core: no link between P%d and neighbour P%d", pivot+1, y+1))
+				}
+				dur := en.s.HopDuration(e, l)
+				start := en.s.LinkTimeline(l).EarliestFitWithExtra(ready, dur, ov[l])
+				ov.add(l, start, start+dur)
+				arr = start + dur
+			}
+		}
+		if arr > drt {
+			drt = arr
+		}
+	}
+	dur := en.s.ExecDuration(t, y)
+	start := en.s.ProcTimeline(y).EarliestFit(drt, dur)
+	return start + dur, drt
+}
+
+// commitMigration moves t from its current processor to neighbour y,
+// updating every incident message route (extend incoming, prepend outgoing,
+// splice out loops, localize messages whose endpoints now coincide) and
+// rebuilding the schedule. When guard is true the migration is reverted if
+// the rebuilt schedule is strictly longer than before (the local
+// finish-time evaluation cannot see downstream effects; the paper's
+// "bubble up" premise is that migrations improve finish times, so a
+// regression of the global objective is rolled back). It reports whether
+// the migration was kept.
+func (en *engine) commitMigration(t taskgraph.TaskID, y network.ProcID, guard bool) bool {
+	var (
+		prevLen    float64
+		prevAssign network.ProcID
+		prevRoutes map[taskgraph.EdgeID][]network.LinkID
+	)
+	if guard {
+		prevLen = en.s.Length()
+		prevAssign = en.assign[t]
+		prevRoutes = make(map[taskgraph.EdgeID][]network.LinkID, en.g.InDegree(t)+en.g.OutDegree(t))
+		for _, e := range en.g.In(t) {
+			prevRoutes[e] = append([]network.LinkID(nil), en.routes[e]...)
+		}
+		for _, e := range en.g.Out(t) {
+			prevRoutes[e] = append([]network.LinkID(nil), en.routes[e]...)
+		}
+	}
+	en.applyMigration(t, y)
+	if guard && en.s.Length() > prevLen*(1+en.guardSlack)+cmpEps {
+		en.assign[t] = prevAssign
+		for e, r := range prevRoutes {
+			en.routes[e] = r
+		}
+		en.rebuild()
+		return false
+	}
+	en.noteState()
+	return true
+}
+
+// applyMigration performs the route surgery and rebuild of a migration.
+func (en *engine) applyMigration(t taskgraph.TaskID, y network.ProcID) {
+	pivot := en.assign[t]
+	for _, e := range en.g.In(t) {
+		u := en.g.Edge(e).From
+		if en.assign[u] == y {
+			en.routes[e] = en.routes[e][:0]
+			continue
+		}
+		l, _ := en.sys.Net.LinkBetween(pivot, y)
+		r := append(en.routes[e], l)
+		if en.pruneRoutes {
+			r = network.NormalizeRoute(en.sys.Net, en.assign[u], r)
+		}
+		en.routes[e] = r
+	}
+	for _, e := range en.g.Out(t) {
+		w := en.g.Edge(e).To
+		if en.assign[w] == y {
+			en.routes[e] = en.routes[e][:0]
+			continue
+		}
+		l, _ := en.sys.Net.LinkBetween(pivot, y)
+		r := append([]network.LinkID{l}, en.routes[e]...)
+		if en.pruneRoutes {
+			r = network.NormalizeRoute(en.sys.Net, y, r)
+		}
+		en.routes[e] = r
+	}
+	en.assign[t] = y
+	en.rebuild()
+}

@@ -1,0 +1,173 @@
+// Package core implements the paper's contribution: the BSA (Bubble
+// Scheduling and Allocation) algorithm for link contention-constrained
+// scheduling and mapping of tasks and messages onto a network of
+// heterogeneous processors.
+//
+// BSA proceeds in three stages:
+//
+//  1. Pivot selection — the processor giving the shortest critical-path
+//     length under its actual execution costs becomes the first pivot.
+//  2. Serialization — all tasks are injected into the pivot in a serial
+//     order centred on the critical path (CP tasks as early as possible,
+//     in-branch tasks inserted before the CP task needing them, out-branch
+//     tasks appended by descending b-level).
+//  3. Bubble migration — processors are visited in breadth-first order from
+//     the first pivot; each task on the pivot migrates to a neighbour if
+//     that improves (or, when its VIP sits there, preserves) its finish
+//     time. Messages are incrementally scheduled onto the links crossed by
+//     migrations, so routes emerge without a routing table.
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/taskgraph"
+)
+
+// SelectPivot returns the processor on which the graph's critical-path
+// length — actual execution costs on that processor plus nominal
+// communication costs — is shortest, together with that length. Ties go to
+// the smaller processor ID.
+func SelectPivot(g *taskgraph.Graph, sys *hetero.System) (network.ProcID, float64) {
+	nominal := g.NominalExecCosts()
+	best := network.ProcID(0)
+	bestLen := 0.0
+	for p := 0; p < sys.Net.NumProcs(); p++ {
+		exec := sys.ExecCostsOn(network.ProcID(p), nominal)
+		l := taskgraph.CPLength(g, exec, nil)
+		if p == 0 || l < bestLen-cmpEps {
+			best, bestLen = network.ProcID(p), l
+		}
+	}
+	return best, bestLen
+}
+
+// cmpEps absorbs floating-point noise in time and length comparisons.
+const cmpEps = 1e-9
+
+// Serialize returns the BSA serial order of the tasks under the given
+// execution costs (normally the actual costs on the first pivot) and
+// per-edge communication costs (nil means nominal).
+//
+// The order is a linear extension of the precedence relation: critical-path
+// tasks occupy the earliest possible positions, each preceded by its still
+// missing ancestors (in-branch tasks, larger b-level first, ties by smaller
+// t-level then smaller ID), and the remaining out-branch tasks follow in
+// descending b-level order.
+func Serialize(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) []taskgraph.TaskID {
+	n := g.NumTasks()
+	if n == 0 {
+		return nil
+	}
+	tl := taskgraph.TLevels(g, exec, comm)
+	bl := taskgraph.BLevels(g, exec, comm)
+	cp := taskgraph.CriticalPath(g, exec, comm, rng)
+
+	inOrder := make([]bool, n)
+	order := make([]taskgraph.TaskID, 0, n)
+
+	// prefer sorts candidate predecessors: larger b-level first, then
+	// smaller t-level, then smaller ID.
+	prefer := func(a, b taskgraph.TaskID) bool {
+		if bl[a] != bl[b] {
+			return bl[a] > bl[b]
+		}
+		if tl[a] != tl[b] {
+			return tl[a] < tl[b]
+		}
+		return a < b
+	}
+
+	var include func(x taskgraph.TaskID)
+	include = func(x taskgraph.TaskID) {
+		if inOrder[x] {
+			return
+		}
+		// Gather not-yet-included predecessors, best first, and include
+		// them (recursively with their own ancestors) before x.
+		var preds []taskgraph.TaskID
+		for _, e := range g.In(x) {
+			if u := g.Edge(e).From; !inOrder[u] {
+				preds = append(preds, u)
+			}
+		}
+		sort.Slice(preds, func(i, j int) bool { return prefer(preds[i], preds[j]) })
+		for _, u := range preds {
+			include(u)
+		}
+		inOrder[x] = true
+		order = append(order, x)
+	}
+
+	for _, c := range cp {
+		include(c)
+	}
+
+	// Out-branch tasks: everything not yet included, by descending b-level.
+	var ob []taskgraph.TaskID
+	for i := 0; i < n; i++ {
+		if !inOrder[i] {
+			ob = append(ob, taskgraph.TaskID(i))
+		}
+	}
+	sort.Slice(ob, func(i, j int) bool { return prefer(ob[i], ob[j]) })
+	for _, x := range ob {
+		include(x) // include() guards precedence among OB tasks too
+	}
+	return order
+}
+
+// Partition classifies every task as CP (on the selected critical path), IB
+// (an ancestor of a CP task that is not itself CP) or OB (neither), the
+// paper's three-way split. It is exposed for tests, examples and
+// diagnostics.
+type Partition struct {
+	CP []taskgraph.TaskID
+	IB []taskgraph.TaskID
+	OB []taskgraph.TaskID
+}
+
+// PartitionTasks computes the CP/IB/OB partition under the given costs.
+func PartitionTasks(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) Partition {
+	n := g.NumTasks()
+	cp := taskgraph.CriticalPath(g, exec, comm, rng)
+	isCP := make([]bool, n)
+	for _, t := range cp {
+		isCP[t] = true
+	}
+	// IB: ancestors of CP tasks that are not CP tasks.
+	isIB := make([]bool, n)
+	seen := make([]bool, n)
+	var markAnc func(t taskgraph.TaskID)
+	markAnc = func(t taskgraph.TaskID) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		for _, e := range g.In(t) {
+			u := g.Edge(e).From
+			if !isCP[u] {
+				isIB[u] = true
+			}
+			markAnc(u)
+		}
+	}
+	for _, t := range cp {
+		markAnc(t)
+	}
+	p := Partition{CP: cp}
+	for i := 0; i < n; i++ {
+		t := taskgraph.TaskID(i)
+		switch {
+		case isCP[i]:
+		case isIB[i]:
+			p.IB = append(p.IB, t)
+		default:
+			p.OB = append(p.OB, t)
+		}
+	}
+	return p
+}

@@ -1,0 +1,187 @@
+// Package cpop implements a link contention-aware variant of the CPOP
+// (Critical Path On a Processor) scheduler of Topcuoglu, Hariri & Wu as a
+// second extension baseline. Critical-path tasks are pinned to the single
+// processor minimizing the total critical-path execution cost (echoing
+// BSA's "critical tasks to the fastest processors" idea); all other tasks
+// are placed greedily by earliest finish time with shortest-path routed,
+// contention-aware messages.
+package cpop
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/heft"
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Result is the outcome of a CPOP run.
+type Result struct {
+	Schedule *schedule.Schedule
+	// CPProc is the processor the critical path was pinned to.
+	CPProc network.ProcID
+	// OnCP flags the tasks treated as critical-path tasks.
+	OnCP []bool
+}
+
+// Schedule runs contention-aware CPOP on g over sys.
+func Schedule(g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
+	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
+		return nil, fmt.Errorf("cpop: %w", err)
+	}
+	n := g.NumTasks()
+	res := &Result{Schedule: schedule.New(g, sys)}
+	if n == 0 {
+		return res, nil
+	}
+	s := res.Schedule
+	rt := network.NewRoutingTable(sys.Net)
+
+	up := heft.UpwardRanks(g, sys)
+	down := downwardRanks(g, sys)
+	prio := make([]float64, n)
+	var cpLen float64
+	for i := 0; i < n; i++ {
+		prio[i] = up[i] + down[i]
+		if prio[i] > cpLen {
+			cpLen = prio[i]
+		}
+	}
+	res.OnCP = make([]bool, n)
+	const eps = 1e-9
+	for i := 0; i < n; i++ {
+		res.OnCP[i] = prio[i] >= cpLen-eps*(1+cpLen)
+	}
+
+	// Pin the CP to the processor minimizing its total execution cost.
+	m := sys.Net.NumProcs()
+	best := math.Inf(1)
+	for p := 0; p < m; p++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			if res.OnCP[i] {
+				sum += sys.ExecCost(i, network.ProcID(p), g.Task(taskgraph.TaskID(i)).Cost)
+			}
+		}
+		if sum < best {
+			best, res.CPProc = sum, network.ProcID(p)
+		}
+	}
+
+	// Priority-queue list scheduling over ready tasks.
+	pq := &taskHeap{prio: prio}
+	unplaced := make([]int, n)
+	for i := 0; i < n; i++ {
+		unplaced[i] = g.InDegree(taskgraph.TaskID(i))
+		if unplaced[i] == 0 {
+			heap.Push(pq, taskgraph.TaskID(i))
+		}
+	}
+	var routeBuf []network.LinkID
+	for pq.Len() > 0 {
+		t := heap.Pop(pq).(taskgraph.TaskID)
+		var target network.ProcID
+		if res.OnCP[t] {
+			target = res.CPProc
+		} else {
+			bestEFT := math.Inf(1)
+			for p := 0; p < m; p++ {
+				eft := heft.EvalEFT(s, rt, t, network.ProcID(p), &routeBuf)
+				if eft < bestEFT {
+					bestEFT, target = eft, network.ProcID(p)
+				}
+			}
+		}
+		var drt float64
+		for _, e := range g.In(t) {
+			from := s.ProcOf(g.Edge(e).From)
+			routeBuf = rt.Route(from, target, routeBuf[:0])
+			arr, err := s.PlaceMessage(e, routeBuf)
+			if err != nil {
+				return nil, fmt.Errorf("cpop: %w", err)
+			}
+			if arr > drt {
+				drt = arr
+			}
+		}
+		if _, err := s.PlaceTaskEarliest(t, target, drt); err != nil {
+			return nil, fmt.Errorf("cpop: %w", err)
+		}
+		for _, e := range g.Out(t) {
+			v := g.Edge(e).To
+			unplaced[v]--
+			if unplaced[v] == 0 {
+				heap.Push(pq, v)
+			}
+		}
+	}
+	return res, nil
+}
+
+// downwardRanks computes CPOP's downward rank: the longest mean-cost path
+// from any source to the task, excluding the task's own cost.
+func downwardRanks(g *taskgraph.Graph, sys *hetero.System) []float64 {
+	n := g.NumTasks()
+	m := sys.Net.NumProcs()
+	meanExec := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for p := 0; p < m; p++ {
+			sum += sys.ExecCost(i, network.ProcID(p), g.Task(taskgraph.TaskID(i)).Cost)
+		}
+		meanExec[i] = sum / float64(m)
+	}
+	meanComm := func(e taskgraph.EdgeID) float64 {
+		nl := sys.Net.NumLinks()
+		if nl == 0 {
+			return 0
+		}
+		var sum float64
+		for l := 0; l < nl; l++ {
+			sum += sys.CommCost(int(e), network.LinkID(l), g.Edge(e).Cost)
+		}
+		return sum / float64(nl)
+	}
+	order, err := taskgraph.TopologicalOrder(g)
+	if err != nil {
+		panic(err)
+	}
+	down := make([]float64, n)
+	for _, u := range order {
+		for _, e := range g.Out(u) {
+			v := g.Edge(e).To
+			if cand := down[u] + meanExec[u] + meanComm(e); cand > down[v] {
+				down[v] = cand
+			}
+		}
+	}
+	return down
+}
+
+// taskHeap is a max-heap of tasks by priority (ties by smaller ID).
+type taskHeap struct {
+	items []taskgraph.TaskID
+	prio  []float64
+}
+
+func (h *taskHeap) Len() int { return len(h.items) }
+func (h *taskHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.prio[a] != h.prio[b] {
+		return h.prio[a] > h.prio[b]
+	}
+	return a < b
+}
+func (h *taskHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *taskHeap) Push(x interface{}) { h.items = append(h.items, x.(taskgraph.TaskID)) }
+func (h *taskHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,148 @@
+package cpop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/paperexample"
+	"repro/internal/taskgraph"
+)
+
+func TestCPOPPaperExample(t *testing.T) {
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+	res, err := Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedule.Complete() {
+		t.Fatal("incomplete")
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every CP task must sit on the pinned processor.
+	for i, on := range res.OnCP {
+		if on && res.Schedule.ProcOf(taskgraph.TaskID(i)) != res.CPProc {
+			t.Errorf("CP task %d not on CP processor", i)
+		}
+	}
+	// At least source and sink are critical.
+	if !res.OnCP[0] || !res.OnCP[8] {
+		t.Errorf("T1/T9 should be critical: %v", res.OnCP)
+	}
+	t.Logf("CPOP on paper example: SL=%.0f, CP proc=P%d", res.Schedule.Length(), res.CPProc+1)
+}
+
+func TestCPOPEmpty(t *testing.T) {
+	g, _ := taskgraph.NewBuilder().Build()
+	nw, _ := network.Ring(2)
+	res, err := Schedule(g, hetero.NewUniform(nw, 0, 0))
+	if err != nil || res.Schedule.Length() != 0 {
+		t.Fatalf("empty: %v", err)
+	}
+}
+
+func TestCPOPInvalidSystem(t *testing.T) {
+	g := paperexample.Graph()
+	nw, _ := network.Ring(2)
+	if _, err := Schedule(g, hetero.NewUniform(nw, 1, 0)); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func TestCPOPPinsChainToFastProcessor(t *testing.T) {
+	// A pure chain is entirely critical; CPOP must pin it to the processor
+	// with the smallest total cost.
+	b := taskgraph.NewBuilder()
+	prev := b.AddTask("a", 10)
+	for _, name := range []string{"b", "c"} {
+		cur := b.AddTask(name, 10)
+		b.AddEdge(prev, cur, 5)
+		prev = cur
+	}
+	g, _ := b.Build()
+	nw, _ := network.Ring(4)
+	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	for i := 0; i < 3; i++ {
+		sys.Exec[i] = []float64{2, 2, 0.5, 2}
+	}
+	res, err := Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPProc != 2 {
+		t.Errorf("CP pinned to P%d, want P3", res.CPProc+1)
+	}
+	if got := res.Schedule.Length(); got != 15 {
+		t.Errorf("SL=%v, want 15 (chain at half cost, no comm)", got)
+	}
+}
+
+func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Graph {
+	b := taskgraph.NewBuilder()
+	ids := make([]taskgraph.TaskID, n)
+	seen := make(map[[2]taskgraph.TaskID]bool)
+	for i := 0; i < n; i++ {
+		name := []byte{'T', byte('0' + i/100%10), byte('0' + i/10%10), byte('0' + i%10)}
+		ids[i] = b.AddTask(string(name), 1+rng.Float64()*199)
+	}
+	add := func(u, v taskgraph.TaskID) {
+		k := [2]taskgraph.TaskID{u, v}
+		if !seen[k] {
+			seen[k] = true
+			b.AddEdge(u, v, rng.Float64()*100)
+		}
+	}
+	for i := 1; i < n; i++ {
+		add(ids[rng.Intn(i)], ids[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < extraProb {
+				add(ids[i], ids[j])
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestCPOPRandomInstancesValid(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%25
+		m := 2 + int(mRaw)%8
+		g := randomConnectedDAG(rng, n, 0.15)
+		nw, err := network.RandomConnected(m, 1, m, rng)
+		if err != nil {
+			return true
+		}
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		if err != nil {
+			return false
+		}
+		res, err := Schedule(g, sys)
+		if err != nil {
+			return false
+		}
+		if !res.Schedule.Complete() || res.Schedule.Validate() != nil {
+			return false
+		}
+		for i, on := range res.OnCP {
+			if on && res.Schedule.ProcOf(taskgraph.TaskID(i)) != res.CPProc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package dls
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/paperexample"
+	"repro/internal/taskgraph"
+)
+
+func TestDLSPaperExample(t *testing.T) {
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedule.Complete() {
+		t.Fatal("incomplete schedule")
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if res.Steps != g.NumTasks() {
+		t.Errorf("steps=%d, want %d", res.Steps, g.NumTasks())
+	}
+	t.Logf("DLS on paper example: SL=%.0f", res.Schedule.Length())
+}
+
+func TestDLSSingleProcessor(t *testing.T) {
+	g := paperexample.Graph()
+	nw, _ := network.Ring(1)
+	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Schedule.Length(), g.TotalExecCost(); got != want {
+		t.Errorf("SL=%v, want serial %v", got, want)
+	}
+}
+
+func TestDLSEmptyGraph(t *testing.T) {
+	g, _ := taskgraph.NewBuilder().Build()
+	nw, _ := network.Ring(2)
+	sys := hetero.NewUniform(nw, 0, 0)
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Length() != 0 || res.Steps != 0 {
+		t.Error("empty graph should schedule nothing")
+	}
+}
+
+func TestDLSInvalidSystem(t *testing.T) {
+	g := paperexample.Graph()
+	nw, _ := network.Ring(4)
+	if _, err := Schedule(g, hetero.NewUniform(nw, 1, 0), Options{}); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func TestDLSPrefersFastProcessor(t *testing.T) {
+	// A single task: DLS must pick the processor with the smallest actual
+	// execution cost thanks to the Delta adjustment.
+	b := taskgraph.NewBuilder()
+	b.AddTask("only", 100)
+	g, _ := b.Build()
+	nw, _ := network.Ring(4)
+	sys := hetero.NewUniform(nw, 1, 0)
+	sys.Exec[0] = []float64{2, 1, 0.25, 3}
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.ProcOf(0) != 2 {
+		t.Errorf("placed on P%d, want fastest P3", res.Schedule.ProcOf(0)+1)
+	}
+	if res.Schedule.Length() != 25 {
+		t.Errorf("SL=%v, want 25", res.Schedule.Length())
+	}
+}
+
+func TestDLSNoAdjustIgnoresSpeed(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	b.AddTask("only", 100)
+	g, _ := b.Build()
+	nw, _ := network.Ring(4)
+	sys := hetero.NewUniform(nw, 1, 0)
+	sys.Exec[0] = []float64{2, 1, 0.25, 3}
+	res, err := Schedule(g, sys, Options{NoHeterogeneityAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Delta all processors tie (DA=TF=0); the tie-break picks P1.
+	if res.Schedule.ProcOf(0) != 0 {
+		t.Errorf("placed on P%d, want tie-broken P1", res.Schedule.ProcOf(0)+1)
+	}
+}
+
+func TestDLSRespectsContention(t *testing.T) {
+	// Two heavy messages from P1 must serialize on the single ring link if
+	// their receivers land on P2; the validator checks exactly that.
+	b := taskgraph.NewBuilder()
+	src := b.AddTask("src", 10)
+	l := b.AddTask("l", 10)
+	r := b.AddTask("r", 10)
+	b.AddEdge(src, l, 100)
+	b.AddEdge(src, r, 100)
+	g, _ := b.Build()
+	nw, _ := network.Line(2)
+	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	res, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Graph {
+	b := taskgraph.NewBuilder()
+	ids := make([]taskgraph.TaskID, n)
+	seen := make(map[[2]taskgraph.TaskID]bool)
+	for i := 0; i < n; i++ {
+		name := make([]byte, 0, 6)
+		name = append(name, 'T')
+		for v := i; ; v /= 10 {
+			name = append(name, byte('0'+v%10))
+			if v < 10 {
+				break
+			}
+		}
+		ids[i] = b.AddTask(string(name), 1+rng.Float64()*199)
+	}
+	addEdge := func(u, v taskgraph.TaskID) {
+		k := [2]taskgraph.TaskID{u, v}
+		if !seen[k] {
+			seen[k] = true
+			b.AddEdge(u, v, rng.Float64()*100)
+		}
+	}
+	for i := 1; i < n; i++ {
+		addEdge(ids[rng.Intn(i)], ids[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < extraProb {
+				addEdge(ids[i], ids[j])
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestDLSRandomInstancesAreValid(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%30
+		m := 2 + int(mRaw)%8
+		g := randomConnectedDAG(rng, n, 0.15)
+		nw, err := network.RandomConnected(m, 1, m, rng)
+		if err != nil {
+			return true
+		}
+		sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		if err != nil {
+			return false
+		}
+		res, err := Schedule(g, sys, Options{})
+		if err != nil {
+			return false
+		}
+		return res.Schedule.Complete() && res.Schedule.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDLSDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomConnectedDAG(rng, 30, 0.1)
+	nw, _ := network.Hypercube(3)
+	sys, _ := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+	a, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Schedule.Tasks {
+		if a.Schedule.Tasks[i] != b.Schedule.Tasks[i] {
+			t.Fatal("DLS not deterministic")
+		}
+	}
+}

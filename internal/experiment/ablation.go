@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/hetero"
+)
+
+// AblationVariant is one BSA configuration under study.
+type AblationVariant struct {
+	Name string
+	Opt  core.Options
+}
+
+// DefaultAblationVariants covers the design choices DESIGN.md §5 calls out.
+func DefaultAblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{"default", core.Options{}},
+		{"single-sweep", core.Options{MaxSweeps: 1}},
+		{"no-guard", core.Options{DisableMigrationGuard: true}},
+		{"no-vip-follow", core.Options{DisableVIPFollow: true}},
+		{"no-route-pruning", core.Options{DisableRoutePruning: true}},
+	}
+}
+
+// AblationRow aggregates one variant across the workload set.
+type AblationRow struct {
+	Variant    string
+	MeanSL     float64
+	MeanVsBase float64 // mean SL ratio vs the first (default) variant
+	Migrations float64 // mean committed migrations
+	Sweeps     float64 // mean sweeps
+}
+
+// RunAblation evaluates the variants on a shared workload set: random
+// graphs at the config's sizes and granularities on the hypercube (the
+// paper's heterogeneity-experiment topology). The first variant is the
+// baseline for the ratio column.
+func RunAblation(cfg Config, variants []AblationVariant) ([]AblationRow, error) {
+	rows := make([]AblationRow, len(variants))
+	sums := make([]float64, len(variants))
+	migs := make([]float64, len(variants))
+	sweeps := make([]float64, len(variants))
+	count := 0
+
+	for si, size := range cfg.Sizes {
+		for gi, gran := range cfg.Grans {
+			for rep := 0; rep < max1(cfg.Reps); rep++ {
+				gseed := deriveSeed(cfg.Seed, 21, uint64(si), uint64(gi), uint64(rep))
+				g, err := generator.Generate(generator.Spec{Kind: generator.Random, Size: size, Granularity: gran}, rand.New(rand.NewSource(gseed)))
+				if err != nil {
+					return nil, err
+				}
+				nw, err := Hypercube.Build(cfg.Procs, rand.New(rand.NewSource(1)))
+				if err != nil {
+					return nil, err
+				}
+				sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), cfg.HetLo, cfg.HetHi, rand.New(rand.NewSource(deriveSeed(cfg.Seed, 22, uint64(si), uint64(gi), uint64(rep)))))
+				if err != nil {
+					return nil, err
+				}
+				count++
+				for vi, v := range variants {
+					res, err := core.Schedule(g, sys, v.Opt)
+					if err != nil {
+						return nil, err
+					}
+					sums[vi] += res.Schedule.Length()
+					migs[vi] += float64(res.Migrations)
+					sweeps[vi] += float64(res.Sweeps)
+				}
+			}
+		}
+	}
+	for vi, v := range variants {
+		rows[vi] = AblationRow{
+			Variant:    v.Name,
+			MeanSL:     sums[vi] / float64(count),
+			Migrations: migs[vi] / float64(count),
+			Sweeps:     sweeps[vi] / float64(count),
+		}
+		if sums[0] > 0 {
+			rows[vi].MeanVsBase = sums[vi] / sums[0]
+		}
+	}
+	return rows, nil
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,205 @@
+// Package experiment regenerates the paper's evaluation: Figures 3-7 (plus
+// the Table 1 worked example via internal/paperexample). It enumerates
+// workload instances, schedules each with every algorithm under test in
+// parallel worker goroutines, aggregates mean schedule lengths and renders
+// the result as aligned text tables, CSV files and ASCII plots.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dls"
+	"repro/internal/generator"
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/taskgraph"
+)
+
+// Topology identifies one of the paper's four 16-processor evaluation
+// topologies (the processor count is configurable for quick runs).
+type Topology int
+
+const (
+	Ring Topology = iota
+	Hypercube
+	Clique
+	RandomTopo
+)
+
+// Topologies lists the paper's four evaluation topologies in figure order.
+var Topologies = []Topology{Ring, Hypercube, Clique, RandomTopo}
+
+// String returns the topology name as used in figure captions.
+func (t Topology) String() string {
+	switch t {
+	case Ring:
+		return "ring"
+	case Hypercube:
+		return "hypercube"
+	case Clique:
+		return "clique"
+	case RandomTopo:
+		return "random"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Build constructs the topology over m processors. Hypercubes require m to
+// be a power of two; random topologies draw from rng with the paper's
+// degree range [2, 8] (clamped for small m).
+func (t Topology) Build(m int, rng *rand.Rand) (*network.Network, error) {
+	switch t {
+	case Ring:
+		return network.Ring(m)
+	case Hypercube:
+		d := 0
+		for 1<<d < m {
+			d++
+		}
+		if 1<<d != m {
+			return nil, fmt.Errorf("experiment: hypercube needs power-of-two processors, got %d", m)
+		}
+		return network.Hypercube(d)
+	case Clique:
+		return network.FullyConnected(m)
+	case RandomTopo:
+		minDeg, maxDeg := 2, 8
+		if m <= minDeg {
+			minDeg = 1
+		}
+		if maxDeg > m-1 {
+			maxDeg = m - 1
+		}
+		return network.RandomConnected(m, minDeg, maxDeg, rng)
+	default:
+		return nil, fmt.Errorf("experiment: unknown topology %d", int(t))
+	}
+}
+
+// Algorithm names a scheduler under test.
+type Algorithm string
+
+const (
+	BSA Algorithm = "BSA"
+	DLS Algorithm = "DLS"
+	// HEFT and CPOP are contention-aware extension baselines beyond the
+	// paper's comparison.
+	HEFT Algorithm = "HEFT"
+	CPOP Algorithm = "CPOP"
+)
+
+// DefaultAlgorithms is the paper's comparison pair.
+var DefaultAlgorithms = []Algorithm{DLS, BSA}
+
+// Scheduler runs one algorithm on one instance and returns the schedule
+// length. Extension algorithms are registered by the heft/cpop packages via
+// Register to avoid import cycles in tests.
+type Scheduler func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error)
+
+var registry = map[Algorithm]Scheduler{
+	BSA: func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error) {
+		res, err := core.Schedule(g, sys, core.Options{Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		return res.Schedule.Length(), nil
+	},
+	DLS: func(g *taskgraph.Graph, sys *hetero.System, _ int64) (float64, error) {
+		res, err := dls.Schedule(g, sys, dls.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Schedule.Length(), nil
+	},
+}
+
+var registryMu sync.Mutex
+
+// Register adds (or replaces) a scheduler under the given name.
+func Register(name Algorithm, s Scheduler) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = s
+}
+
+// SchedulerFor returns the registered scheduler, if any.
+func SchedulerFor(name Algorithm) (Scheduler, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Config parameterizes a figure run. The zero value is not valid; start
+// from PaperConfig or QuickConfig.
+type Config struct {
+	Procs       int       // processors per topology (paper: 16)
+	Sizes       []int     // graph sizes (paper: 50..500 step 50)
+	Grans       []float64 // granularities (paper: 0.1, 1, 10)
+	HetLo       float64   // heterogeneity factor range low (paper: 1)
+	HetHi       float64   // heterogeneity factor range high (paper: 50)
+	Reps        int       // graphs per design point (>=1)
+	Seed        int64     // master seed; all instance seeds derive from it
+	Algorithms  []Algorithm
+	Workers     int // parallel workers (0 = GOMAXPROCS)
+	RegularKind []generator.Kind
+}
+
+// PaperConfig returns the paper's full experimental design.
+func PaperConfig() Config {
+	return Config{
+		Procs:       16,
+		Sizes:       []int{50, 100, 150, 200, 250, 300, 350, 400, 450, 500},
+		Grans:       []float64{0.1, 1.0, 10.0},
+		HetLo:       1,
+		HetHi:       50,
+		Reps:        1,
+		Seed:        1999,
+		Algorithms:  DefaultAlgorithms,
+		RegularKind: generator.RegularKinds,
+	}
+}
+
+// QuickConfig returns a reduced design for smoke runs and benchmarks.
+func QuickConfig() Config {
+	return Config{
+		Procs:       16,
+		Sizes:       []int{50, 150, 250},
+		Grans:       []float64{0.1, 1.0, 10.0},
+		HetLo:       1,
+		HetHi:       50,
+		Reps:        1,
+		Seed:        1999,
+		Algorithms:  DefaultAlgorithms,
+		RegularKind: generator.RegularKinds,
+	}
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// splitmix64 derives independent, reproducible seeds from the master seed
+// and instance coordinates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func deriveSeed(master int64, parts ...uint64) int64 {
+	h := uint64(master)
+	for _, p := range parts {
+		h = splitmix64(h ^ p)
+	}
+	return int64(h & 0x7fffffffffffffff)
+}

@@ -1,0 +1,276 @@
+package experiment
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/hetero"
+	"repro/internal/taskgraph"
+)
+
+// tinyConfig keeps test runs fast.
+func tinyConfig() Config {
+	cfg := QuickConfig()
+	cfg.Sizes = []int{30, 60}
+	cfg.Grans = []float64{1.0}
+	cfg.Procs = 8
+	cfg.Workers = 4
+	return cfg
+}
+
+func TestTopologyBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, topo := range Topologies {
+		nw, err := topo.Build(16, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		if nw.NumProcs() != 16 {
+			t.Errorf("%v: m=%d", topo, nw.NumProcs())
+		}
+		if !nw.IsConnected() {
+			t.Errorf("%v: not connected", topo)
+		}
+	}
+	if _, err := Hypercube.Build(10, rng); err == nil {
+		t.Error("hypercube with non-power-of-two should fail")
+	}
+	if _, err := Topology(99).Build(4, rng); err == nil {
+		t.Error("unknown topology should fail")
+	}
+	if Topology(99).String() == "" {
+		t.Error("unknown topology String should not be empty")
+	}
+	for topo, want := range map[Topology]string{Ring: "ring", Hypercube: "hypercube", Clique: "clique", RandomTopo: "random"} {
+		if topo.String() != want {
+			t.Errorf("%d.String()=%q", int(topo), topo.String())
+		}
+	}
+}
+
+func TestFigure3Tiny(t *testing.T) {
+	fig, err := Figure3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 4 {
+		t.Fatalf("panels=%d, want 4", len(fig.Panels))
+	}
+	for _, p := range fig.Panels {
+		if len(p.Rows) != 2 {
+			t.Fatalf("rows=%d, want 2", len(p.Rows))
+		}
+		for _, r := range p.Rows {
+			for _, a := range p.Algos {
+				if r.Mean[a] <= 0 {
+					t.Errorf("%s x=%v: mean[%s]=%v", p.Title, r.X, a, r.Mean[a])
+				}
+			}
+		}
+	}
+	// Schedule lengths must grow with graph size for every algorithm.
+	for _, p := range fig.Panels {
+		for _, a := range p.Algos {
+			if p.Rows[1].Mean[a] <= p.Rows[0].Mean[a] {
+				t.Errorf("%s: SL not increasing with size for %s", p.Title, a)
+			}
+		}
+	}
+}
+
+func TestFigure4And6Tiny(t *testing.T) {
+	cfg := tinyConfig()
+	fig4, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig4.Name != "figure4" || len(fig4.Panels) != 4 {
+		t.Fatalf("fig4=%+v", fig4.Name)
+	}
+	cfg.Grans = []float64{0.5, 5}
+	fig6, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Granularity panel rows are the sorted granularities.
+	for _, p := range fig6.Panels {
+		if len(p.Rows) != 2 || p.Rows[0].X != 0.5 || p.Rows[1].X != 5 {
+			t.Fatalf("gran rows=%+v", p.Rows)
+		}
+		// Coarser granularity means cheaper communication: SL must shrink.
+		for _, a := range p.Algos {
+			if p.Rows[1].Mean[a] >= p.Rows[0].Mean[a] {
+				t.Errorf("%s: SL not decreasing with granularity for %s", p.Title, a)
+			}
+		}
+	}
+}
+
+func TestFigure5Tiny(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{40}
+	cfg.Grans = []float64{0.2, 2}
+	fig, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Name != "figure5" {
+		t.Fatal(fig.Name)
+	}
+	for _, p := range fig.Panels {
+		if len(p.Rows) != 2 {
+			t.Fatalf("rows=%d", len(p.Rows))
+		}
+	}
+}
+
+func TestFigure7Tiny(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{40}
+	fig, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 1 || len(fig.Panels[0].Rows) != 4 {
+		t.Fatalf("fig7 shape: %d panels", len(fig.Panels))
+	}
+	for _, r := range fig.Panels[0].Rows {
+		if r.Mean[BSA] <= 0 || r.Mean[DLS] <= 0 {
+			t.Errorf("x=%v: means %v", r.X, r.Mean)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{30}
+	for _, fignum := range []int{3, 4, 5, 6, 7} {
+		fig, err := Run(fignum, cfg)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fignum, err)
+		}
+		if fig == nil || len(fig.Panels) == 0 {
+			t.Fatalf("figure %d empty", fignum)
+		}
+	}
+	if _, err := Run(99, cfg); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{30}
+	a, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range a.Panels {
+		for ri := range a.Panels[pi].Rows {
+			for _, algo := range a.Panels[pi].Algos {
+				if a.Panels[pi].Rows[ri].Mean[algo] != b.Panels[pi].Rows[ri].Mean[algo] {
+					t.Fatalf("non-deterministic result at panel %d row %d", pi, ri)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{30}
+	fig, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figure4", "ring", "hypercube", "clique", "random", "DLS", "BSA", "improvement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+4 { // header + one row per panel
+		t.Errorf("csv lines=%d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "figure,panel,x,DLS,BSA") {
+		t.Errorf("csv header=%q", lines[0])
+	}
+	buf.Reset()
+	if err := fig.WritePlot(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "legend: D=DLS  B=BSA") {
+		t.Errorf("plot legend missing:\n%s", buf.String())
+	}
+}
+
+func TestRegisterCustomAlgorithm(t *testing.T) {
+	Register("CONST", func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error) {
+		return 42, nil
+	})
+	defer func() {
+		registryMu.Lock()
+		delete(registry, "CONST")
+		registryMu.Unlock()
+	}()
+	s, ok := SchedulerFor("CONST")
+	if !ok {
+		t.Fatal("CONST not registered")
+	}
+	if sl, err := s(nil, nil, 0); err != nil || sl != 42 {
+		t.Fatalf("sl=%v err=%v", sl, err)
+	}
+	cfg := tinyConfig()
+	cfg.Sizes = []int{30}
+	cfg.Algorithms = []Algorithm{"CONST", BSA}
+	fig, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig.Panels {
+		for _, r := range p.Rows {
+			if r.Mean["CONST"] != 42 {
+				t.Fatalf("CONST mean=%v", r.Mean["CONST"])
+			}
+		}
+	}
+}
+
+func TestUnregisteredAlgorithmFails(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{30}
+	cfg.Algorithms = []Algorithm{"NOPE"}
+	if _, err := Figure4(cfg); err == nil {
+		t.Fatal("unregistered algorithm should fail")
+	}
+}
+
+func TestDeriveSeedStability(t *testing.T) {
+	a := deriveSeed(1, 2, 3)
+	b := deriveSeed(1, 2, 3)
+	c := deriveSeed(1, 3, 2)
+	if a != b {
+		t.Error("deriveSeed not deterministic")
+	}
+	if a == c {
+		t.Error("deriveSeed ignores argument order")
+	}
+	if a < 0 {
+		t.Error("deriveSeed must be non-negative")
+	}
+}

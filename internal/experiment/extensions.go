@@ -1,0 +1,27 @@
+package experiment
+
+import (
+	"repro/internal/cpop"
+	"repro/internal/heft"
+	"repro/internal/hetero"
+	"repro/internal/taskgraph"
+)
+
+// The extension baselines register themselves so cmd/experiments can sweep
+// them with -algos HEFT,CPOP alongside the paper's BSA/DLS pair.
+func init() {
+	Register(HEFT, func(g *taskgraph.Graph, sys *hetero.System, _ int64) (float64, error) {
+		res, err := heft.Schedule(g, sys)
+		if err != nil {
+			return 0, err
+		}
+		return res.Schedule.Length(), nil
+	})
+	Register(CPOP, func(g *taskgraph.Graph, sys *hetero.System, _ int64) (float64, error) {
+		res, err := cpop.Schedule(g, sys)
+		if err != nil {
+			return 0, err
+		}
+		return res.Schedule.Length(), nil
+	})
+}

@@ -1,0 +1,319 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/generator"
+	"repro/internal/hetero"
+	"repro/internal/taskgraph"
+)
+
+// Row is one x-position of one panel: the mean schedule length per
+// algorithm at that x.
+type Row struct {
+	X    float64
+	Mean map[Algorithm]float64
+	N    int // instances aggregated
+}
+
+// Panel is one subplot of a figure (one topology in Figures 3-6).
+type Panel struct {
+	Title  string
+	XLabel string
+	Algos  []Algorithm
+	Rows   []Row
+}
+
+// Figure is a complete reproduced figure.
+type Figure struct {
+	Name    string
+	Caption string
+	Panels  []Panel
+}
+
+// instance is one scheduling run: a concrete graph, system and algorithm.
+type instance struct {
+	graph *taskgraph.Graph
+	sys   *hetero.System
+	algo  Algorithm
+	seed  int64
+	// aggregation coordinates
+	panel int
+	row   int
+}
+
+// runAll executes instances on a worker pool and accumulates sums.
+func runAll(instances []instance, workers int, fig *Figure) error {
+	sums := make([][]map[Algorithm]float64, len(fig.Panels))
+	counts := make([][]map[Algorithm]int, len(fig.Panels))
+	for p := range fig.Panels {
+		sums[p] = make([]map[Algorithm]float64, len(fig.Panels[p].Rows))
+		counts[p] = make([]map[Algorithm]int, len(fig.Panels[p].Rows))
+		for r := range sums[p] {
+			sums[p][r] = make(map[Algorithm]float64)
+			counts[p][r] = make(map[Algorithm]int)
+		}
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	ch := make(chan instance)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for in := range ch {
+				sched, ok := SchedulerFor(in.algo)
+				if !ok {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiment: no scheduler registered for %q", in.algo)
+					}
+					mu.Unlock()
+					continue
+				}
+				sl, err := sched(in.graph, in.sys, in.seed)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("experiment: %s: %w", in.algo, err)
+				}
+				sums[in.panel][in.row][in.algo] += sl
+				counts[in.panel][in.row][in.algo]++
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, in := range instances {
+		ch <- in
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	for p := range fig.Panels {
+		for r := range fig.Panels[p].Rows {
+			row := &fig.Panels[p].Rows[r]
+			row.Mean = make(map[Algorithm]float64, len(fig.Panels[p].Algos))
+			for _, a := range fig.Panels[p].Algos {
+				if c := counts[p][r][a]; c > 0 {
+					row.Mean[a] = sums[p][r][a] / float64(c)
+					row.N = c
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// buildInstances enumerates the cross product of the config for a
+// size-or-granularity figure over the given suite kinds, calling place to
+// map each (sizeIdx, granIdx) to a (panel, row).
+func buildInstances(cfg Config, kinds []generator.Kind, place func(topoIdx, sizeIdx, granIdx int) (panel, row int)) ([]instance, error) {
+	var instances []instance
+	for ki, kind := range kinds {
+		for si, size := range cfg.Sizes {
+			for gi, gran := range cfg.Grans {
+				for rep := 0; rep < cfg.Reps; rep++ {
+					gseed := deriveSeed(cfg.Seed, 1, uint64(ki), uint64(si), uint64(gi), uint64(rep))
+					g, err := generator.Generate(generator.Spec{Kind: kind, Size: size, Granularity: gran}, rand.New(rand.NewSource(gseed)))
+					if err != nil {
+						return nil, err
+					}
+					for ti, topo := range Topologies {
+						tseed := deriveSeed(cfg.Seed, 2, uint64(ti), uint64(rep))
+						nw, err := topo.Build(cfg.Procs, rand.New(rand.NewSource(tseed)))
+						if err != nil {
+							return nil, err
+						}
+						hseed := deriveSeed(cfg.Seed, 3, uint64(ki), uint64(si), uint64(gi), uint64(rep), uint64(ti))
+						sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), cfg.HetLo, cfg.HetHi, rand.New(rand.NewSource(hseed)))
+						if err != nil {
+							return nil, err
+						}
+						panel, row := place(ti, si, gi)
+						for _, algo := range cfg.Algorithms {
+							instances = append(instances, instance{
+								graph: g, sys: sys, algo: algo,
+								seed:  deriveSeed(cfg.Seed, 4, uint64(rep)),
+								panel: panel, row: row,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return instances, nil
+}
+
+func newPanels(cfg Config, xlabel string, xs []float64) []Panel {
+	panels := make([]Panel, len(Topologies))
+	for i, t := range Topologies {
+		rows := make([]Row, len(xs))
+		for j, x := range xs {
+			rows[j] = Row{X: x}
+		}
+		panels[i] = Panel{
+			Title:  fmt.Sprintf("%d-processor %s", cfg.Procs, t),
+			XLabel: xlabel,
+			Algos:  append([]Algorithm(nil), cfg.Algorithms...),
+			Rows:   rows,
+		}
+	}
+	return panels
+}
+
+func floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// sizeFigure runs a Figure 3/4 style experiment: average schedule length vs
+// graph size, one panel per topology, averaged over granularities (and
+// application kinds for the regular suite).
+func sizeFigure(cfg Config, name, caption string, kinds []generator.Kind) (*Figure, error) {
+	fig := &Figure{Name: name, Caption: caption, Panels: newPanels(cfg, "graph size", floats(cfg.Sizes))}
+	instances, err := buildInstances(cfg, kinds, func(ti, si, gi int) (int, int) { return ti, si })
+	if err != nil {
+		return nil, err
+	}
+	if err := runAll(instances, cfg.workers(), fig); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// granFigure runs a Figure 5/6 style experiment: average schedule length vs
+// granularity, one panel per topology, averaged over sizes (and kinds).
+func granFigure(cfg Config, name, caption string, kinds []generator.Kind) (*Figure, error) {
+	gs := append([]float64(nil), cfg.Grans...)
+	sort.Float64s(gs)
+	fig := &Figure{Name: name, Caption: caption, Panels: newPanels(cfg, "granularity", gs)}
+	granRow := func(g float64) int {
+		for i, x := range gs {
+			if x == g {
+				return i
+			}
+		}
+		return 0
+	}
+	instances, err := buildInstances(cfg, kinds, func(ti, si, gi int) (int, int) { return ti, granRow(cfg.Grans[gi]) })
+	if err != nil {
+		return nil, err
+	}
+	if err := runAll(instances, cfg.workers(), fig); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Figure3 reproduces Figure 3: regular graphs, schedule length vs size.
+func Figure3(cfg Config) (*Figure, error) {
+	return sizeFigure(cfg, "figure3",
+		"Average schedule lengths for the regular graphs with different graph sizes using four network topologies",
+		cfg.RegularKind)
+}
+
+// Figure4 reproduces Figure 4: random graphs, schedule length vs size.
+func Figure4(cfg Config) (*Figure, error) {
+	return sizeFigure(cfg, "figure4",
+		"Average schedule lengths for the random graphs with different graph sizes using four network topologies",
+		[]generator.Kind{generator.Random})
+}
+
+// Figure5 reproduces Figure 5: regular graphs, schedule length vs
+// granularity.
+func Figure5(cfg Config) (*Figure, error) {
+	return granFigure(cfg, "figure5",
+		"Average schedule lengths for the regular graphs with different granularities using four network topologies",
+		cfg.RegularKind)
+}
+
+// Figure6 reproduces Figure 6: random graphs, schedule length vs
+// granularity.
+func Figure6(cfg Config) (*Figure, error) {
+	return granFigure(cfg, "figure6",
+		"Average schedule lengths for the random graphs with different granularities using four network topologies",
+		[]generator.Kind{generator.Random})
+}
+
+// Figure7 reproduces Figure 7: the effect of the heterogeneity range on
+// random 500-task graphs (granularity 1.0) on the hypercube.
+func Figure7(cfg Config) (*Figure, error) {
+	ranges := []float64{10, 50, 100, 200}
+	size := 500
+	if len(cfg.Sizes) > 0 {
+		size = cfg.Sizes[len(cfg.Sizes)-1]
+	}
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	fig := &Figure{
+		Name:    "figure7",
+		Caption: "Effect of heterogeneity (random graphs, granularity 1.0, hypercube)",
+		Panels: []Panel{{
+			Title:  fmt.Sprintf("%d-processor hypercube, %d-task random graphs", cfg.Procs, size),
+			XLabel: "heterogeneity range",
+			Algos:  append([]Algorithm(nil), cfg.Algorithms...),
+			Rows:   make([]Row, len(ranges)),
+		}},
+	}
+	var instances []instance
+	for ri, hi := range ranges {
+		fig.Panels[0].Rows[ri] = Row{X: hi}
+		for rep := 0; rep < reps; rep++ {
+			gseed := deriveSeed(cfg.Seed, 7, uint64(ri), uint64(rep))
+			g, err := generator.Generate(generator.Spec{Kind: generator.Random, Size: size, Granularity: 1.0}, rand.New(rand.NewSource(gseed)))
+			if err != nil {
+				return nil, err
+			}
+			nw, err := Hypercube.Build(cfg.Procs, rand.New(rand.NewSource(1)))
+			if err != nil {
+				return nil, err
+			}
+			sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, hi, rand.New(rand.NewSource(deriveSeed(cfg.Seed, 8, uint64(ri), uint64(rep)))))
+			if err != nil {
+				return nil, err
+			}
+			for _, algo := range cfg.Algorithms {
+				instances = append(instances, instance{
+					graph: g, sys: sys, algo: algo,
+					seed:  deriveSeed(cfg.Seed, 9, uint64(rep)),
+					panel: 0, row: ri,
+				})
+			}
+		}
+	}
+	if err := runAll(instances, cfg.workers(), fig); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Run dispatches a figure by number (3-7).
+func Run(figure int, cfg Config) (*Figure, error) {
+	switch figure {
+	case 3:
+		return Figure3(cfg)
+	case 4:
+		return Figure4(cfg)
+	case 5:
+		return Figure5(cfg)
+	case 6:
+		return Figure6(cfg)
+	case 7:
+		return Figure7(cfg)
+	default:
+		return nil, fmt.Errorf("experiment: unknown figure %d (have 3-7)", figure)
+	}
+}

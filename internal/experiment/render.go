@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteTable renders the figure as aligned text tables, one per panel,
+// with a relative-improvement column when exactly two algorithms ran
+// (positive = the second algorithm produced shorter schedules).
+func (f *Figure) WriteTable(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.Name, f.Caption)
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "\n-- %s --\n", p.Title)
+		fmt.Fprintf(&b, "%12s", p.XLabel)
+		for _, a := range p.Algos {
+			fmt.Fprintf(&b, " %12s", string(a))
+		}
+		if len(p.Algos) == 2 {
+			fmt.Fprintf(&b, " %12s", "improvement")
+		}
+		b.WriteByte('\n')
+		for _, r := range p.Rows {
+			fmt.Fprintf(&b, "%12g", r.X)
+			for _, a := range p.Algos {
+				fmt.Fprintf(&b, " %12.0f", r.Mean[a])
+			}
+			if len(p.Algos) == 2 {
+				base, alt := r.Mean[p.Algos[0]], r.Mean[p.Algos[1]]
+				if base > 0 {
+					fmt.Fprintf(&b, " %11.1f%%", 100*(base-alt)/base)
+				} else {
+					fmt.Fprintf(&b, " %12s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the figure as CSV: panel, x, then one column per
+// algorithm.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("figure,panel,x")
+	algos := f.algoUnion()
+	for _, a := range algos {
+		b.WriteByte(',')
+		b.WriteString(string(a))
+	}
+	b.WriteByte('\n')
+	for _, p := range f.Panels {
+		for _, r := range p.Rows {
+			fmt.Fprintf(&b, "%s,%s,%g", f.Name, csvEscape(p.Title), r.X)
+			for _, a := range algos {
+				if v, ok := r.Mean[a]; ok {
+					fmt.Fprintf(&b, ",%.2f", v)
+				} else {
+					b.WriteByte(',')
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func (f *Figure) algoUnion() []Algorithm {
+	var out []Algorithm
+	seen := map[Algorithm]bool{}
+	for _, p := range f.Panels {
+		for _, a := range p.Algos {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// WritePlot renders each panel as an ASCII scatter plot (the paper's line
+// plots, one character series per algorithm).
+func (f *Figure) WritePlot(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	var b strings.Builder
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "\n-- %s (y = schedule length) --\n", p.Title)
+		var ymax float64
+		for _, r := range p.Rows {
+			for _, v := range r.Mean {
+				ymax = math.Max(ymax, v)
+			}
+		}
+		if ymax == 0 {
+			ymax = 1
+		}
+		grid := make([][]byte, height)
+		for i := range grid {
+			grid[i] = []byte(strings.Repeat(" ", width))
+		}
+		marks := []byte{'D', 'B', 'H', 'C', '*', '+'}
+		for ai, a := range p.Algos {
+			for ri, r := range p.Rows {
+				v, ok := r.Mean[a]
+				if !ok {
+					continue
+				}
+				x := 0
+				if len(p.Rows) > 1 {
+					x = ri * (width - 1) / (len(p.Rows) - 1)
+				}
+				y := height - 1 - int(v/ymax*float64(height-1))
+				if y < 0 {
+					y = 0
+				}
+				if y >= height {
+					y = height - 1
+				}
+				grid[y][x] = marks[ai%len(marks)]
+			}
+		}
+		fmt.Fprintf(&b, "%10.0f +%s\n", ymax, strings.Repeat("-", width))
+		for i, row := range grid {
+			label := "          "
+			if i == height-1 {
+				label = fmt.Sprintf("%10.0f", 0.0)
+			}
+			fmt.Fprintf(&b, "%s |%s\n", label, row)
+		}
+		fmt.Fprintf(&b, "%10s  %-8g%s%8g\n", p.XLabel, p.Rows[0].X, strings.Repeat(" ", max(0, width-16)), p.Rows[len(p.Rows)-1].X)
+		legend := make([]string, 0, len(p.Algos))
+		for ai, a := range p.Algos {
+			legend = append(legend, fmt.Sprintf("%c=%s", marks[ai%len(marks)], a))
+		}
+		fmt.Fprintf(&b, "           legend: %s\n", strings.Join(legend, "  "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

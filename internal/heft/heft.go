@@ -1,0 +1,179 @@
+// Package heft implements a link contention-aware variant of the HEFT
+// (Heterogeneous Earliest Finish Time) list scheduler of Topcuoglu, Hariri
+// & Wu as an extension baseline beyond the paper's BSA/DLS comparison.
+//
+// Classic HEFT assumes a fully connected network and charges each remote
+// message a fixed cost. To compare fairly against BSA and DLS on arbitrary
+// topologies, this variant routes messages along shortest paths and
+// schedules every hop on the link timelines with insertion-based
+// earliest-fit, so link contention delays data arrival exactly as in the
+// other schedulers of this repository.
+package heft
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Result is the outcome of a HEFT run.
+type Result struct {
+	Schedule *schedule.Schedule
+	// Ranks holds the upward rank of every task.
+	Ranks []float64
+}
+
+// Schedule runs contention-aware HEFT on g over sys.
+func Schedule(g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
+	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
+		return nil, fmt.Errorf("heft: %w", err)
+	}
+	n := g.NumTasks()
+	res := &Result{Schedule: schedule.New(g, sys)}
+	if n == 0 {
+		return res, nil
+	}
+	s := res.Schedule
+	rt := network.NewRoutingTable(sys.Net)
+	res.Ranks = UpwardRanks(g, sys)
+
+	// Tasks by non-increasing upward rank; this order is a linear extension
+	// because rank(pred) > rank(succ) for positive costs.
+	order := make([]taskgraph.TaskID, n)
+	for i := range order {
+		order[i] = taskgraph.TaskID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if res.Ranks[order[i]] != res.Ranks[order[j]] {
+			return res.Ranks[order[i]] > res.Ranks[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	m := sys.Net.NumProcs()
+	var routeBuf []network.LinkID
+	for _, t := range order {
+		bestEFT := math.Inf(1)
+		bestP := network.ProcID(0)
+		for p := 0; p < m; p++ {
+			eft := EvalEFT(s, rt, t, network.ProcID(p), &routeBuf)
+			if eft < bestEFT {
+				bestEFT, bestP = eft, network.ProcID(p)
+			}
+		}
+		if err := commit(s, rt, t, bestP, &routeBuf); err != nil {
+			return nil, fmt.Errorf("heft: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// UpwardRanks computes HEFT's upward rank: mean actual execution cost over
+// processors plus the maximum over successors of mean communication cost
+// (nominal times mean link factor) plus the successor's rank.
+func UpwardRanks(g *taskgraph.Graph, sys *hetero.System) []float64 {
+	n := g.NumTasks()
+	ranks := make([]float64, n)
+	meanExec := make([]float64, n)
+	m := sys.Net.NumProcs()
+	for i := 0; i < n; i++ {
+		var sum float64
+		for p := 0; p < m; p++ {
+			sum += sys.ExecCost(i, network.ProcID(p), g.Task(taskgraph.TaskID(i)).Cost)
+		}
+		meanExec[i] = sum / float64(m)
+	}
+	meanComm := func(e taskgraph.EdgeID) float64 {
+		nl := sys.Net.NumLinks()
+		if nl == 0 {
+			return 0
+		}
+		var sum float64
+		for l := 0; l < nl; l++ {
+			sum += sys.CommCost(int(e), network.LinkID(l), g.Edge(e).Cost)
+		}
+		return sum / float64(nl)
+	}
+	order, err := taskgraph.TopologicalOrder(g)
+	if err != nil {
+		panic(err) // graphs are validated at build time
+	}
+	for i := n - 1; i >= 0; i-- {
+		t := order[i]
+		var best float64
+		for _, e := range g.Out(t) {
+			v := g.Edge(e).To
+			if cand := meanComm(e) + ranks[v]; cand > best {
+				best = cand
+			}
+		}
+		ranks[t] = meanExec[t] + best
+	}
+	return ranks
+}
+
+// EvalEFT computes the earliest finish time of t on p without mutating the
+// schedule: messages tentatively routed on shortest paths with an overlay
+// serializing this task's own transfers, task slot via insertion.
+func EvalEFT(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.TaskID, p network.ProcID, routeBuf *[]network.LinkID) float64 {
+	drt := tentativeDRT(s, rt, t, p, routeBuf)
+	dur := s.ExecDuration(t, p)
+	return s.ProcTimeline(p).EarliestFit(drt, dur) + dur
+}
+
+func tentativeDRT(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.TaskID, p network.ProcID, routeBuf *[]network.LinkID) float64 {
+	g := s.G
+	var ov map[network.LinkID][]schedule.Slot
+	var drt float64
+	for _, e := range g.In(t) {
+		from := s.Tasks[g.Edge(e).From]
+		ready := from.End
+		if from.Proc != p {
+			*routeBuf = rt.Route(from.Proc, p, (*routeBuf)[:0])
+			for _, l := range *routeBuf {
+				dur := s.HopDuration(e, l)
+				start := s.LinkTimeline(l).EarliestFitWithExtra(ready, dur, ov[l])
+				if ov == nil {
+					ov = make(map[network.LinkID][]schedule.Slot, 4)
+				}
+				ov[l] = insertSlot(ov[l], schedule.Slot{Start: start, End: start + dur})
+				ready = start + dur
+			}
+		}
+		if ready > drt {
+			drt = ready
+		}
+	}
+	return drt
+}
+
+func commit(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.TaskID, p network.ProcID, routeBuf *[]network.LinkID) error {
+	g := s.G
+	var drt float64
+	for _, e := range g.In(t) {
+		from := s.ProcOf(g.Edge(e).From)
+		*routeBuf = rt.Route(from, p, (*routeBuf)[:0])
+		arr, err := s.PlaceMessage(e, *routeBuf)
+		if err != nil {
+			return err
+		}
+		if arr > drt {
+			drt = arr
+		}
+	}
+	_, err := s.PlaceTaskEarliest(t, p, drt)
+	return err
+}
+
+func insertSlot(slots []schedule.Slot, sl schedule.Slot) []schedule.Slot {
+	idx := sort.Search(len(slots), func(i int) bool { return slots[i].Start >= sl.Start })
+	slots = append(slots, schedule.Slot{})
+	copy(slots[idx+1:], slots[idx:])
+	slots[idx] = sl
+	return slots
+}

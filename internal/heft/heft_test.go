@@ -1,0 +1,125 @@
+package heft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/paperexample"
+	"repro/internal/taskgraph"
+)
+
+func TestHEFTPaperExample(t *testing.T) {
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+	res, err := Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedule.Complete() {
+		t.Fatal("incomplete")
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("HEFT on paper example: SL=%.0f", res.Schedule.Length())
+}
+
+func TestUpwardRanksMonotone(t *testing.T) {
+	// rank(pred) > rank(succ) along every edge for positive costs.
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+	ranks := UpwardRanks(g, sys)
+	for _, e := range g.Edges() {
+		if ranks[e.From] <= ranks[e.To] {
+			t.Errorf("rank(%d)=%v <= rank(%d)=%v", e.From, ranks[e.From], e.To, ranks[e.To])
+		}
+	}
+}
+
+func TestHEFTEmptyAndSingle(t *testing.T) {
+	g, _ := taskgraph.NewBuilder().Build()
+	nw, _ := network.Ring(2)
+	if res, err := Schedule(g, hetero.NewUniform(nw, 0, 0)); err != nil || res.Schedule.Length() != 0 {
+		t.Fatalf("empty: %v", err)
+	}
+	b := taskgraph.NewBuilder()
+	b.AddTask("only", 10)
+	g2, _ := b.Build()
+	sys := hetero.NewUniform(nw, 1, 0)
+	sys.Exec[0] = []float64{5, 1}
+	res, err := Schedule(g2, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.ProcOf(0) != 1 || res.Schedule.Length() != 10 {
+		t.Errorf("HEFT should pick the fast processor: proc=%d SL=%v", res.Schedule.ProcOf(0), res.Schedule.Length())
+	}
+}
+
+func TestHEFTInvalidSystem(t *testing.T) {
+	g := paperexample.Graph()
+	nw, _ := network.Ring(2)
+	if _, err := Schedule(g, hetero.NewUniform(nw, 1, 0)); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Graph {
+	b := taskgraph.NewBuilder()
+	ids := make([]taskgraph.TaskID, n)
+	seen := make(map[[2]taskgraph.TaskID]bool)
+	for i := 0; i < n; i++ {
+		name := []byte{'T', byte('0' + i/100%10), byte('0' + i/10%10), byte('0' + i%10)}
+		ids[i] = b.AddTask(string(name), 1+rng.Float64()*199)
+	}
+	add := func(u, v taskgraph.TaskID) {
+		k := [2]taskgraph.TaskID{u, v}
+		if !seen[k] {
+			seen[k] = true
+			b.AddEdge(u, v, rng.Float64()*100)
+		}
+	}
+	for i := 1; i < n; i++ {
+		add(ids[rng.Intn(i)], ids[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < extraProb {
+				add(ids[i], ids[j])
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestHEFTRandomInstancesValid(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%25
+		m := 2 + int(mRaw)%8
+		g := randomConnectedDAG(rng, n, 0.15)
+		nw, err := network.RandomConnected(m, 1, m, rng)
+		if err != nil {
+			return true
+		}
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		if err != nil {
+			return false
+		}
+		res, err := Schedule(g, sys)
+		if err != nil {
+			return false
+		}
+		return res.Schedule.Complete() && res.Schedule.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteGantt renders the schedule as text in the style of the paper's
+// Figure 2: one section per processor listing task slots in time order, and
+// one per link listing message hops, e.g.
+//
+//	P1: [  0.0, 15.0) T3   [ 20.0, 53.0) T7
+//	L12: [ 15.0, 25.0) T3->T8
+func (s *Schedule) WriteGantt(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule length = %.2f, total comm = %.2f\n", s.Length(), s.TotalComm())
+	for p := 0; p < s.Sys.Net.NumProcs(); p++ {
+		fmt.Fprintf(&b, "%-4s:", s.Sys.Net.Proc(procID(p)).Name)
+		for _, slot := range s.procTL[p].Slots() {
+			fmt.Fprintf(&b, " [%7.2f,%7.2f) %s", slot.Start, slot.End, s.G.Task(taskID(int(slot.Owner))).Name)
+		}
+		b.WriteByte('\n')
+	}
+	for l := 0; l < s.Sys.Net.NumLinks(); l++ {
+		if s.linkTL[l].Len() == 0 {
+			continue
+		}
+		lk := s.Sys.Net.Link(linkID(l))
+		fmt.Fprintf(&b, "L%d%d :", lk.A+1, lk.B+1)
+		for _, slot := range s.linkTL[l].Slots() {
+			e := s.G.Edge(MsgOwnerEdge(slot.Owner))
+			fmt.Fprintf(&b, " [%7.2f,%7.2f) %s->%s", slot.Start, slot.End, s.G.Task(e.From).Name, s.G.Task(e.To).Name)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteGanttChart renders a proportional ASCII Gantt chart: one row per
+// processor, time flowing right, width columns wide. Tasks are drawn with
+// their name characters; idle time with '.'.
+func (s *Schedule) WriteGanttChart(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	end := s.MaxFinish()
+	if end <= 0 {
+		end = 1
+	}
+	scale := float64(width) / end
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %.2f (each column = %.2f)\n", end, end/float64(width))
+	for p := 0; p < s.Sys.Net.NumProcs(); p++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, slot := range s.procTL[p].Slots() {
+			lo := int(slot.Start * scale)
+			hi := int(slot.End * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			name := s.G.Task(taskID(int(slot.Owner))).Name
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = name[(i-lo)%len(name)]
+			}
+		}
+		fmt.Fprintf(&b, "%-4s |%s|\n", s.Sys.Net.Proc(procID(p)).Name, row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Assignment returns task names grouped by processor, in start-time order —
+// convenient for compact logging in examples.
+func (s *Schedule) Assignment() map[string][]string {
+	out := make(map[string][]string, s.Sys.Net.NumProcs())
+	for p := 0; p < s.Sys.Net.NumProcs(); p++ {
+		slots := append([]Slot(nil), s.procTL[p].Slots()...)
+		sort.Slice(slots, func(i, j int) bool { return slots[i].Start < slots[j].Start })
+		var names []string
+		for _, slot := range slots {
+			names = append(names, s.G.Task(taskID(int(slot.Owner))).Name)
+		}
+		out[s.Sys.Net.Proc(procID(p)).Name] = names
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package schedule
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// scheduleJSON is the stable export format used by WriteJSON: enough to
+// render a Gantt chart or feed an external visualizer, keyed by task and
+// processor names.
+type scheduleJSON struct {
+	Length    float64        `json:"length"`
+	TotalComm float64        `json:"totalComm"`
+	Tasks     []taskSlotJSON `json:"tasks"`
+	Messages  []msgSlotJSON  `json:"messages"`
+}
+
+type taskSlotJSON struct {
+	Task  string  `json:"task"`
+	Proc  string  `json:"proc"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+type msgSlotJSON struct {
+	From    string    `json:"from"`
+	To      string    `json:"to"`
+	Arrival float64   `json:"arrival"`
+	Hops    []hopJSON `json:"hops,omitempty"`
+}
+
+type hopJSON struct {
+	FromProc string  `json:"fromProc"`
+	ToProc   string  `json:"toProc"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+}
+
+// MarshalJSON exports a complete schedule in a stable, name-keyed format.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	j := scheduleJSON{
+		Length:    s.Length(),
+		TotalComm: s.TotalComm(),
+		Tasks:     make([]taskSlotJSON, 0, len(s.Tasks)),
+		Messages:  make([]msgSlotJSON, 0, len(s.Msgs)),
+	}
+	for i := range s.Tasks {
+		ts := &s.Tasks[i]
+		if !ts.Placed {
+			continue
+		}
+		j.Tasks = append(j.Tasks, taskSlotJSON{
+			Task:  s.G.Task(taskID(i)).Name,
+			Proc:  s.Sys.Net.Proc(ts.Proc).Name,
+			Start: ts.Start,
+			End:   ts.End,
+		})
+	}
+	for i := range s.Msgs {
+		ms := &s.Msgs[i]
+		if !ms.Placed {
+			continue
+		}
+		e := s.G.Edge(edgeID(i))
+		mj := msgSlotJSON{
+			From:    s.G.Task(e.From).Name,
+			To:      s.G.Task(e.To).Name,
+			Arrival: ms.Arrival,
+		}
+		for _, h := range ms.Hops {
+			mj.Hops = append(mj.Hops, hopJSON{
+				FromProc: s.Sys.Net.Proc(h.From).Name,
+				ToProc:   s.Sys.Net.Proc(h.To).Name,
+				Start:    h.Start,
+				End:      h.End,
+			})
+		}
+		j.Messages = append(j.Messages, mj)
+	}
+	return json.Marshal(j)
+}
+
+// WriteJSON writes the schedule to w as indented JSON.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	data, err := s.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(json.RawMessage(data), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}

@@ -1,0 +1,78 @@
+package schedule
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestScheduleJSONExport(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceTask(1, 1, 15)
+	s.PlaceMessage(1, []network.LinkID{1})
+	s.PlaceTask(2, 2, 42)
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Length    float64 `json:"length"`
+		TotalComm float64 `json:"totalComm"`
+		Tasks     []struct {
+			Task  string  `json:"task"`
+			Proc  string  `json:"proc"`
+			Start float64 `json:"start"`
+			End   float64 `json:"end"`
+		} `json:"tasks"`
+		Messages []struct {
+			From    string  `json:"from"`
+			To      string  `json:"to"`
+			Arrival float64 `json:"arrival"`
+			Hops    []struct {
+				FromProc string `json:"fromProc"`
+				ToProc   string `json:"toProc"`
+			} `json:"hops"`
+		} `json:"messages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Length != 72 || decoded.TotalComm != 12 {
+		t.Errorf("length=%v comm=%v", decoded.Length, decoded.TotalComm)
+	}
+	if len(decoded.Tasks) != 3 || len(decoded.Messages) != 2 {
+		t.Fatalf("tasks=%d messages=%d", len(decoded.Tasks), len(decoded.Messages))
+	}
+	if decoded.Tasks[0].Task != "a" || decoded.Tasks[0].Proc != "P1" {
+		t.Errorf("first task slot %+v", decoded.Tasks[0])
+	}
+	if decoded.Messages[0].From != "a" || decoded.Messages[0].To != "b" || len(decoded.Messages[0].Hops) != 1 {
+		t.Errorf("first message %+v", decoded.Messages[0])
+	}
+	if decoded.Messages[0].Hops[0].FromProc != "P1" || decoded.Messages[0].Hops[0].ToProc != "P2" {
+		t.Errorf("hop %+v", decoded.Messages[0].Hops[0])
+	}
+}
+
+func TestScheduleJSONPartial(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if tasks := decoded["tasks"].([]interface{}); len(tasks) != 1 {
+		t.Errorf("partial export should list only placed tasks, got %d", len(tasks))
+	}
+}

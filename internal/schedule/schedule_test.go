@@ -1,0 +1,340 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/taskgraph"
+)
+
+// fixture: chain a->b->c on a 3-processor line with uniform factors.
+func fixture(t *testing.T) (*taskgraph.Graph, *hetero.System) {
+	t.Helper()
+	b := taskgraph.NewBuilder()
+	a := b.AddTask("a", 10)
+	x := b.AddTask("b", 20)
+	y := b.AddTask("c", 30)
+	b.AddEdge(a, x, 5)
+	b.AddEdge(x, y, 7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := network.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+}
+
+func TestPlaceTaskAndMessageLocal(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	if err := s.PlaceTask(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Local message: same processor, no hops.
+	arr, err := s.PlaceMessage(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr != 10 {
+		t.Errorf("local arrival=%v, want 10 (sender finish)", arr)
+	}
+	if err := s.PlaceTask(1, 0, arr); err != nil {
+		t.Fatal(err)
+	}
+	drt, vip := s.DRT(1)
+	if drt != 10 || vip != 0 {
+		t.Errorf("DRT=%v vip=%v, want 10, 0", drt, vip)
+	}
+}
+
+func TestPlaceMessageMultiHop(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0) // a on P1, finishes at 10
+	// Message a->b over two hops P1->P2->P3 (links 0 and 1).
+	arr, err := s.PlaceMessage(0, []network.LinkID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr != 20 { // 10 + 5 + 5
+		t.Errorf("arrival=%v, want 20", arr)
+	}
+	hops := s.Msgs[0].Hops
+	if len(hops) != 2 || hops[0].From != 0 || hops[0].To != 1 || hops[1].To != 2 {
+		t.Fatalf("hops=%+v", hops)
+	}
+	if hops[0].Start != 10 || hops[0].End != 15 || hops[1].Start != 15 || hops[1].End != 20 {
+		t.Fatalf("hop times=%+v", hops)
+	}
+	if err := s.PlaceTask(1, 2, arr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceMessageContention(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)  // a finishes 10
+	s.PlaceTask(1, 0, 10) // b on P1 too, finishes 30
+	// Local a->b message.
+	s.PlaceMessage(0, nil)
+	// b->c over link 0: ready at 30.
+	arr, err := s.PlaceMessage(1, []network.LinkID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr != 37 {
+		t.Errorf("arrival=%v, want 37", arr)
+	}
+	// The link slot [30,37) now blocks other transfers; EarliestFit sees it.
+	if got := s.LinkTimeline(0).EarliestFit(30, 5); got != 37 {
+		t.Errorf("link fit=%v, want 37", got)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	if err := s.PlaceTask(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PlaceTask(0, 1, 0); err == nil {
+		t.Error("double placement should fail")
+	}
+	if err := s.PlaceTask(1, 0, 5); err == nil {
+		t.Error("overlapping placement should fail")
+	}
+	if _, err := s.PlaceMessage(1, nil); err == nil {
+		t.Error("message with unplaced sender should fail")
+	}
+	// Route not touching sender's processor.
+	if _, err := s.PlaceMessage(0, []network.LinkID{1}); err == nil {
+		t.Error("disconnected route should fail")
+	}
+	// The failed placement must not leak reservations.
+	if s.LinkTimeline(1).Len() != 0 {
+		t.Error("failed PlaceMessage leaked link slots")
+	}
+	if _, err := s.PlaceMessage(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceMessage(0, nil); err == nil {
+		t.Error("double message placement should fail")
+	}
+}
+
+func TestPlaceMessageRollbackMidRoute(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	// Route [0, 0] walks P1->P2->P1; then link 1 (P2-P3)... construct an
+	// invalid second hop: link 0 then link 0 is valid walk; use [1] after
+	// arriving at P2 is valid; invalid is [0, 99]? Out of range handled by
+	// Link() panic; instead use a route whose second hop does not touch the
+	// current processor: [0 (P1->P2), 0... ] second use of link 0 touches
+	// P2, fine. Use Line(3) link IDs: 0=(P1,P2), 1=(P2,P3). Route [1, ...]
+	// fails immediately. Route [0, 1, 0] third hop: at P3, link 0 does not
+	// touch P3 -> rollback of two reserved hops.
+	if _, err := s.PlaceMessage(0, []network.LinkID{0, 1, 0}); err == nil {
+		t.Fatal("expected mid-route failure")
+	}
+	if s.LinkTimeline(0).Len() != 0 || s.LinkTimeline(1).Len() != 0 {
+		t.Error("mid-route failure leaked reservations")
+	}
+	if s.Msgs[0].Placed {
+		t.Error("message marked placed after failure")
+	}
+}
+
+func TestUnplace(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	s.PlaceMessage(0, []network.LinkID{0})
+	s.UnplaceMessage(0)
+	if s.LinkTimeline(0).Len() != 0 || s.Msgs[0].Placed {
+		t.Error("UnplaceMessage incomplete")
+	}
+	s.UnplaceMessage(0) // idempotent
+	s.UnplaceTask(0)
+	if s.ProcTimeline(0).Len() != 0 || s.Tasks[0].Placed {
+		t.Error("UnplaceTask incomplete")
+	}
+	s.UnplaceTask(0) // idempotent
+}
+
+func TestScheduleLengthAndStats(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceTask(1, 1, 15)
+	s.PlaceMessage(1, []network.LinkID{1})
+	s.PlaceTask(2, 2, 42)
+	if !s.Complete() {
+		t.Fatal("schedule should be complete")
+	}
+	if got := s.Length(); got != 72 {
+		t.Errorf("Length=%v, want 72", got)
+	}
+	if got := s.TotalComm(); got != 12 {
+		t.Errorf("TotalComm=%v, want 12", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	st := s.ComputeStats()
+	if st.UsedProcs != 3 || st.UsedLinks != 2 || st.RemoteMsgs != 2 || st.LocalMsgs != 0 {
+		t.Errorf("stats=%+v", st)
+	}
+	if st.MaxRouteHops != 1 || st.MeanRouteHops != 1 {
+		t.Errorf("route stats=%+v", st)
+	}
+	if !strings.Contains(st.String(), "SL=72.00") {
+		t.Errorf("String=%q", st.String())
+	}
+}
+
+func TestHeterogeneousDurations(t *testing.T) {
+	g, sys := fixture(t)
+	sys.Exec[0][1] = 3 // task a is 3x slower on P2
+	s := New(g, sys)
+	s.PlaceTask(0, 1, 0)
+	if s.Tasks[0].End != 30 {
+		t.Errorf("end=%v, want 30", s.Tasks[0].End)
+	}
+	// Comm factor scales hop duration.
+	sys2 := hetero.NewUniform(sys.Net, g.NumTasks(), g.NumEdges())
+	sys2.Comm = [][]float64{{2, 1}, {1, 1}}
+	s2 := New(g, sys2)
+	s2.PlaceTask(0, 0, 0)
+	arr, _ := s2.PlaceMessage(0, []network.LinkID{0})
+	if arr != 20 { // 10 + 2*5
+		t.Errorf("arrival=%v, want 20", arr)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	g, sys := fixture(t)
+	build := func() *Schedule {
+		s := New(g, sys)
+		s.PlaceTask(0, 0, 0)
+		s.PlaceMessage(0, []network.LinkID{0})
+		s.PlaceTask(1, 1, 15)
+		s.PlaceMessage(1, []network.LinkID{1})
+		s.PlaceTask(2, 2, 42)
+		return s
+	}
+	s := build()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = build()
+	s.Tasks[2].Start = 40 // starts before message arrival 42
+	s.Tasks[2].End = 70
+	if err := s.Validate(); err == nil {
+		t.Error("early start not caught")
+	}
+
+	s = build()
+	s.Msgs[1].Arrival = 1 // inconsistent arrival
+	if err := s.Validate(); err == nil {
+		t.Error("bad arrival not caught")
+	}
+
+	s = build()
+	s.Msgs[1].Hops[0].Start = 20 // before sender finish 35
+	s.Msgs[1].Hops[0].End = 27
+	if err := s.Validate(); err == nil {
+		t.Error("hop before sender finish not caught")
+	}
+
+	s = New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	if err := s.Validate(); err == nil {
+		t.Error("incomplete schedule not caught")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	s.PlaceMessage(0, []network.LinkID{0})
+	c := s.Clone()
+	c.UnplaceMessage(0)
+	if !s.Msgs[0].Placed || s.LinkTimeline(0).Len() != 1 {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestReset(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	s.PlaceMessage(0, []network.LinkID{0})
+	s.Reset()
+	if s.Tasks[0].Placed || s.Msgs[0].Placed || s.ProcTimeline(0).Len() != 0 || s.LinkTimeline(0).Len() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestGanttOutputs(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceTask(1, 1, 15)
+	s.PlaceMessage(1, []network.LinkID{1})
+	s.PlaceTask(2, 2, 42)
+
+	var buf bytes.Buffer
+	if err := s.WriteGantt(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"schedule length = 72.00", "P1", "L12", "a->b", "b->c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := s.WriteGanttChart(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P3") {
+		t.Errorf("chart missing P3:\n%s", buf.String())
+	}
+	asg := s.Assignment()
+	if len(asg["P1"]) != 1 || asg["P1"][0] != "a" {
+		t.Errorf("Assignment=%v", asg)
+	}
+}
+
+func TestMsgOwnerRoundTrip(t *testing.T) {
+	for _, e := range []taskgraph.EdgeID{0, 1, 1000, 500000} {
+		for _, hop := range []int{0, 1, 15} {
+			if got := MsgOwnerEdge(MsgOwner(e, hop)); got != e {
+				t.Fatalf("MsgOwnerEdge(MsgOwner(%d,%d))=%d", e, hop, got)
+			}
+		}
+	}
+}
+
+func TestMaxFinish(t *testing.T) {
+	g, sys := fixture(t)
+	s := New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	// A trailing message in flight extends MaxFinish beyond task end.
+	s.PlaceMessage(0, []network.LinkID{0})
+	if got := s.MaxFinish(); got != 15 {
+		t.Errorf("MaxFinish=%v, want 15", got)
+	}
+}

@@ -1,0 +1,72 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+func procID(i int) network.ProcID { return network.ProcID(i) }
+func linkID(i int) network.LinkID { return network.LinkID(i) }
+
+// Stats summarises a complete schedule.
+type Stats struct {
+	Length        float64 // makespan (the paper's schedule length, SL)
+	TotalComm     float64 // total link occupancy time
+	ProcBusy      float64 // summed task execution time
+	AvgProcUtil   float64 // ProcBusy / (m * Length)
+	AvgLinkUtil   float64 // TotalComm / (links * Length)
+	UsedProcs     int     // processors executing at least one task
+	UsedLinks     int     // links carrying at least one hop
+	LocalMsgs     int     // messages with zero hops
+	RemoteMsgs    int     // messages crossing at least one link
+	MaxRouteHops  int     // longest message route
+	MeanRouteHops float64 // mean hops over remote messages
+}
+
+// ComputeStats derives summary statistics from a complete schedule.
+func (s *Schedule) ComputeStats() Stats {
+	st := Stats{Length: s.Length(), TotalComm: s.TotalComm()}
+	for p := range s.procTL {
+		b := s.procTL[p].BusyTime()
+		st.ProcBusy += b
+		if s.procTL[p].Len() > 0 {
+			st.UsedProcs++
+		}
+	}
+	for l := range s.linkTL {
+		if s.linkTL[l].Len() > 0 {
+			st.UsedLinks++
+		}
+	}
+	totalHops := 0
+	for i := range s.Msgs {
+		h := len(s.Msgs[i].Hops)
+		if h == 0 {
+			st.LocalMsgs++
+			continue
+		}
+		st.RemoteMsgs++
+		totalHops += h
+		if h > st.MaxRouteHops {
+			st.MaxRouteHops = h
+		}
+	}
+	if st.RemoteMsgs > 0 {
+		st.MeanRouteHops = float64(totalHops) / float64(st.RemoteMsgs)
+	}
+	if st.Length > 0 {
+		m := float64(s.Sys.Net.NumProcs())
+		st.AvgProcUtil = st.ProcBusy / (m * st.Length)
+		if nl := float64(s.Sys.Net.NumLinks()); nl > 0 {
+			st.AvgLinkUtil = st.TotalComm / (nl * st.Length)
+		}
+	}
+	return st
+}
+
+// String renders the stats on one line.
+func (st Stats) String() string {
+	return fmt.Sprintf("SL=%.2f comm=%.2f procUtil=%.1f%% procs=%d links=%d local=%d remote=%d maxHops=%d",
+		st.Length, st.TotalComm, 100*st.AvgProcUtil, st.UsedProcs, st.UsedLinks, st.LocalMsgs, st.RemoteMsgs, st.MaxRouteHops)
+}

@@ -1,0 +1,176 @@
+// Package schedule provides the schedule representation shared by all
+// scheduling algorithms in this repository: per-processor and per-link
+// timelines of exclusive slots, insertion-based earliest-fit search,
+// task/message placement with store-and-forward multi-hop routing, a full
+// feasibility validator, ASCII Gantt rendering and summary statistics.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Slot is an exclusive reservation [Start, End) on a resource, tagged with
+// an opaque owner token (task ID for processors; packed edge/hop for
+// links).
+type Slot struct {
+	Start float64
+	End   float64
+	Owner int64
+}
+
+// Timeline is an ordered set of non-overlapping slots on one resource. The
+// zero value is an empty timeline.
+type Timeline struct {
+	slots []Slot // sorted by Start
+}
+
+// timeEps absorbs floating-point noise when comparing slot boundaries.
+const timeEps = 1e-9
+
+// Len returns the number of reserved slots.
+func (tl *Timeline) Len() int { return len(tl.slots) }
+
+// Slots returns the reserved slots in start order. The slice must not be
+// modified.
+func (tl *Timeline) Slots() []Slot { return tl.slots }
+
+// End returns the finish time of the last slot (0 when empty).
+func (tl *Timeline) End() float64 {
+	if len(tl.slots) == 0 {
+		return 0
+	}
+	return tl.slots[len(tl.slots)-1].End
+}
+
+// Reset removes all slots, retaining capacity.
+func (tl *Timeline) Reset() { tl.slots = tl.slots[:0] }
+
+// EarliestFit returns the earliest start >= ready at which a slot of the
+// given duration fits without overlapping existing reservations
+// (insertion-based scheduling). A zero duration fits at max(ready, 0).
+func (tl *Timeline) EarliestFit(ready, dur float64) float64 {
+	if ready < 0 {
+		ready = 0
+	}
+	start := ready
+	for _, s := range tl.slots {
+		if s.End <= start+timeEps {
+			continue // slot entirely before the candidate start
+		}
+		if start+dur <= s.Start+timeEps {
+			return start // fits in the gap before this slot
+		}
+		start = s.End
+		if start < ready {
+			start = ready
+		}
+	}
+	return start
+}
+
+// EarliestFitWithExtra behaves like EarliestFit but also avoids the given
+// additional slots (not yet reserved). extra must be sorted by Start and
+// non-overlapping with the timeline; BSA uses this to evaluate tentative
+// message placements without mutating state.
+func (tl *Timeline) EarliestFitWithExtra(ready, dur float64, extra []Slot) float64 {
+	if ready < 0 {
+		ready = 0
+	}
+	start := ready
+	i, j := 0, 0
+	for i < len(tl.slots) || j < len(extra) {
+		var s Slot
+		if j >= len(extra) || (i < len(tl.slots) && tl.slots[i].Start <= extra[j].Start) {
+			s = tl.slots[i]
+			i++
+		} else {
+			s = extra[j]
+			j++
+		}
+		if s.End <= start+timeEps {
+			continue
+		}
+		if start+dur <= s.Start+timeEps {
+			return start
+		}
+		start = s.End
+		if start < ready {
+			start = ready
+		}
+	}
+	return start
+}
+
+// Reserve inserts the slot [start, start+dur) with the given owner,
+// returning an error if it overlaps an existing reservation.
+func (tl *Timeline) Reserve(start, dur float64, owner int64) error {
+	if dur < 0 {
+		return fmt.Errorf("schedule: negative duration %v", dur)
+	}
+	end := start + dur
+	idx := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Start >= start })
+	if idx > 0 && tl.slots[idx-1].End > start+timeEps {
+		return fmt.Errorf("schedule: slot [%v,%v) overlaps [%v,%v)", start, end, tl.slots[idx-1].Start, tl.slots[idx-1].End)
+	}
+	if idx < len(tl.slots) && tl.slots[idx].Start < end-timeEps {
+		return fmt.Errorf("schedule: slot [%v,%v) overlaps [%v,%v)", start, end, tl.slots[idx].Start, tl.slots[idx].End)
+	}
+	tl.slots = append(tl.slots, Slot{})
+	copy(tl.slots[idx+1:], tl.slots[idx:])
+	tl.slots[idx] = Slot{Start: start, End: end, Owner: owner}
+	return nil
+}
+
+// ReserveEarliest reserves a slot of the given duration at the earliest
+// feasible start >= ready and returns that start.
+func (tl *Timeline) ReserveEarliest(ready, dur float64, owner int64) float64 {
+	start := tl.EarliestFit(ready, dur)
+	// EarliestFit guarantees no overlap, so Reserve cannot fail.
+	if err := tl.Reserve(start, dur, owner); err != nil {
+		panic(err)
+	}
+	return start
+}
+
+// RemoveOwner removes all slots with the given owner and reports how many
+// were removed.
+func (tl *Timeline) RemoveOwner(owner int64) int {
+	out := tl.slots[:0]
+	removed := 0
+	for _, s := range tl.slots {
+		if s.Owner == owner {
+			removed++
+			continue
+		}
+		out = append(out, s)
+	}
+	tl.slots = out
+	return removed
+}
+
+// BusyTime returns the total reserved duration.
+func (tl *Timeline) BusyTime() float64 {
+	var b float64
+	for _, s := range tl.slots {
+		b += s.End - s.Start
+	}
+	return b
+}
+
+// CheckConsistent verifies internal invariants (ordering, non-overlap,
+// non-negative durations); it is used by tests and the validator.
+func (tl *Timeline) CheckConsistent() error {
+	for i, s := range tl.slots {
+		if s.End < s.Start-timeEps {
+			return fmt.Errorf("schedule: slot %d has End %v < Start %v", i, s.End, s.Start)
+		}
+		if i > 0 && tl.slots[i-1].End > s.Start+timeEps {
+			return fmt.Errorf("schedule: slots %d and %d overlap", i-1, i)
+		}
+		if i > 0 && tl.slots[i-1].Start > s.Start {
+			return fmt.Errorf("schedule: slots out of order at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/taskgraph"
+)
+
+// Validate checks that a complete schedule is feasible:
+//
+//  1. every task is placed exactly once, with duration equal to its actual
+//     execution cost on its processor;
+//  2. no two tasks overlap on a processor and no two hops overlap on a link
+//     (link contention constraint);
+//  3. every message's hop sequence is a contiguous path from its sender's
+//     processor to its receiver's processor, hop durations equal actual
+//     communication costs, hop k starts no earlier than hop k-1 ends
+//     (store-and-forward) and the first hop starts no earlier than the
+//     sender finishes;
+//  4. intra-processor messages have no hops and arrive when the sender
+//     finishes;
+//  5. every task starts no earlier than each of its incoming messages
+//     arrives (precedence + data ready time).
+//
+// It returns the first violation found, or nil.
+func (s *Schedule) Validate() error {
+	g, nw := s.G, s.Sys.Net
+
+	for i := range s.Tasks {
+		ts := &s.Tasks[i]
+		if !ts.Placed {
+			return fmt.Errorf("task %d not placed", i)
+		}
+		wantDur := s.Sys.ExecCost(i, ts.Proc, g.Task(taskID(i)).Cost)
+		if !feq(ts.End-ts.Start, wantDur) {
+			return fmt.Errorf("task %d duration %v != actual cost %v on P%d", i, ts.End-ts.Start, wantDur, ts.Proc+1)
+		}
+		if ts.Start < -timeEps {
+			return fmt.Errorf("task %d starts before time 0: %v", i, ts.Start)
+		}
+	}
+
+	for p := range s.procTL {
+		if err := s.procTL[p].CheckConsistent(); err != nil {
+			return fmt.Errorf("P%d: %w", p+1, err)
+		}
+	}
+	for l := range s.linkTL {
+		if err := s.linkTL[l].CheckConsistent(); err != nil {
+			return fmt.Errorf("link %d: %w", l, err)
+		}
+	}
+
+	// Cross-check task slots against processor timelines.
+	placedOnTL := 0
+	for p := range s.procTL {
+		for _, slot := range s.procTL[p].Slots() {
+			t := taskID(int(slot.Owner))
+			ts := &s.Tasks[t]
+			if ts.Proc != network.ProcID(p) || !feq(ts.Start, slot.Start) || !feq(ts.End, slot.End) {
+				return fmt.Errorf("task %d timeline slot mismatch on P%d", t, p+1)
+			}
+			placedOnTL++
+		}
+	}
+	if placedOnTL != g.NumTasks() {
+		return fmt.Errorf("%d timeline slots for %d tasks", placedOnTL, g.NumTasks())
+	}
+
+	for ei := range s.Msgs {
+		e := g.Edge(edgeID(ei))
+		ms := &s.Msgs[ei]
+		if !ms.Placed {
+			return fmt.Errorf("message %d not placed", ei)
+		}
+		from, to := &s.Tasks[e.From], &s.Tasks[e.To]
+		if from.Proc == to.Proc {
+			if len(ms.Hops) != 0 {
+				return fmt.Errorf("intra-processor message %d has %d hops", ei, len(ms.Hops))
+			}
+			if !feq(ms.Arrival, from.End) {
+				return fmt.Errorf("intra-processor message %d arrival %v != sender finish %v", ei, ms.Arrival, from.End)
+			}
+		} else {
+			if len(ms.Hops) == 0 {
+				return fmt.Errorf("inter-processor message %d has no hops", ei)
+			}
+			p := from.Proc
+			ready := from.End
+			for hi, h := range ms.Hops {
+				lk := nw.Link(h.Link)
+				if h.From != p || !lk.Has(h.From) || lk.Other(h.From) != h.To {
+					return fmt.Errorf("message %d hop %d is not contiguous", ei, hi)
+				}
+				if h.Start < ready-timeEps {
+					return fmt.Errorf("message %d hop %d starts %v before ready %v", ei, hi, h.Start, ready)
+				}
+				wantDur := s.Sys.CommCost(ei, h.Link, e.Cost)
+				if !feq(h.End-h.Start, wantDur) {
+					return fmt.Errorf("message %d hop %d duration %v != actual cost %v", ei, hi, h.End-h.Start, wantDur)
+				}
+				ready = h.End
+				p = h.To
+			}
+			if p != to.Proc {
+				return fmt.Errorf("message %d route ends at P%d, receiver on P%d", ei, p+1, to.Proc+1)
+			}
+			if !feq(ms.Arrival, ready) {
+				return fmt.Errorf("message %d arrival %v != last hop end %v", ei, ms.Arrival, ready)
+			}
+		}
+		if to.Start < ms.Arrival-timeEps {
+			return fmt.Errorf("task %d starts %v before message %d arrives %v", e.To, to.Start, ei, ms.Arrival)
+		}
+	}
+
+	// Cross-check link slots against message hops.
+	hopCount := 0
+	for i := range s.Msgs {
+		hopCount += len(s.Msgs[i].Hops)
+	}
+	slotCount := 0
+	for l := range s.linkTL {
+		slotCount += s.linkTL[l].Len()
+	}
+	if hopCount != slotCount {
+		return fmt.Errorf("%d link slots for %d message hops", slotCount, hopCount)
+	}
+	return nil
+}
+
+func feq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= timeEps*(1+abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Tiny typed-index helpers; indices are dense so plain conversions suffice.
+func taskID(i int) taskgraph.TaskID { return taskgraph.TaskID(i) }
+func edgeID(i int) taskgraph.EdgeID { return taskgraph.EdgeID(i) }

@@ -1,0 +1,207 @@
+// Package sim is an event-driven execution simulator that independently
+// verifies static schedules. It replays a complete schedule keeping only
+// its *decisions* — the task-to-processor assignment, the message routes
+// and the per-resource service orders — and recomputes all times from the
+// event dynamics: a task starts when its processor is free (previous slot
+// in service order done) and all incoming messages have arrived; a message
+// hop starts when the previous hop has delivered (store-and-forward) and
+// its link is free.
+//
+// Because the replay is as-soon-as-possible under the same orders, its
+// makespan can never exceed the static schedule length: reserved idle gaps
+// may close, but nothing can be forced later. A replay that deadlocks or
+// finishes later exposes an inconsistency in the scheduler, which is what
+// the tests use it for (the paper evaluates schedulers in simulation; this
+// is the corresponding execution model).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Result holds the replayed execution times.
+type Result struct {
+	// TaskStart and TaskFinish are the simulated task times.
+	TaskStart  []float64
+	TaskFinish []float64
+	// Arrival is the simulated arrival time of every message.
+	Arrival []float64
+	// Length is the simulated makespan.
+	Length float64
+	// Events is the number of simulation events processed.
+	Events int
+}
+
+// node identifies an event node: tasks and individual message hops.
+type node struct {
+	task taskgraph.TaskID // valid when hop < 0
+	edge taskgraph.EdgeID
+	hop  int // -1 for task nodes
+}
+
+// Replay simulates the schedule and returns the recomputed times. It
+// errors if the schedule is incomplete or its combined precedence/resource
+// order deadlocks.
+func Replay(s *schedule.Schedule) (*Result, error) {
+	g := s.G
+	n := g.NumTasks()
+	for i := 0; i < n; i++ {
+		if !s.Tasks[i].Placed {
+			return nil, fmt.Errorf("sim: task %d not placed", i)
+		}
+	}
+
+	// Node indexing: tasks 0..n-1, then hops in edge-major order.
+	hopBase := make([]int, g.NumEdges()+1)
+	total := n
+	for e := 0; e < g.NumEdges(); e++ {
+		hopBase[e] = total
+		total += len(s.Msgs[e].Hops)
+	}
+	hopBase[g.NumEdges()] = total
+
+	nodeOf := func(id int) node {
+		if id < n {
+			return node{task: taskgraph.TaskID(id), hop: -1}
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if id < hopBase[e+1] {
+				return node{edge: taskgraph.EdgeID(e), hop: id - hopBase[e]}
+			}
+		}
+		panic("sim: bad node id")
+	}
+
+	// Build dependency lists: deps[id] counts unmet dependencies; outs[id]
+	// lists dependents.
+	deps := make([]int, total)
+	outs := make([][]int32, total)
+	addDep := func(from, to int) {
+		outs[from] = append(outs[from], int32(to))
+		deps[to]++
+	}
+
+	// (1) Message chains: sender task -> hop0 -> hop1 -> ... and last
+	// hop -> receiver (or sender -> receiver directly for local messages).
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(taskgraph.EdgeID(e))
+		hops := s.Msgs[e].Hops
+		if len(hops) == 0 {
+			addDep(int(edge.From), int(edge.To))
+			continue
+		}
+		addDep(int(edge.From), hopBase[e])
+		for h := 1; h < len(hops); h++ {
+			addDep(hopBase[e]+h-1, hopBase[e]+h)
+		}
+		addDep(hopBase[e]+len(hops)-1, int(edge.To))
+	}
+
+	// (2) Processor service order: slots sorted by start time already.
+	for p := 0; p < s.Sys.Net.NumProcs(); p++ {
+		slots := s.ProcTimeline(procID(p)).Slots()
+		for i := 1; i < len(slots); i++ {
+			addDep(int(slots[i-1].Owner), int(slots[i].Owner))
+		}
+	}
+	// (3) Link service order.
+	linkNode := func(owner int64) int {
+		e := schedule.MsgOwnerEdge(owner)
+		hop := int(owner - (int64(e) << 20))
+		return hopBase[e] + hop
+	}
+	for l := 0; l < s.Sys.Net.NumLinks(); l++ {
+		slots := s.LinkTimeline(linkID(l)).Slots()
+		for i := 1; i < len(slots); i++ {
+			addDep(linkNode(slots[i-1].Owner), linkNode(slots[i].Owner))
+		}
+	}
+
+	// Kahn-style event processing with time propagation.
+	res := &Result{
+		TaskStart:  make([]float64, n),
+		TaskFinish: make([]float64, n),
+		Arrival:    make([]float64, g.NumEdges()),
+	}
+	readyAt := make([]float64, total)
+	queue := make([]int, 0, total)
+	for id := 0; id < total; id++ {
+		if deps[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		processed++
+		res.Events++
+
+		nd := nodeOf(id)
+		var finish float64
+		if nd.hop < 0 {
+			start := readyAt[id]
+			dur := s.ExecDuration(nd.task, s.Tasks[nd.task].Proc)
+			finish = start + dur
+			res.TaskStart[nd.task] = start
+			res.TaskFinish[nd.task] = finish
+			res.Length = math.Max(res.Length, finish)
+		} else {
+			hop := s.Msgs[nd.edge].Hops[nd.hop]
+			dur := s.HopDuration(nd.edge, hop.Link)
+			finish = readyAt[id] + dur
+			if nd.hop == len(s.Msgs[nd.edge].Hops)-1 {
+				res.Arrival[nd.edge] = finish
+			}
+		}
+		for _, dep := range outs[id] {
+			if readyAt[dep] < finish {
+				readyAt[dep] = finish
+			}
+			deps[dep]--
+			if deps[dep] == 0 {
+				queue = append(queue, int(dep))
+			}
+		}
+	}
+	if processed != total {
+		return nil, fmt.Errorf("sim: deadlock — %d of %d events never became ready", total-processed, total)
+	}
+	// Local messages arrive when the sender finishes.
+	for e := 0; e < g.NumEdges(); e++ {
+		if len(s.Msgs[e].Hops) == 0 {
+			res.Arrival[e] = res.TaskFinish[g.Edge(taskgraph.EdgeID(e)).From]
+		}
+	}
+	return res, nil
+}
+
+// CheckAgainst verifies the replay against the static schedule: simulated
+// task finish times must never exceed the scheduled ones (the schedule is
+// achievable) and every precedence must hold in simulated time. It returns
+// the first violation.
+func (r *Result) CheckAgainst(s *schedule.Schedule) error {
+	const eps = 1e-6
+	for i := range r.TaskFinish {
+		if r.TaskFinish[i] > s.Tasks[i].End+eps {
+			return fmt.Errorf("sim: task %d finishes at %v in replay, after scheduled %v", i, r.TaskFinish[i], s.Tasks[i].End)
+		}
+	}
+	for _, e := range s.G.Edges() {
+		if r.TaskStart[e.To]+eps < r.Arrival[e.ID] {
+			return fmt.Errorf("sim: task %d starts before message %d arrives", e.To, e.ID)
+		}
+	}
+	if r.Length > s.Length()+eps {
+		return fmt.Errorf("sim: replay length %v exceeds schedule length %v", r.Length, s.Length())
+	}
+	return nil
+}
+
+func procID(i int) network.ProcID { return network.ProcID(i) }
+func linkID(i int) network.LinkID { return network.LinkID(i) }

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dls"
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/paperexample"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+func TestReplayPaperExampleBSA(t *testing.T) {
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+	res, err := core.Schedule(g, sys, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Replay(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckAgainst(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if r.Length <= 0 || r.Length > res.Schedule.Length()+1e-9 {
+		t.Errorf("replay length %v vs schedule %v", r.Length, res.Schedule.Length())
+	}
+	if r.Events == 0 {
+		t.Error("no events processed")
+	}
+}
+
+func TestReplayIncomplete(t *testing.T) {
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+	s := schedule.New(g, sys)
+	if _, err := Replay(s); err == nil || !strings.Contains(err.Error(), "not placed") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestReplayHandMadeSchedule(t *testing.T) {
+	// Chain a->b with one hop; replay must reproduce exact compact times.
+	b := taskgraph.NewBuilder()
+	a := b.AddTask("a", 10)
+	c := b.AddTask("b", 20)
+	b.AddEdge(a, c, 5)
+	g, _ := b.Build()
+	nw, _ := network.Line(2)
+	sys := hetero.NewUniform(nw, 2, 1)
+	s := schedule.New(g, sys)
+	s.PlaceTask(0, 0, 0)
+	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceTask(1, 1, 15)
+	r, err := Replay(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TaskFinish[0] != 10 || r.Arrival[0] != 15 || r.TaskStart[1] != 15 || r.TaskFinish[1] != 35 {
+		t.Errorf("replay times: %+v", r)
+	}
+	if err := r.CheckAgainst(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayClosesGaps(t *testing.T) {
+	// A schedule with an artificial idle gap: replay starts the task as
+	// soon as its inputs are ready, finishing earlier than scheduled.
+	b := taskgraph.NewBuilder()
+	b.AddTask("a", 10)
+	g, _ := b.Build()
+	nw, _ := network.Line(2)
+	sys := hetero.NewUniform(nw, 1, 0)
+	s := schedule.New(g, sys)
+	s.PlaceTask(0, 0, 100) // gratuitous delay
+	r, err := Replay(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TaskStart[0] != 0 || r.TaskFinish[0] != 10 {
+		t.Errorf("replay should close the gap: %+v", r)
+	}
+	if err := r.CheckAgainst(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Graph {
+	b := taskgraph.NewBuilder()
+	ids := make([]taskgraph.TaskID, n)
+	seen := make(map[[2]taskgraph.TaskID]bool)
+	for i := 0; i < n; i++ {
+		name := []byte{'T', byte('0' + i/100%10), byte('0' + i/10%10), byte('0' + i%10)}
+		ids[i] = b.AddTask(string(name), 1+rng.Float64()*199)
+	}
+	add := func(u, v taskgraph.TaskID) {
+		k := [2]taskgraph.TaskID{u, v}
+		if !seen[k] {
+			seen[k] = true
+			b.AddEdge(u, v, rng.Float64()*100)
+		}
+	}
+	for i := 1; i < n; i++ {
+		add(ids[rng.Intn(i)], ids[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < extraProb {
+				add(ids[i], ids[j])
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestReplayPropertyBothSchedulers is the cross-cutting integration
+// property: for random instances, both schedulers' outputs replay without
+// deadlock and never finish later than the static schedule claims.
+func TestReplayPropertyBothSchedulers(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%25
+		m := 2 + int(mRaw)%8
+		g := randomConnectedDAG(rng, n, 0.15)
+		nw, err := network.RandomConnected(m, 1, m, rng)
+		if err != nil {
+			return true
+		}
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		if err != nil {
+			return false
+		}
+		bres, err := core.Schedule(g, sys, core.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		dres, err := dls.Schedule(g, sys, dls.Options{})
+		if err != nil {
+			return false
+		}
+		for _, s := range []*schedule.Schedule{bres.Schedule, dres.Schedule} {
+			r, err := Replay(s)
+			if err != nil {
+				return false
+			}
+			if r.CheckAgainst(s) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

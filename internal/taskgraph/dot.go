@@ -1,0 +1,25 @@
+package taskgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT writes the graph in Graphviz DOT format. Node labels show the
+// task name and nominal execution cost; edge labels show the nominal
+// communication cost.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for _, t := range g.Tasks() {
+		fmt.Fprintf(&b, "  t%d [label=\"%s\\n%g\"];\n", t.ID, t.Name, t.Cost)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  t%d -> t%d [label=\"%g\"];\n", e.From, e.To, e.Cost)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

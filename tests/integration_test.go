@@ -1,0 +1,246 @@
+// Package tests holds cross-package integration tests: full pipelines from
+// workload generation through scheduling, validation and simulated replay,
+// plus qualitative checks of the paper's headline claims at small scale.
+package tests
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpop"
+	"repro/internal/dls"
+	"repro/internal/generator"
+	"repro/internal/heft"
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/taskgraph"
+)
+
+// schedulers runs every implemented algorithm on one instance and returns
+// the validated schedules keyed by name.
+func schedulers(t *testing.T, g *taskgraph.Graph, sys *hetero.System) map[string]*schedule.Schedule {
+	t.Helper()
+	out := map[string]*schedule.Schedule{}
+	if res, err := core.Schedule(g, sys, core.Options{Seed: 1}); err != nil {
+		t.Fatalf("BSA: %v", err)
+	} else {
+		out["BSA"] = res.Schedule
+	}
+	if res, err := dls.Schedule(g, sys, dls.Options{}); err != nil {
+		t.Fatalf("DLS: %v", err)
+	} else {
+		out["DLS"] = res.Schedule
+	}
+	if res, err := heft.Schedule(g, sys); err != nil {
+		t.Fatalf("HEFT: %v", err)
+	} else {
+		out["HEFT"] = res.Schedule
+	}
+	if res, err := cpop.Schedule(g, sys); err != nil {
+		t.Fatalf("CPOP: %v", err)
+	} else {
+		out["CPOP"] = res.Schedule
+	}
+	for name, s := range out {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s produced an infeasible schedule: %v", name, err)
+		}
+		r, err := sim.Replay(s)
+		if err != nil {
+			t.Fatalf("%s replay: %v", name, err)
+		}
+		if err := r.CheckAgainst(s); err != nil {
+			t.Fatalf("%s replay check: %v", name, err)
+		}
+	}
+	return out
+}
+
+func TestAllSchedulersAllFamilies(t *testing.T) {
+	// Every scheduler must produce feasible, replayable schedules on every
+	// workload family and a mix of topologies.
+	rng := rand.New(rand.NewSource(2))
+	topos := []func() (*network.Network, error){
+		func() (*network.Network, error) { return network.Ring(8) },
+		func() (*network.Network, error) { return network.Hypercube(3) },
+		func() (*network.Network, error) { return network.FullyConnected(8) },
+		func() (*network.Network, error) { return network.RandomConnected(8, 2, 5, rng) },
+	}
+	for _, kind := range []generator.Kind{generator.GaussElim, generator.LU, generator.Laplace, generator.MVA, generator.Random} {
+		for ti, topo := range topos {
+			g, err := generator.Generate(generator.Spec{Kind: kind, Size: 60, Granularity: 1}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw, err := topo()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := schedulers(t, g, sys)
+			for name, s := range res {
+				if s.Length() <= 0 {
+					t.Errorf("%v topo %d %s: zero-length schedule", kind, ti, name)
+				}
+			}
+		}
+	}
+}
+
+func TestBSABeatsSerialOnParallelWorkload(t *testing.T) {
+	// On a homogeneous clique with a wide graph and cheap communication,
+	// BSA must comfortably beat single-processor serialization.
+	rng := rand.New(rand.NewSource(5))
+	g, err := generator.RandomLayered(120, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := network.FullyConnected(8)
+	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	res, err := core.Schedule(g, sys, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := g.TotalExecCost()
+	if sl := res.Schedule.Length(); sl > 0.7*serial {
+		t.Errorf("BSA SL=%v vs serial %v: expected substantial parallel speedup", sl, serial)
+	}
+}
+
+func TestBSAWinsAtFineGranularity(t *testing.T) {
+	// The paper's headline regime: fine-grained workloads (communication
+	// 10x computation) on a low-connectivity topology. BSA's clustering
+	// and incremental message scheduling must beat DLS on average.
+	rng := rand.New(rand.NewSource(11))
+	var bsa, dlsSum float64
+	for rep := 0; rep < 3; rep++ {
+		g, err := generator.RandomLayered(80, 0.1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, _ := network.Ring(16)
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres, err := core.Schedule(g, sys, core.Options{Seed: int64(rep)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := dls.Schedule(g, sys, dls.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsa += bres.Schedule.Length()
+		dlsSum += dres.Schedule.Length()
+	}
+	if bsa >= dlsSum {
+		t.Errorf("BSA (%v) should beat DLS (%v) on fine-grained ring workloads", bsa/3, dlsSum/3)
+	}
+}
+
+func TestConnectivityHelpsEveryScheduler(t *testing.T) {
+	// Paper observation: "both algorithms gave shorter schedule lengths
+	// for higher processor connectivity". Clique SL <= ring SL for each
+	// algorithm (same workload and factor seeds).
+	rng := rand.New(rand.NewSource(23))
+	g, err := generator.RandomLayered(100, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lens := map[string]map[string]float64{}
+	for _, tc := range []struct {
+		name  string
+		build func() (*network.Network, error)
+	}{
+		{"ring", func() (*network.Network, error) { return network.Ring(16) }},
+		{"clique", func() (*network.Network, error) { return network.FullyConnected(16) }},
+	} {
+		nw, err := tc.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lens[tc.name] = map[string]float64{}
+		for name, s := range schedulers(t, g, sys) {
+			lens[tc.name][name] = s.Length()
+		}
+	}
+	for _, algo := range []string{"BSA", "DLS"} {
+		if lens["clique"][algo] > lens["ring"][algo]*1.05 {
+			t.Errorf("%s: clique SL %v should not exceed ring SL %v", algo, lens["clique"][algo], lens["ring"][algo])
+		}
+	}
+}
+
+func TestHeterogeneityRangeDegradesSchedules(t *testing.T) {
+	// Paper Figure 7 shape: wider heterogeneity ranges yield longer
+	// schedules for both algorithms (min-normalized factors keep the
+	// fastest-processor cost fixed, so wider = more variance above it).
+	rng := rand.New(rand.NewSource(31))
+	g, err := generator.RandomLayered(100, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := network.Hypercube(4)
+	slAt := func(hi float64, algo string) float64 {
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, hi, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch algo {
+		case "BSA":
+			res, err := core.Schedule(g, sys, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Schedule.Length()
+		default:
+			res, err := dls.Schedule(g, sys, dls.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Schedule.Length()
+		}
+	}
+	for _, algo := range []string{"BSA", "DLS"} {
+		lo, hi := slAt(10, algo), slAt(200, algo)
+		if hi <= lo {
+			t.Errorf("%s: SL at range [1,200] (%v) should exceed SL at [1,10] (%v)", algo, hi, lo)
+		}
+	}
+}
+
+func TestGranularityMonotonicity(t *testing.T) {
+	// Coarser granularity (cheaper communication) must never lengthen
+	// schedules substantially; across a decade it must shorten them.
+	nw, _ := network.Hypercube(3)
+	slAt := func(gran float64) float64 {
+		g, err := generator.RandomLayered(80, gran, rand.New(rand.NewSource(77)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Schedule(g, sys, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Schedule.Length()
+	}
+	fine, coarse := slAt(0.1), slAt(10)
+	if coarse >= fine {
+		t.Errorf("coarse-grained SL %v should be below fine-grained SL %v", coarse, fine)
+	}
+}
