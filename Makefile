@@ -1,0 +1,35 @@
+# Development entry points. CI runs the same targets.
+
+# bash + pipefail so a benchmark failure is not masked by the benchjson
+# pipe in the bench target.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# bench runs the core scheduler benchmarks (incremental vs full-rebuild
+# oracle, plus the DLS comparison) and writes a machine-readable
+# BENCH_core.json via cmd/benchjson to seed the performance trajectory.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBSA$$|BenchmarkDLS$$' -benchtime 3x -count 1 . | $(GO) run ./cmd/benchjson -out BENCH_core.json
+
+# bench-smoke executes every benchmark once so they cannot bit-rot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

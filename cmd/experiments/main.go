@@ -45,6 +45,8 @@ func run() error {
 	plot := flag.Bool("plot", false, "print ASCII plots in addition to tables")
 	example := flag.Bool("example", false, "run the Table 1 / Figure 2 worked example and exit")
 	ablation := flag.Bool("ablation", false, "run the BSA design-choice ablation study and exit")
+	workers := flag.Int("workers", 0, "parallel scenario-cell workers (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "stream per-cell progress to stderr during figure runs")
 	flag.Parse()
 
 	if *example {
@@ -74,6 +76,15 @@ func run() error {
 	cfg.Procs = *procs
 	cfg.Reps = *reps
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+	if *progress {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	cfg.Algorithms = nil
 	for _, a := range strings.Split(*algos, ",") {
 		a = strings.TrimSpace(a)

@@ -15,4 +15,11 @@
 // examples under examples/. The benchmarks in bench_test.go regenerate the
 // paper's tables and figures at reduced scale; cmd/experiments regenerates
 // them in full.
+//
+// BSA runs on an incremental engine by default: committed migrations
+// re-derive only their dependency cone, and candidate evaluations reuse
+// arena overlay buffers, optionally in parallel (core.Options.Workers).
+// The original full-rebuild engine remains available as a correctness
+// oracle via core.Options{UseFullRebuild: true} — both engines produce
+// byte-identical schedules for identical seeds.
 package repro

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/hetero"
 	"repro/internal/network"
@@ -52,6 +53,28 @@ type Options struct {
 	// (bounded by 4m as a safety net); 1 reproduces the literal
 	// single-sweep pseudocode (ablation knob).
 	MaxSweeps int
+
+	// UseFullRebuild selects the original full-rebuild engine as a
+	// correctness oracle: every committed migration reconstructs the whole
+	// timeline, a guard rollback rebuilds once more, and candidate
+	// evaluation allocates its legacy overlay map per call. The default
+	// incremental engine re-derives only the dependency cone a migration
+	// can affect, rolls back by restoring arena-saved ground truth, and
+	// evaluates candidates against reusable arena overlays. Both engines
+	// produce byte-identical schedules for identical seeds; the oracle
+	// exists for equivalence tests and benchmarks.
+	UseFullRebuild bool
+
+	// Workers bounds the goroutines used to evaluate candidate processors
+	// during a sweep. 0 means GOMAXPROCS; 1 forces fully sequential
+	// evaluation. Candidate evaluations are pure functions of the current
+	// engine state and are merged deterministically (lowest finish time,
+	// ties to the earliest neighbour in BFS adjacency order), so the
+	// resulting schedule is identical for every Workers value; only
+	// Result.Evaluations varies, because the parallel path speculatively
+	// batch-evaluates every candidate of a pivot and re-evaluates the rows
+	// invalidated by a committed migration.
+	Workers int
 }
 
 // Result is the outcome of a BSA run.
@@ -72,6 +95,13 @@ type Result struct {
 	Migrations  int
 	Evaluations int
 	Sweeps      int
+	// Rebuilds counts timeline (re)derivations and Placements the task
+	// placements they performed; the incremental engine's cone updates
+	// make Placements grow far slower than Rebuilds × tasks.
+	Rebuilds   int
+	Placements int
+	// MsgPlacements counts message placements analogously.
+	MsgPlacements int
 	// Reverted counts migrations rolled back by the bubble-up guard.
 	Reverted int
 	// RestoredBest reports whether the final elitism pass had to rewind to
@@ -112,7 +142,16 @@ func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, err
 	case slack < 0:
 		slack = 0
 	}
-	en := newEngine(g, sys, serial, pivot0, !opt.DisableRoutePruning, slack)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	en := newEngine(g, sys, serial, pivot0, engineConfig{
+		pruneRoutes: !opt.DisableRoutePruning,
+		guardSlack:  slack,
+		fullRebuild: opt.UseFullRebuild,
+		workers:     workers,
+	})
 
 	// Stage 3: breadth-first bubble migration, iterated to a fixpoint.
 	maxSweeps := opt.MaxSweeps
@@ -148,6 +187,9 @@ func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, err
 	}
 
 	res.Evaluations = en.evaluations
+	res.Rebuilds = en.rebuilds
+	res.Placements = en.placements
+	res.MsgPlacements = en.msgPlaces
 	res.Schedule = en.s
 	return res, nil
 }
@@ -166,14 +208,35 @@ const vipSlack = 0.0
 
 // sweepOnce performs one breadth-first pivot pass: every processor in bfs
 // order becomes the pivot, and each task residing on it is considered for
-// migration to a neighbour.
+// migration to a neighbour. Candidate finish times for the whole pivot are
+// speculatively batch-evaluated on the worker pool; a committed migration
+// invalidates the remaining rows, which are then re-evaluated one task at
+// a time, so every decision sees exactly the state the sequential engine
+// would — the schedule is identical for any worker count.
 func sweepOnce(en *engine, sys *hetero.System, bfs []network.ProcID, opt Options, res *Result) {
+	var rowBuf []float64
 	for _, pivot := range bfs {
 		neighbors := sys.Net.Neighbors(pivot)
 		if len(neighbors) == 0 {
 			continue
 		}
-		for _, t := range en.tasksOn(pivot) {
+		tasks := en.tasksOn(pivot)
+		if len(tasks) == 0 {
+			continue
+		}
+		batch := en.batchEval(tasks, neighbors)
+		batchVersion := en.version
+		if cap(rowBuf) < len(neighbors) {
+			rowBuf = make([]float64, len(neighbors))
+		}
+		for ti, t := range tasks {
+			row := rowBuf[:len(neighbors)]
+			if batch != nil {
+				row = batch[ti]
+			}
+			if batch == nil || en.version != batchVersion {
+				en.evalRow(t, neighbors, row)
+			}
 			ts := &en.s.Tasks[t]
 			_, vip := en.s.DRT(t)
 			curFT := ts.End
@@ -182,8 +245,8 @@ func sweepOnce(en *engine, sys *hetero.System, bfs []network.ProcID, opt Options
 			bestY := network.ProcID(-1)
 			var vipFT float64
 			vipY := network.ProcID(-1)
-			for _, a := range neighbors {
-				ft, _ := en.evalMigration(t, a.Proc)
+			for ni, a := range neighbors {
+				ft := row[ni]
 				if ft < bestFT-cmpEps {
 					bestFT, bestY = ft, a.Proc
 				}

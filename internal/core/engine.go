@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/hetero"
 	"repro/internal/network"
@@ -10,21 +12,93 @@ import (
 	"repro/internal/taskgraph"
 )
 
+// engineConfig selects the engine variant and its tuning knobs.
+type engineConfig struct {
+	pruneRoutes bool
+	guardSlack  float64
+	// fullRebuild selects the original oracle engine: every committed
+	// migration reconstructs the whole timeline from (serial, assign,
+	// routes) and guard rollbacks rebuild once more. The default
+	// incremental engine re-derives only the migration's dependency cone
+	// (see updateFrom) and rolls back by restoring arena-saved ground
+	// truth; both produce byte-identical schedules.
+	fullRebuild bool
+	// workers bounds the goroutines used for candidate-processor
+	// evaluation (<=1 means sequential).
+	workers int
+}
+
 // engine holds BSA's mutable state. The ground truth is (serial, assign,
-// routes); the schedule is deterministically rebuilt from them after every
-// committed migration, which keeps timelines globally consistent while
-// migration *decisions* are evaluated locally against the current
-// timelines, as in the paper.
+// routes); the schedule is deterministically derived from them after every
+// committed migration — by a full rebuild in the oracle engine, or by an
+// event-driven cone update in the incremental engine — which keeps
+// timelines globally consistent while migration *decisions* are evaluated
+// locally against the current timelines, as in the paper.
 type engine struct {
 	g      *taskgraph.Graph
 	sys    *hetero.System
 	serial []taskgraph.TaskID
+	pos    []int // serial index of each task (inverse of serial)
+	msgPos []int // serial index a message is placed at (its destination's)
 	assign []network.ProcID
 	routes [][]network.LinkID
 	s      *schedule.Schedule
 
-	pruneRoutes bool
-	guardSlack  float64
+	cfg engineConfig
+
+	// curLen caches s.Length() after every (re)build so the guard and
+	// elitism checks do not rescan all tasks.
+	curLen float64
+
+	// version counts kept migrations; batch-evaluated candidate finish
+	// times are valid only while the version is unchanged.
+	version uint64
+
+	// Snapshot buffers for the incremental engine's guarded commits: the
+	// mutable ground truth a migration of t can touch (t's assignment and
+	// its incident-edge routes) is saved into arena-reused buffers, and a
+	// rollback restores it and runs a second cone update — no full
+	// reconstruction on either the commit or the rollback path. Reverts
+	// are rare (a few percent of commits), so snapshotting whole timelines
+	// eagerly would cost more than it saves.
+	savedAssign network.ProcID
+	savedTask   taskgraph.TaskID
+	savedRoutes []routeSave
+	savedLen    float64
+
+	// touchedEdges accumulates the edges whose routes may have diverged
+	// from bestRoutes since the last elitism copy, so noteState copies a
+	// handful of routes per improvement instead of all of them.
+	touchedEdges []taskgraph.EdgeID
+
+	// Per-worker scratch for migration evaluation (index 0 serves the
+	// sequential path) and the flat arena behind per-pivot batch results.
+	scratch []*evalScratch
+	ftFlat  []float64
+	ftRows  [][]float64
+	taskBuf []taskgraph.TaskID
+
+	// Event-driven update state (see updateFrom). All per-update flags are
+	// epoch-stamped so an update starts with a single counter increment
+	// instead of clearing arrays.
+	epoch        uint32
+	pending      int      // queued-but-unprocessed items this update
+	rankPending  []uint32 // serial ranks holding queued work
+	inIndex      []int32  // index of each edge within In(destination)
+	migTask      taskgraph.TaskID
+	taskQueued   []uint32
+	msgQueued    []uint32
+	taskDone     []uint32
+	msgDone      []uint32
+	taskChanged  []uint32 // placement changed this update (slot differs)
+	drtTouched   []uint32 // an incoming arrival changed this update
+	procStripped []uint32
+	procStripAt  []int64 // rank the processor timeline was stripped at
+	procDirtied  []uint32
+	linkStripped []uint32
+	linkStripAt  []int64
+	linkDirtied  []uint32
+	oldHops      []schedule.Hop // scratch copy for placement comparison
 
 	// Elitism: the best (assign, routes) state seen so far, restored at the
 	// end of the run. Migrations may regress the schedule length within the
@@ -36,19 +110,60 @@ type engine struct {
 
 	// Counters for Result.
 	rebuilds    int
+	placements  int // task placements performed across all (re)builds
+	msgPlaces   int // message placements performed across all (re)builds
 	evaluations int
 }
 
-func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID, pivot network.ProcID, pruneRoutes bool, guardSlack float64) *engine {
+// routeSave is one saved incident-edge route (arena-reused across commits).
+type routeSave struct {
+	e taskgraph.EdgeID
+	r []network.LinkID
+}
+
+func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID, pivot network.ProcID, cfg engineConfig) *engine {
 	en := &engine{
-		g:           g,
-		sys:         sys,
-		serial:      serial,
-		assign:      make([]network.ProcID, g.NumTasks()),
-		routes:      make([][]network.LinkID, g.NumEdges()),
-		s:           schedule.New(g, sys),
-		pruneRoutes: pruneRoutes,
-		guardSlack:  guardSlack,
+		g:      g,
+		sys:    sys,
+		serial: serial,
+		pos:    SerialPositions(g, serial),
+		assign: make([]network.ProcID, g.NumTasks()),
+		routes: make([][]network.LinkID, g.NumEdges()),
+		s:      schedule.New(g, sys),
+		cfg:    cfg,
+	}
+	en.msgPos = make([]int, g.NumEdges())
+	for e := range en.msgPos {
+		en.msgPos[e] = en.pos[g.Edge(taskgraph.EdgeID(e)).To]
+	}
+	if !cfg.fullRebuild {
+		en.inIndex = make([]int32, g.NumEdges())
+		for t := 0; t < g.NumTasks(); t++ {
+			for i, e := range g.In(taskgraph.TaskID(t)) {
+				en.inIndex[e] = int32(i)
+			}
+		}
+		en.rankPending = make([]uint32, g.NumTasks())
+		en.taskQueued = make([]uint32, g.NumTasks())
+		en.taskDone = make([]uint32, g.NumTasks())
+		en.taskChanged = make([]uint32, g.NumTasks())
+		en.drtTouched = make([]uint32, g.NumTasks())
+		en.msgQueued = make([]uint32, g.NumEdges())
+		en.msgDone = make([]uint32, g.NumEdges())
+		en.procStripped = make([]uint32, sys.Net.NumProcs())
+		en.procStripAt = make([]int64, sys.Net.NumProcs())
+		en.procDirtied = make([]uint32, sys.Net.NumProcs())
+		en.linkStripped = make([]uint32, sys.Net.NumLinks())
+		en.linkStripAt = make([]int64, sys.Net.NumLinks())
+		en.linkDirtied = make([]uint32, sys.Net.NumLinks())
+	}
+	nscratch := cfg.workers
+	if nscratch < 1 {
+		nscratch = 1
+	}
+	en.scratch = make([]*evalScratch, nscratch)
+	for i := range en.scratch {
+		en.scratch[i] = newEvalScratch(sys.Net.NumLinks())
 	}
 	for i := range en.assign {
 		en.assign[i] = pivot
@@ -60,23 +175,27 @@ func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID
 	return en
 }
 
-// noteState records the current state if it is the best seen so far.
+// noteState records the current state if it is the best seen so far. Only
+// routes of edges touched by migrations since the previous copy can differ
+// from bestRoutes, so only those are refreshed.
 func (en *engine) noteState() {
-	l := en.s.Length()
+	l := en.curLen
 	if l >= en.bestLen-cmpEps {
 		return
 	}
 	en.bestLen = l
 	copy(en.bestAssign, en.assign)
-	for i := range en.routes {
-		en.bestRoutes[i] = append(en.bestRoutes[i][:0], en.routes[i]...)
+	for _, e := range en.touchedEdges {
+		en.bestRoutes[e] = append(en.bestRoutes[e][:0], en.routes[e]...)
 	}
+	en.touchedEdges = en.touchedEdges[:0]
 }
 
 // restoreBest reverts to the best recorded state if the current one is
-// worse, and reports whether a restore happened.
+// worse, and reports whether a restore happened. It runs once per BSA run,
+// so both engines share the rebuild-based implementation.
 func (en *engine) restoreBest() bool {
-	if en.s.Length() <= en.bestLen+cmpEps {
+	if en.curLen <= en.bestLen+cmpEps {
 		return false
 	}
 	copy(en.assign, en.bestAssign)
@@ -87,15 +206,262 @@ func (en *engine) restoreBest() bool {
 	return true
 }
 
-// rebuild recomputes the full timeline from (serial, assign, routes):
-// tasks in serial order, each task's incoming messages placed hop-by-hop
-// (insertion-based) before the task itself is placed at the earliest
-// insertion slot at or after its DRT. serial is a linear extension, so
-// senders are always placed before their messages.
+// rebuild recomputes the full timeline from (serial, assign, routes).
 func (en *engine) rebuild() {
 	en.rebuilds++
 	en.s.Reset()
-	for _, t := range en.serial {
+	en.placeFrom(0)
+	en.curLen = en.s.Length()
+}
+
+// The event-driven incremental update.
+//
+// A full rebuild replays (serial, assign, routes) from scratch; its result
+// for any item is a deterministic function of the placements of strictly
+// earlier serial turns on the timelines the item touches. updateFrom
+// exploits that: after a migration only the dependency cone of the moved
+// task can change, so it processes a worklist of potentially affected
+// items in serial-rank order and leaves everything else exactly where it
+// is — no snapshot is needed, the schedule itself holds the placements.
+//
+// Timelines are stripped lazily: the first time a changed item needs to
+// re-place onto a timeline at rank r, every not-yet-reprocessed slot of
+// rank >= r is removed (and its owner queued), so earliest-fit sees
+// precisely the state a full rebuild would see at that turn. Items whose
+// inputs are unchanged and whose timelines were never dirtied keep (or,
+// if stripped, re-reserve verbatim) their old placement. Dirtiness is
+// tracked per timeline: content diverged from the old schedule, which
+// forces later items on that timeline through real placement.
+//
+// The result is byte-identical to a full rebuild — asserted against the
+// UseFullRebuild oracle by the equivalence property tests.
+
+func (en *engine) queueTask(t taskgraph.TaskID) {
+	if en.taskQueued[t] == en.epoch || en.taskDone[t] == en.epoch {
+		return
+	}
+	en.taskQueued[t] = en.epoch
+	en.rankPending[en.pos[t]] = en.epoch
+	en.pending++
+}
+
+func (en *engine) queueMsg(e taskgraph.EdgeID) {
+	if en.msgQueued[e] == en.epoch || en.msgDone[e] == en.epoch {
+		return
+	}
+	en.msgQueued[e] = en.epoch
+	en.rankPending[en.msgPos[e]] = en.epoch
+	en.pending++
+}
+
+// stripProc drops every not-yet-reprocessed slot of rank >= rank from p's
+// timeline and queues the owners (except self, the item being processed).
+func (en *engine) stripProc(p network.ProcID, rank int, self taskgraph.TaskID) {
+	if en.procStripped[p] == en.epoch {
+		return
+	}
+	en.procStripped[p] = en.epoch
+	en.procStripAt[p] = int64(rank)
+	en.s.ProcTimeline(p).FilterOwners(func(owner int64) bool {
+		t := taskgraph.TaskID(owner)
+		return en.pos[t] < rank || en.taskDone[t] == en.epoch
+	}, func(owner int64) {
+		if t := taskgraph.TaskID(owner); t != self {
+			en.queueTask(t)
+		}
+	})
+}
+
+// stripLink is stripProc for a link timeline (owners are message hops).
+func (en *engine) stripLink(l network.LinkID, rank int, self taskgraph.EdgeID) {
+	if en.linkStripped[l] == en.epoch {
+		return
+	}
+	en.linkStripped[l] = en.epoch
+	en.linkStripAt[l] = int64(rank)
+	en.s.LinkTimeline(l).FilterOwners(func(owner int64) bool {
+		e := schedule.MsgOwnerEdge(owner)
+		return en.msgPos[e] < rank || en.msgDone[e] == en.epoch
+	}, func(owner int64) {
+		if e := schedule.MsgOwnerEdge(owner); e != self {
+			en.queueMsg(e)
+		}
+	})
+}
+
+// updateFrom incrementally re-derives the schedule after a migration of
+// mig, processing only the migration's dependency cone.
+func (en *engine) updateFrom(mig taskgraph.TaskID) {
+	en.rebuilds++
+	en.epoch++
+	en.migTask = mig
+	en.pending = 0
+	for _, e := range en.g.In(mig) {
+		en.queueMsg(e)
+	}
+	for _, e := range en.g.Out(mig) {
+		en.queueMsg(e)
+	}
+	en.queueTask(mig)
+	// Work is consumed in serial-rank order: queued items only ever sit at
+	// the current rank or later, so a single pass over the pending-rank
+	// flags replaces a priority queue. Within one rank, messages go in
+	// In() order before the task, as in placeFrom.
+	n := len(en.serial)
+	for rank := en.pos[mig]; rank < n && en.pending > 0; rank++ {
+		if en.rankPending[rank] != en.epoch {
+			continue
+		}
+		u := en.serial[rank]
+		in := en.g.In(u)
+	restart:
+		for i := 0; i < len(in); i++ {
+			e := in[i]
+			if en.msgQueued[e] != en.epoch || en.msgDone[e] == en.epoch {
+				continue
+			}
+			if en.processMsg(e, rank) {
+				// Stripping surfaced an equal-rank sibling with an
+				// earlier In() position; replay the rank in order.
+				goto restart
+			}
+			en.pending--
+		}
+		if en.taskQueued[u] == en.epoch && en.taskDone[u] != en.epoch {
+			en.processTask(u, rank)
+			en.pending--
+		}
+	}
+	en.curLen = en.s.Length()
+}
+
+// processMsg handles one message turn of the update; it reports whether
+// the message must be requeued because stripping surfaced an equal-rank
+// sibling with an earlier In() position.
+func (en *engine) processMsg(e taskgraph.EdgeID, rank int) (requeue bool) {
+	edge := en.g.Edge(e)
+	dirty := edge.From == en.migTask || edge.To == en.migTask ||
+		en.taskChanged[edge.From] == en.epoch
+	if !dirty {
+		for _, l := range en.routes[e] {
+			if en.linkDirtied[l] == en.epoch {
+				dirty = true
+				break
+			}
+		}
+	}
+	sm := &en.s.Msgs[e]
+	if !dirty {
+		// Placement unchanged; re-reserve any hop a strip dropped.
+		for h := range sm.Hops {
+			hop := &sm.Hops[h]
+			l := hop.Link
+			if en.linkStripped[l] == en.epoch && int64(rank) >= en.linkStripAt[l] {
+				if err := en.s.LinkTimeline(l).ReserveExact(hop.Start, hop.End, schedule.MsgOwner(e, h)); err != nil {
+					panic(fmt.Sprintf("core: update restore message %d: %v", e, err))
+				}
+			}
+		}
+		en.msgDone[e] = en.epoch
+		return false
+	}
+	for _, hop := range sm.Hops {
+		en.stripLink(hop.Link, rank, e)
+	}
+	for _, l := range en.routes[e] {
+		en.stripLink(l, rank, e)
+	}
+	for _, e2 := range en.g.In(edge.To)[:en.inIndex[e]] {
+		if en.msgQueued[e2] == en.epoch && en.msgDone[e2] != en.epoch {
+			return true
+		}
+	}
+	en.msgPlaces++
+	oldArr := sm.Arrival
+	en.oldHops = append(en.oldHops[:0], sm.Hops...)
+	sm.Hops = sm.Hops[:0]
+	sm.Arrival = 0
+	sm.Placed = false
+	arr, err := en.s.PlaceMessage(e, en.routes[e])
+	if err != nil {
+		panic(fmt.Sprintf("core: update message %d: %v", e, err))
+	}
+	if !hopsEqual(en.s.Msgs[e].Hops, en.oldHops) {
+		for i := range en.oldHops {
+			en.linkDirtied[en.oldHops[i].Link] = en.epoch
+		}
+		for _, hop := range en.s.Msgs[e].Hops {
+			en.linkDirtied[hop.Link] = en.epoch
+		}
+	}
+	if arr != oldArr {
+		en.drtTouched[edge.To] = en.epoch
+		en.queueTask(edge.To)
+	}
+	en.msgDone[e] = en.epoch
+	return false
+}
+
+// processTask handles one task turn of the update.
+func (en *engine) processTask(u taskgraph.TaskID, rank int) {
+	st := &en.s.Tasks[u]
+	dirty := u == en.migTask || en.drtTouched[u] == en.epoch ||
+		en.procDirtied[en.assign[u]] == en.epoch
+	if !dirty {
+		p := st.Proc
+		if en.procStripped[p] == en.epoch && int64(rank) >= en.procStripAt[p] {
+			if err := en.s.ProcTimeline(p).ReserveExact(st.Start, st.End, schedule.TaskOwner(u)); err != nil {
+				panic(fmt.Sprintf("core: update restore task %d: %v", u, err))
+			}
+		}
+		en.taskDone[u] = en.epoch
+		return
+	}
+	old := *st
+	en.stripProc(old.Proc, rank, u)
+	en.stripProc(en.assign[u], rank, u)
+	var drt float64
+	for _, e := range en.g.In(u) {
+		if a := en.s.Msgs[e].Arrival; a > drt {
+			drt = a
+		}
+	}
+	*st = schedule.TaskSlot{}
+	en.placements++
+	if _, err := en.s.PlaceTaskEarliest(u, en.assign[u], drt); err != nil {
+		panic(fmt.Sprintf("core: update task %d: %v", u, err))
+	}
+	if *st != old {
+		en.procDirtied[old.Proc] = en.epoch
+		en.procDirtied[st.Proc] = en.epoch
+		en.taskChanged[u] = en.epoch
+		for _, e := range en.g.Out(u) {
+			en.queueMsg(e)
+		}
+	}
+	en.taskDone[u] = en.epoch
+}
+
+func hopsEqual(a, b []schedule.Hop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// placeFrom places serial[k:] in order: each task's incoming messages are
+// placed hop-by-hop (insertion-based) before the task itself is placed at
+// the earliest insertion slot at or after its DRT. serial is a linear
+// extension, so senders are always placed before their messages.
+func (en *engine) placeFrom(k int) {
+	en.placements += len(en.serial) - k
+	for _, t := range en.serial[k:] {
+		en.msgPlaces += len(en.g.In(t))
 		var drt float64
 		for _, e := range en.g.In(t) {
 			arr, err := en.s.PlaceMessage(e, en.routes[e])
@@ -115,14 +481,16 @@ func (en *engine) rebuild() {
 }
 
 // tasksOn returns the tasks currently assigned to p, ordered by their
-// current start time (ties by ID).
+// current start time (ties by ID). The returned slice is valid until the
+// next call.
 func (en *engine) tasksOn(p network.ProcID) []taskgraph.TaskID {
-	var ts []taskgraph.TaskID
+	ts := en.taskBuf[:0]
 	for i := range en.assign {
 		if en.assign[i] == p {
 			ts = append(ts, taskgraph.TaskID(i))
 		}
 	}
+	en.taskBuf = ts
 	sort.Slice(ts, func(i, j int) bool {
 		si, sj := en.s.Tasks[ts[i]].Start, en.s.Tasks[ts[j]].Start
 		if si != sj {
@@ -133,18 +501,38 @@ func (en *engine) tasksOn(p network.ProcID) []taskgraph.TaskID {
 	return ts
 }
 
-// overlay accumulates tentative link reservations during one migration
+// evalScratch holds one worker's reusable buffers for migration
+// evaluation: tentative link reservations accumulated during one
 // evaluation so that the candidate task's own messages serialize on shared
-// links without mutating real timelines.
-type overlay map[network.LinkID][]schedule.Slot
+// links without mutating real timelines. Reservations are indexed by link
+// and reset via the touched list, so steady-state evaluation allocates
+// nothing.
+type evalScratch struct {
+	extra   [][]schedule.Slot // tentative slots per link, kept sorted by start
+	touched []network.LinkID
+}
 
-func (o overlay) add(l network.LinkID, start, end float64) {
-	slots := o[l]
+func newEvalScratch(numLinks int) *evalScratch {
+	return &evalScratch{extra: make([][]schedule.Slot, numLinks)}
+}
+
+func (sc *evalScratch) reset() {
+	for _, l := range sc.touched {
+		sc.extra[l] = sc.extra[l][:0]
+	}
+	sc.touched = sc.touched[:0]
+}
+
+func (sc *evalScratch) add(l network.LinkID, start, end float64) {
+	slots := sc.extra[l]
+	if len(slots) == 0 {
+		sc.touched = append(sc.touched, l)
+	}
 	idx := sort.Search(len(slots), func(i int) bool { return slots[i].Start >= start })
 	slots = append(slots, schedule.Slot{})
 	copy(slots[idx+1:], slots[idx:])
 	slots[idx] = schedule.Slot{Start: start, End: end}
-	o[l] = slots
+	sc.extra[l] = slots
 }
 
 // evalMigration computes the finish time task t would obtain on neighbour y
@@ -152,11 +540,12 @@ func (o overlay) add(l network.LinkID, start, end float64) {
 // incoming message keeps its current hop schedule up to the point where it
 // must be extended (or truncated) to reach y, and the new hop takes the
 // earliest insertion slot on the connecting link. Returns the tentative
-// finish time and data-ready time on y.
-func (en *engine) evalMigration(t taskgraph.TaskID, y network.ProcID) (ft, drt float64) {
-	en.evaluations++
+// finish time and data-ready time on y. It only reads engine state, so
+// concurrent calls with distinct scratches are safe.
+func (en *engine) evalMigration(t taskgraph.TaskID, y network.ProcID, sc *evalScratch) (ft, drt float64) {
+	sc.reset()
 	pivot := en.assign[t]
-	ov := make(overlay, 2)
+	link := network.LinkID(-1) // pivot->y link, resolved at most once
 	for _, e := range en.g.In(t) {
 		edge := en.g.Edge(e)
 		u := edge.From
@@ -178,6 +567,66 @@ func (en *engine) evalMigration(t taskgraph.TaskID, y network.ProcID) (ft, drt f
 			if arr < 0 {
 				// Extend with the hop pivot->y.
 				ready := en.s.Arrival(e) // end of current route at pivot
+				if link < 0 {
+					l, ok := en.sys.Net.LinkBetween(pivot, y)
+					if !ok {
+						panic(fmt.Sprintf("core: no link between P%d and neighbour P%d", pivot+1, y+1))
+					}
+					link = l
+				}
+				dur := en.s.HopDuration(e, link)
+				start := en.s.LinkTimeline(link).EarliestFitWithExtra(ready, dur, sc.extra[link])
+				sc.add(link, start, start+dur)
+				arr = start + dur
+			}
+		}
+		if arr > drt {
+			drt = arr
+		}
+	}
+	dur := en.s.ExecDuration(t, y)
+	start := en.s.ProcTimeline(y).EarliestFit(drt, dur)
+	return start + dur, drt
+}
+
+// overlay is the oracle engine's per-evaluation map of tentative link
+// reservations — the original implementation, kept verbatim so the
+// UseFullRebuild path preserves the legacy cost profile (one map
+// allocation per evaluation) alongside its full-rebuild commits.
+type overlay map[network.LinkID][]schedule.Slot
+
+func (o overlay) add(l network.LinkID, start, end float64) {
+	slots := o[l]
+	idx := sort.Search(len(slots), func(i int) bool { return slots[i].Start >= start })
+	slots = append(slots, schedule.Slot{})
+	copy(slots[idx+1:], slots[idx:])
+	slots[idx] = schedule.Slot{Start: start, End: end}
+	o[l] = slots
+}
+
+// evalMigrationOracle is the legacy migration evaluation: identical
+// decision arithmetic to evalMigration, but with a freshly allocated
+// overlay map per call.
+func (en *engine) evalMigrationOracle(t taskgraph.TaskID, y network.ProcID) (ft, drt float64) {
+	pivot := en.assign[t]
+	ov := make(overlay, 2)
+	for _, e := range en.g.In(t) {
+		edge := en.g.Edge(e)
+		u := edge.From
+		var arr float64
+		switch {
+		case en.assign[u] == y:
+			arr = en.s.Tasks[u].End
+		default:
+			arr = -1
+			for _, h := range en.s.Msgs[e].Hops {
+				if h.To == y {
+					arr = h.End
+					break
+				}
+			}
+			if arr < 0 {
+				ready := en.s.Arrival(e)
 				l, ok := en.sys.Net.LinkBetween(pivot, y)
 				if !ok {
 					panic(fmt.Sprintf("core: no link between P%d and neighbour P%d", pivot+1, y+1))
@@ -197,23 +646,118 @@ func (en *engine) evalMigration(t taskgraph.TaskID, y network.ProcID) (ft, drt f
 	return start + dur, drt
 }
 
+// minParallelEvals is the batch size below which fanning candidate
+// evaluation out to the worker pool costs more than it saves.
+const minParallelEvals = 16
+
+// batchEval tentatively evaluates every (task, neighbour) candidate pair
+// against the current timelines on the worker pool and returns one row of
+// finish times per task (backed by a reused arena). Rows are only valid
+// while en.version is unchanged: evaluations are pure functions of the
+// current engine state, so the merge is deterministic regardless of worker
+// count or completion order. It returns nil when the batch is too small
+// for the pool to pay off; callers then fall back to evalRow.
+func (en *engine) batchEval(tasks []taskgraph.TaskID, neighbors []network.Adj) [][]float64 {
+	nn := len(neighbors)
+	jobs := len(tasks) * nn
+	if en.cfg.fullRebuild || en.cfg.workers <= 1 || jobs < minParallelEvals {
+		return nil
+	}
+	if cap(en.ftFlat) < jobs {
+		en.ftFlat = make([]float64, jobs)
+	}
+	flat := en.ftFlat[:jobs]
+	rows := en.ftRows[:0]
+	for i := range tasks {
+		rows = append(rows, flat[i*nn:(i+1)*nn])
+	}
+	en.ftRows = rows
+
+	workers := en.cfg.workers
+	if workers > jobs {
+		workers = jobs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sc *evalScratch) {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= jobs {
+					return
+				}
+				ft, _ := en.evalMigration(tasks[j/nn], neighbors[j%nn].Proc, sc)
+				flat[j] = ft
+			}
+		}(en.scratch[w])
+	}
+	wg.Wait()
+	en.evaluations += jobs
+	return rows
+}
+
+// evalRow fills row with the tentative finish time of t on each neighbour,
+// evaluated sequentially against the current timelines.
+func (en *engine) evalRow(t taskgraph.TaskID, neighbors []network.Adj, row []float64) {
+	if en.cfg.fullRebuild {
+		for ni, a := range neighbors {
+			row[ni], _ = en.evalMigrationOracle(t, a.Proc)
+		}
+	} else {
+		sc := en.scratch[0]
+		for ni, a := range neighbors {
+			row[ni], _ = en.evalMigration(t, a.Proc, sc)
+		}
+	}
+	en.evaluations += len(neighbors)
+}
+
 // commitMigration moves t from its current processor to neighbour y,
-// updating every incident message route (extend incoming, prepend outgoing,
-// splice out loops, localize messages whose endpoints now coincide) and
-// rebuilding the schedule. When guard is true the migration is reverted if
-// the rebuilt schedule is strictly longer than before (the local
-// finish-time evaluation cannot see downstream effects; the paper's
-// "bubble up" premise is that migrations improve finish times, so a
-// regression of the global objective is rolled back). It reports whether
-// the migration was kept.
+// updating every incident message route and re-deriving the schedule. When
+// guard is true the migration is reverted if the resulting schedule is more
+// than guardSlack longer than before (the local finish-time evaluation
+// cannot see downstream effects; the paper's "bubble up" premise is that
+// migrations improve finish times, so a regression of the global objective
+// is rolled back). The incremental engine rolls back by restoring a
+// snapshot taken before the move; the oracle engine restores (assign,
+// routes) and rebuilds. It reports whether the migration was kept.
 func (en *engine) commitMigration(t taskgraph.TaskID, y network.ProcID, guard bool) bool {
+	en.touchedEdges = append(en.touchedEdges, en.g.In(t)...)
+	en.touchedEdges = append(en.touchedEdges, en.g.Out(t)...)
+	kept := true
+	if en.cfg.fullRebuild {
+		kept = en.commitOracle(t, y, guard)
+	} else {
+		if guard {
+			en.save(t)
+		}
+		en.applyMigration(t, y)
+		if guard && en.curLen > en.savedLen*(1+en.cfg.guardSlack)+cmpEps {
+			en.restore()
+			en.updateFrom(t)
+			kept = false
+		}
+	}
+	if kept {
+		en.version++
+		en.noteState()
+	}
+	return kept
+}
+
+// commitOracle is the full-rebuild commit path: the pre-migration state is
+// captured as (assign, incident routes) and a rollback reconstructs the
+// whole timeline from it.
+func (en *engine) commitOracle(t taskgraph.TaskID, y network.ProcID, guard bool) bool {
 	var (
 		prevLen    float64
 		prevAssign network.ProcID
 		prevRoutes map[taskgraph.EdgeID][]network.LinkID
 	)
 	if guard {
-		prevLen = en.s.Length()
+		prevLen = en.curLen
 		prevAssign = en.assign[t]
 		prevRoutes = make(map[taskgraph.EdgeID][]network.LinkID, en.g.InDegree(t)+en.g.OutDegree(t))
 		for _, e := range en.g.In(t) {
@@ -224,7 +768,7 @@ func (en *engine) commitMigration(t taskgraph.TaskID, y network.ProcID, guard bo
 		}
 	}
 	en.applyMigration(t, y)
-	if guard && en.s.Length() > prevLen*(1+en.guardSlack)+cmpEps {
+	if guard && en.curLen > prevLen*(1+en.cfg.guardSlack)+cmpEps {
 		en.assign[t] = prevAssign
 		for e, r := range prevRoutes {
 			en.routes[e] = r
@@ -232,11 +776,53 @@ func (en *engine) commitMigration(t taskgraph.TaskID, y network.ProcID, guard bo
 		en.rebuild()
 		return false
 	}
-	en.noteState()
 	return true
 }
 
-// applyMigration performs the route surgery and rebuild of a migration.
+// save snapshots the ground truth a migration of t can touch — t's
+// assignment and its incident-edge routes — into the engine's reused
+// snapshot buffers, together with the current schedule length for the
+// guard comparison.
+func (en *engine) save(t taskgraph.TaskID) {
+	en.savedTask = t
+	en.savedAssign = en.assign[t]
+	en.savedLen = en.curLen
+	saves := en.savedRoutes[:0]
+	for _, e := range en.g.In(t) {
+		saves = appendRouteSave(saves, e, en.routes[e])
+	}
+	for _, e := range en.g.Out(t) {
+		saves = appendRouteSave(saves, e, en.routes[e])
+	}
+	en.savedRoutes = saves
+}
+
+func appendRouteSave(saves []routeSave, e taskgraph.EdgeID, r []network.LinkID) []routeSave {
+	if len(saves) < cap(saves) {
+		saves = saves[:len(saves)+1]
+	} else {
+		saves = append(saves, routeSave{})
+	}
+	rs := &saves[len(saves)-1]
+	rs.e = e
+	rs.r = append(rs.r[:0], r...)
+	return saves
+}
+
+// restore reverts the saved ground truth; the caller re-derives the
+// affected timeline suffix afterwards.
+func (en *engine) restore() {
+	en.assign[en.savedTask] = en.savedAssign
+	for i := range en.savedRoutes {
+		rs := &en.savedRoutes[i]
+		en.routes[rs.e] = append(en.routes[rs.e][:0], rs.r...)
+	}
+}
+
+// applyMigration performs the route surgery of a migration (extend
+// incoming, prepend outgoing, splice out loops, localize messages whose
+// endpoints now coincide) and re-derives the schedule from the migrating
+// task's serial position onward.
 func (en *engine) applyMigration(t taskgraph.TaskID, y network.ProcID) {
 	pivot := en.assign[t]
 	for _, e := range en.g.In(t) {
@@ -247,7 +833,7 @@ func (en *engine) applyMigration(t taskgraph.TaskID, y network.ProcID) {
 		}
 		l, _ := en.sys.Net.LinkBetween(pivot, y)
 		r := append(en.routes[e], l)
-		if en.pruneRoutes {
+		if en.cfg.pruneRoutes {
 			r = network.NormalizeRoute(en.sys.Net, en.assign[u], r)
 		}
 		en.routes[e] = r
@@ -260,11 +846,15 @@ func (en *engine) applyMigration(t taskgraph.TaskID, y network.ProcID) {
 		}
 		l, _ := en.sys.Net.LinkBetween(pivot, y)
 		r := append([]network.LinkID{l}, en.routes[e]...)
-		if en.pruneRoutes {
+		if en.cfg.pruneRoutes {
 			r = network.NormalizeRoute(en.sys.Net, y, r)
 		}
 		en.routes[e] = r
 	}
 	en.assign[t] = y
-	en.rebuild()
+	if en.cfg.fullRebuild {
+		en.rebuild()
+	} else {
+		en.updateFrom(t)
+	}
 }

@@ -16,7 +16,7 @@ func exampleEngine(t *testing.T) *engine {
 	sys := paperexample.System(g)
 	exec := sys.ExecCostsOn(1, g.NominalExecCosts())
 	serial := Serialize(g, exec, nil, rand.New(rand.NewSource(1)))
-	return newEngine(g, sys, serial, 1, true, 0.05)
+	return newEngine(g, sys, serial, 1, engineConfig{pruneRoutes: true, guardSlack: 0.05})
 }
 
 func TestEngineInitialSerialization(t *testing.T) {
@@ -76,7 +76,7 @@ func TestEngineGuardRollsBack(t *testing.T) {
 	// T9 (the sink) to a neighbour: moving only the sink forces every
 	// incoming message across one link, which lengthens the schedule, so a
 	// zero-slack guard must roll it back.
-	en.guardSlack = 0
+	en.cfg.guardSlack = 0
 	kept := en.commitMigration(8, 0, true)
 	if kept {
 		// If it was kept the schedule must not be longer.
@@ -144,17 +144,24 @@ func TestEngineTasksOnOrder(t *testing.T) {
 	}
 }
 
-func TestOverlayAddSorted(t *testing.T) {
-	ov := make(overlay)
-	ov.add(3, 10, 20)
-	ov.add(3, 0, 5)
-	ov.add(3, 25, 30)
-	slots := ov[3]
+func TestEvalScratchAddSorted(t *testing.T) {
+	sc := newEvalScratch(10)
+	sc.add(3, 10, 20)
+	sc.add(3, 0, 5)
+	sc.add(3, 25, 30)
+	slots := sc.extra[3]
 	if len(slots) != 3 || slots[0].Start != 0 || slots[1].Start != 10 || slots[2].Start != 25 {
 		t.Fatalf("overlay slots unsorted: %+v", slots)
 	}
-	if len(ov[9]) != 0 {
+	if len(sc.extra[9]) != 0 {
 		t.Fatal("untouched link should be empty")
+	}
+	if len(sc.touched) != 1 || sc.touched[0] != 3 {
+		t.Fatalf("touched=%v, want [3]", sc.touched)
+	}
+	sc.reset()
+	if len(sc.extra[3]) != 0 || len(sc.touched) != 0 {
+		t.Fatal("reset did not clear tentative reservations")
 	}
 }
 
@@ -164,7 +171,7 @@ func TestEvalMigrationMatchesCommit(t *testing.T) {
 	// interference — true for the sink early on.
 	en := exampleEngine(t)
 	// Pick T5 (the OB task, a sink with a single pred on the pivot).
-	ft, drt := en.evalMigration(4, 0)
+	ft, drt := en.evalMigration(4, 0, en.scratch[0])
 	if drt <= 0 || ft <= drt {
 		t.Fatalf("eval: ft=%v drt=%v", ft, drt)
 	}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/paperexample"
+)
+
+// assertSchedulesIdentical fails unless the two results carry byte-identical
+// schedules: every task placement and every message hop sequence equal.
+func assertSchedulesIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Schedule.Length() != b.Schedule.Length() {
+		t.Fatalf("%s: SL %v != %v", label, a.Schedule.Length(), b.Schedule.Length())
+	}
+	if a.Migrations != b.Migrations || a.Sweeps != b.Sweeps || a.Reverted != b.Reverted {
+		t.Fatalf("%s: trajectory differs: migrations %d/%d, sweeps %d/%d, reverted %d/%d",
+			label, a.Migrations, b.Migrations, a.Sweeps, b.Sweeps, a.Reverted, b.Reverted)
+	}
+	for i := range a.Schedule.Tasks {
+		if a.Schedule.Tasks[i] != b.Schedule.Tasks[i] {
+			t.Fatalf("%s: task %d placement differs: %+v vs %+v", label, i, a.Schedule.Tasks[i], b.Schedule.Tasks[i])
+		}
+	}
+	for i := range a.Schedule.Msgs {
+		am, bm := a.Schedule.Msgs[i], b.Schedule.Msgs[i]
+		if am.Arrival != bm.Arrival || am.Placed != bm.Placed || !reflect.DeepEqual(am.Hops, bm.Hops) {
+			t.Fatalf("%s: message %d differs: %+v vs %+v", label, i, am, bm)
+		}
+	}
+}
+
+// TestIncrementalMatchesOracle is the central equivalence property: across
+// random graphs, random connected topologies and seeds, the incremental
+// engine (suffix rebuilds + snapshot rollback, with and without parallel
+// candidate evaluation) must produce byte-identical schedules to the
+// full-rebuild oracle.
+func TestIncrementalMatchesOracle(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%40
+		m := 2 + int(mRaw)%10
+		g := randomConnectedDAG(rng, n, 0.15)
+		nw, err := network.RandomConnected(m, 1, m, rng)
+		if err != nil {
+			return true
+		}
+		sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		if err != nil {
+			return false
+		}
+		oracle, err := Schedule(g, sys, Options{Seed: seed, UseFullRebuild: true, Workers: 1})
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{1, 4} {
+			inc, err := Schedule(g, sys, Options{Seed: seed, Workers: workers})
+			if err != nil {
+				return false
+			}
+			assertSchedulesIdentical(t, fmt.Sprintf("seed=%d n=%d m=%d workers=%d", seed, n, m, workers), oracle, inc)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalMatchesOracleAblations checks equivalence under every
+// ablation knob, which exercises the unguarded commit and raw-route paths.
+func TestIncrementalMatchesOracleAblations(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomConnectedDAG(rng, 35, 0.12)
+	sys := randomSystem(t, rng, g, 6)
+	for _, opt := range []Options{
+		{},
+		{DisableVIPFollow: true},
+		{DisableRoutePruning: true},
+		{DisableMigrationGuard: true},
+		{MaxSweeps: 1},
+		{GuardSlack: -1},
+	} {
+		oracleOpt := opt
+		oracleOpt.UseFullRebuild = true
+		oracleOpt.Workers = 1
+		oracle, err := Schedule(g, sys, oracleOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := Schedule(g, sys, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSchedulesIdentical(t, fmt.Sprintf("%+v", opt), oracle, inc)
+	}
+}
+
+// TestIncrementalMatchesOraclePaperExample pins the worked example.
+func TestIncrementalMatchesOraclePaperExample(t *testing.T) {
+	g := paperexample.Graph()
+	sys := paperexample.System(g)
+	oracle, err := Schedule(g, sys, Options{UseFullRebuild: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := Schedule(g, sys, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSchedulesIdentical(t, "paper example", oracle, inc)
+}
+
+// TestParallelSweepRace drives the parallel candidate evaluation hard
+// enough for the race detector to observe the worker pool: large fan-out
+// graphs on a clique give every pivot a big batch. Run with -race in CI.
+func TestParallelSweepRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnectedDAG(rng, 80, 0.08)
+	nw, err := network.FullyConnected(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Schedule(g, sys, Options{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := Schedule(g, sys, Options{Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSchedulesIdentical(t, fmt.Sprintf("workers=%d", workers), want, got)
+	}
+}

@@ -120,6 +120,17 @@ func Serialize(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) []taskg
 	return order
 }
 
+// SerialPositions returns the inverse of a serial order: the serial index
+// of every task. The incremental engine uses it to re-derive only the
+// timeline suffix a migration can affect.
+func SerialPositions(g *taskgraph.Graph, serial []taskgraph.TaskID) []int {
+	pos := make([]int, g.NumTasks())
+	for i, t := range serial {
+		pos[t] = i
+	}
+	return pos
+}
+
 // Partition classifies every task as CP (on the selected critical path), IB
 // (an ancestor of a CP task that is not itself CP) or OB (neither), the
 // paper's three-way split. It is exposed for tests, examples and

@@ -22,6 +22,10 @@ func DefaultAblationVariants() []AblationVariant {
 		{"no-guard", core.Options{DisableMigrationGuard: true}},
 		{"no-vip-follow", core.Options{DisableVIPFollow: true}},
 		{"no-route-pruning", core.Options{DisableRoutePruning: true}},
+		// The full-rebuild oracle engine must land on exactly 1.00x the
+		// default's schedule lengths — a visible sanity check that the
+		// incremental engine changes performance, not results.
+		{"full-rebuild", core.Options{UseFullRebuild: true}},
 	}
 }
 

@@ -14,8 +14,14 @@ func TestRunAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
+	if len(rows) != 6 {
 		t.Fatalf("rows=%d", len(rows))
+	}
+	// The full-rebuild oracle must match the default engine exactly.
+	for _, r := range rows {
+		if r.Variant == "full-rebuild" && r.MeanVsBase != 1 {
+			t.Errorf("full-rebuild oracle diverges from default: %+v", r)
+		}
 	}
 	if rows[0].Variant != "default" || rows[0].MeanVsBase != 1 {
 		t.Errorf("baseline row wrong: %+v", rows[0])

@@ -87,6 +87,11 @@ type Algorithm string
 const (
 	BSA Algorithm = "BSA"
 	DLS Algorithm = "DLS"
+	// BSAOracle is BSA on the legacy full-rebuild engine. It produces
+	// byte-identical schedules to BSA and exists so figure-scale runs can
+	// benchmark the incremental engine against its correctness oracle
+	// (-algos BSA,BSA-FULL).
+	BSAOracle Algorithm = "BSA-FULL"
 	// HEFT and CPOP are contention-aware extension baselines beyond the
 	// paper's comparison.
 	HEFT Algorithm = "HEFT"
@@ -101,9 +106,19 @@ var DefaultAlgorithms = []Algorithm{DLS, BSA}
 // Register to avoid import cycles in tests.
 type Scheduler func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error)
 
+// Registry schedulers force Workers 1: the experiment harness already
+// saturates the machine with one instance per worker, so per-engine
+// candidate parallelism would only oversubscribe it.
 var registry = map[Algorithm]Scheduler{
 	BSA: func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error) {
-		res, err := core.Schedule(g, sys, core.Options{Seed: seed})
+		res, err := core.Schedule(g, sys, core.Options{Seed: seed, Workers: 1})
+		if err != nil {
+			return 0, err
+		}
+		return res.Schedule.Length(), nil
+	},
+	BSAOracle: func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error) {
+		res, err := core.Schedule(g, sys, core.Options{Seed: seed, Workers: 1, UseFullRebuild: true})
 		if err != nil {
 			return 0, err
 		}
@@ -148,6 +163,12 @@ type Config struct {
 	Algorithms  []Algorithm
 	Workers     int // parallel workers (0 = GOMAXPROCS)
 	RegularKind []generator.Kind
+
+	// Progress, when non-nil, is called after every completed scenario
+	// cell with the running and total cell counts. Calls are serialized;
+	// results stream in as workers finish, so it reports live progress
+	// during long figure regenerations.
+	Progress func(done, total int)
 }
 
 // PaperConfig returns the paper's full experimental design.

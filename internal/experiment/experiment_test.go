@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/hetero"
@@ -157,6 +158,71 @@ func TestRunDispatch(t *testing.T) {
 	}
 	if _, err := Run(99, cfg); err == nil {
 		t.Error("unknown figure should fail")
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Results are folded in spec order, so figures must be bitwise
+	// identical no matter how many workers stream the cells.
+	cfg := tinyConfig()
+	cfg.Sizes = []int{30}
+	cfg.Workers = 1
+	a, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range a.Panels {
+		for ri := range a.Panels[pi].Rows {
+			for _, algo := range a.Panels[pi].Algos {
+				if a.Panels[pi].Rows[ri].Mean[algo] != b.Panels[pi].Rows[ri].Mean[algo] {
+					t.Fatalf("workers=1 vs workers=8 diverge at panel %d row %d", pi, ri)
+				}
+			}
+		}
+	}
+}
+
+func TestProgressStreamsEveryCell(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{30}
+	var mu sync.Mutex
+	var calls, lastDone, total int
+	cfg.Progress = func(done, tot int) {
+		mu.Lock()
+		calls++
+		lastDone, total = done, tot
+		mu.Unlock()
+	}
+	if _, err := Figure4(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// 1 size x 1 gran x 4 topologies x 2 algorithms = 8 cells.
+	if calls != 8 || lastDone != 8 || total != 8 {
+		t.Fatalf("progress calls=%d lastDone=%d total=%d, want 8/8/8", calls, lastDone, total)
+	}
+}
+
+func TestOracleAlgorithmMatchesBSA(t *testing.T) {
+	// The full-rebuild oracle engine must reproduce BSA's schedule
+	// lengths exactly at figure scale.
+	cfg := tinyConfig()
+	cfg.Sizes = []int{30}
+	cfg.Algorithms = []Algorithm{BSA, BSAOracle}
+	fig, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig.Panels {
+		for _, r := range p.Rows {
+			if r.Mean[BSA] != r.Mean[BSAOracle] {
+				t.Fatalf("%s x=%v: BSA=%v oracle=%v", p.Title, r.X, r.Mean[BSA], r.Mean[BSAOracle])
+			}
+		}
 	}
 }
 

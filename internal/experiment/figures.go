@@ -2,13 +2,9 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
-	"sync"
 
 	"repro/internal/generator"
-	"repro/internal/hetero"
-	"repro/internal/taskgraph"
 )
 
 // Row is one x-position of one panel: the mean schedule length per
@@ -34,19 +30,19 @@ type Figure struct {
 	Panels  []Panel
 }
 
-// instance is one scheduling run: a concrete graph, system and algorithm.
-type instance struct {
-	graph *taskgraph.Graph
-	sys   *hetero.System
-	algo  Algorithm
-	seed  int64
-	// aggregation coordinates
-	panel int
-	row   int
+// errNoScheduler is the lookup failure surfaced by workers.
+type noSchedulerError Algorithm
+
+func (e noSchedulerError) Error() string {
+	return fmt.Sprintf("experiment: no scheduler registered for %q", string(e))
 }
 
-// runAll executes instances on a worker pool and accumulates sums.
-func runAll(instances []instance, workers int, fig *Figure) error {
+func errNoScheduler(a Algorithm) error { return noSchedulerError(a) }
+
+// aggregate folds streamed per-cell schedule lengths into the figure's
+// panel rows. It runs over the specs in enumeration order, so the means
+// are bitwise reproducible for any worker count.
+func aggregate(specs []cellSpec, sls []float64, fig *Figure) {
 	sums := make([][]map[Algorithm]float64, len(fig.Panels))
 	counts := make([][]map[Algorithm]int, len(fig.Panels))
 	for p := range fig.Panels {
@@ -57,44 +53,9 @@ func runAll(instances []instance, workers int, fig *Figure) error {
 			counts[p][r] = make(map[Algorithm]int)
 		}
 	}
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	ch := make(chan instance)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for in := range ch {
-				sched, ok := SchedulerFor(in.algo)
-				if !ok {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("experiment: no scheduler registered for %q", in.algo)
-					}
-					mu.Unlock()
-					continue
-				}
-				sl, err := sched(in.graph, in.sys, in.seed)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("experiment: %s: %w", in.algo, err)
-				}
-				sums[in.panel][in.row][in.algo] += sl
-				counts[in.panel][in.row][in.algo]++
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, in := range instances {
-		ch <- in
-	}
-	close(ch)
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	for i, sp := range specs {
+		sums[sp.panel][sp.row][sp.algo] += sls[i]
+		counts[sp.panel][sp.row][sp.algo]++
 	}
 	for p := range fig.Panels {
 		for r := range fig.Panels[p].Rows {
@@ -108,40 +69,44 @@ func runAll(instances []instance, workers int, fig *Figure) error {
 			}
 		}
 	}
+}
+
+// runAll streams the specs through the sharded worker queue and folds the
+// results into the figure.
+func runAll(specs []cellSpec, cfg Config, fig *Figure) error {
+	sls, err := runCells(specs, cfg.workers(), cfg.Progress)
+	if err != nil {
+		return err
+	}
+	aggregate(specs, sls, fig)
 	return nil
 }
 
-// buildInstances enumerates the cross product of the config for a
+// buildSpecs enumerates the cross product of the config for a
 // size-or-granularity figure over the given suite kinds, calling place to
-// map each (sizeIdx, granIdx) to a (panel, row).
-func buildInstances(cfg Config, kinds []generator.Kind, place func(topoIdx, sizeIdx, granIdx int) (panel, row int)) ([]instance, error) {
-	var instances []instance
+// map each (topoIdx, sizeIdx, granIdx) to a (panel, row). Cells sharing a
+// graph are enumerated consecutively so worker caches can reuse the
+// materialized instance.
+func buildSpecs(cfg Config, kinds []generator.Kind, place func(topoIdx, sizeIdx, granIdx int) (panel, row int)) []cellSpec {
+	var specs []cellSpec
 	for ki, kind := range kinds {
 		for si, size := range cfg.Sizes {
 			for gi, gran := range cfg.Grans {
 				for rep := 0; rep < cfg.Reps; rep++ {
 					gseed := deriveSeed(cfg.Seed, 1, uint64(ki), uint64(si), uint64(gi), uint64(rep))
-					g, err := generator.Generate(generator.Spec{Kind: kind, Size: size, Granularity: gran}, rand.New(rand.NewSource(gseed)))
-					if err != nil {
-						return nil, err
-					}
 					for ti, topo := range Topologies {
 						tseed := deriveSeed(cfg.Seed, 2, uint64(ti), uint64(rep))
-						nw, err := topo.Build(cfg.Procs, rand.New(rand.NewSource(tseed)))
-						if err != nil {
-							return nil, err
-						}
 						hseed := deriveSeed(cfg.Seed, 3, uint64(ki), uint64(si), uint64(gi), uint64(rep), uint64(ti))
-						sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), cfg.HetLo, cfg.HetHi, rand.New(rand.NewSource(hseed)))
-						if err != nil {
-							return nil, err
-						}
 						panel, row := place(ti, si, gi)
 						for _, algo := range cfg.Algorithms {
-							instances = append(instances, instance{
-								graph: g, sys: sys, algo: algo,
-								seed:  deriveSeed(cfg.Seed, 4, uint64(rep)),
-								panel: panel, row: row,
+							specs = append(specs, cellSpec{
+								kind: kind, size: size, gran: gran,
+								topo: topo, procs: cfg.Procs,
+								hetLo: cfg.HetLo, hetHi: cfg.HetHi,
+								gseed: gseed, tseed: tseed, hseed: hseed,
+								seed: deriveSeed(cfg.Seed, 4, uint64(rep)),
+								algo: algo, panel: panel, row: row,
+								idx: len(specs),
 							})
 						}
 					}
@@ -149,7 +114,7 @@ func buildInstances(cfg Config, kinds []generator.Kind, place func(topoIdx, size
 			}
 		}
 	}
-	return instances, nil
+	return specs
 }
 
 func newPanels(cfg Config, xlabel string, xs []float64) []Panel {
@@ -182,11 +147,8 @@ func floats(xs []int) []float64 {
 // application kinds for the regular suite).
 func sizeFigure(cfg Config, name, caption string, kinds []generator.Kind) (*Figure, error) {
 	fig := &Figure{Name: name, Caption: caption, Panels: newPanels(cfg, "graph size", floats(cfg.Sizes))}
-	instances, err := buildInstances(cfg, kinds, func(ti, si, gi int) (int, int) { return ti, si })
-	if err != nil {
-		return nil, err
-	}
-	if err := runAll(instances, cfg.workers(), fig); err != nil {
+	specs := buildSpecs(cfg, kinds, func(ti, si, gi int) (int, int) { return ti, si })
+	if err := runAll(specs, cfg, fig); err != nil {
 		return nil, err
 	}
 	return fig, nil
@@ -206,11 +168,8 @@ func granFigure(cfg Config, name, caption string, kinds []generator.Kind) (*Figu
 		}
 		return 0
 	}
-	instances, err := buildInstances(cfg, kinds, func(ti, si, gi int) (int, int) { return ti, granRow(cfg.Grans[gi]) })
-	if err != nil {
-		return nil, err
-	}
-	if err := runAll(instances, cfg.workers(), fig); err != nil {
+	specs := buildSpecs(cfg, kinds, func(ti, si, gi int) (int, int) { return ti, granRow(cfg.Grans[gi]) })
+	if err := runAll(specs, cfg, fig); err != nil {
 		return nil, err
 	}
 	return fig, nil
@@ -268,33 +227,26 @@ func Figure7(cfg Config) (*Figure, error) {
 			Rows:   make([]Row, len(ranges)),
 		}},
 	}
-	var instances []instance
+	var specs []cellSpec
 	for ri, hi := range ranges {
 		fig.Panels[0].Rows[ri] = Row{X: hi}
 		for rep := 0; rep < reps; rep++ {
 			gseed := deriveSeed(cfg.Seed, 7, uint64(ri), uint64(rep))
-			g, err := generator.Generate(generator.Spec{Kind: generator.Random, Size: size, Granularity: 1.0}, rand.New(rand.NewSource(gseed)))
-			if err != nil {
-				return nil, err
-			}
-			nw, err := Hypercube.Build(cfg.Procs, rand.New(rand.NewSource(1)))
-			if err != nil {
-				return nil, err
-			}
-			sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, hi, rand.New(rand.NewSource(deriveSeed(cfg.Seed, 8, uint64(ri), uint64(rep)))))
-			if err != nil {
-				return nil, err
-			}
+			hseed := deriveSeed(cfg.Seed, 8, uint64(ri), uint64(rep))
 			for _, algo := range cfg.Algorithms {
-				instances = append(instances, instance{
-					graph: g, sys: sys, algo: algo,
-					seed:  deriveSeed(cfg.Seed, 9, uint64(rep)),
-					panel: 0, row: ri,
+				specs = append(specs, cellSpec{
+					kind: generator.Random, size: size, gran: 1.0,
+					topo: Hypercube, procs: cfg.Procs,
+					hetLo: 1, hetHi: hi,
+					gseed: gseed, tseed: 1, hseed: hseed,
+					seed: deriveSeed(cfg.Seed, 9, uint64(rep)),
+					algo: algo, panel: 0, row: ri,
+					idx: len(specs),
 				})
 			}
 		}
 	}
-	if err := runAll(instances, cfg.workers(), fig); err != nil {
+	if err := runAll(specs, cfg, fig); err != nil {
 		return nil, err
 	}
 	return fig, nil

@@ -90,6 +90,10 @@ func (s *Schedule) LinkTimeline(l network.LinkID) *Timeline { return &s.linkTL[l
 // edge ID shifted to keep hop indices distinguishable.
 func taskOwner(t taskgraph.TaskID) int64 { return int64(t) }
 
+// TaskOwner returns the processor-slot owner token of task t, for callers
+// that manipulate timelines directly (the incremental BSA engine).
+func TaskOwner(t taskgraph.TaskID) int64 { return taskOwner(t) }
+
 // MsgOwner returns the link-slot owner token for hop h of edge e.
 func MsgOwner(e taskgraph.EdgeID, hop int) int64 { return int64(e)<<20 | int64(hop) }
 

@@ -338,3 +338,9 @@ func TestMaxFinish(t *testing.T) {
 		t.Errorf("MaxFinish=%v, want 15", got)
 	}
 }
+
+func TestTaskOwnerToken(t *testing.T) {
+	if TaskOwner(7) != 7 {
+		t.Fatalf("TaskOwner(7)=%d", TaskOwner(7))
+	}
+}

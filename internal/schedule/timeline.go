@@ -54,7 +54,13 @@ func (tl *Timeline) EarliestFit(ready, dur float64) float64 {
 		ready = 0
 	}
 	start := ready
-	for _, s := range tl.slots {
+	// Slots are non-overlapping and start-sorted, so their end times are
+	// monotone: binary-search past everything ending before the candidate
+	// start instead of scanning it. Late placements — the common case in
+	// suffix rebuilds, whose timelines already hold the whole prefix —
+	// skip nearly the entire timeline.
+	lo := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].End > ready })
+	for _, s := range tl.slots[lo:] {
 		if s.End <= start+timeEps {
 			continue // slot entirely before the candidate start
 		}
@@ -78,7 +84,8 @@ func (tl *Timeline) EarliestFitWithExtra(ready, dur float64, extra []Slot) float
 		ready = 0
 	}
 	start := ready
-	i, j := 0, 0
+	i := sort.Search(len(tl.slots), func(k int) bool { return tl.slots[k].End > ready })
+	j := 0
 	for i < len(tl.slots) || j < len(extra) {
 		var s Slot
 		if j >= len(extra) || (i < len(tl.slots) && tl.slots[i].Start <= extra[j].Start) {
@@ -120,6 +127,48 @@ func (tl *Timeline) Reserve(start, dur float64, owner int64) error {
 	copy(tl.slots[idx+1:], tl.slots[idx:])
 	tl.slots[idx] = Slot{Start: start, End: end, Owner: owner}
 	return nil
+}
+
+// ReserveExact inserts the slot [start, end) with the given owner,
+// preserving the exact end bound (Reserve would recompute it as start+dur,
+// which need not be bitwise identical under floating point). The
+// incremental BSA engine uses it to re-reserve placements that a lazily
+// stripped timeline dropped but whose inputs turned out to be unchanged.
+func (tl *Timeline) ReserveExact(start, end float64, owner int64) error {
+	if end < start {
+		return fmt.Errorf("schedule: negative duration slot [%v,%v)", start, end)
+	}
+	idx := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Start >= start })
+	if idx > 0 && tl.slots[idx-1].End > start+timeEps {
+		return fmt.Errorf("schedule: slot [%v,%v) overlaps [%v,%v)", start, end, tl.slots[idx-1].Start, tl.slots[idx-1].End)
+	}
+	if idx < len(tl.slots) && tl.slots[idx].Start < end-timeEps {
+		return fmt.Errorf("schedule: slot [%v,%v) overlaps [%v,%v)", start, end, tl.slots[idx].Start, tl.slots[idx].End)
+	}
+	tl.slots = append(tl.slots, Slot{})
+	copy(tl.slots[idx+1:], tl.slots[idx:])
+	tl.slots[idx] = Slot{Start: start, End: end, Owner: owner}
+	return nil
+}
+
+// FilterOwners removes every slot whose owner fails keep, calling onRemove
+// once per removed slot in start order, and reports how many were removed.
+// It rewrites the timeline in a single pass.
+func (tl *Timeline) FilterOwners(keep func(owner int64) bool, onRemove func(owner int64)) int {
+	out := tl.slots[:0]
+	removed := 0
+	for _, s := range tl.slots {
+		if keep(s.Owner) {
+			out = append(out, s)
+			continue
+		}
+		removed++
+		if onRemove != nil {
+			onRemove(s.Owner)
+		}
+	}
+	tl.slots = out
+	return removed
 }
 
 // ReserveEarliest reserves a slot of the given duration at the earliest

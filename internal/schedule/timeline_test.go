@@ -214,3 +214,53 @@ func TestEarliestFitMinimality(t *testing.T) {
 		}
 	}
 }
+
+func TestTimelineReserveExact(t *testing.T) {
+	var tl Timeline
+	if err := tl.Reserve(10, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Exact bounds are preserved bitwise, including ends that start+dur
+	// arithmetic would not reproduce.
+	start, end := 0.1, 0.3
+	if err := tl.ReserveExact(start, end, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Slots()[0].Start != start || tl.Slots()[0].End != end {
+		t.Fatalf("slot=%+v, want [%v,%v)", tl.Slots()[0], start, end)
+	}
+	if err := tl.ReserveExact(5, 15, 3); err == nil {
+		t.Fatal("overlap with [10,20) must fail")
+	}
+	if err := tl.ReserveExact(9, 3, 4); err == nil {
+		t.Fatal("negative-duration slot must fail")
+	}
+	if err := tl.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineFilterOwners(t *testing.T) {
+	var tl Timeline
+	for i := int64(0); i < 6; i++ {
+		if err := tl.Reserve(float64(i*10), 5, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var removed []int64
+	n := tl.FilterOwners(func(owner int64) bool { return owner%2 == 0 }, func(owner int64) {
+		removed = append(removed, owner)
+	})
+	if n != 3 || len(removed) != 3 || removed[0] != 1 || removed[1] != 3 || removed[2] != 5 {
+		t.Fatalf("removed %v (n=%d), want [1 3 5]", removed, n)
+	}
+	if tl.Len() != 3 {
+		t.Fatalf("kept %d slots, want 3", tl.Len())
+	}
+	if err := tl.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.FilterOwners(func(int64) bool { return true }, nil); got != 0 {
+		t.Fatalf("keep-all removed %d", got)
+	}
+}
