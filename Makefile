@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke
+.PHONY: build test race vet fmt-check bench bench-smoke examples
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,9 @@ bench:
 # bench-smoke executes every benchmark once so they cannot bit-rot.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# examples builds every example against the public sched API and runs the
+# quickstart end to end, so the documented library surface cannot rot.
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart

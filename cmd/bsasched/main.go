@@ -1,13 +1,19 @@
 // Command bsasched schedules a task graph (JSON) onto a processor network
-// (JSON) with one of the implemented algorithms and prints the resulting
+// (JSON) with any algorithm in the sched registry and prints the resulting
 // schedule, statistics and an ASCII Gantt chart. The schedule is checked by
 // the feasibility validator and cross-checked by the event-driven replay
 // simulator before being reported.
 //
 // Usage:
 //
-//	bsasched -graph g.json -topo t.json [-algo bsa|dls|heft|cpop]
-//	         [-het lo,hi] [-seed N] [-chart] [-dot out.dot]
+//	bsasched -graph g.json -topo t.json [-algo <name>] [-het lo,hi]
+//	         [-seed N] [-chart] [-timeout d]
+//	bsasched -list-algos
+//
+// The algorithm set is not hardcoded: -list-algos prints every registered
+// algorithm (bsa, bsa-full, dls, heft, cpop, plus anything an embedding
+// registers) and -algo accepts any of their names or aliases,
+// case-insensitively.
 //
 // Without -het the system is homogeneous (all factors 1); with -het the
 // factors are drawn uniformly from [lo,hi] and min-normalized per task so
@@ -15,21 +21,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/cpop"
-	"repro/internal/dls"
-	"repro/internal/heft"
 	"repro/internal/hetero"
 	"repro/internal/network"
-	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/taskgraph"
+	"repro/sched"
+	_ "repro/sched/register"
 )
 
 func main() {
@@ -42,15 +47,33 @@ func main() {
 func run() error {
 	graphPath := flag.String("graph", "", "task graph JSON file (required)")
 	topoPath := flag.String("topo", "", "topology JSON file (required)")
-	algo := flag.String("algo", "bsa", "scheduler: bsa, dls, heft or cpop")
+	algo := flag.String("algo", "bsa", "scheduling algorithm (see -list-algos)")
+	listAlgos := flag.Bool("list-algos", false, "list the registered algorithms and exit")
 	het := flag.String("het", "", "heterogeneity factor range lo,hi (default: homogeneous)")
 	seed := flag.Int64("seed", 1, "random seed for heterogeneity factors and tie-breaks")
 	chart := flag.Bool("chart", false, "also print a proportional ASCII Gantt chart")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	flag.Parse()
+
+	if *listAlgos {
+		fmt.Println("registered algorithms:")
+		for _, d := range sched.List() {
+			name := d.Name
+			if len(d.Aliases) > 0 {
+				name += " (" + strings.Join(d.Aliases, ", ") + ")"
+			}
+			fmt.Printf("  %-24s %s\n", name, d.Description)
+		}
+		return nil
+	}
 
 	if *graphPath == "" || *topoPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-graph and -topo are required")
+	}
+	scheduler, err := sched.Lookup(*algo)
+	if err != nil {
+		return err
 	}
 	gf, err := os.ReadFile(*graphPath)
 	if err != nil {
@@ -83,40 +106,23 @@ func run() error {
 		}
 	}
 
-	var s *schedule.Schedule
-	switch strings.ToLower(*algo) {
-	case "bsa":
-		res, err := core.Schedule(g, sys, core.Options{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("BSA: pivot=%s, CP length %.2f, %d migrations in %d sweeps (%d reverted)\n",
-			nw.Proc(res.InitialPivot).Name, res.PivotCPLength, res.Migrations, res.Sweeps, res.Reverted)
-		s = res.Schedule
-	case "dls":
-		res, err := dls.Schedule(g, sys, dls.Options{})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("DLS: %d steps, %d (task,processor) evaluations\n", res.Steps, res.Evaluations)
-		s = res.Schedule
-	case "heft":
-		res, err := heft.Schedule(g, sys)
-		if err != nil {
-			return err
-		}
-		s = res.Schedule
-	case "cpop":
-		res, err := cpop.Schedule(g, sys)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("CPOP: critical path pinned to %s\n", nw.Proc(res.CPProc).Name)
-		s = res.Schedule
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+	problem, err := sched.NewProblem(g, sys)
+	if err != nil {
+		return err
+	}
+	res, err := scheduler.Schedule(ctx, problem, sched.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summary)
 
+	s := res.Schedule
 	if err := s.Validate(); err != nil {
 		return fmt.Errorf("schedule failed validation: %w", err)
 	}
@@ -133,7 +139,8 @@ func run() error {
 	}
 	st := s.ComputeStats()
 	fmt.Println(st.String())
-	fmt.Printf("replay: %d events, simulated length %.2f (schedule %.2f)\n", replay.Events, replay.Length, s.Length())
+	fmt.Printf("replay: %d events, simulated length %.2f (schedule %.2f, %v)\n",
+		replay.Events, replay.Length, res.Makespan, res.Elapsed.Round(time.Microsecond))
 	if *chart {
 		if err := s.WriteGanttChart(os.Stdout, 100); err != nil {
 			return err

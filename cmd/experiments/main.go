@@ -14,17 +14,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dls"
 	"repro/internal/experiment"
 	"repro/internal/paperexample"
+	"repro/sched"
+	_ "repro/sched/register"
 )
 
 func main() {
@@ -40,7 +42,7 @@ func run() error {
 	procs := flag.Int("procs", 16, "processors per topology")
 	reps := flag.Int("reps", 1, "independent repetitions per design point")
 	seed := flag.Int64("seed", 1999, "master seed")
-	algos := flag.String("algos", "DLS,BSA", "comma-separated algorithms: DLS, BSA, HEFT, CPOP")
+	algos := flag.String("algos", "DLS,BSA", "comma-separated algorithms (any registered name, e.g. bsa,dls,heft,cpop,bsa-full)")
 	outDir := flag.String("out", "", "directory for CSV output (omit to skip)")
 	plot := flag.Bool("plot", false, "print ASCII plots in addition to tables")
 	example := flag.Bool("example", false, "run the Table 1 / Figure 2 worked example and exit")
@@ -49,14 +51,20 @@ func run() error {
 	progress := flag.Bool("progress", false, "stream per-cell progress to stderr during figure runs")
 	flag.Parse()
 
+	// Ctrl-C cancels in-flight sweeps cleanly: the context is observed by
+	// the experiment queue and inside every scheduler's migration loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *example {
-		return runExample()
+		return runExample(ctx)
 	}
 	if *ablation {
 		cfg := experiment.QuickConfig()
 		cfg.Procs = *procs
 		cfg.Reps = *reps
 		cfg.Seed = *seed
+		cfg.Context = ctx
 		rows, err := experiment.RunAblation(cfg, experiment.DefaultAblationVariants())
 		if err != nil {
 			return err
@@ -77,6 +85,7 @@ func run() error {
 	cfg.Reps = *reps
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Context = ctx
 	if *progress {
 		cfg.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
@@ -90,6 +99,11 @@ func run() error {
 		a = strings.TrimSpace(a)
 		if a == "" {
 			continue
+		}
+		// Fail fast on unknown names (with the registry's name list)
+		// instead of erroring mid-sweep from a worker.
+		if _, err := sched.Lookup(a); err != nil {
+			return err
 		}
 		cfg.Algorithms = append(cfg.Algorithms, experiment.Algorithm(strings.ToUpper(a)))
 	}
@@ -137,9 +151,13 @@ func run() error {
 
 // runExample reproduces the paper's worked example: the Figure 1 graph on
 // the Table 1 heterogeneous ring, scheduled by BSA and DLS.
-func runExample() error {
+func runExample(ctx context.Context) error {
 	g := paperexample.Graph()
 	sys := paperexample.System(g)
+	problem, err := sched.NewProblem(g, sys)
+	if err != nil {
+		return err
+	}
 
 	fmt.Println("== Table 1 / Figure 2 worked example ==")
 	fmt.Println("Actual execution costs (Table 1):")
@@ -150,13 +168,18 @@ func runExample() error {
 			paperexample.ExecTable[i][2], paperexample.ExecTable[i][3])
 	}
 
-	res, err := core.Schedule(g, sys, core.Options{})
+	bsa, err := sched.Lookup("bsa")
 	if err != nil {
 		return err
 	}
+	res, err := bsa.Schedule(ctx, problem)
+	if err != nil {
+		return err
+	}
+	trace := res.Trace.(*sched.BSATrace)
 	fmt.Printf("\nBSA (paper reports SL = 138 for its original edge costs):\n")
-	fmt.Printf("first pivot: %s (CP length %.0f); serial order:", sys.Net.Proc(res.InitialPivot).Name, res.PivotCPLength)
-	for _, t := range res.Serial {
+	fmt.Printf("first pivot: %s (CP length %.0f); serial order:", trace.PivotName, trace.PivotCPLength)
+	for _, t := range trace.Serial {
 		fmt.Printf(" %s", g.Task(t).Name)
 	}
 	fmt.Println()
@@ -164,7 +187,11 @@ func runExample() error {
 		return err
 	}
 
-	dres, err := dls.Schedule(g, sys, dls.Options{})
+	dls, err := sched.Lookup("dls")
+	if err != nil {
+		return err
+	}
+	dres, err := dls.Schedule(ctx, problem)
 	if err != nil {
 		return err
 	}

@@ -6,20 +6,26 @@
 // contended resources and routing messages incrementally without a routing
 // table.
 //
-// The implementation lives under internal/: the BSA algorithm in
-// internal/core, the DLS baseline in internal/dls, contention-aware HEFT
-// and CPOP extensions in internal/heft and internal/cpop, and the
-// supporting substrates (task graphs, networks, heterogeneity model,
-// schedule timelines, workload generators, experiment harness, replay
-// simulator) in their own packages. Executables are under cmd/ and runnable
-// examples under examples/. The benchmarks in bench_test.go regenerate the
-// paper's tables and figures at reduced scale; cmd/experiments regenerates
-// them in full.
+// The supported API surface is the public repro/sched package: one
+// Scheduler interface, a uniform Result, functional options and a
+// self-registering algorithm registry (blank-import repro/sched/register
+// to install the built-in algorithms bsa, bsa-full, dls, heft and cpop).
+//
+// The implementation lives under internal/ and is not a supported
+// surface: the BSA algorithm in internal/core, the DLS baseline in
+// internal/dls, contention-aware HEFT and CPOP extensions in
+// internal/heft and internal/cpop, and the supporting substrates (task
+// graphs, networks, heterogeneity model, schedule timelines, workload
+// generators, experiment harness, replay simulator) in their own
+// packages. Executables are under cmd/ and runnable examples under
+// examples/. The benchmarks in bench_test.go regenerate the paper's
+// tables and figures at reduced scale; cmd/experiments regenerates them
+// in full.
 //
 // BSA runs on an incremental engine by default: committed migrations
 // re-derive only their dependency cone, and candidate evaluations reuse
-// arena overlay buffers, optionally in parallel (core.Options.Workers).
+// arena overlay buffers, optionally in parallel (sched.WithWorkers).
 // The original full-rebuild engine remains available as a correctness
-// oracle via core.Options{UseFullRebuild: true} — both engines produce
-// byte-identical schedules for identical seeds.
+// oracle via sched.WithFullRebuild(true) or the "bsa-full" registry name
+// — both engines produce byte-identical schedules for identical seeds.
 package repro

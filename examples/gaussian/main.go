@@ -1,25 +1,23 @@
 // Gaussian schedules a Gaussian-elimination task graph — one of the
 // paper's regular applications — onto a heterogeneous ring, comparing all
-// four implemented schedulers across granularities. It shows how
-// communication weight flips the ranking between clustering (BSA) and
-// greedy spreading (DLS/HEFT/CPOP) strategies.
+// four implemented schedulers across granularities through the sched
+// registry. It shows how communication weight flips the ranking between
+// clustering (BSA) and greedy spreading (DLS/HEFT/CPOP) strategies.
 //
 //	go run ./examples/gaussian
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/cpop"
-	"repro/internal/dls"
 	"repro/internal/generator"
-	"repro/internal/heft"
 	"repro/internal/hetero"
 	"repro/internal/network"
-	"repro/internal/schedule"
+	"repro/sched"
+	_ "repro/sched/register"
 )
 
 func main() {
@@ -27,10 +25,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	algos := []string{"bsa", "dls", "heft", "cpop"}
 
 	fmt.Println("Gaussian elimination (N=14, ~100 tasks) on a heterogeneous 8-ring")
-	fmt.Printf("%12s %10s %10s %10s %10s\n", "granularity", "BSA", "DLS", "HEFT", "CPOP")
+	fmt.Printf("%12s", "granularity")
+	for _, a := range algos {
+		fmt.Printf(" %10s", a)
+	}
+	fmt.Println()
 
+	ctx := context.Background()
 	for _, gran := range []float64{0.1, 1.0, 10.0} {
 		rng := rand.New(rand.NewSource(7))
 		g, err := generator.Gaussian(14, gran, rng)
@@ -41,55 +45,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		problem, err := sched.NewProblem(g, sys)
+		if err != nil {
+			log.Fatal(err)
+		}
 
-		sl := map[string]float64{}
-		sl["BSA"] = mustLen(func() (*schedule.Schedule, error) {
-			r, err := core.Schedule(g, sys, core.Options{Seed: 7})
-			return sched(r, err)
-		})
-		sl["DLS"] = mustLen(func() (*schedule.Schedule, error) {
-			r, err := dls.Schedule(g, sys, dls.Options{})
+		fmt.Printf("%12.1f", gran)
+		for _, name := range algos {
+			s, err := sched.Lookup(name)
 			if err != nil {
-				return nil, err
+				log.Fatal(err)
 			}
-			return r.Schedule, nil
-		})
-		sl["HEFT"] = mustLen(func() (*schedule.Schedule, error) {
-			r, err := heft.Schedule(g, sys)
+			res, err := s.Schedule(ctx, problem, sched.WithSeed(7))
 			if err != nil {
-				return nil, err
+				log.Fatal(err)
 			}
-			return r.Schedule, nil
-		})
-		sl["CPOP"] = mustLen(func() (*schedule.Schedule, error) {
-			r, err := cpop.Schedule(g, sys)
-			if err != nil {
-				return nil, err
+			if err := res.Schedule.Validate(); err != nil {
+				log.Fatalf("%s: infeasible schedule: %v", name, err)
 			}
-			return r.Schedule, nil
-		})
-		fmt.Printf("%12.1f %10.0f %10.0f %10.0f %10.0f\n", gran, sl["BSA"], sl["DLS"], sl["HEFT"], sl["CPOP"])
+			fmt.Printf(" %10.0f", res.Makespan)
+		}
+		fmt.Println()
 	}
 
 	fmt.Println("\nFine granularity (0.1) makes communication 10x heavier than")
 	fmt.Println("computation: BSA's contention-aware clustering shines there.")
-}
-
-func sched(r *core.Result, err error) (*schedule.Schedule, error) {
-	if err != nil {
-		return nil, err
-	}
-	return r.Schedule, nil
-}
-
-// mustLen runs a scheduler, validates the schedule and returns its length.
-func mustLen(f func() (*schedule.Schedule, error)) float64 {
-	s, err := f()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := s.Validate(); err != nil {
-		log.Fatalf("infeasible schedule: %v", err)
-	}
-	return s.Length()
 }

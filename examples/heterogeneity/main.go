@@ -1,21 +1,23 @@
 // Heterogeneity sweeps the heterogeneity factor range — the paper's
 // Figure 7 axis — on a fixed random workload and hypercube, showing how
 // schedule length degrades as the processor pool becomes more uneven and
-// how BSA exploits fast processors for critical tasks (pivot selection).
+// how BSA exploits fast processors for critical tasks (pivot selection,
+// read from the run's BSATrace).
 //
 //	go run ./examples/heterogeneity
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/dls"
 	"repro/internal/generator"
 	"repro/internal/hetero"
 	"repro/internal/network"
+	"repro/sched"
+	_ "repro/sched/register"
 )
 
 func main() {
@@ -28,25 +30,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dls, err := sched.Lookup("dls")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("workload: %d-task random graph (granularity 1.0) on a 16-processor hypercube\n\n", g.NumTasks())
 	fmt.Printf("%14s %10s %10s %12s %10s\n", "het range", "BSA", "DLS", "BSA pivot", "migrations")
 
+	ctx := context.Background()
 	for _, hi := range []float64{1, 10, 50, 100, 200} {
 		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, hi, rand.New(rand.NewSource(17)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		bres, err := core.Schedule(g, sys, core.Options{})
+		problem := sched.Problem{Graph: g, System: sys}
+		bres, err := bsa.Schedule(ctx, problem)
 		if err != nil {
 			log.Fatal(err)
 		}
-		dres, err := dls.Schedule(g, sys, dls.Options{})
+		dres, err := dls.Schedule(ctx, problem)
 		if err != nil {
 			log.Fatal(err)
 		}
+		trace := bres.Trace.(*sched.BSATrace)
 		fmt.Printf("   [1, %5.0f] %10.0f %10.0f %12s %10d\n",
-			hi, bres.Schedule.Length(), dres.Schedule.Length(),
-			nw.Proc(bres.InitialPivot).Name, bres.Migrations)
+			hi, bres.Makespan, dres.Makespan, trace.PivotName, trace.Migrations)
 	}
 
 	fmt.Println("\n[1,1] is a homogeneous system; widening the range increases the")

@@ -1,28 +1,31 @@
 // Paperexample reproduces the worked example of the BSA paper (Figure 1
 // graph, Table 1 processors, 4-processor ring): serialization onto the
-// pivot, bubble migration, and the final schedules of both BSA and DLS.
+// pivot, bubble migration, and the final schedules of both BSA and DLS,
+// all through the public sched API (the serialization partition and the
+// serial order come from the run's BSATrace).
 //
 //	go run ./examples/paperexample
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/dls"
 	"repro/internal/paperexample"
 	"repro/internal/taskgraph"
+	"repro/sched"
+	_ "repro/sched/register"
 )
 
 func main() {
 	g := paperexample.Graph()
 	sys := paperexample.System(g)
-
-	// The three-way task partition the serialization is built on.
-	exec := sys.ExecCostsOn(1, g.NominalExecCosts()) // P2 = the first pivot
-	part := core.PartitionTasks(g, exec, nil, nil)
+	problem, err := sched.NewProblem(g, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
 	names := func(ids []taskgraph.TaskID) []string {
 		out := make([]string, len(ids))
 		for i, id := range ids {
@@ -30,23 +33,35 @@ func main() {
 		}
 		return out
 	}
-	fmt.Println("Task partition w.r.t. the pivot's actual execution costs:")
-	fmt.Println("  CP (critical path):", names(part.CP))
-	fmt.Println("  IB (in-branch):    ", names(part.IB))
-	fmt.Println("  OB (out-branch):   ", names(part.OB))
 
-	res, err := core.Schedule(g, sys, core.Options{})
+	bsa, err := sched.Lookup("bsa")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nBSA: pivot %s, serial order %v\n",
-		sys.Net.Proc(res.InitialPivot).Name, names(res.Serial))
-	fmt.Printf("%d migrations over %d sweeps (paper reports SL = 138):\n\n", res.Migrations, res.Sweeps)
+	res, err := bsa.Schedule(context.Background(), problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := res.Trace.(*sched.BSATrace)
+
+	// The three-way task partition the serialization is built on.
+	fmt.Println("Task partition w.r.t. the pivot's actual execution costs:")
+	fmt.Println("  CP (critical path):", names(trace.CP))
+	fmt.Println("  IB (in-branch):    ", names(trace.IB))
+	fmt.Println("  OB (out-branch):   ", names(trace.OB))
+
+	fmt.Printf("\nBSA: pivot %s, serial order %v\n", trace.PivotName, names(trace.Serial))
+	fmt.Printf("%d migrations over %d sweeps (paper reports SL = 138):\n\n",
+		trace.Migrations, trace.Sweeps)
 	if err := res.Schedule.WriteGantt(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 
-	dres, err := dls.Schedule(g, sys, dls.Options{})
+	dls, err := sched.Lookup("dls")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dres, err := dls.Schedule(context.Background(), problem)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,6 +70,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	impr := 100 * (dres.Schedule.Length() - res.Schedule.Length()) / dres.Schedule.Length()
+	impr := 100 * (dres.Makespan - res.Makespan) / dres.Makespan
 	fmt.Printf("\nBSA improves on DLS by %.1f%% on the worked example.\n", impr)
 }

@@ -1,18 +1,21 @@
 // Quickstart: build a small task graph, a heterogeneous 4-processor ring,
-// schedule it with BSA and print the resulting Gantt chart.
+// schedule it with BSA through the public sched API and print the
+// resulting Gantt chart.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/hetero"
 	"repro/internal/network"
 	"repro/internal/taskgraph"
+	"repro/sched"
+	_ "repro/sched/register"
 )
 
 func main() {
@@ -41,9 +44,19 @@ func main() {
 		sys.Exec[t][2] = 0.5
 	}
 
-	// 3. Schedule with BSA: tasks and messages are mapped together, links
-	// are treated as contended resources and no routing table is needed.
-	res, err := core.Schedule(g, sys, core.Options{Seed: 42})
+	// 3. Schedule with BSA via the registry: tasks and messages are
+	// mapped together, links are treated as contended resources and no
+	// routing table is needed. Any other registered name ("dls", "heft",
+	// "cpop", ...) works the same way.
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := sched.NewProblem(g, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bsa.Schedule(context.Background(), problem, sched.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,8 +66,7 @@ func main() {
 	if err := s.Validate(); err != nil {
 		log.Fatalf("schedule is infeasible: %v", err)
 	}
-	fmt.Printf("BSA scheduled %d tasks in %d migrations; first pivot %s\n\n",
-		g.NumTasks(), res.Migrations, nw.Proc(res.InitialPivot).Name)
+	fmt.Printf("%s\nmakespan %.2f in %v\n\n", res.Summary, res.Makespan, res.Elapsed)
 	if err := s.WriteGantt(os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -1,22 +1,23 @@
 // Topologies studies the effect of processor connectivity — the axis of
 // the paper's Figures 3-6 panels — by scheduling the same random workload
 // on a ring, a hypercube, a clique and a random topology, and reporting
-// schedule length, link utilisation and route lengths for BSA and DLS.
+// schedule length, link utilisation and route lengths for BSA and DLS via
+// the sched registry.
 //
 //	go run ./examples/topologies
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/dls"
 	"repro/internal/generator"
 	"repro/internal/hetero"
 	"repro/internal/network"
-	"repro/internal/schedule"
+	"repro/sched"
+	_ "repro/sched/register"
 )
 
 func main() {
@@ -40,6 +41,16 @@ func main() {
 		}},
 	}
 
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dls, err := sched.Lookup("dls")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	fmt.Printf("%10s %6s | %9s %8s %8s | %9s %8s %8s\n",
 		"topology", "links", "BSA SL", "links%", "maxHops", "DLS SL", "links%", "maxHops")
 	for _, tp := range topos {
@@ -51,17 +62,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		problem := sched.Problem{Graph: g, System: sys}
 
-		bres, err := core.Schedule(g, sys, core.Options{})
+		bres, err := bsa.Schedule(ctx, problem)
 		if err != nil {
 			log.Fatal(err)
 		}
-		dres, err := dls.Schedule(g, sys, dls.Options{})
+		dres, err := dls.Schedule(ctx, problem)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, s := range []*schedule.Schedule{bres.Schedule, dres.Schedule} {
-			if err := s.Validate(); err != nil {
+		for _, res := range []*sched.Result{bres, dres} {
+			if err := res.Schedule.Validate(); err != nil {
 				log.Fatal(err)
 			}
 		}

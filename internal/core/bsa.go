@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -85,8 +86,12 @@ type Result struct {
 	InitialPivot network.ProcID
 	// PivotCPLength is that shortest CP length.
 	PivotCPLength float64
-	// Serial is the serialization order injected into the pivot.
-	Serial []taskgraph.TaskID
+	// Serial is the serialization order injected into the pivot, and
+	// Partition the CP/IB/OB split of the critical path it was built on
+	// (the seeded RNG breaks CP ties, so this is the run's own partition,
+	// not a recomputation).
+	Serial    []taskgraph.TaskID
+	Partition Partition
 
 	// Migrations counts committed task migrations; Evaluations counts
 	// tentative finish-time computations on neighbour processors; Sweeps
@@ -114,7 +119,18 @@ type Result struct {
 // valid inputs it always produces a feasible schedule (there is no failure
 // mode — in the worst case no task migrates off the initial pivot).
 func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, error) {
+	return ScheduleContext(context.Background(), g, sys, opt)
+}
+
+// ScheduleContext is Schedule with cancellation: ctx is polled before
+// every pivot of every migration sweep, so a canceled or expired context
+// aborts a long run between two migration decisions and returns ctx.Err()
+// (wrapped; test with errors.Is).
+func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, error) {
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -132,8 +148,9 @@ func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, err
 	// Stage 2: serialization onto the pivot, using actual execution costs
 	// there and nominal communication costs.
 	exec := sys.ExecCostsOn(pivot0, g.NominalExecCosts())
-	serial := Serialize(g, exec, nil, rng)
+	serial, part := SerializePartitioned(g, exec, nil, rng)
 	res.Serial = serial
+	res.Partition = part
 
 	slack := opt.GuardSlack
 	switch {
@@ -164,7 +181,10 @@ func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, err
 		migrationsBefore := res.Migrations
 		bestBefore := en.bestLen
 		res.Sweeps++
-		sweepOnce(en, sys, bfs, opt, res)
+		if err := sweepOnce(ctx, en, sys, bfs, opt, res); err != nil {
+			return nil, fmt.Errorf("core: after %d sweeps, %d migrations: %w",
+				res.Sweeps, res.Migrations, err)
+		}
 		if res.Migrations == migrationsBefore {
 			break // fixpoint: nothing moved
 		}
@@ -212,10 +232,15 @@ const vipSlack = 0.0
 // speculatively batch-evaluated on the worker pool; a committed migration
 // invalidates the remaining rows, which are then re-evaluated one task at
 // a time, so every decision sees exactly the state the sequential engine
-// would — the schedule is identical for any worker count.
-func sweepOnce(en *engine, sys *hetero.System, bfs []network.ProcID, opt Options, res *Result) {
+// would — the schedule is identical for any worker count. ctx is polled
+// once per pivot; on cancellation the sweep stops and ctx.Err() is
+// returned.
+func sweepOnce(ctx context.Context, en *engine, sys *hetero.System, bfs []network.ProcID, opt Options, res *Result) error {
 	var rowBuf []float64
 	for _, pivot := range bfs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		neighbors := sys.Net.Neighbors(pivot)
 		if len(neighbors) == 0 {
 			continue
@@ -280,4 +305,5 @@ func sweepOnce(en *engine, sys *hetero.System, bfs []network.ProcID, opt Options
 			}
 		}
 	}
+	return nil
 }

@@ -58,13 +58,23 @@ const cmpEps = 1e-9
 // t-level then smaller ID), and the remaining out-branch tasks follow in
 // descending b-level order.
 func Serialize(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) []taskgraph.TaskID {
+	order, _ := SerializePartitioned(g, exec, comm, rng)
+	return order
+}
+
+// SerializePartitioned is Serialize returning also the CP/IB/OB partition
+// of the critical path actually selected (rng breaks CP ties, so a
+// separately recomputed partition could describe a different path than
+// the serial order; this one is the serialization's own).
+func SerializePartitioned(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) ([]taskgraph.TaskID, Partition) {
 	n := g.NumTasks()
 	if n == 0 {
-		return nil
+		return nil, Partition{}
 	}
 	tl := taskgraph.TLevels(g, exec, comm)
 	bl := taskgraph.BLevels(g, exec, comm)
 	cp := taskgraph.CriticalPath(g, exec, comm, rng)
+	part := partitionFromCP(g, cp)
 
 	inOrder := make([]bool, n)
 	order := make([]taskgraph.TaskID, 0, n)
@@ -117,7 +127,7 @@ func Serialize(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) []taskg
 	for _, x := range ob {
 		include(x) // include() guards precedence among OB tasks too
 	}
-	return order
+	return order, part
 }
 
 // SerialPositions returns the inverse of a serial order: the serial index
@@ -143,8 +153,13 @@ type Partition struct {
 
 // PartitionTasks computes the CP/IB/OB partition under the given costs.
 func PartitionTasks(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) Partition {
+	return partitionFromCP(g, taskgraph.CriticalPath(g, exec, comm, rng))
+}
+
+// partitionFromCP classifies every task against an already-selected
+// critical path.
+func partitionFromCP(g *taskgraph.Graph, cp []taskgraph.TaskID) Partition {
 	n := g.NumTasks()
-	cp := taskgraph.CriticalPath(g, exec, comm, rng)
 	isCP := make([]bool, n)
 	for _, t := range cp {
 		isCP[t] = true

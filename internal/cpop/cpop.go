@@ -9,6 +9,7 @@ package cpop
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -30,6 +31,13 @@ type Result struct {
 
 // Schedule runs contention-aware CPOP on g over sys.
 func Schedule(g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
+	return ScheduleContext(context.Background(), g, sys)
+}
+
+// ScheduleContext is Schedule with cancellation: ctx is polled once per
+// task placement, so a canceled or expired context aborts the run with
+// ctx.Err() (wrapped; test with errors.Is).
+func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
 		return nil, fmt.Errorf("cpop: %w", err)
 	}
@@ -82,7 +90,12 @@ func Schedule(g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
 		}
 	}
 	var routeBuf []network.LinkID
+	placed := 0
 	for pq.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cpop: after %d of %d placements: %w", placed, n, err)
+		}
+		placed++
 		t := heap.Pop(pq).(taskgraph.TaskID)
 		var target network.ProcID
 		if res.OnCP[t] {

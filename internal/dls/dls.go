@@ -17,6 +17,7 @@
 package dls
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -49,6 +50,14 @@ type Result struct {
 
 // Schedule runs DLS on g over sys and returns a complete schedule.
 func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, error) {
+	return ScheduleContext(context.Background(), g, sys, opt)
+}
+
+// ScheduleContext is Schedule with cancellation: ctx is polled once per
+// scheduling step, so a canceled or expired context aborts the run
+// between two task placements with ctx.Err() (wrapped; test with
+// errors.Is).
+func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, error) {
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
 		return nil, fmt.Errorf("dls: %w", err)
 	}
@@ -76,6 +85,9 @@ func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, err
 
 	routeBuf := make([]network.LinkID, 0, 8)
 	for scheduled := 0; scheduled < n; scheduled++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dls: after %d of %d steps: %w", scheduled, n, err)
+		}
 		res.Steps++
 		bestDL := math.Inf(-1)
 		bestT := taskgraph.TaskID(-1)

@@ -3,29 +3,30 @@ package experiment
 import (
 	"math/rand"
 
-	"repro/internal/core"
 	"repro/internal/generator"
 	"repro/internal/hetero"
+	"repro/sched"
 )
 
-// AblationVariant is one BSA configuration under study.
+// AblationVariant is one BSA configuration under study, expressed as
+// sched options applied on top of the defaults.
 type AblationVariant struct {
 	Name string
-	Opt  core.Options
+	Opts []sched.Option
 }
 
 // DefaultAblationVariants covers the design choices DESIGN.md §5 calls out.
 func DefaultAblationVariants() []AblationVariant {
 	return []AblationVariant{
-		{"default", core.Options{}},
-		{"single-sweep", core.Options{MaxSweeps: 1}},
-		{"no-guard", core.Options{DisableMigrationGuard: true}},
-		{"no-vip-follow", core.Options{DisableVIPFollow: true}},
-		{"no-route-pruning", core.Options{DisableRoutePruning: true}},
+		{"default", nil},
+		{"single-sweep", []sched.Option{sched.WithMaxSweeps(1)}},
+		{"no-guard", []sched.Option{sched.WithMigrationGuard(false)}},
+		{"no-vip-follow", []sched.Option{sched.WithVIPFollow(false)}},
+		{"no-route-pruning", []sched.Option{sched.WithRoutePruning(false)}},
 		// The full-rebuild oracle engine must land on exactly 1.00x the
 		// default's schedule lengths — a visible sanity check that the
 		// incremental engine changes performance, not results.
-		{"full-rebuild", core.Options{UseFullRebuild: true}},
+		{"full-rebuild", []sched.Option{sched.WithFullRebuild(true)}},
 	}
 }
 
@@ -41,8 +42,15 @@ type AblationRow struct {
 // RunAblation evaluates the variants on a shared workload set: random
 // graphs at the config's sizes and granularities on the hypercube (the
 // paper's heterogeneity-experiment topology). The first variant is the
-// baseline for the ratio column.
+// baseline for the ratio column. The config's Context cancels the run
+// between instances.
 func RunAblation(cfg Config, variants []AblationVariant) ([]AblationRow, error) {
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		return nil, err
+	}
+	ctx := cfg.context()
+
 	rows := make([]AblationRow, len(variants))
 	sums := make([]float64, len(variants))
 	migs := make([]float64, len(variants))
@@ -66,14 +74,15 @@ func RunAblation(cfg Config, variants []AblationVariant) ([]AblationRow, error) 
 					return nil, err
 				}
 				count++
+				problem := sched.Problem{Graph: g, System: sys}
 				for vi, v := range variants {
-					res, err := core.Schedule(g, sys, v.Opt)
+					res, err := bsa.Schedule(ctx, problem, v.Opts...)
 					if err != nil {
 						return nil, err
 					}
-					sums[vi] += res.Schedule.Length()
-					migs[vi] += float64(res.Migrations)
-					sweeps[vi] += float64(res.Sweeps)
+					sums[vi] += res.Makespan
+					migs[vi] += res.Stats.Get("migrations")
+					sweeps[vi] += res.Stats.Get("sweeps")
 				}
 			}
 		}

@@ -3,7 +3,7 @@ package experiment
 import (
 	"testing"
 
-	"repro/internal/core"
+	"repro/sched"
 )
 
 func TestRunAblation(t *testing.T) {
@@ -61,8 +61,8 @@ func TestRunAblationCustomVariant(t *testing.T) {
 	cfg.Sizes = []int{30}
 	cfg.Grans = []float64{1.0}
 	rows, err := RunAblation(cfg, []AblationVariant{
-		{"base", core.Options{}},
-		{"strict-guard", core.Options{GuardSlack: -1}},
+		{"base", nil},
+		{"strict-guard", []sched.Option{sched.WithGuardSlack(-1)}},
 	})
 	if err != nil {
 		t.Fatal(err)

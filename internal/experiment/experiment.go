@@ -6,17 +6,17 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 
-	"repro/internal/core"
-	"repro/internal/dls"
 	"repro/internal/generator"
-	"repro/internal/hetero"
 	"repro/internal/network"
-	"repro/internal/taskgraph"
+
+	// Algorithms resolve through the sched registry; the blank import
+	// installs every built-in adapter.
+	_ "repro/sched/register"
 )
 
 // Topology identifies one of the paper's four 16-processor evaluation
@@ -81,7 +81,10 @@ func (t Topology) Build(m int, rng *rand.Rand) (*network.Network, error) {
 	}
 }
 
-// Algorithm names a scheduler under test.
+// Algorithm labels a scheduler under test in figures and tables. Labels
+// resolve case-insensitively against the repro/sched registry — any
+// registered algorithm name or alias is a valid Algorithm, so the figure
+// harness has no scheduler table of its own.
 type Algorithm string
 
 const (
@@ -100,55 +103,6 @@ const (
 
 // DefaultAlgorithms is the paper's comparison pair.
 var DefaultAlgorithms = []Algorithm{DLS, BSA}
-
-// Scheduler runs one algorithm on one instance and returns the schedule
-// length. Extension algorithms are registered by the heft/cpop packages via
-// Register to avoid import cycles in tests.
-type Scheduler func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error)
-
-// Registry schedulers force Workers 1: the experiment harness already
-// saturates the machine with one instance per worker, so per-engine
-// candidate parallelism would only oversubscribe it.
-var registry = map[Algorithm]Scheduler{
-	BSA: func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error) {
-		res, err := core.Schedule(g, sys, core.Options{Seed: seed, Workers: 1})
-		if err != nil {
-			return 0, err
-		}
-		return res.Schedule.Length(), nil
-	},
-	BSAOracle: func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error) {
-		res, err := core.Schedule(g, sys, core.Options{Seed: seed, Workers: 1, UseFullRebuild: true})
-		if err != nil {
-			return 0, err
-		}
-		return res.Schedule.Length(), nil
-	},
-	DLS: func(g *taskgraph.Graph, sys *hetero.System, _ int64) (float64, error) {
-		res, err := dls.Schedule(g, sys, dls.Options{})
-		if err != nil {
-			return 0, err
-		}
-		return res.Schedule.Length(), nil
-	},
-}
-
-var registryMu sync.Mutex
-
-// Register adds (or replaces) a scheduler under the given name.
-func Register(name Algorithm, s Scheduler) {
-	registryMu.Lock()
-	defer registryMu.Unlock()
-	registry[name] = s
-}
-
-// SchedulerFor returns the registered scheduler, if any.
-func SchedulerFor(name Algorithm) (Scheduler, bool) {
-	registryMu.Lock()
-	defer registryMu.Unlock()
-	s, ok := registry[name]
-	return s, ok
-}
 
 // Config parameterizes a figure run. The zero value is not valid; start
 // from PaperConfig or QuickConfig.
@@ -169,6 +123,11 @@ type Config struct {
 	// results stream in as workers finish, so it reports live progress
 	// during long figure regenerations.
 	Progress func(done, total int)
+
+	// Context, when non-nil, cancels a figure or ablation run early:
+	// workers stop scheduling cells as soon as it is done and the run
+	// returns the context's error. Nil means context.Background().
+	Context context.Context
 }
 
 // PaperConfig returns the paper's full experimental design.
@@ -206,6 +165,13 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // splitmix64 derives independent, reproducible seeds from the master seed

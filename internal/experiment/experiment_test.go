@@ -2,13 +2,14 @@ package experiment
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"sync"
 	"testing"
 
-	"repro/internal/hetero"
-	"repro/internal/taskgraph"
+	"repro/sched"
 )
 
 // tinyConfig keeps test runs fast.
@@ -285,22 +286,22 @@ func TestRenderers(t *testing.T) {
 	}
 }
 
+// constScheduler is a registry stub whose schedules all have length 42.
+type constScheduler struct{}
+
+func (constScheduler) Name() string { return "const" }
+func (constScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sched.Option) (*sched.Result, error) {
+	return &sched.Result{Algorithm: "const", Makespan: 42}, nil
+}
+
 func TestRegisterCustomAlgorithm(t *testing.T) {
-	Register("CONST", func(g *taskgraph.Graph, sys *hetero.System, seed int64) (float64, error) {
-		return 42, nil
+	// The figure harness has no scheduler table of its own: anything
+	// registered in the sched registry is sweepable by label.
+	sched.Register(sched.Descriptor{
+		Name: "const",
+		New:  func() sched.Scheduler { return constScheduler{} },
 	})
-	defer func() {
-		registryMu.Lock()
-		delete(registry, "CONST")
-		registryMu.Unlock()
-	}()
-	s, ok := SchedulerFor("CONST")
-	if !ok {
-		t.Fatal("CONST not registered")
-	}
-	if sl, err := s(nil, nil, 0); err != nil || sl != 42 {
-		t.Fatalf("sl=%v err=%v", sl, err)
-	}
+	defer sched.Unregister("const")
 	cfg := tinyConfig()
 	cfg.Sizes = []int{30}
 	cfg.Algorithms = []Algorithm{"CONST", BSA}
@@ -321,8 +322,28 @@ func TestUnregisteredAlgorithmFails(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Sizes = []int{30}
 	cfg.Algorithms = []Algorithm{"NOPE"}
-	if _, err := Figure4(cfg); err == nil {
+	_, err := Figure4(cfg)
+	if err == nil {
 		t.Fatal("unregistered algorithm should fail")
+	}
+	var unknown *sched.UnknownAlgorithmError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err=%v, want *sched.UnknownAlgorithmError", err)
+	}
+}
+
+func TestCanceledContextAbortsFigure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := tinyConfig()
+	cfg.Sizes = []int{30}
+	cfg.Context = ctx
+	_, err := Figure4(cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if _, err := RunAblation(cfg, DefaultAblationVariants()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ablation err=%v, want context.Canceled", err)
 	}
 }
 

@@ -30,15 +30,6 @@ type Figure struct {
 	Panels  []Panel
 }
 
-// errNoScheduler is the lookup failure surfaced by workers.
-type noSchedulerError Algorithm
-
-func (e noSchedulerError) Error() string {
-	return fmt.Sprintf("experiment: no scheduler registered for %q", string(e))
-}
-
-func errNoScheduler(a Algorithm) error { return noSchedulerError(a) }
-
 // aggregate folds streamed per-cell schedule lengths into the figure's
 // panel rows. It runs over the specs in enumeration order, so the means
 // are bitwise reproducible for any worker count.
@@ -74,7 +65,7 @@ func aggregate(specs []cellSpec, sls []float64, fig *Figure) {
 // runAll streams the specs through the sharded worker queue and folds the
 // results into the figure.
 func runAll(specs []cellSpec, cfg Config, fig *Figure) error {
-	sls, err := runCells(specs, cfg.workers(), cfg.Progress)
+	sls, err := runCells(cfg.context(), specs, cfg.workers(), cfg.Progress)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/hetero"
 	"repro/internal/network"
 	"repro/internal/taskgraph"
+	"repro/sched"
 )
 
 // cellSpec describes one scenario cell — a single (instance, algorithm)
@@ -130,7 +132,10 @@ type cellWorker struct {
 	sys *hetero.System
 }
 
-func (cw *cellWorker) run(sp cellSpec) cellResult {
+func (cw *cellWorker) run(ctx context.Context, sp cellSpec) cellResult {
+	if err := ctx.Err(); err != nil {
+		return cellResult{idx: sp.idx, err: err}
+	}
 	gKey := cw.gKey
 	gKey.kind, gKey.size, gKey.gran, gKey.gseed = sp.kind, sp.size, sp.gran, sp.gseed
 	if cw.g == nil || gKey != cw.gKey {
@@ -160,16 +165,20 @@ func (cw *cellWorker) run(sp cellSpec) cellResult {
 		}
 		cw.sKey, cw.sys = sKey, sys
 	}
-	sched, ok := SchedulerFor(sp.algo)
-	if !ok {
-		return cellResult{idx: sp.idx, err: errNoScheduler(sp.algo)}
-	}
-	sl, err := sched(cw.g, cw.sys, sp.seed)
+	s, err := sched.Lookup(string(sp.algo))
 	if err != nil {
-		err = fmt.Errorf("experiment: %s on %d-task %v graph (%s, %d procs, seed %d): %w",
-			sp.algo, sp.size, sp.kind, sp.topo, sp.procs, sp.seed, err)
+		return cellResult{idx: sp.idx, err: err}
 	}
-	return cellResult{idx: sp.idx, sl: sl, err: err}
+	// Workers 1: the harness already saturates the machine with one
+	// instance per queue worker, so per-engine candidate parallelism
+	// would only oversubscribe it.
+	res, err := s.Schedule(ctx, sched.Problem{Graph: cw.g, System: cw.sys},
+		sched.WithSeed(sp.seed), sched.WithWorkers(1))
+	if err != nil {
+		return cellResult{idx: sp.idx, err: fmt.Errorf("experiment: %s on %d-task %v graph (%s, %d procs, seed %d): %w",
+			sp.algo, sp.size, sp.kind, sp.topo, sp.procs, sp.seed, err)}
+	}
+	return cellResult{idx: sp.idx, sl: res.Makespan}
 }
 
 // runCells drives the specs through the sharded queue with the given
@@ -178,7 +187,12 @@ func (cw *cellWorker) run(sp cellSpec) cellResult {
 // progress when non-nil), but the returned slice — and therefore every
 // figure aggregate — is assembled in spec order, so figures are bitwise
 // reproducible regardless of worker count or completion order.
-func runCells(specs []cellSpec, workers int, progress func(done, total int)) ([]float64, error) {
+//
+// ctx is checked before every cell (and inside the schedulers' own
+// loops): once it is done the remaining cells drain as immediate errors
+// and the run returns ctx.Err(), so canceling a long sweep aborts
+// cleanly without orphaning workers.
+func runCells(ctx context.Context, specs []cellSpec, workers int, progress func(done, total int)) ([]float64, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -191,7 +205,7 @@ func runCells(specs []cellSpec, workers int, progress func(done, total int)) ([]
 			defer wg.Done()
 			var cw cellWorker
 			q.drain(w, func(sp cellSpec) {
-				results <- cw.run(sp)
+				results <- cw.run(ctx, sp)
 			})
 		}(w)
 	}

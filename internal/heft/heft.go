@@ -11,6 +11,7 @@
 package heft
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -30,6 +31,13 @@ type Result struct {
 
 // Schedule runs contention-aware HEFT on g over sys.
 func Schedule(g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
+	return ScheduleContext(context.Background(), g, sys)
+}
+
+// ScheduleContext is Schedule with cancellation: ctx is polled once per
+// task placement, so a canceled or expired context aborts the run with
+// ctx.Err() (wrapped; test with errors.Is).
+func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
 		return nil, fmt.Errorf("heft: %w", err)
 	}
@@ -57,7 +65,10 @@ func Schedule(g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
 
 	m := sys.Net.NumProcs()
 	var routeBuf []network.LinkID
-	for _, t := range order {
+	for placed, t := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("heft: after %d of %d placements: %w", placed, n, err)
+		}
 		bestEFT := math.Inf(1)
 		bestP := network.ProcID(0)
 		for p := 0; p < m; p++ {

@@ -1,0 +1,42 @@
+// Package sched is the public front door of this repository: one
+// Scheduler interface, one Result shape and one algorithm registry for
+// every implemented scheduling algorithm (BSA, DLS, HEFT, CPOP and the
+// BSA full-rebuild oracle).
+//
+// The packages under internal/ are implementation detail and not a
+// supported surface; consumers — including this repository's own cmd/
+// binaries, examples/ and experiment harness — go through sched.
+//
+// # Usage
+//
+// Importing repro/sched/register (blank import) registers every built-in
+// algorithm; each algorithm self-registers from its own adapter file, so
+// there are no import cycles and no side effects unless asked for:
+//
+//	import (
+//		"repro/sched"
+//		_ "repro/sched/register"
+//	)
+//
+//	s, err := sched.Lookup("bsa")
+//	if err != nil { ... }
+//	res, err := s.Schedule(ctx, sched.Problem{Graph: g, System: sys},
+//		sched.WithSeed(42), sched.WithWorkers(4))
+//	if err != nil { ... }
+//	fmt.Println(res.Makespan, res.Summary)
+//
+// A Problem bundles the task graph with the heterogeneous target system
+// (which carries the network topology, and with it message routing).
+// Every run returns a *Result holding the full feasible schedule, its
+// makespan, wall-clock timing, uniform per-algorithm counters (Stats) and
+// a typed algorithm-specific trace.
+//
+// Runs are context-aware: cancellation and deadlines are observed inside
+// the algorithms' migration/placement loops, so long sweeps abort cleanly
+// with ctx.Err().
+//
+// Functional options (WithSeed, WithWorkers, WithFullRebuild,
+// WithInsertion, ...) replace the per-package option structs of earlier
+// revisions; options an algorithm does not understand are ignored, which
+// lets one option list drive heterogeneous algorithm sets in sweeps.
+package sched

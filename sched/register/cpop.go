@@ -1,0 +1,52 @@
+package register
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cpop"
+	"repro/sched"
+)
+
+func init() {
+	sched.Register(sched.Descriptor{
+		Name:        "cpop",
+		Description: "Contention-aware CPOP (Topcuoglu, Hariri & Wu): critical path pinned to its cheapest processor, remaining tasks by earliest finish time",
+		New:         func() sched.Scheduler { return cpopScheduler{} },
+	})
+}
+
+// cpopScheduler adapts internal/cpop to the sched API.
+type cpopScheduler struct{}
+
+func (cpopScheduler) Name() string { return "cpop" }
+
+func (c cpopScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sched.Option) (*sched.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := cpop.ScheduleContext(ctx, p.Graph, p.System)
+	if err != nil {
+		return nil, err
+	}
+	onCP := 0
+	for _, b := range res.OnCP {
+		if b {
+			onCP++
+		}
+	}
+	cpName := p.System.Net.Proc(res.CPProc).Name
+	return &sched.Result{
+		Algorithm: "cpop",
+		Schedule:  res.Schedule,
+		Makespan:  res.Schedule.Length(),
+		Elapsed:   time.Since(start),
+		Summary:   fmt.Sprintf("cpop: %d critical-path tasks pinned to %s", onCP, cpName),
+		Stats: sched.Stats{
+			"cp_tasks": float64(onCP),
+		},
+		Trace: &sched.CPOPTrace{CPProc: res.CPProc, CPProcName: cpName, OnCP: res.OnCP},
+	}, nil
+}

@@ -1,0 +1,50 @@
+package register
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/dls"
+	"repro/sched"
+)
+
+func init() {
+	sched.Register(sched.Descriptor{
+		Name:        "dls",
+		Description: "Dynamic Level Scheduling (Sih & Lee), the paper's baseline: greedy list scheduling over a static shortest-path routing table with link contention",
+		New:         func() sched.Scheduler { return dlsScheduler{} },
+	})
+}
+
+// dlsScheduler adapts internal/dls to the sched API.
+type dlsScheduler struct{}
+
+func (dlsScheduler) Name() string { return "dls" }
+
+func (d dlsScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sched.Option) (*sched.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := sched.NewConfig(opts...)
+	start := time.Now()
+	res, err := dls.ScheduleContext(ctx, p.Graph, p.System, dls.Options{
+		InsertionLinks:        cfg.Insertion,
+		NoHeterogeneityAdjust: !cfg.HeterogeneityAdjust,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &sched.Result{
+		Algorithm: "dls",
+		Schedule:  res.Schedule,
+		Makespan:  res.Schedule.Length(),
+		Elapsed:   time.Since(start),
+		Summary:   fmt.Sprintf("dls: %d steps, %d (task,processor) evaluations", res.Steps, res.Evaluations),
+		Stats: sched.Stats{
+			"steps":       float64(res.Steps),
+			"evaluations": float64(res.Evaluations),
+		},
+		Trace: &sched.DLSTrace{Steps: res.Steps, Evaluations: res.Evaluations},
+	}, nil
+}

@@ -1,0 +1,45 @@
+package register
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/heft"
+	"repro/sched"
+)
+
+func init() {
+	sched.Register(sched.Descriptor{
+		Name:        "heft",
+		Description: "Contention-aware HEFT (Topcuoglu, Hariri & Wu): upward-rank list scheduling with shortest-path routed, insertion-based messages",
+		New:         func() sched.Scheduler { return heftScheduler{} },
+	})
+}
+
+// heftScheduler adapts internal/heft to the sched API.
+type heftScheduler struct{}
+
+func (heftScheduler) Name() string { return "heft" }
+
+func (h heftScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sched.Option) (*sched.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := heft.ScheduleContext(ctx, p.Graph, p.System)
+	if err != nil {
+		return nil, err
+	}
+	return &sched.Result{
+		Algorithm: "heft",
+		Schedule:  res.Schedule,
+		Makespan:  res.Schedule.Length(),
+		Elapsed:   time.Since(start),
+		Summary:   fmt.Sprintf("heft: %d tasks by non-increasing upward rank", p.Graph.NumTasks()),
+		Stats: sched.Stats{
+			"tasks": float64(p.Graph.NumTasks()),
+		},
+		Trace: &sched.HEFTTrace{Ranks: res.Ranks},
+	}, nil
+}

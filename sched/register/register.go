@@ -1,0 +1,11 @@
+// Package register wires every built-in algorithm into the sched
+// registry. Each algorithm self-registers from its own adapter file
+// (bsa.go, dls.go, heft.go, cpop.go), so blank-importing this package is
+// all a consumer needs:
+//
+//	import _ "repro/sched/register"
+//
+// The adapters are the only non-test code allowed to import the
+// internal/core, internal/dls, internal/heft and internal/cpop algorithm
+// packages; everything else goes through repro/sched.
+package register

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Descriptor declares one registrable algorithm.
+type Descriptor struct {
+	// Name is the canonical, case-insensitive registry name ("bsa").
+	Name string
+	// Aliases are additional lookup names ("bsa-oracle" for "bsa-full").
+	Aliases []string
+	// Description is a one-line account for listings and CLI help.
+	Description string
+	// New constructs a Scheduler. Implementations must be stateless (or
+	// internally synchronized): Lookup calls New per lookup and the same
+	// value may serve concurrent Schedule calls.
+	New func() Scheduler
+}
+
+// registry is the single, locked algorithm table. Every earlier
+// per-package registry (notably internal/experiment's, whose map literal
+// was also read unlocked at init time) is folded into this one.
+var (
+	registryMu  sync.RWMutex
+	descriptors = map[string]Descriptor{} // canonical name -> descriptor
+	aliasToName = map[string]string{}     // any lookup name -> canonical
+)
+
+func canonicalize(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// Register adds an algorithm to the global registry. Names and aliases
+// are case-insensitive. It panics on an empty name, a nil constructor or
+// a name/alias collision — registration happens in init functions, where
+// a panic is an immediate, attributable build-time failure rather than a
+// latent lookup miss.
+func Register(d Descriptor) {
+	name := canonicalize(d.Name)
+	if name == "" {
+		panic("sched: Register with empty name")
+	}
+	if d.New == nil {
+		panic(fmt.Sprintf("sched: Register(%q) with nil constructor", d.Name))
+	}
+	d.Name = name
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if prev, ok := aliasToName[name]; ok {
+		panic(fmt.Sprintf("sched: algorithm %q already registered (by %q)", name, prev))
+	}
+	names := []string{name}
+	for _, a := range d.Aliases {
+		alias := canonicalize(a)
+		if alias == "" || alias == name {
+			continue
+		}
+		if prev, ok := aliasToName[alias]; ok {
+			panic(fmt.Sprintf("sched: alias %q of %q already registered (by %q)", alias, name, prev))
+		}
+		names = append(names, alias)
+	}
+	for _, n := range names {
+		aliasToName[n] = name
+	}
+	descriptors[name] = d
+}
+
+// Unregister removes an algorithm and its aliases. It exists for tests;
+// production registries are append-only.
+func Unregister(name string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	canonical := canonicalize(name)
+	if _, ok := descriptors[canonical]; !ok {
+		return
+	}
+	delete(descriptors, canonical)
+	for alias, target := range aliasToName {
+		if target == canonical {
+			delete(aliasToName, alias)
+		}
+	}
+}
+
+// UnknownAlgorithmError is returned by Lookup for names with no
+// registration. Known lists the canonical registered names.
+type UnknownAlgorithmError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownAlgorithmError) Error() string {
+	if len(e.Known) == 0 {
+		return fmt.Sprintf("sched: unknown algorithm %q (no algorithms registered — blank-import repro/sched/register)", e.Name)
+	}
+	return fmt.Sprintf("sched: unknown algorithm %q (known: %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
+// Lookup resolves a name or alias (case-insensitive) to a ready-to-use
+// Scheduler. On failure the error is an *UnknownAlgorithmError naming the
+// registered algorithms.
+func Lookup(name string) (Scheduler, error) {
+	registryMu.RLock()
+	canonical, ok := aliasToName[canonicalize(name)]
+	var d Descriptor
+	if ok {
+		d = descriptors[canonical]
+	}
+	registryMu.RUnlock()
+	if !ok {
+		return nil, &UnknownAlgorithmError{Name: name, Known: Names()}
+	}
+	return d.New(), nil
+}
+
+// List returns the registered descriptors sorted by canonical name.
+func List() []Descriptor {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Descriptor, 0, len(descriptors))
+	for _, d := range descriptors {
+		d.Aliases = append([]string(nil), d.Aliases...)
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted canonical algorithm names.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(descriptors))
+	for name := range descriptors {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/hetero"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Problem is one scheduling instance: a precedence-constrained task graph
+// to be mapped onto a heterogeneous target system. The system carries the
+// processor network and link model, so message routing is part of the
+// problem, not of the caller's setup.
+type Problem struct {
+	Graph  *taskgraph.Graph
+	System *hetero.System
+}
+
+// NewProblem bundles a graph and a system after validating that they fit
+// together.
+func NewProblem(g *taskgraph.Graph, sys *hetero.System) (Problem, error) {
+	p := Problem{Graph: g, System: sys}
+	if err := p.Validate(); err != nil {
+		return Problem{}, err
+	}
+	return p, nil
+}
+
+// Validate checks that the problem is well-formed: both parts present and
+// the system dimensioned for the graph's tasks and edges.
+func (p Problem) Validate() error {
+	if p.Graph == nil {
+		return fmt.Errorf("sched: problem has no task graph")
+	}
+	if p.System == nil {
+		return fmt.Errorf("sched: problem has no target system")
+	}
+	if err := p.System.Validate(p.Graph.NumTasks(), p.Graph.NumEdges()); err != nil {
+		return fmt.Errorf("sched: %w", err)
+	}
+	return nil
+}
+
+// Scheduler is the single interface every algorithm implements. Schedule
+// must be safe for concurrent use: implementations hold no mutable state
+// across calls.
+//
+// Schedule observes ctx inside its main loop: a canceled or expired
+// context aborts the run and surfaces ctx.Err() (wrapped; test with
+// errors.Is).
+type Scheduler interface {
+	// Name returns the canonical registry name, e.g. "bsa".
+	Name() string
+	// Schedule maps p's tasks and messages onto p's system.
+	Schedule(ctx context.Context, p Problem, opts ...Option) (*Result, error)
+}
+
+// Result is the uniform outcome of any Scheduler run.
+type Result struct {
+	// Algorithm is the canonical name of the scheduler that produced the
+	// result.
+	Algorithm string
+
+	// Schedule is the complete feasible schedule: task slots, message
+	// slots with per-hop link reservations, and the timelines behind
+	// them. It always passes (*schedule.Schedule).Validate.
+	Schedule *schedule.Schedule
+
+	// Makespan is Schedule.Length(), the paper's "schedule length".
+	Makespan float64
+
+	// Elapsed is the wall-clock time the run took.
+	Elapsed time.Duration
+
+	// Summary is a one-line human-readable account of the run in the
+	// algorithm's own terms (pivot, migrations, pinned processor, ...).
+	Summary string
+
+	// Stats carries the algorithm's numeric counters under documented
+	// keys (see each adapter in repro/sched/register). Keys differ per
+	// algorithm; shared ones include "evaluations".
+	Stats Stats
+
+	// Trace is the algorithm-specific structured trace: *BSATrace,
+	// *DLSTrace, *HEFTTrace or *CPOPTrace for the built-in algorithms.
+	// It may be nil.
+	Trace any
+}
+
+// Stats is a bag of named numeric counters describing one run.
+type Stats map[string]float64
+
+// Get returns the counter under key, or 0 when absent.
+func (s Stats) Get(key string) float64 { return s[key] }
+
+// Keys returns the stat names in sorted order, for deterministic
+// reporting.
+func (s Stats) Keys() []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"repro/internal/network"
+	"repro/internal/taskgraph"
+)
+
+// BSATrace is Result.Trace for the "bsa" and "bsa-full" algorithms.
+type BSATrace struct {
+	// InitialPivot is the processor with the shortest critical-path
+	// length, where the serialization was injected.
+	InitialPivot network.ProcID
+	// PivotName is that processor's display name.
+	PivotName string
+	// PivotCPLength is the critical-path length on the initial pivot.
+	PivotCPLength float64
+	// Serial is the serialization order injected into the pivot.
+	Serial []taskgraph.TaskID
+	// CP, IB and OB are the serialization's three-way task partition —
+	// critical path, in-branch and out-branch — with respect to the
+	// initial pivot's actual execution costs.
+	CP, IB, OB []taskgraph.TaskID
+
+	// Migrations counts committed task migrations, Reverted the ones
+	// rolled back by the bubble-up guard, Sweeps the breadth-first pivot
+	// passes and Evaluations the tentative neighbour finish-time
+	// computations.
+	Migrations  int
+	Reverted    int
+	Sweeps      int
+	Evaluations int
+	// Rebuilds, Placements and MsgPlacements count timeline derivations
+	// and the task/message placements they performed.
+	Rebuilds      int
+	Placements    int
+	MsgPlacements int
+	// RestoredBest reports whether the final elitism pass rewound to an
+	// earlier, shorter state.
+	RestoredBest bool
+}
+
+// DLSTrace is Result.Trace for the "dls" algorithm.
+type DLSTrace struct {
+	// Steps is the number of scheduling steps (== tasks); Evaluations
+	// the (task, processor) pairs evaluated.
+	Steps       int
+	Evaluations int
+}
+
+// HEFTTrace is Result.Trace for the "heft" algorithm.
+type HEFTTrace struct {
+	// Ranks holds the upward rank of every task.
+	Ranks []float64
+}
+
+// CPOPTrace is Result.Trace for the "cpop" algorithm.
+type CPOPTrace struct {
+	// CPProc is the processor the critical path was pinned to, CPProcName
+	// its display name.
+	CPProc     network.ProcID
+	CPProcName string
+	// OnCP flags the tasks treated as critical-path tasks.
+	OnCP []bool
+}
