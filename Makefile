@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke examples
+.PHONY: build test race vet fmt-check bench bench-smoke bench-gate benchcmp examples
 
 build:
 	$(GO) build ./...
@@ -24,15 +24,33 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# bench runs the core scheduler benchmarks (incremental vs full-rebuild
-# oracle, plus the DLS comparison) and writes a machine-readable
-# BENCH_core.json via cmd/benchjson to seed the performance trajectory.
+# bench runs the core scheduler benchmarks (incremental engine variants vs
+# the full-rebuild oracle on the size sweep and the topology sweep, plus
+# the DLS comparison) and writes the machine-readable BENCH_core.json at
+# the repo root via cmd/benchjson — the committed file is the performance
+# trajectory's previous point, which bench-gate compares against.
+# -count 3 + benchjson's best-of-N dedup damps runner noise enough for the
+# 15% regression gate to hold on shared CI machines.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkBSA$$|BenchmarkDLS$$' -benchtime 3x -count 1 . | $(GO) run ./cmd/benchjson -out BENCH_core.json
+	$(GO) test -run '^$$' -bench 'BenchmarkBSA$$|BenchmarkBSATopologies$$|BenchmarkDLS$$' -benchtime 3x -count 3 . | $(GO) run ./cmd/benchjson -out BENCH_core.json
 
 # bench-smoke executes every benchmark once so they cannot bit-rot.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-gate re-runs bench against the committed BENCH_core.json and fails
+# on a >15% regression of BenchmarkBSA's oracle-relative speedups (the
+# ratio form survives host changes; see cmd/benchcmp). Only the n=500
+# entries gate: the small sizes finish in single-digit milliseconds and
+# their 3-iteration ratios are too noisy to enforce.
+bench-gate:
+	@cp BENCH_core.json /tmp/bench-baseline.json
+	$(MAKE) bench
+	$(GO) run ./cmd/benchcmp -speedups -filter '^BenchmarkBSA/.*/n=500$$' -max-regress 0.15 /tmp/bench-baseline.json BENCH_core.json
+
+# benchcmp diffs two bench JSONs locally: make benchcmp OLD=a.json NEW=b.json
+benchcmp:
+	$(GO) run ./cmd/benchcmp $(BENCHCMP_FLAGS) $(OLD) $(NEW)
 
 # examples builds every example against the public sched API and runs the
 # quickstart end to end, so the documented library surface cannot rot.

@@ -1,0 +1,145 @@
+// Command benchcmp diffs two BENCH_*.json reports written by cmd/benchjson
+// and optionally fails on regressions, giving the repo a local trajectory
+// diff (`make benchcmp OLD=a.json NEW=b.json`) and CI a regression gate.
+//
+// Two comparison modes:
+//
+//   - raw (default): compares ns/op per benchmark. Only meaningful when
+//     both reports come from the same machine.
+//   - -speedups: compares the oracle-relative speedup ratios benchjson
+//     derives (incremental* ns/op normalized by the oracle engine's ns/op
+//     on the same host and instance). Ratios cancel the host's absolute
+//     speed, so a committed baseline from one machine can gate a CI run
+//     on another: a drop in speedup means the incremental engine lost
+//     ground against the oracle compiled from the same tree.
+//
+// Exit status is 1 if any compared entry regresses by more than
+// -max-regress (raw mode: ns/op grew; speedups mode: ratio shrank), and 2
+// on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Benchmark mirrors cmd/benchjson's entry.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report mirrors cmd/benchjson's document.
+type Report struct {
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Package    string             `json:"pkg,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.15, "relative regression that fails the comparison")
+	filter := flag.String("filter", "", "regexp restricting which entries are compared (and gated)")
+	speedups := flag.Bool("speedups", false, "compare oracle-relative speedup ratios instead of raw ns/op")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-regress 0.15] [-filter regex] [-speedups] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fatal(err)
+		}
+	}
+	oldRep, newRep := load(flag.Arg(0)), load(flag.Arg(1))
+
+	var oldVals, newVals map[string]float64
+	var unit string
+	var regressed func(old, new float64) bool
+	if *speedups {
+		oldVals, newVals = oldRep.Speedups, newRep.Speedups
+		unit = "x-vs-oracle"
+		// A speedup ratio shrinking means the engine regressed.
+		regressed = func(old, new float64) bool { return new < old*(1-*maxRegress) }
+	} else {
+		oldVals, newVals = nsPerOp(oldRep), nsPerOp(newRep)
+		unit = "ns/op"
+		regressed = func(old, new float64) bool { return new > old*(1+*maxRegress) }
+	}
+
+	names := make([]string, 0, len(newVals))
+	for name := range newVals {
+		if _, ok := oldVals[name]; !ok {
+			continue // new benchmark: nothing to gate against
+		}
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no common entries to compare (filter %q, speedups=%v)", *filter, *speedups))
+	}
+
+	failed := 0
+	for _, name := range names {
+		o, n := oldVals[name], newVals[name]
+		delta := 0.0
+		if o != 0 {
+			delta = (n - o) / o * 100
+		}
+		mark := ""
+		if regressed(o, n) {
+			mark = "  REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-60s %14.2f %14.2f %+7.1f%% %s%s\n", name, o, n, delta, unit, mark)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d entr%s regressed beyond %.0f%%\n", failed, plural(failed), *maxRegress*100)
+		os.Exit(1)
+	}
+}
+
+func load(path string) Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return rep
+}
+
+func nsPerOp(rep Report) map[string]float64 {
+	out := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		out[b.Name] = b.NsPerOp
+	}
+	return out
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(2)
+}

@@ -7,9 +7,12 @@
 //	go test -run '^$' -bench BenchmarkBSA . | go run ./cmd/benchjson -out BENCH_core.json
 //
 // The raw input is echoed to stdout, so piping through benchjson does not
-// hide the benchmark log. For every benchmark pair named <base>/oracle/...
-// and <base>/incremental/..., a speedup entry (oracle ns/op divided by
-// incremental ns/op) is added under "speedups".
+// hide the benchmark log. When `-count` produces repeated lines for one
+// benchmark, the fastest run wins (best-of-N: the minimum is the standard
+// low-noise estimator for benchmark latencies, and the regression gate in
+// cmd/benchcmp depends on stable numbers). For every benchmark pair named
+// <base>/oracle/... and <base>/incremental/..., a speedup entry (oracle
+// ns/op divided by incremental ns/op) is added under "speedups".
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 	flag.Parse()
 
 	rep := Report{}
+	byName := make(map[string]int) // benchmark name -> index in rep.Benchmarks
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -79,6 +83,13 @@ func main() {
 				b.Metrics[fields[i+1]] = v
 			}
 		}
+		if i, ok := byName[b.Name]; ok {
+			if b.NsPerOp < rep.Benchmarks[i].NsPerOp {
+				rep.Benchmarks[i] = b
+			}
+			continue
+		}
+		byName[b.Name] = len(rep.Benchmarks)
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
@@ -137,7 +148,7 @@ func speedups(benches []Benchmark) map[string]float64 {
 		segs := strings.Split(name, "/")
 		paired := false
 		for i, seg := range segs {
-			if seg == "incremental" || seg == "incremental-seq" {
+			if seg == "incremental" || seg == "incremental-seq" || seg == "incremental-nocache" {
 				segs[i] = "oracle"
 				paired = true
 				break

@@ -22,10 +22,20 @@
 // tables and figures at reduced scale; cmd/experiments regenerates them
 // in full.
 //
-// BSA runs on an incremental engine by default: committed migrations
-// re-derive only their dependency cone, and candidate evaluations reuse
-// arena overlay buffers, optionally in parallel (sched.WithWorkers).
+// BSA runs on an incremental engine by default, built as a stack of
+// layers that all preserve byte-identical schedules: committed migrations
+// re-derive only their dependency cone (event-driven cone updates); a
+// sweep-level candidate cache memoizes each task's neighbour finish-time
+// row and re-evaluates only the rows and entries a commit's cone stamped
+// (sched.WithCandidateCache, default on — the run's fixpoint sweep costs
+// zero evaluations and zero allocations); and the hot paths are
+// arena-backed (offset/length route views, pooled evaluation scratch,
+// in-place route normalization, single-search timeline reservations).
 // The original full-rebuild engine remains available as a correctness
 // oracle via sched.WithFullRebuild(true) or the "bsa-full" registry name
-// — both engines produce byte-identical schedules for identical seeds.
+// — every engine configuration produces byte-identical schedules for
+// identical seeds, enforced by property tests. See README.md's
+// "Performance" section for measured numbers; BENCH_core.json at the
+// repo root is the committed benchmark trajectory point that CI's
+// make bench-gate compares against.
 package repro

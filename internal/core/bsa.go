@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"runtime"
 
@@ -57,14 +56,33 @@ type Options struct {
 
 	// UseFullRebuild selects the original full-rebuild engine as a
 	// correctness oracle: every committed migration reconstructs the whole
-	// timeline, a guard rollback rebuilds once more, and candidate
-	// evaluation allocates its legacy overlay map per call. The default
+	// timeline, a guard rollback rebuilds once more, and every sweep
+	// re-evaluates every (task, neighbour) candidate. The default
 	// incremental engine re-derives only the dependency cone a migration
 	// can affect, rolls back by restoring arena-saved ground truth, and
-	// evaluates candidates against reusable arena overlays. Both engines
-	// produce byte-identical schedules for identical seeds; the oracle
-	// exists for equivalence tests and benchmarks.
+	// re-evaluates only the candidate rows a commit dirtied (see
+	// DisableCandidateCache). Both engines produce byte-identical
+	// schedules for identical seeds; the oracle exists for equivalence
+	// tests and benchmarks.
 	UseFullRebuild bool
+
+	// DisableCandidateCache turns off the sweep-level candidate cache. By
+	// default the incremental engine memoizes each task's candidate
+	// evaluation (the finish times on its pivot's neighbours, reduced to
+	// the migration decision's aggregates) and, after each kept commit,
+	// invalidates only the rows whose task, predecessors, incoming
+	// messages, candidate processors or connecting links the commit's
+	// dependency cone touched — sweeps over equilibrated regions then cost
+	// integer stamp compares instead of timeline walks. The cached and
+	// uncached engines produce byte-identical schedules and identical
+	// migration traces; only Result.Evaluations differs. Ablation knob;
+	// ignored by the full-rebuild oracle, which never caches.
+	DisableCandidateCache bool
+
+	// RecordTrace makes Result.MigrationTrace record every commit attempt
+	// in decision order (test and debugging aid; off by default because
+	// the trace grows with the migration count).
+	RecordTrace bool
 
 	// Workers bounds the goroutines used to evaluate candidate processors
 	// during a sweep. 0 means GOMAXPROCS; 1 forces fully sequential
@@ -74,7 +92,10 @@ type Options struct {
 	// resulting schedule is identical for every Workers value; only
 	// Result.Evaluations varies, because the parallel path speculatively
 	// batch-evaluates every candidate of a pivot and re-evaluates the rows
-	// invalidated by a committed migration.
+	// invalidated by a committed migration. The pool only serves the
+	// cache-off engine: with the candidate cache on (the default) rows are
+	// brought current one decision at a time, and the per-decision batches
+	// are too small for fan-out to pay.
 	Workers int
 }
 
@@ -112,6 +133,25 @@ type Result struct {
 	// RestoredBest reports whether the final elitism pass had to rewind to
 	// an earlier, shorter state.
 	RestoredBest bool
+	// CacheHits counts candidate rows served from the sweep-level cache
+	// with zero re-evaluation, CachePartials rows refreshed by
+	// re-evaluating only the entries a commit stamped, and CacheMisses
+	// rows evaluated in full; all stay zero when the cache is off.
+	CacheHits     int
+	CachePartials int
+	CacheMisses   int
+	// MigrationTrace is the commit-attempt sequence, recorded only when
+	// Options.RecordTrace is set.
+	MigrationTrace []MigrationStep
+}
+
+// MigrationStep is one commit attempt of the migration sweep: task moved
+// (or tentatively moved) From -> To, and whether the guard kept it.
+type MigrationStep struct {
+	Task taskgraph.TaskID
+	From network.ProcID
+	To   network.ProcID
+	Kept bool
 }
 
 // Schedule runs the BSA algorithm on g over sys and returns a complete,
@@ -164,10 +204,11 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 		workers = runtime.GOMAXPROCS(0)
 	}
 	en := newEngine(g, sys, serial, pivot0, engineConfig{
-		pruneRoutes: !opt.DisableRoutePruning,
-		guardSlack:  slack,
-		fullRebuild: opt.UseFullRebuild,
-		workers:     workers,
+		pruneRoutes:    !opt.DisableRoutePruning,
+		guardSlack:     slack,
+		fullRebuild:    opt.UseFullRebuild,
+		workers:        workers,
+		candidateCache: !opt.DisableCandidateCache,
 	})
 
 	// Stage 3: breadth-first bubble migration, iterated to a fixpoint.
@@ -210,6 +251,11 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 	res.Rebuilds = en.rebuilds
 	res.Placements = en.placements
 	res.MsgPlacements = en.msgPlaces
+	if en.cache != nil {
+		res.CacheHits = en.cache.hits
+		res.CachePartials = en.cache.partial
+		res.CacheMisses = en.cache.misses
+	}
 	res.Schedule = en.s
 	return res, nil
 }
@@ -228,15 +274,21 @@ const vipSlack = 0.0
 
 // sweepOnce performs one breadth-first pivot pass: every processor in bfs
 // order becomes the pivot, and each task residing on it is considered for
-// migration to a neighbour. Candidate finish times for the whole pivot are
-// speculatively batch-evaluated on the worker pool; a committed migration
-// invalidates the remaining rows, which are then re-evaluated one task at
-// a time, so every decision sees exactly the state the sequential engine
-// would — the schedule is identical for any worker count. ctx is polled
-// once per pivot; on cancellation the sweep stops and ctx.Err() is
-// returned.
+// migration to a neighbour.
+//
+// With the candidate cache on (the default), each task's cached candidate
+// row is brought current before the decision: reused outright when no
+// stamped dependency intersects it, patched entry-by-entry when only
+// candidate timelines changed, and fully re-evaluated when the task's own
+// inputs changed — a commit therefore re-evaluates only its dependency
+// cone's rows and entries. With the cache off, candidate finish times for
+// the whole pivot are speculatively batch-evaluated on the worker pool and
+// a committed migration invalidates the remaining rows wholesale (the
+// engine version check). Either way every decision sees exactly the values
+// a fresh sequential evaluation would produce, so the schedule is
+// identical for any worker count and cache setting. ctx is polled once per
+// pivot; on cancellation the sweep stops and ctx.Err() is returned.
 func sweepOnce(ctx context.Context, en *engine, sys *hetero.System, bfs []network.ProcID, opt Options, res *Result) error {
-	var rowBuf []float64
 	for _, pivot := range bfs {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -249,41 +301,40 @@ func sweepOnce(ctx context.Context, en *engine, sys *hetero.System, bfs []networ
 		if len(tasks) == 0 {
 			continue
 		}
-		batch := en.batchEval(tasks, neighbors)
-		batchVersion := en.version
-		if cap(rowBuf) < len(neighbors) {
-			rowBuf = make([]float64, len(neighbors))
+		var batch [][]float64
+		var batchVersion uint64
+		if en.cache == nil {
+			if cap(en.rowBuf) < len(neighbors) {
+				en.rowBuf = make([]float64, len(neighbors))
+			}
+			batch = en.batchEval(tasks, neighbors)
+			batchVersion = en.version
 		}
 		for ti, t := range tasks {
-			row := rowBuf[:len(neighbors)]
-			if batch != nil {
-				row = batch[ti]
-			}
-			if batch == nil || en.version != batchVersion {
-				en.evalRow(t, neighbors, row)
-			}
-			ts := &en.s.Tasks[t]
-			_, vip := en.s.DRT(t)
-			curFT := ts.End
-
-			bestFT := math.Inf(1)
-			bestY := network.ProcID(-1)
-			var vipFT float64
-			vipY := network.ProcID(-1)
-			for ni, a := range neighbors {
-				ft := row[ni]
-				if ft < bestFT-cmpEps {
-					bestFT, bestY = ft, a.Proc
+			var bestFT, vipFT float64
+			var bestY, vipY network.ProcID
+			if en.cache != nil {
+				en.ensureRow(t, pivot, neighbors)
+				bestFT, bestY = en.cache.bestFT[t], en.cache.bestY[t]
+				vipFT, vipY = en.cache.vipFT[t], en.cache.vipY[t]
+			} else {
+				row := en.rowBuf[:len(neighbors)]
+				if batch != nil {
+					row = batch[ti]
 				}
-				if vip >= 0 && en.assign[vip] == a.Proc {
-					vipFT, vipY = ft, a.Proc
+				if batch == nil || en.version != batchVersion {
+					en.evalRow(t, neighbors, row)
 				}
+				bestFT, bestY, vipFT, vipY = en.reduceRow(t, neighbors, row)
 			}
+			curFT := en.s.Tasks[t].End
 			guard := !opt.DisableMigrationGuard
 			switch {
 			case bestY >= 0 && bestFT < curFT-cmpEps:
 				// Strict improvement: bubble up.
-				if en.commitMigration(t, bestY, guard) {
+				kept := en.commitMigration(t, bestY, guard)
+				recordStep(opt, res, t, pivot, bestY, kept)
+				if kept {
 					res.Migrations++
 				} else {
 					res.Reverted++
@@ -297,7 +348,9 @@ func sweepOnce(ctx context.Context, en *engine, sys *hetero.System, bfs []networ
 				// saturated links around the pivot and letting this task's
 				// successors improve later; the migration guard still
 				// reverts moves that regress the overall schedule.
-				if en.commitMigration(t, vipY, guard) {
+				kept := en.commitMigration(t, vipY, guard)
+				recordStep(opt, res, t, pivot, vipY, kept)
+				if kept {
 					res.Migrations++
 				} else {
 					res.Reverted++
@@ -306,4 +359,12 @@ func sweepOnce(ctx context.Context, en *engine, sys *hetero.System, bfs []networ
 		}
 	}
 	return nil
+}
+
+// recordStep appends one commit attempt to the migration trace when
+// Options.RecordTrace asks for it.
+func recordStep(opt Options, res *Result, t taskgraph.TaskID, from, to network.ProcID, kept bool) {
+	if opt.RecordTrace {
+		res.MigrationTrace = append(res.MigrationTrace, MigrationStep{Task: t, From: from, To: to, Kept: kept})
+	}
 }

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/hetero"
+	"repro/internal/network"
+	"repro/internal/taskgraph"
+)
+
+// cacheTopologies are the four topology families of the paper's
+// evaluation, at a size suitable for property testing.
+func cacheTopologies(rng *rand.Rand) map[string]*network.Network {
+	build := func(nw *network.Network, err error) *network.Network {
+		if err != nil {
+			panic(err)
+		}
+		return nw
+	}
+	return map[string]*network.Network{
+		"ring": build(network.Ring(8)),
+		"cube": build(network.Hypercube(3)),
+		"full": build(network.FullyConnected(8)),
+		"rand": build(network.RandomConnected(8, 1, 8, rng)),
+	}
+}
+
+// TestCandidateCacheEquivalence is the cache's invalidation property test:
+// across regular and random graph families, all four topology families and
+// heterogeneity on/off, the cached engine must produce a byte-identical
+// serialized schedule AND an identical step-by-step migration trace to the
+// uncached engine. A single wrongly-kept cache row would divert the trace
+// at the first affected decision, so trace equality localizes invalidation
+// bugs far better than end-state checks.
+func TestCandidateCacheEquivalence(t *testing.T) {
+	for _, kind := range []generator.Kind{generator.GaussElim, generator.Random} {
+		for seed := int64(0); seed < 3; seed++ {
+			rng := rand.New(rand.NewSource(seed*31 + int64(kind)))
+			g, err := generator.Generate(generator.Spec{Kind: kind, Size: 45, Granularity: 1.0}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, nw := range cacheTopologies(rng) {
+				for _, heterogeneous := range []bool{false, true} {
+					label := fmt.Sprintf("kind=%v seed=%d topo=%s hetero=%v", kind, seed, name, heterogeneous)
+					var sys *hetero.System
+					if heterogeneous {
+						sys, err = hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rand.New(rand.NewSource(seed)))
+						if err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						sys = hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+					}
+					on, err := Schedule(g, sys, Options{Seed: seed, RecordTrace: true})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					off, err := Schedule(g, sys, Options{Seed: seed, RecordTrace: true, DisableCandidateCache: true})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					assertTracesIdentical(t, label, on, off)
+					assertSerializedIdentical(t, label, on, off)
+				}
+			}
+		}
+	}
+}
+
+// assertTracesIdentical fails unless both runs attempted exactly the same
+// migrations in the same order with the same guard outcomes.
+func assertTracesIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.MigrationTrace) != len(b.MigrationTrace) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", label, len(a.MigrationTrace), len(b.MigrationTrace))
+	}
+	for i := range a.MigrationTrace {
+		if a.MigrationTrace[i] != b.MigrationTrace[i] {
+			t.Fatalf("%s: trace diverges at step %d: %+v vs %+v", label, i, a.MigrationTrace[i], b.MigrationTrace[i])
+		}
+	}
+}
+
+// assertSerializedIdentical fails unless both schedules serialize to the
+// same bytes — placement-for-placement, hop-for-hop equality.
+func assertSerializedIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	aj, err := a.Schedule.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.Schedule.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("%s: serialized schedules differ (%d vs %d bytes)", label, len(aj), len(bj))
+	}
+}
+
+// TestCandidateCacheCountsConsistent checks the cache's bookkeeping: every
+// pivot-visit decision is classified exactly once, and a cache-on run
+// reports the evaluations its misses and partial refreshes performed.
+func TestCandidateCacheCountsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedDAG(rng, 60, 0.12)
+	sys := randomSystem(t, rng, g, 6)
+	on, err := Schedule(g, sys, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.CacheMisses == 0 {
+		t.Fatal("a fresh run must miss at least once per task visited")
+	}
+	off, err := Schedule(g, sys, Options{Seed: 7, DisableCandidateCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.CacheHits != 0 || off.CachePartials != 0 || off.CacheMisses != 0 {
+		t.Fatalf("cache-off run reported cache traffic: %+v", off)
+	}
+	if on.Evaluations > off.Evaluations {
+		t.Fatalf("cache increased evaluations: %d > %d", on.Evaluations, off.Evaluations)
+	}
+}
+
+// TestCachedFixpointSweepServesAllRows drives a run to its fixpoint and
+// then replays one more sweep by hand: with no commits in between, every
+// row the sweep consults must be served from the cache (all hits, zero
+// evaluations) — the O(dirty) property with an empty dirty set.
+func TestCachedFixpointSweepServesAllRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnectedDAG(rng, 50, 0.15)
+	sys := randomSystem(t, rng, g, 5)
+	en, bfs, opt := fixpointEngine(t, g, sys)
+	res := &Result{}
+	hits, evals := en.cache.hits, en.evaluations
+	if err := sweepOnce(context.Background(), en, sys, bfs, opt, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 {
+		t.Fatalf("fixpoint sweep migrated %d tasks", res.Migrations)
+	}
+	if en.evaluations != evals {
+		t.Fatalf("fixpoint sweep evaluated %d candidates, want 0", en.evaluations-evals)
+	}
+	if en.cache.hits == hits {
+		t.Fatal("fixpoint sweep served no cached rows")
+	}
+}
+
+// TestRouteArena exercises the offset/length arena directly: set, clear,
+// extend, prepend, tail truncation and compaction.
+func TestRouteArena(t *testing.T) {
+	ra := newRouteArena(3)
+	if got := ra.route(0); got != nil {
+		t.Fatalf("fresh arena route = %v", got)
+	}
+	ra.set(0, []network.LinkID{1, 2, 3})
+	ra.set(1, []network.LinkID{4})
+	if got := ra.route(0); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("route(0) = %v", got)
+	}
+	r := ra.extend(1, 5)
+	if len(r) != 2 || r[0] != 4 || r[1] != 5 {
+		t.Fatalf("extend = %v", r)
+	}
+	r = ra.prepend(1, 6)
+	if len(r) != 3 || r[0] != 6 || r[1] != 4 || r[2] != 5 {
+		t.Fatalf("prepend = %v", r)
+	}
+	ra.truncateTail(1, 1)
+	if got := ra.route(1); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("after truncateTail: %v", got)
+	}
+	if got := ra.route(0); len(got) != 3 || got[0] != 1 {
+		t.Fatalf("route(0) disturbed: %v", got)
+	}
+	ra.clear(0)
+	if got := ra.route(0); got != nil {
+		t.Fatalf("cleared route = %v", got)
+	}
+	if ra.live != 1 {
+		t.Fatalf("live = %d, want 1", ra.live)
+	}
+	// Self-aliasing set must be safe.
+	ra.set(1, ra.route(1))
+	if got := ra.route(1); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("self-set route = %v", got)
+	}
+	// Force garbage past the compaction threshold and verify contents
+	// survive.
+	big := make([]network.LinkID, 200)
+	for i := range big {
+		big[i] = network.LinkID(i)
+	}
+	for i := 0; i < 50; i++ {
+		ra.set(2, big)
+	}
+	ra.maybeCompact()
+	if len(ra.buf) >= 50*len(big) {
+		t.Fatalf("compaction did not shrink the arena: len=%d live=%d", len(ra.buf), ra.live)
+	}
+	if got := ra.route(2); len(got) != 200 || got[199] != 199 {
+		t.Fatalf("route(2) corrupted by compaction")
+	}
+	if got := ra.route(1); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("route(1) corrupted by compaction: %v", got)
+	}
+}
+
+// TestRouteNormalizerMatchesNormalizeRoute checks the in-place normalizer
+// against the allocating reference on random walks.
+func TestRouteNormalizerMatchesNormalizeRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw, err := network.RandomConnected(9, 2, 14, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := network.NewRouteNormalizer(nw.NumProcs())
+	for trial := 0; trial < 500; trial++ {
+		src := network.ProcID(rng.Intn(nw.NumProcs()))
+		p := src
+		walk := make([]network.LinkID, rng.Intn(12))
+		for i := range walk {
+			adj := nw.Neighbors(p)
+			a := adj[rng.Intn(len(adj))]
+			walk[i] = a.Link
+			p = a.Proc
+		}
+		want := network.NormalizeRoute(nw, src, append([]network.LinkID(nil), walk...))
+		got := rn.Normalize(nw, src, append([]network.LinkID(nil), walk...))
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: len %d vs %d (walk %v)", trial, len(got), len(want), walk)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: %v vs %v (walk %v)", trial, got, want, walk)
+			}
+		}
+	}
+}
+
+// fixpointEngine runs BSA to its migration fixpoint and returns the live
+// engine plus everything needed to replay sweeps by hand.
+func fixpointEngine(t testing.TB, g *taskgraph.Graph, sys *hetero.System) (*engine, []network.ProcID, Options) {
+	t.Helper()
+	opt := Options{Workers: 1}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	pivot0, _ := SelectPivot(g, sys)
+	exec := sys.ExecCostsOn(pivot0, g.NominalExecCosts())
+	serial, _ := SerializePartitioned(g, exec, nil, rng)
+	en := newEngine(g, sys, serial, pivot0, engineConfig{
+		pruneRoutes:    true,
+		guardSlack:     DefaultGuardSlack,
+		workers:        1,
+		candidateCache: true,
+	})
+	bfs := sys.Net.BFSOrder(pivot0)
+	for sweep := 0; sweep < 4*sys.Net.NumProcs(); sweep++ {
+		res := &Result{}
+		if err := sweepOnce(context.Background(), en, sys, bfs, opt, res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Migrations == 0 {
+			return en, bfs, opt
+		}
+	}
+	t.Fatal("no fixpoint reached")
+	return nil, nil, opt
+}

@@ -26,6 +26,9 @@ type engineConfig struct {
 	// workers bounds the goroutines used for candidate-processor
 	// evaluation (<=1 means sequential).
 	workers int
+	// candidateCache enables the sweep-level candidate cache (see
+	// candCache); it only applies to the incremental engine.
+	candidateCache bool
 }
 
 // engine holds BSA's mutable state. The ground truth is (serial, assign,
@@ -41,10 +44,18 @@ type engine struct {
 	pos    []int // serial index of each task (inverse of serial)
 	msgPos []int // serial index a message is placed at (its destination's)
 	assign []network.ProcID
-	routes [][]network.LinkID
+	routes *routeArena
 	s      *schedule.Schedule
 
 	cfg engineConfig
+
+	// norm prunes loops out of migrated routes in place (no per-commit
+	// allocations).
+	norm *network.RouteNormalizer
+
+	// cache is the sweep-level candidate cache; nil when disabled or when
+	// the full-rebuild oracle engine is selected.
+	cache *candCache
 
 	// curLen caches s.Length() after every (re)build so the guard and
 	// elitism checks do not rescan all tasks.
@@ -54,16 +65,17 @@ type engine struct {
 	// times are valid only while the version is unchanged.
 	version uint64
 
-	// Snapshot buffers for the incremental engine's guarded commits: the
-	// mutable ground truth a migration of t can touch (t's assignment and
-	// its incident-edge routes) is saved into arena-reused buffers, and a
-	// rollback restores it and runs a second cone update — no full
-	// reconstruction on either the commit or the rollback path. Reverts
-	// are rare (a few percent of commits), so snapshotting whole timelines
-	// eagerly would cost more than it saves.
+	// Snapshot buffers for guarded commits: the mutable ground truth a
+	// migration of t can touch (t's assignment and its incident-edge
+	// routes) is saved into arena-reused buffers, and a rollback restores
+	// it and re-derives the timeline — a second cone update in the
+	// incremental engine, a full rebuild in the oracle. Reverts are rare
+	// (a few percent of commits), so snapshotting whole timelines eagerly
+	// would cost more than it saves.
 	savedAssign network.ProcID
 	savedTask   taskgraph.TaskID
 	savedRoutes []routeSave
+	savedBuf    []network.LinkID
 	savedLen    float64
 
 	// touchedEdges accumulates the edges whose routes may have diverged
@@ -72,11 +84,13 @@ type engine struct {
 	touchedEdges []taskgraph.EdgeID
 
 	// Per-worker scratch for migration evaluation (index 0 serves the
-	// sequential path) and the flat arena behind per-pivot batch results.
+	// sequential path), the flat arena behind per-pivot batch results, and
+	// the sweep's reusable task/row buffers.
 	scratch []*evalScratch
 	ftFlat  []float64
 	ftRows  [][]float64
 	taskBuf []taskgraph.TaskID
+	rowBuf  []float64
 
 	// Event-driven update state (see updateFrom). All per-update flags are
 	// epoch-stamped so an update starts with a single counter increment
@@ -106,7 +120,7 @@ type engine struct {
 	// final state is not necessarily the best one visited.
 	bestLen    float64
 	bestAssign []network.ProcID
-	bestRoutes [][]network.LinkID
+	bestRoutes *routeArena
 
 	// Counters for Result.
 	rebuilds    int
@@ -115,10 +129,11 @@ type engine struct {
 	evaluations int
 }
 
-// routeSave is one saved incident-edge route (arena-reused across commits).
+// routeSave is one saved incident-edge route: an (offset, length) view
+// into the engine's savedBuf arena, reused across commits.
 type routeSave struct {
-	e taskgraph.EdgeID
-	r []network.LinkID
+	e      taskgraph.EdgeID
+	off, n int32
 }
 
 func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID, pivot network.ProcID, cfg engineConfig) *engine {
@@ -128,9 +143,10 @@ func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID
 		serial: serial,
 		pos:    SerialPositions(g, serial),
 		assign: make([]network.ProcID, g.NumTasks()),
-		routes: make([][]network.LinkID, g.NumEdges()),
+		routes: newRouteArena(g.NumEdges()),
 		s:      schedule.New(g, sys),
 		cfg:    cfg,
+		norm:   network.NewRouteNormalizer(sys.Net.NumProcs()),
 	}
 	en.msgPos = make([]int, g.NumEdges())
 	for e := range en.msgPos {
@@ -156,9 +172,14 @@ func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID
 		en.linkStripped = make([]uint32, sys.Net.NumLinks())
 		en.linkStripAt = make([]int64, sys.Net.NumLinks())
 		en.linkDirtied = make([]uint32, sys.Net.NumLinks())
+		if cfg.candidateCache {
+			en.cache = newCandCache(g.NumTasks(), g.NumEdges(), sys.Net.NumProcs(), sys.Net.NumLinks())
+		}
 	}
+	// The worker pool only serves the cache-off engine (see batchEval), so
+	// a cached engine needs just the sequential scratch.
 	nscratch := cfg.workers
-	if nscratch < 1 {
+	if nscratch < 1 || cfg.candidateCache {
 		nscratch = 1
 	}
 	en.scratch = make([]*evalScratch, nscratch)
@@ -171,7 +192,7 @@ func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID
 	en.rebuild()
 	en.bestLen = en.s.Length()
 	en.bestAssign = append([]network.ProcID(nil), en.assign...)
-	en.bestRoutes = make([][]network.LinkID, len(en.routes))
+	en.bestRoutes = newRouteArena(g.NumEdges())
 	return en
 }
 
@@ -185,8 +206,9 @@ func (en *engine) noteState() {
 	}
 	en.bestLen = l
 	copy(en.bestAssign, en.assign)
+	en.bestRoutes.maybeCompact()
 	for _, e := range en.touchedEdges {
-		en.bestRoutes[e] = append(en.bestRoutes[e][:0], en.routes[e]...)
+		en.bestRoutes.set(e, en.routes.route(e))
 	}
 	en.touchedEdges = en.touchedEdges[:0]
 }
@@ -199,8 +221,9 @@ func (en *engine) restoreBest() bool {
 		return false
 	}
 	copy(en.assign, en.bestAssign)
-	for i := range en.routes {
-		en.routes[i] = append(en.routes[i][:0], en.bestRoutes[i]...)
+	en.routes.maybeCompact()
+	for e := 0; e < en.g.NumEdges(); e++ {
+		en.routes.set(taskgraph.EdgeID(e), en.bestRoutes.route(taskgraph.EdgeID(e)))
 	}
 	en.rebuild()
 	return true
@@ -296,6 +319,9 @@ func (en *engine) updateFrom(mig taskgraph.TaskID) {
 	en.epoch++
 	en.migTask = mig
 	en.pending = 0
+	if en.cache != nil {
+		en.cache.beginUpdate()
+	}
 	for _, e := range en.g.In(mig) {
 		en.queueMsg(e)
 	}
@@ -343,7 +369,7 @@ func (en *engine) processMsg(e taskgraph.EdgeID, rank int) (requeue bool) {
 	dirty := edge.From == en.migTask || edge.To == en.migTask ||
 		en.taskChanged[edge.From] == en.epoch
 	if !dirty {
-		for _, l := range en.routes[e] {
+		for _, l := range en.routes.route(e) {
 			if en.linkDirtied[l] == en.epoch {
 				dirty = true
 				break
@@ -368,7 +394,7 @@ func (en *engine) processMsg(e taskgraph.EdgeID, rank int) (requeue bool) {
 	for _, hop := range sm.Hops {
 		en.stripLink(hop.Link, rank, e)
 	}
-	for _, l := range en.routes[e] {
+	for _, l := range en.routes.route(e) {
 		en.stripLink(l, rank, e)
 	}
 	for _, e2 := range en.g.In(edge.To)[:en.inIndex[e]] {
@@ -382,24 +408,53 @@ func (en *engine) processMsg(e taskgraph.EdgeID, rank int) (requeue bool) {
 	sm.Hops = sm.Hops[:0]
 	sm.Arrival = 0
 	sm.Placed = false
-	arr, err := en.s.PlaceMessage(e, en.routes[e])
+	arr, err := en.s.PlaceMessage(e, en.routes.route(e))
 	if err != nil {
 		panic(fmt.Sprintf("core: update message %d: %v", e, err))
 	}
-	if !hopsEqual(en.s.Msgs[e].Hops, en.oldHops) {
+	hopsChanged := !hopsEqual(en.s.Msgs[e].Hops, en.oldHops)
+	if hopsChanged {
 		for i := range en.oldHops {
-			en.linkDirtied[en.oldHops[i].Link] = en.epoch
+			en.markLinkDirty(en.oldHops[i].Link)
 		}
 		for _, hop := range en.s.Msgs[e].Hops {
-			en.linkDirtied[hop.Link] = en.epoch
+			en.markLinkDirty(hop.Link)
 		}
 	}
 	if arr != oldArr {
 		en.drtTouched[edge.To] = en.epoch
 		en.queueTask(edge.To)
 	}
+	if en.cache != nil && (hopsChanged || arr != oldArr) {
+		// Each message is re-placed at most once per update (msgDone), so
+		// the change list needs no dedup.
+		en.cache.updMsgs = append(en.cache.updMsgs, e)
+	}
 	en.msgDone[e] = en.epoch
 	return false
+}
+
+// markLinkDirty flags l's timeline as diverged this update and, when the
+// candidate cache is on, records it in the commit's change list.
+func (en *engine) markLinkDirty(l network.LinkID) {
+	if en.linkDirtied[l] == en.epoch {
+		return
+	}
+	en.linkDirtied[l] = en.epoch
+	if en.cache != nil {
+		en.cache.updLinks = append(en.cache.updLinks, l)
+	}
+}
+
+// markProcDirty is markLinkDirty for processor timelines.
+func (en *engine) markProcDirty(p network.ProcID) {
+	if en.procDirtied[p] == en.epoch {
+		return
+	}
+	en.procDirtied[p] = en.epoch
+	if en.cache != nil {
+		en.cache.updProcs = append(en.cache.updProcs, p)
+	}
 }
 
 // processTask handles one task turn of the update.
@@ -432,9 +487,14 @@ func (en *engine) processTask(u taskgraph.TaskID, rank int) {
 		panic(fmt.Sprintf("core: update task %d: %v", u, err))
 	}
 	if *st != old {
-		en.procDirtied[old.Proc] = en.epoch
-		en.procDirtied[st.Proc] = en.epoch
+		en.markProcDirty(old.Proc)
+		en.markProcDirty(st.Proc)
 		en.taskChanged[u] = en.epoch
+		if en.cache != nil {
+			// taskChanged is set in exactly this one place, at most once
+			// per task per update, so the list needs no dedup.
+			en.cache.updTasks = append(en.cache.updTasks, u)
+		}
 		for _, e := range en.g.Out(u) {
 			en.queueMsg(e)
 		}
@@ -464,7 +524,7 @@ func (en *engine) placeFrom(k int) {
 		en.msgPlaces += len(en.g.In(t))
 		var drt float64
 		for _, e := range en.g.In(t) {
-			arr, err := en.s.PlaceMessage(e, en.routes[e])
+			arr, err := en.s.PlaceMessage(e, en.routes.route(e))
 			if err != nil {
 				// Routes are maintained to always connect the assigned
 				// endpoints; failure here is a bug, not an input condition.
@@ -482,7 +542,9 @@ func (en *engine) placeFrom(k int) {
 
 // tasksOn returns the tasks currently assigned to p, ordered by their
 // current start time (ties by ID). The returned slice is valid until the
-// next call.
+// next call. The order is sorted with an insertion sort: the list is
+// short, nearly sorted between sweeps, and — unlike sort.Slice — this
+// keeps the fixpoint sweep allocation-free.
 func (en *engine) tasksOn(p network.ProcID) []taskgraph.TaskID {
 	ts := en.taskBuf[:0]
 	for i := range en.assign {
@@ -491,13 +553,20 @@ func (en *engine) tasksOn(p network.ProcID) []taskgraph.TaskID {
 		}
 	}
 	en.taskBuf = ts
-	sort.Slice(ts, func(i, j int) bool {
-		si, sj := en.s.Tasks[ts[i]].Start, en.s.Tasks[ts[j]].Start
-		if si != sj {
-			return si < sj
+	for i := 1; i < len(ts); i++ {
+		t := ts[i]
+		st := en.s.Tasks[t].Start
+		j := i - 1
+		for j >= 0 {
+			o := ts[j]
+			if so := en.s.Tasks[o].Start; so < st || (so == st && o < t) {
+				break
+			}
+			ts[j+1] = ts[j]
+			j--
 		}
-		return ts[i] < ts[j]
-	})
+		ts[j+1] = t
+	}
 	return ts
 }
 
@@ -589,63 +658,6 @@ func (en *engine) evalMigration(t taskgraph.TaskID, y network.ProcID, sc *evalSc
 	return start + dur, drt
 }
 
-// overlay is the oracle engine's per-evaluation map of tentative link
-// reservations — the original implementation, kept verbatim so the
-// UseFullRebuild path preserves the legacy cost profile (one map
-// allocation per evaluation) alongside its full-rebuild commits.
-type overlay map[network.LinkID][]schedule.Slot
-
-func (o overlay) add(l network.LinkID, start, end float64) {
-	slots := o[l]
-	idx := sort.Search(len(slots), func(i int) bool { return slots[i].Start >= start })
-	slots = append(slots, schedule.Slot{})
-	copy(slots[idx+1:], slots[idx:])
-	slots[idx] = schedule.Slot{Start: start, End: end}
-	o[l] = slots
-}
-
-// evalMigrationOracle is the legacy migration evaluation: identical
-// decision arithmetic to evalMigration, but with a freshly allocated
-// overlay map per call.
-func (en *engine) evalMigrationOracle(t taskgraph.TaskID, y network.ProcID) (ft, drt float64) {
-	pivot := en.assign[t]
-	ov := make(overlay, 2)
-	for _, e := range en.g.In(t) {
-		edge := en.g.Edge(e)
-		u := edge.From
-		var arr float64
-		switch {
-		case en.assign[u] == y:
-			arr = en.s.Tasks[u].End
-		default:
-			arr = -1
-			for _, h := range en.s.Msgs[e].Hops {
-				if h.To == y {
-					arr = h.End
-					break
-				}
-			}
-			if arr < 0 {
-				ready := en.s.Arrival(e)
-				l, ok := en.sys.Net.LinkBetween(pivot, y)
-				if !ok {
-					panic(fmt.Sprintf("core: no link between P%d and neighbour P%d", pivot+1, y+1))
-				}
-				dur := en.s.HopDuration(e, l)
-				start := en.s.LinkTimeline(l).EarliestFitWithExtra(ready, dur, ov[l])
-				ov.add(l, start, start+dur)
-				arr = start + dur
-			}
-		}
-		if arr > drt {
-			drt = arr
-		}
-	}
-	dur := en.s.ExecDuration(t, y)
-	start := en.s.ProcTimeline(y).EarliestFit(drt, dur)
-	return start + dur, drt
-}
-
 // minParallelEvals is the batch size below which fanning candidate
 // evaluation out to the worker pool costs more than it saves.
 const minParallelEvals = 16
@@ -699,17 +711,13 @@ func (en *engine) batchEval(tasks []taskgraph.TaskID, neighbors []network.Adj) [
 }
 
 // evalRow fills row with the tentative finish time of t on each neighbour,
-// evaluated sequentially against the current timelines.
+// evaluated sequentially against the current timelines. Both engines share
+// the pooled-scratch evaluation: the oracle's legacy per-call overlay map
+// had identical decision arithmetic and only differed in allocating.
 func (en *engine) evalRow(t taskgraph.TaskID, neighbors []network.Adj, row []float64) {
-	if en.cfg.fullRebuild {
-		for ni, a := range neighbors {
-			row[ni], _ = en.evalMigrationOracle(t, a.Proc)
-		}
-	} else {
-		sc := en.scratch[0]
-		for ni, a := range neighbors {
-			row[ni], _ = en.evalMigration(t, a.Proc, sc)
-		}
+	sc := en.scratch[0]
+	for ni, a := range neighbors {
+		row[ni], _ = en.evalMigration(t, a.Proc, sc)
 	}
 	en.evaluations += len(neighbors)
 }
@@ -720,102 +728,68 @@ func (en *engine) evalRow(t taskgraph.TaskID, neighbors []network.Adj, row []flo
 // than guardSlack longer than before (the local finish-time evaluation
 // cannot see downstream effects; the paper's "bubble up" premise is that
 // migrations improve finish times, so a regression of the global objective
-// is rolled back). The incremental engine rolls back by restoring a
-// snapshot taken before the move; the oracle engine restores (assign,
-// routes) and rebuilds. It reports whether the migration was kept.
+// is rolled back). Both engines roll back by restoring the arena-saved
+// ground truth (t's assignment and incident routes); the incremental
+// engine then runs a second cone update while the oracle rebuilds the
+// whole timeline. It reports whether the migration was kept.
 func (en *engine) commitMigration(t taskgraph.TaskID, y network.ProcID, guard bool) bool {
 	en.touchedEdges = append(en.touchedEdges, en.g.In(t)...)
 	en.touchedEdges = append(en.touchedEdges, en.g.Out(t)...)
 	kept := true
-	if en.cfg.fullRebuild {
-		kept = en.commitOracle(t, y, guard)
-	} else {
-		if guard {
-			en.save(t)
-		}
-		en.applyMigration(t, y)
-		if guard && en.curLen > en.savedLen*(1+en.cfg.guardSlack)+cmpEps {
-			en.restore()
+	if guard {
+		en.save(t)
+	}
+	en.applyMigration(t, y)
+	if guard && en.curLen > en.savedLen*(1+en.cfg.guardSlack)+cmpEps {
+		en.restore()
+		if en.cfg.fullRebuild {
+			en.rebuild()
+		} else {
 			en.updateFrom(t)
-			kept = false
 		}
+		kept = false
 	}
 	if kept {
 		en.version++
+		if en.cache != nil {
+			en.cache.stampCommit()
+		}
 		en.noteState()
 	}
 	return kept
 }
 
-// commitOracle is the full-rebuild commit path: the pre-migration state is
-// captured as (assign, incident routes) and a rollback reconstructs the
-// whole timeline from it.
-func (en *engine) commitOracle(t taskgraph.TaskID, y network.ProcID, guard bool) bool {
-	var (
-		prevLen    float64
-		prevAssign network.ProcID
-		prevRoutes map[taskgraph.EdgeID][]network.LinkID
-	)
-	if guard {
-		prevLen = en.curLen
-		prevAssign = en.assign[t]
-		prevRoutes = make(map[taskgraph.EdgeID][]network.LinkID, en.g.InDegree(t)+en.g.OutDegree(t))
-		for _, e := range en.g.In(t) {
-			prevRoutes[e] = append([]network.LinkID(nil), en.routes[e]...)
-		}
-		for _, e := range en.g.Out(t) {
-			prevRoutes[e] = append([]network.LinkID(nil), en.routes[e]...)
-		}
-	}
-	en.applyMigration(t, y)
-	if guard && en.curLen > prevLen*(1+en.cfg.guardSlack)+cmpEps {
-		en.assign[t] = prevAssign
-		for e, r := range prevRoutes {
-			en.routes[e] = r
-		}
-		en.rebuild()
-		return false
-	}
-	return true
-}
-
 // save snapshots the ground truth a migration of t can touch — t's
 // assignment and its incident-edge routes — into the engine's reused
-// snapshot buffers, together with the current schedule length for the
-// guard comparison.
+// snapshot arena, together with the current schedule length for the guard
+// comparison.
 func (en *engine) save(t taskgraph.TaskID) {
 	en.savedTask = t
 	en.savedAssign = en.assign[t]
 	en.savedLen = en.curLen
-	saves := en.savedRoutes[:0]
+	en.savedRoutes = en.savedRoutes[:0]
+	en.savedBuf = en.savedBuf[:0]
 	for _, e := range en.g.In(t) {
-		saves = appendRouteSave(saves, e, en.routes[e])
+		en.appendRouteSave(e)
 	}
 	for _, e := range en.g.Out(t) {
-		saves = appendRouteSave(saves, e, en.routes[e])
+		en.appendRouteSave(e)
 	}
-	en.savedRoutes = saves
 }
 
-func appendRouteSave(saves []routeSave, e taskgraph.EdgeID, r []network.LinkID) []routeSave {
-	if len(saves) < cap(saves) {
-		saves = saves[:len(saves)+1]
-	} else {
-		saves = append(saves, routeSave{})
-	}
-	rs := &saves[len(saves)-1]
-	rs.e = e
-	rs.r = append(rs.r[:0], r...)
-	return saves
+func (en *engine) appendRouteSave(e taskgraph.EdgeID) {
+	r := en.routes.route(e)
+	off := len(en.savedBuf)
+	en.savedBuf = append(en.savedBuf, r...)
+	en.savedRoutes = append(en.savedRoutes, routeSave{e: e, off: int32(off), n: int32(len(r))})
 }
 
 // restore reverts the saved ground truth; the caller re-derives the
-// affected timeline suffix afterwards.
+// affected timelines afterwards.
 func (en *engine) restore() {
 	en.assign[en.savedTask] = en.savedAssign
-	for i := range en.savedRoutes {
-		rs := &en.savedRoutes[i]
-		en.routes[rs.e] = append(en.routes[rs.e][:0], rs.r...)
+	for _, rs := range en.savedRoutes {
+		en.routes.set(rs.e, en.savedBuf[rs.off:rs.off+rs.n])
 	}
 }
 
@@ -824,32 +798,40 @@ func (en *engine) restore() {
 // endpoints now coincide) and re-derives the schedule from the migrating
 // task's serial position onward.
 func (en *engine) applyMigration(t taskgraph.TaskID, y network.ProcID) {
+	// Safe compaction point: no route views are held here, and every
+	// mutation below writes through the arena.
+	en.routes.maybeCompact()
 	pivot := en.assign[t]
+	link := network.LinkID(-1) // pivot->y link, resolved at most once
 	for _, e := range en.g.In(t) {
 		u := en.g.Edge(e).From
 		if en.assign[u] == y {
-			en.routes[e] = en.routes[e][:0]
+			en.routes.clear(e)
 			continue
 		}
-		l, _ := en.sys.Net.LinkBetween(pivot, y)
-		r := append(en.routes[e], l)
-		if en.cfg.pruneRoutes {
-			r = network.NormalizeRoute(en.sys.Net, en.assign[u], r)
+		if link < 0 {
+			link, _ = en.sys.Net.LinkBetween(pivot, y)
 		}
-		en.routes[e] = r
+		r := en.routes.extend(e, link)
+		if en.cfg.pruneRoutes {
+			r = en.norm.Normalize(en.sys.Net, en.assign[u], r)
+			en.routes.truncateTail(e, len(r))
+		}
 	}
 	for _, e := range en.g.Out(t) {
 		w := en.g.Edge(e).To
 		if en.assign[w] == y {
-			en.routes[e] = en.routes[e][:0]
+			en.routes.clear(e)
 			continue
 		}
-		l, _ := en.sys.Net.LinkBetween(pivot, y)
-		r := append([]network.LinkID{l}, en.routes[e]...)
-		if en.cfg.pruneRoutes {
-			r = network.NormalizeRoute(en.sys.Net, y, r)
+		if link < 0 {
+			link, _ = en.sys.Net.LinkBetween(pivot, y)
 		}
-		en.routes[e] = r
+		r := en.routes.prepend(e, link)
+		if en.cfg.pruneRoutes {
+			r = en.norm.Normalize(en.sys.Net, y, r)
+			en.routes.truncateTail(e, len(r))
+		}
 	}
 	en.assign[t] = y
 	if en.cfg.fullRebuild {

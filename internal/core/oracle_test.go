@@ -39,8 +39,8 @@ func assertSchedulesIdentical(t *testing.T, label string, a, b *Result) {
 // TestIncrementalMatchesOracle is the central equivalence property: across
 // random graphs, random connected topologies and seeds, the incremental
 // engine (suffix rebuilds + snapshot rollback, with and without parallel
-// candidate evaluation) must produce byte-identical schedules to the
-// full-rebuild oracle.
+// candidate evaluation, with and without the sweep-level candidate cache)
+// must produce byte-identical schedules to the full-rebuild oracle.
 func TestIncrementalMatchesOracle(t *testing.T) {
 	f := func(seed int64, nRaw, mRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -59,12 +59,17 @@ func TestIncrementalMatchesOracle(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for _, workers := range []int{1, 4} {
-			inc, err := Schedule(g, sys, Options{Seed: seed, Workers: workers})
+		for _, opt := range []Options{
+			{Seed: seed, Workers: 1},
+			{Seed: seed, Workers: 4},
+			{Seed: seed, Workers: 1, DisableCandidateCache: true},
+			{Seed: seed, Workers: 4, DisableCandidateCache: true},
+		} {
+			inc, err := Schedule(g, sys, opt)
 			if err != nil {
 				return false
 			}
-			assertSchedulesIdentical(t, fmt.Sprintf("seed=%d n=%d m=%d workers=%d", seed, n, m, workers), oracle, inc)
+			assertSchedulesIdentical(t, fmt.Sprintf("seed=%d n=%d m=%d opt=%+v", seed, n, m, opt), oracle, inc)
 		}
 		return true
 	}
@@ -86,6 +91,9 @@ func TestIncrementalMatchesOracleAblations(t *testing.T) {
 		{DisableMigrationGuard: true},
 		{MaxSweeps: 1},
 		{GuardSlack: -1},
+		{DisableCandidateCache: true},
+		{DisableVIPFollow: true, DisableCandidateCache: true},
+		{DisableMigrationGuard: true, DisableCandidateCache: true},
 	} {
 		oracleOpt := opt
 		oracleOpt.UseFullRebuild = true
@@ -136,7 +144,9 @@ func TestParallelSweepRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
-		got, err := Schedule(g, sys, Options{Seed: 3, Workers: workers})
+		// The batch pool only serves the cache-off engine, so the race
+		// coverage must disable the candidate cache explicitly.
+		got, err := Schedule(g, sys, Options{Seed: 3, Workers: workers, DisableCandidateCache: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"repro/internal/network"
+	"repro/internal/taskgraph"
+)
+
+// routeArena stores every edge's link route as an (offset, length) view
+// into one shared backing array instead of one heap slice per edge.
+// Routes are immutable in place: every mutation writes a fresh copy at the
+// arena tail and repoints the edge, so outstanding views of *other* edges
+// stay valid across a mutation. Stale tail copies are reclaimed by
+// maybeCompact once garbage outgrows the live routes, which keeps the
+// steady-state migration path free of per-edge allocations.
+type routeArena struct {
+	buf  []network.LinkID
+	off  []int32
+	n    []int32
+	live int // total links across live routes; len(buf)-live is garbage
+}
+
+func newRouteArena(numEdges int) *routeArena {
+	return &routeArena{off: make([]int32, numEdges), n: make([]int32, numEdges)}
+}
+
+// route returns e's route as a view into the arena. The view is valid
+// until the next mutation of e or call to maybeCompact.
+func (ra *routeArena) route(e taskgraph.EdgeID) []network.LinkID {
+	if ra.n[e] == 0 {
+		return nil
+	}
+	off, end := ra.off[e], ra.off[e]+ra.n[e]
+	return ra.buf[off:end:end]
+}
+
+// clear empties e's route.
+func (ra *routeArena) clear(e taskgraph.EdgeID) {
+	ra.live -= int(ra.n[e])
+	ra.n[e] = 0
+}
+
+// set replaces e's route with a copy of r. r may alias this or another
+// arena: append reads its source before growing the destination.
+func (ra *routeArena) set(e taskgraph.EdgeID, r []network.LinkID) {
+	ra.live += len(r) - int(ra.n[e])
+	if len(r) == 0 {
+		ra.n[e] = 0
+		return
+	}
+	off := len(ra.buf)
+	ra.buf = append(ra.buf, r...)
+	ra.off[e] = int32(off)
+	ra.n[e] = int32(len(r))
+}
+
+// extend rewrites e's route as route(e)+[l] at the arena tail and returns
+// the new view.
+func (ra *routeArena) extend(e taskgraph.EdgeID, l network.LinkID) []network.LinkID {
+	old := ra.route(e)
+	off := len(ra.buf)
+	ra.buf = append(ra.buf, old...)
+	ra.buf = append(ra.buf, l)
+	ra.off[e] = int32(off)
+	ra.n[e]++
+	ra.live++
+	return ra.buf[off:]
+}
+
+// prepend rewrites e's route as [l]+route(e) at the arena tail and returns
+// the new view.
+func (ra *routeArena) prepend(e taskgraph.EdgeID, l network.LinkID) []network.LinkID {
+	old := ra.route(e)
+	off := len(ra.buf)
+	ra.buf = append(ra.buf, l)
+	ra.buf = append(ra.buf, old...)
+	ra.off[e] = int32(off)
+	ra.n[e]++
+	ra.live++
+	return ra.buf[off:]
+}
+
+// truncateTail shrinks e's route — which must be the most recent tail
+// write — to its first k links, returning the trimmed space to the arena.
+// Route normalization shortens in place, so the shrunken prefix is already
+// e's content.
+func (ra *routeArena) truncateTail(e taskgraph.EdgeID, k int) {
+	ra.live -= int(ra.n[e]) - k
+	ra.n[e] = int32(k)
+	ra.buf = ra.buf[:int(ra.off[e])+k]
+}
+
+// maybeCompact rewrites the live routes into a fresh dense buffer when
+// garbage dominates. Callers must not hold route views across the call.
+func (ra *routeArena) maybeCompact() {
+	if len(ra.buf) <= 1024 || len(ra.buf) <= 4*ra.live {
+		return
+	}
+	nb := make([]network.LinkID, 0, 2*ra.live)
+	for e := range ra.off {
+		if ra.n[e] == 0 {
+			continue
+		}
+		off := len(nb)
+		nb = append(nb, ra.route(taskgraph.EdgeID(e))...)
+		ra.off[e] = int32(off)
+	}
+	ra.buf = nb
+}

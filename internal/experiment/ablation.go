@@ -23,9 +23,10 @@ func DefaultAblationVariants() []AblationVariant {
 		{"no-guard", []sched.Option{sched.WithMigrationGuard(false)}},
 		{"no-vip-follow", []sched.Option{sched.WithVIPFollow(false)}},
 		{"no-route-pruning", []sched.Option{sched.WithRoutePruning(false)}},
-		// The full-rebuild oracle engine must land on exactly 1.00x the
-		// default's schedule lengths — a visible sanity check that the
-		// incremental engine changes performance, not results.
+		// The engine ablations must land on exactly 1.00x the default's
+		// schedule lengths — a visible sanity check that the incremental
+		// engine and its candidate cache change performance, not results.
+		{"no-candidate-cache", []sched.Option{sched.WithCandidateCache(false)}},
 		{"full-rebuild", []sched.Option{sched.WithFullRebuild(true)}},
 	}
 }

@@ -14,13 +14,13 @@ func TestRunAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
+	if len(rows) != 7 {
 		t.Fatalf("rows=%d", len(rows))
 	}
-	// The full-rebuild oracle must match the default engine exactly.
+	// The engine ablations must match the default engine exactly.
 	for _, r := range rows {
-		if r.Variant == "full-rebuild" && r.MeanVsBase != 1 {
-			t.Errorf("full-rebuild oracle diverges from default: %+v", r)
+		if (r.Variant == "full-rebuild" || r.Variant == "no-candidate-cache") && r.MeanVsBase != 1 {
+			t.Errorf("%s engine ablation diverges from default: %+v", r.Variant, r)
 		}
 	}
 	if rows[0].Variant != "default" || rows[0].MeanVsBase != 1 {

@@ -7,7 +7,6 @@ package schedule
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Slot is an exclusive reservation [Start, End) on a resource, tagged with
@@ -27,6 +26,44 @@ type Timeline struct {
 
 // timeEps absorbs floating-point noise when comparing slot boundaries.
 const timeEps = 1e-9
+
+// searchEndAbove returns the index of the first slot whose End exceeds t.
+// Hand-rolled binary search: this runs once per placement, fit and strip
+// restore, where sort.Search's per-probe closure call is measurable.
+func (tl *Timeline) searchEndAbove(t float64) int {
+	lo, hi := 0, len(tl.slots)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tl.slots[mid].End > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// searchStartAtLeast returns the index of the first slot whose Start is
+// >= t.
+func (tl *Timeline) searchStartAtLeast(t float64) int {
+	lo, hi := 0, len(tl.slots)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tl.slots[mid].Start >= t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// insertAt inserts s at index idx, shifting later slots right.
+func (tl *Timeline) insertAt(idx int, s Slot) {
+	tl.slots = append(tl.slots, Slot{})
+	copy(tl.slots[idx+1:], tl.slots[idx:])
+	tl.slots[idx] = s
+}
 
 // Len returns the number of reserved slots.
 func (tl *Timeline) Len() int { return len(tl.slots) }
@@ -53,26 +90,34 @@ func (tl *Timeline) EarliestFit(ready, dur float64) float64 {
 	if ready < 0 {
 		ready = 0
 	}
+	start, _ := tl.earliestFit(ready, dur)
+	return start
+}
+
+// earliestFit is EarliestFit plus the insertion index a reservation at the
+// returned start would occupy, so ReserveEarliest needs no second search.
+func (tl *Timeline) earliestFit(ready, dur float64) (float64, int) {
 	start := ready
 	// Slots are non-overlapping and start-sorted, so their end times are
 	// monotone: binary-search past everything ending before the candidate
 	// start instead of scanning it. Late placements — the common case in
 	// suffix rebuilds, whose timelines already hold the whole prefix —
 	// skip nearly the entire timeline.
-	lo := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].End > ready })
-	for _, s := range tl.slots[lo:] {
+	lo := tl.searchEndAbove(ready)
+	for i := lo; i < len(tl.slots); i++ {
+		s := tl.slots[i]
 		if s.End <= start+timeEps {
 			continue // slot entirely before the candidate start
 		}
 		if start+dur <= s.Start+timeEps {
-			return start // fits in the gap before this slot
+			return start, i // fits in the gap before this slot
 		}
 		start = s.End
 		if start < ready {
 			start = ready
 		}
 	}
-	return start
+	return start, len(tl.slots)
 }
 
 // EarliestFitWithExtra behaves like EarliestFit but also avoids the given
@@ -84,7 +129,7 @@ func (tl *Timeline) EarliestFitWithExtra(ready, dur float64, extra []Slot) float
 		ready = 0
 	}
 	start := ready
-	i := sort.Search(len(tl.slots), func(k int) bool { return tl.slots[k].End > ready })
+	i := tl.searchEndAbove(ready)
 	j := 0
 	for i < len(tl.slots) || j < len(extra) {
 		var s Slot
@@ -116,16 +161,14 @@ func (tl *Timeline) Reserve(start, dur float64, owner int64) error {
 		return fmt.Errorf("schedule: negative duration %v", dur)
 	}
 	end := start + dur
-	idx := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Start >= start })
+	idx := tl.searchStartAtLeast(start)
 	if idx > 0 && tl.slots[idx-1].End > start+timeEps {
 		return fmt.Errorf("schedule: slot [%v,%v) overlaps [%v,%v)", start, end, tl.slots[idx-1].Start, tl.slots[idx-1].End)
 	}
 	if idx < len(tl.slots) && tl.slots[idx].Start < end-timeEps {
 		return fmt.Errorf("schedule: slot [%v,%v) overlaps [%v,%v)", start, end, tl.slots[idx].Start, tl.slots[idx].End)
 	}
-	tl.slots = append(tl.slots, Slot{})
-	copy(tl.slots[idx+1:], tl.slots[idx:])
-	tl.slots[idx] = Slot{Start: start, End: end, Owner: owner}
+	tl.insertAt(idx, Slot{Start: start, End: end, Owner: owner})
 	return nil
 }
 
@@ -138,16 +181,14 @@ func (tl *Timeline) ReserveExact(start, end float64, owner int64) error {
 	if end < start {
 		return fmt.Errorf("schedule: negative duration slot [%v,%v)", start, end)
 	}
-	idx := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Start >= start })
+	idx := tl.searchStartAtLeast(start)
 	if idx > 0 && tl.slots[idx-1].End > start+timeEps {
 		return fmt.Errorf("schedule: slot [%v,%v) overlaps [%v,%v)", start, end, tl.slots[idx-1].Start, tl.slots[idx-1].End)
 	}
 	if idx < len(tl.slots) && tl.slots[idx].Start < end-timeEps {
 		return fmt.Errorf("schedule: slot [%v,%v) overlaps [%v,%v)", start, end, tl.slots[idx].Start, tl.slots[idx].End)
 	}
-	tl.slots = append(tl.slots, Slot{})
-	copy(tl.slots[idx+1:], tl.slots[idx:])
-	tl.slots[idx] = Slot{Start: start, End: end, Owner: owner}
+	tl.insertAt(idx, Slot{Start: start, End: end, Owner: owner})
 	return nil
 }
 
@@ -172,13 +213,18 @@ func (tl *Timeline) FilterOwners(keep func(owner int64) bool, onRemove func(owne
 }
 
 // ReserveEarliest reserves a slot of the given duration at the earliest
-// feasible start >= ready and returns that start.
+// feasible start >= ready and returns that start. The fit search already
+// yields the insertion index, so — unlike EarliestFit followed by
+// Reserve — no second search or overlap re-check runs.
 func (tl *Timeline) ReserveEarliest(ready, dur float64, owner int64) float64 {
-	start := tl.EarliestFit(ready, dur)
-	// EarliestFit guarantees no overlap, so Reserve cannot fail.
-	if err := tl.Reserve(start, dur, owner); err != nil {
-		panic(err)
+	if ready < 0 {
+		ready = 0
 	}
+	if dur < 0 {
+		panic(fmt.Sprintf("schedule: negative duration %v", dur))
+	}
+	start, idx := tl.earliestFit(ready, dur)
+	tl.insertAt(idx, Slot{Start: start, End: start + dur, Owner: owner})
 	return start
 }
 

@@ -12,8 +12,10 @@ type Config struct {
 	Seed int64
 
 	// Workers bounds intra-run parallelism for algorithms that have any
-	// (BSA's candidate evaluation). 0 means GOMAXPROCS, 1 forces
-	// sequential evaluation; the schedule is identical either way.
+	// (BSA's speculative candidate batch evaluation). 0 means GOMAXPROCS,
+	// 1 forces sequential evaluation; the schedule is identical either
+	// way. Only BSA's cache-off engine batches candidates, so Workers has
+	// no effect unless CandidateCache is disabled.
 	Workers int
 
 	// FullRebuild selects BSA's legacy full-rebuild engine, the
@@ -35,12 +37,20 @@ type Config struct {
 	// means a strict no-regression guard.
 	GuardSlack float64
 
-	// VIPFollow, RoutePruning, MigrationGuard and HeterogeneityAdjust
-	// are ablation knobs; all default to on (the published algorithms).
+	// VIPFollow, RoutePruning, MigrationGuard, HeterogeneityAdjust and
+	// CandidateCache are ablation knobs; all default to on (the published
+	// algorithms, on the fastest engine configuration).
 	VIPFollow           bool
 	RoutePruning        bool
 	MigrationGuard      bool
 	HeterogeneityAdjust bool
+
+	// CandidateCache enables BSA's sweep-level candidate cache: candidate
+	// finish-time rows are memoized and a committed migration re-evaluates
+	// only the rows and entries its dependency cone touched. Schedules are
+	// byte-identical with the cache on or off; only the evaluation count
+	// changes. On by default.
+	CandidateCache bool
 }
 
 // Option customizes one Schedule call.
@@ -54,6 +64,7 @@ func NewConfig(opts ...Option) Config {
 		RoutePruning:        true,
 		MigrationGuard:      true,
 		HeterogeneityAdjust: true,
+		CandidateCache:      true,
 	}
 	for _, opt := range opts {
 		if opt != nil {
@@ -67,7 +78,9 @@ func NewConfig(opts ...Option) Config {
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 
 // WithWorkers bounds intra-run worker goroutines (0 = GOMAXPROCS,
-// 1 = sequential). Results are identical for every value.
+// 1 = sequential). Results are identical for every value. The pool only
+// serves BSA's cache-off engine — pair with WithCandidateCache(false) to
+// see an effect.
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
 // WithFullRebuild toggles BSA's legacy full-rebuild oracle engine.
@@ -94,3 +107,8 @@ func WithMigrationGuard(on bool) Option { return func(c *Config) { c.MigrationGu
 
 // WithHeterogeneityAdjust toggles DLS's Delta(t,p) term (ablation).
 func WithHeterogeneityAdjust(on bool) Option { return func(c *Config) { c.HeterogeneityAdjust = on } }
+
+// WithCandidateCache toggles BSA's sweep-level candidate cache (ablation;
+// default on). Results are identical either way — the knob exists so the
+// ablation harness can measure the cache, not to trade accuracy for speed.
+func WithCandidateCache(on bool) Option { return func(c *Config) { c.CandidateCache = on } }

@@ -47,6 +47,7 @@ func (b bsaScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sch
 		DisableVIPFollow:      !cfg.VIPFollow,
 		DisableRoutePruning:   !cfg.RoutePruning,
 		DisableMigrationGuard: !cfg.MigrationGuard,
+		DisableCandidateCache: !cfg.CandidateCache,
 	})
 	if err != nil {
 		return nil, err
@@ -67,6 +68,9 @@ func (b bsaScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sch
 			"rebuilds":       float64(res.Rebuilds),
 			"placements":     float64(res.Placements),
 			"msg_placements": float64(res.MsgPlacements),
+			"cache_hits":     float64(res.CacheHits),
+			"cache_partials": float64(res.CachePartials),
+			"cache_misses":   float64(res.CacheMisses),
 		},
 		Trace: &sched.BSATrace{
 			InitialPivot:  res.InitialPivot,
@@ -83,6 +87,9 @@ func (b bsaScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sch
 			Rebuilds:      res.Rebuilds,
 			Placements:    res.Placements,
 			MsgPlacements: res.MsgPlacements,
+			CacheHits:     res.CacheHits,
+			CachePartials: res.CachePartials,
+			CacheMisses:   res.CacheMisses,
 			RestoredBest:  res.RestoredBest,
 		},
 	}, nil

@@ -144,7 +144,7 @@ func TestProblemValidate(t *testing.T) {
 
 func TestNewConfigDefaultsAndOptions(t *testing.T) {
 	cfg := NewConfig()
-	if !cfg.VIPFollow || !cfg.RoutePruning || !cfg.MigrationGuard || !cfg.HeterogeneityAdjust {
+	if !cfg.VIPFollow || !cfg.RoutePruning || !cfg.MigrationGuard || !cfg.HeterogeneityAdjust || !cfg.CandidateCache {
 		t.Fatalf("defaults must be the published algorithms: %+v", cfg)
 	}
 	if cfg.Seed != 0 || cfg.Workers != 0 || cfg.FullRebuild || cfg.Insertion || cfg.MaxSweeps != 0 || cfg.GuardSlack != 0 {
@@ -155,6 +155,7 @@ func TestNewConfigDefaultsAndOptions(t *testing.T) {
 		WithSeed(7), WithWorkers(3), WithFullRebuild(true), WithInsertion(true),
 		WithMaxSweeps(2), WithGuardSlack(-1), WithVIPFollow(false),
 		WithRoutePruning(false), WithMigrationGuard(false), WithHeterogeneityAdjust(false),
+		WithCandidateCache(false),
 		nil,
 	)
 	want := Config{Seed: 7, Workers: 3, FullRebuild: true, Insertion: true, MaxSweeps: 2, GuardSlack: -1}

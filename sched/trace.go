@@ -34,6 +34,14 @@ type BSATrace struct {
 	Rebuilds      int
 	Placements    int
 	MsgPlacements int
+	// CacheHits, CachePartials and CacheMisses describe the sweep-level
+	// candidate cache: rows served without re-evaluation, rows refreshed
+	// by re-evaluating only commit-stamped entries, and rows evaluated in
+	// full. All zero when the cache is disabled (WithCandidateCache(false)
+	// or the full-rebuild engine).
+	CacheHits     int
+	CachePartials int
+	CacheMisses   int
 	// RestoredBest reports whether the final elitism pass rewound to an
 	// earlier, shorter state.
 	RestoredBest bool
