@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke bench-gate benchcmp examples
+.PHONY: build test race vet fmt-check bench bench-smoke bench-gate bench-verify benchcmp examples apiseal
 
 build:
 	$(GO) build ./...
@@ -45,8 +45,22 @@ bench-smoke:
 # their 3-iteration ratios are too noisy to enforce.
 bench-gate:
 	@cp BENCH_core.json /tmp/bench-baseline.json
+	@rm -f BENCH_core.json  # a failed bench must not leave the stale committed report behind
 	$(MAKE) bench
 	$(GO) run ./cmd/benchcmp -speedups -filter '^BenchmarkBSA/.*/n=500$$' -max-regress 0.15 /tmp/bench-baseline.json BENCH_core.json
+
+# bench-verify fails loudly when BENCH_core.json is missing, unparseable
+# or empty — CI runs it before publishing the bench artifact so the bench
+# trajectory can never silently come back blank.
+bench-verify:
+	$(GO) run ./cmd/benchjson -verify BENCH_core.json
+
+# apiseal runs the API-leak regression gate (no internal types in the
+# public packages' exported signatures) and the standalone external
+# consumer module build.
+apiseal:
+	$(GO) test ./sched -run TestAPISeal -count 1
+	$(GO) test ./tests -run TestExternalConsumerBuilds -count 1
 
 # benchcmp diffs two bench JSONs locally: make benchcmp OLD=a.json NEW=b.json
 benchcmp:

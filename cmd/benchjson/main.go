@@ -48,7 +48,16 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(.*
 
 func main() {
 	out := flag.String("out", "", "path of the JSON report to write (stdout JSON is suppressed when set)")
+	verify := flag.String("verify", "", "verify that an existing report file is present and non-empty, then exit")
 	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyReport(*verify); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep := Report{}
 	byName := make(map[string]int) // benchmark name -> index in rep.Benchmarks
@@ -119,6 +128,31 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+// verifyReport fails unless path holds a parseable report with at least
+// one benchmark and one speedup entry — the guard CI runs before
+// publishing the bench artifact, so a broken bench run can never archive
+// a blank (or stale, deleted-up-front) trajectory point as if it were
+// fresh.
+func verifyReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("verify: report missing (bench run failed upstream?): %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("verify %s: unparseable report: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("verify %s: report has no benchmarks", path)
+	}
+	if len(rep.Speedups) == 0 {
+		return fmt.Errorf("verify %s: report has no oracle/incremental speedups", path)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s ok (%d benchmarks, %d speedups)\n",
+		path, len(rep.Benchmarks), len(rep.Speedups))
+	return nil
 }
 
 // trimGOMAXPROCS drops the -N suffix go test appends to benchmark names.

@@ -29,12 +29,10 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/sim"
-	"repro/internal/taskgraph"
 	"repro/sched"
+	"repro/sched/graph"
 	_ "repro/sched/register"
+	"repro/sched/system"
 )
 
 func main() {
@@ -79,7 +77,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	g, err := taskgraph.FromJSON(gf)
+	g, err := graph.FromJSON(gf)
 	if err != nil {
 		return err
 	}
@@ -87,20 +85,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	nw, err := network.FromJSON(tf)
+	nw, err := system.FromJSON(tf)
 	if err != nil {
 		return err
 	}
 
-	var sys *hetero.System
+	var sys *system.System
 	if *het == "" {
-		sys = hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+		sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
 	} else {
 		var lo, hi float64
 		if _, err := fmt.Sscanf(strings.ReplaceAll(*het, " ", ""), "%f,%f", &lo, &hi); err != nil {
 			return fmt.Errorf("bad -het %q (want lo,hi): %v", *het, err)
 		}
-		sys, err = hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), lo, hi, rand.New(rand.NewSource(*seed)))
+		sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), lo, hi, rand.New(rand.NewSource(*seed)))
 		if err != nil {
 			return err
 		}
@@ -126,18 +124,15 @@ func run() error {
 	if err := s.Validate(); err != nil {
 		return fmt.Errorf("schedule failed validation: %w", err)
 	}
-	replay, err := sim.Replay(s)
+	replay, err := s.Replay()
 	if err != nil {
-		return fmt.Errorf("replay failed: %w", err)
-	}
-	if err := replay.CheckAgainst(s); err != nil {
 		return fmt.Errorf("replay check failed: %w", err)
 	}
 
 	if err := s.WriteGantt(os.Stdout); err != nil {
 		return err
 	}
-	st := s.ComputeStats()
+	st := s.Stats()
 	fmt.Println(st.String())
 	fmt.Printf("replay: %d events, simulated length %.2f (schedule %.2f, %v)\n",
 		replay.Events, replay.Length, res.Makespan, res.Elapsed.Round(time.Microsecond))

@@ -24,8 +24,8 @@ import (
 	"time"
 
 	"repro/internal/experiment"
-	"repro/internal/paperexample"
 	"repro/sched"
+	"repro/sched/gen"
 	_ "repro/sched/register"
 )
 
@@ -152,8 +152,8 @@ func run() error {
 // runExample reproduces the paper's worked example: the Figure 1 graph on
 // the Table 1 heterogeneous ring, scheduled by BSA and DLS.
 func runExample(ctx context.Context) error {
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	problem, err := sched.NewProblem(g, sys)
 	if err != nil {
 		return err
@@ -164,8 +164,8 @@ func runExample(ctx context.Context) error {
 	fmt.Printf("%6s %6s %6s %6s %6s\n", "task", "P1", "P2", "P3", "P4")
 	for i := 0; i < 9; i++ {
 		fmt.Printf("%6s %6.0f %6.0f %6.0f %6.0f\n", fmt.Sprintf("T%d", i+1),
-			paperexample.ExecTable[i][0], paperexample.ExecTable[i][1],
-			paperexample.ExecTable[i][2], paperexample.ExecTable[i][3])
+			gen.PaperExecTable[i][0], gen.PaperExecTable[i][1],
+			gen.PaperExecTable[i][2], gen.PaperExecTable[i][3])
 	}
 
 	bsa, err := sched.Lookup("bsa")
@@ -176,7 +176,10 @@ func runExample(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	trace := res.Trace.(*sched.BSATrace)
+	trace, ok := res.BSA()
+	if !ok {
+		return fmt.Errorf("bsa result carries no BSA trace")
+	}
 	fmt.Printf("\nBSA (paper reports SL = 138 for its original edge costs):\n")
 	fmt.Printf("first pivot: %s (CP length %.0f); serial order:", trace.PivotName, trace.PivotCPLength)
 	for _, t := range trace.Serial {

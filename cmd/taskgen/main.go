@@ -1,19 +1,24 @@
 // Command taskgen generates task graphs from the paper's workload suites
-// and writes them as JSON (and optionally Graphviz DOT).
+// and writes them through the public sched/graph encoders.
 //
 // Usage:
 //
 //	taskgen -kind gauss|lu|laplace|mva|random -size 200 [-gran 1.0]
-//	        [-seed 1] [-o graph.json] [-dot graph.dot]
+//	        [-seed 1] [-format json|dot] [-o graph.json]
+//
+// The JSON and DOT outputs are both loadable back with graph.FromJSON /
+// graph.FromDOT (and by bsasched's -graph flag for JSON).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
-	"repro/internal/generator"
+	"repro/sched/gen"
+	"repro/sched/graph"
 )
 
 func main() {
@@ -28,27 +33,19 @@ func run() error {
 	size := flag.Int("size", 100, "approximate number of tasks")
 	gran := flag.Float64("gran", 1.0, "granularity (mean exec / mean comm): 0.1 fine, 10 coarse")
 	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("o", "", "output JSON file (default stdout)")
-	dot := flag.String("dot", "", "also write Graphviz DOT to this file")
+	format := flag.String("format", "json", "output format: json or dot")
+	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	var kind generator.Kind
-	switch *kindName {
-	case "gauss":
-		kind = generator.GaussElim
-	case "lu":
-		kind = generator.LU
-	case "laplace":
-		kind = generator.Laplace
-	case "mva":
-		kind = generator.MVA
-	case "random":
-		kind = generator.Random
-	default:
+	if *format != "json" && *format != "dot" {
+		return fmt.Errorf("unknown -format %q (want json or dot)", *format)
+	}
+	kind, ok := gen.KindByName(*kindName)
+	if !ok {
 		return fmt.Errorf("unknown kind %q", *kindName)
 	}
 
-	g, err := generator.Generate(generator.Spec{Kind: kind, Size: *size, Granularity: *gran}, rand.New(rand.NewSource(*seed)))
+	g, err := gen.Generate(gen.Spec{Kind: kind, Size: *size, Granularity: *gran}, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
 	}
@@ -64,18 +61,16 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
-	if err := g.WriteJSON(w); err != nil {
-		return err
+	return writeGraph(g, w, *format, kind.String())
+}
+
+func writeGraph(g *graph.Graph, w io.Writer, format, title string) error {
+	switch format {
+	case "json":
+		return g.WriteJSON(w)
+	case "dot":
+		return g.WriteDOT(w, title)
+	default:
+		return fmt.Errorf("unknown -format %q (want json or dot)", format)
 	}
-	if *dot != "" {
-		f, err := os.Create(*dot)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := g.WriteDOT(f, kind.String()); err != nil {
-			return err
-		}
-	}
-	return nil
 }

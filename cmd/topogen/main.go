@@ -1,19 +1,24 @@
-// Command topogen generates processor network topologies and writes them as
-// JSON (and optionally Graphviz DOT).
+// Command topogen generates processor network topologies and writes them
+// through the public sched/system encoders.
 //
 // Usage:
 //
 //	topogen -kind ring|hypercube|clique|random|mesh|star|tree|line
-//	        -procs 16 [-seed 1] [-o topo.json] [-dot topo.dot]
+//	        -procs 16 [-seed 1] [-format json|dot] [-o topo.json]
+//
+// The JSON and DOT outputs are both loadable back with system.FromJSON /
+// system.FromDOT (and by bsasched's -topo flag for JSON).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
-	"repro/internal/network"
+	"repro/sched/gen"
+	"repro/sched/system"
 )
 
 func main() {
@@ -24,59 +29,27 @@ func main() {
 }
 
 func run() error {
-	kind := flag.String("kind", "ring", "topology: ring, hypercube, clique, random, mesh, star, tree or line")
+	kindName := flag.String("kind", "ring", "topology: ring, hypercube, clique, random, mesh, star, tree or line")
 	procs := flag.Int("procs", 16, "number of processors (power of two for hypercube, r*c for mesh)")
-	rows := flag.Int("rows", 4, "rows for -kind mesh")
+	rows := flag.Int("rows", 0, "rows for -kind mesh (0 = most square layout)")
 	seed := flag.Int64("seed", 1, "random seed for -kind random")
-	out := flag.String("o", "", "output JSON file (default stdout)")
-	dot := flag.String("dot", "", "also write Graphviz DOT to this file")
+	format := flag.String("format", "json", "output format: json or dot")
+	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	var (
-		nw  *network.Network
-		err error
-	)
-	switch *kind {
-	case "ring":
-		nw, err = network.Ring(*procs)
-	case "hypercube":
-		d := 0
-		for 1<<d < *procs {
-			d++
-		}
-		if 1<<d != *procs {
-			return fmt.Errorf("hypercube needs a power-of-two processor count, got %d", *procs)
-		}
-		nw, err = network.Hypercube(d)
-	case "clique":
-		nw, err = network.FullyConnected(*procs)
-	case "random":
-		minDeg, maxDeg := 2, 8
-		if *procs <= 2 {
-			minDeg = 1
-		}
-		if maxDeg > *procs-1 {
-			maxDeg = *procs - 1
-		}
-		nw, err = network.RandomConnected(*procs, minDeg, maxDeg, rand.New(rand.NewSource(*seed)))
-	case "mesh":
-		if *procs%*rows != 0 {
-			return fmt.Errorf("mesh: procs %d not divisible by rows %d", *procs, *rows)
-		}
-		nw, err = network.Mesh2D(*rows, *procs / *rows)
-	case "star":
-		nw, err = network.Star(*procs)
-	case "tree":
-		nw, err = network.BinaryTree(*procs)
-	case "line":
-		nw, err = network.Line(*procs)
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
+	if *format != "json" && *format != "dot" {
+		return fmt.Errorf("unknown -format %q (want json or dot)", *format)
 	}
+	kind, ok := gen.TopoKindByName(*kindName)
+	if !ok {
+		return fmt.Errorf("unknown kind %q", *kindName)
+	}
+	nw, err := gen.Topology(gen.TopoSpec{Kind: kind, Procs: *procs, Rows: *rows},
+		rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "generated %s topology: %d processors, %d links\n", *kind, nw.NumProcs(), nw.NumLinks())
+	fmt.Fprintf(os.Stderr, "generated %s topology: %d processors, %d links\n", kind, nw.NumProcs(), nw.NumLinks())
 
 	w := os.Stdout
 	if *out != "" {
@@ -87,18 +60,16 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
-	if err := nw.WriteJSON(w); err != nil {
-		return err
+	return writeNetwork(nw, w, *format, kind.String())
+}
+
+func writeNetwork(nw *system.Network, w io.Writer, format, title string) error {
+	switch format {
+	case "json":
+		return nw.WriteJSON(w)
+	case "dot":
+		return nw.WriteDOT(w, title)
+	default:
+		return fmt.Errorf("unknown -format %q (want json or dot)", format)
 	}
-	if *dot != "" {
-		f, err := os.Create(*dot)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := nw.WriteDOT(f, *kind); err != nil {
-			return err
-		}
-	}
-	return nil
 }

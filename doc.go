@@ -6,21 +6,27 @@
 // contended resources and routing messages incrementally without a routing
 // table.
 //
-// The supported API surface is the public repro/sched package: one
-// Scheduler interface, a uniform Result, functional options and a
-// self-registering algorithm registry (blank-import repro/sched/register
-// to install the built-in algorithms bsa, bsa-full, dls, heft and cpop).
+// The supported API surface is the public repro/sched package tree: one
+// Scheduler interface, a uniform Result with a read-only Schedule view
+// and typed trace accessors, functional options and a self-registering
+// algorithm registry (blank-import repro/sched/register to install the
+// built-in algorithms bsa, bsa-full, dls, heft and cpop). The problem
+// model is public alongside it: task graphs with builders and JSON/DOT
+// interchange in repro/sched/graph, heterogeneous target systems and
+// topologies in repro/sched/system, and the paper's seeded workload and
+// topology generators in repro/sched/gen.
 //
-// The implementation lives under internal/ and is not a supported
-// surface: the BSA algorithm in internal/core, the DLS baseline in
-// internal/dls, contention-aware HEFT and CPOP extensions in
-// internal/heft and internal/cpop, and the supporting substrates (task
-// graphs, networks, heterogeneity model, schedule timelines, workload
-// generators, experiment harness, replay simulator) in their own
-// packages. Executables are under cmd/ and runnable examples under
-// examples/. The benchmarks in bench_test.go regenerate the paper's
-// tables and figures at reduced scale; cmd/experiments regenerates them
-// in full.
+// The engines live under internal/ and are not a supported surface: the
+// BSA algorithm in internal/core, the DLS baseline in internal/dls,
+// contention-aware HEFT and CPOP extensions in internal/heft and
+// internal/cpop, and the mutable schedule timelines, experiment harness
+// and replay simulator in their own packages. An API-seal test keeps
+// internal types out of every public exported signature, and the
+// standalone module under tests/extmodule proves the public surface
+// suffices for external callers. Executables are under cmd/ and runnable
+// examples under examples/. The benchmarks in bench_test.go regenerate
+// the paper's tables and figures at reduced scale; cmd/experiments
+// regenerates them in full.
 //
 // BSA runs on an incremental engine by default, built as a stack of
 // layers that all preserve byte-identical schedules: committed migrations

@@ -13,15 +13,14 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/generator"
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/sched"
+	"repro/sched/gen"
 	_ "repro/sched/register"
+	"repro/sched/system"
 )
 
 func main() {
-	nw, err := network.Ring(8)
+	nw, err := system.Ring(8)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,11 +36,11 @@ func main() {
 	ctx := context.Background()
 	for _, gran := range []float64{0.1, 1.0, 10.0} {
 		rng := rand.New(rand.NewSource(7))
-		g, err := generator.Gaussian(14, gran, rng)
+		g, err := gen.Gaussian(14, gran, rng)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,20 +13,19 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/generator"
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/sched"
+	"repro/sched/gen"
 	_ "repro/sched/register"
+	"repro/sched/system"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(13))
-	g, err := generator.RandomLayered(150, 1.0, rng)
+	g, err := gen.RandomLayered(150, 1.0, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
-	nw, err := network.Hypercube(4)
+	nw, err := system.Hypercube(4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +42,7 @@ func main() {
 
 	ctx := context.Background()
 	for _, hi := range []float64{1, 10, 50, 100, 200} {
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, hi, rand.New(rand.NewSource(17)))
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, hi, rand.New(rand.NewSource(17)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +55,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		trace := bres.Trace.(*sched.BSATrace)
+		trace, ok := bres.BSA()
+		if !ok {
+			log.Fatal("bsa result carries no BSA trace")
+		}
 		fmt.Printf("   [1, %5.0f] %10.0f %10.0f %12s %10d\n",
 			hi, bres.Makespan, dres.Makespan, trace.PivotName, trace.Migrations)
 	}

@@ -13,20 +13,20 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/paperexample"
-	"repro/internal/taskgraph"
 	"repro/sched"
+	"repro/sched/gen"
+	"repro/sched/graph"
 	_ "repro/sched/register"
 )
 
 func main() {
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	problem, err := sched.NewProblem(g, sys)
 	if err != nil {
 		log.Fatal(err)
 	}
-	names := func(ids []taskgraph.TaskID) []string {
+	names := func(ids []graph.TaskID) []string {
 		out := make([]string, len(ids))
 		for i, id := range ids {
 			out[i] = g.Task(id).Name
@@ -42,7 +42,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace := res.Trace.(*sched.BSATrace)
+	trace, ok := res.BSA()
+	if !ok {
+		log.Fatal("bsa result carries no BSA trace")
+	}
 
 	// The three-way task partition the serialization is built on.
 	fmt.Println("Task partition w.r.t. the pivot's actual execution costs:")

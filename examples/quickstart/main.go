@@ -11,16 +11,15 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/taskgraph"
 	"repro/sched"
+	"repro/sched/graph"
 	_ "repro/sched/register"
+	"repro/sched/system"
 )
 
 func main() {
 	// 1. Describe the parallel program: a fork-join with four workers.
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	split := b.AddTask("split", 10)
 	join := b.AddTask("join", 10)
 	for i := 1; i <= 4; i++ {
@@ -35,11 +34,11 @@ func main() {
 
 	// 2. Describe the target system: a 4-processor ring where P3 is twice
 	// as fast as the others for the worker tasks.
-	nw, err := network.Ring(4)
+	nw, err := system.Ring(4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	sys := system.NewUniform(nw, g.NumTasks(), g.NumEdges())
 	for t := 2; t < g.NumTasks(); t++ { // worker tasks
 		sys.Exec[t][2] = 0.5
 	}

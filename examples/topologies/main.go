@@ -13,16 +13,15 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/generator"
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/sched"
+	"repro/sched/gen"
 	_ "repro/sched/register"
+	"repro/sched/system"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(3))
-	g, err := generator.RandomLayered(120, 1.0, rng)
+	g, err := gen.RandomLayered(120, 1.0, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,13 +30,13 @@ func main() {
 
 	topos := []struct {
 		name  string
-		build func() (*network.Network, error)
+		build func() (*system.Network, error)
 	}{
-		{"ring", func() (*network.Network, error) { return network.Ring(16) }},
-		{"hypercube", func() (*network.Network, error) { return network.Hypercube(4) }},
-		{"clique", func() (*network.Network, error) { return network.FullyConnected(16) }},
-		{"random", func() (*network.Network, error) {
-			return network.RandomConnected(16, 2, 8, rand.New(rand.NewSource(5)))
+		{"ring", func() (*system.Network, error) { return system.Ring(16) }},
+		{"hypercube", func() (*system.Network, error) { return system.Hypercube(4) }},
+		{"clique", func() (*system.Network, error) { return system.FullyConnected(16) }},
+		{"random", func() (*system.Network, error) {
+			return system.RandomConnected(16, 2, 8, rand.New(rand.NewSource(5)))
 		}},
 	}
 
@@ -58,7 +57,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(11)))
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(11)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,7 +76,7 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		bst, dst := bres.Schedule.ComputeStats(), dres.Schedule.ComputeStats()
+		bst, dst := bres.Schedule.Stats(), dres.Schedule.Stats()
 		fmt.Printf("%10s %6d | %9.0f %7.1f%% %8d | %9.0f %7.1f%% %8d\n",
 			tp.name, nw.NumLinks(),
 			bst.Length, 100*bst.AvgLinkUtil, bst.MaxRouteHops,

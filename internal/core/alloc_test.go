@@ -5,26 +5,25 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/generator"
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/taskgraph"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // paperInstance builds the deterministic paper-size workload the
 // allocation assertions run against (same family as BenchmarkBSA).
-func paperInstance(t testing.TB, n int) (*taskgraph.Graph, *hetero.System) {
+func paperInstance(t testing.TB, n int) (*graph.Graph, *system.System) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(42))
-	g, err := generator.RandomLayered(n, 1.0, rng)
+	g, err := gen.RandomLayered(n, 1.0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw, err := network.Hypercube(4)
+	nw, err := system.Hypercube(4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+	sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +94,7 @@ func TestCommitMigrationSteadyStateAllocFree(t *testing.T) {
 	g, sys := paperInstance(t, 200)
 	en, _, _ := fixpointEngine(t, g, sys)
 	// Pick any task and a neighbour of its processor, and ping-pong it.
-	tk := taskgraph.TaskID(0)
+	tk := graph.TaskID(0)
 	home := en.assign[tk]
 	away := sys.Net.Neighbors(home)[0].Proc
 	pingPong := func() {

@@ -6,10 +6,9 @@ import (
 	"math/rand"
 	"runtime"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/internal/schedule"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // Options control BSA. The zero value is the paper's algorithm with seed 0.
@@ -104,14 +103,14 @@ type Result struct {
 	Schedule *schedule.Schedule
 
 	// InitialPivot is the processor that gave the shortest CP length.
-	InitialPivot network.ProcID
+	InitialPivot system.ProcID
 	// PivotCPLength is that shortest CP length.
 	PivotCPLength float64
 	// Serial is the serialization order injected into the pivot, and
 	// Partition the CP/IB/OB split of the critical path it was built on
 	// (the seeded RNG breaks CP ties, so this is the run's own partition,
 	// not a recomputation).
-	Serial    []taskgraph.TaskID
+	Serial    []graph.TaskID
 	Partition Partition
 
 	// Migrations counts committed task migrations; Evaluations counts
@@ -148,9 +147,9 @@ type Result struct {
 // MigrationStep is one commit attempt of the migration sweep: task moved
 // (or tentatively moved) From -> To, and whether the guard kept it.
 type MigrationStep struct {
-	Task taskgraph.TaskID
-	From network.ProcID
-	To   network.ProcID
+	Task graph.TaskID
+	From system.ProcID
+	To   system.ProcID
 	Kept bool
 }
 
@@ -158,7 +157,7 @@ type MigrationStep struct {
 // validated-by-construction schedule. It errors on malformed inputs; with
 // valid inputs it always produces a feasible schedule (there is no failure
 // mode — in the worst case no task migrates off the initial pivot).
-func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, error) {
+func Schedule(g *graph.Graph, sys *system.System, opt Options) (*Result, error) {
 	return ScheduleContext(context.Background(), g, sys, opt)
 }
 
@@ -166,7 +165,7 @@ func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, err
 // every pivot of every migration sweep, so a canceled or expired context
 // aborts a long run between two migration decisions and returns ctx.Err()
 // (wrapped; test with errors.Is).
-func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, error) {
+func ScheduleContext(ctx context.Context, g *graph.Graph, sys *system.System, opt Options) (*Result, error) {
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -288,7 +287,7 @@ const vipSlack = 0.0
 // a fresh sequential evaluation would produce, so the schedule is
 // identical for any worker count and cache setting. ctx is polled once per
 // pivot; on cancellation the sweep stops and ctx.Err() is returned.
-func sweepOnce(ctx context.Context, en *engine, sys *hetero.System, bfs []network.ProcID, opt Options, res *Result) error {
+func sweepOnce(ctx context.Context, en *engine, sys *system.System, bfs []system.ProcID, opt Options, res *Result) error {
 	for _, pivot := range bfs {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -312,7 +311,7 @@ func sweepOnce(ctx context.Context, en *engine, sys *hetero.System, bfs []networ
 		}
 		for ti, t := range tasks {
 			var bestFT, vipFT float64
-			var bestY, vipY network.ProcID
+			var bestY, vipY system.ProcID
 			if en.cache != nil {
 				en.ensureRow(t, pivot, neighbors)
 				bestFT, bestY = en.cache.bestFT[t], en.cache.bestY[t]
@@ -363,7 +362,7 @@ func sweepOnce(ctx context.Context, en *engine, sys *hetero.System, bfs []networ
 
 // recordStep appends one commit attempt to the migration trace when
 // Options.RecordTrace asks for it.
-func recordStep(opt Options, res *Result, t taskgraph.TaskID, from, to network.ProcID, kept bool) {
+func recordStep(opt Options, res *Result, t graph.TaskID, from, to system.ProcID, kept bool) {
 	if opt.RecordTrace {
 		res.MigrationTrace = append(res.MigrationTrace, MigrationStep{Task: t, From: from, To: to, Kept: kept})
 	}

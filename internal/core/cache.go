@@ -3,8 +3,8 @@ package core
 import (
 	"math"
 
-	"repro/internal/network"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // candCache is the sweep-level candidate cache: it memoizes, per task, the
@@ -53,21 +53,21 @@ type candCache struct {
 
 	// Change lists accumulated by the current updateFrom pass; stamped on a
 	// kept commit, discarded on a revert.
-	updTasks []taskgraph.TaskID
-	updMsgs  []taskgraph.EdgeID
-	updProcs []network.ProcID
-	updLinks []network.LinkID
+	updTasks []graph.TaskID
+	updMsgs  []graph.EdgeID
+	updProcs []system.ProcID
+	updLinks []system.LinkID
 
 	// Cached per-task rows and their reductions. rowStamp is the commitC
 	// the row was last brought current at (0 = never evaluated); rowProc
 	// the pivot it was evaluated on.
 	rowStamp []uint64
-	rowProc  []network.ProcID
+	rowProc  []system.ProcID
 	rowFT    [][]float64
 	bestFT   []float64
-	bestY    []network.ProcID
+	bestY    []system.ProcID
 	vipFT    []float64
-	vipY     []network.ProcID
+	vipY     []system.ProcID
 
 	hits    int // rows served with zero evaluations
 	partial int // rows served after re-evaluating only stale entries
@@ -82,12 +82,12 @@ func newCandCache(numTasks, numEdges, numProcs, numLinks int) *candCache {
 		procStamp: make([]uint64, numProcs),
 		linkStamp: make([]uint64, numLinks),
 		rowStamp:  make([]uint64, numTasks),
-		rowProc:   make([]network.ProcID, numTasks),
+		rowProc:   make([]system.ProcID, numTasks),
 		rowFT:     make([][]float64, numTasks),
 		bestFT:    make([]float64, numTasks),
-		bestY:     make([]network.ProcID, numTasks),
+		bestY:     make([]system.ProcID, numTasks),
 		vipFT:     make([]float64, numTasks),
-		vipY:      make([]network.ProcID, numTasks),
+		vipY:      make([]system.ProcID, numTasks),
 	}
 }
 
@@ -124,7 +124,7 @@ func (c *candCache) stampCommit() {
 // entries whose candidate processor or connecting link was stamped, or
 // evaluating the full row when a task-level dependency changed — and
 // leaves the decision aggregates in bestFT/bestY/vipFT/vipY.
-func (en *engine) ensureRow(t taskgraph.TaskID, pivot network.ProcID, neighbors []network.Adj) {
+func (en *engine) ensureRow(t graph.TaskID, pivot system.ProcID, neighbors []system.Adj) {
 	c := en.cache
 	rs := c.rowStamp[t]
 	rowLevel := rs == 0 || c.rowProc[t] != pivot || c.taskStamp[t] > rs
@@ -168,7 +168,7 @@ func (en *engine) ensureRow(t taskgraph.TaskID, pivot network.ProcID, neighbors 
 
 // reduceInto reduces a current row into the cached decision aggregates
 // and restamps the row.
-func (en *engine) reduceInto(t taskgraph.TaskID, pivot network.ProcID, neighbors []network.Adj, row []float64) {
+func (en *engine) reduceInto(t graph.TaskID, pivot system.ProcID, neighbors []system.Adj, row []float64) {
 	c := en.cache
 	c.bestFT[t], c.bestY[t], c.vipFT[t], c.vipY[t] = en.reduceRow(t, neighbors, row)
 	c.rowStamp[t] = c.commitC
@@ -178,7 +178,7 @@ func (en *engine) reduceInto(t taskgraph.TaskID, pivot network.ProcID, neighbors
 // reduceRow folds one row of candidate finish times into the migration
 // decision's aggregates: the strictly-best neighbour (first wins ties, as
 // in BFS adjacency order) and the neighbour hosting t's VIP, if any.
-func (en *engine) reduceRow(t taskgraph.TaskID, neighbors []network.Adj, row []float64) (bestFT float64, bestY network.ProcID, vipFT float64, vipY network.ProcID) {
+func (en *engine) reduceRow(t graph.TaskID, neighbors []system.Adj, row []float64) (bestFT float64, bestY system.ProcID, vipFT float64, vipY system.ProcID) {
 	_, vip := en.s.DRT(t)
 	bestFT = math.Inf(1)
 	bestY, vipY = -1, -1

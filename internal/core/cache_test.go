@@ -7,26 +7,25 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/generator"
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/taskgraph"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // cacheTopologies are the four topology families of the paper's
 // evaluation, at a size suitable for property testing.
-func cacheTopologies(rng *rand.Rand) map[string]*network.Network {
-	build := func(nw *network.Network, err error) *network.Network {
+func cacheTopologies(rng *rand.Rand) map[string]*system.Network {
+	build := func(nw *system.Network, err error) *system.Network {
 		if err != nil {
 			panic(err)
 		}
 		return nw
 	}
-	return map[string]*network.Network{
-		"ring": build(network.Ring(8)),
-		"cube": build(network.Hypercube(3)),
-		"full": build(network.FullyConnected(8)),
-		"rand": build(network.RandomConnected(8, 1, 8, rng)),
+	return map[string]*system.Network{
+		"ring": build(system.Ring(8)),
+		"cube": build(system.Hypercube(3)),
+		"full": build(system.FullyConnected(8)),
+		"rand": build(system.RandomConnected(8, 1, 8, rng)),
 	}
 }
 
@@ -38,24 +37,24 @@ func cacheTopologies(rng *rand.Rand) map[string]*network.Network {
 // at the first affected decision, so trace equality localizes invalidation
 // bugs far better than end-state checks.
 func TestCandidateCacheEquivalence(t *testing.T) {
-	for _, kind := range []generator.Kind{generator.GaussElim, generator.Random} {
+	for _, kind := range []gen.Kind{gen.GaussElim, gen.Random} {
 		for seed := int64(0); seed < 3; seed++ {
 			rng := rand.New(rand.NewSource(seed*31 + int64(kind)))
-			g, err := generator.Generate(generator.Spec{Kind: kind, Size: 45, Granularity: 1.0}, rng)
+			g, err := gen.Generate(gen.Spec{Kind: kind, Size: 45, Granularity: 1.0}, rng)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for name, nw := range cacheTopologies(rng) {
 				for _, heterogeneous := range []bool{false, true} {
 					label := fmt.Sprintf("kind=%v seed=%d topo=%s hetero=%v", kind, seed, name, heterogeneous)
-					var sys *hetero.System
+					var sys *system.System
 					if heterogeneous {
-						sys, err = hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rand.New(rand.NewSource(seed)))
+						sys, err = system.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rand.New(rand.NewSource(seed)))
 						if err != nil {
 							t.Fatal(err)
 						}
 					} else {
-						sys = hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+						sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
 					}
 					on, err := Schedule(g, sys, Options{Seed: seed, RecordTrace: true})
 					if err != nil {
@@ -162,8 +161,8 @@ func TestRouteArena(t *testing.T) {
 	if got := ra.route(0); got != nil {
 		t.Fatalf("fresh arena route = %v", got)
 	}
-	ra.set(0, []network.LinkID{1, 2, 3})
-	ra.set(1, []network.LinkID{4})
+	ra.set(0, []system.LinkID{1, 2, 3})
+	ra.set(1, []system.LinkID{4})
 	if got := ra.route(0); len(got) != 3 || got[0] != 1 || got[2] != 3 {
 		t.Fatalf("route(0) = %v", got)
 	}
@@ -196,9 +195,9 @@ func TestRouteArena(t *testing.T) {
 	}
 	// Force garbage past the compaction threshold and verify contents
 	// survive.
-	big := make([]network.LinkID, 200)
+	big := make([]system.LinkID, 200)
 	for i := range big {
-		big[i] = network.LinkID(i)
+		big[i] = system.LinkID(i)
 	}
 	for i := 0; i < 50; i++ {
 		ra.set(2, big)
@@ -219,23 +218,23 @@ func TestRouteArena(t *testing.T) {
 // against the allocating reference on random walks.
 func TestRouteNormalizerMatchesNormalizeRoute(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	nw, err := network.RandomConnected(9, 2, 14, rng)
+	nw, err := system.RandomConnected(9, 2, 14, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rn := network.NewRouteNormalizer(nw.NumProcs())
+	rn := system.NewRouteNormalizer(nw.NumProcs())
 	for trial := 0; trial < 500; trial++ {
-		src := network.ProcID(rng.Intn(nw.NumProcs()))
+		src := system.ProcID(rng.Intn(nw.NumProcs()))
 		p := src
-		walk := make([]network.LinkID, rng.Intn(12))
+		walk := make([]system.LinkID, rng.Intn(12))
 		for i := range walk {
 			adj := nw.Neighbors(p)
 			a := adj[rng.Intn(len(adj))]
 			walk[i] = a.Link
 			p = a.Proc
 		}
-		want := network.NormalizeRoute(nw, src, append([]network.LinkID(nil), walk...))
-		got := rn.Normalize(nw, src, append([]network.LinkID(nil), walk...))
+		want := system.NormalizeRoute(nw, src, append([]system.LinkID(nil), walk...))
+		got := rn.Normalize(nw, src, append([]system.LinkID(nil), walk...))
 		if len(want) != len(got) {
 			t.Fatalf("trial %d: len %d vs %d (walk %v)", trial, len(got), len(want), walk)
 		}
@@ -249,7 +248,7 @@ func TestRouteNormalizerMatchesNormalizeRoute(t *testing.T) {
 
 // fixpointEngine runs BSA to its migration fixpoint and returns the live
 // engine plus everything needed to replay sweeps by hand.
-func fixpointEngine(t testing.TB, g *taskgraph.Graph, sys *hetero.System) (*engine, []network.ProcID, Options) {
+func fixpointEngine(t testing.TB, g *graph.Graph, sys *system.System) (*engine, []system.ProcID, Options) {
 	t.Helper()
 	opt := Options{Workers: 1}
 	rng := rand.New(rand.NewSource(opt.Seed))

@@ -6,10 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/internal/schedule"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // engineConfig selects the engine variant and its tuning knobs.
@@ -38,12 +37,12 @@ type engineConfig struct {
 // timelines globally consistent while migration *decisions* are evaluated
 // locally against the current timelines, as in the paper.
 type engine struct {
-	g      *taskgraph.Graph
-	sys    *hetero.System
-	serial []taskgraph.TaskID
+	g      *graph.Graph
+	sys    *system.System
+	serial []graph.TaskID
 	pos    []int // serial index of each task (inverse of serial)
 	msgPos []int // serial index a message is placed at (its destination's)
-	assign []network.ProcID
+	assign []system.ProcID
 	routes *routeArena
 	s      *schedule.Schedule
 
@@ -51,7 +50,7 @@ type engine struct {
 
 	// norm prunes loops out of migrated routes in place (no per-commit
 	// allocations).
-	norm *network.RouteNormalizer
+	norm *system.RouteNormalizer
 
 	// cache is the sweep-level candidate cache; nil when disabled or when
 	// the full-rebuild oracle engine is selected.
@@ -72,16 +71,16 @@ type engine struct {
 	// incremental engine, a full rebuild in the oracle. Reverts are rare
 	// (a few percent of commits), so snapshotting whole timelines eagerly
 	// would cost more than it saves.
-	savedAssign network.ProcID
-	savedTask   taskgraph.TaskID
+	savedAssign system.ProcID
+	savedTask   graph.TaskID
 	savedRoutes []routeSave
-	savedBuf    []network.LinkID
+	savedBuf    []system.LinkID
 	savedLen    float64
 
 	// touchedEdges accumulates the edges whose routes may have diverged
 	// from bestRoutes since the last elitism copy, so noteState copies a
 	// handful of routes per improvement instead of all of them.
-	touchedEdges []taskgraph.EdgeID
+	touchedEdges []graph.EdgeID
 
 	// Per-worker scratch for migration evaluation (index 0 serves the
 	// sequential path), the flat arena behind per-pivot batch results, and
@@ -89,7 +88,7 @@ type engine struct {
 	scratch []*evalScratch
 	ftFlat  []float64
 	ftRows  [][]float64
-	taskBuf []taskgraph.TaskID
+	taskBuf []graph.TaskID
 	rowBuf  []float64
 
 	// Event-driven update state (see updateFrom). All per-update flags are
@@ -99,7 +98,7 @@ type engine struct {
 	pending      int      // queued-but-unprocessed items this update
 	rankPending  []uint32 // serial ranks holding queued work
 	inIndex      []int32  // index of each edge within In(destination)
-	migTask      taskgraph.TaskID
+	migTask      graph.TaskID
 	taskQueued   []uint32
 	msgQueued    []uint32
 	taskDone     []uint32
@@ -119,7 +118,7 @@ type engine struct {
 	// guard slack (chain heads move before their successors follow), so the
 	// final state is not necessarily the best one visited.
 	bestLen    float64
-	bestAssign []network.ProcID
+	bestAssign []system.ProcID
 	bestRoutes *routeArena
 
 	// Counters for Result.
@@ -132,30 +131,30 @@ type engine struct {
 // routeSave is one saved incident-edge route: an (offset, length) view
 // into the engine's savedBuf arena, reused across commits.
 type routeSave struct {
-	e      taskgraph.EdgeID
+	e      graph.EdgeID
 	off, n int32
 }
 
-func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID, pivot network.ProcID, cfg engineConfig) *engine {
+func newEngine(g *graph.Graph, sys *system.System, serial []graph.TaskID, pivot system.ProcID, cfg engineConfig) *engine {
 	en := &engine{
 		g:      g,
 		sys:    sys,
 		serial: serial,
 		pos:    SerialPositions(g, serial),
-		assign: make([]network.ProcID, g.NumTasks()),
+		assign: make([]system.ProcID, g.NumTasks()),
 		routes: newRouteArena(g.NumEdges()),
 		s:      schedule.New(g, sys),
 		cfg:    cfg,
-		norm:   network.NewRouteNormalizer(sys.Net.NumProcs()),
+		norm:   system.NewRouteNormalizer(sys.Net.NumProcs()),
 	}
 	en.msgPos = make([]int, g.NumEdges())
 	for e := range en.msgPos {
-		en.msgPos[e] = en.pos[g.Edge(taskgraph.EdgeID(e)).To]
+		en.msgPos[e] = en.pos[g.Edge(graph.EdgeID(e)).To]
 	}
 	if !cfg.fullRebuild {
 		en.inIndex = make([]int32, g.NumEdges())
 		for t := 0; t < g.NumTasks(); t++ {
-			for i, e := range g.In(taskgraph.TaskID(t)) {
+			for i, e := range g.In(graph.TaskID(t)) {
 				en.inIndex[e] = int32(i)
 			}
 		}
@@ -191,7 +190,7 @@ func newEngine(g *taskgraph.Graph, sys *hetero.System, serial []taskgraph.TaskID
 	}
 	en.rebuild()
 	en.bestLen = en.s.Length()
-	en.bestAssign = append([]network.ProcID(nil), en.assign...)
+	en.bestAssign = append([]system.ProcID(nil), en.assign...)
 	en.bestRoutes = newRouteArena(g.NumEdges())
 	return en
 }
@@ -223,7 +222,7 @@ func (en *engine) restoreBest() bool {
 	copy(en.assign, en.bestAssign)
 	en.routes.maybeCompact()
 	for e := 0; e < en.g.NumEdges(); e++ {
-		en.routes.set(taskgraph.EdgeID(e), en.bestRoutes.route(taskgraph.EdgeID(e)))
+		en.routes.set(graph.EdgeID(e), en.bestRoutes.route(graph.EdgeID(e)))
 	}
 	en.rebuild()
 	return true
@@ -259,7 +258,7 @@ func (en *engine) rebuild() {
 // The result is byte-identical to a full rebuild — asserted against the
 // UseFullRebuild oracle by the equivalence property tests.
 
-func (en *engine) queueTask(t taskgraph.TaskID) {
+func (en *engine) queueTask(t graph.TaskID) {
 	if en.taskQueued[t] == en.epoch || en.taskDone[t] == en.epoch {
 		return
 	}
@@ -268,7 +267,7 @@ func (en *engine) queueTask(t taskgraph.TaskID) {
 	en.pending++
 }
 
-func (en *engine) queueMsg(e taskgraph.EdgeID) {
+func (en *engine) queueMsg(e graph.EdgeID) {
 	if en.msgQueued[e] == en.epoch || en.msgDone[e] == en.epoch {
 		return
 	}
@@ -279,24 +278,24 @@ func (en *engine) queueMsg(e taskgraph.EdgeID) {
 
 // stripProc drops every not-yet-reprocessed slot of rank >= rank from p's
 // timeline and queues the owners (except self, the item being processed).
-func (en *engine) stripProc(p network.ProcID, rank int, self taskgraph.TaskID) {
+func (en *engine) stripProc(p system.ProcID, rank int, self graph.TaskID) {
 	if en.procStripped[p] == en.epoch {
 		return
 	}
 	en.procStripped[p] = en.epoch
 	en.procStripAt[p] = int64(rank)
 	en.s.ProcTimeline(p).FilterOwners(func(owner int64) bool {
-		t := taskgraph.TaskID(owner)
+		t := graph.TaskID(owner)
 		return en.pos[t] < rank || en.taskDone[t] == en.epoch
 	}, func(owner int64) {
-		if t := taskgraph.TaskID(owner); t != self {
+		if t := graph.TaskID(owner); t != self {
 			en.queueTask(t)
 		}
 	})
 }
 
 // stripLink is stripProc for a link timeline (owners are message hops).
-func (en *engine) stripLink(l network.LinkID, rank int, self taskgraph.EdgeID) {
+func (en *engine) stripLink(l system.LinkID, rank int, self graph.EdgeID) {
 	if en.linkStripped[l] == en.epoch {
 		return
 	}
@@ -314,7 +313,7 @@ func (en *engine) stripLink(l network.LinkID, rank int, self taskgraph.EdgeID) {
 
 // updateFrom incrementally re-derives the schedule after a migration of
 // mig, processing only the migration's dependency cone.
-func (en *engine) updateFrom(mig taskgraph.TaskID) {
+func (en *engine) updateFrom(mig graph.TaskID) {
 	en.rebuilds++
 	en.epoch++
 	en.migTask = mig
@@ -364,7 +363,7 @@ func (en *engine) updateFrom(mig taskgraph.TaskID) {
 // processMsg handles one message turn of the update; it reports whether
 // the message must be requeued because stripping surfaced an equal-rank
 // sibling with an earlier In() position.
-func (en *engine) processMsg(e taskgraph.EdgeID, rank int) (requeue bool) {
+func (en *engine) processMsg(e graph.EdgeID, rank int) (requeue bool) {
 	edge := en.g.Edge(e)
 	dirty := edge.From == en.migTask || edge.To == en.migTask ||
 		en.taskChanged[edge.From] == en.epoch
@@ -436,7 +435,7 @@ func (en *engine) processMsg(e taskgraph.EdgeID, rank int) (requeue bool) {
 
 // markLinkDirty flags l's timeline as diverged this update and, when the
 // candidate cache is on, records it in the commit's change list.
-func (en *engine) markLinkDirty(l network.LinkID) {
+func (en *engine) markLinkDirty(l system.LinkID) {
 	if en.linkDirtied[l] == en.epoch {
 		return
 	}
@@ -447,7 +446,7 @@ func (en *engine) markLinkDirty(l network.LinkID) {
 }
 
 // markProcDirty is markLinkDirty for processor timelines.
-func (en *engine) markProcDirty(p network.ProcID) {
+func (en *engine) markProcDirty(p system.ProcID) {
 	if en.procDirtied[p] == en.epoch {
 		return
 	}
@@ -458,7 +457,7 @@ func (en *engine) markProcDirty(p network.ProcID) {
 }
 
 // processTask handles one task turn of the update.
-func (en *engine) processTask(u taskgraph.TaskID, rank int) {
+func (en *engine) processTask(u graph.TaskID, rank int) {
 	st := &en.s.Tasks[u]
 	dirty := u == en.migTask || en.drtTouched[u] == en.epoch ||
 		en.procDirtied[en.assign[u]] == en.epoch
@@ -545,11 +544,11 @@ func (en *engine) placeFrom(k int) {
 // next call. The order is sorted with an insertion sort: the list is
 // short, nearly sorted between sweeps, and — unlike sort.Slice — this
 // keeps the fixpoint sweep allocation-free.
-func (en *engine) tasksOn(p network.ProcID) []taskgraph.TaskID {
+func (en *engine) tasksOn(p system.ProcID) []graph.TaskID {
 	ts := en.taskBuf[:0]
 	for i := range en.assign {
 		if en.assign[i] == p {
-			ts = append(ts, taskgraph.TaskID(i))
+			ts = append(ts, graph.TaskID(i))
 		}
 	}
 	en.taskBuf = ts
@@ -578,7 +577,7 @@ func (en *engine) tasksOn(p network.ProcID) []taskgraph.TaskID {
 // nothing.
 type evalScratch struct {
 	extra   [][]schedule.Slot // tentative slots per link, kept sorted by start
-	touched []network.LinkID
+	touched []system.LinkID
 }
 
 func newEvalScratch(numLinks int) *evalScratch {
@@ -592,7 +591,7 @@ func (sc *evalScratch) reset() {
 	sc.touched = sc.touched[:0]
 }
 
-func (sc *evalScratch) add(l network.LinkID, start, end float64) {
+func (sc *evalScratch) add(l system.LinkID, start, end float64) {
 	slots := sc.extra[l]
 	if len(slots) == 0 {
 		sc.touched = append(sc.touched, l)
@@ -611,10 +610,10 @@ func (sc *evalScratch) add(l network.LinkID, start, end float64) {
 // earliest insertion slot on the connecting link. Returns the tentative
 // finish time and data-ready time on y. It only reads engine state, so
 // concurrent calls with distinct scratches are safe.
-func (en *engine) evalMigration(t taskgraph.TaskID, y network.ProcID, sc *evalScratch) (ft, drt float64) {
+func (en *engine) evalMigration(t graph.TaskID, y system.ProcID, sc *evalScratch) (ft, drt float64) {
 	sc.reset()
 	pivot := en.assign[t]
-	link := network.LinkID(-1) // pivot->y link, resolved at most once
+	link := system.LinkID(-1) // pivot->y link, resolved at most once
 	for _, e := range en.g.In(t) {
 		edge := en.g.Edge(e)
 		u := edge.From
@@ -669,7 +668,7 @@ const minParallelEvals = 16
 // current engine state, so the merge is deterministic regardless of worker
 // count or completion order. It returns nil when the batch is too small
 // for the pool to pay off; callers then fall back to evalRow.
-func (en *engine) batchEval(tasks []taskgraph.TaskID, neighbors []network.Adj) [][]float64 {
+func (en *engine) batchEval(tasks []graph.TaskID, neighbors []system.Adj) [][]float64 {
 	nn := len(neighbors)
 	jobs := len(tasks) * nn
 	if en.cfg.fullRebuild || en.cfg.workers <= 1 || jobs < minParallelEvals {
@@ -714,7 +713,7 @@ func (en *engine) batchEval(tasks []taskgraph.TaskID, neighbors []network.Adj) [
 // evaluated sequentially against the current timelines. Both engines share
 // the pooled-scratch evaluation: the oracle's legacy per-call overlay map
 // had identical decision arithmetic and only differed in allocating.
-func (en *engine) evalRow(t taskgraph.TaskID, neighbors []network.Adj, row []float64) {
+func (en *engine) evalRow(t graph.TaskID, neighbors []system.Adj, row []float64) {
 	sc := en.scratch[0]
 	for ni, a := range neighbors {
 		row[ni], _ = en.evalMigration(t, a.Proc, sc)
@@ -732,7 +731,7 @@ func (en *engine) evalRow(t taskgraph.TaskID, neighbors []network.Adj, row []flo
 // ground truth (t's assignment and incident routes); the incremental
 // engine then runs a second cone update while the oracle rebuilds the
 // whole timeline. It reports whether the migration was kept.
-func (en *engine) commitMigration(t taskgraph.TaskID, y network.ProcID, guard bool) bool {
+func (en *engine) commitMigration(t graph.TaskID, y system.ProcID, guard bool) bool {
 	en.touchedEdges = append(en.touchedEdges, en.g.In(t)...)
 	en.touchedEdges = append(en.touchedEdges, en.g.Out(t)...)
 	kept := true
@@ -763,7 +762,7 @@ func (en *engine) commitMigration(t taskgraph.TaskID, y network.ProcID, guard bo
 // assignment and its incident-edge routes — into the engine's reused
 // snapshot arena, together with the current schedule length for the guard
 // comparison.
-func (en *engine) save(t taskgraph.TaskID) {
+func (en *engine) save(t graph.TaskID) {
 	en.savedTask = t
 	en.savedAssign = en.assign[t]
 	en.savedLen = en.curLen
@@ -777,7 +776,7 @@ func (en *engine) save(t taskgraph.TaskID) {
 	}
 }
 
-func (en *engine) appendRouteSave(e taskgraph.EdgeID) {
+func (en *engine) appendRouteSave(e graph.EdgeID) {
 	r := en.routes.route(e)
 	off := len(en.savedBuf)
 	en.savedBuf = append(en.savedBuf, r...)
@@ -797,12 +796,12 @@ func (en *engine) restore() {
 // incoming, prepend outgoing, splice out loops, localize messages whose
 // endpoints now coincide) and re-derives the schedule from the migrating
 // task's serial position onward.
-func (en *engine) applyMigration(t taskgraph.TaskID, y network.ProcID) {
+func (en *engine) applyMigration(t graph.TaskID, y system.ProcID) {
 	// Safe compaction point: no route views are held here, and every
 	// mutation below writes through the arena.
 	en.routes.maybeCompact()
 	pivot := en.assign[t]
-	link := network.LinkID(-1) // pivot->y link, resolved at most once
+	link := system.LinkID(-1) // pivot->y link, resolved at most once
 	for _, e := range en.g.In(t) {
 		u := en.g.Edge(e).From
 		if en.assign[u] == y {

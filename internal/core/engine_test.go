@@ -4,16 +4,15 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/paperexample"
-	"repro/internal/taskgraph"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 func exampleEngine(t *testing.T) *engine {
 	t.Helper()
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	exec := sys.ExecCostsOn(1, g.NominalExecCosts())
 	serial := Serialize(g, exec, nil, rand.New(rand.NewSource(1)))
 	return newEngine(g, sys, serial, 1, engineConfig{pruneRoutes: true, guardSlack: 0.05})
@@ -24,7 +23,7 @@ func TestEngineInitialSerialization(t *testing.T) {
 	// All tasks on the pivot, packed back to back: SL = sum of exec on P2.
 	var want float64
 	for i := 0; i < 9; i++ {
-		want += paperexample.ExecTable[i][1]
+		want += gen.PaperExecTable[i][1]
 	}
 	if got := en.s.Length(); got != want {
 		t.Fatalf("initial SL=%v, want %v", got, want)
@@ -42,8 +41,8 @@ func TestEngineMigrationKeepsValidity(t *testing.T) {
 	// Migrate a few tasks by hand across the ring and validate after each
 	// rebuild. P2's neighbours on Ring(4) are P1 and P3.
 	for _, mv := range []struct {
-		task taskgraph.TaskID
-		to   network.ProcID
+		task graph.TaskID
+		to   system.ProcID
 	}{
 		{2, 0}, // T3 -> P1
 		{3, 2}, // T4 -> P3
@@ -60,7 +59,7 @@ func TestEngineMigrationKeepsValidity(t *testing.T) {
 	// a simple path.
 	for _, e := range en.g.In(2) {
 		hops := en.s.Msgs[e].Hops
-		seen := map[network.ProcID]bool{}
+		seen := map[system.ProcID]bool{}
 		for _, h := range hops {
 			if seen[h.From] {
 				t.Fatalf("route for message %d revisits P%d", e, h.From+1)
@@ -186,15 +185,15 @@ func TestBSAOnUniformSystemMatchesHomogeneous(t *testing.T) {
 	// algorithm is the homogeneous BSA; sanity-check a small instance
 	// against exhaustive reasoning: two independent tasks on two procs run
 	// in parallel when comm is free.
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	r := b.AddTask("r", 1)
 	x := b.AddTask("x", 100)
 	y := b.AddTask("y", 100)
 	b.AddEdge(r, x, 0)
 	b.AddEdge(r, y, 0)
 	g, _ := b.Build()
-	nw, _ := network.Line(2)
-	sys := hetero.NewUniform(nw, 3, 2)
+	nw, _ := system.Line(2)
+	sys := system.NewUniform(nw, 3, 2)
 	res, err := Schedule(g, sys, Options{})
 	if err != nil {
 		t.Fatal(err)

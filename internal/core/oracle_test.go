@@ -7,9 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/paperexample"
+	"repro/sched/gen"
+	"repro/sched/system"
 )
 
 // assertSchedulesIdentical fails unless the two results carry byte-identical
@@ -47,11 +46,11 @@ func TestIncrementalMatchesOracle(t *testing.T) {
 		n := 2 + int(nRaw)%40
 		m := 2 + int(mRaw)%10
 		g := randomConnectedDAG(rng, n, 0.15)
-		nw, err := network.RandomConnected(m, 1, m, rng)
+		nw, err := system.RandomConnected(m, 1, m, rng)
 		if err != nil {
 			return true
 		}
-		sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		sys, err := system.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
 		if err != nil {
 			return false
 		}
@@ -112,8 +111,8 @@ func TestIncrementalMatchesOracleAblations(t *testing.T) {
 
 // TestIncrementalMatchesOraclePaperExample pins the worked example.
 func TestIncrementalMatchesOraclePaperExample(t *testing.T) {
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	oracle, err := Schedule(g, sys, Options{UseFullRebuild: true, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -131,11 +130,11 @@ func TestIncrementalMatchesOraclePaperExample(t *testing.T) {
 func TestParallelSweepRace(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randomConnectedDAG(rng, 80, 0.08)
-	nw, err := network.FullyConnected(8)
+	nw, err := system.FullyConnected(8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 30, rng)
+	sys, err := system.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 30, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

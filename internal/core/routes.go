@@ -1,8 +1,8 @@
 package core
 
 import (
-	"repro/internal/network"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // routeArena stores every edge's link route as an (offset, length) view
@@ -13,7 +13,7 @@ import (
 // maybeCompact once garbage outgrows the live routes, which keeps the
 // steady-state migration path free of per-edge allocations.
 type routeArena struct {
-	buf  []network.LinkID
+	buf  []system.LinkID
 	off  []int32
 	n    []int32
 	live int // total links across live routes; len(buf)-live is garbage
@@ -25,7 +25,7 @@ func newRouteArena(numEdges int) *routeArena {
 
 // route returns e's route as a view into the arena. The view is valid
 // until the next mutation of e or call to maybeCompact.
-func (ra *routeArena) route(e taskgraph.EdgeID) []network.LinkID {
+func (ra *routeArena) route(e graph.EdgeID) []system.LinkID {
 	if ra.n[e] == 0 {
 		return nil
 	}
@@ -34,14 +34,14 @@ func (ra *routeArena) route(e taskgraph.EdgeID) []network.LinkID {
 }
 
 // clear empties e's route.
-func (ra *routeArena) clear(e taskgraph.EdgeID) {
+func (ra *routeArena) clear(e graph.EdgeID) {
 	ra.live -= int(ra.n[e])
 	ra.n[e] = 0
 }
 
 // set replaces e's route with a copy of r. r may alias this or another
 // arena: append reads its source before growing the destination.
-func (ra *routeArena) set(e taskgraph.EdgeID, r []network.LinkID) {
+func (ra *routeArena) set(e graph.EdgeID, r []system.LinkID) {
 	ra.live += len(r) - int(ra.n[e])
 	if len(r) == 0 {
 		ra.n[e] = 0
@@ -55,7 +55,7 @@ func (ra *routeArena) set(e taskgraph.EdgeID, r []network.LinkID) {
 
 // extend rewrites e's route as route(e)+[l] at the arena tail and returns
 // the new view.
-func (ra *routeArena) extend(e taskgraph.EdgeID, l network.LinkID) []network.LinkID {
+func (ra *routeArena) extend(e graph.EdgeID, l system.LinkID) []system.LinkID {
 	old := ra.route(e)
 	off := len(ra.buf)
 	ra.buf = append(ra.buf, old...)
@@ -68,7 +68,7 @@ func (ra *routeArena) extend(e taskgraph.EdgeID, l network.LinkID) []network.Lin
 
 // prepend rewrites e's route as [l]+route(e) at the arena tail and returns
 // the new view.
-func (ra *routeArena) prepend(e taskgraph.EdgeID, l network.LinkID) []network.LinkID {
+func (ra *routeArena) prepend(e graph.EdgeID, l system.LinkID) []system.LinkID {
 	old := ra.route(e)
 	off := len(ra.buf)
 	ra.buf = append(ra.buf, l)
@@ -83,7 +83,7 @@ func (ra *routeArena) prepend(e taskgraph.EdgeID, l network.LinkID) []network.Li
 // write — to its first k links, returning the trimmed space to the arena.
 // Route normalization shortens in place, so the shrunken prefix is already
 // e's content.
-func (ra *routeArena) truncateTail(e taskgraph.EdgeID, k int) {
+func (ra *routeArena) truncateTail(e graph.EdgeID, k int) {
 	ra.live -= int(ra.n[e]) - k
 	ra.n[e] = int32(k)
 	ra.buf = ra.buf[:int(ra.off[e])+k]
@@ -95,13 +95,13 @@ func (ra *routeArena) maybeCompact() {
 	if len(ra.buf) <= 1024 || len(ra.buf) <= 4*ra.live {
 		return
 	}
-	nb := make([]network.LinkID, 0, 2*ra.live)
+	nb := make([]system.LinkID, 0, 2*ra.live)
 	for e := range ra.off {
 		if ra.n[e] == 0 {
 			continue
 		}
 		off := len(nb)
-		nb = append(nb, ra.route(taskgraph.EdgeID(e))...)
+		nb = append(nb, ra.route(graph.EdgeID(e))...)
 		ra.off[e] = int32(off)
 	}
 	ra.buf = nb

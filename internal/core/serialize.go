@@ -22,24 +22,23 @@ import (
 	"math/rand"
 	"sort"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // SelectPivot returns the processor on which the graph's critical-path
 // length — actual execution costs on that processor plus nominal
 // communication costs — is shortest, together with that length. Ties go to
 // the smaller processor ID.
-func SelectPivot(g *taskgraph.Graph, sys *hetero.System) (network.ProcID, float64) {
+func SelectPivot(g *graph.Graph, sys *system.System) (system.ProcID, float64) {
 	nominal := g.NominalExecCosts()
-	best := network.ProcID(0)
+	best := system.ProcID(0)
 	bestLen := 0.0
 	for p := 0; p < sys.Net.NumProcs(); p++ {
-		exec := sys.ExecCostsOn(network.ProcID(p), nominal)
-		l := taskgraph.CPLength(g, exec, nil)
+		exec := sys.ExecCostsOn(system.ProcID(p), nominal)
+		l := graph.CPLength(g, exec, nil)
 		if p == 0 || l < bestLen-cmpEps {
-			best, bestLen = network.ProcID(p), l
+			best, bestLen = system.ProcID(p), l
 		}
 	}
 	return best, bestLen
@@ -57,7 +56,7 @@ const cmpEps = 1e-9
 // missing ancestors (in-branch tasks, larger b-level first, ties by smaller
 // t-level then smaller ID), and the remaining out-branch tasks follow in
 // descending b-level order.
-func Serialize(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) []taskgraph.TaskID {
+func Serialize(g *graph.Graph, exec, comm []float64, rng *rand.Rand) []graph.TaskID {
 	order, _ := SerializePartitioned(g, exec, comm, rng)
 	return order
 }
@@ -66,22 +65,22 @@ func Serialize(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) []taskg
 // of the critical path actually selected (rng breaks CP ties, so a
 // separately recomputed partition could describe a different path than
 // the serial order; this one is the serialization's own).
-func SerializePartitioned(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) ([]taskgraph.TaskID, Partition) {
+func SerializePartitioned(g *graph.Graph, exec, comm []float64, rng *rand.Rand) ([]graph.TaskID, Partition) {
 	n := g.NumTasks()
 	if n == 0 {
 		return nil, Partition{}
 	}
-	tl := taskgraph.TLevels(g, exec, comm)
-	bl := taskgraph.BLevels(g, exec, comm)
-	cp := taskgraph.CriticalPath(g, exec, comm, rng)
+	tl := graph.TLevels(g, exec, comm)
+	bl := graph.BLevels(g, exec, comm)
+	cp := graph.CriticalPath(g, exec, comm, rng)
 	part := partitionFromCP(g, cp)
 
 	inOrder := make([]bool, n)
-	order := make([]taskgraph.TaskID, 0, n)
+	order := make([]graph.TaskID, 0, n)
 
 	// prefer sorts candidate predecessors: larger b-level first, then
 	// smaller t-level, then smaller ID.
-	prefer := func(a, b taskgraph.TaskID) bool {
+	prefer := func(a, b graph.TaskID) bool {
 		if bl[a] != bl[b] {
 			return bl[a] > bl[b]
 		}
@@ -91,14 +90,14 @@ func SerializePartitioned(g *taskgraph.Graph, exec, comm []float64, rng *rand.Ra
 		return a < b
 	}
 
-	var include func(x taskgraph.TaskID)
-	include = func(x taskgraph.TaskID) {
+	var include func(x graph.TaskID)
+	include = func(x graph.TaskID) {
 		if inOrder[x] {
 			return
 		}
 		// Gather not-yet-included predecessors, best first, and include
 		// them (recursively with their own ancestors) before x.
-		var preds []taskgraph.TaskID
+		var preds []graph.TaskID
 		for _, e := range g.In(x) {
 			if u := g.Edge(e).From; !inOrder[u] {
 				preds = append(preds, u)
@@ -117,10 +116,10 @@ func SerializePartitioned(g *taskgraph.Graph, exec, comm []float64, rng *rand.Ra
 	}
 
 	// Out-branch tasks: everything not yet included, by descending b-level.
-	var ob []taskgraph.TaskID
+	var ob []graph.TaskID
 	for i := 0; i < n; i++ {
 		if !inOrder[i] {
-			ob = append(ob, taskgraph.TaskID(i))
+			ob = append(ob, graph.TaskID(i))
 		}
 	}
 	sort.Slice(ob, func(i, j int) bool { return prefer(ob[i], ob[j]) })
@@ -133,7 +132,7 @@ func SerializePartitioned(g *taskgraph.Graph, exec, comm []float64, rng *rand.Ra
 // SerialPositions returns the inverse of a serial order: the serial index
 // of every task. The incremental engine uses it to re-derive only the
 // timeline suffix a migration can affect.
-func SerialPositions(g *taskgraph.Graph, serial []taskgraph.TaskID) []int {
+func SerialPositions(g *graph.Graph, serial []graph.TaskID) []int {
 	pos := make([]int, g.NumTasks())
 	for i, t := range serial {
 		pos[t] = i
@@ -146,19 +145,19 @@ func SerialPositions(g *taskgraph.Graph, serial []taskgraph.TaskID) []int {
 // paper's three-way split. It is exposed for tests, examples and
 // diagnostics.
 type Partition struct {
-	CP []taskgraph.TaskID
-	IB []taskgraph.TaskID
-	OB []taskgraph.TaskID
+	CP []graph.TaskID
+	IB []graph.TaskID
+	OB []graph.TaskID
 }
 
 // PartitionTasks computes the CP/IB/OB partition under the given costs.
-func PartitionTasks(g *taskgraph.Graph, exec, comm []float64, rng *rand.Rand) Partition {
-	return partitionFromCP(g, taskgraph.CriticalPath(g, exec, comm, rng))
+func PartitionTasks(g *graph.Graph, exec, comm []float64, rng *rand.Rand) Partition {
+	return partitionFromCP(g, graph.CriticalPath(g, exec, comm, rng))
 }
 
 // partitionFromCP classifies every task against an already-selected
 // critical path.
-func partitionFromCP(g *taskgraph.Graph, cp []taskgraph.TaskID) Partition {
+func partitionFromCP(g *graph.Graph, cp []graph.TaskID) Partition {
 	n := g.NumTasks()
 	isCP := make([]bool, n)
 	for _, t := range cp {
@@ -167,8 +166,8 @@ func partitionFromCP(g *taskgraph.Graph, cp []taskgraph.TaskID) Partition {
 	// IB: ancestors of CP tasks that are not CP tasks.
 	isIB := make([]bool, n)
 	seen := make([]bool, n)
-	var markAnc func(t taskgraph.TaskID)
-	markAnc = func(t taskgraph.TaskID) {
+	var markAnc func(t graph.TaskID)
+	markAnc = func(t graph.TaskID) {
 		if seen[t] {
 			return
 		}
@@ -186,7 +185,7 @@ func partitionFromCP(g *taskgraph.Graph, cp []taskgraph.TaskID) Partition {
 	}
 	p := Partition{CP: cp}
 	for i := 0; i < n; i++ {
-		t := taskgraph.TaskID(i)
+		t := graph.TaskID(i)
 		switch {
 		case isCP[i]:
 		case isIB[i]:

@@ -5,14 +5,14 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/paperexample"
-	"repro/internal/taskgraph"
+	"repro/sched/gen"
+	"repro/sched/graph"
 )
 
 func TestSerializePaperNominalOrder(t *testing.T) {
 	// With nominal execution costs, the paper's serial order is
 	// T1,T2,T7,T4,T3,T8,T6,T9,T5.
-	g := paperexample.Graph()
+	g := gen.PaperExampleGraph()
 	exec := g.NominalExecCosts()
 	order := Serialize(g, exec, nil, nil)
 	want := []string{"T1", "T2", "T7", "T4", "T3", "T8", "T6", "T9", "T5"}
@@ -28,15 +28,15 @@ func TestSerializePaperNominalOrder(t *testing.T) {
 			t.Fatalf("serial order = %v, want %v", got, want)
 		}
 	}
-	if !taskgraph.IsLinearExtension(g, order) {
+	if !graph.IsLinearExtension(g, order) {
 		t.Fatal("serial order is not a linear extension")
 	}
 }
 
 func TestSerializePaperNominalCP(t *testing.T) {
-	g := paperexample.Graph()
+	g := gen.PaperExampleGraph()
 	exec := g.NominalExecCosts()
-	cp := taskgraph.CriticalPath(g, exec, nil, nil)
+	cp := graph.CriticalPath(g, exec, nil, nil)
 	want := []string{"T1", "T7", "T9"}
 	if len(cp) != 3 {
 		t.Fatalf("cp=%v", cp)
@@ -46,7 +46,7 @@ func TestSerializePaperNominalCP(t *testing.T) {
 			t.Fatalf("cp[%d]=%s, want %s", i, g.Task(id).Name, want[i])
 		}
 	}
-	if got := taskgraph.CPLength(g, exec, nil); got != 250 {
+	if got := graph.CPLength(g, exec, nil); got != 250 {
 		t.Fatalf("nominal CP length=%v, want 250", got)
 	}
 }
@@ -54,8 +54,8 @@ func TestSerializePaperNominalCP(t *testing.T) {
 func TestSelectPivotPaper(t *testing.T) {
 	// The paper: CP lengths w.r.t. P1..P4 make P2 the first pivot; our
 	// reconstruction reproduces P1's length (240) exactly and P2 as pivot.
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	pivot, cpLen := SelectPivot(g, sys)
 	if pivot != 1 {
 		t.Fatalf("pivot=P%d, want P2", pivot+1)
@@ -65,17 +65,17 @@ func TestSelectPivotPaper(t *testing.T) {
 	}
 	// Cross-check P1's CP length against the paper's 240.
 	exec := sys.ExecCostsOn(0, g.NominalExecCosts())
-	if got := taskgraph.CPLength(g, exec, nil); got != 240 {
+	if got := graph.CPLength(g, exec, nil); got != 240 {
 		t.Fatalf("CP length w.r.t. P1=%v, want 240", got)
 	}
 }
 
 func TestSerializeOnPivotIsLinearExtension(t *testing.T) {
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	exec := sys.ExecCostsOn(1, g.NominalExecCosts())
 	order := Serialize(g, exec, nil, rand.New(rand.NewSource(1)))
-	if !taskgraph.IsLinearExtension(g, order) {
+	if !graph.IsLinearExtension(g, order) {
 		t.Fatal("pivot serial order is not a linear extension")
 	}
 	// First task must be the entry CP task T1; last OB task T5 at the end.
@@ -88,10 +88,10 @@ func TestSerializeOnPivotIsLinearExtension(t *testing.T) {
 }
 
 func TestPartitionTasksPaper(t *testing.T) {
-	g := paperexample.Graph()
+	g := gen.PaperExampleGraph()
 	exec := g.NominalExecCosts()
 	p := PartitionTasks(g, exec, nil, nil)
-	name := func(ids []taskgraph.TaskID) map[string]bool {
+	name := func(ids []graph.TaskID) map[string]bool {
 		m := map[string]bool{}
 		for _, id := range ids {
 			m[g.Task(id).Name] = true
@@ -118,15 +118,15 @@ func TestPartitionTasksPaper(t *testing.T) {
 
 // randomConnectedDAG builds a random DAG guaranteed weakly connected by
 // first chaining every task to a random earlier task.
-func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Graph {
-	b := taskgraph.NewBuilder()
-	ids := make([]taskgraph.TaskID, n)
-	seen := make(map[[2]taskgraph.TaskID]bool)
+func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *graph.Graph {
+	b := graph.NewBuilder()
+	ids := make([]graph.TaskID, n)
+	seen := make(map[[2]graph.TaskID]bool)
 	for i := 0; i < n; i++ {
 		ids[i] = b.AddTask(tName(i), 1+rng.Float64()*199)
 	}
-	addEdge := func(u, v taskgraph.TaskID) {
-		k := [2]taskgraph.TaskID{u, v}
+	addEdge := func(u, v graph.TaskID) {
+		k := [2]graph.TaskID{u, v}
 		if !seen[k] {
 			seen[k] = true
 			b.AddEdge(u, v, rng.Float64()*100)
@@ -160,7 +160,7 @@ func TestSerializePropertyLinearExtension(t *testing.T) {
 		g := randomConnectedDAG(rng, n, 0.1)
 		exec := g.NominalExecCosts()
 		order := Serialize(g, exec, nil, rng)
-		return taskgraph.IsLinearExtension(g, order)
+		return graph.IsLinearExtension(g, order)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
@@ -174,7 +174,7 @@ func TestSerializeCPTasksEarly(t *testing.T) {
 	g := randomConnectedDAG(rng, 40, 0.12)
 	exec := g.NominalExecCosts()
 	p := PartitionTasks(g, exec, nil, nil)
-	isOB := map[taskgraph.TaskID]bool{}
+	isOB := map[graph.TaskID]bool{}
 	for _, x := range p.OB {
 		isOB[x] = true
 	}
@@ -195,7 +195,7 @@ func TestSerializeCPTasksEarly(t *testing.T) {
 }
 
 func TestSerializeEmpty(t *testing.T) {
-	g, _ := taskgraph.NewBuilder().Build()
+	g, _ := graph.NewBuilder().Build()
 	if got := Serialize(g, nil, nil, nil); got != nil {
 		t.Fatalf("Serialize(empty)=%v", got)
 	}

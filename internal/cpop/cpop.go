@@ -14,30 +14,29 @@ import (
 	"math"
 
 	"repro/internal/heft"
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/internal/schedule"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // Result is the outcome of a CPOP run.
 type Result struct {
 	Schedule *schedule.Schedule
 	// CPProc is the processor the critical path was pinned to.
-	CPProc network.ProcID
+	CPProc system.ProcID
 	// OnCP flags the tasks treated as critical-path tasks.
 	OnCP []bool
 }
 
 // Schedule runs contention-aware CPOP on g over sys.
-func Schedule(g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
+func Schedule(g *graph.Graph, sys *system.System) (*Result, error) {
 	return ScheduleContext(context.Background(), g, sys)
 }
 
 // ScheduleContext is Schedule with cancellation: ctx is polled once per
 // task placement, so a canceled or expired context aborts the run with
 // ctx.Err() (wrapped; test with errors.Is).
-func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
+func ScheduleContext(ctx context.Context, g *graph.Graph, sys *system.System) (*Result, error) {
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
 		return nil, fmt.Errorf("cpop: %w", err)
 	}
@@ -47,7 +46,7 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 		return res, nil
 	}
 	s := res.Schedule
-	rt := network.NewRoutingTable(sys.Net)
+	rt := system.NewRoutingTable(sys.Net)
 
 	up := heft.UpwardRanks(g, sys)
 	down := downwardRanks(g, sys)
@@ -72,11 +71,11 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 		var sum float64
 		for i := 0; i < n; i++ {
 			if res.OnCP[i] {
-				sum += sys.ExecCost(i, network.ProcID(p), g.Task(taskgraph.TaskID(i)).Cost)
+				sum += sys.ExecCost(i, system.ProcID(p), g.Task(graph.TaskID(i)).Cost)
 			}
 		}
 		if sum < best {
-			best, res.CPProc = sum, network.ProcID(p)
+			best, res.CPProc = sum, system.ProcID(p)
 		}
 	}
 
@@ -84,28 +83,28 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 	pq := &taskHeap{prio: prio}
 	unplaced := make([]int, n)
 	for i := 0; i < n; i++ {
-		unplaced[i] = g.InDegree(taskgraph.TaskID(i))
+		unplaced[i] = g.InDegree(graph.TaskID(i))
 		if unplaced[i] == 0 {
-			heap.Push(pq, taskgraph.TaskID(i))
+			heap.Push(pq, graph.TaskID(i))
 		}
 	}
-	var routeBuf []network.LinkID
+	var routeBuf []system.LinkID
 	placed := 0
 	for pq.Len() > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("cpop: after %d of %d placements: %w", placed, n, err)
 		}
 		placed++
-		t := heap.Pop(pq).(taskgraph.TaskID)
-		var target network.ProcID
+		t := heap.Pop(pq).(graph.TaskID)
+		var target system.ProcID
 		if res.OnCP[t] {
 			target = res.CPProc
 		} else {
 			bestEFT := math.Inf(1)
 			for p := 0; p < m; p++ {
-				eft := heft.EvalEFT(s, rt, t, network.ProcID(p), &routeBuf)
+				eft := heft.EvalEFT(s, rt, t, system.ProcID(p), &routeBuf)
 				if eft < bestEFT {
-					bestEFT, target = eft, network.ProcID(p)
+					bestEFT, target = eft, system.ProcID(p)
 				}
 			}
 		}
@@ -137,29 +136,29 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 
 // downwardRanks computes CPOP's downward rank: the longest mean-cost path
 // from any source to the task, excluding the task's own cost.
-func downwardRanks(g *taskgraph.Graph, sys *hetero.System) []float64 {
+func downwardRanks(g *graph.Graph, sys *system.System) []float64 {
 	n := g.NumTasks()
 	m := sys.Net.NumProcs()
 	meanExec := make([]float64, n)
 	for i := 0; i < n; i++ {
 		var sum float64
 		for p := 0; p < m; p++ {
-			sum += sys.ExecCost(i, network.ProcID(p), g.Task(taskgraph.TaskID(i)).Cost)
+			sum += sys.ExecCost(i, system.ProcID(p), g.Task(graph.TaskID(i)).Cost)
 		}
 		meanExec[i] = sum / float64(m)
 	}
-	meanComm := func(e taskgraph.EdgeID) float64 {
+	meanComm := func(e graph.EdgeID) float64 {
 		nl := sys.Net.NumLinks()
 		if nl == 0 {
 			return 0
 		}
 		var sum float64
 		for l := 0; l < nl; l++ {
-			sum += sys.CommCost(int(e), network.LinkID(l), g.Edge(e).Cost)
+			sum += sys.CommCost(int(e), system.LinkID(l), g.Edge(e).Cost)
 		}
 		return sum / float64(nl)
 	}
-	order, err := taskgraph.TopologicalOrder(g)
+	order, err := graph.TopologicalOrder(g)
 	if err != nil {
 		panic(err)
 	}
@@ -177,7 +176,7 @@ func downwardRanks(g *taskgraph.Graph, sys *hetero.System) []float64 {
 
 // taskHeap is a max-heap of tasks by priority (ties by smaller ID).
 type taskHeap struct {
-	items []taskgraph.TaskID
+	items []graph.TaskID
 	prio  []float64
 }
 
@@ -190,7 +189,7 @@ func (h *taskHeap) Less(i, j int) bool {
 	return a < b
 }
 func (h *taskHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *taskHeap) Push(x interface{}) { h.items = append(h.items, x.(taskgraph.TaskID)) }
+func (h *taskHeap) Push(x interface{}) { h.items = append(h.items, x.(graph.TaskID)) }
 func (h *taskHeap) Pop() interface{} {
 	old := h.items
 	n := len(old)

@@ -5,15 +5,14 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/paperexample"
-	"repro/internal/taskgraph"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 func TestCPOPPaperExample(t *testing.T) {
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	res, err := Schedule(g, sys)
 	if err != nil {
 		t.Fatal(err)
@@ -26,7 +25,7 @@ func TestCPOPPaperExample(t *testing.T) {
 	}
 	// Every CP task must sit on the pinned processor.
 	for i, on := range res.OnCP {
-		if on && res.Schedule.ProcOf(taskgraph.TaskID(i)) != res.CPProc {
+		if on && res.Schedule.ProcOf(graph.TaskID(i)) != res.CPProc {
 			t.Errorf("CP task %d not on CP processor", i)
 		}
 	}
@@ -38,18 +37,18 @@ func TestCPOPPaperExample(t *testing.T) {
 }
 
 func TestCPOPEmpty(t *testing.T) {
-	g, _ := taskgraph.NewBuilder().Build()
-	nw, _ := network.Ring(2)
-	res, err := Schedule(g, hetero.NewUniform(nw, 0, 0))
+	g, _ := graph.NewBuilder().Build()
+	nw, _ := system.Ring(2)
+	res, err := Schedule(g, system.NewUniform(nw, 0, 0))
 	if err != nil || res.Schedule.Length() != 0 {
 		t.Fatalf("empty: %v", err)
 	}
 }
 
 func TestCPOPInvalidSystem(t *testing.T) {
-	g := paperexample.Graph()
-	nw, _ := network.Ring(2)
-	if _, err := Schedule(g, hetero.NewUniform(nw, 1, 0)); err == nil {
+	g := gen.PaperExampleGraph()
+	nw, _ := system.Ring(2)
+	if _, err := Schedule(g, system.NewUniform(nw, 1, 0)); err == nil {
 		t.Fatal("dimension mismatch should fail")
 	}
 }
@@ -57,7 +56,7 @@ func TestCPOPInvalidSystem(t *testing.T) {
 func TestCPOPPinsChainToFastProcessor(t *testing.T) {
 	// A pure chain is entirely critical; CPOP must pin it to the processor
 	// with the smallest total cost.
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	prev := b.AddTask("a", 10)
 	for _, name := range []string{"b", "c"} {
 		cur := b.AddTask(name, 10)
@@ -65,8 +64,8 @@ func TestCPOPPinsChainToFastProcessor(t *testing.T) {
 		prev = cur
 	}
 	g, _ := b.Build()
-	nw, _ := network.Ring(4)
-	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	nw, _ := system.Ring(4)
+	sys := system.NewUniform(nw, g.NumTasks(), g.NumEdges())
 	for i := 0; i < 3; i++ {
 		sys.Exec[i] = []float64{2, 2, 0.5, 2}
 	}
@@ -82,16 +81,16 @@ func TestCPOPPinsChainToFastProcessor(t *testing.T) {
 	}
 }
 
-func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Graph {
-	b := taskgraph.NewBuilder()
-	ids := make([]taskgraph.TaskID, n)
-	seen := make(map[[2]taskgraph.TaskID]bool)
+func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *graph.Graph {
+	b := graph.NewBuilder()
+	ids := make([]graph.TaskID, n)
+	seen := make(map[[2]graph.TaskID]bool)
 	for i := 0; i < n; i++ {
 		name := []byte{'T', byte('0' + i/100%10), byte('0' + i/10%10), byte('0' + i%10)}
 		ids[i] = b.AddTask(string(name), 1+rng.Float64()*199)
 	}
-	add := func(u, v taskgraph.TaskID) {
-		k := [2]taskgraph.TaskID{u, v}
+	add := func(u, v graph.TaskID) {
+		k := [2]graph.TaskID{u, v}
 		if !seen[k] {
 			seen[k] = true
 			b.AddEdge(u, v, rng.Float64()*100)
@@ -120,11 +119,11 @@ func TestCPOPRandomInstancesValid(t *testing.T) {
 		n := 2 + int(nRaw)%25
 		m := 2 + int(mRaw)%8
 		g := randomConnectedDAG(rng, n, 0.15)
-		nw, err := network.RandomConnected(m, 1, m, rng)
+		nw, err := system.RandomConnected(m, 1, m, rng)
 		if err != nil {
 			return true
 		}
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
 		if err != nil {
 			return false
 		}
@@ -136,7 +135,7 @@ func TestCPOPRandomInstancesValid(t *testing.T) {
 			return false
 		}
 		for i, on := range res.OnCP {
-			if on && res.Schedule.ProcOf(taskgraph.TaskID(i)) != res.CPProc {
+			if on && res.Schedule.ProcOf(graph.TaskID(i)) != res.CPProc {
 				return false
 			}
 		}

@@ -22,10 +22,9 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/internal/schedule"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // Options control DLS. The zero value is the standard algorithm.
@@ -49,7 +48,7 @@ type Result struct {
 }
 
 // Schedule runs DLS on g over sys and returns a complete schedule.
-func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, error) {
+func Schedule(g *graph.Graph, sys *system.System, opt Options) (*Result, error) {
 	return ScheduleContext(context.Background(), g, sys, opt)
 }
 
@@ -57,7 +56,7 @@ func Schedule(g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, err
 // scheduling step, so a canceled or expired context aborts the run
 // between two task placements with ctx.Err() (wrapped; test with
 // errors.Is).
-func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System, opt Options) (*Result, error) {
+func ScheduleContext(ctx context.Context, g *graph.Graph, sys *system.System, opt Options) (*Result, error) {
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
 		return nil, fmt.Errorf("dls: %w", err)
 	}
@@ -68,34 +67,34 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 		return res, nil
 	}
 	s := res.Schedule
-	rt := network.NewRoutingTable(sys.Net)
+	rt := system.NewRoutingTable(sys.Net)
 
 	nominal := g.NominalExecCosts()
 	medCost := sys.MedianExecFactorCost(nominal)
-	sl := taskgraph.StaticLevels(g, medCost)
+	sl := graph.StaticLevels(g, medCost)
 
 	unplacedPreds := make([]int, n)
-	ready := make([]taskgraph.TaskID, 0, n)
+	ready := make([]graph.TaskID, 0, n)
 	for i := 0; i < n; i++ {
-		unplacedPreds[i] = g.InDegree(taskgraph.TaskID(i))
+		unplacedPreds[i] = g.InDegree(graph.TaskID(i))
 		if unplacedPreds[i] == 0 {
-			ready = append(ready, taskgraph.TaskID(i))
+			ready = append(ready, graph.TaskID(i))
 		}
 	}
 
-	routeBuf := make([]network.LinkID, 0, 8)
+	routeBuf := make([]system.LinkID, 0, 8)
 	for scheduled := 0; scheduled < n; scheduled++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("dls: after %d of %d steps: %w", scheduled, n, err)
 		}
 		res.Steps++
 		bestDL := math.Inf(-1)
-		bestT := taskgraph.TaskID(-1)
-		bestP := network.ProcID(-1)
+		bestT := graph.TaskID(-1)
+		bestP := system.ProcID(-1)
 		for _, t := range ready {
 			for p := 0; p < m; p++ {
 				res.Evaluations++
-				pp := network.ProcID(p)
+				pp := system.ProcID(p)
 				da := dataArrival(s, rt, t, pp, &routeBuf, opt.InsertionLinks)
 				tf := s.ProcTimeline(pp).End()
 				dl := sl[t] - math.Max(da, tf)
@@ -154,13 +153,13 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 // arrive at p, tentatively routing each along the shortest path from its
 // sender's processor with link-contention-aware earliest-fit, serializing
 // this task's own messages on shared links via an overlay.
-func dataArrival(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.TaskID, p network.ProcID, routeBuf *[]network.LinkID, insertion bool) float64 {
+func dataArrival(s *schedule.Schedule, rt *system.RoutingTable, t graph.TaskID, p system.ProcID, routeBuf *[]system.LinkID, insertion bool) float64 {
 	g := s.G
 	in := g.In(t)
 	if len(in) == 0 {
 		return 0
 	}
-	var ov map[network.LinkID][]schedule.Slot
+	var ov map[system.LinkID][]schedule.Slot
 	var da float64
 	for _, e := range in {
 		from := s.Tasks[g.Edge(e).From]
@@ -184,7 +183,7 @@ func dataArrival(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.Tas
 					}
 				}
 				if ov == nil {
-					ov = make(map[network.LinkID][]schedule.Slot, 4)
+					ov = make(map[system.LinkID][]schedule.Slot, 4)
 				}
 				ov[l] = insertSlot(ov[l], schedule.Slot{Start: start, End: start + dur})
 				ready = start + dur

@@ -5,15 +5,14 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/paperexample"
-	"repro/internal/taskgraph"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 func TestDLSPaperExample(t *testing.T) {
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	res, err := Schedule(g, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -31,9 +30,9 @@ func TestDLSPaperExample(t *testing.T) {
 }
 
 func TestDLSSingleProcessor(t *testing.T) {
-	g := paperexample.Graph()
-	nw, _ := network.Ring(1)
-	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	g := gen.PaperExampleGraph()
+	nw, _ := system.Ring(1)
+	sys := system.NewUniform(nw, g.NumTasks(), g.NumEdges())
 	res, err := Schedule(g, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -44,9 +43,9 @@ func TestDLSSingleProcessor(t *testing.T) {
 }
 
 func TestDLSEmptyGraph(t *testing.T) {
-	g, _ := taskgraph.NewBuilder().Build()
-	nw, _ := network.Ring(2)
-	sys := hetero.NewUniform(nw, 0, 0)
+	g, _ := graph.NewBuilder().Build()
+	nw, _ := system.Ring(2)
+	sys := system.NewUniform(nw, 0, 0)
 	res, err := Schedule(g, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -57,9 +56,9 @@ func TestDLSEmptyGraph(t *testing.T) {
 }
 
 func TestDLSInvalidSystem(t *testing.T) {
-	g := paperexample.Graph()
-	nw, _ := network.Ring(4)
-	if _, err := Schedule(g, hetero.NewUniform(nw, 1, 0), Options{}); err == nil {
+	g := gen.PaperExampleGraph()
+	nw, _ := system.Ring(4)
+	if _, err := Schedule(g, system.NewUniform(nw, 1, 0), Options{}); err == nil {
 		t.Fatal("dimension mismatch should fail")
 	}
 }
@@ -67,11 +66,11 @@ func TestDLSInvalidSystem(t *testing.T) {
 func TestDLSPrefersFastProcessor(t *testing.T) {
 	// A single task: DLS must pick the processor with the smallest actual
 	// execution cost thanks to the Delta adjustment.
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	b.AddTask("only", 100)
 	g, _ := b.Build()
-	nw, _ := network.Ring(4)
-	sys := hetero.NewUniform(nw, 1, 0)
+	nw, _ := system.Ring(4)
+	sys := system.NewUniform(nw, 1, 0)
 	sys.Exec[0] = []float64{2, 1, 0.25, 3}
 	res, err := Schedule(g, sys, Options{})
 	if err != nil {
@@ -86,11 +85,11 @@ func TestDLSPrefersFastProcessor(t *testing.T) {
 }
 
 func TestDLSNoAdjustIgnoresSpeed(t *testing.T) {
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	b.AddTask("only", 100)
 	g, _ := b.Build()
-	nw, _ := network.Ring(4)
-	sys := hetero.NewUniform(nw, 1, 0)
+	nw, _ := system.Ring(4)
+	sys := system.NewUniform(nw, 1, 0)
 	sys.Exec[0] = []float64{2, 1, 0.25, 3}
 	res, err := Schedule(g, sys, Options{NoHeterogeneityAdjust: true})
 	if err != nil {
@@ -105,15 +104,15 @@ func TestDLSNoAdjustIgnoresSpeed(t *testing.T) {
 func TestDLSRespectsContention(t *testing.T) {
 	// Two heavy messages from P1 must serialize on the single ring link if
 	// their receivers land on P2; the validator checks exactly that.
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	src := b.AddTask("src", 10)
 	l := b.AddTask("l", 10)
 	r := b.AddTask("r", 10)
 	b.AddEdge(src, l, 100)
 	b.AddEdge(src, r, 100)
 	g, _ := b.Build()
-	nw, _ := network.Line(2)
-	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	nw, _ := system.Line(2)
+	sys := system.NewUniform(nw, g.NumTasks(), g.NumEdges())
 	res, err := Schedule(g, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -123,10 +122,10 @@ func TestDLSRespectsContention(t *testing.T) {
 	}
 }
 
-func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Graph {
-	b := taskgraph.NewBuilder()
-	ids := make([]taskgraph.TaskID, n)
-	seen := make(map[[2]taskgraph.TaskID]bool)
+func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *graph.Graph {
+	b := graph.NewBuilder()
+	ids := make([]graph.TaskID, n)
+	seen := make(map[[2]graph.TaskID]bool)
 	for i := 0; i < n; i++ {
 		name := make([]byte, 0, 6)
 		name = append(name, 'T')
@@ -138,8 +137,8 @@ func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Gra
 		}
 		ids[i] = b.AddTask(string(name), 1+rng.Float64()*199)
 	}
-	addEdge := func(u, v taskgraph.TaskID) {
-		k := [2]taskgraph.TaskID{u, v}
+	addEdge := func(u, v graph.TaskID) {
+		k := [2]graph.TaskID{u, v}
 		if !seen[k] {
 			seen[k] = true
 			b.AddEdge(u, v, rng.Float64()*100)
@@ -168,11 +167,11 @@ func TestDLSRandomInstancesAreValid(t *testing.T) {
 		n := 2 + int(nRaw)%30
 		m := 2 + int(mRaw)%8
 		g := randomConnectedDAG(rng, n, 0.15)
-		nw, err := network.RandomConnected(m, 1, m, rng)
+		nw, err := system.RandomConnected(m, 1, m, rng)
 		if err != nil {
 			return true
 		}
-		sys, err := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		sys, err := system.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
 		if err != nil {
 			return false
 		}
@@ -190,8 +189,8 @@ func TestDLSRandomInstancesAreValid(t *testing.T) {
 func TestDLSDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	g := randomConnectedDAG(rng, 30, 0.1)
-	nw, _ := network.Hypercube(3)
-	sys, _ := hetero.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+	nw, _ := system.Hypercube(3)
+	sys, _ := system.NewRandom(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
 	a, err := Schedule(g, sys, Options{})
 	if err != nil {
 		t.Fatal(err)

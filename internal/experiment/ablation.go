@@ -3,9 +3,9 @@ package experiment
 import (
 	"math/rand"
 
-	"repro/internal/generator"
-	"repro/internal/hetero"
 	"repro/sched"
+	"repro/sched/gen"
+	"repro/sched/system"
 )
 
 // AblationVariant is one BSA configuration under study, expressed as
@@ -62,7 +62,7 @@ func RunAblation(cfg Config, variants []AblationVariant) ([]AblationRow, error) 
 		for gi, gran := range cfg.Grans {
 			for rep := 0; rep < max1(cfg.Reps); rep++ {
 				gseed := deriveSeed(cfg.Seed, 21, uint64(si), uint64(gi), uint64(rep))
-				g, err := generator.Generate(generator.Spec{Kind: generator.Random, Size: size, Granularity: gran}, rand.New(rand.NewSource(gseed)))
+				g, err := gen.Generate(gen.Spec{Kind: gen.Random, Size: size, Granularity: gran}, rand.New(rand.NewSource(gseed)))
 				if err != nil {
 					return nil, err
 				}
@@ -70,7 +70,7 @@ func RunAblation(cfg Config, variants []AblationVariant) ([]AblationRow, error) 
 				if err != nil {
 					return nil, err
 				}
-				sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), cfg.HetLo, cfg.HetHi, rand.New(rand.NewSource(deriveSeed(cfg.Seed, 22, uint64(si), uint64(gi), uint64(rep)))))
+				sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), cfg.HetLo, cfg.HetHi, rand.New(rand.NewSource(deriveSeed(cfg.Seed, 22, uint64(si), uint64(gi), uint64(rep)))))
 				if err != nil {
 					return nil, err
 				}

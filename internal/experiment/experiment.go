@@ -1,5 +1,5 @@
 // Package experiment regenerates the paper's evaluation: Figures 3-7 (plus
-// the Table 1 worked example via internal/paperexample). It enumerates
+// the Table 1 worked example via sched/gen). It enumerates
 // workload instances, schedules each with every algorithm under test in
 // parallel worker goroutines, aggregates mean schedule lengths and renders
 // the result as aligned text tables, CSV files and ASCII plots.
@@ -11,8 +11,8 @@ import (
 	"math/rand"
 	"runtime"
 
-	"repro/internal/generator"
-	"repro/internal/network"
+	"repro/sched/gen"
+	"repro/sched/system"
 
 	// Algorithms resolve through the sched registry; the blank import
 	// installs every built-in adapter.
@@ -49,36 +49,29 @@ func (t Topology) String() string {
 	}
 }
 
-// Build constructs the topology over m processors. Hypercubes require m to
-// be a power of two; random topologies draw from rng with the paper's
-// degree range [2, 8] (clamped for small m).
-func (t Topology) Build(m int, rng *rand.Rand) (*network.Network, error) {
+// Build constructs the topology over m processors by delegating to the
+// public generator (gen.Topology): hypercubes require m to be a power of
+// two; random topologies draw from rng with the paper's degree range
+// [2, 8] (clamped for small m).
+func (t Topology) Build(m int, rng *rand.Rand) (*system.Network, error) {
+	var kind gen.TopoKind
 	switch t {
 	case Ring:
-		return network.Ring(m)
+		kind = gen.Ring
 	case Hypercube:
-		d := 0
-		for 1<<d < m {
-			d++
-		}
-		if 1<<d != m {
-			return nil, fmt.Errorf("experiment: hypercube needs power-of-two processors, got %d", m)
-		}
-		return network.Hypercube(d)
+		kind = gen.Hypercube
 	case Clique:
-		return network.FullyConnected(m)
+		kind = gen.Clique
 	case RandomTopo:
-		minDeg, maxDeg := 2, 8
-		if m <= minDeg {
-			minDeg = 1
-		}
-		if maxDeg > m-1 {
-			maxDeg = m - 1
-		}
-		return network.RandomConnected(m, minDeg, maxDeg, rng)
+		kind = gen.RandomTopo
 	default:
 		return nil, fmt.Errorf("experiment: unknown topology %d", int(t))
 	}
+	nw, err := gen.Topology(gen.TopoSpec{Kind: kind, Procs: m}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return nw, nil
 }
 
 // Algorithm labels a scheduler under test in figures and tables. Labels
@@ -116,7 +109,7 @@ type Config struct {
 	Seed        int64     // master seed; all instance seeds derive from it
 	Algorithms  []Algorithm
 	Workers     int // parallel workers (0 = GOMAXPROCS)
-	RegularKind []generator.Kind
+	RegularKind []gen.Kind
 
 	// Progress, when non-nil, is called after every completed scenario
 	// cell with the running and total cell counts. Calls are serialized;
@@ -141,7 +134,7 @@ func PaperConfig() Config {
 		Reps:        1,
 		Seed:        1999,
 		Algorithms:  DefaultAlgorithms,
-		RegularKind: generator.RegularKinds,
+		RegularKind: gen.RegularKinds,
 	}
 }
 
@@ -156,7 +149,7 @@ func QuickConfig() Config {
 		Reps:        1,
 		Seed:        1999,
 		Algorithms:  DefaultAlgorithms,
-		RegularKind: generator.RegularKinds,
+		RegularKind: gen.RegularKinds,
 	}
 }
 

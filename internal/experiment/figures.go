@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/generator"
+	"repro/sched/gen"
 )
 
 // Row is one x-position of one panel: the mean schedule length per
@@ -78,7 +78,7 @@ func runAll(specs []cellSpec, cfg Config, fig *Figure) error {
 // map each (topoIdx, sizeIdx, granIdx) to a (panel, row). Cells sharing a
 // graph are enumerated consecutively so worker caches can reuse the
 // materialized instance.
-func buildSpecs(cfg Config, kinds []generator.Kind, place func(topoIdx, sizeIdx, granIdx int) (panel, row int)) []cellSpec {
+func buildSpecs(cfg Config, kinds []gen.Kind, place func(topoIdx, sizeIdx, granIdx int) (panel, row int)) []cellSpec {
 	var specs []cellSpec
 	for ki, kind := range kinds {
 		for si, size := range cfg.Sizes {
@@ -136,7 +136,7 @@ func floats(xs []int) []float64 {
 // sizeFigure runs a Figure 3/4 style experiment: average schedule length vs
 // graph size, one panel per topology, averaged over granularities (and
 // application kinds for the regular suite).
-func sizeFigure(cfg Config, name, caption string, kinds []generator.Kind) (*Figure, error) {
+func sizeFigure(cfg Config, name, caption string, kinds []gen.Kind) (*Figure, error) {
 	fig := &Figure{Name: name, Caption: caption, Panels: newPanels(cfg, "graph size", floats(cfg.Sizes))}
 	specs := buildSpecs(cfg, kinds, func(ti, si, gi int) (int, int) { return ti, si })
 	if err := runAll(specs, cfg, fig); err != nil {
@@ -147,7 +147,7 @@ func sizeFigure(cfg Config, name, caption string, kinds []generator.Kind) (*Figu
 
 // granFigure runs a Figure 5/6 style experiment: average schedule length vs
 // granularity, one panel per topology, averaged over sizes (and kinds).
-func granFigure(cfg Config, name, caption string, kinds []generator.Kind) (*Figure, error) {
+func granFigure(cfg Config, name, caption string, kinds []gen.Kind) (*Figure, error) {
 	gs := append([]float64(nil), cfg.Grans...)
 	sort.Float64s(gs)
 	fig := &Figure{Name: name, Caption: caption, Panels: newPanels(cfg, "granularity", gs)}
@@ -177,7 +177,7 @@ func Figure3(cfg Config) (*Figure, error) {
 func Figure4(cfg Config) (*Figure, error) {
 	return sizeFigure(cfg, "figure4",
 		"Average schedule lengths for the random graphs with different graph sizes using four network topologies",
-		[]generator.Kind{generator.Random})
+		[]gen.Kind{gen.Random})
 }
 
 // Figure5 reproduces Figure 5: regular graphs, schedule length vs
@@ -193,7 +193,7 @@ func Figure5(cfg Config) (*Figure, error) {
 func Figure6(cfg Config) (*Figure, error) {
 	return granFigure(cfg, "figure6",
 		"Average schedule lengths for the random graphs with different granularities using four network topologies",
-		[]generator.Kind{generator.Random})
+		[]gen.Kind{gen.Random})
 }
 
 // Figure7 reproduces Figure 7: the effect of the heterogeneity range on
@@ -226,7 +226,7 @@ func Figure7(cfg Config) (*Figure, error) {
 			hseed := deriveSeed(cfg.Seed, 8, uint64(ri), uint64(rep))
 			for _, algo := range cfg.Algorithms {
 				specs = append(specs, cellSpec{
-					kind: generator.Random, size: size, gran: 1.0,
+					kind: gen.Random, size: size, gran: 1.0,
 					topo: Hypercube, procs: cfg.Procs,
 					hetLo: 1, hetHi: hi,
 					gseed: gseed, tseed: 1, hseed: hseed,

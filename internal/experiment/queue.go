@@ -6,11 +6,10 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/generator"
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/taskgraph"
 	"repro/sched"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // cellSpec describes one scenario cell — a single (instance, algorithm)
@@ -20,7 +19,7 @@ import (
 // nothing to enumerate; graphs and systems only ever exist inside the
 // worker that schedules them.
 type cellSpec struct {
-	kind         generator.Kind
+	kind         gen.Kind
 	size         int
 	gran         float64
 	topo         Topology
@@ -111,25 +110,25 @@ func (q *shardedQueue) drain(w int, run func(cellSpec)) {
 // gseed sharding and enumeration order).
 type cellWorker struct {
 	gKey struct {
-		kind  generator.Kind
+		kind  gen.Kind
 		size  int
 		gran  float64
 		gseed int64
 	}
-	g *taskgraph.Graph
+	g *graph.Graph
 
 	nKey struct {
 		topo  Topology
 		procs int
 		tseed int64
 	}
-	nw *network.Network
+	nw *system.Network
 
 	sKey struct {
 		hetLo, hetHi float64
 		hseed        int64
 	}
-	sys *hetero.System
+	sys *system.System
 }
 
 func (cw *cellWorker) run(ctx context.Context, sp cellSpec) cellResult {
@@ -139,7 +138,7 @@ func (cw *cellWorker) run(ctx context.Context, sp cellSpec) cellResult {
 	gKey := cw.gKey
 	gKey.kind, gKey.size, gKey.gran, gKey.gseed = sp.kind, sp.size, sp.gran, sp.gseed
 	if cw.g == nil || gKey != cw.gKey {
-		g, err := generator.Generate(generator.Spec{Kind: sp.kind, Size: sp.size, Granularity: sp.gran}, rand.New(rand.NewSource(sp.gseed)))
+		g, err := gen.Generate(gen.Spec{Kind: sp.kind, Size: sp.size, Granularity: sp.gran}, rand.New(rand.NewSource(sp.gseed)))
 		if err != nil {
 			return cellResult{idx: sp.idx, err: err}
 		}
@@ -159,7 +158,7 @@ func (cw *cellWorker) run(ctx context.Context, sp cellSpec) cellResult {
 	sKey := cw.sKey
 	sKey.hetLo, sKey.hetHi, sKey.hseed = sp.hetLo, sp.hetHi, sp.hseed
 	if cw.sys == nil || sKey != cw.sKey {
-		sys, err := hetero.NewRandomMinNormalized(cw.nw, cw.g.NumTasks(), cw.g.NumEdges(), sp.hetLo, sp.hetHi, rand.New(rand.NewSource(sp.hseed)))
+		sys, err := system.NewRandomMinNormalized(cw.nw, cw.g.NumTasks(), cw.g.NumEdges(), sp.hetLo, sp.hetHi, rand.New(rand.NewSource(sp.hseed)))
 		if err != nil {
 			return cellResult{idx: sp.idx, err: err}
 		}

@@ -16,10 +16,9 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/internal/schedule"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // Result is the outcome of a HEFT run.
@@ -30,14 +29,14 @@ type Result struct {
 }
 
 // Schedule runs contention-aware HEFT on g over sys.
-func Schedule(g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
+func Schedule(g *graph.Graph, sys *system.System) (*Result, error) {
 	return ScheduleContext(context.Background(), g, sys)
 }
 
 // ScheduleContext is Schedule with cancellation: ctx is polled once per
 // task placement, so a canceled or expired context aborts the run with
 // ctx.Err() (wrapped; test with errors.Is).
-func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System) (*Result, error) {
+func ScheduleContext(ctx context.Context, g *graph.Graph, sys *system.System) (*Result, error) {
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
 		return nil, fmt.Errorf("heft: %w", err)
 	}
@@ -47,14 +46,14 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 		return res, nil
 	}
 	s := res.Schedule
-	rt := network.NewRoutingTable(sys.Net)
+	rt := system.NewRoutingTable(sys.Net)
 	res.Ranks = UpwardRanks(g, sys)
 
 	// Tasks by non-increasing upward rank; this order is a linear extension
 	// because rank(pred) > rank(succ) for positive costs.
-	order := make([]taskgraph.TaskID, n)
+	order := make([]graph.TaskID, n)
 	for i := range order {
-		order[i] = taskgraph.TaskID(i)
+		order[i] = graph.TaskID(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if res.Ranks[order[i]] != res.Ranks[order[j]] {
@@ -64,17 +63,17 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 	})
 
 	m := sys.Net.NumProcs()
-	var routeBuf []network.LinkID
+	var routeBuf []system.LinkID
 	for placed, t := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("heft: after %d of %d placements: %w", placed, n, err)
 		}
 		bestEFT := math.Inf(1)
-		bestP := network.ProcID(0)
+		bestP := system.ProcID(0)
 		for p := 0; p < m; p++ {
-			eft := EvalEFT(s, rt, t, network.ProcID(p), &routeBuf)
+			eft := EvalEFT(s, rt, t, system.ProcID(p), &routeBuf)
 			if eft < bestEFT {
-				bestEFT, bestP = eft, network.ProcID(p)
+				bestEFT, bestP = eft, system.ProcID(p)
 			}
 		}
 		if err := commit(s, rt, t, bestP, &routeBuf); err != nil {
@@ -87,7 +86,7 @@ func ScheduleContext(ctx context.Context, g *taskgraph.Graph, sys *hetero.System
 // UpwardRanks computes HEFT's upward rank: mean actual execution cost over
 // processors plus the maximum over successors of mean communication cost
 // (nominal times mean link factor) plus the successor's rank.
-func UpwardRanks(g *taskgraph.Graph, sys *hetero.System) []float64 {
+func UpwardRanks(g *graph.Graph, sys *system.System) []float64 {
 	n := g.NumTasks()
 	ranks := make([]float64, n)
 	meanExec := make([]float64, n)
@@ -95,22 +94,22 @@ func UpwardRanks(g *taskgraph.Graph, sys *hetero.System) []float64 {
 	for i := 0; i < n; i++ {
 		var sum float64
 		for p := 0; p < m; p++ {
-			sum += sys.ExecCost(i, network.ProcID(p), g.Task(taskgraph.TaskID(i)).Cost)
+			sum += sys.ExecCost(i, system.ProcID(p), g.Task(graph.TaskID(i)).Cost)
 		}
 		meanExec[i] = sum / float64(m)
 	}
-	meanComm := func(e taskgraph.EdgeID) float64 {
+	meanComm := func(e graph.EdgeID) float64 {
 		nl := sys.Net.NumLinks()
 		if nl == 0 {
 			return 0
 		}
 		var sum float64
 		for l := 0; l < nl; l++ {
-			sum += sys.CommCost(int(e), network.LinkID(l), g.Edge(e).Cost)
+			sum += sys.CommCost(int(e), system.LinkID(l), g.Edge(e).Cost)
 		}
 		return sum / float64(nl)
 	}
-	order, err := taskgraph.TopologicalOrder(g)
+	order, err := graph.TopologicalOrder(g)
 	if err != nil {
 		panic(err) // graphs are validated at build time
 	}
@@ -131,15 +130,15 @@ func UpwardRanks(g *taskgraph.Graph, sys *hetero.System) []float64 {
 // EvalEFT computes the earliest finish time of t on p without mutating the
 // schedule: messages tentatively routed on shortest paths with an overlay
 // serializing this task's own transfers, task slot via insertion.
-func EvalEFT(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.TaskID, p network.ProcID, routeBuf *[]network.LinkID) float64 {
+func EvalEFT(s *schedule.Schedule, rt *system.RoutingTable, t graph.TaskID, p system.ProcID, routeBuf *[]system.LinkID) float64 {
 	drt := tentativeDRT(s, rt, t, p, routeBuf)
 	dur := s.ExecDuration(t, p)
 	return s.ProcTimeline(p).EarliestFit(drt, dur) + dur
 }
 
-func tentativeDRT(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.TaskID, p network.ProcID, routeBuf *[]network.LinkID) float64 {
+func tentativeDRT(s *schedule.Schedule, rt *system.RoutingTable, t graph.TaskID, p system.ProcID, routeBuf *[]system.LinkID) float64 {
 	g := s.G
-	var ov map[network.LinkID][]schedule.Slot
+	var ov map[system.LinkID][]schedule.Slot
 	var drt float64
 	for _, e := range g.In(t) {
 		from := s.Tasks[g.Edge(e).From]
@@ -150,7 +149,7 @@ func tentativeDRT(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.Ta
 				dur := s.HopDuration(e, l)
 				start := s.LinkTimeline(l).EarliestFitWithExtra(ready, dur, ov[l])
 				if ov == nil {
-					ov = make(map[network.LinkID][]schedule.Slot, 4)
+					ov = make(map[system.LinkID][]schedule.Slot, 4)
 				}
 				ov[l] = insertSlot(ov[l], schedule.Slot{Start: start, End: start + dur})
 				ready = start + dur
@@ -163,7 +162,7 @@ func tentativeDRT(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.Ta
 	return drt
 }
 
-func commit(s *schedule.Schedule, rt *network.RoutingTable, t taskgraph.TaskID, p network.ProcID, routeBuf *[]network.LinkID) error {
+func commit(s *schedule.Schedule, rt *system.RoutingTable, t graph.TaskID, p system.ProcID, routeBuf *[]system.LinkID) error {
 	g := s.G
 	var drt float64
 	for _, e := range g.In(t) {

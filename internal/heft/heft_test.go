@@ -5,15 +5,14 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/paperexample"
-	"repro/internal/taskgraph"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 func TestHEFTPaperExample(t *testing.T) {
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	res, err := Schedule(g, sys)
 	if err != nil {
 		t.Fatal(err)
@@ -29,8 +28,8 @@ func TestHEFTPaperExample(t *testing.T) {
 
 func TestUpwardRanksMonotone(t *testing.T) {
 	// rank(pred) > rank(succ) along every edge for positive costs.
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	ranks := UpwardRanks(g, sys)
 	for _, e := range g.Edges() {
 		if ranks[e.From] <= ranks[e.To] {
@@ -40,15 +39,15 @@ func TestUpwardRanksMonotone(t *testing.T) {
 }
 
 func TestHEFTEmptyAndSingle(t *testing.T) {
-	g, _ := taskgraph.NewBuilder().Build()
-	nw, _ := network.Ring(2)
-	if res, err := Schedule(g, hetero.NewUniform(nw, 0, 0)); err != nil || res.Schedule.Length() != 0 {
+	g, _ := graph.NewBuilder().Build()
+	nw, _ := system.Ring(2)
+	if res, err := Schedule(g, system.NewUniform(nw, 0, 0)); err != nil || res.Schedule.Length() != 0 {
 		t.Fatalf("empty: %v", err)
 	}
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	b.AddTask("only", 10)
 	g2, _ := b.Build()
-	sys := hetero.NewUniform(nw, 1, 0)
+	sys := system.NewUniform(nw, 1, 0)
 	sys.Exec[0] = []float64{5, 1}
 	res, err := Schedule(g2, sys)
 	if err != nil {
@@ -60,23 +59,23 @@ func TestHEFTEmptyAndSingle(t *testing.T) {
 }
 
 func TestHEFTInvalidSystem(t *testing.T) {
-	g := paperexample.Graph()
-	nw, _ := network.Ring(2)
-	if _, err := Schedule(g, hetero.NewUniform(nw, 1, 0)); err == nil {
+	g := gen.PaperExampleGraph()
+	nw, _ := system.Ring(2)
+	if _, err := Schedule(g, system.NewUniform(nw, 1, 0)); err == nil {
 		t.Fatal("dimension mismatch should fail")
 	}
 }
 
-func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Graph {
-	b := taskgraph.NewBuilder()
-	ids := make([]taskgraph.TaskID, n)
-	seen := make(map[[2]taskgraph.TaskID]bool)
+func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *graph.Graph {
+	b := graph.NewBuilder()
+	ids := make([]graph.TaskID, n)
+	seen := make(map[[2]graph.TaskID]bool)
 	for i := 0; i < n; i++ {
 		name := []byte{'T', byte('0' + i/100%10), byte('0' + i/10%10), byte('0' + i%10)}
 		ids[i] = b.AddTask(string(name), 1+rng.Float64()*199)
 	}
-	add := func(u, v taskgraph.TaskID) {
-		k := [2]taskgraph.TaskID{u, v}
+	add := func(u, v graph.TaskID) {
+		k := [2]graph.TaskID{u, v}
 		if !seen[k] {
 			seen[k] = true
 			b.AddEdge(u, v, rng.Float64()*100)
@@ -105,11 +104,11 @@ func TestHEFTRandomInstancesValid(t *testing.T) {
 		n := 2 + int(nRaw)%25
 		m := 2 + int(mRaw)%8
 		g := randomConnectedDAG(rng, n, 0.15)
-		nw, err := network.RandomConnected(m, 1, m, rng)
+		nw, err := system.RandomConnected(m, 1, m, rng)
 		if err != nil {
 			return true
 		}
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,57 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/sched/graph"
+	"repro/sched/system"
+)
+
+// FromSlots reconstructs a complete Schedule from explicit task and
+// message slots: every slot is re-reserved on its processor or link
+// timeline and the result must pass Validate. This is the adoption path
+// behind sched.AssembleSchedule, letting schedulers that do not use this
+// package's placement primitives still hand back a first-class schedule.
+func FromSlots(g *graph.Graph, sys *system.System, tasks []TaskSlot, msgs []MsgSlot) (*Schedule, error) {
+	if len(tasks) != g.NumTasks() {
+		return nil, fmt.Errorf("schedule: %d task slots for %d tasks", len(tasks), g.NumTasks())
+	}
+	if len(msgs) != g.NumEdges() {
+		return nil, fmt.Errorf("schedule: %d message slots for %d messages", len(msgs), g.NumEdges())
+	}
+	m := sys.Net.NumProcs()
+	nl := sys.Net.NumLinks()
+	s := New(g, sys)
+	for i, ts := range tasks {
+		if !ts.Placed {
+			return nil, fmt.Errorf("schedule: task %d slot not placed", i)
+		}
+		if ts.Proc < 0 || int(ts.Proc) >= m {
+			return nil, fmt.Errorf("schedule: task %d on unknown processor %d", i, ts.Proc)
+		}
+		if err := s.procTL[ts.Proc].ReserveExact(ts.Start, ts.End, taskOwner(graph.TaskID(i))); err != nil {
+			return nil, fmt.Errorf("schedule: task %d on P%d: %w", i, ts.Proc+1, err)
+		}
+		s.Tasks[i] = ts
+	}
+	for i, ms := range msgs {
+		if !ms.Placed {
+			return nil, fmt.Errorf("schedule: message %d slot not placed", i)
+		}
+		hops := make([]Hop, len(ms.Hops))
+		for h, hop := range ms.Hops {
+			if hop.Link < 0 || int(hop.Link) >= nl {
+				return nil, fmt.Errorf("schedule: message %d hop %d on unknown link %d", i, h, hop.Link)
+			}
+			if err := s.linkTL[hop.Link].ReserveExact(hop.Start, hop.End, MsgOwner(graph.EdgeID(i), h)); err != nil {
+				return nil, fmt.Errorf("schedule: message %d hop %d: %w", i, h, err)
+			}
+			hops[h] = hop
+		}
+		s.Msgs[i] = MsgSlot{Hops: hops, Arrival: ms.Arrival, Placed: true}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("schedule: assembled schedule infeasible: %w", err)
+	}
+	return s, nil
+}

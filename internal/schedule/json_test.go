@@ -5,16 +5,16 @@ import (
 	"encoding/json"
 	"testing"
 
-	"repro/internal/network"
+	"repro/sched/system"
 )
 
 func TestScheduleJSONExport(t *testing.T) {
 	g, sys := fixture(t)
 	s := New(g, sys)
 	s.PlaceTask(0, 0, 0)
-	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceMessage(0, []system.LinkID{0})
 	s.PlaceTask(1, 1, 15)
-	s.PlaceMessage(1, []network.LinkID{1})
+	s.PlaceMessage(1, []system.LinkID{1})
 	s.PlaceTask(2, 2, 42)
 
 	var buf bytes.Buffer

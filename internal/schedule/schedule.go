@@ -4,14 +4,13 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // TaskSlot records where and when a task executes.
 type TaskSlot struct {
-	Proc   network.ProcID
+	Proc   system.ProcID
 	Start  float64
 	End    float64
 	Placed bool
@@ -20,9 +19,9 @@ type TaskSlot struct {
 // Hop is one link traversal of a message: the message occupies Link for
 // [Start, End) while moving From -> To.
 type Hop struct {
-	Link  network.LinkID
-	From  network.ProcID
-	To    network.ProcID
+	Link  system.LinkID
+	From  system.ProcID
+	To    system.ProcID
 	Start float64
 	End   float64
 }
@@ -40,8 +39,8 @@ type MsgSlot struct {
 // and messages to link time slots for one task graph on one heterogeneous
 // system.
 type Schedule struct {
-	G   *taskgraph.Graph
-	Sys *hetero.System
+	G   *graph.Graph
+	Sys *system.System
 
 	Tasks []TaskSlot
 	Msgs  []MsgSlot
@@ -51,7 +50,7 @@ type Schedule struct {
 }
 
 // New returns an empty schedule for g on sys.
-func New(g *taskgraph.Graph, sys *hetero.System) *Schedule {
+func New(g *graph.Graph, sys *system.System) *Schedule {
 	return &Schedule{
 		G:      g,
 		Sys:    sys,
@@ -81,38 +80,38 @@ func (s *Schedule) Reset() {
 }
 
 // ProcTimeline returns the timeline of processor p.
-func (s *Schedule) ProcTimeline(p network.ProcID) *Timeline { return &s.procTL[p] }
+func (s *Schedule) ProcTimeline(p system.ProcID) *Timeline { return &s.procTL[p] }
 
 // LinkTimeline returns the timeline of link l.
-func (s *Schedule) LinkTimeline(l network.LinkID) *Timeline { return &s.linkTL[l] }
+func (s *Schedule) LinkTimeline(l system.LinkID) *Timeline { return &s.linkTL[l] }
 
 // Owner tokens: processor slots are owned by the task ID; link slots by the
 // edge ID shifted to keep hop indices distinguishable.
-func taskOwner(t taskgraph.TaskID) int64 { return int64(t) }
+func taskOwner(t graph.TaskID) int64 { return int64(t) }
 
 // TaskOwner returns the processor-slot owner token of task t, for callers
 // that manipulate timelines directly (the incremental BSA engine).
-func TaskOwner(t taskgraph.TaskID) int64 { return taskOwner(t) }
+func TaskOwner(t graph.TaskID) int64 { return taskOwner(t) }
 
 // MsgOwner returns the link-slot owner token for hop h of edge e.
-func MsgOwner(e taskgraph.EdgeID, hop int) int64 { return int64(e)<<20 | int64(hop) }
+func MsgOwner(e graph.EdgeID, hop int) int64 { return int64(e)<<20 | int64(hop) }
 
 // MsgOwnerEdge recovers the edge ID from a link-slot owner token.
-func MsgOwnerEdge(owner int64) taskgraph.EdgeID { return taskgraph.EdgeID(owner >> 20) }
+func MsgOwnerEdge(owner int64) graph.EdgeID { return graph.EdgeID(owner >> 20) }
 
 // ExecDuration returns the actual execution duration of t on p.
-func (s *Schedule) ExecDuration(t taskgraph.TaskID, p network.ProcID) float64 {
+func (s *Schedule) ExecDuration(t graph.TaskID, p system.ProcID) float64 {
 	return s.Sys.ExecCost(int(t), p, s.G.Task(t).Cost)
 }
 
 // HopDuration returns the actual duration of edge e crossing link l.
-func (s *Schedule) HopDuration(e taskgraph.EdgeID, l network.LinkID) float64 {
+func (s *Schedule) HopDuration(e graph.EdgeID, l system.LinkID) float64 {
 	return s.Sys.CommCost(int(e), l, s.G.Edge(e).Cost)
 }
 
 // PlaceTask reserves [start, start+dur) for t on p, where dur is the actual
 // execution cost. It fails if t is already placed or the slot overlaps.
-func (s *Schedule) PlaceTask(t taskgraph.TaskID, p network.ProcID, start float64) error {
+func (s *Schedule) PlaceTask(t graph.TaskID, p system.ProcID, start float64) error {
 	if s.Tasks[t].Placed {
 		return fmt.Errorf("schedule: task %d already placed", t)
 	}
@@ -126,7 +125,7 @@ func (s *Schedule) PlaceTask(t taskgraph.TaskID, p network.ProcID, start float64
 
 // PlaceTaskEarliest reserves t on p at the earliest insertion slot whose
 // start is >= ready and returns the start time.
-func (s *Schedule) PlaceTaskEarliest(t taskgraph.TaskID, p network.ProcID, ready float64) (float64, error) {
+func (s *Schedule) PlaceTaskEarliest(t graph.TaskID, p system.ProcID, ready float64) (float64, error) {
 	if s.Tasks[t].Placed {
 		return 0, fmt.Errorf("schedule: task %d already placed", t)
 	}
@@ -137,7 +136,7 @@ func (s *Schedule) PlaceTaskEarliest(t taskgraph.TaskID, p network.ProcID, ready
 }
 
 // UnplaceTask removes t's processor reservation.
-func (s *Schedule) UnplaceTask(t taskgraph.TaskID) {
+func (s *Schedule) UnplaceTask(t graph.TaskID) {
 	if !s.Tasks[t].Placed {
 		return
 	}
@@ -151,7 +150,7 @@ func (s *Schedule) UnplaceTask(t taskgraph.TaskID) {
 // (store-and-forward); the first hop is ready at the sender's finish time.
 // An empty route requires no link usage and arrival equals the sender's
 // finish. The sender must already be placed.
-func (s *Schedule) PlaceMessage(e taskgraph.EdgeID, route []network.LinkID) (float64, error) {
+func (s *Schedule) PlaceMessage(e graph.EdgeID, route []system.LinkID) (float64, error) {
 	return s.placeMessage(e, route, true)
 }
 
@@ -159,11 +158,11 @@ func (s *Schedule) PlaceMessage(e taskgraph.EdgeID, route []network.LinkID) (flo
 // each hop starts no earlier than the last reservation already on its link
 // (no back-filling of idle gaps). This models schedulers that allocate
 // link bandwidth strictly in scheduling order, like classic DLS.
-func (s *Schedule) PlaceMessageAppend(e taskgraph.EdgeID, route []network.LinkID) (float64, error) {
+func (s *Schedule) PlaceMessageAppend(e graph.EdgeID, route []system.LinkID) (float64, error) {
 	return s.placeMessage(e, route, false)
 }
 
-func (s *Schedule) placeMessage(e taskgraph.EdgeID, route []network.LinkID, insertion bool) (float64, error) {
+func (s *Schedule) placeMessage(e graph.EdgeID, route []system.LinkID, insertion bool) (float64, error) {
 	if s.Msgs[e].Placed {
 		return 0, fmt.Errorf("schedule: message %d already placed", e)
 	}
@@ -207,7 +206,7 @@ func (s *Schedule) placeMessage(e taskgraph.EdgeID, route []network.LinkID, inse
 }
 
 // UnplaceMessage removes all link reservations of edge e.
-func (s *Schedule) UnplaceMessage(e taskgraph.EdgeID) {
+func (s *Schedule) UnplaceMessage(e graph.EdgeID) {
 	if !s.Msgs[e].Placed {
 		return
 	}
@@ -222,15 +221,15 @@ func (s *Schedule) UnplaceMessage(e taskgraph.EdgeID) {
 // Arrival returns the data arrival time of edge e at its destination's
 // processor. For an intra-processor message this is the sender's finish
 // time.
-func (s *Schedule) Arrival(e taskgraph.EdgeID) float64 { return s.Msgs[e].Arrival }
+func (s *Schedule) Arrival(e graph.EdgeID) float64 { return s.Msgs[e].Arrival }
 
 // DRT returns the data ready time of task t given all its incoming messages
 // are placed, together with the VIP — the predecessor whose message arrives
 // last (the paper's "very important predecessor"). A task with no
 // predecessors has DRT 0 and VIP -1.
-func (s *Schedule) DRT(t taskgraph.TaskID) (float64, taskgraph.TaskID) {
+func (s *Schedule) DRT(t graph.TaskID) (float64, graph.TaskID) {
 	var drt float64
-	vip := taskgraph.TaskID(-1)
+	vip := graph.TaskID(-1)
 	for _, e := range s.G.In(t) {
 		a := s.Msgs[e].Arrival
 		if a > drt || vip < 0 {
@@ -276,7 +275,7 @@ func (s *Schedule) Complete() bool {
 }
 
 // ProcOf returns the processor of a placed task.
-func (s *Schedule) ProcOf(t taskgraph.TaskID) network.ProcID { return s.Tasks[t].Proc }
+func (s *Schedule) ProcOf(t graph.TaskID) system.ProcID { return s.Tasks[t].Proc }
 
 // Clone returns a deep copy of the schedule (sharing the immutable graph
 // and system).

@@ -5,15 +5,14 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // fixture: chain a->b->c on a 3-processor line with uniform factors.
-func fixture(t *testing.T) (*taskgraph.Graph, *hetero.System) {
+func fixture(t *testing.T) (*graph.Graph, *system.System) {
 	t.Helper()
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	a := b.AddTask("a", 10)
 	x := b.AddTask("b", 20)
 	y := b.AddTask("c", 30)
@@ -23,11 +22,11 @@ func fixture(t *testing.T) (*taskgraph.Graph, *hetero.System) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw, err := network.Line(3)
+	nw, err := system.Line(3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return g, hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	return g, system.NewUniform(nw, g.NumTasks(), g.NumEdges())
 }
 
 func TestPlaceTaskAndMessageLocal(t *testing.T) {
@@ -58,7 +57,7 @@ func TestPlaceMessageMultiHop(t *testing.T) {
 	s := New(g, sys)
 	s.PlaceTask(0, 0, 0) // a on P1, finishes at 10
 	// Message a->b over two hops P1->P2->P3 (links 0 and 1).
-	arr, err := s.PlaceMessage(0, []network.LinkID{0, 1})
+	arr, err := s.PlaceMessage(0, []system.LinkID{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +84,7 @@ func TestPlaceMessageContention(t *testing.T) {
 	// Local a->b message.
 	s.PlaceMessage(0, nil)
 	// b->c over link 0: ready at 30.
-	arr, err := s.PlaceMessage(1, []network.LinkID{0})
+	arr, err := s.PlaceMessage(1, []system.LinkID{0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +113,7 @@ func TestPlaceErrors(t *testing.T) {
 		t.Error("message with unplaced sender should fail")
 	}
 	// Route not touching sender's processor.
-	if _, err := s.PlaceMessage(0, []network.LinkID{1}); err == nil {
+	if _, err := s.PlaceMessage(0, []system.LinkID{1}); err == nil {
 		t.Error("disconnected route should fail")
 	}
 	// The failed placement must not leak reservations.
@@ -141,7 +140,7 @@ func TestPlaceMessageRollbackMidRoute(t *testing.T) {
 	// P2, fine. Use Line(3) link IDs: 0=(P1,P2), 1=(P2,P3). Route [1, ...]
 	// fails immediately. Route [0, 1, 0] third hop: at P3, link 0 does not
 	// touch P3 -> rollback of two reserved hops.
-	if _, err := s.PlaceMessage(0, []network.LinkID{0, 1, 0}); err == nil {
+	if _, err := s.PlaceMessage(0, []system.LinkID{0, 1, 0}); err == nil {
 		t.Fatal("expected mid-route failure")
 	}
 	if s.LinkTimeline(0).Len() != 0 || s.LinkTimeline(1).Len() != 0 {
@@ -156,7 +155,7 @@ func TestUnplace(t *testing.T) {
 	g, sys := fixture(t)
 	s := New(g, sys)
 	s.PlaceTask(0, 0, 0)
-	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceMessage(0, []system.LinkID{0})
 	s.UnplaceMessage(0)
 	if s.LinkTimeline(0).Len() != 0 || s.Msgs[0].Placed {
 		t.Error("UnplaceMessage incomplete")
@@ -173,9 +172,9 @@ func TestScheduleLengthAndStats(t *testing.T) {
 	g, sys := fixture(t)
 	s := New(g, sys)
 	s.PlaceTask(0, 0, 0)
-	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceMessage(0, []system.LinkID{0})
 	s.PlaceTask(1, 1, 15)
-	s.PlaceMessage(1, []network.LinkID{1})
+	s.PlaceMessage(1, []system.LinkID{1})
 	s.PlaceTask(2, 2, 42)
 	if !s.Complete() {
 		t.Fatal("schedule should be complete")
@@ -210,11 +209,11 @@ func TestHeterogeneousDurations(t *testing.T) {
 		t.Errorf("end=%v, want 30", s.Tasks[0].End)
 	}
 	// Comm factor scales hop duration.
-	sys2 := hetero.NewUniform(sys.Net, g.NumTasks(), g.NumEdges())
+	sys2 := system.NewUniform(sys.Net, g.NumTasks(), g.NumEdges())
 	sys2.Comm = [][]float64{{2, 1}, {1, 1}}
 	s2 := New(g, sys2)
 	s2.PlaceTask(0, 0, 0)
-	arr, _ := s2.PlaceMessage(0, []network.LinkID{0})
+	arr, _ := s2.PlaceMessage(0, []system.LinkID{0})
 	if arr != 20 { // 10 + 2*5
 		t.Errorf("arrival=%v, want 20", arr)
 	}
@@ -225,9 +224,9 @@ func TestValidateCatchesViolations(t *testing.T) {
 	build := func() *Schedule {
 		s := New(g, sys)
 		s.PlaceTask(0, 0, 0)
-		s.PlaceMessage(0, []network.LinkID{0})
+		s.PlaceMessage(0, []system.LinkID{0})
 		s.PlaceTask(1, 1, 15)
-		s.PlaceMessage(1, []network.LinkID{1})
+		s.PlaceMessage(1, []system.LinkID{1})
 		s.PlaceTask(2, 2, 42)
 		return s
 	}
@@ -267,7 +266,7 @@ func TestClone(t *testing.T) {
 	g, sys := fixture(t)
 	s := New(g, sys)
 	s.PlaceTask(0, 0, 0)
-	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceMessage(0, []system.LinkID{0})
 	c := s.Clone()
 	c.UnplaceMessage(0)
 	if !s.Msgs[0].Placed || s.LinkTimeline(0).Len() != 1 {
@@ -279,7 +278,7 @@ func TestReset(t *testing.T) {
 	g, sys := fixture(t)
 	s := New(g, sys)
 	s.PlaceTask(0, 0, 0)
-	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceMessage(0, []system.LinkID{0})
 	s.Reset()
 	if s.Tasks[0].Placed || s.Msgs[0].Placed || s.ProcTimeline(0).Len() != 0 || s.LinkTimeline(0).Len() != 0 {
 		t.Error("Reset incomplete")
@@ -290,9 +289,9 @@ func TestGanttOutputs(t *testing.T) {
 	g, sys := fixture(t)
 	s := New(g, sys)
 	s.PlaceTask(0, 0, 0)
-	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceMessage(0, []system.LinkID{0})
 	s.PlaceTask(1, 1, 15)
-	s.PlaceMessage(1, []network.LinkID{1})
+	s.PlaceMessage(1, []system.LinkID{1})
 	s.PlaceTask(2, 2, 42)
 
 	var buf bytes.Buffer
@@ -319,7 +318,7 @@ func TestGanttOutputs(t *testing.T) {
 }
 
 func TestMsgOwnerRoundTrip(t *testing.T) {
-	for _, e := range []taskgraph.EdgeID{0, 1, 1000, 500000} {
+	for _, e := range []graph.EdgeID{0, 1, 1000, 500000} {
 		for _, hop := range []int{0, 1, 15} {
 			if got := MsgOwnerEdge(MsgOwner(e, hop)); got != e {
 				t.Fatalf("MsgOwnerEdge(MsgOwner(%d,%d))=%d", e, hop, got)
@@ -333,7 +332,7 @@ func TestMaxFinish(t *testing.T) {
 	s := New(g, sys)
 	s.PlaceTask(0, 0, 0)
 	// A trailing message in flight extends MaxFinish beyond task end.
-	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceMessage(0, []system.LinkID{0})
 	if got := s.MaxFinish(); got != 15 {
 		t.Errorf("MaxFinish=%v, want 15", got)
 	}

@@ -3,11 +3,11 @@ package schedule
 import (
 	"fmt"
 
-	"repro/internal/network"
+	"repro/sched/system"
 )
 
-func procID(i int) network.ProcID { return network.ProcID(i) }
-func linkID(i int) network.LinkID { return network.LinkID(i) }
+func procID(i int) system.ProcID { return system.ProcID(i) }
+func linkID(i int) system.LinkID { return system.LinkID(i) }
 
 // Stats summarises a complete schedule.
 type Stats struct {

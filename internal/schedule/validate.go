@@ -3,8 +3,8 @@ package schedule
 import (
 	"fmt"
 
-	"repro/internal/network"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // Validate checks that a complete schedule is feasible:
@@ -58,7 +58,7 @@ func (s *Schedule) Validate() error {
 		for _, slot := range s.procTL[p].Slots() {
 			t := taskID(int(slot.Owner))
 			ts := &s.Tasks[t]
-			if ts.Proc != network.ProcID(p) || !feq(ts.Start, slot.Start) || !feq(ts.End, slot.End) {
+			if ts.Proc != system.ProcID(p) || !feq(ts.Start, slot.Start) || !feq(ts.End, slot.End) {
 				return fmt.Errorf("task %d timeline slot mismatch on P%d", t, p+1)
 			}
 			placedOnTL++
@@ -146,5 +146,5 @@ func abs(x float64) float64 {
 }
 
 // Tiny typed-index helpers; indices are dense so plain conversions suffice.
-func taskID(i int) taskgraph.TaskID { return taskgraph.TaskID(i) }
-func edgeID(i int) taskgraph.EdgeID { return taskgraph.EdgeID(i) }
+func taskID(i int) graph.TaskID { return graph.TaskID(i) }
+func edgeID(i int) graph.EdgeID { return graph.EdgeID(i) }

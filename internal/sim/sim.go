@@ -19,9 +19,9 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/network"
 	"repro/internal/schedule"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // Result holds the replayed execution times.
@@ -39,8 +39,8 @@ type Result struct {
 
 // node identifies an event node: tasks and individual message hops.
 type node struct {
-	task taskgraph.TaskID // valid when hop < 0
-	edge taskgraph.EdgeID
+	task graph.TaskID // valid when hop < 0
+	edge graph.EdgeID
 	hop  int // -1 for task nodes
 }
 
@@ -67,11 +67,11 @@ func Replay(s *schedule.Schedule) (*Result, error) {
 
 	nodeOf := func(id int) node {
 		if id < n {
-			return node{task: taskgraph.TaskID(id), hop: -1}
+			return node{task: graph.TaskID(id), hop: -1}
 		}
 		for e := 0; e < g.NumEdges(); e++ {
 			if id < hopBase[e+1] {
-				return node{edge: taskgraph.EdgeID(e), hop: id - hopBase[e]}
+				return node{edge: graph.EdgeID(e), hop: id - hopBase[e]}
 			}
 		}
 		panic("sim: bad node id")
@@ -89,7 +89,7 @@ func Replay(s *schedule.Schedule) (*Result, error) {
 	// (1) Message chains: sender task -> hop0 -> hop1 -> ... and last
 	// hop -> receiver (or sender -> receiver directly for local messages).
 	for e := 0; e < g.NumEdges(); e++ {
-		edge := g.Edge(taskgraph.EdgeID(e))
+		edge := g.Edge(graph.EdgeID(e))
 		hops := s.Msgs[e].Hops
 		if len(hops) == 0 {
 			addDep(int(edge.From), int(edge.To))
@@ -175,7 +175,7 @@ func Replay(s *schedule.Schedule) (*Result, error) {
 	// Local messages arrive when the sender finishes.
 	for e := 0; e < g.NumEdges(); e++ {
 		if len(s.Msgs[e].Hops) == 0 {
-			res.Arrival[e] = res.TaskFinish[g.Edge(taskgraph.EdgeID(e)).From]
+			res.Arrival[e] = res.TaskFinish[g.Edge(graph.EdgeID(e)).From]
 		}
 	}
 	return res, nil
@@ -203,5 +203,5 @@ func (r *Result) CheckAgainst(s *schedule.Schedule) error {
 	return nil
 }
 
-func procID(i int) network.ProcID { return network.ProcID(i) }
-func linkID(i int) network.LinkID { return network.LinkID(i) }
+func procID(i int) system.ProcID { return system.ProcID(i) }
+func linkID(i int) system.LinkID { return system.LinkID(i) }

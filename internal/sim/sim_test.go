@@ -8,16 +8,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dls"
-	"repro/internal/hetero"
-	"repro/internal/network"
-	"repro/internal/paperexample"
 	"repro/internal/schedule"
-	"repro/internal/taskgraph"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 func TestReplayPaperExampleBSA(t *testing.T) {
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	res, err := core.Schedule(g, sys, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -38,8 +37,8 @@ func TestReplayPaperExampleBSA(t *testing.T) {
 }
 
 func TestReplayIncomplete(t *testing.T) {
-	g := paperexample.Graph()
-	sys := paperexample.System(g)
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
 	s := schedule.New(g, sys)
 	if _, err := Replay(s); err == nil || !strings.Contains(err.Error(), "not placed") {
 		t.Fatalf("err=%v", err)
@@ -48,16 +47,16 @@ func TestReplayIncomplete(t *testing.T) {
 
 func TestReplayHandMadeSchedule(t *testing.T) {
 	// Chain a->b with one hop; replay must reproduce exact compact times.
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	a := b.AddTask("a", 10)
 	c := b.AddTask("b", 20)
 	b.AddEdge(a, c, 5)
 	g, _ := b.Build()
-	nw, _ := network.Line(2)
-	sys := hetero.NewUniform(nw, 2, 1)
+	nw, _ := system.Line(2)
+	sys := system.NewUniform(nw, 2, 1)
 	s := schedule.New(g, sys)
 	s.PlaceTask(0, 0, 0)
-	s.PlaceMessage(0, []network.LinkID{0})
+	s.PlaceMessage(0, []system.LinkID{0})
 	s.PlaceTask(1, 1, 15)
 	r, err := Replay(s)
 	if err != nil {
@@ -74,11 +73,11 @@ func TestReplayHandMadeSchedule(t *testing.T) {
 func TestReplayClosesGaps(t *testing.T) {
 	// A schedule with an artificial idle gap: replay starts the task as
 	// soon as its inputs are ready, finishing earlier than scheduled.
-	b := taskgraph.NewBuilder()
+	b := graph.NewBuilder()
 	b.AddTask("a", 10)
 	g, _ := b.Build()
-	nw, _ := network.Line(2)
-	sys := hetero.NewUniform(nw, 1, 0)
+	nw, _ := system.Line(2)
+	sys := system.NewUniform(nw, 1, 0)
 	s := schedule.New(g, sys)
 	s.PlaceTask(0, 0, 100) // gratuitous delay
 	r, err := Replay(s)
@@ -93,16 +92,16 @@ func TestReplayClosesGaps(t *testing.T) {
 	}
 }
 
-func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *taskgraph.Graph {
-	b := taskgraph.NewBuilder()
-	ids := make([]taskgraph.TaskID, n)
-	seen := make(map[[2]taskgraph.TaskID]bool)
+func randomConnectedDAG(rng *rand.Rand, n int, extraProb float64) *graph.Graph {
+	b := graph.NewBuilder()
+	ids := make([]graph.TaskID, n)
+	seen := make(map[[2]graph.TaskID]bool)
 	for i := 0; i < n; i++ {
 		name := []byte{'T', byte('0' + i/100%10), byte('0' + i/10%10), byte('0' + i%10)}
 		ids[i] = b.AddTask(string(name), 1+rng.Float64()*199)
 	}
-	add := func(u, v taskgraph.TaskID) {
-		k := [2]taskgraph.TaskID{u, v}
+	add := func(u, v graph.TaskID) {
+		k := [2]graph.TaskID{u, v}
 		if !seen[k] {
 			seen[k] = true
 			b.AddEdge(u, v, rng.Float64()*100)
@@ -134,11 +133,11 @@ func TestReplayPropertyBothSchedulers(t *testing.T) {
 		n := 2 + int(nRaw)%25
 		m := 2 + int(mRaw)%8
 		g := randomConnectedDAG(rng, n, 0.15)
-		nw, err := network.RandomConnected(m, 1, m, rng)
+		nw, err := system.RandomConnected(m, 1, m, rng)
 		if err != nil {
 			return true
 		}
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 25, rng)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,189 @@
+package sched_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAPISealNoInternalTypesInExportedSignatures is the API-leak
+// regression gate: no exported declaration of the public packages may
+// mention a repro/internal/... type. The engines' representations stay
+// swappable only as long as they never escape; this test fails the build
+// the moment one does.
+//
+// The check is syntactic: it parses every non-test file of the public
+// packages, records which file-local names are imports of
+// repro/internal/..., and walks the exported surface (function
+// signatures, exported type definitions minus unexported fields and
+// methods, exported vars/consts) looking for selector expressions rooted
+// at one of those names. Function bodies are invisible — internal
+// packages remain free to power the implementation.
+func TestAPISealNoInternalTypesInExportedSignatures(t *testing.T) {
+	// Directories relative to this package, with their import paths for
+	// error messages.
+	publicPkgs := map[string]string{
+		"repro/sched":          ".",
+		"repro/sched/graph":    "graph",
+		"repro/sched/system":   "system",
+		"repro/sched/gen":      "gen",
+		"repro/sched/register": "register",
+	}
+	for path, dir := range publicPkgs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			checkFile(t, path, filepath.Join(dir, name))
+		}
+	}
+}
+
+func checkFile(t *testing.T, pkgPath, file string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, file, nil, 0)
+	if err != nil {
+		t.Fatalf("%s: %v", file, err)
+	}
+
+	// Local names bound to repro/internal/... imports.
+	internalName := map[string]string{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !strings.Contains(path, "/internal/") {
+			continue
+		}
+		local := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		internalName[local] = path
+	}
+	if len(internalName) == 0 {
+		return
+	}
+
+	leak := func(where string, expr ast.Node) {
+		ast.Inspect(expr, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if path, hit := internalName[id.Name]; hit {
+					pos := fset.Position(sel.Pos())
+					t.Errorf("%s: %s leaks internal type %s.%s (%s) at %s",
+						pkgPath, where, id.Name, sel.Sel.Name, path, pos)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Recv != nil {
+				leak("method "+d.Name.Name+" receiver", d.Recv)
+			}
+			leak("func "+d.Name.Name, d.Type)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					checkTypeExpr(t, leak, "type "+s.Name.Name, s.Type)
+				case *ast.ValueSpec:
+					exported := false
+					for _, n := range s.Names {
+						if n.IsExported() {
+							exported = true
+						}
+					}
+					if !exported {
+						continue
+					}
+					where := "var/const " + s.Names[0].Name
+					if s.Type != nil {
+						leak(where, s.Type)
+					}
+					for _, v := range s.Values {
+						leak(where, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether d is a plain function or a method on
+// an exported type (methods on unexported types are not API).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	expr := d.Recv.List[0].Type
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr: // generic receiver
+			expr = e.X
+		case *ast.Ident:
+			return e.IsExported()
+		default:
+			return true // be conservative: check it
+		}
+	}
+}
+
+// checkTypeExpr walks an exported type definition, skipping unexported
+// struct fields and unexported interface methods (they are not API).
+func checkTypeExpr(t *testing.T, leak func(string, ast.Node), where string, expr ast.Expr) {
+	switch e := expr.(type) {
+	case *ast.StructType:
+		for _, f := range e.Fields.List {
+			if len(f.Names) == 0 { // embedded
+				leak(where+" embedded field", f.Type)
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					leak(where+" field "+n.Name, f.Type)
+					break
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range e.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				leak(where+" embedded interface", m.Type)
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					leak(where+" method "+n.Name, m.Type)
+					break
+				}
+			}
+		}
+	default:
+		leak(where, expr)
+	}
+}

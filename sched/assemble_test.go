@@ -1,0 +1,82 @@
+package sched_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/sched"
+	"repro/sched/gen"
+	_ "repro/sched/register"
+)
+
+// TestAssembleScheduleRoundTrip: decomposing a BSA schedule into its
+// public slots and reassembling through AssembleSchedule — the path a
+// third-party Scheduler uses to populate Result.Schedule — reproduces a
+// byte-identical, verifiable schedule.
+func TestAssembleScheduleRoundTrip(t *testing.T) {
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
+	p, err := sched.NewProblem(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bsa.Schedule(context.Background(), p, sched.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assembled, err := sched.AssembleSchedule(p, res.Schedule.Tasks(), res.Schedule.Messages())
+	if err != nil {
+		t.Fatalf("AssembleSchedule: %v", err)
+	}
+	if err := assembled.Verify(); err != nil {
+		t.Fatalf("assembled schedule fails verification: %v", err)
+	}
+	want, err := res.Schedule.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := assembled.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("assembled schedule serializes differently from the original")
+	}
+}
+
+// TestAssembleScheduleRejectsInfeasible: corrupted slots (overlap on a
+// processor) must be rejected, not silently adopted.
+func TestAssembleScheduleRejectsInfeasible(t *testing.T) {
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
+	p, err := sched.NewProblem(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bsa.Schedule(context.Background(), p, sched.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := res.Schedule.Tasks()
+	msgs := res.Schedule.Messages()
+
+	// Pile every task onto processor 0 at time 0: guaranteed overlap.
+	for i := range tasks {
+		tasks[i].Proc = 0
+		tasks[i].Start = 0
+		tasks[i].End = 1
+	}
+	if _, err := sched.AssembleSchedule(p, tasks, msgs); err == nil {
+		t.Fatal("AssembleSchedule accepted overlapping slots")
+	}
+}

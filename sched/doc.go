@@ -3,9 +3,21 @@
 // every implemented scheduling algorithm (BSA, DLS, HEFT, CPOP and the
 // BSA full-rebuild oracle).
 //
-// The packages under internal/ are implementation detail and not a
-// supported surface; consumers — including this repository's own cmd/
-// binaries, examples/ and experiment harness — go through sched.
+// The whole problem model is public and lives in the sched subpackages:
+//
+//   - repro/sched/graph — immutable task graphs: fluent Builder, typed
+//     validation errors, JSON + DOT load/save, levels and critical path.
+//   - repro/sched/system — target systems: processor Network with
+//     topology constructors (ring, hypercube, fully connected, random,
+//     ...), heterogeneity factor matrices, JSON + DOT load/save.
+//   - repro/sched/gen — seeded, deterministic generators for the paper's
+//     workload suites, its topologies and its Figure 1 worked example.
+//
+// Packages under internal/ are implementation detail and not a supported
+// surface; nothing in the exported API of sched or its subpackages
+// references an internal type (enforced by an API-seal test), and the
+// standalone consumer module under tests/extmodule proves the public
+// surface is sufficient to build problems and read schedules.
 //
 // # Usage
 //
@@ -15,6 +27,8 @@
 //
 //	import (
 //		"repro/sched"
+//		"repro/sched/graph"
+//		"repro/sched/system"
 //		_ "repro/sched/register"
 //	)
 //
@@ -27,9 +41,12 @@
 //
 // A Problem bundles the task graph with the heterogeneous target system
 // (which carries the network topology, and with it message routing).
-// Every run returns a *Result holding the full feasible schedule, its
-// makespan, wall-clock timing, uniform per-algorithm counters (Stats) and
-// a typed algorithm-specific trace.
+// Every run returns a *Result holding a read-only Schedule view — task
+// slots, per-hop message reservations, Gantt renderings, JSON export and
+// feasibility checks (Validate, Replay, Verify) — plus the makespan,
+// wall-clock timing, uniform per-algorithm counters (Stats) and a typed
+// algorithm-specific trace reached through Result.BSA, Result.DLS,
+// Result.HEFT or Result.CPOP.
 //
 // Runs are context-aware: cancellation and deadlines are observed inside
 // the algorithms' migration/placement loops, so long sweeps abort cleanly
@@ -39,4 +56,7 @@
 // WithInsertion, ...) replace the per-package option structs of earlier
 // revisions; options an algorithm does not understand are ignored, which
 // lets one option list drive heterogeneous algorithm sets in sweeps.
+//
+// The runnable Example functions in example_test.go are compiled and
+// executed by go test, so the documented surface cannot rot.
 package sched

@@ -1,0 +1,133 @@
+package sched_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"repro/sched"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	_ "repro/sched/register"
+	"repro/sched/system"
+)
+
+// Example builds a problem from scratch with the public model — a
+// fork-join task graph on a homogeneous 4-processor ring — schedules it
+// with BSA and inspects the read-only schedule view.
+func Example() {
+	b := graph.NewBuilder()
+	split := b.AddTask("split", 10)
+	join := b.AddTask("join", 10)
+	for i := 1; i <= 3; i++ {
+		w := b.AddTask(fmt.Sprintf("work%d", i), 40)
+		b.AddEdge(split, w, 5)
+		b.AddEdge(w, join, 5)
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nw, err := system.Ring(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := sched.NewProblem(g, system.NewUniform(nw, g.NumTasks(), g.NumEdges()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bsa.Schedule(context.Background(), problem, sched.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := res.Schedule.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan %.0f, complete %v\n", res.Makespan, res.Schedule.Complete())
+	// Output:
+	// makespan 70, complete true
+}
+
+// ExampleResult_BSA reads the algorithm-specific trace through the typed
+// accessor instead of type-asserting an any-typed field.
+func ExampleResult_BSA() {
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
+	problem, err := sched.NewProblem(g, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bsa.Schedule(context.Background(), problem, sched.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, ok := res.BSA()
+	if !ok {
+		log.Fatal("no BSA trace")
+	}
+	fmt.Printf("first pivot %s, CP length %.0f\n", trace.PivotName, trace.PivotCPLength)
+	if _, ok := res.DLS(); !ok {
+		fmt.Println("no DLS trace on a BSA result")
+	}
+	// Output:
+	// first pivot P2, CP length 226
+	// no DLS trace on a BSA result
+}
+
+// Example_interchange generates a workload and a topology, writes both
+// through the public encoders and loads them back — the JSON and DOT
+// formats round-trip byte-identically.
+func Example_interchange() {
+	g, err := gen.Generate(gen.Spec{Kind: gen.GaussElim, Size: 14, Granularity: 1}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := gen.Topology(gen.TopoSpec{Kind: gen.Hypercube, Procs: 4}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var gj, nj bytes.Buffer
+	if err := g.WriteJSON(&gj); err != nil {
+		log.Fatal(err)
+	}
+	if err := nw.WriteJSON(&nj); err != nil {
+		log.Fatal(err)
+	}
+	g2, err := graph.FromJSON(gj.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw2, err := system.FromJSON(nj.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var dot bytes.Buffer
+	if err := g2.WriteDOT(&dot, "gauss"); err != nil {
+		log.Fatal(err)
+	}
+	g3, title, err := graph.FromDOT(dot.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph %q: %d tasks, %d edges (loaded twice: %v)\n",
+		title, g3.NumTasks(), g3.NumEdges(), g3.NumTasks() == g.NumTasks())
+	fmt.Printf("network: %d processors, %d links (loaded: %v)\n",
+		nw2.NumProcs(), nw2.NumLinks(), nw2.NumProcs() == nw.NumProcs())
+	// Output:
+	// graph "gauss": 14 tasks, 19 edges (loaded twice: true)
+	// network: 4 processors, 4 links (loaded: true)
+}

@@ -1,0 +1,66 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/sched/graph"
+)
+
+// This file adds two graph families common in the scheduling literature
+// beyond the paper's four applications: the FFT butterfly and parametric
+// fork-join graphs. They are not part of the paper's suites but are useful
+// for wider benchmarking (and are exercised by tests and examples).
+
+// FFT returns the task graph of a 2^logN-point fast Fourier transform:
+// logN+1 ranks of 2^logN butterfly tasks, task (r, i) feeding (r+1, i) and
+// (r+1, i XOR 2^r). All tasks carry equal weight.
+func FFT(logN int, granularity float64, rng *rand.Rand) (*graph.Graph, error) {
+	if logN < 1 || logN > 12 {
+		return nil, fmt.Errorf("gen: fft needs 1 <= logN <= 12, got %d", logN)
+	}
+	if granularity <= 0 {
+		return nil, fmt.Errorf("gen: granularity %v must be positive", granularity)
+	}
+	width := 1 << logN
+	var r rawGraph
+	ranks := make([][]int, logN+1)
+	for rk := 0; rk <= logN; rk++ {
+		ranks[rk] = make([]int, width)
+		for i := 0; i < width; i++ {
+			ranks[rk][i] = r.addTask(fmt.Sprintf("F%d.%d", rk, i), jitter(rng))
+		}
+	}
+	for rk := 0; rk < logN; rk++ {
+		bit := 1 << rk
+		for i := 0; i < width; i++ {
+			r.addEdge(ranks[rk][i], ranks[rk+1][i], jitter(rng))
+			r.addEdge(ranks[rk][i], ranks[rk+1][i^bit], jitter(rng))
+		}
+	}
+	return r.build(granularity)
+}
+
+// ForkJoin returns stages sequential fork-join phases, each forking into
+// width parallel tasks. Stage barriers model iterative data-parallel
+// programs; the fork/join tasks are light, the workers heavy.
+func ForkJoin(stages, width int, granularity float64, rng *rand.Rand) (*graph.Graph, error) {
+	if stages < 1 || width < 1 {
+		return nil, fmt.Errorf("gen: fork-join needs stages >= 1 and width >= 1, got %d/%d", stages, width)
+	}
+	if granularity <= 0 {
+		return nil, fmt.Errorf("gen: granularity %v must be positive", granularity)
+	}
+	var r rawGraph
+	prev := r.addTask("start", 0.2)
+	for s := 0; s < stages; s++ {
+		join := r.addTask(fmt.Sprintf("join%d", s), 0.2)
+		for w := 0; w < width; w++ {
+			work := r.addTask(fmt.Sprintf("w%d.%d", s, w), 1+jitter(rng))
+			r.addEdge(prev, work, jitter(rng))
+			r.addEdge(work, join, jitter(rng))
+		}
+		prev = join
+	}
+	return r.build(granularity)
+}

@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/sched/graph"
+)
+
+func TestFFTStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := FFT(3, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ranks x 8 tasks; 3 x 8 x 2 edges.
+	if g.NumTasks() != 32 || g.NumEdges() != 48 {
+		t.Fatalf("fft(3): n=%d e=%d, want 32/48", g.NumTasks(), g.NumEdges())
+	}
+	if !g.IsWeaklyConnected() {
+		t.Fatal("fft not connected")
+	}
+	if _, err := graph.TopologicalOrder(g); err != nil {
+		t.Fatal(err)
+	}
+	// Every non-final-rank task has out-degree 2; every non-first-rank task
+	// has in-degree 2.
+	for i := 0; i < g.NumTasks(); i++ {
+		id := graph.TaskID(i)
+		if i < 24 && g.OutDegree(id) != 2 {
+			t.Fatalf("task %d out-degree %d", i, g.OutDegree(id))
+		}
+		if i >= 8 && g.InDegree(id) != 2 {
+			t.Fatalf("task %d in-degree %d", i, g.InDegree(id))
+		}
+	}
+	if got := g.Granularity(); math.Abs(got-1) > 0.15 {
+		t.Errorf("granularity %v, want ~1", got)
+	}
+}
+
+func TestFFTErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := FFT(0, 1, rng); err == nil {
+		t.Error("logN=0 should fail")
+	}
+	if _, err := FFT(13, 1, rng); err == nil {
+		t.Error("logN=13 should fail")
+	}
+	if _, err := FFT(3, 0, rng); err == nil {
+		t.Error("granularity 0 should fail")
+	}
+}
+
+func TestForkJoinStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := ForkJoin(3, 5, 2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// start + 3*(join + 5 workers) tasks; 3*10 edges.
+	if g.NumTasks() != 1+3*6 || g.NumEdges() != 30 {
+		t.Fatalf("forkjoin: n=%d e=%d, want 19/30", g.NumTasks(), g.NumEdges())
+	}
+	if !g.IsWeaklyConnected() {
+		t.Fatal("fork-join not connected")
+	}
+	// Single source, single sink.
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatalf("sources=%v sinks=%v", g.Sources(), g.Sinks())
+	}
+	if got := g.Granularity(); math.Abs(got-2)/2 > 0.15 {
+		t.Errorf("granularity %v, want ~2", got)
+	}
+}
+
+func TestForkJoinErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ForkJoin(0, 3, 1, rng); err == nil {
+		t.Error("stages=0 should fail")
+	}
+	if _, err := ForkJoin(2, 0, 1, rng); err == nil {
+		t.Error("width=0 should fail")
+	}
+	if _, err := ForkJoin(2, 2, -1, rng); err == nil {
+		t.Error("negative granularity should fail")
+	}
+}

@@ -1,0 +1,212 @@
+// Package gen produces the seeded, deterministic workloads of the
+// paper's evaluation: regular application task graphs (Gaussian
+// elimination, LU decomposition, Laplace equation solver, mean value
+// analysis — the applications behind CASCH's benchmarks), randomly
+// structured layered DAGs, both with controllable granularity, the
+// paper's processor topologies (Topology over TopoSpec) and the Figure 1
+// worked example (PaperExampleGraph / PaperExampleSystem). Equal specs
+// and seeds always yield identical instances.
+//
+// Granularity is the paper's measure: mean execution cost divided by mean
+// communication cost. A granularity of 0.1 makes communication ten times
+// heavier than computation (fine grained); 10.0 makes it ten times lighter
+// (coarse grained). Generators first assign structural relative weights
+// (e.g. a Gaussian-elimination update at step k is proportional to the
+// remaining column length) and then rescale so the mean execution cost is
+// MeanExec and the mean communication cost is MeanExec/granularity.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/sched/graph"
+)
+
+// MeanExec is the target mean execution cost, matching the paper's "average
+// execution cost of each task ... is about 150".
+const MeanExec = 150.0
+
+// Kind selects a graph family.
+type Kind int
+
+const (
+	// GaussElim is the Gaussian elimination task graph (triangular, with
+	// pivot broadcast and elimination chains).
+	GaussElim Kind = iota
+	// LU is the LU-decomposition task graph (column-oriented triangular).
+	LU
+	// Laplace is the Laplace equation solver task graph (N x N grid
+	// wavefront).
+	Laplace
+	// MVA is the mean value analysis task graph (Pascal-triangle shaped).
+	MVA
+	// Random is the randomly structured layered DAG suite.
+	Random
+)
+
+// String returns the family name.
+func (k Kind) String() string {
+	switch k {
+	case GaussElim:
+		return "gauss"
+	case LU:
+		return "lu"
+	case Laplace:
+		return "laplace"
+	case MVA:
+		return "mva"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// KindByName resolves a family name as printed by Kind.String.
+func KindByName(name string) (Kind, bool) {
+	for k := GaussElim; k <= Random; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// RegularKinds lists the application-graph families used for the paper's
+// regular suite.
+var RegularKinds = []Kind{GaussElim, Laplace, LU}
+
+// Spec describes one graph to generate.
+type Spec struct {
+	Kind Kind
+	// Size is the approximate number of tasks. For regular families the
+	// matrix dimension N is chosen so the task count is closest to Size;
+	// for Random it is exact.
+	Size int
+	// Granularity is mean-exec / mean-comm (0.1, 1.0 and 10.0 in the
+	// paper). It must be positive.
+	Granularity float64
+}
+
+// Generate builds the graph described by spec, drawing randomness from rng.
+func Generate(spec Spec, rng *rand.Rand) (*graph.Graph, error) {
+	if spec.Size < 1 {
+		return nil, fmt.Errorf("gen: size %d < 1", spec.Size)
+	}
+	if spec.Granularity <= 0 {
+		return nil, fmt.Errorf("gen: granularity %v must be positive", spec.Granularity)
+	}
+	switch spec.Kind {
+	case GaussElim:
+		return Gaussian(MatrixDimFor(GaussElim, spec.Size), spec.Granularity, rng)
+	case LU:
+		return LUDecomposition(MatrixDimFor(LU, spec.Size), spec.Granularity, rng)
+	case Laplace:
+		return LaplaceSolver(MatrixDimFor(Laplace, spec.Size), spec.Granularity, rng)
+	case MVA:
+		return MeanValueAnalysis(MatrixDimFor(MVA, spec.Size), spec.Granularity, rng)
+	case Random:
+		return RandomLayered(spec.Size, spec.Granularity, rng)
+	default:
+		return nil, fmt.Errorf("gen: unknown kind %d", int(spec.Kind))
+	}
+}
+
+// MatrixDimFor returns the matrix dimension N whose task count most closely
+// approaches size for the given regular family (minimum dimension 2; for
+// Random it returns size unchanged).
+func MatrixDimFor(kind Kind, size int) int {
+	if kind == Random {
+		return size
+	}
+	bestN, bestDiff := 2, math.MaxFloat64
+	for n := 2; n < 4096; n++ {
+		c := taskCount(kind, n)
+		diff := math.Abs(float64(c - size))
+		if diff < bestDiff {
+			bestN, bestDiff = n, diff
+		}
+		if c > 2*size+16 {
+			break
+		}
+	}
+	return bestN
+}
+
+// taskCount returns the number of tasks family kind generates for matrix
+// dimension n.
+func taskCount(kind Kind, n int) int {
+	switch kind {
+	case GaussElim:
+		// Pivot + updates per step k=1..n-1: 1 + (n-k).
+		return (n - 1) + n*(n-1)/2
+	case LU:
+		return (n - 1) + n*(n-1)/2
+	case Laplace:
+		return n * n
+	case MVA:
+		return n * (n + 1) / 2
+	default:
+		return n
+	}
+}
+
+// scale multiplies every task cost by se and every edge cost by sc, applied
+// at build time via cost transformation. It is implemented by the builders
+// below collecting raw weights first.
+type rawGraph struct {
+	names []string
+	execW []float64
+	edges [][2]int
+	commW []float64
+}
+
+func (r *rawGraph) addTask(name string, w float64) int {
+	r.names = append(r.names, name)
+	r.execW = append(r.execW, w)
+	return len(r.names) - 1
+}
+
+func (r *rawGraph) addEdge(u, v int, w float64) {
+	r.edges = append(r.edges, [2]int{u, v})
+	r.commW = append(r.commW, w)
+}
+
+// build normalizes weights to the target means and assembles the graph.
+func (r *rawGraph) build(granularity float64) (*graph.Graph, error) {
+	var se, sc float64
+	if n := len(r.execW); n > 0 {
+		var sum float64
+		for _, w := range r.execW {
+			sum += w
+		}
+		se = MeanExec * float64(n) / sum
+	}
+	if e := len(r.commW); e > 0 {
+		var sum float64
+		for _, w := range r.commW {
+			sum += w
+		}
+		sc = (MeanExec / granularity) * float64(e) / sum
+	}
+	b := graph.NewBuilder()
+	ids := make([]graph.TaskID, len(r.names))
+	for i, name := range r.names {
+		ids[i] = b.AddTask(name, r.execW[i]*se)
+	}
+	for i, e := range r.edges {
+		b.AddEdge(ids[e[0]], ids[e[1]], r.commW[i]*sc)
+	}
+	return b.Build()
+}
+
+// jitter returns a multiplicative weight perturbation in [0.75, 1.25),
+// keeping the structural cost ratios dominant. A nil rng returns 1.
+func jitter(rng *rand.Rand) float64 {
+	if rng == nil {
+		return 1
+	}
+	return 0.75 + rng.Float64()*0.5
+}

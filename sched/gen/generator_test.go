@@ -1,0 +1,214 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/sched/graph"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{GaussElim: "gauss", LU: "lu", Laplace: "laplace", MVA: "mva", Random: "random", Kind(42): "Kind(42)"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String()=%q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestTaskCounts(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		n    int
+		want int
+	}{
+		{GaussElim, 4, 3 + 6},
+		{LU, 4, 3 + 6},
+		{Laplace, 4, 16},
+		{MVA, 4, 10},
+	}
+	for _, c := range cases {
+		g, err := Generate(Spec{Kind: c.kind, Size: c.want, Granularity: 1}, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%v: %v", c.kind, err)
+		}
+		if g.NumTasks() != c.want {
+			t.Errorf("%v(N=%d): %d tasks, want %d", c.kind, c.n, g.NumTasks(), c.want)
+		}
+	}
+}
+
+func TestMatrixDimFor(t *testing.T) {
+	// Size 50 for Laplace: N=7 gives 49, closest.
+	if got := MatrixDimFor(Laplace, 50); got != 7 {
+		t.Errorf("Laplace dim for 50 = %d, want 7", got)
+	}
+	// Gaussian: tasks = (n-1) + n(n-1)/2. n=10 -> 9+45=54; n=9 -> 8+36=44.
+	if got := MatrixDimFor(GaussElim, 50); got != 10 {
+		t.Errorf("Gauss dim for 50 = %d, want 10", got)
+	}
+	if got := MatrixDimFor(Random, 123); got != 123 {
+		t.Errorf("Random dim = %d, want identity", got)
+	}
+}
+
+func TestAllFamiliesValidAndConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, kind := range []Kind{GaussElim, LU, Laplace, MVA, Random} {
+		for _, size := range []int{50, 150, 500} {
+			g, err := Generate(Spec{Kind: kind, Size: size, Granularity: 1}, rng)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", kind, size, err)
+			}
+			if !g.IsWeaklyConnected() {
+				t.Errorf("%v/%d not connected", kind, size)
+			}
+			if _, err := graph.TopologicalOrder(g); err != nil {
+				t.Errorf("%v/%d: %v", kind, size, err)
+			}
+			// Task count within 40% of requested for regular families.
+			ratio := float64(g.NumTasks()) / float64(size)
+			if ratio < 0.6 || ratio > 1.4 {
+				t.Errorf("%v/%d produced %d tasks (ratio %.2f)", kind, size, g.NumTasks(), ratio)
+			}
+		}
+	}
+}
+
+func TestGranularityHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range []Kind{GaussElim, LU, Laplace, MVA, Random} {
+		for _, gran := range []float64{0.1, 1.0, 10.0} {
+			g, err := Generate(Spec{Kind: kind, Size: 200, Granularity: gran}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := g.Granularity()
+			if math.Abs(got-gran)/gran > 0.15 {
+				t.Errorf("%v: granularity %.3f, want %.3f", kind, got, gran)
+			}
+			if me := g.MeanExecCost(); math.Abs(me-MeanExec)/MeanExec > 0.15 {
+				t.Errorf("%v: mean exec %.1f, want ~%.0f", kind, me, MeanExec)
+			}
+		}
+	}
+}
+
+func TestRandomLayeredExactSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 10, 50, 500} {
+		g, err := RandomLayered(n, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumTasks() != n {
+			t.Errorf("n=%d: got %d tasks", n, g.NumTasks())
+		}
+		if n > 1 && !g.IsWeaklyConnected() {
+			t.Errorf("n=%d: not connected", n)
+		}
+	}
+}
+
+func TestRandomLayeredExecCostRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g, err := RandomLayered(300, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range g.Tasks() {
+		if task.Cost < 100 || task.Cost > 200 {
+			t.Fatalf("exec cost %v outside [100,200]", task.Cost)
+		}
+	}
+	// Edge count sanity: n-1 <= e < n^2 (the paper's assumption).
+	if g.NumEdges() < g.NumTasks()-1 || g.NumEdges() >= g.NumTasks()*g.NumTasks() {
+		t.Errorf("edge count %d outside paper bounds for n=%d", g.NumEdges(), g.NumTasks())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(Spec{Kind: GaussElim, Size: 0, Granularity: 1}, rng); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := Generate(Spec{Kind: GaussElim, Size: 50, Granularity: 0}, rng); err == nil {
+		t.Error("granularity 0 should fail")
+	}
+	if _, err := Generate(Spec{Kind: Kind(99), Size: 50, Granularity: 1}, rng); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := Gaussian(1, 1, rng); err == nil {
+		t.Error("gaussian N=1 should fail")
+	}
+	if _, err := LUDecomposition(1, 1, rng); err == nil {
+		t.Error("lu N=1 should fail")
+	}
+	if _, err := LaplaceSolver(1, 1, rng); err == nil {
+		t.Error("laplace N=1 should fail")
+	}
+	if _, err := MeanValueAnalysis(1, 1, rng); err == nil {
+		t.Error("mva N=1 should fail")
+	}
+	if _, err := RandomLayered(0, 1, rng); err == nil {
+		t.Error("random n=0 should fail")
+	}
+	if _, err := RandomLayered(5, -1, rng); err == nil {
+		t.Error("random negative granularity should fail")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	for _, kind := range []Kind{GaussElim, Random} {
+		a, err := Generate(Spec{Kind: kind, Size: 100, Granularity: 1}, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(Spec{Kind: kind, Size: 100, Granularity: 1}, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumTasks() != b.NumTasks() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%v: structure differs across equal seeds", kind)
+		}
+		for i := range a.Tasks() {
+			if a.Task(graph.TaskID(i)).Cost != b.Task(graph.TaskID(i)).Cost {
+				t.Fatalf("%v: costs differ across equal seeds", kind)
+			}
+		}
+	}
+}
+
+func TestRandomLayeredProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, granRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)
+		gran := []float64{0.1, 0.5, 1, 2, 10}[int(granRaw)%5]
+		g, err := RandomLayered(n, gran, rng)
+		if err != nil {
+			return false
+		}
+		if g.NumTasks() != n {
+			return false
+		}
+		if n > 1 && !g.IsWeaklyConnected() {
+			return false
+		}
+		_, err = graph.TopologicalOrder(g)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRNGDefaults(t *testing.T) {
+	if _, err := RandomLayered(20, 1, nil); err != nil {
+		t.Fatalf("nil rng should default: %v", err)
+	}
+	if _, err := Gaussian(5, 1, nil); err != nil {
+		t.Fatalf("nil rng gaussian: %v", err)
+	}
+}

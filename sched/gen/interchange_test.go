@@ -1,0 +1,268 @@
+package gen
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/sched/graph"
+	"repro/sched/system"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden interchange files")
+
+// graphCases spans every generator family at a small, committed size.
+func graphCases() []struct {
+	name string
+	spec Spec
+} {
+	return []struct {
+		name string
+		spec Spec
+	}{
+		{"gauss30", Spec{Kind: GaussElim, Size: 30, Granularity: 1}},
+		{"lu30", Spec{Kind: LU, Size: 30, Granularity: 0.1}},
+		{"laplace25", Spec{Kind: Laplace, Size: 25, Granularity: 10}},
+		{"mva28", Spec{Kind: MVA, Size: 28, Granularity: 1}},
+		{"random30", Spec{Kind: Random, Size: 30, Granularity: 1}},
+	}
+}
+
+// topoCases spans the paper's four evaluation topologies.
+func topoCases() []struct {
+	name string
+	spec TopoSpec
+} {
+	return []struct {
+		name string
+		spec TopoSpec
+	}{
+		{"ring16", TopoSpec{Kind: Ring, Procs: 16}},
+		{"hypercube16", TopoSpec{Kind: Hypercube, Procs: 16}},
+		{"clique8", TopoSpec{Kind: Clique, Procs: 8}},
+		{"random16", TopoSpec{Kind: RandomTopo, Procs: 16}},
+	}
+}
+
+// TestGraphInterchangeRoundTrip is the property test of the tentpole's
+// interchange formats: for every graph family, load(save(g)) re-saves
+// byte-identically, in both JSON and DOT.
+func TestGraphInterchangeRoundTrip(t *testing.T) {
+	for _, tc := range graphCases() {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				g, err := Generate(tc.spec, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var j1 bytes.Buffer
+				if err := g.WriteJSON(&j1); err != nil {
+					t.Fatal(err)
+				}
+				g2, err := graph.FromJSON(j1.Bytes())
+				if err != nil {
+					t.Fatalf("json load: %v", err)
+				}
+				var j2 bytes.Buffer
+				if err := g2.WriteJSON(&j2); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+					t.Error("JSON round-trip is not byte-identical")
+				}
+
+				var d1 bytes.Buffer
+				if err := g.WriteDOT(&d1, tc.name); err != nil {
+					t.Fatal(err)
+				}
+				g3, title, err := graph.FromDOT(d1.Bytes())
+				if err != nil {
+					t.Fatalf("dot load: %v", err)
+				}
+				if title != tc.name {
+					t.Errorf("dot title = %q, want %q", title, tc.name)
+				}
+				var d2 bytes.Buffer
+				if err := g3.WriteDOT(&d2, title); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(d1.Bytes(), d2.Bytes()) {
+					t.Error("DOT round-trip is not byte-identical")
+				}
+
+				// Cross-format: JSON-loaded and DOT-loaded graphs agree.
+				var j3 bytes.Buffer
+				if err := g3.WriteJSON(&j3); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(j1.Bytes(), j3.Bytes()) {
+					t.Error("DOT-loaded graph serializes differently from the original")
+				}
+			})
+		}
+	}
+}
+
+// TestTopologyInterchangeRoundTrip: the same property over the paper's
+// four topologies, for the network JSON and DOT codecs.
+func TestTopologyInterchangeRoundTrip(t *testing.T) {
+	for _, tc := range topoCases() {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				nw, err := Topology(tc.spec, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var j1 bytes.Buffer
+				if err := nw.WriteJSON(&j1); err != nil {
+					t.Fatal(err)
+				}
+				nw2, err := system.FromJSON(j1.Bytes())
+				if err != nil {
+					t.Fatalf("json load: %v", err)
+				}
+				var j2 bytes.Buffer
+				if err := nw2.WriteJSON(&j2); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+					t.Error("JSON round-trip is not byte-identical")
+				}
+
+				var d1 bytes.Buffer
+				if err := nw.WriteDOT(&d1, tc.name); err != nil {
+					t.Fatal(err)
+				}
+				nw3, title, err := system.FromDOT(d1.Bytes())
+				if err != nil {
+					t.Fatalf("dot load: %v", err)
+				}
+				if title != tc.name {
+					t.Errorf("dot title = %q, want %q", title, tc.name)
+				}
+				var d2 bytes.Buffer
+				if err := nw3.WriteDOT(&d2, title); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(d1.Bytes(), d2.Bytes()) {
+					t.Error("DOT round-trip is not byte-identical")
+				}
+			})
+		}
+	}
+}
+
+// TestSystemJSONRoundTrip: the full heterogeneous system (network +
+// factor matrices) round-trips byte-identically, and a homogeneous
+// system keeps its nil Comm.
+func TestSystemJSONRoundTrip(t *testing.T) {
+	g, err := Generate(Spec{Kind: Random, Size: 40, Granularity: 1}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Topology(TopoSpec{Kind: Ring, Procs: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	het, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sys := range map[string]*system.System{
+		"heterogeneous": het,
+		"uniform":       system.NewUniform(nw, g.NumTasks(), g.NumEdges()),
+	} {
+		t.Run(name, func(t *testing.T) {
+			var j1 bytes.Buffer
+			if err := sys.WriteJSON(&j1); err != nil {
+				t.Fatal(err)
+			}
+			sys2, err := system.SystemFromJSON(j1.Bytes())
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if (sys.Comm == nil) != (sys2.Comm == nil) {
+				t.Errorf("Comm nil-ness not preserved: %v -> %v", sys.Comm == nil, sys2.Comm == nil)
+			}
+			var j2 bytes.Buffer
+			if err := sys2.WriteJSON(&j2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Error("system JSON round-trip is not byte-identical")
+			}
+			if err := sys2.Validate(g.NumTasks(), g.NumEdges()); err != nil {
+				t.Errorf("loaded system invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestInterchangeGolden pins the on-disk formats: regenerating each
+// committed workload must reproduce the golden JSON and DOT files byte
+// for byte. Run with -update to rewrite them after an intentional format
+// change.
+func TestInterchangeGolden(t *testing.T) {
+	check := func(t *testing.T, name, ext string, got []byte) {
+		t.Helper()
+		path := filepath.Join("testdata", "golden", name+"."+ext)
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (run go test ./sched/gen -run Golden -update): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs from golden file %s (re-run with -update if intentional)", name+"."+ext, path)
+		}
+	}
+
+	for _, tc := range graphCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := Generate(tc.spec, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var j, d bytes.Buffer
+			if err := g.WriteJSON(&j); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.WriteDOT(&d, tc.name); err != nil {
+				t.Fatal(err)
+			}
+			check(t, tc.name, "json", j.Bytes())
+			check(t, tc.name, "dot", d.Bytes())
+		})
+	}
+	for _, tc := range topoCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := Topology(tc.spec, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var j, d bytes.Buffer
+			if err := nw.WriteJSON(&j); err != nil {
+				t.Fatal(err)
+			}
+			if err := nw.WriteDOT(&d, tc.name); err != nil {
+				t.Fatal(err)
+			}
+			check(t, tc.name, "json", j.Bytes())
+			check(t, tc.name, "dot", d.Bytes())
+		})
+	}
+}

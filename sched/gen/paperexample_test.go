@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/sched/graph"
+	"repro/sched/system"
+)
+
+func TestGraphShape(t *testing.T) {
+	g := PaperExampleGraph()
+	if g.NumTasks() != 9 || g.NumEdges() != 12 {
+		t.Fatalf("n=%d e=%d, want 9/12", g.NumTasks(), g.NumEdges())
+	}
+	if !g.IsWeaklyConnected() {
+		t.Fatal("example graph must be connected")
+	}
+	for i, want := range PaperNominalExec {
+		if got := g.Task(graph.TaskID(i)).Cost; got != want {
+			t.Errorf("task %d cost %v, want %v", i, got, want)
+		}
+	}
+	// Prose anchors: T1 and T2 are predecessors of T7; T3 and T4 of T8;
+	// T6, T7, T8 of T9; T5 is a sink fed by T1.
+	mustEdge := func(u, v int) {
+		if _, ok := g.FindEdge(graph.TaskID(u), graph.TaskID(v)); !ok {
+			t.Errorf("missing edge T%d->T%d", u+1, v+1)
+		}
+	}
+	mustEdge(0, 6)
+	mustEdge(1, 6)
+	mustEdge(2, 7)
+	mustEdge(3, 7)
+	mustEdge(5, 8)
+	mustEdge(6, 8)
+	mustEdge(7, 8)
+	mustEdge(0, 4)
+	if got := g.OutDegree(4); got != 0 {
+		t.Errorf("T5 must be a sink, out-degree %d", got)
+	}
+}
+
+func TestSystemFactorsMatchTable(t *testing.T) {
+	g := PaperExampleGraph()
+	sys := PaperExampleSystem(g)
+	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
+		t.Fatal(err)
+	}
+	// Actual cost = factor * nominal must reproduce Table 1 exactly.
+	for i := 0; i < 9; i++ {
+		for p := 0; p < 4; p++ {
+			got := sys.ExecCost(i, system.ProcID(p), PaperNominalExec[i])
+			if diff := got - PaperExecTable[i][p]; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("actual cost T%d on P%d = %v, want %v", i+1, p+1, got, PaperExecTable[i][p])
+			}
+		}
+	}
+	// Links are homogeneous in the example.
+	if sys.Comm != nil {
+		t.Error("example links must be homogeneous (nil Comm)")
+	}
+	if sys.Net.NumProcs() != 4 || sys.Net.NumLinks() != 4 {
+		t.Errorf("ring: m=%d links=%d", sys.Net.NumProcs(), sys.Net.NumLinks())
+	}
+}
+
+func TestNominalCPLength(t *testing.T) {
+	g := PaperExampleGraph()
+	if got := graph.CPLength(g, g.NominalExecCosts(), nil); got != 250 {
+		t.Errorf("nominal CP length %v, want 250", got)
+	}
+}

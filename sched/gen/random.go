@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/sched/graph"
+)
+
+// RandomLayered returns a randomly structured DAG with exactly n tasks,
+// matching the paper's random suite: execution costs uniform in [100, 200]
+// (mean 150) and communication costs scaled to the requested granularity.
+//
+// Structure: tasks are spread over roughly sqrt(n) layers of random width;
+// every task in layer > 0 receives an edge from a random task in an
+// earlier layer (guaranteeing weak connectivity), and additional forward
+// edges are added with decaying probability, giving average in-degrees of
+// about 2-3 as typical for random task-graph suites.
+func RandomLayered(n int, granularity float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: random graph needs n >= 1, got %d", n)
+	}
+	if granularity <= 0 {
+		return nil, fmt.Errorf("gen: granularity %v must be positive", granularity)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	// Assign tasks to layers.
+	nLayers := int(math.Sqrt(float64(n)))
+	if nLayers < 1 {
+		nLayers = 1
+	}
+	// Random layer widths: draw a random split, ensuring no empty layer.
+	layerOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i < nLayers {
+			layerOf[i] = i // one guaranteed task per layer
+		} else {
+			layerOf[i] = rng.Intn(nLayers)
+		}
+	}
+	// Tasks sorted by layer; index i in creation order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Stable bucketing by layer.
+	idx := 0
+	byLayer := make([][]int, nLayers)
+	for l := 0; l < nLayers; l++ {
+		for i := 0; i < n; i++ {
+			if layerOf[i] == l {
+				order[idx] = i
+				idx++
+				byLayer[l] = append(byLayer[l], i)
+			}
+		}
+	}
+
+	b := graph.NewBuilder()
+	ids := make([]graph.TaskID, n)
+	pos := make([]int, n) // position in creation order
+	for ci, i := range order {
+		ids[i] = b.AddTask(fmt.Sprintf("T%d", ci+1), 100+rng.Float64()*100)
+		pos[i] = ci
+	}
+
+	commMean := MeanExec / granularity
+	drawComm := func() float64 { return commMean * (0.5 + rng.Float64()) } // mean commMean
+	seen := make(map[[2]graph.TaskID]bool)
+	dsu := newDSU(n)
+	addEdge := func(u, v graph.TaskID) bool {
+		k := [2]graph.TaskID{u, v}
+		if u == v || seen[k] {
+			return false
+		}
+		seen[k] = true
+		b.AddEdge(u, v, drawComm())
+		dsu.union(int(u), int(v))
+		return true
+	}
+
+	// Structural edges: each non-first-layer task hangs off a random
+	// earlier task.
+	for l := 1; l < nLayers; l++ {
+		for _, i := range byLayer[l] {
+			j := order[rng.Intn(pos[i])] // any earlier task in creation order
+			addEdge(ids[j], ids[i])
+		}
+	}
+
+	// Connectivity repair: walking tasks in creation order, any task whose
+	// component does not yet contain the first task gets a backward edge
+	// from a random earlier task in a different component. Only extra
+	// first-layer tasks (and single-layer graphs) ever need this.
+	for ci := 1; ci < n; ci++ {
+		i := ids[order[ci]]
+		for dsu.find(int(i)) != dsu.find(int(ids[order[0]])) {
+			j := ids[order[rng.Intn(ci)]]
+			addEdge(j, i)
+		}
+	}
+
+	// Extra forward edges: aim for ~1.5 extra edges per task, respecting
+	// e < n^2.
+	extra := 0
+	if n > 1 {
+		extra = n + n/2
+	}
+	for tries := 0; tries < 10*extra && extra > 0; tries++ {
+		ci := rng.Intn(n - 1)
+		cj := ci + 1 + rng.Intn(n-ci-1)
+		if layerOf[order[ci]] == layerOf[order[cj]] {
+			continue // keep edges strictly between layers
+		}
+		if addEdge(ids[order[ci]], ids[order[cj]]) {
+			extra--
+		}
+	}
+	return b.Build()
+}
+
+// dsu is a plain union-find used to guarantee weak connectivity.
+type dsu struct{ parent []int }
+
+func newDSU(n int) *dsu {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &dsu{parent: p}
+}
+
+func (d *dsu) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int) { d.parent[d.find(a)] = d.find(b) }

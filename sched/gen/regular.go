@@ -1,0 +1,132 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/sched/graph"
+)
+
+// Gaussian returns the Gaussian elimination task graph for an N x N matrix
+// (Cosnard, Marrakchi, Robert & Trystram's parallel Gaussian elimination).
+//
+// For each elimination step k = 1..N-1 there is a pivot task P_k that
+// selects/normalizes the pivot column and update tasks U_{k,j} (j = k+1..N)
+// that eliminate column j. P_k broadcasts the pivot column to its updates;
+// U_{k,k+1} feeds the next pivot task; U_{k,j} feeds U_{k+1,j}. Execution
+// weight of step-k tasks is proportional to the remaining column length
+// N-k+1; message weight likewise.
+func Gaussian(n int, granularity float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: gaussian needs N >= 2, got %d", n)
+	}
+	var r rawGraph
+	pivot := make([]int, n)    // pivot[k] for k=1..n-1 (index k)
+	update := make([][]int, n) // update[k][j] for j=k+1..n
+	for k := 1; k < n; k++ {
+		rem := float64(n - k + 1)
+		pivot[k] = r.addTask(fmt.Sprintf("P%d", k), rem*jitter(rng))
+		update[k] = make([]int, n+1)
+		for j := k + 1; j <= n; j++ {
+			update[k][j] = r.addTask(fmt.Sprintf("U%d.%d", k, j), rem*jitter(rng))
+			r.addEdge(pivot[k], update[k][j], rem*jitter(rng))
+		}
+	}
+	for k := 1; k < n-1; k++ {
+		rem := float64(n - k)
+		r.addEdge(update[k][k+1], pivot[k+1], rem*jitter(rng))
+		for j := k + 2; j <= n; j++ {
+			r.addEdge(update[k][j], update[k+1][j], rem*jitter(rng))
+		}
+	}
+	return r.build(granularity)
+}
+
+// LUDecomposition returns the column-oriented LU decomposition task graph:
+// per step k a diagonal task D_k computing the multipliers, and column
+// update tasks C_{k,j} applying them, chained column-wise. Structurally a
+// cousin of the Gaussian graph but with an extra diagonal-to-diagonal
+// dependency chain (D_k -> D_{k+1}), giving it a longer critical path.
+func LUDecomposition(n int, granularity float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: lu needs N >= 2, got %d", n)
+	}
+	var r rawGraph
+	diag := make([]int, n)
+	col := make([][]int, n)
+	for k := 1; k < n; k++ {
+		rem := float64(n - k + 1)
+		diag[k] = r.addTask(fmt.Sprintf("D%d", k), rem*jitter(rng))
+		col[k] = make([]int, n+1)
+		for j := k + 1; j <= n; j++ {
+			col[k][j] = r.addTask(fmt.Sprintf("C%d.%d", k, j), rem*jitter(rng))
+			r.addEdge(diag[k], col[k][j], rem*jitter(rng))
+		}
+	}
+	for k := 1; k < n-1; k++ {
+		rem := float64(n - k)
+		r.addEdge(diag[k], diag[k+1], rem*jitter(rng))
+		for j := k + 1; j <= n; j++ {
+			if j >= k+2 {
+				r.addEdge(col[k][j], col[k+1][j], rem*jitter(rng))
+			}
+		}
+		r.addEdge(col[k][k+1], diag[k+1], rem*jitter(rng))
+	}
+	return r.build(granularity)
+}
+
+// LaplaceSolver returns the Laplace equation solver task graph: an N x N
+// grid of point-update tasks swept as a wavefront — task (i,j) depends on
+// its north neighbour (i-1,j) and west neighbour (i,j-1). All tasks carry
+// (roughly) equal weight, as every grid point does the same stencil work.
+func LaplaceSolver(n int, granularity float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: laplace needs N >= 2, got %d", n)
+	}
+	var r rawGraph
+	at := make([][]int, n)
+	for i := 0; i < n; i++ {
+		at[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			at[i][j] = r.addTask(fmt.Sprintf("G%d.%d", i, j), jitter(rng))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				r.addEdge(at[i][j], at[i+1][j], jitter(rng))
+			}
+			if j+1 < n {
+				r.addEdge(at[i][j], at[i][j+1], jitter(rng))
+			}
+		}
+	}
+	return r.build(granularity)
+}
+
+// MeanValueAnalysis returns the MVA task graph: Pascal-triangle shaped —
+// task (k,i) for population k and station index i depends on (k-1,i) and
+// (k-1,i-1), modelling MVA's recursion over customer population. Row k has
+// k tasks; weight grows mildly with the population index.
+func MeanValueAnalysis(n int, granularity float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: mva needs N >= 2, got %d", n)
+	}
+	var r rawGraph
+	rows := make([][]int, n+1)
+	for k := 1; k <= n; k++ {
+		rows[k] = make([]int, k+1)
+		w := 1 + float64(k)/float64(n)
+		for i := 1; i <= k; i++ {
+			rows[k][i] = r.addTask(fmt.Sprintf("M%d.%d", k, i), w*jitter(rng))
+		}
+	}
+	for k := 1; k < n; k++ {
+		for i := 1; i <= k; i++ {
+			r.addEdge(rows[k][i], rows[k+1][i], jitter(rng))
+			r.addEdge(rows[k][i], rows[k+1][i+1], jitter(rng))
+		}
+	}
+	return r.build(granularity)
+}

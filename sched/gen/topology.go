@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/sched/system"
+)
+
+// TopoKind selects a network family.
+type TopoKind int
+
+const (
+	// Ring is the m-processor ring, one of the paper's four evaluation
+	// topologies.
+	Ring TopoKind = iota
+	// Hypercube is the 2^d-processor hypercube (d=4 gives the paper's
+	// 16-processor cube).
+	Hypercube
+	// Clique is the fully connected m-processor network.
+	Clique
+	// RandomTopo is the paper's randomly structured topology with degrees
+	// in [2, 8] by default.
+	RandomTopo
+	// Mesh is a 2-D mesh without wraparound.
+	Mesh
+	// Star is a star with P1 at the centre.
+	Star
+	// Tree is a complete binary tree.
+	Tree
+	// Line is a linear processor array.
+	Line
+)
+
+// String returns the family name.
+func (k TopoKind) String() string {
+	switch k {
+	case Ring:
+		return "ring"
+	case Hypercube:
+		return "hypercube"
+	case Clique:
+		return "clique"
+	case RandomTopo:
+		return "random"
+	case Mesh:
+		return "mesh"
+	case Star:
+		return "star"
+	case Tree:
+		return "tree"
+	case Line:
+		return "line"
+	default:
+		return fmt.Sprintf("TopoKind(%d)", int(k))
+	}
+}
+
+// TopoKindByName resolves a family name as printed by TopoKind.String.
+func TopoKindByName(name string) (TopoKind, bool) {
+	for k := Ring; k <= Line; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// EvalTopologies lists the paper's four evaluation topologies.
+var EvalTopologies = []TopoKind{Ring, Hypercube, Clique, RandomTopo}
+
+// TopoSpec describes one network to generate.
+type TopoSpec struct {
+	Kind TopoKind
+	// Procs is the processor count (a power of two for Hypercube;
+	// divisible by Rows for Mesh).
+	Procs int
+	// Rows is the row count for Mesh (0 picks the most square layout).
+	Rows int
+	// MinDeg and MaxDeg bound processor degrees for RandomTopo; both 0
+	// selects the paper's [2, 8], clamped to feasibility for tiny Procs.
+	MinDeg, MaxDeg int
+}
+
+// Topology builds the network described by spec. Randomness (RandomTopo
+// only) is drawn from rng, so equal specs and seeds yield identical
+// networks; a nil rng defaults to seed 1.
+func Topology(spec TopoSpec, rng *rand.Rand) (*system.Network, error) {
+	m := spec.Procs
+	if m < 1 {
+		return nil, fmt.Errorf("gen: topology needs at least 1 processor, got %d", m)
+	}
+	switch spec.Kind {
+	case Ring:
+		return system.Ring(m)
+	case Hypercube:
+		d := 0
+		for 1<<d < m {
+			d++
+		}
+		if 1<<d != m {
+			return nil, fmt.Errorf("gen: hypercube needs a power-of-two processor count, got %d", m)
+		}
+		return system.Hypercube(d)
+	case Clique:
+		return system.FullyConnected(m)
+	case RandomTopo:
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		minDeg, maxDeg := spec.MinDeg, spec.MaxDeg
+		if minDeg == 0 && maxDeg == 0 {
+			minDeg, maxDeg = 2, 8
+			if m <= 2 {
+				minDeg = 1
+			}
+			if maxDeg > m-1 {
+				maxDeg = m - 1
+			}
+			if maxDeg < 1 {
+				maxDeg = 1
+			}
+		}
+		return system.RandomConnected(m, minDeg, maxDeg, rng)
+	case Mesh:
+		rows := spec.Rows
+		if rows == 0 {
+			for rows = 1; (rows+1)*(rows+1) <= m; rows++ {
+			}
+			for m%rows != 0 {
+				rows--
+			}
+		}
+		if rows < 1 || m%rows != 0 {
+			return nil, fmt.Errorf("gen: mesh with %d processors not divisible by %d rows", m, rows)
+		}
+		return system.Mesh2D(rows, m/rows)
+	case Star:
+		return system.Star(m)
+	case Tree:
+		return system.BinaryTree(m)
+	case Line:
+		return system.Line(m)
+	default:
+		return nil, fmt.Errorf("gen: unknown topology kind %d", int(spec.Kind))
+	}
+}

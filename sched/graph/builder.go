@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"sort"
+)
+
+// Builder assembles a Graph incrementally. Methods record the first error
+// encountered; Build returns it. A Builder must not be reused after Build.
+type Builder struct {
+	g     Graph
+	names map[string]TaskID
+	err   error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{names: make(map[string]TaskID)}
+}
+
+// AddTask adds a task with the given name and nominal execution cost and
+// returns its ID. Names must be unique and non-empty; costs must be
+// positive.
+func (b *Builder) AddTask(name string, cost float64) TaskID {
+	id := TaskID(len(b.g.tasks))
+	if b.err != nil {
+		return id
+	}
+	if name == "" {
+		b.fail(ErrEmptyTaskName)
+		return id
+	}
+	if _, dup := b.names[name]; dup {
+		b.fail(&DuplicateTaskError{Name: name})
+		return id
+	}
+	if cost <= 0 {
+		b.fail(&TaskCostError{Name: name, Cost: cost})
+		return id
+	}
+	b.names[name] = id
+	b.g.tasks = append(b.g.tasks, Task{ID: id, Name: name, Cost: cost})
+	return id
+}
+
+// AddEdge adds a message from u to v with the given nominal communication
+// cost and returns its ID. Self-loops, duplicate edges, unknown endpoints
+// and negative costs are errors (zero-cost messages are allowed).
+func (b *Builder) AddEdge(from, to TaskID, cost float64) EdgeID {
+	id := EdgeID(len(b.g.edges))
+	if b.err != nil {
+		return id
+	}
+	n := TaskID(len(b.g.tasks))
+	switch {
+	case from < 0 || from >= n:
+		b.fail(&EdgeRangeError{Endpoint: from, Source: true, NumTasks: int(n)})
+	case to < 0 || to >= n:
+		b.fail(&EdgeRangeError{Endpoint: to, NumTasks: int(n)})
+	case from == to:
+		b.fail(&SelfLoopError{Task: from})
+	case cost < 0:
+		b.fail(&EdgeCostError{From: from, To: to, Cost: cost})
+	}
+	if b.err != nil {
+		return id
+	}
+	b.g.edges = append(b.g.edges, Edge{ID: id, From: from, To: to, Cost: cost})
+	return id
+}
+
+// TaskByName returns the ID of a previously added task.
+func (b *Builder) TaskByName(name string) (TaskID, bool) {
+	id, ok := b.names[name]
+	return id, ok
+}
+
+// Build validates the accumulated graph (no duplicate edges, acyclic) and
+// returns it. The Builder must not be used afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &b.g
+	n := len(g.tasks)
+	g.out = make([][]EdgeID, n)
+	g.in = make([][]EdgeID, n)
+	seen := make(map[[2]TaskID]bool, len(g.edges))
+	for _, e := range g.edges {
+		key := [2]TaskID{e.From, e.To}
+		if seen[key] {
+			return nil, &DuplicateEdgeError{From: e.From, To: e.To}
+		}
+		seen[key] = true
+		g.out[e.From] = append(g.out[e.From], e.ID)
+		g.in[e.To] = append(g.in[e.To], e.ID)
+	}
+	for i := range g.out {
+		es := g.edges
+		sort.Slice(g.out[i], func(a, b int) bool {
+			ea, eb := es[g.out[i][a]], es[g.out[i][b]]
+			if ea.To != eb.To {
+				return ea.To < eb.To
+			}
+			return ea.ID < eb.ID
+		})
+		sort.Slice(g.in[i], func(a, b int) bool {
+			ea, eb := es[g.in[i][a]], es[g.in[i][b]]
+			if ea.From != eb.From {
+				return ea.From < eb.From
+			}
+			return ea.ID < eb.ID
+		})
+	}
+	if _, err := TopologicalOrder(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}

@@ -1,0 +1,125 @@
+package graph
+
+import "math/rand"
+
+// levelEps is the relative tolerance used when comparing path lengths built
+// from floating-point cost sums. Costs in this repository are small integers
+// or modest reals, so an absolute epsilon scaled by the CP length is ample.
+const levelEps = 1e-9
+
+func approxEq(a, b, scale float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	tol := levelEps * (1 + scale)
+	return d <= tol
+}
+
+// CriticalPath returns the tasks of a critical path in path order under the
+// given execution and communication costs (comm nil means nominal edge
+// costs).
+//
+// Per the paper, when several paths attain the CP length the one with the
+// largest sum of execution costs is selected, remaining ties broken with
+// rng (deterministically by smallest task ID when rng is nil).
+func CriticalPath(g *Graph, exec, comm []float64, rng *rand.Rand) []TaskID {
+	n := g.NumTasks()
+	if n == 0 {
+		return nil
+	}
+	comm = commOrNominal(g, comm)
+	t := TLevels(g, exec, comm)
+	b := BLevels(g, exec, comm)
+	cp := CPLengthOf(t, b)
+
+	// onCP marks tasks that lie on at least one critical path.
+	onCP := make([]bool, n)
+	for i := 0; i < n; i++ {
+		onCP[i] = approxEq(t[i]+b[i], cp, cp)
+	}
+
+	// Among critical paths, maximise the execution-cost sum from each task
+	// to a sink, following only CP edges. Processing in reverse topological
+	// order gives a simple DP.
+	order := mustTopo(g)
+	execSum := make([]float64, n) // best exec sum from task to sink along CP edges
+	nextEdge := make([]EdgeID, n) // chosen outgoing CP edge (-1 at path end)
+	for i := range nextEdge {
+		nextEdge[i] = -1
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		if !onCP[u] {
+			continue
+		}
+		execSum[u] = exec[u]
+		bestSum := -1.0
+		var choices []EdgeID
+		for _, e := range g.Out(u) {
+			v := g.Edge(e).To
+			if !onCP[v] {
+				continue
+			}
+			// Edge u->v continues a critical path iff it is tight for both
+			// levels.
+			if !approxEq(b[u], exec[u]+comm[e]+b[v], cp) {
+				continue
+			}
+			if !approxEq(t[v], t[u]+exec[u]+comm[e], cp) {
+				continue
+			}
+			switch {
+			case execSum[v] > bestSum+levelEps*(1+cp):
+				bestSum = execSum[v]
+				choices = choices[:0]
+				choices = append(choices, e)
+			case approxEq(execSum[v], bestSum, cp):
+				choices = append(choices, e)
+			}
+		}
+		if len(choices) > 0 {
+			pick := choices[0]
+			if rng != nil && len(choices) > 1 {
+				pick = choices[rng.Intn(len(choices))]
+			}
+			nextEdge[u] = pick
+			execSum[u] += execSum[g.Edge(pick).To]
+		}
+	}
+
+	// Choose the starting source the same way.
+	bestSum := -1.0
+	var starts []TaskID
+	for _, s := range g.Sources() {
+		if !onCP[s] {
+			continue
+		}
+		switch {
+		case execSum[s] > bestSum+levelEps*(1+cp):
+			bestSum = execSum[s]
+			starts = starts[:0]
+			starts = append(starts, s)
+		case approxEq(execSum[s], bestSum, cp):
+			starts = append(starts, s)
+		}
+	}
+	if len(starts) == 0 {
+		return nil
+	}
+	start := starts[0]
+	if rng != nil && len(starts) > 1 {
+		start = starts[rng.Intn(len(starts))]
+	}
+
+	var path []TaskID
+	for u := start; ; {
+		path = append(path, u)
+		e := nextEdge[u]
+		if e < 0 {
+			break
+		}
+		u = g.Edge(e).To
+	}
+	return path
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCriticalPathChain(t *testing.T) {
+	g := chain(t)
+	cp := CriticalPath(g, g.NominalExecCosts(), nil, nil)
+	want := []TaskID{0, 1, 2}
+	if len(cp) != len(want) {
+		t.Fatalf("cp=%v, want %v", cp, want)
+	}
+	for i := range want {
+		if cp[i] != want[i] {
+			t.Fatalf("cp=%v, want %v", cp, want)
+		}
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	g := diamond(t)
+	cp := CriticalPath(g, g.NominalExecCosts(), nil, nil)
+	// Longest path goes through c (a,c,d).
+	want := []TaskID{0, 2, 3}
+	if len(cp) != 3 || cp[0] != want[0] || cp[1] != want[1] || cp[2] != want[2] {
+		t.Fatalf("cp=%v, want %v", cp, want)
+	}
+}
+
+func TestCriticalPathTieFavorsLargerExecSum(t *testing.T) {
+	// Two equal-length paths: a->b->d and a->c->d; b has larger exec cost
+	// but path lengths equalized via comm costs. Path via c: exec 30 vs 20.
+	b := NewBuilder()
+	a := b.AddTask("a", 10)
+	x := b.AddTask("b", 20)
+	y := b.AddTask("c", 30)
+	d := b.AddTask("d", 40)
+	b.AddEdge(a, x, 15) // 10+15+20 = 45 to reach d-edge
+	b.AddEdge(a, y, 5)  // 10+5+30 = 45
+	b.AddEdge(x, d, 10) // total 45+10+40 = 95
+	b.AddEdge(y, d, 10) // total 95 too
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CriticalPath(g, g.NominalExecCosts(), nil, nil)
+	if len(cp) != 3 || cp[1] != y {
+		t.Fatalf("cp=%v, want path through c (exec sum 80 beats 70)", cp)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	g, _ := NewBuilder().Build()
+	if cp := CriticalPath(g, nil, nil, nil); cp != nil {
+		t.Fatalf("cp of empty graph = %v, want nil", cp)
+	}
+}
+
+func TestCriticalPathSingleTask(t *testing.T) {
+	b := NewBuilder()
+	b.AddTask("only", 5)
+	g, _ := b.Build()
+	cp := CriticalPath(g, g.NominalExecCosts(), nil, nil)
+	if len(cp) != 1 || cp[0] != 0 {
+		t.Fatalf("cp=%v, want [0]", cp)
+	}
+}
+
+func TestCriticalPathProperty(t *testing.T) {
+	// Properties: the returned path is a real path, its length equals the
+	// CP length, and every task on it satisfies t+b == CP length.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%30
+		g := randomDAG(rng, n, 0.25)
+		exec := g.NominalExecCosts()
+		comm := g.NominalCommCosts()
+		cp := CriticalPath(g, exec, comm, rng)
+		if len(cp) == 0 {
+			return g.NumTasks() == 0
+		}
+		want := CPLength(g, exec, comm)
+		var length float64
+		for i, u := range cp {
+			length += exec[u]
+			if i+1 < len(cp) {
+				e, ok := g.FindEdge(u, cp[i+1])
+				if !ok {
+					return false // not a path
+				}
+				length += comm[e.ID]
+			}
+		}
+		if diff := length - want; diff > 1e-6 || diff < -1e-6 {
+			return false
+		}
+		tl := TLevels(g, exec, comm)
+		bl := BLevels(g, exec, comm)
+		for _, u := range cp {
+			if d := tl[u] + bl[u] - want; d > 1e-6 || d < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathDeterministicWithNilRNG(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomDAG(rng, 25, 0.3)
+	exec := g.NominalExecCosts()
+	a := CriticalPath(g, exec, nil, nil)
+	b := CriticalPath(g, exec, nil, nil)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic CP")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic CP")
+		}
+	}
+}

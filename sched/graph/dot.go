@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WriteDOT writes the graph in Graphviz DOT format. Node labels show the
+// task name and nominal execution cost; edge labels show the nominal
+// communication cost. The output is parseable by FromDOT and round-trips
+// byte-identically (costs are printed with %g, the shortest exact
+// representation).
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for _, t := range g.Tasks() {
+		fmt.Fprintf(&b, "  t%d [label=\"%s\\n%g\"];\n", t.ID, escapeLabel(t.Name), t.Cost)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  t%d -> t%d [label=\"%g\"];\n", e.From, e.To, e.Cost)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+var (
+	dotHeaderRe = regexp.MustCompile(`^digraph (".*") \{$`)
+	dotNodeRe   = regexp.MustCompile(`^\s*t(\d+) \[label="(.*)"\];$`)
+	dotEdgeRe   = regexp.MustCompile(`^\s*t(\d+) -> t(\d+) \[label="([^"]+)"\];$`)
+
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+// escapeLabel makes an arbitrary task name safe inside a DOT label:
+// backslashes, quotes and newlines are escaped (names without them pass
+// through unchanged, keeping the format stable). unescapeLabel inverts
+// it.
+func escapeLabel(name string) string { return labelEscaper.Replace(name) }
+
+func unescapeLabel(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i == len(s) {
+			return "", fmt.Errorf("trailing backslash in label %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c in label %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}
+
+// splitLabel splits a node label into its escaped name part and cost
+// part at the last unescaped `\n` separator.
+func splitLabel(label string) (name, cost string, ok bool) {
+	sep := -1
+	for i := 0; i < len(label)-1; i++ {
+		if label[i] != '\\' {
+			continue
+		}
+		if label[i+1] == 'n' {
+			sep = i
+		}
+		i++ // skip the escaped character either way
+	}
+	if sep < 0 {
+		return "", "", false
+	}
+	return label[:sep], label[sep+2:], true
+}
+
+// FromDOT decodes a graph previously written by WriteDOT, returning the
+// graph and the digraph title. It parses the restricted DOT subset
+// WriteDOT emits (one statement per line), not arbitrary Graphviz input,
+// and validates the result like Builder.Build.
+func FromDOT(data []byte) (*Graph, string, error) {
+	b := NewBuilder()
+	title := ""
+	sawHeader := false
+	line := 0
+	for len(data) > 0 {
+		raw := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			raw, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		line++
+		text := strings.TrimRight(string(raw), " \t\r")
+		switch {
+		case text == "" || text == "}":
+			continue
+		case strings.HasPrefix(text, "digraph "):
+			m := dotHeaderRe.FindStringSubmatch(text)
+			if m == nil {
+				return nil, "", fmt.Errorf("graph: dot line %d: malformed digraph header", line)
+			}
+			t, err := strconv.Unquote(m[1])
+			if err != nil {
+				return nil, "", fmt.Errorf("graph: dot line %d: bad title: %v", line, err)
+			}
+			title = t
+			sawHeader = true
+		case !sawHeader:
+			return nil, "", fmt.Errorf("graph: dot line %d: statement before digraph header", line)
+		default:
+			if m := dotEdgeRe.FindStringSubmatch(text); m != nil {
+				from, _ := strconv.Atoi(m[1])
+				to, _ := strconv.Atoi(m[2])
+				cost, err := strconv.ParseFloat(m[3], 64)
+				if err != nil {
+					return nil, "", fmt.Errorf("graph: dot line %d: bad edge cost %q", line, m[3])
+				}
+				b.AddEdge(TaskID(from), TaskID(to), cost)
+				continue
+			}
+			if m := dotNodeRe.FindStringSubmatch(text); m != nil {
+				id, _ := strconv.Atoi(m[1])
+				rawName, rawCost, ok := splitLabel(m[2])
+				if !ok {
+					return nil, "", fmt.Errorf("graph: dot line %d: node label %q has no cost part", line, m[2])
+				}
+				name, err := unescapeLabel(rawName)
+				if err != nil {
+					return nil, "", fmt.Errorf("graph: dot line %d: %v", line, err)
+				}
+				cost, err := strconv.ParseFloat(rawCost, 64)
+				if err != nil {
+					return nil, "", fmt.Errorf("graph: dot line %d: bad task cost %q", line, rawCost)
+				}
+				if got := b.AddTask(name, cost); int(got) != id {
+					return nil, "", fmt.Errorf("graph: dot line %d: task id t%d out of order (want t%d)", line, id, got)
+				}
+				continue
+			}
+			if strings.HasPrefix(strings.TrimSpace(text), "t") {
+				return nil, "", fmt.Errorf("graph: dot line %d: malformed statement %q", line, text)
+			}
+			// Attribute lines (rankdir, node defaults, ...) are ignored.
+		}
+	}
+	if !sawHeader {
+		return nil, "", fmt.Errorf("graph: dot input has no digraph header")
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, "", err
+	}
+	return g, title, nil
+}
+
+// ReadDOT decodes a graph written by WriteDOT from r.
+func ReadDOT(r io.Reader) (*Graph, string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, "", err
+	}
+	return FromDOT(data)
+}

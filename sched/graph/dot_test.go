@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDOTRoundTripSpecialNames: task names containing DOT-hostile
+// characters (newlines, quotes, backslashes, the literal two-character
+// sequence \n) must survive a WriteDOT/FromDOT round trip — the builder
+// accepts any non-empty unique name, so the encoder has to escape.
+func TestDOTRoundTripSpecialNames(t *testing.T) {
+	names := []string{
+		"plain",
+		"new\nline",
+		`back\slash`,
+		`quo"te`,
+		`literal\nseq`,
+		`trailing\`,
+		"\"\\\n",
+	}
+	b := NewBuilder()
+	ids := make([]TaskID, len(names))
+	for i, n := range names {
+		ids[i] = b.AddTask(n, float64(i+1))
+	}
+	for i := 1; i < len(ids); i++ {
+		b.AddEdge(ids[i-1], ids[i], float64(i))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var d1 bytes.Buffer
+	if err := g.WriteDOT(&d1, "weird \"title\"\n"); err != nil {
+		t.Fatal(err)
+	}
+	g2, title, err := FromDOT(d1.Bytes())
+	if err != nil {
+		t.Fatalf("FromDOT: %v\ninput:\n%s", err, d1.Bytes())
+	}
+	if title != "weird \"title\"\n" {
+		t.Errorf("title = %q", title)
+	}
+	for i, n := range names {
+		if got := g2.Task(TaskID(i)).Name; got != n {
+			t.Errorf("task %d name = %q, want %q", i, got, n)
+		}
+	}
+	var d2 bytes.Buffer
+	if err := g2.WriteDOT(&d2, title); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1.Bytes(), d2.Bytes()) {
+		t.Error("DOT round-trip with special names is not byte-identical")
+	}
+}

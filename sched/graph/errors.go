@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEmptyTaskName is reported by Builder.AddTask for an empty name.
+var ErrEmptyTaskName = errors.New("graph: empty task name")
+
+// DuplicateTaskError is reported by Builder.AddTask when a task name is
+// reused.
+type DuplicateTaskError struct {
+	Name string
+}
+
+func (e *DuplicateTaskError) Error() string {
+	return fmt.Sprintf("graph: duplicate task name %q", e.Name)
+}
+
+// TaskCostError is reported by Builder.AddTask for a non-positive
+// execution cost.
+type TaskCostError struct {
+	Name string
+	Cost float64
+}
+
+func (e *TaskCostError) Error() string {
+	return fmt.Sprintf("graph: task %q has non-positive cost %v", e.Name, e.Cost)
+}
+
+// EdgeRangeError is reported by Builder.AddEdge when an endpoint does not
+// name an added task.
+type EdgeRangeError struct {
+	Endpoint TaskID
+	Source   bool // true when the offending endpoint is the edge source
+	NumTasks int
+}
+
+func (e *EdgeRangeError) Error() string {
+	role := "target"
+	if e.Source {
+		role = "source"
+	}
+	return fmt.Sprintf("graph: edge %s %d out of range [0,%d)", role, e.Endpoint, e.NumTasks)
+}
+
+// SelfLoopError is reported by Builder.AddEdge for an edge from a task to
+// itself.
+type SelfLoopError struct {
+	Task TaskID
+}
+
+func (e *SelfLoopError) Error() string {
+	return fmt.Sprintf("graph: self-loop on task %d", e.Task)
+}
+
+// EdgeCostError is reported by Builder.AddEdge for a negative
+// communication cost (zero-cost messages are allowed).
+type EdgeCostError struct {
+	From, To TaskID
+	Cost     float64
+}
+
+func (e *EdgeCostError) Error() string {
+	return fmt.Sprintf("graph: edge %d->%d has negative cost %v", e.From, e.To, e.Cost)
+}
+
+// DuplicateEdgeError is reported by Builder.Build when two edges join the
+// same ordered task pair.
+type DuplicateEdgeError struct {
+	From, To TaskID
+}
+
+func (e *DuplicateEdgeError) Error() string {
+	return fmt.Sprintf("graph: duplicate edge %d->%d", e.From, e.To)
+}
+
+// CycleError is reported by Builder.Build (and TopologicalOrder) when the
+// graph is not acyclic. Task names one task on a cycle.
+type CycleError struct {
+	Task TaskID
+	Name string
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("graph: cycle involving task %d (%s)", e.Task, e.Name)
+}

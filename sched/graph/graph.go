@@ -1,0 +1,242 @@
+// Package graph implements the public directed-acyclic task-graph model:
+// tasks with nominal execution costs, messages (edges) with nominal
+// communication costs, a fluent Builder with typed validation errors,
+// JSON and DOT load/save, topological ordering, t-level / b-level
+// computation and critical-path extraction.
+//
+// Nominal costs are the costs on the reference (fastest) machine of the
+// heterogeneous system; actual costs are obtained by multiplying nominal
+// costs with heterogeneity factors (see repro/sched/system).
+package graph
+
+import "fmt"
+
+// TaskID identifies a task; IDs are dense indices 0..NumTasks-1.
+type TaskID int32
+
+// EdgeID identifies a message (edge); IDs are dense indices 0..NumEdges-1.
+type EdgeID int32
+
+// Task is a node of the task graph.
+type Task struct {
+	ID   TaskID
+	Name string
+	// Cost is the nominal execution cost tau_i on the reference machine.
+	Cost float64
+}
+
+// Edge is a message Mij from task From to task To with nominal
+// communication cost c_ij.
+type Edge struct {
+	ID   EdgeID
+	From TaskID
+	To   TaskID
+	Cost float64
+}
+
+// Graph is an immutable directed acyclic task graph. Construct one with a
+// Builder; a zero Graph is empty and valid.
+type Graph struct {
+	tasks []Task
+	edges []Edge
+	out   [][]EdgeID // outgoing edge IDs per task, sorted by target then ID
+	in    [][]EdgeID // incoming edge IDs per task, sorted by source then ID
+}
+
+// NumTasks returns the number of tasks n.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// NumEdges returns the number of messages e.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Task returns the task with the given ID.
+func (g *Graph) Task(id TaskID) Task { return g.tasks[id] }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Tasks returns all tasks in ID order. The slice must not be modified.
+func (g *Graph) Tasks() []Task { return g.tasks }
+
+// Edges returns all edges in ID order. The slice must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Out returns the outgoing edge IDs of t. The slice must not be modified.
+func (g *Graph) Out(t TaskID) []EdgeID { return g.out[t] }
+
+// In returns the incoming edge IDs of t. The slice must not be modified.
+func (g *Graph) In(t TaskID) []EdgeID { return g.in[t] }
+
+// OutDegree returns the number of successors of t.
+func (g *Graph) OutDegree(t TaskID) int { return len(g.out[t]) }
+
+// InDegree returns the number of predecessors of t.
+func (g *Graph) InDegree(t TaskID) int { return len(g.in[t]) }
+
+// Succs appends the successor task IDs of t to dst and returns it.
+func (g *Graph) Succs(t TaskID, dst []TaskID) []TaskID {
+	for _, e := range g.out[t] {
+		dst = append(dst, g.edges[e].To)
+	}
+	return dst
+}
+
+// Preds appends the predecessor task IDs of t to dst and returns it.
+func (g *Graph) Preds(t TaskID, dst []TaskID) []TaskID {
+	for _, e := range g.in[t] {
+		dst = append(dst, g.edges[e].From)
+	}
+	return dst
+}
+
+// Sources returns the tasks with no predecessors (entry tasks).
+func (g *Graph) Sources() []TaskID {
+	var s []TaskID
+	for i := range g.tasks {
+		if len(g.in[i]) == 0 {
+			s = append(s, TaskID(i))
+		}
+	}
+	return s
+}
+
+// Sinks returns the tasks with no successors (exit tasks).
+func (g *Graph) Sinks() []TaskID {
+	var s []TaskID
+	for i := range g.tasks {
+		if len(g.out[i]) == 0 {
+			s = append(s, TaskID(i))
+		}
+	}
+	return s
+}
+
+// FindEdge returns the edge from u to v, if any.
+func (g *Graph) FindEdge(u, v TaskID) (Edge, bool) {
+	for _, e := range g.out[u] {
+		if g.edges[e].To == v {
+			return g.edges[e], true
+		}
+	}
+	return Edge{}, false
+}
+
+// NominalExecCosts returns a freshly allocated slice of the nominal
+// execution cost of every task, indexed by TaskID.
+func (g *Graph) NominalExecCosts() []float64 {
+	c := make([]float64, len(g.tasks))
+	for i, t := range g.tasks {
+		c[i] = t.Cost
+	}
+	return c
+}
+
+// NominalCommCosts returns a freshly allocated slice of the nominal
+// communication cost of every edge, indexed by EdgeID.
+func (g *Graph) NominalCommCosts() []float64 {
+	c := make([]float64, len(g.edges))
+	for i, e := range g.edges {
+		c[i] = e.Cost
+	}
+	return c
+}
+
+// TotalExecCost returns the sum of nominal execution costs.
+func (g *Graph) TotalExecCost() float64 {
+	var s float64
+	for _, t := range g.tasks {
+		s += t.Cost
+	}
+	return s
+}
+
+// TotalCommCost returns the sum of nominal communication costs.
+func (g *Graph) TotalCommCost() float64 {
+	var s float64
+	for _, e := range g.edges {
+		s += e.Cost
+	}
+	return s
+}
+
+// MeanExecCost returns the average nominal execution cost, or 0 for an
+// empty graph.
+func (g *Graph) MeanExecCost() float64 {
+	if len(g.tasks) == 0 {
+		return 0
+	}
+	return g.TotalExecCost() / float64(len(g.tasks))
+}
+
+// MeanCommCost returns the average nominal communication cost, or 0 when
+// the graph has no edges.
+func (g *Graph) MeanCommCost() float64 {
+	if len(g.edges) == 0 {
+		return 0
+	}
+	return g.TotalCommCost() / float64(len(g.edges))
+}
+
+// Granularity returns mean execution cost divided by mean communication
+// cost, the paper's granularity measure. It returns +Inf-free 0 when the
+// graph has no edges or zero mean communication cost.
+func (g *Graph) Granularity() float64 {
+	mc := g.MeanCommCost()
+	if mc == 0 {
+		return 0
+	}
+	return g.MeanExecCost() / mc
+}
+
+// IsWeaklyConnected reports whether the underlying undirected graph is
+// connected. The paper assumes connected task graphs (e >= n-1).
+func (g *Graph) IsWeaklyConnected() bool {
+	n := len(g.tasks)
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []TaskID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit := func(u TaskID) {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+		for _, e := range g.out[t] {
+			visit(g.edges[e].To)
+		}
+		for _, e := range g.in[t] {
+			visit(g.edges[e].From)
+		}
+	}
+	return count == n
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		tasks: append([]Task(nil), g.tasks...),
+		edges: append([]Edge(nil), g.edges...),
+		out:   make([][]EdgeID, len(g.out)),
+		in:    make([][]EdgeID, len(g.in)),
+	}
+	for i := range g.out {
+		c.out[i] = append([]EdgeID(nil), g.out[i]...)
+	}
+	for i := range g.in {
+		c.in[i] = append([]EdgeID(nil), g.in[i]...)
+	}
+	return c
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d e=%d}", len(g.tasks), len(g.edges))
+}

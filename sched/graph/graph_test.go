@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds the 4-task diamond a->b, a->c, b->d, c->d used by several
+// tests.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	a := b.AddTask("a", 10)
+	x := b.AddTask("b", 20)
+	y := b.AddTask("c", 30)
+	d := b.AddTask("d", 40)
+	b.AddEdge(a, x, 1)
+	b.AddEdge(a, y, 2)
+	b.AddEdge(x, d, 3)
+	b.AddEdge(y, d, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := diamond(t)
+	if g.NumTasks() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got n=%d e=%d, want 4/4", g.NumTasks(), g.NumEdges())
+	}
+	if g.Task(0).Name != "a" || g.Task(3).Cost != 40 {
+		t.Errorf("task accessors wrong: %+v %+v", g.Task(0), g.Task(3))
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(a)=%d, want 2", got)
+	}
+	if got := g.InDegree(3); got != 2 {
+		t.Errorf("InDegree(d)=%d, want 2", got)
+	}
+	if e, ok := g.FindEdge(0, 2); !ok || e.Cost != 2 {
+		t.Errorf("FindEdge(a,c)=%v,%v", e, ok)
+	}
+	if _, ok := g.FindEdge(1, 2); ok {
+		t.Error("FindEdge(b,c) should not exist")
+	}
+	src := g.Sources()
+	if len(src) != 1 || src[0] != 0 {
+		t.Errorf("Sources=%v, want [0]", src)
+	}
+	snk := g.Sinks()
+	if len(snk) != 1 || snk[0] != 3 {
+		t.Errorf("Sinks=%v, want [3]", snk)
+	}
+	if !g.IsWeaklyConnected() {
+		t.Error("diamond should be weakly connected")
+	}
+}
+
+func TestBuilderPredsSuccs(t *testing.T) {
+	g := diamond(t)
+	succs := g.Succs(0, nil)
+	if len(succs) != 2 || succs[0] != 1 || succs[1] != 2 {
+		t.Errorf("Succs(a)=%v", succs)
+	}
+	preds := g.Preds(3, nil)
+	if len(preds) != 2 || preds[0] != 1 || preds[1] != 2 {
+		t.Errorf("Preds(d)=%v", preds)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{"empty name", func(b *Builder) { b.AddTask("", 1) }, "empty task name"},
+		{"dup name", func(b *Builder) { b.AddTask("x", 1); b.AddTask("x", 1) }, "duplicate task name"},
+		{"bad cost", func(b *Builder) { b.AddTask("x", 0) }, "non-positive cost"},
+		{"neg cost", func(b *Builder) { b.AddTask("x", -3) }, "non-positive cost"},
+		{"self loop", func(b *Builder) {
+			x := b.AddTask("x", 1)
+			b.AddEdge(x, x, 1)
+		}, "self-loop"},
+		{"bad source", func(b *Builder) {
+			b.AddTask("x", 1)
+			b.AddEdge(5, 0, 1)
+		}, "out of range"},
+		{"bad target", func(b *Builder) {
+			b.AddTask("x", 1)
+			b.AddEdge(0, 5, 1)
+		}, "out of range"},
+		{"neg edge cost", func(b *Builder) {
+			x := b.AddTask("x", 1)
+			y := b.AddTask("y", 1)
+			b.AddEdge(x, y, -1)
+		}, "negative cost"},
+		{"dup edge", func(b *Builder) {
+			x := b.AddTask("x", 1)
+			y := b.AddTask("y", 1)
+			b.AddEdge(x, y, 1)
+			b.AddEdge(x, y, 2)
+		}, "duplicate edge"},
+		{"cycle", func(b *Builder) {
+			x := b.AddTask("x", 1)
+			y := b.AddTask("y", 1)
+			z := b.AddTask("z", 1)
+			b.AddEdge(x, y, 1)
+			b.AddEdge(y, z, 1)
+			b.AddEdge(z, x, 1)
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder()
+			tc.build(b)
+			if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Build err=%v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestZeroEdgeCostAllowed(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddTask("x", 1)
+	y := b.AddTask("y", 1)
+	b.AddEdge(x, y, 0)
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("zero-cost edge should be allowed: %v", err)
+	}
+}
+
+func TestCostAggregates(t *testing.T) {
+	g := diamond(t)
+	if got := g.TotalExecCost(); got != 100 {
+		t.Errorf("TotalExecCost=%v, want 100", got)
+	}
+	if got := g.TotalCommCost(); got != 10 {
+		t.Errorf("TotalCommCost=%v, want 10", got)
+	}
+	if got := g.MeanExecCost(); got != 25 {
+		t.Errorf("MeanExecCost=%v, want 25", got)
+	}
+	if got := g.MeanCommCost(); got != 2.5 {
+		t.Errorf("MeanCommCost=%v, want 2.5", got)
+	}
+	if got := g.Granularity(); got != 10 {
+		t.Errorf("Granularity=%v, want 10", got)
+	}
+}
+
+func TestEmptyGraphAggregates(t *testing.T) {
+	g, err := NewBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MeanExecCost() != 0 || g.MeanCommCost() != 0 || g.Granularity() != 0 {
+		t.Error("empty graph aggregates should be zero")
+	}
+	if !g.IsWeaklyConnected() {
+		t.Error("empty graph is trivially connected")
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	b := NewBuilder()
+	b.AddTask("x", 1)
+	b.AddTask("y", 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsWeaklyConnected() {
+		t.Error("two isolated tasks are not connected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	if c.NumTasks() != g.NumTasks() || c.NumEdges() != g.NumEdges() {
+		t.Fatal("clone size mismatch")
+	}
+	// Mutating the clone's slices must not affect the original.
+	c.tasks[0].Cost = 999
+	if g.Task(0).Cost == 999 {
+		t.Error("clone shares task storage with original")
+	}
+	c.out[0][0] = 3
+	if g.out[0][0] == 3 {
+		t.Error("clone shares adjacency storage with original")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := diamond(t)
+	if got := g.String(); got != "graph{n=4 e=4}" {
+		t.Errorf("String=%q", got)
+	}
+}

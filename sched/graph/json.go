@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the on-disk representation used by MarshalJSON/UnmarshalJSON
+// and the cmd tools.
+type graphJSON struct {
+	Tasks []taskJSON `json:"tasks"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+type taskJSON struct {
+	Name string  `json:"name"`
+	Cost float64 `json:"cost"`
+}
+
+type edgeJSON struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Cost float64 `json:"cost"`
+}
+
+// MarshalJSON encodes the graph with task names as edge endpoints so the
+// format is stable under ID renumbering.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	j := graphJSON{
+		Tasks: make([]taskJSON, 0, g.NumTasks()),
+		Edges: make([]edgeJSON, 0, g.NumEdges()),
+	}
+	for _, t := range g.Tasks() {
+		j.Tasks = append(j.Tasks, taskJSON{Name: t.Name, Cost: t.Cost})
+	}
+	for _, e := range g.Edges() {
+		j.Edges = append(j.Edges, edgeJSON{
+			From: g.Task(e.From).Name,
+			To:   g.Task(e.To).Name,
+			Cost: e.Cost,
+		})
+	}
+	return json.Marshal(j)
+}
+
+// FromJSON decodes a graph previously written by MarshalJSON (or hand
+// written in the same schema) and validates it.
+func FromJSON(data []byte) (*Graph, error) {
+	var j graphJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	b := NewBuilder()
+	ids := make(map[string]TaskID, len(j.Tasks))
+	for _, t := range j.Tasks {
+		ids[t.Name] = b.AddTask(t.Name, t.Cost)
+	}
+	for _, e := range j.Edges {
+		from, ok := ids[e.From]
+		if !ok {
+			return nil, fmt.Errorf("graph: edge references unknown task %q", e.From)
+		}
+		to, ok := ids[e.To]
+		if !ok {
+			return nil, fmt.Errorf("graph: edge references unknown task %q", e.To)
+		}
+		b.AddEdge(from, to, e.Cost)
+	}
+	return b.Build()
+}
+
+// ReadJSON decodes a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromJSON(data)
+}
+
+// WriteJSON writes the graph to w as indented JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(json.RawMessage(data), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}

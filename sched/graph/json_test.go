@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond(t)
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %v vs %v", g2, g)
+	}
+	for i := range g.Tasks() {
+		if g.Task(TaskID(i)) != g2.Task(TaskID(i)) {
+			t.Errorf("task %d mismatch: %+v vs %+v", i, g.Task(TaskID(i)), g2.Task(TaskID(i)))
+		}
+	}
+	for i := range g.Edges() {
+		if g.Edge(EdgeID(i)) != g2.Edge(EdgeID(i)) {
+			t.Errorf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestReadWriteJSON(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTasks() != 4 {
+		t.Fatalf("got %d tasks", g2.NumTasks())
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad json", "{", "decode"},
+		{"unknown from", `{"tasks":[{"name":"a","cost":1}],"edges":[{"from":"zz","to":"a","cost":1}]}`, "unknown task"},
+		{"unknown to", `{"tasks":[{"name":"a","cost":1}],"edges":[{"from":"a","to":"zz","cost":1}]}`, "unknown task"},
+		{"cycle", `{"tasks":[{"name":"a","cost":1},{"name":"b","cost":1}],"edges":[{"from":"a","to":"b","cost":1},{"from":"b","to":"a","cost":1}]}`, "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromJSON([]byte(tc.in)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err=%v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "diamond"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "t0 -> t1", "t2 -> t3", `label="a\n10"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

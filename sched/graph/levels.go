@@ -1,0 +1,119 @@
+package graph
+
+// This file computes the t-level (top level) and b-level (bottom level)
+// attributes the BSA paper uses for serialization and critical-path
+// identification.
+//
+// The t-level of a task is the length of the longest path reaching the task
+// (excluding the task's own execution cost); the b-level is the length of
+// the longest path beginning with the task (including its execution cost).
+// All tasks on a critical path satisfy t-level + b-level == CP length.
+
+// TLevels returns the t-level of every task under the given per-task
+// execution costs and per-edge communication costs. exec must have length
+// NumTasks; comm must have length NumEdges (nil means nominal edge costs).
+func TLevels(g *Graph, exec, comm []float64) []float64 {
+	order := mustTopo(g)
+	comm = commOrNominal(g, comm)
+	t := make([]float64, g.NumTasks())
+	for _, u := range order {
+		tu := t[u] + exec[u]
+		for _, e := range g.Out(u) {
+			v := g.Edge(e).To
+			if cand := tu + comm[e]; cand > t[v] {
+				t[v] = cand
+			}
+		}
+	}
+	return t
+}
+
+// BLevels returns the b-level of every task under the given execution and
+// communication costs (comm nil means nominal edge costs).
+func BLevels(g *Graph, exec, comm []float64) []float64 {
+	order := mustTopo(g)
+	comm = commOrNominal(g, comm)
+	b := make([]float64, g.NumTasks())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		var best float64
+		for _, e := range g.Out(u) {
+			v := g.Edge(e).To
+			if cand := comm[e] + b[v]; cand > best {
+				best = cand
+			}
+		}
+		b[u] = exec[u] + best
+	}
+	return b
+}
+
+// StaticLevels returns the b-level of every task computed with the given
+// execution costs and zero communication costs. This is the "static level"
+// used by the DLS baseline of Sih & Lee.
+func StaticLevels(g *Graph, exec []float64) []float64 {
+	order := mustTopo(g)
+	b := make([]float64, g.NumTasks())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		var best float64
+		for _, e := range g.Out(u) {
+			v := g.Edge(e).To
+			if b[v] > best {
+				best = b[v]
+			}
+		}
+		b[u] = exec[u] + best
+	}
+	return b
+}
+
+// CPLengthOf returns the critical-path length implied by matching t-level
+// and b-level slices: max over tasks of t[i]+b[i].
+func CPLengthOf(t, b []float64) float64 {
+	var best float64
+	for i := range t {
+		if v := t[i] + b[i]; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CPLength computes the critical-path length of the graph under the given
+// costs (comm nil means nominal edge costs).
+func CPLength(g *Graph, exec, comm []float64) float64 {
+	b := BLevels(g, exec, comm)
+	var best float64
+	for _, s := range g.Sources() {
+		if b[s] > best {
+			best = b[s]
+		}
+	}
+	if len(g.Sources()) == 0 && g.NumTasks() > 0 {
+		// Unreachable for a valid DAG, but keep the function total.
+		for _, v := range b {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func mustTopo(g *Graph) []TaskID {
+	order, err := TopologicalOrder(g)
+	if err != nil {
+		// Graphs are validated at Build time; a cycle here is a programming
+		// error, not a runtime condition.
+		panic(err)
+	}
+	return order
+}
+
+func commOrNominal(g *Graph, comm []float64) []float64 {
+	if comm != nil {
+		return comm
+	}
+	return g.NominalCommCosts()
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds a->b->c with exec costs 10,20,30 and comm costs 5,7.
+func chain(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	a := b.AddTask("a", 10)
+	x := b.AddTask("b", 20)
+	y := b.AddTask("c", 30)
+	b.AddEdge(a, x, 5)
+	b.AddEdge(x, y, 7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLevelsChain(t *testing.T) {
+	g := chain(t)
+	exec := g.NominalExecCosts()
+	tl := TLevels(g, exec, nil)
+	bl := BLevels(g, exec, nil)
+	wantT := []float64{0, 15, 42}
+	wantB := []float64{72, 57, 30}
+	for i := range wantT {
+		if tl[i] != wantT[i] {
+			t.Errorf("t-level[%d]=%v, want %v", i, tl[i], wantT[i])
+		}
+		if bl[i] != wantB[i] {
+			t.Errorf("b-level[%d]=%v, want %v", i, bl[i], wantB[i])
+		}
+	}
+	if got := CPLengthOf(tl, bl); got != 72 {
+		t.Errorf("CPLengthOf=%v, want 72", got)
+	}
+	if got := CPLength(g, exec, nil); got != 72 {
+		t.Errorf("CPLength=%v, want 72", got)
+	}
+}
+
+func TestLevelsDiamond(t *testing.T) {
+	g := diamond(t)
+	exec := g.NominalExecCosts()
+	tl := TLevels(g, exec, nil)
+	bl := BLevels(g, exec, nil)
+	// Longest path: a(10) -c2-> c(30) -c4-> d(40) = 86.
+	if got := CPLengthOf(tl, bl); got != 86 {
+		t.Errorf("CP length=%v, want 86", got)
+	}
+	if tl[3] != 46 { // max(10+1+20+3, 10+2+30+4)=46
+		t.Errorf("t-level(d)=%v, want 46", tl[3])
+	}
+	if bl[0] != 86 {
+		t.Errorf("b-level(a)=%v, want 86", bl[0])
+	}
+}
+
+func TestStaticLevels(t *testing.T) {
+	g := diamond(t)
+	exec := g.NominalExecCosts()
+	sl := StaticLevels(g, exec)
+	// No comm: a: 10+max(20,30)+40 = 80; b: 60; c: 70; d: 40.
+	want := []float64{80, 60, 70, 40}
+	for i := range want {
+		if sl[i] != want[i] {
+			t.Errorf("static level[%d]=%v, want %v", i, sl[i], want[i])
+		}
+	}
+}
+
+func TestLevelsCustomComm(t *testing.T) {
+	g := chain(t)
+	exec := g.NominalExecCosts()
+	comm := []float64{100, 100}
+	if got := CPLength(g, exec, comm); got != 260 {
+		t.Errorf("CPLength with custom comm=%v, want 260", got)
+	}
+}
+
+func TestLevelsPropertyEdgeInequalities(t *testing.T) {
+	// Properties on random DAGs:
+	//   t(v) >= t(u) + exec(u) + c(uv) for every edge u->v
+	//   b(u) >= exec(u) + c(uv) + b(v)
+	//   max(t+b) == max over sources of b  (CP length consistency)
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%30
+		g := randomDAG(rng, n, 0.3)
+		exec := g.NominalExecCosts()
+		comm := g.NominalCommCosts()
+		tl := TLevels(g, exec, comm)
+		bl := BLevels(g, exec, comm)
+		for _, e := range g.Edges() {
+			if tl[e.To]+1e-9 < tl[e.From]+exec[e.From]+comm[e.ID] {
+				return false
+			}
+			if bl[e.From]+1e-9 < exec[e.From]+comm[e.ID]+bl[e.To] {
+				return false
+			}
+		}
+		cp := CPLengthOf(tl, bl)
+		var viaSources float64
+		for _, s := range g.Sources() {
+			viaSources = math.Max(viaSources, bl[s])
+		}
+		return math.Abs(cp-viaSources) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+// TopologicalOrder returns a deterministic topological order of the tasks
+// (Kahn's algorithm; among ready tasks the smallest ID goes first) or an
+// error naming a task on a cycle if the graph is not acyclic.
+func TopologicalOrder(g *Graph) ([]TaskID, error) {
+	n := g.NumTasks()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(TaskID(i))
+	}
+	// Min-heap behaviour via an ordered ready set kept as a sorted stack is
+	// overkill at these sizes; a simple linear scan bucket works, but we use
+	// an index-ordered ready list maintained with binary insertion to keep
+	// determinism with O(n log n + e) cost.
+	ready := make([]TaskID, 0, n)
+	push := func(t TaskID) {
+		lo, hi := 0, len(ready)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ready[mid] < t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		ready = append(ready, 0)
+		copy(ready[lo+1:], ready[lo:])
+		ready[lo] = t
+	}
+	for i := n - 1; i >= 0; i-- {
+		if indeg[i] == 0 {
+			push(TaskID(i))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for len(ready) > 0 {
+		t := ready[0]
+		ready = ready[1:]
+		order = append(order, t)
+		for _, e := range g.Out(t) {
+			v := g.Edge(e).To
+			indeg[v]--
+			if indeg[v] == 0 {
+				push(v)
+			}
+		}
+	}
+	if len(order) != n {
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				return nil, &CycleError{Task: TaskID(i), Name: g.Task(TaskID(i)).Name}
+			}
+		}
+	}
+	return order, nil
+}
+
+// IsLinearExtension reports whether order is a permutation of all tasks in
+// which every task appears after all of its predecessors.
+func IsLinearExtension(g *Graph, order []TaskID) bool {
+	n := g.NumTasks()
+	if len(order) != n {
+		return false
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, t := range order {
+		if t < 0 || int(t) >= n || pos[t] >= 0 {
+			return false
+		}
+		pos[t] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			return false
+		}
+	}
+	return true
+}

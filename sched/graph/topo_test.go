@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologicalOrderDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := TopologicalOrder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TaskID{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order=%v, want %v", order, want)
+		}
+	}
+	if !IsLinearExtension(g, order) {
+		t.Error("topological order must be a linear extension")
+	}
+}
+
+func TestIsLinearExtensionRejects(t *testing.T) {
+	g := diamond(t)
+	cases := [][]TaskID{
+		{0, 1, 2},    // too short
+		{0, 1, 2, 2}, // duplicate
+		{0, 1, 2, 9}, // out of range
+		{3, 1, 2, 0}, // violates precedence
+		{1, 0, 2, 3}, // violates a->b
+	}
+	for i, c := range cases {
+		if IsLinearExtension(g, c) {
+			t.Errorf("case %d: %v accepted as linear extension", i, c)
+		}
+	}
+}
+
+// randomDAG builds a random DAG by sampling edges only from lower to higher
+// task IDs, so acyclicity holds by construction.
+func randomDAG(rng *rand.Rand, n int, edgeProb float64) *Graph {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddTask(taskName(i), 1+rng.Float64()*99)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < edgeProb {
+				b.AddEdge(TaskID(i), TaskID(j), rng.Float64()*50)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func taskName(i int) string {
+	const digits = "0123456789"
+	if i == 0 {
+		return "T0"
+	}
+	var buf [12]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = digits[i%10]
+		i /= 10
+	}
+	return "T" + string(buf[p:])
+}
+
+func TestTopologicalOrderPropertyRandomDAGs(t *testing.T) {
+	// Property: for any random DAG, TopologicalOrder succeeds and yields a
+	// linear extension.
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		p := float64(pRaw%100) / 100
+		g := randomDAG(rng, n, p)
+		order, err := TopologicalOrder(g)
+		if err != nil {
+			return false
+		}
+		return IsLinearExtension(g, order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologicalOrderDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDAG(rng, 30, 0.2)
+	a, _ := TopologicalOrder(g)
+	b, _ := TopologicalOrder(g)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("topological order not deterministic")
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package bridge is the seam between the public sched API and the
+// engines' mutable schedule representation. Algorithm adapters under
+// sched/ hand an engine *schedule.Schedule to package sched through
+// NewView without schedule types ever appearing in sched's exported
+// signatures; being under sched/internal/, the seam itself is invisible
+// outside the sched tree.
+package bridge
+
+import "repro/internal/schedule"
+
+// NewView is installed by package sched at init time. It wraps an engine
+// schedule into sched's read-only *sched.Schedule view (returned as any to
+// avoid an import cycle; callers type-assert).
+var NewView func(s *schedule.Schedule) any

@@ -53,9 +53,9 @@ func (b bsaScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sch
 		return nil, err
 	}
 	pivotName := p.System.Net.Proc(res.InitialPivot).Name
-	return &sched.Result{
+	out := &sched.Result{
 		Algorithm: b.name,
-		Schedule:  res.Schedule,
+		Schedule:  view(res.Schedule),
 		Makespan:  res.Schedule.Length(),
 		Elapsed:   time.Since(start),
 		Summary: fmt.Sprintf("%s: pivot=%s (CP length %.2f), %d migrations in %d sweeps (%d reverted)",
@@ -72,25 +72,26 @@ func (b bsaScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sch
 			"cache_partials": float64(res.CachePartials),
 			"cache_misses":   float64(res.CacheMisses),
 		},
-		Trace: &sched.BSATrace{
-			InitialPivot:  res.InitialPivot,
-			PivotName:     pivotName,
-			PivotCPLength: res.PivotCPLength,
-			Serial:        res.Serial,
-			CP:            res.Partition.CP,
-			IB:            res.Partition.IB,
-			OB:            res.Partition.OB,
-			Migrations:    res.Migrations,
-			Reverted:      res.Reverted,
-			Sweeps:        res.Sweeps,
-			Evaluations:   res.Evaluations,
-			Rebuilds:      res.Rebuilds,
-			Placements:    res.Placements,
-			MsgPlacements: res.MsgPlacements,
-			CacheHits:     res.CacheHits,
-			CachePartials: res.CachePartials,
-			CacheMisses:   res.CacheMisses,
-			RestoredBest:  res.RestoredBest,
-		},
-	}, nil
+	}
+	out.SetTrace(&sched.BSATrace{
+		InitialPivot:  res.InitialPivot,
+		PivotName:     pivotName,
+		PivotCPLength: res.PivotCPLength,
+		Serial:        res.Serial,
+		CP:            res.Partition.CP,
+		IB:            res.Partition.IB,
+		OB:            res.Partition.OB,
+		Migrations:    res.Migrations,
+		Reverted:      res.Reverted,
+		Sweeps:        res.Sweeps,
+		Evaluations:   res.Evaluations,
+		Rebuilds:      res.Rebuilds,
+		Placements:    res.Placements,
+		MsgPlacements: res.MsgPlacements,
+		CacheHits:     res.CacheHits,
+		CachePartials: res.CachePartials,
+		CacheMisses:   res.CacheMisses,
+		RestoredBest:  res.RestoredBest,
+	})
+	return out, nil
 }

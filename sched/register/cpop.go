@@ -38,15 +38,16 @@ func (c cpopScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sc
 		}
 	}
 	cpName := p.System.Net.Proc(res.CPProc).Name
-	return &sched.Result{
+	out := &sched.Result{
 		Algorithm: "cpop",
-		Schedule:  res.Schedule,
+		Schedule:  view(res.Schedule),
 		Makespan:  res.Schedule.Length(),
 		Elapsed:   time.Since(start),
 		Summary:   fmt.Sprintf("cpop: %d critical-path tasks pinned to %s", onCP, cpName),
 		Stats: sched.Stats{
 			"cp_tasks": float64(onCP),
 		},
-		Trace: &sched.CPOPTrace{CPProc: res.CPProc, CPProcName: cpName, OnCP: res.OnCP},
-	}, nil
+	}
+	out.SetTrace(&sched.CPOPTrace{CPProc: res.CPProc, CPProcName: cpName, OnCP: res.OnCP})
+	return out, nil
 }

@@ -35,9 +35,9 @@ func (d dlsScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sch
 	if err != nil {
 		return nil, err
 	}
-	return &sched.Result{
+	out := &sched.Result{
 		Algorithm: "dls",
-		Schedule:  res.Schedule,
+		Schedule:  view(res.Schedule),
 		Makespan:  res.Schedule.Length(),
 		Elapsed:   time.Since(start),
 		Summary:   fmt.Sprintf("dls: %d steps, %d (task,processor) evaluations", res.Steps, res.Evaluations),
@@ -45,6 +45,7 @@ func (d dlsScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sch
 			"steps":       float64(res.Steps),
 			"evaluations": float64(res.Evaluations),
 		},
-		Trace: &sched.DLSTrace{Steps: res.Steps, Evaluations: res.Evaluations},
-	}, nil
+	}
+	out.SetTrace(&sched.DLSTrace{Steps: res.Steps, Evaluations: res.Evaluations})
+	return out, nil
 }

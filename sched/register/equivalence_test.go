@@ -12,36 +12,35 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpop"
 	"repro/internal/dls"
-	"repro/internal/generator"
 	"repro/internal/heft"
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/internal/schedule"
-	"repro/internal/taskgraph"
 	"repro/sched"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // instance builds the shared random problem every cross-algorithm test
 // runs on.
-func instance(t *testing.T) (*taskgraph.Graph, *hetero.System) {
+func instance(t *testing.T) (*graph.Graph, *system.System) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(99))
-	g, err := generator.RandomLayered(80, 1.0, rng)
+	g, err := gen.RandomLayered(80, 1.0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw, err := network.Hypercube(3)
+	nw, err := system.Hypercube(3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+	sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return g, sys
 }
 
-func marshal(t *testing.T, s *schedule.Schedule) []byte {
+func marshal(t *testing.T, s json.Marshaler) []byte {
 	t.Helper()
 	b, err := json.Marshal(s)
 	if err != nil {
@@ -166,7 +165,7 @@ func TestEveryRegisteredSchedulerProducesValidSchedules(t *testing.T) {
 // before running.
 func TestInvalidProblemRejected(t *testing.T) {
 	g, sys := instance(t)
-	small, err := generator.RandomLayered(10, 1.0, rand.New(rand.NewSource(1)))
+	small, err := gen.RandomLayered(10, 1.0, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,9 +278,9 @@ func TestBSATraceCarriesSerializationDetail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trace, ok := res.Trace.(*sched.BSATrace)
+	trace, ok := res.BSA()
 	if !ok {
-		t.Fatalf("Trace=%T, want *sched.BSATrace", res.Trace)
+		t.Fatalf("Trace=%T, want *sched.BSATrace", res.TraceAny())
 	}
 	if trace.PivotName == "" {
 		t.Error("empty PivotName")

@@ -31,15 +31,16 @@ func (h heftScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sc
 	if err != nil {
 		return nil, err
 	}
-	return &sched.Result{
+	out := &sched.Result{
 		Algorithm: "heft",
-		Schedule:  res.Schedule,
+		Schedule:  view(res.Schedule),
 		Makespan:  res.Schedule.Length(),
 		Elapsed:   time.Since(start),
 		Summary:   fmt.Sprintf("heft: %d tasks by non-increasing upward rank", p.Graph.NumTasks()),
 		Stats: sched.Stats{
 			"tasks": float64(p.Graph.NumTasks()),
 		},
-		Trace: &sched.HEFTTrace{Ranks: res.Ranks},
-	}, nil
+	}
+	out.SetTrace(&sched.HEFTTrace{Ranks: res.Ranks})
+	return out, nil
 }

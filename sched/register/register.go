@@ -9,3 +9,14 @@
 // internal/core, internal/dls, internal/heft and internal/cpop algorithm
 // packages; everything else goes through repro/sched.
 package register
+
+import (
+	"repro/internal/schedule"
+	"repro/sched"
+	"repro/sched/internal/bridge"
+)
+
+// view wraps an engine schedule into the public read-only sched.Schedule.
+// bridge.NewView is installed by package sched at init; sched is imported
+// here, so the hook is always set before any adapter runs.
+func view(s *schedule.Schedule) *sched.Schedule { return bridge.NewView(s).(*sched.Schedule) }

@@ -6,9 +6,8 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/hetero"
-	"repro/internal/schedule"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // Problem is one scheduling instance: a precedence-constrained task graph
@@ -16,13 +15,13 @@ import (
 // processor network and link model, so message routing is part of the
 // problem, not of the caller's setup.
 type Problem struct {
-	Graph  *taskgraph.Graph
-	System *hetero.System
+	Graph  *graph.Graph
+	System *system.System
 }
 
 // NewProblem bundles a graph and a system after validating that they fit
 // together.
-func NewProblem(g *taskgraph.Graph, sys *hetero.System) (Problem, error) {
+func NewProblem(g *graph.Graph, sys *system.System) (Problem, error) {
 	p := Problem{Graph: g, System: sys}
 	if err := p.Validate(); err != nil {
 		return Problem{}, err
@@ -65,10 +64,10 @@ type Result struct {
 	// result.
 	Algorithm string
 
-	// Schedule is the complete feasible schedule: task slots, message
-	// slots with per-hop link reservations, and the timelines behind
-	// them. It always passes (*schedule.Schedule).Validate.
-	Schedule *schedule.Schedule
+	// Schedule is the complete feasible schedule: task slots and message
+	// slots with per-hop link reservations, as a read-only view. It
+	// always passes Schedule.Validate.
+	Schedule *Schedule
 
 	// Makespan is Schedule.Length(), the paper's "schedule length".
 	Makespan float64
@@ -85,10 +84,49 @@ type Result struct {
 	// algorithm; shared ones include "evaluations".
 	Stats Stats
 
-	// Trace is the algorithm-specific structured trace: *BSATrace,
-	// *DLSTrace, *HEFTTrace or *CPOPTrace for the built-in algorithms.
-	// It may be nil.
-	Trace any
+	// trace is the algorithm-specific structured trace, reachable through
+	// the typed accessors (BSA, DLS, HEFT, CPOP) or TraceAny.
+	trace any
+}
+
+// SetTrace attaches the algorithm-specific structured trace to the
+// result. Algorithm adapters call it; the built-in algorithms attach
+// *BSATrace, *DLSTrace, *HEFTTrace or *CPOPTrace, reachable through the
+// typed accessors below. Third-party Scheduler implementations may attach
+// any type of their own and document it.
+func (r *Result) SetTrace(trace any) { r.trace = trace }
+
+// TraceAny returns the raw attached trace, or nil. Prefer the typed
+// accessors; TraceAny exists for third-party algorithms whose trace types
+// this package cannot know.
+func (r *Result) TraceAny() any { return r.trace }
+
+// BSA returns the BSA trace when the result was produced by the "bsa" or
+// "bsa-full" algorithms.
+func (r *Result) BSA() (*BSATrace, bool) {
+	t, ok := r.trace.(*BSATrace)
+	return t, ok
+}
+
+// DLS returns the DLS trace when the result was produced by the "dls"
+// algorithm.
+func (r *Result) DLS() (*DLSTrace, bool) {
+	t, ok := r.trace.(*DLSTrace)
+	return t, ok
+}
+
+// HEFT returns the HEFT trace when the result was produced by the "heft"
+// algorithm.
+func (r *Result) HEFT() (*HEFTTrace, bool) {
+	t, ok := r.trace.(*HEFTTrace)
+	return t, ok
+}
+
+// CPOP returns the CPOP trace when the result was produced by the "cpop"
+// algorithm.
+func (r *Result) CPOP() (*CPOPTrace, bool) {
+	t, ok := r.trace.(*CPOPTrace)
+	return t, ok
 }
 
 // Stats is a bag of named numeric counters describing one run.

@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"io"
+
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/sched/graph"
+	"repro/sched/internal/bridge"
+	"repro/sched/system"
+)
+
+// Schedule is the read-only view of a complete feasible schedule: where
+// and when every task executes and how every message crosses the network,
+// hop by hop. Results hand it out; the view offers no mutators, so a
+// Result can be shared freely across goroutines.
+//
+// Graph and System return the problem inputs the schedule was computed
+// against — the same objects the caller passed in, not copies. The view
+// stays consistent only as long as those inputs are left unmodified
+// (graphs are immutable by construction; a System's exported factor
+// matrices are not, so don't write to them after scheduling).
+//
+// The underlying representation is the engines' mutable schedule, which
+// stays internal: this view is the only schedule shape the public API
+// exposes.
+type Schedule struct {
+	s *schedule.Schedule
+}
+
+func init() {
+	bridge.NewView = func(s *schedule.Schedule) any { return &Schedule{s: s} }
+}
+
+// TaskSlot records where and when one task executes.
+type TaskSlot struct {
+	Proc   system.ProcID
+	Start  float64
+	End    float64
+	Placed bool
+}
+
+// Hop is one link traversal of a message: the message occupies Link for
+// [Start, End) while moving From -> To.
+type Hop struct {
+	Link  system.LinkID
+	From  system.ProcID
+	To    system.ProcID
+	Start float64
+	End   float64
+}
+
+// MessageSlot records the placement of one message: its hop sequence
+// (empty for an intra-processor message) and arrival time at the
+// destination processor.
+type MessageSlot struct {
+	Hops    []Hop
+	Arrival float64
+	Placed  bool
+}
+
+// ScheduleStats summarises a complete schedule (see Schedule.Stats).
+type ScheduleStats struct {
+	Length        float64 // makespan (the paper's schedule length, SL)
+	TotalComm     float64 // total link occupancy time
+	ProcBusy      float64 // summed task execution time
+	AvgProcUtil   float64 // ProcBusy / (m * Length)
+	AvgLinkUtil   float64 // TotalComm / (links * Length)
+	UsedProcs     int     // processors executing at least one task
+	UsedLinks     int     // links carrying at least one hop
+	LocalMsgs     int     // messages with zero hops
+	RemoteMsgs    int     // messages crossing at least one link
+	MaxRouteHops  int     // longest message route
+	MeanRouteHops float64 // mean hops over remote messages
+}
+
+// String renders the stats on one line.
+func (st ScheduleStats) String() string { return schedule.Stats(st).String() }
+
+// ReplayResult reports the outcome of an event-driven replay (see
+// Schedule.Replay).
+type ReplayResult struct {
+	// Events is the number of simulation events processed.
+	Events int
+	// Length is the simulated makespan. It can close reserved idle gaps
+	// but never exceeds the static schedule length.
+	Length float64
+}
+
+// AssembleSchedule builds a Schedule view from explicit slot data: one
+// placed TaskSlot per task and one placed MessageSlot per message of
+// p.Graph. Every slot is re-reserved on its processor or link timeline
+// and the assembled schedule must pass Validate, so an infeasible
+// assembly (overlaps, broken routes, precedence violations, wrong
+// durations) is rejected with a descriptive error.
+//
+// This is the constructor for third-party Scheduler implementations:
+// an external algorithm places tasks and messages however it likes,
+// then hands the slots to AssembleSchedule to populate Result.Schedule
+// with a first-class, verified view — the same shape the built-in
+// algorithms return.
+func AssembleSchedule(p Problem, tasks []TaskSlot, msgs []MessageSlot) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	its := make([]schedule.TaskSlot, len(tasks))
+	for i := range tasks {
+		its[i] = schedule.TaskSlot(tasks[i])
+	}
+	ims := make([]schedule.MsgSlot, len(msgs))
+	for i := range msgs {
+		hops := make([]schedule.Hop, len(msgs[i].Hops))
+		for h, hop := range msgs[i].Hops {
+			hops[h] = schedule.Hop(hop)
+		}
+		ims[i] = schedule.MsgSlot{Hops: hops, Arrival: msgs[i].Arrival, Placed: msgs[i].Placed}
+	}
+	s, err := schedule.FromSlots(p.Graph, p.System, its, ims)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s}, nil
+}
+
+// Graph returns the task graph this schedule maps.
+func (s *Schedule) Graph() *graph.Graph { return s.s.G }
+
+// System returns the target system this schedule maps onto.
+func (s *Schedule) System() *system.System { return s.s.Sys }
+
+// Length returns the schedule length (makespan): the maximum task finish
+// time.
+func (s *Schedule) Length() float64 { return s.s.Length() }
+
+// TotalComm returns the total time messages occupy links (the paper's
+// "total communication costs").
+func (s *Schedule) TotalComm() float64 { return s.s.TotalComm() }
+
+// MaxFinish returns the latest time anything (task or message hop)
+// happens.
+func (s *Schedule) MaxFinish() float64 { return s.s.MaxFinish() }
+
+// Complete reports whether every task (and hence every message) is
+// placed.
+func (s *Schedule) Complete() bool { return s.s.Complete() }
+
+// Task returns the slot of task t.
+func (s *Schedule) Task(t graph.TaskID) TaskSlot { return TaskSlot(s.s.Tasks[t]) }
+
+// Tasks returns a copy of every task slot, indexed by TaskID.
+func (s *Schedule) Tasks() []TaskSlot {
+	out := make([]TaskSlot, len(s.s.Tasks))
+	for i := range s.s.Tasks {
+		out[i] = TaskSlot(s.s.Tasks[i])
+	}
+	return out
+}
+
+// ProcOf returns the processor of a placed task.
+func (s *Schedule) ProcOf(t graph.TaskID) system.ProcID { return s.s.ProcOf(t) }
+
+// Message returns the slot of message e, with a copy of its hop sequence.
+func (s *Schedule) Message(e graph.EdgeID) MessageSlot { return messageSlot(&s.s.Msgs[e]) }
+
+// Messages returns a copy of every message slot, indexed by EdgeID.
+func (s *Schedule) Messages() []MessageSlot {
+	out := make([]MessageSlot, len(s.s.Msgs))
+	for i := range s.s.Msgs {
+		out[i] = messageSlot(&s.s.Msgs[i])
+	}
+	return out
+}
+
+func messageSlot(ms *schedule.MsgSlot) MessageSlot {
+	out := MessageSlot{Arrival: ms.Arrival, Placed: ms.Placed}
+	if len(ms.Hops) > 0 {
+		out.Hops = make([]Hop, len(ms.Hops))
+		for i, h := range ms.Hops {
+			out.Hops[i] = Hop(h)
+		}
+	}
+	return out
+}
+
+// Arrival returns the data arrival time of message e at its destination's
+// processor. For an intra-processor message this is the sender's finish
+// time.
+func (s *Schedule) Arrival(e graph.EdgeID) float64 { return s.s.Arrival(e) }
+
+// Stats derives summary statistics from the schedule.
+func (s *Schedule) Stats() ScheduleStats { return ScheduleStats(s.s.ComputeStats()) }
+
+// Validate checks feasibility: every task placed with its actual
+// execution cost, no processor or link overlap, contiguous
+// store-and-forward routes with actual communication costs, and no task
+// starting before its data is ready. It returns the first violation, or
+// nil.
+func (s *Schedule) Validate() error { return s.s.Validate() }
+
+// Replay cross-checks the schedule with an independent event-driven
+// execution simulator: it keeps only the schedule's decisions (task
+// placement, routes, per-resource service orders) and recomputes all
+// times from the event dynamics, failing if anything the static schedule
+// promised cannot be reproduced.
+func (s *Schedule) Replay() (ReplayResult, error) {
+	r, err := sim.Replay(s.s)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	if err := r.CheckAgainst(s.s); err != nil {
+		return ReplayResult{}, err
+	}
+	return ReplayResult{Events: r.Events, Length: r.Length}, nil
+}
+
+// Verify runs Validate and Replay, returning the first error.
+func (s *Schedule) Verify() error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	_, err := s.Replay()
+	return err
+}
+
+// Assignment returns task names grouped by processor name, in start-time
+// order — convenient for compact logging.
+func (s *Schedule) Assignment() map[string][]string { return s.s.Assignment() }
+
+// WriteGantt renders the schedule as text in the style of the paper's
+// Figure 2: one section per processor listing task slots in time order,
+// and one per link listing message hops.
+func (s *Schedule) WriteGantt(w io.Writer) error { return s.s.WriteGantt(w) }
+
+// WriteGanttChart renders a proportional ASCII Gantt chart, width columns
+// wide.
+func (s *Schedule) WriteGanttChart(w io.Writer, width int) error {
+	return s.s.WriteGanttChart(w, width)
+}
+
+// MarshalJSON exports the schedule in a stable, name-keyed format: task
+// slots, message hop reservations and the derived length — enough to
+// render a Gantt chart or feed an external visualizer.
+func (s *Schedule) MarshalJSON() ([]byte, error) { return s.s.MarshalJSON() }
+
+// WriteJSON writes the schedule to w as indented JSON.
+func (s *Schedule) WriteJSON(w io.Writer) error { return s.s.WriteJSON(w) }

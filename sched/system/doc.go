@@ -1,0 +1,20 @@
+// Package system models the public heterogeneous target system: a
+// processor Network joined by undirected communication links, and the
+// System heterogeneity factor matrices scaling nominal task and message
+// costs per processor and per link.
+//
+// Networks are built with a Builder or the topology constructors used in
+// the paper's evaluation (Ring, Hypercube, FullyConnected,
+// RandomConnected, plus Mesh2D, Star, BinaryTree, Line), loaded/saved as
+// JSON or Graphviz DOT, and expose breadth-first processor orders (used
+// by BSA's pivot sweep) and shortest-path routing tables (used by the
+// DLS baseline). A link is a single half-duplex resource: one message
+// occupies it at a time regardless of direction, matching the per-link
+// Gantt rows of the paper's Figure 2.
+//
+// A System couples a network with the factor matrices h_ix (task i on
+// processor x) and h'_ijxy (message ij on link xy) of the paper for a
+// specific graph size; see NewUniform, NewRandom, NewRandomNormalized and
+// NewRandomMinNormalized for the factory models, and SystemFromJSON /
+// System.WriteJSON for interchange.
+package system

@@ -1,0 +1,93 @@
+package system
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	netHeaderRe = regexp.MustCompile(`^graph (".*") \{$`)
+	netNodeRe   = regexp.MustCompile(`^\s*p(\d+) \[label=(".*")\];$`)
+	netLinkRe   = regexp.MustCompile(`^\s*p(\d+) -- p(\d+);$`)
+)
+
+// FromDOT decodes a network previously written by Network.WriteDOT,
+// returning the network and the graph title. It parses the restricted DOT
+// subset WriteDOT emits (one statement per line), not arbitrary Graphviz
+// input, and validates the result like Builder.Build.
+func FromDOT(data []byte) (*Network, string, error) {
+	b := NewBuilder()
+	title := ""
+	sawHeader := false
+	line := 0
+	for len(data) > 0 {
+		raw := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			raw, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		line++
+		text := strings.TrimRight(string(raw), " \t\r")
+		switch {
+		case text == "" || text == "}":
+			continue
+		case strings.HasPrefix(text, "graph "):
+			m := netHeaderRe.FindStringSubmatch(text)
+			if m == nil {
+				return nil, "", fmt.Errorf("system: dot line %d: malformed graph header", line)
+			}
+			t, err := strconv.Unquote(m[1])
+			if err != nil {
+				return nil, "", fmt.Errorf("system: dot line %d: bad title: %v", line, err)
+			}
+			title = t
+			sawHeader = true
+		case !sawHeader:
+			return nil, "", fmt.Errorf("system: dot line %d: statement before graph header", line)
+		default:
+			if m := netLinkRe.FindStringSubmatch(text); m != nil {
+				p, _ := strconv.Atoi(m[1])
+				q, _ := strconv.Atoi(m[2])
+				b.Connect(ProcID(p), ProcID(q))
+				continue
+			}
+			if m := netNodeRe.FindStringSubmatch(text); m != nil {
+				id, _ := strconv.Atoi(m[1])
+				name, err := strconv.Unquote(m[2])
+				if err != nil {
+					return nil, "", fmt.Errorf("system: dot line %d: bad processor label: %v", line, err)
+				}
+				if got := b.AddProc(name); int(got) != id {
+					return nil, "", fmt.Errorf("system: dot line %d: processor id p%d out of order (want p%d)", line, id, got)
+				}
+				continue
+			}
+			if strings.HasPrefix(strings.TrimSpace(text), "p") {
+				return nil, "", fmt.Errorf("system: dot line %d: malformed statement %q", line, text)
+			}
+			// Attribute lines (node defaults, ...) are ignored.
+		}
+	}
+	if !sawHeader {
+		return nil, "", fmt.Errorf("system: dot input has no graph header")
+	}
+	nw, err := b.Build()
+	if err != nil {
+		return nil, "", err
+	}
+	return nw, title, nil
+}
+
+// ReadDOT decodes a network written by Network.WriteDOT from r.
+func ReadDOT(r io.Reader) (*Network, string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, "", err
+	}
+	return FromDOT(data)
+}

@@ -1,0 +1,236 @@
+package system
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ring4(t *testing.T) *Network {
+	t.Helper()
+	nw, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewUniform(t *testing.T) {
+	nw := ring4(t)
+	s := NewUniform(nw, 5, 7)
+	if err := s.Validate(5, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ExecFactor(3, 2); got != 1 {
+		t.Errorf("ExecFactor=%v, want 1", got)
+	}
+	if got := s.CommFactor(6, 1); got != 1 {
+		t.Errorf("CommFactor=%v, want 1 (nil Comm)", got)
+	}
+	if got := s.ExecCost(0, 0, 42); got != 42 {
+		t.Errorf("ExecCost=%v, want 42", got)
+	}
+	if got := s.CommCost(0, 0, 13); got != 13 {
+		t.Errorf("CommCost=%v, want 13", got)
+	}
+}
+
+func TestNewRandomRange(t *testing.T) {
+	nw := ring4(t)
+	rng := rand.New(rand.NewSource(9))
+	s, err := NewRandom(nw, 10, 15, 1, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(10, 15); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Exec {
+		for _, f := range s.Exec[i] {
+			if f < 1 || f > 50 {
+				t.Fatalf("exec factor %v outside [1,50]", f)
+			}
+		}
+	}
+	for i := range s.Comm {
+		for _, f := range s.Comm[i] {
+			if f < 1 || f > 50 {
+				t.Fatalf("comm factor %v outside [1,50]", f)
+			}
+		}
+	}
+}
+
+func TestNewRandomErrors(t *testing.T) {
+	nw := ring4(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewRandom(nw, 1, 1, 0, 50, rng); err == nil {
+		t.Error("lo=0 should fail")
+	}
+	if _, err := NewRandom(nw, 1, 1, 5, 2, rng); err == nil {
+		t.Error("hi<lo should fail")
+	}
+}
+
+func TestNewRandomNormalizedMeanOne(t *testing.T) {
+	nw := ring4(t)
+	rng := rand.New(rand.NewSource(21))
+	for _, hi := range []float64{10, 50, 200} {
+		s, err := NewRandomNormalized(nw, 200, 300, 1, hi, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		var cnt int
+		for i := range s.Exec {
+			for _, f := range s.Exec[i] {
+				sum += f
+				cnt++
+				if f <= 0 {
+					t.Fatal("non-positive normalized factor")
+				}
+			}
+		}
+		mean := sum / float64(cnt)
+		if mean < 0.93 || mean > 1.07 {
+			t.Errorf("hi=%v: mean exec factor %v, want ~1", hi, mean)
+		}
+		sum, cnt = 0, 0
+		for i := range s.Comm {
+			for _, f := range s.Comm[i] {
+				sum += f
+				cnt++
+			}
+		}
+		mean = sum / float64(cnt)
+		if mean < 0.93 || mean > 1.07 {
+			t.Errorf("hi=%v: mean comm factor %v, want ~1", hi, mean)
+		}
+	}
+	if _, err := NewRandomNormalized(nw, 1, 1, 0, 50, rng); err == nil {
+		t.Error("invalid range should fail")
+	}
+}
+
+func TestExecCostsOn(t *testing.T) {
+	nw := ring4(t)
+	s := NewUniform(nw, 3, 0)
+	s.Exec[0][1] = 2
+	s.Exec[1][1] = 3
+	s.Exec[2][1] = 4
+	got := s.ExecCostsOn(1, []float64{10, 10, 10})
+	want := []float64{20, 30, 40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExecCostsOn=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestMedianExecFactorCost(t *testing.T) {
+	nw := ring4(t) // 4 processors: median = mean of middle two
+	s := NewUniform(nw, 2, 0)
+	s.Exec[0] = []float64{1, 2, 3, 10}
+	s.Exec[1] = []float64{4, 4, 4, 4}
+	got := s.MedianExecFactorCost([]float64{10, 100})
+	if got[0] != 25 { // median(1,2,3,10)=2.5 * 10
+		t.Errorf("median[0]=%v, want 25", got[0])
+	}
+	if got[1] != 400 {
+		t.Errorf("median[1]=%v, want 400", got[1])
+	}
+}
+
+func TestMedianOddProcessors(t *testing.T) {
+	nw, err := Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniform(nw, 1, 0)
+	s.Exec[0] = []float64{9, 1, 5}
+	got := s.MedianExecFactorCost([]float64{2})
+	if got[0] != 10 { // median(1,5,9)=5 * 2
+		t.Errorf("median=%v, want 10", got[0])
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	nw := ring4(t)
+	cases := []struct {
+		name string
+		mut  func(s *System)
+		want string
+	}{
+		{"nil net", func(s *System) { s.Net = nil }, "nil network"},
+		{"exec rows", func(s *System) { s.Exec = s.Exec[:1] }, "rows"},
+		{"exec cols", func(s *System) { s.Exec[0] = s.Exec[0][:2] }, "cols"},
+		{"exec nonpositive", func(s *System) { s.Exec[1][1] = 0 }, "positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewUniform(nw, 3, 2)
+			tc.mut(s)
+			if err := s.Validate(3, 2); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err=%v, want %q", err, tc.want)
+			}
+		})
+	}
+	// Comm matrix errors.
+	rng := rand.New(rand.NewSource(2))
+	s, _ := NewRandom(nw, 3, 2, 1, 2, rng)
+	s.Comm = s.Comm[:1]
+	if err := s.Validate(3, 2); err == nil || !strings.Contains(err.Error(), "Comm") {
+		t.Errorf("short Comm: %v", err)
+	}
+	s, _ = NewRandom(nw, 3, 2, 1, 2, rng)
+	s.Comm[0][0] = -1
+	if err := s.Validate(3, 2); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Errorf("negative comm factor: %v", err)
+	}
+	s, _ = NewRandom(nw, 3, 2, 1, 2, rng)
+	s.Comm[1] = s.Comm[1][:1]
+	if err := s.Validate(3, 2); err == nil || !strings.Contains(err.Error(), "cols") {
+		t.Errorf("short comm row: %v", err)
+	}
+}
+
+func TestMedianPropertyBounds(t *testing.T) {
+	// Median cost lies within [min, max] actual cost across processors.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw, err := Ring(2 + int(nRaw)%8)
+		if err != nil {
+			return true
+		}
+		n := 1 + int(nRaw)%10
+		s, err := NewRandom(nw, n, 0, 1, 50, rng)
+		if err != nil {
+			return false
+		}
+		nominal := make([]float64, n)
+		for i := range nominal {
+			nominal[i] = 1 + rng.Float64()*100
+		}
+		med := s.MedianExecFactorCost(nominal)
+		for i := 0; i < n; i++ {
+			lo, hi := s.ExecCost(i, 0, nominal[i]), s.ExecCost(i, 0, nominal[i])
+			for p := 0; p < nw.NumProcs(); p++ {
+				c := s.ExecCost(i, ProcID(p), nominal[i])
+				if c < lo {
+					lo = c
+				}
+				if c > hi {
+					hi = c
+				}
+			}
+			if med[i] < lo-1e-9 || med[i] > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package system
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+type networkJSON struct {
+	Procs []string    `json:"procs"`
+	Links [][2]string `json:"links"`
+}
+
+// MarshalJSON encodes the network with processor names as link endpoints.
+func (nw *Network) MarshalJSON() ([]byte, error) {
+	j := networkJSON{Procs: make([]string, 0, nw.NumProcs())}
+	for _, p := range nw.Procs() {
+		j.Procs = append(j.Procs, p.Name)
+	}
+	for _, l := range nw.Links() {
+		j.Links = append(j.Links, [2]string{nw.Proc(l.A).Name, nw.Proc(l.B).Name})
+	}
+	return json.Marshal(j)
+}
+
+// FromJSON decodes a network previously written by MarshalJSON.
+func FromJSON(data []byte) (*Network, error) {
+	var j networkJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("system: decode: %w", err)
+	}
+	b := NewBuilder()
+	ids := make(map[string]ProcID, len(j.Procs))
+	for _, name := range j.Procs {
+		ids[name] = b.AddProc(name)
+	}
+	for _, l := range j.Links {
+		a, ok := ids[l[0]]
+		if !ok {
+			return nil, fmt.Errorf("system: link references unknown processor %q", l[0])
+		}
+		c, ok := ids[l[1]]
+		if !ok {
+			return nil, fmt.Errorf("system: link references unknown processor %q", l[1])
+		}
+		b.Connect(a, c)
+	}
+	return b.Build()
+}
+
+// ReadJSON decodes a network from r.
+func ReadJSON(r io.Reader) (*Network, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromJSON(data)
+}
+
+// WriteJSON writes the network to w as indented JSON.
+func (nw *Network) WriteJSON(w io.Writer) error {
+	data, err := nw.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(json.RawMessage(data), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}
+
+// WriteDOT writes the network as an undirected Graphviz graph.
+func (nw *Network) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n  node [shape=box];\n", title)
+	for _, p := range nw.Procs() {
+		fmt.Fprintf(&b, "  p%d [label=%q];\n", p.ID, p.Name)
+	}
+	for _, l := range nw.Links() {
+		fmt.Fprintf(&b, "  p%d -- p%d;\n", l.A, l.B)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

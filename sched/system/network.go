@@ -1,0 +1,222 @@
+// This file models the system's interconnect: processors joined by
+// undirected communication links, breadth-first processor orders and the
+// incremental Builder behind the topology constructors.
+
+package system
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcID identifies a processor; IDs are dense indices 0..NumProcs-1.
+type ProcID int32
+
+// LinkID identifies a link; IDs are dense indices 0..NumLinks-1.
+type LinkID int32
+
+// Processor is a node of the network.
+type Processor struct {
+	ID   ProcID
+	Name string
+}
+
+// Link is an undirected communication link between processors A and B
+// (A < B by construction).
+type Link struct {
+	ID LinkID
+	A  ProcID
+	B  ProcID
+}
+
+// Other returns the endpoint of l that is not p.
+func (l Link) Other(p ProcID) ProcID {
+	if p == l.A {
+		return l.B
+	}
+	return l.A
+}
+
+// Has reports whether p is an endpoint of l.
+func (l Link) Has(p ProcID) bool { return p == l.A || p == l.B }
+
+// Adj is one adjacency entry: the neighbouring processor and the link
+// reaching it.
+type Adj struct {
+	Proc ProcID
+	Link LinkID
+}
+
+// Network is an immutable processor interconnect. Construct one with a
+// Builder or one of the topology constructors.
+type Network struct {
+	procs []Processor
+	links []Link
+	adj   [][]Adj // per processor, sorted by neighbour ID
+}
+
+// NumProcs returns the number of processors m.
+func (nw *Network) NumProcs() int { return len(nw.procs) }
+
+// NumLinks returns the number of links.
+func (nw *Network) NumLinks() int { return len(nw.links) }
+
+// Proc returns the processor with the given ID.
+func (nw *Network) Proc(id ProcID) Processor { return nw.procs[id] }
+
+// Link returns the link with the given ID.
+func (nw *Network) Link(id LinkID) Link { return nw.links[id] }
+
+// Procs returns all processors in ID order. The slice must not be modified.
+func (nw *Network) Procs() []Processor { return nw.procs }
+
+// Links returns all links in ID order. The slice must not be modified.
+func (nw *Network) Links() []Link { return nw.links }
+
+// Neighbors returns the adjacency list of p, sorted by neighbour ID. The
+// slice must not be modified.
+func (nw *Network) Neighbors(p ProcID) []Adj { return nw.adj[p] }
+
+// Degree returns the number of links incident to p.
+func (nw *Network) Degree(p ProcID) int { return len(nw.adj[p]) }
+
+// LinkBetween returns the link joining p and q, if any.
+func (nw *Network) LinkBetween(p, q ProcID) (LinkID, bool) {
+	for _, a := range nw.adj[p] {
+		if a.Proc == q {
+			return a.Link, true
+		}
+	}
+	return -1, false
+}
+
+// IsConnected reports whether every processor is reachable from every
+// other.
+func (nw *Network) IsConnected() bool {
+	m := len(nw.procs)
+	if m <= 1 {
+		return true
+	}
+	return len(nw.BFSOrder(0)) == m
+}
+
+// BFSOrder returns the processors in breadth-first order from start, with
+// neighbours visited in increasing ID order. BSA uses this as its pivot
+// order. Unreachable processors are omitted.
+func (nw *Network) BFSOrder(start ProcID) []ProcID {
+	m := len(nw.procs)
+	seen := make([]bool, m)
+	order := make([]ProcID, 0, m)
+	queue := []ProcID{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		order = append(order, p)
+		for _, a := range nw.adj[p] {
+			if !seen[a.Proc] {
+				seen[a.Proc] = true
+				queue = append(queue, a.Proc)
+			}
+		}
+	}
+	return order
+}
+
+// String returns a short human-readable summary.
+func (nw *Network) String() string {
+	return fmt.Sprintf("network{m=%d links=%d}", len(nw.procs), len(nw.links))
+}
+
+// Builder assembles a Network incrementally. The zero value is not usable;
+// call NewBuilder.
+type Builder struct {
+	nw    Network
+	seen  map[[2]ProcID]bool
+	names map[string]bool
+	err   error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{seen: make(map[[2]ProcID]bool), names: make(map[string]bool)}
+}
+
+// AddProc adds a processor and returns its ID. Names must be unique and
+// non-empty.
+func (b *Builder) AddProc(name string) ProcID {
+	id := ProcID(len(b.nw.procs))
+	if b.err != nil {
+		return id
+	}
+	if name == "" {
+		b.fail(fmt.Errorf("system: empty processor name"))
+		return id
+	}
+	if b.names[name] {
+		b.fail(fmt.Errorf("system: duplicate processor name %q", name))
+		return id
+	}
+	b.names[name] = true
+	b.nw.procs = append(b.nw.procs, Processor{ID: id, Name: name})
+	return id
+}
+
+// Connect adds an undirected link between p and q and returns its ID.
+// Self-links and duplicate links are errors.
+func (b *Builder) Connect(p, q ProcID) LinkID {
+	id := LinkID(len(b.nw.links))
+	if b.err != nil {
+		return id
+	}
+	m := ProcID(len(b.nw.procs))
+	switch {
+	case p < 0 || p >= m || q < 0 || q >= m:
+		b.fail(fmt.Errorf("system: link endpoint out of range: %d-%d (m=%d)", p, q, m))
+		return id
+	case p == q:
+		b.fail(fmt.Errorf("system: self-link on processor %d", p))
+		return id
+	}
+	if p > q {
+		p, q = q, p
+	}
+	key := [2]ProcID{p, q}
+	if b.seen[key] {
+		b.fail(fmt.Errorf("system: duplicate link %d-%d", p, q))
+		return id
+	}
+	b.seen[key] = true
+	b.nw.links = append(b.nw.links, Link{ID: id, A: p, B: q})
+	return id
+}
+
+// Build finalizes the network. It requires at least one processor and a
+// connected topology.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	nw := &b.nw
+	if len(nw.procs) == 0 {
+		return nil, fmt.Errorf("system: no processors")
+	}
+	nw.adj = make([][]Adj, len(nw.procs))
+	for _, l := range nw.links {
+		nw.adj[l.A] = append(nw.adj[l.A], Adj{Proc: l.B, Link: l.ID})
+		nw.adj[l.B] = append(nw.adj[l.B], Adj{Proc: l.A, Link: l.ID})
+	}
+	for i := range nw.adj {
+		sort.Slice(nw.adj[i], func(a, b int) bool { return nw.adj[i][a].Proc < nw.adj[i][b].Proc })
+	}
+	if !nw.IsConnected() {
+		return nil, fmt.Errorf("system: topology is not connected")
+	}
+	return nw, nil
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}

@@ -1,0 +1,103 @@
+package system
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder()
+	p0 := b.AddProc("P1")
+	p1 := b.AddProc("P2")
+	p2 := b.AddProc("P3")
+	l01 := b.Connect(p0, p1)
+	l12 := b.Connect(p2, p1) // reversed order normalizes to (1,2)
+	nw, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumProcs() != 3 || nw.NumLinks() != 2 {
+		t.Fatalf("got m=%d links=%d", nw.NumProcs(), nw.NumLinks())
+	}
+	if l := nw.Link(l12); l.A != 1 || l.B != 2 {
+		t.Errorf("link endpoints not normalized: %+v", l)
+	}
+	if got, ok := nw.LinkBetween(p0, p1); !ok || got != l01 {
+		t.Errorf("LinkBetween(0,1)=%v,%v", got, ok)
+	}
+	if _, ok := nw.LinkBetween(p0, p2); ok {
+		t.Error("LinkBetween(0,2) should not exist")
+	}
+	if nw.Degree(p1) != 2 || nw.Degree(p0) != 1 {
+		t.Errorf("degrees wrong: %d %d", nw.Degree(p1), nw.Degree(p0))
+	}
+	if !nw.IsConnected() {
+		t.Error("line of 3 is connected")
+	}
+	l := nw.Link(l01)
+	if l.Other(p0) != p1 || l.Other(p1) != p0 || !l.Has(p0) || l.Has(p2) {
+		t.Error("Link.Other/Has wrong")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{"empty name", func(b *Builder) { b.AddProc("") }, "empty processor name"},
+		{"dup name", func(b *Builder) { b.AddProc("x"); b.AddProc("x") }, "duplicate processor name"},
+		{"no procs", func(b *Builder) {}, "no processors"},
+		{"self link", func(b *Builder) { p := b.AddProc("x"); b.Connect(p, p) }, "self-link"},
+		{"range", func(b *Builder) { b.AddProc("x"); b.Connect(0, 9) }, "out of range"},
+		{"dup link", func(b *Builder) {
+			p := b.AddProc("x")
+			q := b.AddProc("y")
+			b.Connect(p, q)
+			b.Connect(q, p)
+		}, "duplicate link"},
+		{"disconnected", func(b *Builder) { b.AddProc("x"); b.AddProc("y") }, "not connected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder()
+			tc.build(b)
+			if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err=%v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBFSOrder(t *testing.T) {
+	nw, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nw.BFSOrder(0)
+	// Ring 0-1-2-3-4-5-0: from 0, neighbours {1,5}, then {2},{4}, then {3}.
+	want := []ProcID{0, 1, 5, 2, 4, 3}
+	if len(got) != len(want) {
+		t.Fatalf("BFSOrder=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BFSOrder=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestBFSOrderFromNonzero(t *testing.T) {
+	nw, err := Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nw.BFSOrder(2)
+	want := []ProcID{2, 1, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BFSOrder(2)=%v, want %v", got, want)
+		}
+	}
+}

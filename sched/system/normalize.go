@@ -1,0 +1,52 @@
+package system
+
+// RouteNormalizer splices loops out of link routes exactly like
+// NormalizeRoute, but rewrites the route in place and reuses its internal
+// buffers across calls, so a scheduler pruning routes on every migration
+// commit performs no per-call allocations. A normalizer must not be shared
+// between goroutines.
+type RouteNormalizer struct {
+	lastAt []int32  // last index of each processor in the current walk
+	procs  []ProcID // scratch: the processor sequence of the walk
+}
+
+// NewRouteNormalizer returns a normalizer for networks with numProcs
+// processors.
+func NewRouteNormalizer(numProcs int) *RouteNormalizer {
+	return &RouteNormalizer{lastAt: make([]int32, numProcs)}
+}
+
+// Normalize removes cycles from route, which must start at src: whenever
+// the walk revisits a processor, the intervening loop is spliced out. The
+// route is rewritten in place and the shortened prefix returned; the
+// result is identical to NormalizeRoute's.
+func (rn *RouteNormalizer) Normalize(nw *Network, src ProcID, route []LinkID) []LinkID {
+	if len(route) == 0 {
+		return route
+	}
+	procs := append(rn.procs[:0], src)
+	p := src
+	for _, l := range route {
+		p = nw.Link(l).Other(p)
+		procs = append(procs, p)
+	}
+	rn.procs = procs
+	// Only entries for processors on the walk are read, so lastAt needs no
+	// clearing between calls.
+	for i, q := range procs {
+		rn.lastAt[q] = int32(i)
+	}
+	// The write position k never passes the read position j (k <= i <= j),
+	// so compacting into the route's own prefix is safe.
+	k := 0
+	for i := 0; i < len(procs)-1; {
+		j := int(rn.lastAt[procs[i]])
+		if j >= len(procs)-1 {
+			break
+		}
+		route[k] = route[j]
+		k++
+		i = j + 1
+	}
+	return route[:k]
+}

@@ -1,0 +1,149 @@
+package system
+
+// Shortest-path routing support. BSA itself needs no routing table — routes
+// emerge from task migration — but the DLS baseline (and the HEFT/CPOP
+// extensions) route messages along precomputed shortest paths, as the paper
+// notes traditional schedulers must.
+
+// RoutingTable holds all-pairs shortest-path routing for a network. Routes
+// are deterministic: BFS explores neighbours in increasing processor ID
+// order, so among equal-hop routes the lexicographically smallest
+// predecessor chain wins.
+type RoutingTable struct {
+	nw *Network
+	// next[src][dst] is the first link on the route src->dst, -1 when
+	// src==dst.
+	next [][]LinkID
+	dist [][]int32
+}
+
+// NewRoutingTable precomputes shortest-path routes with one BFS per
+// processor: O(m * (m + links)).
+func NewRoutingTable(nw *Network) *RoutingTable {
+	m := nw.NumProcs()
+	rt := &RoutingTable{
+		nw:   nw,
+		next: make([][]LinkID, m),
+		dist: make([][]int32, m),
+	}
+	// BFS from every destination, recording each node's parent link toward
+	// the destination; next[src][dst] then falls out directly.
+	for dst := 0; dst < m; dst++ {
+		rt.next[dst] = make([]LinkID, m) // filled transposed below
+	}
+	parent := make([]LinkID, m)
+	distBuf := make([]int32, m)
+	for dst := 0; dst < m; dst++ {
+		for i := range parent {
+			parent[i] = -1
+			distBuf[i] = -1
+		}
+		distBuf[dst] = 0
+		queue := []ProcID{ProcID(dst)}
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, a := range nw.Neighbors(p) {
+				if distBuf[a.Proc] < 0 {
+					distBuf[a.Proc] = distBuf[p] + 1
+					parent[a.Proc] = a.Link
+					queue = append(queue, a.Proc)
+				}
+			}
+		}
+		for src := 0; src < m; src++ {
+			rt.next[src][dst] = parent[src]
+		}
+		rt.dist[dst] = append([]int32(nil), distBuf...)
+	}
+	// dist is symmetric for undirected graphs; store as dist[src][dst].
+	return rt
+}
+
+// Hops returns the shortest-path hop count from src to dst (0 when equal).
+func (rt *RoutingTable) Hops(src, dst ProcID) int {
+	return int(rt.dist[dst][src])
+}
+
+// Route appends the link sequence of the shortest path src->dst to dst0 and
+// returns it. The result is empty when src == dst.
+func (rt *RoutingTable) Route(src, dst ProcID, dst0 []LinkID) []LinkID {
+	for src != dst {
+		l := rt.next[src][dst]
+		dst0 = append(dst0, l)
+		src = rt.nw.Link(l).Other(src)
+	}
+	return dst0
+}
+
+// Diameter returns the largest shortest-path distance in the network.
+func (rt *RoutingTable) Diameter() int {
+	var d int32
+	for _, row := range rt.dist {
+		for _, v := range row {
+			if v > d {
+				d = v
+			}
+		}
+	}
+	return int(d)
+}
+
+// RouteProcs converts a link route starting at src into the visited
+// processor sequence [src, ..., dst].
+func RouteProcs(nw *Network, src ProcID, route []LinkID) []ProcID {
+	procs := make([]ProcID, 0, len(route)+1)
+	procs = append(procs, src)
+	p := src
+	for _, l := range route {
+		p = nw.Link(l).Other(p)
+		procs = append(procs, p)
+	}
+	return procs
+}
+
+// ValidRoute reports whether route is a contiguous link path from src to
+// dst (an empty route requires src == dst).
+func ValidRoute(nw *Network, src, dst ProcID, route []LinkID) bool {
+	p := src
+	for _, l := range route {
+		if l < 0 || int(l) >= nw.NumLinks() {
+			return false
+		}
+		lk := nw.Link(l)
+		if !lk.Has(p) {
+			return false
+		}
+		p = lk.Other(p)
+	}
+	return p == dst
+}
+
+// NormalizeRoute removes cycles from a route: whenever the walk revisits a
+// processor, the intervening loop is spliced out. The result visits each
+// processor at most once and still connects src to the same destination.
+// BSA applies this after extending routes across migrations, giving the
+// paper's "optimized routes" property.
+func NormalizeRoute(nw *Network, src ProcID, route []LinkID) []LinkID {
+	if len(route) == 0 {
+		return route
+	}
+	procs := RouteProcs(nw, src, route)
+	// lastAt[p] = last index in procs where p occurs.
+	lastAt := make(map[ProcID]int, len(procs))
+	for i, p := range procs {
+		lastAt[p] = i
+	}
+	out := make([]LinkID, 0, len(route))
+	for i := 0; i < len(procs)-1; {
+		// Jump straight to the last occurrence of the current processor,
+		// skipping any loop that returns here.
+		j := lastAt[procs[i]]
+		if j >= len(procs)-1 {
+			break
+		}
+		out = append(out, route[j])
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoutingTableRing(t *testing.T) {
+	nw, _ := Ring(6)
+	rt := NewRoutingTable(nw)
+	if got := rt.Hops(0, 3); got != 3 {
+		t.Errorf("Hops(0,3)=%d, want 3", got)
+	}
+	if got := rt.Hops(0, 5); got != 1 {
+		t.Errorf("Hops(0,5)=%d, want 1", got)
+	}
+	if got := rt.Hops(2, 2); got != 0 {
+		t.Errorf("Hops(2,2)=%d, want 0", got)
+	}
+	if got := rt.Diameter(); got != 3 {
+		t.Errorf("Diameter=%d, want 3", got)
+	}
+	route := rt.Route(0, 2, nil)
+	if len(route) != 2 {
+		t.Fatalf("Route(0,2)=%v", route)
+	}
+	if !ValidRoute(nw, 0, 2, route) {
+		t.Error("route is not contiguous")
+	}
+	if len(rt.Route(4, 4, nil)) != 0 {
+		t.Error("self-route should be empty")
+	}
+}
+
+func TestRoutingTableHypercube(t *testing.T) {
+	nw, _ := Hypercube(4)
+	rt := NewRoutingTable(nw)
+	if got := rt.Diameter(); got != 4 {
+		t.Errorf("hypercube diameter=%d, want 4", got)
+	}
+	// Distance equals popcount of XOR.
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			x, pc := s^d, 0
+			for x != 0 {
+				pc += x & 1
+				x >>= 1
+			}
+			if got := rt.Hops(ProcID(s), ProcID(d)); got != pc {
+				t.Fatalf("Hops(%d,%d)=%d, want %d", s, d, got, pc)
+			}
+		}
+	}
+}
+
+func TestRoutingTableProperty(t *testing.T) {
+	// On random connected networks: every route is valid, has length equal
+	// to the hop count, and distances are symmetric.
+	f := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + int(mRaw)%20
+		nw, err := RandomConnected(m, 1, m, rng)
+		if err != nil {
+			return true
+		}
+		rt := NewRoutingTable(nw)
+		for s := 0; s < m; s++ {
+			for d := 0; d < m; d++ {
+				route := rt.Route(ProcID(s), ProcID(d), nil)
+				if !ValidRoute(nw, ProcID(s), ProcID(d), route) {
+					return false
+				}
+				if len(route) != rt.Hops(ProcID(s), ProcID(d)) {
+					return false
+				}
+				if rt.Hops(ProcID(s), ProcID(d)) != rt.Hops(ProcID(d), ProcID(s)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteProcs(t *testing.T) {
+	nw, _ := Line(4) // links: 0:(0,1) 1:(1,2) 2:(2,3)
+	procs := RouteProcs(nw, 0, []LinkID{0, 1, 2})
+	want := []ProcID{0, 1, 2, 3}
+	for i := range want {
+		if procs[i] != want[i] {
+			t.Fatalf("RouteProcs=%v, want %v", procs, want)
+		}
+	}
+}
+
+func TestValidRoute(t *testing.T) {
+	nw, _ := Line(4)
+	if !ValidRoute(nw, 2, 2, nil) {
+		t.Error("empty route with src==dst is valid")
+	}
+	if ValidRoute(nw, 0, 2, nil) {
+		t.Error("empty route with src!=dst is invalid")
+	}
+	if ValidRoute(nw, 0, 3, []LinkID{0, 2}) {
+		t.Error("non-contiguous route accepted")
+	}
+	if ValidRoute(nw, 0, 1, []LinkID{99}) {
+		t.Error("out-of-range link accepted")
+	}
+}
+
+func TestNormalizeRoute(t *testing.T) {
+	nw, _ := Ring(4) // links: 0:(0,1) 1:(1,2) 2:(2,3) 3:(0,3)
+	// Route 0->1->2->1 has a loop back to 1; normalized should be 0->1.
+	route := []LinkID{0, 1, 1}
+	got := NormalizeRoute(nw, 0, route)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("NormalizeRoute=%v, want [0]", got)
+	}
+	// Route 0->1->0->3 (out and back then around): normalized 0->3 direct.
+	route = []LinkID{0, 0, 3}
+	got = NormalizeRoute(nw, 0, route)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("NormalizeRoute=%v, want [3]", got)
+	}
+	// Already-simple route unchanged.
+	route = []LinkID{0, 1}
+	got = NormalizeRoute(nw, 0, route)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("NormalizeRoute=%v, want [0 1]", got)
+	}
+	// Route that returns to the source entirely collapses to nothing.
+	route = []LinkID{0, 0}
+	if got = NormalizeRoute(nw, 0, route); len(got) != 0 {
+		t.Fatalf("NormalizeRoute=%v, want []", got)
+	}
+	if got = NormalizeRoute(nw, 0, nil); len(got) != 0 {
+		t.Fatal("nil route should stay empty")
+	}
+}
+
+func TestNormalizeRouteProperty(t *testing.T) {
+	// Random walks normalized become simple valid routes with the same
+	// endpoints.
+	f := func(seed int64, mRaw, stepsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + int(mRaw)%12
+		nw, err := RandomConnected(m, 1, m, rng)
+		if err != nil {
+			return true
+		}
+		src := ProcID(rng.Intn(m))
+		steps := int(stepsRaw) % 20
+		var walk []LinkID
+		p := src
+		for i := 0; i < steps; i++ {
+			nb := nw.Neighbors(p)
+			if len(nb) == 0 {
+				break
+			}
+			a := nb[rng.Intn(len(nb))]
+			walk = append(walk, a.Link)
+			p = a.Proc
+		}
+		norm := NormalizeRoute(nw, src, walk)
+		if !ValidRoute(nw, src, p, norm) {
+			return false
+		}
+		// Simple: no processor repeats.
+		procs := RouteProcs(nw, src, norm)
+		seen := map[ProcID]bool{}
+		for _, q := range procs {
+			if seen[q] {
+				return false
+			}
+			seen[q] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	nw, _ := Hypercube(3)
+	data, err := nw.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw2.NumProcs() != nw.NumProcs() || nw2.NumLinks() != nw.NumLinks() {
+		t.Fatal("round trip mismatch")
+	}
+}

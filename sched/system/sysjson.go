@@ -1,0 +1,76 @@
+package system
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// systemJSON is the on-disk representation of a full heterogeneous
+// system: the network plus the execution and communication factor
+// matrices. A missing/empty comm matrix means homogeneous links, exactly
+// like a nil System.Comm.
+type systemJSON struct {
+	Network json.RawMessage `json:"network"`
+	Exec    [][]float64     `json:"exec"`
+	Comm    [][]float64     `json:"comm,omitempty"`
+}
+
+// MarshalJSON encodes the complete system: network topology and factor
+// matrices.
+func (s *System) MarshalJSON() ([]byte, error) {
+	nw, err := s.Net.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(systemJSON{Network: nw, Exec: s.Exec, Comm: s.Comm})
+}
+
+// SystemFromJSON decodes a system previously written by System.MarshalJSON
+// and validates the factor matrices against the decoded network (row
+// counts are taken from the matrices themselves; validate against a task
+// graph via sched.Problem).
+func SystemFromJSON(data []byte) (*System, error) {
+	var j systemJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("system: decode: %w", err)
+	}
+	if len(j.Network) == 0 {
+		return nil, fmt.Errorf("system: decode: missing network")
+	}
+	nw, err := FromJSON(j.Network)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Net: nw, Exec: j.Exec, Comm: j.Comm}
+	if len(s.Comm) == 0 {
+		s.Comm = nil
+	}
+	if err := s.Validate(len(s.Exec), len(s.Comm)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadSystemJSON decodes a system from r.
+func ReadSystemJSON(r io.Reader) (*System, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return SystemFromJSON(data)
+}
+
+// WriteJSON writes the system to w as indented JSON.
+func (s *System) WriteJSON(w io.Writer) error {
+	data, err := s.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(json.RawMessage(data), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}

@@ -1,0 +1,236 @@
+package system
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func procName(i int) string { return fmt.Sprintf("P%d", i+1) }
+
+func newProcs(m int) (*Builder, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("system: need at least 1 processor, got %d", m)
+	}
+	b := NewBuilder()
+	for i := 0; i < m; i++ {
+		b.AddProc(procName(i))
+	}
+	return b, nil
+}
+
+// Line returns a linear array P1-P2-...-Pm.
+func Line(m int) (*Network, error) {
+	b, err := newProcs(m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < m; i++ {
+		b.Connect(ProcID(i), ProcID(i+1))
+	}
+	return b.Build()
+}
+
+// Ring returns an m-processor ring, one of the paper's four evaluation
+// topologies. m=1 degenerates to a single processor; m=2 to a single link.
+func Ring(m int) (*Network, error) {
+	b, err := newProcs(m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < m; i++ {
+		b.Connect(ProcID(i), ProcID(i+1))
+	}
+	if m > 2 {
+		b.Connect(ProcID(m-1), 0)
+	}
+	return b.Build()
+}
+
+// FullyConnected returns an m-processor clique, one of the paper's four
+// evaluation topologies.
+func FullyConnected(m int) (*Network, error) {
+	b, err := newProcs(m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			b.Connect(ProcID(i), ProcID(j))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns a 2^dim-processor hypercube (dim >= 0); dim=4 gives the
+// paper's 16-processor hypercube. Processor i connects to i^(1<<k) for each
+// bit k.
+func Hypercube(dim int) (*Network, error) {
+	if dim < 0 || dim > 20 {
+		return nil, fmt.Errorf("system: hypercube dimension %d out of range [0,20]", dim)
+	}
+	m := 1 << dim
+	b, err := newProcs(m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		for k := 0; k < dim; k++ {
+			j := i ^ (1 << k)
+			if i < j {
+				b.Connect(ProcID(i), ProcID(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Mesh2D returns a rows x cols 2-D mesh (no wraparound).
+func Mesh2D(rows, cols int) (*Network, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("system: invalid mesh %dx%d", rows, cols)
+	}
+	b, err := newProcs(rows * cols)
+	if err != nil {
+		return nil, err
+	}
+	at := func(r, c int) ProcID { return ProcID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.Connect(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				b.Connect(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Star returns a star with P1 at the centre.
+func Star(m int) (*Network, error) {
+	b, err := newProcs(m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < m; i++ {
+		b.Connect(0, ProcID(i))
+	}
+	return b.Build()
+}
+
+// BinaryTree returns a complete binary tree over m processors (heap
+// numbering: children of i are 2i+1 and 2i+2).
+func BinaryTree(m int) (*Network, error) {
+	b, err := newProcs(m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < m; i++ {
+		b.Connect(ProcID((i-1)/2), ProcID(i))
+	}
+	return b.Build()
+}
+
+// RandomConnected returns a random connected topology in which every
+// processor's degree lies within [minDeg, maxDeg], matching the paper's
+// "randomly structured topology" whose degrees range from two to eight.
+//
+// Construction: a random spanning tree (random attachment respecting
+// maxDeg), then random extra links until every degree >= minDeg, then a few
+// more random links for irregularity. The result is deterministic for a
+// given rng state.
+func RandomConnected(m, minDeg, maxDeg int, rng *rand.Rand) (*Network, error) {
+	switch {
+	case m < 1:
+		return nil, fmt.Errorf("system: need at least 1 processor, got %d", m)
+	case minDeg < 1 && m > 1:
+		return nil, fmt.Errorf("system: minDeg must be >= 1, got %d", minDeg)
+	case minDeg > maxDeg:
+		return nil, fmt.Errorf("system: minDeg %d > maxDeg %d", minDeg, maxDeg)
+	case m > 1 && minDeg > m-1:
+		return nil, fmt.Errorf("system: minDeg %d impossible with %d processors", minDeg, m)
+	case m > 1 && maxDeg < 2 && m > 2:
+		return nil, fmt.Errorf("system: maxDeg %d cannot connect %d processors", maxDeg, m)
+	}
+	b, err := newProcs(m)
+	if err != nil {
+		return nil, err
+	}
+	if m == 1 {
+		return b.Build()
+	}
+	deg := make([]int, m)
+	have := make(map[[2]ProcID]bool)
+	addLink := func(p, q ProcID) bool {
+		if p == q {
+			return false
+		}
+		a, c := p, q
+		if a > c {
+			a, c = c, a
+		}
+		if have[[2]ProcID{a, c}] || deg[p] >= maxDeg || deg[q] >= maxDeg {
+			return false
+		}
+		have[[2]ProcID{a, c}] = true
+		deg[p]++
+		deg[q]++
+		b.Connect(p, q)
+		return true
+	}
+
+	// Random spanning tree: attach each processor (in random order) to a
+	// random already-attached processor with spare degree.
+	perm := rng.Perm(m)
+	attached := []ProcID{ProcID(perm[0])}
+	for _, pi := range perm[1:] {
+		p := ProcID(pi)
+		// Collect attachment candidates with spare degree.
+		var cands []ProcID
+		for _, q := range attached {
+			if deg[q] < maxDeg {
+				cands = append(cands, q)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("system: cannot build spanning tree with maxDeg %d", maxDeg)
+		}
+		q := cands[rng.Intn(len(cands))]
+		addLink(p, q)
+		attached = append(attached, p)
+	}
+
+	// Raise low-degree processors to minDeg.
+	for p := 0; p < m; p++ {
+		guard := 0
+		for deg[p] < minDeg {
+			q := ProcID(rng.Intn(m))
+			if !addLink(ProcID(p), q) {
+				guard++
+				if guard > 50*m {
+					// Degree constraints may be jointly unsatisfiable for
+					// odd corner cases (e.g. everyone else saturated); scan
+					// deterministically before giving up.
+					ok := false
+					for qi := 0; qi < m; qi++ {
+						if addLink(ProcID(p), ProcID(qi)) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return nil, fmt.Errorf("system: cannot satisfy minDeg %d with maxDeg %d on %d processors", minDeg, maxDeg, m)
+					}
+				}
+				continue
+			}
+		}
+	}
+
+	// A dash of extra irregular links (up to m/2 attempts).
+	for i := 0; i < m/2; i++ {
+		addLink(ProcID(rng.Intn(m)), ProcID(rng.Intn(m)))
+	}
+	return b.Build()
+}

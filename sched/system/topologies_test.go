@@ -1,0 +1,180 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRing(t *testing.T) {
+	nw, err := Ring(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumProcs() != 16 || nw.NumLinks() != 16 {
+		t.Fatalf("ring16: m=%d links=%d", nw.NumProcs(), nw.NumLinks())
+	}
+	for p := 0; p < 16; p++ {
+		if nw.Degree(ProcID(p)) != 2 {
+			t.Fatalf("ring degree(%d)=%d", p, nw.Degree(ProcID(p)))
+		}
+	}
+}
+
+func TestRingSmall(t *testing.T) {
+	if nw, err := Ring(1); err != nil || nw.NumLinks() != 0 {
+		t.Errorf("ring1: %v %v", nw, err)
+	}
+	if nw, err := Ring(2); err != nil || nw.NumLinks() != 1 {
+		t.Errorf("ring2: %v %v", nw, err)
+	}
+	if nw, err := Ring(3); err != nil || nw.NumLinks() != 3 {
+		t.Errorf("ring3: %v %v", nw, err)
+	}
+	if _, err := Ring(0); err == nil {
+		t.Error("ring0 should fail")
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	nw, err := FullyConnected(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumLinks() != 16*15/2 {
+		t.Fatalf("clique16 links=%d, want 120", nw.NumLinks())
+	}
+	for p := 0; p < 16; p++ {
+		if nw.Degree(ProcID(p)) != 15 {
+			t.Fatalf("clique degree=%d", nw.Degree(ProcID(p)))
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	nw, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumProcs() != 16 || nw.NumLinks() != 32 {
+		t.Fatalf("hcube4: m=%d links=%d, want 16/32", nw.NumProcs(), nw.NumLinks())
+	}
+	for p := 0; p < 16; p++ {
+		if nw.Degree(ProcID(p)) != 4 {
+			t.Fatalf("hcube degree=%d, want 4", nw.Degree(ProcID(p)))
+		}
+	}
+	// Neighbours differ in exactly one bit.
+	for _, l := range nw.Links() {
+		x := int(l.A) ^ int(l.B)
+		if x&(x-1) != 0 {
+			t.Fatalf("link %v joins non-adjacent hypercube nodes", l)
+		}
+	}
+	if _, err := Hypercube(-1); err == nil {
+		t.Error("negative dim should fail")
+	}
+	if nw, err := Hypercube(0); err != nil || nw.NumProcs() != 1 {
+		t.Error("hypercube(0) is a single processor")
+	}
+}
+
+func TestMesh2D(t *testing.T) {
+	nw, err := Mesh2D(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumProcs() != 12 || nw.NumLinks() != 3*3+2*4 {
+		t.Fatalf("mesh3x4: m=%d links=%d, want 12/17", nw.NumProcs(), nw.NumLinks())
+	}
+	if _, err := Mesh2D(0, 3); err == nil {
+		t.Error("mesh 0x3 should fail")
+	}
+}
+
+func TestStarAndTreeAndLine(t *testing.T) {
+	nw, err := Star(8)
+	if err != nil || nw.Degree(0) != 7 {
+		t.Errorf("star: %v deg=%d", err, nw.Degree(0))
+	}
+	bt, err := BinaryTree(7)
+	if err != nil || bt.NumLinks() != 6 || bt.Degree(0) != 2 {
+		t.Errorf("binary tree: %v", err)
+	}
+	ln, err := Line(5)
+	if err != nil || ln.NumLinks() != 4 {
+		t.Errorf("line: %v", err)
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		nw, err := RandomConnected(16, 2, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.NumProcs() != 16 {
+			t.Fatalf("m=%d", nw.NumProcs())
+		}
+		if !nw.IsConnected() {
+			t.Fatal("random topology must be connected")
+		}
+		for p := 0; p < 16; p++ {
+			d := nw.Degree(ProcID(p))
+			if d < 2 || d > 8 {
+				t.Fatalf("trial %d: degree(%d)=%d outside [2,8]", trial, p, d)
+			}
+		}
+	}
+}
+
+func TestRandomConnectedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomConnected(0, 2, 8, rng); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := RandomConnected(4, 0, 8, rng); err == nil {
+		t.Error("minDeg=0 should fail for m>1")
+	}
+	if _, err := RandomConnected(4, 5, 6, rng); err == nil {
+		t.Error("minDeg > m-1 should fail")
+	}
+	if _, err := RandomConnected(4, 3, 2, rng); err == nil {
+		t.Error("minDeg > maxDeg should fail")
+	}
+	if nw, err := RandomConnected(1, 1, 1, rng); err != nil || nw.NumProcs() != 1 {
+		t.Error("single processor network should build")
+	}
+}
+
+func TestRandomConnectedProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + int(mRaw)%30
+		minDeg := 1 + rng.Intn(2)
+		if minDeg > m-1 {
+			minDeg = m - 1
+		}
+		maxDeg := minDeg + 2 + rng.Intn(6)
+		nw, err := RandomConnected(m, minDeg, maxDeg, rng)
+		if err != nil {
+			// Tight constraints may be unsatisfiable; that is an accepted
+			// outcome as long as it is reported, not a panic.
+			return true
+		}
+		if !nw.IsConnected() {
+			return false
+		}
+		for p := 0; p < m; p++ {
+			d := nw.Degree(ProcID(p))
+			if d < minDeg || d > maxDeg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,25 +1,25 @@
 package sched
 
 import (
-	"repro/internal/network"
-	"repro/internal/taskgraph"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // BSATrace is Result.Trace for the "bsa" and "bsa-full" algorithms.
 type BSATrace struct {
 	// InitialPivot is the processor with the shortest critical-path
 	// length, where the serialization was injected.
-	InitialPivot network.ProcID
+	InitialPivot system.ProcID
 	// PivotName is that processor's display name.
 	PivotName string
 	// PivotCPLength is the critical-path length on the initial pivot.
 	PivotCPLength float64
 	// Serial is the serialization order injected into the pivot.
-	Serial []taskgraph.TaskID
+	Serial []graph.TaskID
 	// CP, IB and OB are the serialization's three-way task partition —
 	// critical path, in-branch and out-branch — with respect to the
 	// initial pivot's actual execution costs.
-	CP, IB, OB []taskgraph.TaskID
+	CP, IB, OB []graph.TaskID
 
 	// Migrations counts committed task migrations, Reverted the ones
 	// rolled back by the bubble-up guard, Sweeps the breadth-first pivot
@@ -65,7 +65,7 @@ type HEFTTrace struct {
 type CPOPTrace struct {
 	// CPProc is the processor the critical path was pinned to, CPProcName
 	// its display name.
-	CPProc     network.ProcID
+	CPProc     system.ProcID
 	CPProcName string
 	// OnCP flags the tasks treated as critical-path tasks.
 	OnCP []bool

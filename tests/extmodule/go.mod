@@ -1,0 +1,10 @@
+// A standalone consumer module: proves the public repro/sched surface is
+// sufficient and importable from outside the repro module. Built by
+// TestExternalConsumerBuilds; never part of the main build graph.
+module extconsumer
+
+go 1.24
+
+require repro v0.0.0
+
+replace repro => ../..

@@ -1,0 +1,153 @@
+// Command extconsumer is an external consumer of repro's public API: it
+// constructs a problem three ways (fluent builder, generators, JSON/DOT
+// interchange), schedules it with every registered algorithm and inspects
+// the read-only schedule view and typed traces — importing nothing from
+// repro/internal/..., which an external module cannot do. Compiling this
+// module is the test; running it exercises the surface end to end.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+
+	"repro/sched"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	_ "repro/sched/register"
+	"repro/sched/system"
+)
+
+func main() {
+	// 1. Fluent builder with typed validation errors.
+	b := graph.NewBuilder()
+	a := b.AddTask("a", 10)
+	c := b.AddTask("c", 20)
+	b.AddEdge(a, c, 5)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bad := graph.NewBuilder()
+	x := bad.AddTask("x", 1)
+	y := bad.AddTask("y", 1)
+	bad.AddEdge(x, y, 1)
+	bad.AddEdge(y, x, 1)
+	if _, err := bad.Build(); err != nil {
+		var cyc *graph.CycleError
+		if !errors.As(err, &cyc) {
+			log.Fatalf("want *graph.CycleError, got %T", err)
+		}
+	} else {
+		log.Fatal("cycle not rejected")
+	}
+
+	// 2. Generators: a paper workload on a paper topology.
+	rng := rand.New(rand.NewSource(7))
+	g2, err := gen.Generate(gen.Spec{Kind: gen.GaussElim, Size: 40, Granularity: 1}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := gen.Topology(gen.TopoSpec{Kind: gen.Hypercube, Procs: 8}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := system.NewRandomMinNormalized(nw, g2.NumTasks(), g2.NumEdges(), 1, 10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. JSON + DOT interchange round-trips.
+	var buf bytes.Buffer
+	if err := g2.WriteJSON(&buf); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := graph.FromJSON(buf.Bytes()); err != nil {
+		log.Fatal(err)
+	}
+	buf.Reset()
+	if err := g2.WriteDOT(&buf, "gauss"); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := graph.FromDOT(buf.Bytes()); err != nil {
+		log.Fatal(err)
+	}
+	buf.Reset()
+	if err := sys.WriteJSON(&buf); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := system.SystemFromJSON(buf.Bytes()); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Schedule with every registered algorithm; read the view.
+	p, err := sched.NewProblem(g2, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range sched.List() {
+		s, err := sched.Lookup(d.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Schedule(context.Background(), p, sched.WithSeed(42))
+		if err != nil {
+			log.Fatal(err)
+		}
+		view := res.Schedule
+		if err := view.Verify(); err != nil {
+			log.Fatalf("%s: %v", d.Name, err)
+		}
+		slot := view.Task(0)
+		_ = view.Message(0).Hops
+		st := view.Stats()
+		if err := view.WriteGantt(io.Discard); err != nil {
+			log.Fatal(err)
+		}
+		if tr, ok := res.BSA(); ok {
+			fmt.Printf("%s: pivot=%s migrations=%d\n", d.Name, tr.PivotName, tr.Migrations)
+		}
+		fmt.Printf("%s: makespan=%.2f t0@P%d util=%.1f%%\n", d.Name, res.Makespan, slot.Proc+1, 100*st.AvgProcUtil)
+	}
+
+	// 5. The third-party scheduler path: decompose a schedule into its
+	// public slots and reassemble it through AssembleSchedule — the
+	// constructor an external algorithm uses to populate Result.Schedule.
+	bsaRef, err := sched.Lookup("bsa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := bsaRef.Schedule(context.Background(), p, sched.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	assembled, err := sched.AssembleSchedule(p, ref.Schedule.Tasks(), ref.Schedule.Messages())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := assembled.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled: makespan=%.2f\n", assembled.Length())
+
+	// 6. Ask the simple problem too, via graph from step 1.
+	uni := system.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	p2, err := sched.NewProblem(g, uni)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bsa.Schedule(context.Background(), p2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tiny: makespan=%.2f complete=%v\n", res.Makespan, res.Schedule.Complete())
+}

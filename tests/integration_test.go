@@ -10,18 +10,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpop"
 	"repro/internal/dls"
-	"repro/internal/generator"
 	"repro/internal/heft"
-	"repro/internal/hetero"
-	"repro/internal/network"
 	"repro/internal/schedule"
 	"repro/internal/sim"
-	"repro/internal/taskgraph"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	"repro/sched/system"
 )
 
 // schedulers runs every implemented algorithm on one instance and returns
 // the validated schedules keyed by name.
-func schedulers(t *testing.T, g *taskgraph.Graph, sys *hetero.System) map[string]*schedule.Schedule {
+func schedulers(t *testing.T, g *graph.Graph, sys *system.System) map[string]*schedule.Schedule {
 	t.Helper()
 	out := map[string]*schedule.Schedule{}
 	if res, err := core.Schedule(g, sys, core.Options{Seed: 1}); err != nil {
@@ -63,15 +62,15 @@ func TestAllSchedulersAllFamilies(t *testing.T) {
 	// Every scheduler must produce feasible, replayable schedules on every
 	// workload family and a mix of topologies.
 	rng := rand.New(rand.NewSource(2))
-	topos := []func() (*network.Network, error){
-		func() (*network.Network, error) { return network.Ring(8) },
-		func() (*network.Network, error) { return network.Hypercube(3) },
-		func() (*network.Network, error) { return network.FullyConnected(8) },
-		func() (*network.Network, error) { return network.RandomConnected(8, 2, 5, rng) },
+	topos := []func() (*system.Network, error){
+		func() (*system.Network, error) { return system.Ring(8) },
+		func() (*system.Network, error) { return system.Hypercube(3) },
+		func() (*system.Network, error) { return system.FullyConnected(8) },
+		func() (*system.Network, error) { return system.RandomConnected(8, 2, 5, rng) },
 	}
-	for _, kind := range []generator.Kind{generator.GaussElim, generator.LU, generator.Laplace, generator.MVA, generator.Random} {
+	for _, kind := range []gen.Kind{gen.GaussElim, gen.LU, gen.Laplace, gen.MVA, gen.Random} {
 		for ti, topo := range topos {
-			g, err := generator.Generate(generator.Spec{Kind: kind, Size: 60, Granularity: 1}, rng)
+			g, err := gen.Generate(gen.Spec{Kind: kind, Size: 60, Granularity: 1}, rng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,7 +78,7 @@ func TestAllSchedulersAllFamilies(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+			sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -97,12 +96,12 @@ func TestBSABeatsSerialOnParallelWorkload(t *testing.T) {
 	// On a homogeneous clique with a wide graph and cheap communication,
 	// BSA must comfortably beat single-processor serialization.
 	rng := rand.New(rand.NewSource(5))
-	g, err := generator.RandomLayered(120, 10, rng)
+	g, err := gen.RandomLayered(120, 10, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw, _ := network.FullyConnected(8)
-	sys := hetero.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	nw, _ := system.FullyConnected(8)
+	sys := system.NewUniform(nw, g.NumTasks(), g.NumEdges())
 	res, err := core.Schedule(g, sys, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -120,12 +119,12 @@ func TestBSAWinsAtFineGranularity(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	var bsa, dlsSum float64
 	for rep := 0; rep < 3; rep++ {
-		g, err := generator.RandomLayered(80, 0.1, rng)
+		g, err := gen.RandomLayered(80, 0.1, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
-		nw, _ := network.Ring(16)
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+		nw, _ := system.Ring(16)
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,23 +149,23 @@ func TestConnectivityHelpsEveryScheduler(t *testing.T) {
 	// for higher processor connectivity". Clique SL <= ring SL for each
 	// algorithm (same workload and factor seeds).
 	rng := rand.New(rand.NewSource(23))
-	g, err := generator.RandomLayered(100, 1.0, rng)
+	g, err := gen.RandomLayered(100, 1.0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lens := map[string]map[string]float64{}
 	for _, tc := range []struct {
 		name  string
-		build func() (*network.Network, error)
+		build func() (*system.Network, error)
 	}{
-		{"ring", func() (*network.Network, error) { return network.Ring(16) }},
-		{"clique", func() (*network.Network, error) { return network.FullyConnected(16) }},
+		{"ring", func() (*system.Network, error) { return system.Ring(16) }},
+		{"clique", func() (*system.Network, error) { return system.FullyConnected(16) }},
 	} {
 		nw, err := tc.build()
 		if err != nil {
 			t.Fatal(err)
 		}
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(9)))
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(9)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,13 +186,13 @@ func TestHeterogeneityRangeDegradesSchedules(t *testing.T) {
 	// schedules for both algorithms (min-normalized factors keep the
 	// fastest-processor cost fixed, so wider = more variance above it).
 	rng := rand.New(rand.NewSource(31))
-	g, err := generator.RandomLayered(100, 1.0, rng)
+	g, err := gen.RandomLayered(100, 1.0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw, _ := network.Hypercube(4)
+	nw, _ := system.Hypercube(4)
 	slAt := func(hi float64, algo string) float64 {
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, hi, rand.New(rand.NewSource(3)))
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, hi, rand.New(rand.NewSource(3)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,13 +222,13 @@ func TestHeterogeneityRangeDegradesSchedules(t *testing.T) {
 func TestGranularityMonotonicity(t *testing.T) {
 	// Coarser granularity (cheaper communication) must never lengthen
 	// schedules substantially; across a decade it must shorten them.
-	nw, _ := network.Hypercube(3)
+	nw, _ := system.Hypercube(3)
 	slAt := func(gran float64) float64 {
-		g, err := generator.RandomLayered(80, gran, rand.New(rand.NewSource(77)))
+		g, err := gen.RandomLayered(80, gran, rand.New(rand.NewSource(77)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		sys, err := hetero.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(5)))
+		sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rand.New(rand.NewSource(5)))
 		if err != nil {
 			t.Fatal(err)
 		}
