@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke bench-gate bench-verify benchcmp examples apiseal
+.PHONY: build test race vet fmt-check bench bench-smoke bench-gate bench-verify benchcmp examples apiseal fuzz service-test
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,24 @@ bench-verify:
 apiseal:
 	$(GO) test ./sched -run TestAPISeal -count 1
 	$(GO) test ./tests -run TestExternalConsumerBuilds -count 1
+
+# fuzz runs each loader fuzz target for FUZZTIME (the CI smoke uses 20s;
+# raise it locally for a real hunt). Go runs one -fuzz target per
+# invocation, hence the four lines. Seed corpora are committed under
+# sched/{graph,system}/testdata/fuzz plus the golden interchange files.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./sched/graph -run '^$$' -fuzz '^FuzzGraphFromDOT$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./sched/graph -run '^$$' -fuzz '^FuzzGraphFromJSON$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./sched/system -run '^$$' -fuzz '^FuzzSystemFromDOT$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./sched/system -run '^$$' -fuzz '^FuzzSystemFromJSON$$' -fuzztime $(FUZZTIME)
+
+# service-test runs the scheduling service's handler + drain suite under
+# the race detector, plus the end-to-end test that builds and SIGTERMs a
+# real schedd.
+service-test:
+	$(GO) test -race -count 1 ./sched/service
+	$(GO) test -race -count 1 ./tests -run 'TestSchedd'
 
 # benchcmp diffs two bench JSONs locally: make benchcmp OLD=a.json NEW=b.json
 benchcmp:

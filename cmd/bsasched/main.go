@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	bsasched -graph g.json -topo t.json [-algo <name>] [-het lo,hi]
-//	         [-seed N] [-chart] [-timeout d]
+//	bsasched -graph g.json (-topo t.json | -system s.json) [-algo <name>]
+//	         [-het lo,hi] [-seed N] [-chart] [-timeout d] [-json]
 //	bsasched -list-algos
 //
 // The algorithm set is not hardcoded: -list-algos prints every registered
@@ -17,7 +17,13 @@
 //
 // Without -het the system is homogeneous (all factors 1); with -het the
 // factors are drawn uniformly from [lo,hi] and min-normalized per task so
-// the fastest processor runs at the nominal cost.
+// the fastest processor runs at the nominal cost. -system takes a full
+// system document (network plus explicit factor matrices, the
+// system.SystemFromJSON schema) instead of -topo.
+//
+// -json replaces the human-readable report with the schedule's JSON
+// document — the same bytes repro/sched/service returns for the same
+// problem, which the end-to-end tests compare against.
 package main
 
 import (
@@ -44,13 +50,15 @@ func main() {
 
 func run() error {
 	graphPath := flag.String("graph", "", "task graph JSON file (required)")
-	topoPath := flag.String("topo", "", "topology JSON file (required)")
+	topoPath := flag.String("topo", "", "topology JSON file")
+	systemPath := flag.String("system", "", "full system JSON file (alternative to -topo)")
 	algo := flag.String("algo", "bsa", "scheduling algorithm (see -list-algos)")
 	listAlgos := flag.Bool("list-algos", false, "list the registered algorithms and exit")
 	het := flag.String("het", "", "heterogeneity factor range lo,hi (default: homogeneous)")
 	seed := flag.Int64("seed", 1, "random seed for heterogeneity factors and tie-breaks")
 	chart := flag.Bool("chart", false, "also print a proportional ASCII Gantt chart")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+	jsonOut := flag.Bool("json", false, "print the schedule as JSON instead of the report")
 	flag.Parse()
 
 	if *listAlgos {
@@ -65,9 +73,9 @@ func run() error {
 		return nil
 	}
 
-	if *graphPath == "" || *topoPath == "" {
+	if *graphPath == "" || (*topoPath == "") == (*systemPath == "") {
 		flag.Usage()
-		return fmt.Errorf("-graph and -topo are required")
+		return fmt.Errorf("-graph and exactly one of -topo / -system are required")
 	}
 	scheduler, err := sched.Lookup(*algo)
 	if err != nil {
@@ -81,26 +89,39 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tf, err := os.ReadFile(*topoPath)
-	if err != nil {
-		return err
-	}
-	nw, err := system.FromJSON(tf)
-	if err != nil {
-		return err
-	}
 
 	var sys *system.System
-	if *het == "" {
-		sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
-	} else {
-		var lo, hi float64
-		if _, err := fmt.Sscanf(strings.ReplaceAll(*het, " ", ""), "%f,%f", &lo, &hi); err != nil {
-			return fmt.Errorf("bad -het %q (want lo,hi): %v", *het, err)
+	if *systemPath != "" {
+		if *het != "" {
+			return fmt.Errorf("-het applies to -topo, not to a full -system document")
 		}
-		sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), lo, hi, rand.New(rand.NewSource(*seed)))
+		sf, err := os.ReadFile(*systemPath)
 		if err != nil {
 			return err
+		}
+		if sys, err = system.SystemFromJSON(sf); err != nil {
+			return err
+		}
+	} else {
+		tf, err := os.ReadFile(*topoPath)
+		if err != nil {
+			return err
+		}
+		nw, err := system.FromJSON(tf)
+		if err != nil {
+			return err
+		}
+		if *het == "" {
+			sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
+		} else {
+			var lo, hi float64
+			if _, err := fmt.Sscanf(strings.ReplaceAll(*het, " ", ""), "%f,%f", &lo, &hi); err != nil {
+				return fmt.Errorf("bad -het %q (want lo,hi): %v", *het, err)
+			}
+			sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), lo, hi, rand.New(rand.NewSource(*seed)))
+			if err != nil {
+				return err
+			}
 		}
 	}
 
@@ -118,7 +139,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(res.Summary)
 
 	s := res.Schedule
 	if err := s.Validate(); err != nil {
@@ -128,6 +148,10 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("replay check failed: %w", err)
 	}
+	if *jsonOut {
+		return s.WriteJSON(os.Stdout)
+	}
+	fmt.Println(res.Summary)
 
 	if err := s.WriteGantt(os.Stdout); err != nil {
 		return err

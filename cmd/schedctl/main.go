@@ -1,0 +1,217 @@
+// Command schedctl drives a running schedd from the command line through
+// service.Client.
+//
+// Usage:
+//
+//	schedctl [-server URL] schedule -graph g.json (-topo t.json | -system s.json)
+//	         [-algo name] [-het lo,hi] [-het-seed N] [-seed N] [-timeout d]
+//	         [-async] [-json]
+//	schedctl [-server URL] status JOB_ID [-json]
+//	schedctl [-server URL] wait JOB_ID [-poll d] [-json]
+//	schedctl [-server URL] algos
+//	schedctl [-server URL] health
+//	schedctl [-server URL] metrics
+//
+// schedule submits the problem synchronously by default and prints the
+// summary, makespan and stats; -json dumps the raw wire response instead
+// (the schedule document inside it is byte-identical to what cmd/bsasched
+// -json prints for the same problem). With -async it submits a job and
+// prints its ID without waiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/sched/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "schedctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: schedctl [-server URL] <schedule|status|wait|algos|health|metrics> [args]")
+}
+
+func run() error {
+	server := flag.String("server", "http://127.0.0.1:8080", "schedd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return usage()
+	}
+	client := service.NewClient(*server, nil)
+	ctx := context.Background()
+
+	switch args[0] {
+	case "schedule":
+		return schedule(ctx, client, args[1:])
+	case "status", "wait":
+		fs := flag.NewFlagSet(args[0], flag.ExitOnError)
+		poll := fs.Duration("poll", 100*time.Millisecond, "poll interval (wait)")
+		asJSON := fs.Bool("json", false, "print the raw wire response")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("%s needs exactly one JOB_ID", args[0])
+		}
+		var (
+			v   *service.JobView
+			err error
+		)
+		if args[0] == "wait" {
+			v, err = client.Wait(ctx, fs.Arg(0), *poll)
+		} else {
+			v, err = client.Job(ctx, fs.Arg(0))
+		}
+		if err != nil {
+			return err
+		}
+		return printJob(v, *asJSON)
+	case "algos":
+		algos, err := client.Algos(ctx)
+		if err != nil {
+			return err
+		}
+		for _, a := range algos {
+			name := a.Name
+			if len(a.Aliases) > 0 {
+				name += " (" + strings.Join(a.Aliases, ", ") + ")"
+			}
+			fmt.Printf("%-24s %s\n", name, a.Description)
+		}
+		return nil
+	case "health":
+		if err := client.Health(ctx); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	case "metrics":
+		m, err := client.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-24s %d\n", k, m[k])
+		}
+		return nil
+	default:
+		return usage()
+	}
+}
+
+func schedule(ctx context.Context, client *service.Client, args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "task graph JSON file (required)")
+	topoPath := fs.String("topo", "", "topology (bare network) JSON file")
+	systemPath := fs.String("system", "", "full system JSON file (network + factor matrices)")
+	algo := fs.String("algo", "", "algorithm name (empty = server default)")
+	het := fs.String("het", "", "random heterogeneity range lo,hi over -topo")
+	hetSeed := fs.Int64("het-seed", 1, "heterogeneity factor seed")
+	seed := fs.Int64("seed", 1, "scheduler tie-break seed")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = none)")
+	async := fs.Bool("async", false, "submit a job and print its ID instead of waiting")
+	asJSON := fs.Bool("json", false, "print the raw wire response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || (*topoPath == "") == (*systemPath == "") {
+		return fmt.Errorf("schedule needs -graph and exactly one of -topo / -system")
+	}
+
+	req := service.ScheduleRequest{Algo: *algo, Seed: *seed, TimeoutMS: timeout.Milliseconds()}
+	var err error
+	if req.Graph, err = os.ReadFile(*graphPath); err != nil {
+		return err
+	}
+	if *systemPath != "" {
+		if req.System, err = os.ReadFile(*systemPath); err != nil {
+			return err
+		}
+	} else {
+		if req.Topology, err = os.ReadFile(*topoPath); err != nil {
+			return err
+		}
+	}
+	if *het != "" {
+		var lo, hi float64
+		if _, err := fmt.Sscanf(strings.ReplaceAll(*het, " ", ""), "%f,%f", &lo, &hi); err != nil {
+			return fmt.Errorf("bad -het %q (want lo,hi): %v", *het, err)
+		}
+		req.Het = &service.HetSpec{Lo: lo, Hi: hi, Seed: *hetSeed}
+	}
+
+	// Fire and forget, exactly as documented: the printed ID feeds the
+	// status / wait subcommands.
+	if *async {
+		v, err := client.Submit(ctx, req)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return dumpJSON(v)
+		}
+		fmt.Println(v.ID)
+		return nil
+	}
+	res, err := client.Schedule(ctx, req)
+	if err != nil {
+		return err
+	}
+	return printResult(res, *asJSON)
+}
+
+func printJob(v *service.JobView, asJSON bool) error {
+	if asJSON {
+		return dumpJSON(v)
+	}
+	if v.Error != nil {
+		return fmt.Errorf("job %s failed: %s", v.ID, v.Error.Error())
+	}
+	if v.Result == nil {
+		fmt.Printf("%s: %s (%s)\n", v.ID, v.Status, v.Algo)
+		return nil
+	}
+	fmt.Printf("%s: %s\n", v.ID, v.Status)
+	return printResult(v.Result, false)
+}
+
+func printResult(res *service.ScheduleResponse, asJSON bool) error {
+	if asJSON {
+		return dumpJSON(res)
+	}
+	fmt.Println(res.Summary)
+	fmt.Printf("makespan %.2f in %v\n", res.Makespan, time.Duration(res.ElapsedNS).Round(time.Microsecond))
+	keys := make([]string, 0, len(res.Stats))
+	for k := range res.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-16s %g\n", k, res.Stats[k])
+	}
+	return nil
+}
+
+func dumpJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,98 @@
+// Command schedd serves the repro scheduling library over HTTP: problems
+// arrive as the public JSON interchange (graph + system or topology
+// documents), run on a bounded worker pool with any registered algorithm,
+// and come back as complete verified schedules. See repro/sched/service
+// for the wire API.
+//
+// Usage:
+//
+//	schedd [-addr host:port] [-workers N] [-queue N] [-default-algo name]
+//	       [-job-ttl d] [-max-body bytes] [-drain-timeout d]
+//
+// schedd announces the bound address on stdout ("schedd: listening on
+// ADDR") — with -addr :0 the kernel picks the port, which is how the
+// end-to-end tests run it. On SIGTERM or SIGINT it drains gracefully:
+// the listener stops accepting, queued and running jobs finish, then the
+// process exits 0. A second signal — or -drain-timeout expiring — aborts
+// the drain and exits nonzero.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "repro/sched/register"
+	"repro/sched/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+	workers := flag.Int("workers", 0, "concurrent scheduling runs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = default 512)")
+	defaultAlgo := flag.String("default-algo", "bsa", "algorithm for requests that name none")
+	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay retrievable")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max time to wait for queued jobs on shutdown")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		DefaultAlgo:  *defaultAlgo,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxBodyBytes: *maxBody,
+		JobTTL:       *jobTTL,
+	})
+	expvar.Publish("schedd", srv.Vars())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	fmt.Println("schedd: draining...")
+
+	// Stop accepting connections and finish in-flight handlers, then let
+	// the pool run down the queued backlog.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Drain(drainCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("schedd: drained, bye")
+	return nil
+}

@@ -3,6 +3,8 @@ package sched_test
 import (
 	"bytes"
 	"context"
+	"errors"
+	"math"
 	"testing"
 
 	"repro/sched"
@@ -78,5 +80,58 @@ func TestAssembleScheduleRejectsInfeasible(t *testing.T) {
 	}
 	if _, err := sched.AssembleSchedule(p, tasks, msgs); err == nil {
 		t.Fatal("AssembleSchedule accepted overlapping slots")
+	}
+}
+
+// TestAssembleScheduleRejectsNonFinite: NaN/Inf slot times must fail
+// with *sched.SlotValueError before any timeline reservation happens —
+// NaN in particular defeats every overlap comparison, so letting it
+// through would assemble "feasible" garbage.
+func TestAssembleScheduleRejectsNonFinite(t *testing.T) {
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
+	p, err := sched.NewProblem(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bsa.Schedule(context.Background(), p, sched.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := []struct {
+		name  string
+		apply func(tasks []sched.TaskSlot, msgs []sched.MessageSlot)
+	}{
+		{"nan task start", func(ts []sched.TaskSlot, _ []sched.MessageSlot) { ts[0].Start = math.NaN() }},
+		{"inf task end", func(ts []sched.TaskSlot, _ []sched.MessageSlot) { ts[2].End = math.Inf(1) }},
+		{"nan message arrival", func(_ []sched.TaskSlot, ms []sched.MessageSlot) { ms[0].Arrival = math.NaN() }},
+		{"neg-inf hop start", func(_ []sched.TaskSlot, ms []sched.MessageSlot) {
+			for i := range ms {
+				if len(ms[i].Hops) > 0 {
+					ms[i].Hops[0].Start = math.Inf(-1)
+					return
+				}
+			}
+		}},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			tasks := res.Schedule.Tasks()
+			msgs := res.Schedule.Messages()
+			tc.apply(tasks, msgs)
+			_, err := sched.AssembleSchedule(p, tasks, msgs)
+			if err == nil {
+				t.Fatal("AssembleSchedule accepted a non-finite slot time")
+			}
+			var sv *sched.SlotValueError
+			if !errors.As(err, &sv) {
+				t.Fatalf("want *sched.SlotValueError, got %T: %v", err, err)
+			}
+		})
 	}
 }

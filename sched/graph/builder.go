@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"sort"
 )
 
@@ -19,7 +20,7 @@ func NewBuilder() *Builder {
 
 // AddTask adds a task with the given name and nominal execution cost and
 // returns its ID. Names must be unique and non-empty; costs must be
-// positive.
+// positive and finite.
 func (b *Builder) AddTask(name string, cost float64) TaskID {
 	id := TaskID(len(b.g.tasks))
 	if b.err != nil {
@@ -33,7 +34,8 @@ func (b *Builder) AddTask(name string, cost float64) TaskID {
 		b.fail(&DuplicateTaskError{Name: name})
 		return id
 	}
-	if cost <= 0 {
+	// !(cost > 0) also catches NaN, which every <=/< comparison misses.
+	if !(cost > 0) || math.IsInf(cost, 0) {
 		b.fail(&TaskCostError{Name: name, Cost: cost})
 		return id
 	}
@@ -44,7 +46,8 @@ func (b *Builder) AddTask(name string, cost float64) TaskID {
 
 // AddEdge adds a message from u to v with the given nominal communication
 // cost and returns its ID. Self-loops, duplicate edges, unknown endpoints
-// and negative costs are errors (zero-cost messages are allowed).
+// and negative or non-finite costs are errors (zero-cost messages are
+// allowed).
 func (b *Builder) AddEdge(from, to TaskID, cost float64) EdgeID {
 	id := EdgeID(len(b.g.edges))
 	if b.err != nil {
@@ -58,7 +61,7 @@ func (b *Builder) AddEdge(from, to TaskID, cost float64) EdgeID {
 		b.fail(&EdgeRangeError{Endpoint: to, NumTasks: int(n)})
 	case from == to:
 		b.fail(&SelfLoopError{Task: from})
-	case cost < 0:
+	case !(cost >= 0) || math.IsInf(cost, 0):
 		b.fail(&EdgeCostError{From: from, To: to, Cost: cost})
 	}
 	if b.err != nil {

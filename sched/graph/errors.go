@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrEmptyTaskName is reported by Builder.AddTask for an empty name.
@@ -18,14 +19,19 @@ func (e *DuplicateTaskError) Error() string {
 	return fmt.Sprintf("graph: duplicate task name %q", e.Name)
 }
 
-// TaskCostError is reported by Builder.AddTask for a non-positive
-// execution cost.
+// TaskCostError is reported by Builder.AddTask for an execution cost
+// that is not a positive, finite number. NaN and ±Inf are rejected at
+// construction: they would otherwise flow silently into every derived
+// timeline.
 type TaskCostError struct {
 	Name string
 	Cost float64
 }
 
 func (e *TaskCostError) Error() string {
+	if math.IsNaN(e.Cost) || math.IsInf(e.Cost, 0) {
+		return fmt.Sprintf("graph: task %q has non-finite cost %v", e.Name, e.Cost)
+	}
 	return fmt.Sprintf("graph: task %q has non-positive cost %v", e.Name, e.Cost)
 }
 
@@ -55,14 +61,18 @@ func (e *SelfLoopError) Error() string {
 	return fmt.Sprintf("graph: self-loop on task %d", e.Task)
 }
 
-// EdgeCostError is reported by Builder.AddEdge for a negative
-// communication cost (zero-cost messages are allowed).
+// EdgeCostError is reported by Builder.AddEdge for a communication cost
+// that is negative or non-finite (zero-cost messages are allowed; NaN
+// and ±Inf are rejected like task costs).
 type EdgeCostError struct {
 	From, To TaskID
 	Cost     float64
 }
 
 func (e *EdgeCostError) Error() string {
+	if math.IsNaN(e.Cost) || math.IsInf(e.Cost, 0) {
+		return fmt.Sprintf("graph: edge %d->%d has non-finite cost %v", e.From, e.To, e.Cost)
+	}
 	return fmt.Sprintf("graph: edge %d->%d has negative cost %v", e.From, e.To, e.Cost)
 }
 

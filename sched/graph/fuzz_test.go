@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedGolden adds every committed golden interchange file with the given
+// extension as a fuzz seed, so the fuzzers start from real accepted
+// inputs (the five workload families and four topologies of
+// sched/gen/testdata/golden) rather than from noise.
+func seedGolden(f *testing.F, ext string) {
+	paths, err := filepath.Glob(filepath.Join("..", "gen", "testdata", "golden", "*."+ext))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+}
+
+// FuzzGraphFromDOT: FromDOT must never panic, and any input it accepts
+// must round-trip through WriteDOT byte-identically — save(load(x))
+// reloads cleanly and re-saves to the same bytes, so the canonical form
+// is a fixpoint.
+func FuzzGraphFromDOT(f *testing.F) {
+	seedGolden(f, "dot")
+	f.Add([]byte("digraph \"t\" {\n  t0 [label=\"a\\n1\"];\n  t1 [label=\"b\\n2\"];\n  t0 -> t1 [label=\"3\"];\n}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, title, err := FromDOT(data)
+		if err != nil {
+			return
+		}
+		var s1 bytes.Buffer
+		if err := g.WriteDOT(&s1, title); err != nil {
+			t.Fatalf("save(load(x)): %v", err)
+		}
+		g2, title2, err := FromDOT(s1.Bytes())
+		if err != nil {
+			t.Fatalf("load(save(load(x))) rejected canonical output: %v\ninput: %q\ncanonical: %q", err, data, s1.Bytes())
+		}
+		if title2 != title {
+			t.Fatalf("title changed across round-trip: %q -> %q", title, title2)
+		}
+		var s2 bytes.Buffer
+		if err := g2.WriteDOT(&s2, title2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+			t.Fatalf("canonical DOT is not a fixpoint:\nfirst:  %q\nsecond: %q", s1.Bytes(), s2.Bytes())
+		}
+	})
+}
+
+// FuzzGraphFromJSON: the same contract for the JSON codec.
+func FuzzGraphFromJSON(f *testing.F) {
+	seedGolden(f, "json")
+	f.Add([]byte(`{"tasks":[{"name":"a","cost":1},{"name":"b","cost":2}],"edges":[{"from":"a","to":"b","cost":3}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := FromJSON(data)
+		if err != nil {
+			return
+		}
+		var s1 bytes.Buffer
+		if err := g.WriteJSON(&s1); err != nil {
+			t.Fatalf("save(load(x)): %v", err)
+		}
+		g2, err := FromJSON(s1.Bytes())
+		if err != nil {
+			t.Fatalf("load(save(load(x))) rejected canonical output: %v\ninput: %q\ncanonical: %q", err, data, s1.Bytes())
+		}
+		var s2 bytes.Buffer
+		if err := g2.WriteJSON(&s2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+			t.Fatalf("canonical JSON is not a fixpoint:\nfirst:  %q\nsecond: %q", s1.Bytes(), s2.Bytes())
+		}
+	})
+}

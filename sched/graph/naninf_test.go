@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestBuilderRejectsNonFiniteCosts: NaN and ±Inf costs must fail with
+// the same typed errors as out-of-range costs. NaN is the dangerous
+// case — it slips through every <=/< comparison — and was found by
+// construction while writing the loader fuzz targets: strconv.ParseFloat
+// happily parses "NaN" from a DOT label.
+func TestBuilderRejectsNonFiniteCosts(t *testing.T) {
+	for _, cost := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := NewBuilder()
+		b.AddTask("x", cost)
+		_, err := b.Build()
+		var tc *TaskCostError
+		if !errors.As(err, &tc) {
+			t.Errorf("task cost %v: want *TaskCostError, got %v", cost, err)
+		}
+
+		b = NewBuilder()
+		u := b.AddTask("u", 1)
+		v := b.AddTask("v", 1)
+		b.AddEdge(u, v, cost)
+		_, err = b.Build()
+		var ec *EdgeCostError
+		if !errors.As(err, &ec) {
+			t.Errorf("edge cost %v: want *EdgeCostError, got %v", cost, err)
+		}
+	}
+}
+
+// TestFromDOTRejectsNonFiniteCosts: the DOT loader goes through the
+// Builder, so textual "NaN"/"Inf" costs — which ParseFloat accepts —
+// must be rejected rather than propagated into timelines.
+func TestFromDOTRejectsNonFiniteCosts(t *testing.T) {
+	nanTask := "digraph \"t\" {\n  t0 [label=\"a\\nNaN\"];\n}\n"
+	if _, _, err := FromDOT([]byte(nanTask)); err == nil {
+		t.Error("FromDOT accepted a NaN task cost")
+	}
+	infEdge := "digraph \"t\" {\n  t0 [label=\"a\\n1\"];\n  t1 [label=\"b\\n1\"];\n  t0 -> t1 [label=\"+Inf\"];\n}\n"
+	if _, _, err := FromDOT([]byte(infEdge)); err == nil {
+		t.Error("FromDOT accepted an Inf edge cost")
+	}
+}

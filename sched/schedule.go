@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -87,12 +89,35 @@ type ReplayResult struct {
 	Length float64
 }
 
+// SlotValueError is reported by AssembleSchedule for a slot time that is
+// NaN or ±Inf. Non-finite times would propagate through every timeline
+// comparison (NaN makes them all false), so they are rejected before any
+// reservation is attempted.
+type SlotValueError struct {
+	Kind  string // "task" or "message"
+	Index int    // TaskID or EdgeID
+	Field string // "start", "end", "arrival", "hop N start", ...
+	Value float64
+}
+
+func (e *SlotValueError) Error() string {
+	return fmt.Sprintf("sched: %s %d has non-finite %s %v", e.Kind, e.Index, e.Field, e.Value)
+}
+
+func finiteSlot(kind string, index int, field string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return &SlotValueError{Kind: kind, Index: index, Field: field, Value: v}
+	}
+	return nil
+}
+
 // AssembleSchedule builds a Schedule view from explicit slot data: one
 // placed TaskSlot per task and one placed MessageSlot per message of
 // p.Graph. Every slot is re-reserved on its processor or link timeline
 // and the assembled schedule must pass Validate, so an infeasible
 // assembly (overlaps, broken routes, precedence violations, wrong
-// durations) is rejected with a descriptive error.
+// durations, NaN/Inf times — *SlotValueError) is rejected with a
+// descriptive error.
 //
 // This is the constructor for third-party Scheduler implementations:
 // an external algorithm places tasks and messages however it likes,
@@ -105,13 +130,28 @@ func AssembleSchedule(p Problem, tasks []TaskSlot, msgs []MessageSlot) (*Schedul
 	}
 	its := make([]schedule.TaskSlot, len(tasks))
 	for i := range tasks {
+		if err := finiteSlot("task", i, "start", tasks[i].Start); err != nil {
+			return nil, err
+		}
+		if err := finiteSlot("task", i, "end", tasks[i].End); err != nil {
+			return nil, err
+		}
 		its[i] = schedule.TaskSlot(tasks[i])
 	}
 	ims := make([]schedule.MsgSlot, len(msgs))
 	for i := range msgs {
 		hops := make([]schedule.Hop, len(msgs[i].Hops))
 		for h, hop := range msgs[i].Hops {
+			if err := finiteSlot("message", i, fmt.Sprintf("hop %d start", h), hop.Start); err != nil {
+				return nil, err
+			}
+			if err := finiteSlot("message", i, fmt.Sprintf("hop %d end", h), hop.End); err != nil {
+				return nil, err
+			}
 			hops[h] = schedule.Hop(hop)
+		}
+		if err := finiteSlot("message", i, "arrival", msgs[i].Arrival); err != nil {
+			return nil, err
 		}
 		ims[i] = schedule.MsgSlot{Hops: hops, Arrival: msgs[i].Arrival, Placed: msgs[i].Placed}
 	}

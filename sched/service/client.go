@@ -1,0 +1,159 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client drives a running scheduling service over HTTP. The zero value
+// is not usable: construct with NewClient. cmd/schedctl and the
+// end-to-end tests are its reference consumers.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient nil means http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// APIError is a non-2xx response decoded into its typed body. The
+// service's error codes (CodeBadRequest, ...) are in Body.Code.
+type APIError struct {
+	StatusCode int
+	Body       ErrorBody
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: http %d: %s: %s", e.StatusCode, e.Body.Code, e.Body.Message)
+}
+
+// do issues one request and decodes the response into out (ignored when
+// nil). Non-2xx responses come back as *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var env errorEnvelope
+		if err := json.Unmarshal(data, &env); err == nil && env.Error != nil {
+			apiErr.Body = *env.Error
+		} else {
+			apiErr.Body = ErrorBody{Code: "http_error", Message: strings.TrimSpace(string(data))}
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Schedule runs one problem synchronously (POST /v1/schedule).
+func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleResponse, error) {
+	var out ScheduleResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/schedule", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Submit enqueues an asynchronous job (POST /v1/jobs) and returns its
+// initial view.
+func (c *Client) Submit(ctx context.Context, req ScheduleRequest) (*JobView, error) {
+	var out JobView
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches the current view of a job (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	var out JobView
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Wait polls a job every poll interval until it reaches a terminal state
+// or ctx expires. poll <= 0 means 50ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobView, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if v.Status.Terminal() {
+			return v, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Algos lists the algorithms registered in the serving binary
+// (GET /v1/algos).
+func (c *Client) Algos(ctx context.Context) ([]AlgoInfo, error) {
+	var out []AlgoInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/algos", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health probes /healthz, returning nil while the service accepts work.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the /metrics counter document.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	var out map[string]int64
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,33 @@
+// Package service turns the repro/sched library into a long-running
+// scheduling service: an HTTP API that accepts problems in the public
+// JSON interchange formats, schedules them on a bounded worker pool with
+// any registered algorithm, and returns complete verified schedules.
+//
+// The package consumes only the public repro/sched surface (sched,
+// sched/graph, sched/system) — it is written as the external consumer it
+// serves. Algorithms arrive through the sched registry: blank-import
+// repro/sched/register for the built-ins, or sched.Register your own;
+// every registered name is schedulable per request.
+//
+// # Wire API
+//
+//	POST /v1/schedule     schedule synchronously; body is a ScheduleRequest,
+//	                      response a ScheduleResponse
+//	POST /v1/jobs         submit asynchronously; 202 + JobView
+//	GET  /v1/jobs/{id}    poll a job until its Status is terminal
+//	GET  /v1/algos        the registry's algorithms
+//	GET  /healthz         liveness (503 "draining" during shutdown)
+//	GET  /metrics         expvar counters: jobs in flight / completed /
+//	                      failed, BSA candidate-cache totals
+//
+// Errors are typed: every non-2xx body is {"error":{"code","message"}}
+// with a stable code (CodeBadRequest, CodeUnknownAlgorithm,
+// CodeDeadlineExceeded, CodeBodyTooLarge, ...). Per-request deadlines
+// (TimeoutMS) map to context cancellation inside the algorithms' own
+// loops, so a timed-out run stops computing instead of merely not being
+// reported.
+//
+// Server is the embeddable core; cmd/schedd wraps it with flags, SIGTERM
+// draining and a listener, and cmd/schedctl drives it from the command
+// line through Client.
+package service

@@ -1,0 +1,52 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/sched/gen"
+	_ "repro/sched/register"
+	"repro/sched/service"
+)
+
+// Example runs the whole service loop in-process: start a Server, point
+// a Client at it, schedule the paper's worked example synchronously and
+// drain. This is exactly what cmd/schedd + cmd/schedctl do across a real
+// network boundary.
+func Example() {
+	srv := service.New(service.Config{Workers: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
+	gdoc, err := g.MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sdoc, err := sys.MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	client := service.NewClient(ts.URL, nil)
+	res, err := client.Schedule(ctx, service.ScheduleRequest{
+		Algo:   "bsa",
+		Graph:  gdoc,
+		System: sdoc,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s scheduled the paper example: makespan %.0f\n", res.Algorithm, res.Makespan)
+
+	if err := srv.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// bsa scheduled the paper example: makespan 135
+}

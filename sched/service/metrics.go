@@ -1,0 +1,66 @@
+package service
+
+import (
+	"expvar"
+
+	"repro/sched"
+)
+
+// metrics is the server's counter set. The fields are expvar vars but
+// deliberately not registered in the process-global expvar namespace —
+// each Server owns its own set, so tests (and embeddings) can run many
+// servers in one process without Publish collisions. GET /metrics renders
+// them with expvar's own encoding; cmd/schedd additionally publishes the
+// map globally so /debug/vars integrations keep working.
+type metrics struct {
+	vars *expvar.Map
+
+	JobsAccepted  *expvar.Int // requests admitted to the queue (sync + async)
+	JobsInFlight  *expvar.Int // accepted, not yet terminal
+	JobsCompleted *expvar.Int // terminal: done
+	JobsFailed    *expvar.Int // terminal: failed (incl. deadline)
+	JobsRejected  *expvar.Int // refused before queueing (4xx/503)
+
+	// BSATrace aggregates, summed over every completed BSA run: the
+	// service-wide view of the sweep-level candidate cache.
+	CacheHits     *expvar.Int
+	CachePartials *expvar.Int
+	CacheMisses   *expvar.Int
+	Evaluations   *expvar.Int
+}
+
+func newMetrics() *metrics {
+	m := &metrics{vars: new(expvar.Map).Init()}
+	for _, v := range []struct {
+		name string
+		dst  **expvar.Int
+	}{
+		{"jobs_accepted", &m.JobsAccepted},
+		{"jobs_in_flight", &m.JobsInFlight},
+		{"jobs_completed", &m.JobsCompleted},
+		{"jobs_failed", &m.JobsFailed},
+		{"jobs_rejected", &m.JobsRejected},
+		{"cache_hits_total", &m.CacheHits},
+		{"cache_partials_total", &m.CachePartials},
+		{"cache_misses_total", &m.CacheMisses},
+		{"evaluations_total", &m.Evaluations},
+	} {
+		i := new(expvar.Int)
+		*v.dst = i
+		m.vars.Set(v.name, i)
+	}
+	return m
+}
+
+// observe folds one finished result into the aggregate counters.
+func (m *metrics) observe(res *sched.Result) {
+	if res == nil {
+		return
+	}
+	m.Evaluations.Add(int64(res.Stats.Get("evaluations")))
+	if tr, ok := res.BSA(); ok {
+		m.CacheHits.Add(int64(tr.CacheHits))
+		m.CachePartials.Add(int64(tr.CachePartials))
+		m.CacheMisses.Add(int64(tr.CacheMisses))
+	}
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+)
+
+// errQueueFull is returned by submit when every shard and the shared
+// overflow are at capacity — the service's backpressure signal (HTTP 503
+// with code "queue_full").
+var errQueueFull = errors.New("service: job queue full")
+
+// errDraining is returned by submit after beginDrain: the intake is
+// closed but queued jobs are still being finished.
+var errDraining = errors.New("service: server draining")
+
+// pool is the service's bounded worker pool, built on the sharded-queue
+// discipline of the experiment harness: each worker owns a small shard
+// and all workers share one buffered channel, and submit never blocks.
+// The preference order is inverted, though. Harness cells share graphs,
+// so home-shard affinity buys cache reuse; service jobs are one-shot
+// problems with nothing to reuse, and pinning them to a shard would let
+// a quick job starve behind one worker's long run while others idle.
+// submit therefore fills the shared queue first — any free worker picks
+// the next job — and spills to the job's home shard only when the shared
+// queue is full (at which point queue wait dominates latency anyway).
+// Unlike the harness's batch queue, the intake stays open until
+// beginDrain — the service schedules an open-ended stream.
+type pool struct {
+	shards   []chan *job
+	overflow chan *job
+
+	mu       sync.Mutex
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// shardBuf is the per-worker shard capacity. Small on purpose: the shard
+// only exists to keep a worker busy without contending on the shared
+// overflow; global queueing capacity lives in the overflow buffer.
+const shardBuf = 16
+
+// newPool starts workers goroutines draining their shard plus the shared
+// overflow of capacity depth. run is called once per job.
+func newPool(workers, depth int, run func(*job)) *pool {
+	p := &pool{
+		shards:   make([]chan *job, workers),
+		overflow: make(chan *job, depth),
+	}
+	for i := range p.shards {
+		p.shards[i] = make(chan *job, shardBuf)
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer p.wg.Done()
+			own, overflow := p.shards[w], p.overflow
+			for own != nil || overflow != nil {
+				select {
+				case j, ok := <-own:
+					if !ok {
+						own = nil
+						continue
+					}
+					run(j)
+				case j, ok := <-overflow:
+					if !ok {
+						overflow = nil
+						continue
+					}
+					run(j)
+				}
+			}
+		}(w)
+	}
+	return p
+}
+
+// submit enqueues a job on the shared queue, spilling to its home shard
+// when the queue is full. It never blocks: a fully loaded pool reports
+// errQueueFull and a draining pool errDraining.
+//
+// The mutex is held across the channel sends so submit can never race
+// beginDrain's close of the same channels (send-on-closed panics); the
+// sends are non-blocking, so the critical section cannot stall.
+func (p *pool) submit(j *job) error {
+	h := fnv.New32a()
+	h.Write([]byte(j.id))
+	home := p.shards[h.Sum32()%uint32(len(p.shards))]
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return errDraining
+	}
+	select {
+	case p.overflow <- j:
+		return nil
+	default:
+	}
+	select {
+	case home <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// beginDrain closes the intake: subsequent submits fail with errDraining
+// and the workers exit once the queued backlog is empty. Idempotent.
+func (p *pool) beginDrain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return
+	}
+	p.draining = true
+	for _, ch := range p.shards {
+		close(ch)
+	}
+	close(p.overflow)
+}
+
+// wait blocks until every worker has exited (all queued jobs ran).
+func (p *pool) wait() { p.wg.Wait() }

@@ -1,0 +1,368 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sched"
+)
+
+// Config parameterizes a Server. The zero value is production-usable:
+// every field falls back to the documented default.
+type Config struct {
+	// DefaultAlgo is the algorithm used when a request names none.
+	// Default "bsa".
+	DefaultAlgo string
+	// Workers bounds concurrent scheduling runs. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth is the shared overflow capacity — together with the
+	// per-worker shards it bounds accepted-but-unfinished jobs. Requests
+	// beyond it are rejected with 503 "queue_full". Default 512.
+	QueueDepth int
+	// MaxBodyBytes caps request bodies; larger ones get 413
+	// "body_too_large". Default 8 MiB.
+	MaxBodyBytes int64
+	// JobTTL is how long a finished job stays retrievable through
+	// GET /v1/jobs/{id}. Default 15 minutes.
+	JobTTL time.Duration
+	// Now overrides the clock (TTL tests). Default time.Now.
+	Now func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.DefaultAlgo == "" {
+		c.DefaultAlgo = "bsa"
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 512
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Server is the scheduling service: an http.Handler exposing the wire
+// API plus the worker pool and job store behind it. It consumes only the
+// public repro/sched surface — algorithms arrive through the registry, so
+// a binary embedding Server schedules with whatever it blank-imports or
+// registers itself.
+//
+//	POST /v1/schedule     synchronous scheduling (body: ScheduleRequest)
+//	POST /v1/jobs         asynchronous submit, 202 + JobView
+//	GET  /v1/jobs/{id}    job status / result
+//	GET  /v1/algos        registered algorithms
+//	GET  /healthz         liveness ("ok", or "draining" + 503)
+//	GET  /metrics         expvar counter document
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	pool     *pool
+	store    *store
+	metrics  *metrics
+	draining atomic.Bool
+
+	janitorStop chan struct{}
+	janitorOnce sync.Once
+}
+
+// New builds a Server and starts its worker pool and TTL janitor. Call
+// Drain to shut it down.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		store:       newStore(),
+		metrics:     newMetrics(),
+		janitorStop: make(chan struct{}),
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runJob)
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/algos", s.handleAlgos)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	go s.janitor()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes Server itself an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Vars exposes the counter map so an embedding binary can publish it in
+// the process-global expvar namespace (cmd/schedd does, as "schedd").
+func (s *Server) Vars() *expvar.Map { return s.metrics.vars }
+
+// Jobs returns the number of jobs currently in the store (any state).
+func (s *Server) Jobs() int { return s.store.size() }
+
+// Drain gracefully shuts the service down: the intake closes (new
+// submissions get 503 "shutting_down", /healthz turns "draining") and
+// Drain blocks until every accepted job has reached a terminal state or
+// ctx expires. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	// Stop the janitor on every exit path — an interrupted drain must not
+	// leak its goroutine and ticker for the rest of the process.
+	defer s.janitorOnce.Do(func() { close(s.janitorStop) })
+	s.pool.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.pool.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted with jobs still running: %w", ctx.Err())
+	}
+}
+
+// janitor periodically evicts expired terminal jobs.
+func (s *Server) janitor() {
+	period := s.cfg.JobTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.store.sweep(s.cfg.Now(), s.cfg.JobTTL)
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+// newJob compiles a request into a stored, queueable job. base is the
+// context the run hangs off: the request context for synchronous calls,
+// the background context for asynchronous jobs (they outlive the submit
+// request). A TimeoutMS deadline starts here — it covers queue wait.
+func (s *Server) newJob(base context.Context, req *ScheduleRequest) (*job, *ErrorBody) {
+	p, scheduler, errBody := req.compile(s.cfg.DefaultAlgo)
+	if errBody != nil {
+		return nil, errBody
+	}
+	ctx, cancel := base, context.CancelFunc(func() {})
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(base, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	j := &job{
+		id:        s.store.nextID(),
+		algo:      scheduler.Name(),
+		problem:   p,
+		scheduler: scheduler,
+		opts:      []sched.Option{sched.WithSeed(req.Seed), sched.WithWorkers(1)},
+		ctx:       ctx,
+		cancel:    cancel,
+		status:    JobQueued,
+		done:      make(chan struct{}),
+	}
+	return j, nil
+}
+
+// enqueue stores and submits a compiled job, updating the counters. The
+// accepted/in-flight counters move BEFORE the job becomes runnable: a
+// worker can finish it (decrementing in-flight) the instant submit
+// succeeds, and counting afterwards would let a /metrics scrape observe
+// jobs_in_flight at -1 or jobs_completed ahead of jobs_accepted.
+func (s *Server) enqueue(j *job) *ErrorBody {
+	s.store.put(j)
+	s.metrics.JobsAccepted.Add(1)
+	s.metrics.JobsInFlight.Add(1)
+	if err := s.pool.submit(j); err != nil {
+		// Remove the stillborn job so it cannot be polled forever.
+		s.metrics.JobsAccepted.Add(-1)
+		s.metrics.JobsInFlight.Add(-1)
+		s.store.delete(j.id)
+		j.cancel()
+		s.metrics.JobsRejected.Add(1)
+		if errors.Is(err, errDraining) {
+			return &ErrorBody{Code: CodeShuttingDown, Message: "server is draining"}
+		}
+		return &ErrorBody{Code: CodeQueueFull, Message: "job queue is full, retry later"}
+	}
+	return nil
+}
+
+// runJob executes one job on a pool worker and records its outcome.
+func (s *Server) runJob(j *job) {
+	var (
+		resp    *ScheduleResponse
+		errBody *ErrorBody
+	)
+	if err := j.ctx.Err(); err != nil {
+		// Deadline spent entirely in the queue.
+		errBody = ctxErrorBody(err)
+	} else {
+		j.setRunning()
+		res, err := j.scheduler.Schedule(j.ctx, j.problem, j.opts...)
+		switch {
+		case err == nil:
+			s.metrics.observe(res)
+			if resp, err = response(res); err != nil {
+				errBody = &ErrorBody{Code: CodeScheduleFailed, Message: err.Error()}
+			}
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			errBody = ctxErrorBody(err)
+		default:
+			errBody = &ErrorBody{Code: CodeScheduleFailed, Message: err.Error()}
+		}
+	}
+	if errBody != nil {
+		s.metrics.JobsFailed.Add(1)
+	} else {
+		s.metrics.JobsCompleted.Add(1)
+	}
+	s.metrics.JobsInFlight.Add(-1)
+	j.finish(s.cfg.Now(), resp, errBody)
+}
+
+// ctxErrorBody maps a context error to the wire error body. Cancellation
+// (a synchronous caller that went away) reports the same code as an
+// expired deadline: from the job's perspective both are "the time the
+// caller allotted ran out".
+func ctxErrorBody(err error) *ErrorBody {
+	return &ErrorBody{Code: CodeDeadlineExceeded, Message: err.Error()}
+}
+
+// ---- handlers ----
+
+// decode parses the JSON body under the body-size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *ScheduleRequest) *ErrorBody {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &ErrorBody{Code: CodeBodyTooLarge, Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+		}
+		return &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("decode request: %v", err)}
+	}
+	return nil
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if errBody := s.decode(w, r, &req); errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	j, errBody := s.newJob(r.Context(), &req)
+	if errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	if errBody := s.enqueue(j); errBody != nil {
+		writeError(w, errBody)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The worker observes the same context and finishes the job as
+		// failed; wait for it so the handler never abandons a live run.
+		<-j.done
+	}
+	// A synchronous job's ID is never disclosed, so nobody can poll it:
+	// drop it now instead of letting every sync response's schedule
+	// document sit in the store for a full JobTTL.
+	s.store.delete(j.id)
+	v := j.view()
+	if v.Error != nil {
+		writeError(w, v.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.Result)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if errBody := s.decode(w, r, &req); errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	j, errBody := s.newJob(context.Background(), &req)
+	if errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	if errBody := s.enqueue(j); errBody != nil {
+		writeError(w, errBody)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id, s.cfg.Now(), s.cfg.JobTTL)
+	if !ok {
+		writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleAlgos(w http.ResponseWriter, r *http.Request) {
+	ds := sched.List()
+	out := make([]AlgoInfo, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, AlgoInfo{Name: d.Name, Aliases: d.Aliases, Description: d.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.metrics.vars.String())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+func writeError(w http.ResponseWriter, e *ErrorBody) {
+	writeJSON(w, httpStatus(e.Code), errorEnvelope{Error: e})
+}

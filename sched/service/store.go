@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sched"
+)
+
+// job is one unit of scheduling work: a compiled problem plus its
+// lifecycle state. Handlers compile requests into jobs (so every
+// validation error surfaces before queueing), the pool runs them, and
+// the store keeps finished jobs around until their TTL expires.
+type job struct {
+	id   string
+	algo string
+
+	problem   sched.Problem
+	scheduler sched.Scheduler
+	opts      []sched.Option
+
+	// ctx bounds the run (queue wait included); cancel releases its
+	// timer once the job reaches a terminal state.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	status JobStatus
+	result *ScheduleResponse
+	errors *ErrorBody
+
+	// done closes when the job reaches a terminal state; the sync
+	// handler and Client.Wait-backed tests select on it.
+	done chan struct{}
+	// doneAt is the terminal-transition time, the TTL eviction anchor.
+	doneAt time.Time
+}
+
+// view snapshots the job's wire form.
+func (j *job) view() *JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &JobView{ID: j.id, Status: j.status, Algo: j.algo, Result: j.result, Error: j.errors}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.status = JobRunning
+	j.mu.Unlock()
+}
+
+func (j *job) finish(now time.Time, res *ScheduleResponse, errBody *ErrorBody) {
+	j.mu.Lock()
+	if errBody != nil {
+		j.status = JobFailed
+		j.errors = errBody
+	} else {
+		j.status = JobDone
+		j.result = res
+	}
+	j.doneAt = now
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+// terminalSince returns the terminal-transition time, or false while the
+// job is still queued or running.
+func (j *job) terminalSince() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doneAt, j.status.Terminal()
+}
+
+// store is the in-memory job table with TTL eviction: terminal jobs are
+// dropped ttl after they finish, both lazily on lookup and by the
+// server's janitor sweep. Live jobs are never evicted.
+type store struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  atomic.Uint64
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*job)}
+}
+
+// nextID returns a process-unique job ID.
+func (s *store) nextID() string {
+	return "j" + strconv.FormatUint(s.seq.Add(1), 10)
+}
+
+func (s *store) put(j *job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+}
+
+func (s *store) delete(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// get returns the job, lazily evicting it when its TTL has passed.
+func (s *store) get(id string, now time.Time, ttl time.Duration) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if doneAt, terminal := j.terminalSince(); terminal && ttl > 0 && now.Sub(doneAt) >= ttl {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return nil, false
+	}
+	return j, true
+}
+
+// sweep evicts every terminal job older than ttl and returns how many it
+// removed.
+func (s *store) sweep(now time.Time, ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, j := range s.jobs {
+		if doneAt, terminal := j.terminalSince(); terminal && now.Sub(doneAt) >= ttl {
+			delete(s.jobs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// size returns the number of stored jobs (any state).
+func (s *store) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}

@@ -1,0 +1,214 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"repro/sched"
+	"repro/sched/graph"
+	"repro/sched/system"
+)
+
+// ScheduleRequest is the wire form of one scheduling problem, built
+// entirely from the PR-4 public interchange formats: the graph document
+// is graph.FromJSON's schema, the system document system.SystemFromJSON's
+// and the topology document system.FromJSON's (a bare network).
+//
+// Exactly one of System and Topology must be present. A bare Topology
+// yields a homogeneous system unless Het asks for random min-normalized
+// factors (the paper's heterogeneity model, seeded for reproducibility).
+type ScheduleRequest struct {
+	// Algo selects the algorithm by registry name or alias,
+	// case-insensitively. Empty means the server's default ("bsa").
+	Algo string `json:"algo,omitempty"`
+	// Graph is the task graph interchange document (required).
+	Graph json.RawMessage `json:"graph"`
+	// System is a full heterogeneous system document: network plus
+	// execution/communication factor matrices.
+	System json.RawMessage `json:"system,omitempty"`
+	// Topology is a bare network document; factors default to 1.
+	Topology json.RawMessage `json:"topology,omitempty"`
+	// Het draws random min-normalized factors over Topology.
+	Het *HetSpec `json:"het,omitempty"`
+	// Seed drives the algorithm's tie-breaking RNG.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS bounds the run: the server maps it to a context deadline
+	// covering queue wait plus scheduling. 0 means no per-request bound.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// HetSpec mirrors bsasched's -het flag: factors drawn uniformly from
+// [Lo, Hi] and min-normalized per row, from the given seed.
+type HetSpec struct {
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+	Seed int64   `json:"seed,omitempty"`
+}
+
+// ScheduleResponse is the wire form of a sched.Result: the schedule
+// document is sched.Schedule's MarshalJSON output, byte-identical to what
+// the library (and cmd/bsasched -json) produces for the same problem.
+type ScheduleResponse struct {
+	Algorithm string             `json:"algorithm"`
+	Makespan  float64            `json:"makespan"`
+	ElapsedNS int64              `json:"elapsed_ns"`
+	Summary   string             `json:"summary"`
+	Stats     map[string]float64 `json:"stats,omitempty"`
+	Schedule  json.RawMessage    `json:"schedule"`
+}
+
+// JobStatus is the lifecycle state of an asynchronous job.
+type JobStatus string
+
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool { return s == JobDone || s == JobFailed }
+
+// JobView is the wire form of one asynchronous job.
+type JobView struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	Algo   string    `json:"algo"`
+	// Result is set once Status is "done".
+	Result *ScheduleResponse `json:"result,omitempty"`
+	// Error is set once Status is "failed".
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// AlgoInfo describes one registered algorithm (GET /v1/algos).
+type AlgoInfo struct {
+	Name        string   `json:"name"`
+	Aliases     []string `json:"aliases,omitempty"`
+	Description string   `json:"description"`
+}
+
+// Error codes carried by ErrorBody. They are coarser than messages and
+// stable across releases, so clients can switch on them.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeUnknownAlgorithm = "unknown_algorithm"
+	CodeNotFound         = "not_found"
+	CodeBodyTooLarge     = "body_too_large"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeQueueFull        = "queue_full"
+	CodeShuttingDown     = "shutting_down"
+	CodeScheduleFailed   = "schedule_failed"
+)
+
+// ErrorBody is the typed error payload every non-2xx response carries,
+// wrapped as {"error": {...}}.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *ErrorBody) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// errorEnvelope is the on-wire shape of an error response.
+type errorEnvelope struct {
+	Error *ErrorBody `json:"error"`
+}
+
+// httpStatus maps an error code to its HTTP status.
+func httpStatus(code string) int {
+	switch code {
+	case CodeBadRequest, CodeScheduleFailed:
+		return http.StatusBadRequest
+	case CodeUnknownAlgorithm, CodeNotFound:
+		return http.StatusNotFound
+	case CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeQueueFull, CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// compile resolves a wire request into a ready-to-run problem: parsed
+// graph, materialized system and a constructed scheduler. All validation
+// errors surface here, before the job enters the queue, so asynchronous
+// submissions still fail fast with a typed 4xx.
+func (req *ScheduleRequest) compile(defaultAlgo string) (sched.Problem, sched.Scheduler, *ErrorBody) {
+	if len(req.Graph) == 0 {
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "missing graph document"}
+	}
+	g, err := graph.FromJSON(req.Graph)
+	if err != nil {
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("graph: %v", err)}
+	}
+
+	var sys *system.System
+	switch {
+	case len(req.System) > 0 && len(req.Topology) > 0:
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "system and topology are mutually exclusive"}
+	case len(req.System) > 0:
+		if req.Het != nil {
+			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "het applies to topology, not to a full system document"}
+		}
+		sys, err = system.SystemFromJSON(req.System)
+		if err != nil {
+			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("system: %v", err)}
+		}
+	case len(req.Topology) > 0:
+		nw, err := system.FromJSON(req.Topology)
+		if err != nil {
+			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("topology: %v", err)}
+		}
+		if h := req.Het; h != nil {
+			seed := h.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), h.Lo, h.Hi, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("het: %v", err)}
+			}
+		} else {
+			sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
+		}
+	default:
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "missing system or topology document"}
+	}
+
+	p, err := sched.NewProblem(g, sys)
+	if err != nil {
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error()}
+	}
+
+	name := req.Algo
+	if name == "" {
+		name = defaultAlgo
+	}
+	scheduler, err := sched.Lookup(name)
+	if err != nil {
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeUnknownAlgorithm, Message: err.Error()}
+	}
+	return p, scheduler, nil
+}
+
+// response converts a finished sched.Result to its wire form.
+func response(res *sched.Result) (*ScheduleResponse, error) {
+	doc, err := res.Schedule.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	return &ScheduleResponse{
+		Algorithm: res.Algorithm,
+		Makespan:  res.Makespan,
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+		Summary:   res.Summary,
+		Stats:     res.Stats,
+		Schedule:  doc,
+	}, nil
+}

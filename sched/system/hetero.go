@@ -9,6 +9,7 @@ package system
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -187,8 +188,25 @@ func (s *System) MedianExecFactorCost(nominal []float64) []float64 {
 	return out
 }
 
+// FactorError is reported by Validate for a factor matrix entry that is
+// not a positive, finite number. NaN and ±Inf entries are rejected at
+// the boundary — loaded from JSON they would otherwise poison every
+// timeline computed from the system.
+type FactorError struct {
+	Matrix   string // "Exec" or "Comm"
+	Row, Col int
+	Value    float64
+}
+
+func (e *FactorError) Error() string {
+	if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+		return fmt.Sprintf("system: %s[%d][%d]=%v must be finite", e.Matrix, e.Row, e.Col, e.Value)
+	}
+	return fmt.Sprintf("system: %s[%d][%d]=%v must be positive", e.Matrix, e.Row, e.Col, e.Value)
+}
+
 // Validate checks matrix dimensions against a task/edge count and that all
-// factors are positive.
+// factors are positive and finite (*FactorError otherwise).
 func (s *System) Validate(nTasks, nEdges int) error {
 	if s.Net == nil {
 		return fmt.Errorf("system: nil network")
@@ -202,8 +220,8 @@ func (s *System) Validate(nTasks, nEdges int) error {
 			return fmt.Errorf("system: Exec[%d] has %d cols, want %d", i, len(row), m)
 		}
 		for j, f := range row {
-			if f <= 0 {
-				return fmt.Errorf("system: Exec[%d][%d]=%v must be positive", i, j, f)
+			if !(f > 0) || math.IsInf(f, 0) {
+				return &FactorError{Matrix: "Exec", Row: i, Col: j, Value: f}
 			}
 		}
 	}
@@ -217,8 +235,8 @@ func (s *System) Validate(nTasks, nEdges int) error {
 				return fmt.Errorf("system: Comm[%d] has %d cols, want %d", i, len(row), nl)
 			}
 			for j, f := range row {
-				if f <= 0 {
-					return fmt.Errorf("system: Comm[%d][%d]=%v must be positive", i, j, f)
+				if !(f > 0) || math.IsInf(f, 0) {
+					return &FactorError{Matrix: "Comm", Row: i, Col: j, Value: f}
 				}
 			}
 		}

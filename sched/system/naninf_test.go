@@ -1,0 +1,36 @@
+package system
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestValidateRejectsNonFiniteFactors: NaN/Inf factor entries must fail
+// Validate with *FactorError, exactly like non-positive entries. The
+// JSON system loader funnels through Validate, so this also hardens
+// SystemFromJSON against hand-edited inputs.
+func TestValidateRejectsNonFiniteFactors(t *testing.T) {
+	nw, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -1} {
+		s := NewUniform(nw, 3, 2)
+		s.Exec[1][2] = bad
+		var fe *FactorError
+		if err := s.Validate(3, 2); !errors.As(err, &fe) {
+			t.Errorf("Exec entry %v: want *FactorError, got %v", bad, err)
+		} else if fe.Matrix != "Exec" || fe.Row != 1 || fe.Col != 2 {
+			t.Errorf("Exec entry %v: wrong coordinates in %v", bad, fe)
+		}
+
+		s = NewUniform(nw, 3, 2)
+		s.Comm = [][]float64{{1, 1, 1, 1}, {1, 1, bad, 1}}
+		if err := s.Validate(3, 2); !errors.As(err, &fe) {
+			t.Errorf("Comm entry %v: want *FactorError, got %v", bad, err)
+		} else if fe.Matrix != "Comm" || fe.Row != 1 || fe.Col != 2 {
+			t.Errorf("Comm entry %v: wrong coordinates in %v", bad, fe)
+		}
+	}
+}

@@ -4,6 +4,8 @@
 package tests
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -13,8 +15,10 @@ import (
 	"repro/internal/heft"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/sched"
 	"repro/sched/gen"
 	"repro/sched/graph"
+	_ "repro/sched/register"
 	"repro/sched/system"
 )
 
@@ -87,6 +91,79 @@ func TestAllSchedulersAllFamilies(t *testing.T) {
 				if s.Length() <= 0 {
 					t.Errorf("%v topo %d %s: zero-length schedule", kind, ti, name)
 				}
+			}
+		}
+	}
+}
+
+// TestSimReplayMatrix is the systematic replay net: every REGISTERED
+// algorithm — not just the hardwired BSA/DLS pair of
+// internal/sim/sim_test.go — must produce schedules the independent
+// event-driven simulator can reproduce, on all four evaluation
+// topologies with heterogeneity off and on. The simulated makespan may
+// close reserved idle gaps but can never exceed the static schedule
+// length the algorithm promised.
+func TestSimReplayMatrix(t *testing.T) {
+	topos := []struct {
+		name string
+		spec gen.TopoSpec
+	}{
+		{"ring", gen.TopoSpec{Kind: gen.Ring, Procs: 8}},
+		{"hypercube", gen.TopoSpec{Kind: gen.Hypercube, Procs: 8}},
+		{"clique", gen.TopoSpec{Kind: gen.Clique, Procs: 8}},
+		{"random", gen.TopoSpec{Kind: gen.RandomTopo, Procs: 8}},
+	}
+	ctx := context.Background()
+	for _, d := range sched.List() {
+		for _, topo := range topos {
+			for _, het := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%s/het=%v", d.Name, topo.name, het)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(42))
+					g, err := gen.Generate(gen.Spec{Kind: gen.Random, Size: 60, Granularity: 1}, rng)
+					if err != nil {
+						t.Fatal(err)
+					}
+					nw, err := gen.Topology(topo.spec, rng)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var sys *system.System
+					if het {
+						sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+						if err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
+					}
+					p, err := sched.NewProblem(g, sys)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s, err := sched.Lookup(d.Name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := s.Schedule(ctx, p, sched.WithSeed(7))
+					if err != nil {
+						t.Fatalf("schedule: %v", err)
+					}
+					if err := res.Schedule.Validate(); err != nil {
+						t.Fatalf("infeasible schedule: %v", err)
+					}
+					replay, err := res.Schedule.Replay()
+					if err != nil {
+						t.Fatalf("replay: %v", err)
+					}
+					if replay.Length > res.Makespan {
+						t.Errorf("simulated length %v exceeds static schedule length %v",
+							replay.Length, res.Makespan)
+					}
+					if replay.Events <= 0 {
+						t.Errorf("replay processed %d events", replay.Events)
+					}
+				})
 			}
 		}
 	}
