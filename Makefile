@@ -25,14 +25,15 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # bench runs the core scheduler benchmarks (incremental engine variants vs
-# the full-rebuild oracle on the size sweep and the topology sweep, plus
-# the DLS comparison) and writes the machine-readable BENCH_core.json at
-# the repo root via cmd/benchjson — the committed file is the performance
-# trajectory's previous point, which bench-gate compares against.
+# the full-rebuild oracle on the size sweep and the topology sweep, the
+# DLS comparison and the warm-vs-cold reschedule pair) and writes the
+# machine-readable BENCH_core.json at the repo root via cmd/benchjson —
+# the committed file is the performance trajectory's previous point,
+# which bench-gate compares against.
 # -count 3 + benchjson's best-of-N dedup damps runner noise enough for the
 # 15% regression gate to hold on shared CI machines.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkBSA$$|BenchmarkBSATopologies$$|BenchmarkDLS$$' -benchtime 3x -count 3 . | $(GO) run ./cmd/benchjson -out BENCH_core.json
+	$(GO) test -run '^$$' -bench 'BenchmarkBSA$$|BenchmarkBSATopologies$$|BenchmarkDLS$$|BenchmarkReschedule$$' -benchtime 3x -count 3 . | $(GO) run ./cmd/benchjson -out BENCH_core.json
 
 # bench-smoke executes every benchmark once so they cannot bit-rot.
 bench-smoke:
@@ -64,14 +65,16 @@ apiseal:
 
 # fuzz runs each loader fuzz target for FUZZTIME (the CI smoke uses 20s;
 # raise it locally for a real hunt). Go runs one -fuzz target per
-# invocation, hence the four lines. Seed corpora are committed under
-# sched/{graph,system}/testdata/fuzz plus the golden interchange files.
+# invocation, hence the five lines. Seed corpora are committed under
+# sched/testdata/fuzz and sched/{graph,system}/testdata/fuzz plus the
+# golden interchange files.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./sched/graph -run '^$$' -fuzz '^FuzzGraphFromDOT$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./sched/graph -run '^$$' -fuzz '^FuzzGraphFromJSON$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./sched/system -run '^$$' -fuzz '^FuzzSystemFromDOT$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./sched/system -run '^$$' -fuzz '^FuzzSystemFromJSON$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./sched -run '^$$' -fuzz '^FuzzDeltaFromJSON$$' -fuzztime $(FUZZTIME)
 
 # service-test runs the scheduling service's handler + drain suite under
 # the race detector, plus the end-to-end test that builds and SIGTERMs a

@@ -6,6 +6,8 @@
 //	schedctl [-server URL] schedule -graph g.json (-topo t.json | -system s.json)
 //	         [-algo name] [-het lo,hi] [-het-seed N] [-seed N] [-timeout d]
 //	         [-async] [-json]
+//	schedctl [-server URL] reschedule JOB_ID -delta d.json [-seed N]
+//	         [-timeout d] [-async] [-poll d] [-json]
 //	schedctl [-server URL] status JOB_ID [-json]
 //	schedctl [-server URL] wait JOB_ID [-poll d] [-json]
 //	schedctl [-server URL] algos
@@ -17,6 +19,12 @@
 // (the schedule document inside it is byte-identical to what cmd/bsasched
 // -json prints for the same problem). With -async it submits a job and
 // prints its ID without waiting.
+//
+// reschedule applies a quasi-dynamic problem delta (sched's Delta
+// interchange document: remove_procs, remove_links, exec_factors,
+// comm_factors, add_tasks, add_edges) to a finished job's schedule and
+// warm-starts BSA from it. By default it waits for the reconverged
+// schedule; -async prints the new job's ID instead.
 package main
 
 import (
@@ -40,7 +48,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: schedctl [-server URL] <schedule|status|wait|algos|health|metrics> [args]")
+	return fmt.Errorf("usage: schedctl [-server URL] <schedule|reschedule|status|wait|algos|health|metrics> [args]")
 }
 
 func run() error {
@@ -56,14 +64,22 @@ func run() error {
 	switch args[0] {
 	case "schedule":
 		return schedule(ctx, client, args[1:])
+	case "reschedule":
+		return reschedule(ctx, client, args[1:])
 	case "status", "wait":
 		fs := flag.NewFlagSet(args[0], flag.ExitOnError)
 		poll := fs.Duration("poll", 100*time.Millisecond, "poll interval (wait)")
 		asJSON := fs.Bool("json", false, "print the raw wire response")
-		if err := fs.Parse(args[1:]); err != nil {
+		id, rest := peelJobID(args[1:])
+		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		if fs.NArg() != 1 {
+		if id == "" && fs.NArg() == 1 {
+			id = fs.Arg(0)
+		} else if fs.NArg() != 0 {
+			id = ""
+		}
+		if id == "" {
 			return fmt.Errorf("%s needs exactly one JOB_ID", args[0])
 		}
 		var (
@@ -71,9 +87,9 @@ func run() error {
 			err error
 		)
 		if args[0] == "wait" {
-			v, err = client.Wait(ctx, fs.Arg(0), *poll)
+			v, err = client.Wait(ctx, id, *poll)
 		} else {
-			v, err = client.Job(ctx, fs.Arg(0))
+			v, err = client.Job(ctx, id)
 		}
 		if err != nil {
 			return err
@@ -115,6 +131,18 @@ func run() error {
 	default:
 		return usage()
 	}
+}
+
+// peelJobID splits a leading non-flag token off the argument list so the
+// documented "SUBCOMMAND JOB_ID -flag ..." order works: the standard flag
+// package stops parsing at the first positional argument, so the JOB_ID
+// must come off before Parse sees the flags. A trailing JOB_ID
+// ("SUBCOMMAND -flag ... JOB_ID") still works via fs.Arg(0).
+func peelJobID(args []string) (id string, rest []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
 }
 
 func schedule(ctx context.Context, client *service.Client, args []string) error {
@@ -176,6 +204,49 @@ func schedule(ctx context.Context, client *service.Client, args []string) error 
 		return err
 	}
 	return printResult(res, *asJSON)
+}
+
+func reschedule(ctx context.Context, client *service.Client, args []string) error {
+	fs := flag.NewFlagSet("reschedule", flag.ExitOnError)
+	deltaPath := fs.String("delta", "", "problem delta JSON file (required)")
+	seed := fs.Int64("seed", 1, "reconvergence tie-break seed")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = none)")
+	async := fs.Bool("async", false, "submit the reschedule job and print its ID instead of waiting")
+	poll := fs.Duration("poll", 100*time.Millisecond, "poll interval while waiting")
+	asJSON := fs.Bool("json", false, "print the raw wire response")
+	id, rest := peelJobID(args)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if id == "" && fs.NArg() == 1 {
+		id = fs.Arg(0)
+	} else if fs.NArg() != 0 {
+		id = ""
+	}
+	if id == "" || *deltaPath == "" {
+		return fmt.Errorf("reschedule needs exactly one JOB_ID and -delta")
+	}
+	delta, err := os.ReadFile(*deltaPath)
+	if err != nil {
+		return err
+	}
+	req := service.RescheduleRequest{Delta: delta, Seed: *seed, TimeoutMS: timeout.Milliseconds()}
+	v, err := client.Reschedule(ctx, id, req)
+	if err != nil {
+		return err
+	}
+	if *async {
+		if *asJSON {
+			return dumpJSON(v)
+		}
+		fmt.Println(v.ID)
+		return nil
+	}
+	done, err := client.Wait(ctx, v.ID, *poll)
+	if err != nil {
+		return err
+	}
+	return printJob(done, *asJSON)
 }
 
 func printJob(v *service.JobView, asJSON bool) error {

@@ -142,6 +142,9 @@ type Result struct {
 	// MigrationTrace is the commit-attempt sequence, recorded only when
 	// Options.RecordTrace is set.
 	MigrationTrace []MigrationStep
+	// DirtyTasks is the size of the warm start's reconvergence frontier
+	// after adoption diffing; zero for cold runs (see RescheduleContext).
+	DirtyTasks int
 }
 
 // MigrationStep is one commit attempt of the migration sweep: task moved

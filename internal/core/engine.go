@@ -135,7 +135,37 @@ type routeSave struct {
 	off, n int32
 }
 
+// newEngine builds the cold-start engine: every task is assigned to the
+// pivot and all routes are empty, the serial-injection state of the
+// paper's stage 2.
 func newEngine(g *graph.Graph, sys *system.System, serial []graph.TaskID, pivot system.ProcID, cfg engineConfig) *engine {
+	en := newEngineCore(g, sys, serial, cfg)
+	for i := range en.assign {
+		en.assign[i] = pivot
+	}
+	en.finishInit()
+	return en
+}
+
+// newWarmEngine builds an engine whose ground truth (assign, routes) is
+// adopted from a previous schedule instead of the all-on-pivot injection
+// state. One rebuild derives the timelines from the adopted state, so the
+// engine starts at the warm schedule with every invariant (including the
+// elitism baseline) established exactly as if BSA had migrated its way
+// here.
+func newWarmEngine(g *graph.Graph, sys *system.System, serial []graph.TaskID, assign []system.ProcID, routes [][]system.LinkID, cfg engineConfig) *engine {
+	en := newEngineCore(g, sys, serial, cfg)
+	copy(en.assign, assign)
+	for e, r := range routes {
+		en.routes.set(graph.EdgeID(e), r)
+	}
+	en.finishInit()
+	return en
+}
+
+// newEngineCore allocates everything both engine constructors share; the
+// caller seeds assign/routes and then calls finishInit.
+func newEngineCore(g *graph.Graph, sys *system.System, serial []graph.TaskID, cfg engineConfig) *engine {
 	en := &engine{
 		g:      g,
 		sys:    sys,
@@ -185,14 +215,21 @@ func newEngine(g *graph.Graph, sys *system.System, serial []graph.TaskID, pivot 
 	for i := range en.scratch {
 		en.scratch[i] = newEvalScratch(sys.Net.NumLinks())
 	}
-	for i := range en.assign {
-		en.assign[i] = pivot
-	}
+	return en
+}
+
+// finishInit derives the initial timelines from the seeded ground truth
+// and establishes the elitism baseline. bestRoutes must mirror the
+// current routes exactly: noteState only refreshes touched edges, so any
+// route it never touches is assumed equal to the baseline copy.
+func (en *engine) finishInit() {
 	en.rebuild()
 	en.bestLen = en.s.Length()
 	en.bestAssign = append([]system.ProcID(nil), en.assign...)
-	en.bestRoutes = newRouteArena(g.NumEdges())
-	return en
+	en.bestRoutes = newRouteArena(en.g.NumEdges())
+	for e := 0; e < en.g.NumEdges(); e++ {
+		en.bestRoutes.set(graph.EdgeID(e), en.routes.route(graph.EdgeID(e)))
+	}
 }
 
 // noteState records the current state if it is the best seen so far. Only

@@ -1,0 +1,634 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/sched/graph"
+	"repro/sched/system"
+)
+
+// Delta is a typed, immutable description of how a live scheduling
+// problem changed: processors or links that disappeared, heterogeneity
+// factors that moved, and a task sub-DAG appended to the workload. A
+// Delta references everything by name (task names, processor names), so
+// it is stable under ID renumbering and round-trips through JSON (see
+// DeltaFromJSON). Build one with DeltaBuilder; apply it with Apply to get
+// the post-delta Problem, or hand it to Reschedule to warm-start BSA from
+// the previous schedule.
+//
+// Appended edges may run from any task into an appended task, but never
+// into a pre-existing task: the append model grows the DAG downstream, so
+// the previous schedule's relative order of old tasks stays a valid
+// serialization and the warm start only has to reconverge the frontier
+// the delta touches.
+type Delta struct {
+	removeProcs []ProcRemoval
+	removeLinks []LinkRemoval
+	execFactors []ExecFactorChange
+	commFactors []CommFactorChange
+	addTasks    []TaskAppend
+	addEdges    []EdgeAppend
+}
+
+// ProcRemoval removes one processor (and every link touching it).
+type ProcRemoval struct {
+	Proc string
+}
+
+// LinkRemoval removes the link between two named processors.
+type LinkRemoval struct {
+	A, B string
+}
+
+// ExecFactorChange sets the execution heterogeneity factor of one task on
+// one processor.
+type ExecFactorChange struct {
+	Task   string
+	Proc   string
+	Factor float64
+}
+
+// CommFactorChange sets the communication heterogeneity factor of the
+// message From->To on the link joining processors LinkA and LinkB.
+type CommFactorChange struct {
+	From, To     string
+	LinkA, LinkB string
+	Factor       float64
+}
+
+// TaskAppend appends one task with its nominal execution cost.
+type TaskAppend struct {
+	Name string
+	Cost float64
+}
+
+// EdgeAppend appends one message edge; To must name an appended task.
+type EdgeAppend struct {
+	From, To string
+	Cost     float64
+}
+
+// NumOps returns the total number of operations in the delta.
+func (d Delta) NumOps() int {
+	return len(d.removeProcs) + len(d.removeLinks) + len(d.execFactors) +
+		len(d.commFactors) + len(d.addTasks) + len(d.addEdges)
+}
+
+// Empty reports whether the delta contains no operations. Rescheduling
+// with an empty delta just reconverges the previous schedule.
+func (d Delta) Empty() bool { return d.NumOps() == 0 }
+
+// RemoveProcs returns a copy of the processor removals, in insertion
+// order.
+func (d Delta) RemoveProcs() []ProcRemoval { return append([]ProcRemoval(nil), d.removeProcs...) }
+
+// RemoveLinks returns a copy of the link removals, in insertion order.
+func (d Delta) RemoveLinks() []LinkRemoval { return append([]LinkRemoval(nil), d.removeLinks...) }
+
+// ExecFactors returns a copy of the execution-factor changes, in
+// insertion order.
+func (d Delta) ExecFactors() []ExecFactorChange {
+	return append([]ExecFactorChange(nil), d.execFactors...)
+}
+
+// CommFactors returns a copy of the communication-factor changes, in
+// insertion order.
+func (d Delta) CommFactors() []CommFactorChange {
+	return append([]CommFactorChange(nil), d.commFactors...)
+}
+
+// AddTasks returns a copy of the appended tasks, in insertion order.
+func (d Delta) AddTasks() []TaskAppend { return append([]TaskAppend(nil), d.addTasks...) }
+
+// AddEdges returns a copy of the appended edges, in insertion order.
+func (d Delta) AddEdges() []EdgeAppend { return append([]EdgeAppend(nil), d.addEdges...) }
+
+// ErrEmptyDeltaName is reported by DeltaBuilder for an empty task or
+// processor name.
+var ErrEmptyDeltaName = errors.New("sched: empty name in delta operation")
+
+// DeltaValueError is reported by DeltaBuilder for a factor or cost that
+// is not usable: factors must be positive and finite, task costs positive
+// and finite, edge costs non-negative and finite.
+type DeltaValueError struct {
+	Op    string // "set_exec_factor", "set_comm_factor", "add_task", "add_edge"
+	Ref   string // human-readable target, e.g. `task "t3" on "P2"`
+	Value float64
+}
+
+func (e *DeltaValueError) Error() string {
+	return fmt.Sprintf("sched: delta %s %s: bad value %v", e.Op, e.Ref, e.Value)
+}
+
+// DeltaDuplicateError is reported by DeltaBuilder when the same target is
+// operated on twice (two removals of one processor, two factor changes of
+// one (task, processor) pair, ...). Duplicates are rejected rather than
+// last-wins so a Delta has exactly one meaning.
+type DeltaDuplicateError struct {
+	Op  string
+	Ref string
+}
+
+func (e *DeltaDuplicateError) Error() string {
+	return fmt.Sprintf("sched: duplicate delta %s %s", e.Op, e.Ref)
+}
+
+// UnknownProcError is reported by Apply/Reschedule for a delta operation
+// naming a processor that does not exist in the problem (or that the same
+// delta removed).
+type UnknownProcError struct {
+	Name string
+}
+
+func (e *UnknownProcError) Error() string {
+	return fmt.Sprintf("sched: delta references unknown or removed processor %q", e.Name)
+}
+
+// UnknownTaskError is reported by Apply/Reschedule for a delta operation
+// naming a task that exists neither in the problem nor among the delta's
+// appended tasks.
+type UnknownTaskError struct {
+	Name string
+}
+
+func (e *UnknownTaskError) Error() string {
+	return fmt.Sprintf("sched: delta references unknown task %q", e.Name)
+}
+
+// UnknownLinkError is reported by Apply/Reschedule when no link joins the
+// two named processors (in the post-removal network, for factor changes).
+type UnknownLinkError struct {
+	A, B string
+}
+
+func (e *UnknownLinkError) Error() string {
+	return fmt.Sprintf("sched: delta references unknown link %s-%s", e.A, e.B)
+}
+
+// UnknownEdgeError is reported by Apply/Reschedule for a
+// communication-factor change naming a task pair with no edge.
+type UnknownEdgeError struct {
+	From, To string
+}
+
+func (e *UnknownEdgeError) Error() string {
+	return fmt.Sprintf("sched: delta references unknown edge %s->%s", e.From, e.To)
+}
+
+// DeltaEdgeTargetError is reported by Apply/Reschedule for an appended
+// edge whose target is a pre-existing task. Appended edges may only point
+// into appended tasks (see Delta).
+type DeltaEdgeTargetError struct {
+	From, To string
+}
+
+func (e *DeltaEdgeTargetError) Error() string {
+	return fmt.Sprintf("sched: delta edge %s->%s targets a pre-existing task; appended edges may only target appended tasks", e.From, e.To)
+}
+
+// ErrNoProcessors is reported by Apply/Reschedule when the delta removes
+// every processor.
+var ErrNoProcessors = errors.New("sched: delta removes every processor")
+
+// DisconnectedError is reported by Apply/Reschedule when the removals
+// leave the processor network disconnected.
+type DisconnectedError struct {
+	// Removed lists the processor names the delta removed.
+	Removed []string
+}
+
+func (e *DisconnectedError) Error() string {
+	return fmt.Sprintf("sched: delta leaves the network disconnected (removed %v)", e.Removed)
+}
+
+// DeltaBuilder assembles a Delta incrementally, mirroring graph.Builder:
+// methods record the first error encountered and Build returns it.
+// Value-level validation (positive finite factors and costs, no duplicate
+// targets) happens here; name resolution happens when the delta is
+// applied to a concrete Problem, since the same Delta document can be
+// aimed at different problems.
+type DeltaBuilder struct {
+	d   Delta
+	err error
+
+	procRem map[string]bool
+	linkRem map[[2]string]bool
+	execSet map[[2]string]bool
+	commSet map[[4]string]bool
+	taskAdd map[string]bool
+	edgeAdd map[[2]string]bool
+}
+
+// NewDeltaBuilder returns an empty DeltaBuilder.
+func NewDeltaBuilder() *DeltaBuilder {
+	return &DeltaBuilder{
+		procRem: make(map[string]bool),
+		linkRem: make(map[[2]string]bool),
+		execSet: make(map[[2]string]bool),
+		commSet: make(map[[4]string]bool),
+		taskAdd: make(map[string]bool),
+		edgeAdd: make(map[[2]string]bool),
+	}
+}
+
+func (b *DeltaBuilder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// RemoveProc removes the named processor and every link touching it.
+func (b *DeltaBuilder) RemoveProc(name string) *DeltaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if name == "" {
+		b.fail(ErrEmptyDeltaName)
+		return b
+	}
+	if b.procRem[name] {
+		b.fail(&DeltaDuplicateError{Op: "remove_proc", Ref: fmt.Sprintf("%q", name)})
+		return b
+	}
+	b.procRem[name] = true
+	b.d.removeProcs = append(b.d.removeProcs, ProcRemoval{Proc: name})
+	return b
+}
+
+// RemoveLink removes the link between processors a and z.
+func (b *DeltaBuilder) RemoveLink(a, z string) *DeltaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if a == "" || z == "" {
+		b.fail(ErrEmptyDeltaName)
+		return b
+	}
+	key := [2]string{a, z}
+	if z < a {
+		key = [2]string{z, a}
+	}
+	if b.linkRem[key] {
+		b.fail(&DeltaDuplicateError{Op: "remove_link", Ref: fmt.Sprintf("%s-%s", a, z)})
+		return b
+	}
+	b.linkRem[key] = true
+	b.d.removeLinks = append(b.d.removeLinks, LinkRemoval{A: a, B: z})
+	return b
+}
+
+// SetExecFactor sets the execution heterogeneity factor of task on proc.
+func (b *DeltaBuilder) SetExecFactor(task, proc string, factor float64) *DeltaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if task == "" || proc == "" {
+		b.fail(ErrEmptyDeltaName)
+		return b
+	}
+	if !(factor > 0) || math.IsInf(factor, 0) {
+		b.fail(&DeltaValueError{Op: "set_exec_factor", Ref: fmt.Sprintf("task %q on %q", task, proc), Value: factor})
+		return b
+	}
+	key := [2]string{task, proc}
+	if b.execSet[key] {
+		b.fail(&DeltaDuplicateError{Op: "set_exec_factor", Ref: fmt.Sprintf("task %q on %q", task, proc)})
+		return b
+	}
+	b.execSet[key] = true
+	b.d.execFactors = append(b.d.execFactors, ExecFactorChange{Task: task, Proc: proc, Factor: factor})
+	return b
+}
+
+// SetCommFactor sets the communication heterogeneity factor of the
+// message from->to on the link joining processors linkA and linkB.
+func (b *DeltaBuilder) SetCommFactor(from, to, linkA, linkB string, factor float64) *DeltaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if from == "" || to == "" || linkA == "" || linkB == "" {
+		b.fail(ErrEmptyDeltaName)
+		return b
+	}
+	ref := fmt.Sprintf("edge %s->%s on %s-%s", from, to, linkA, linkB)
+	if !(factor > 0) || math.IsInf(factor, 0) {
+		b.fail(&DeltaValueError{Op: "set_comm_factor", Ref: ref, Value: factor})
+		return b
+	}
+	la, lb := linkA, linkB
+	if lb < la {
+		la, lb = lb, la
+	}
+	key := [4]string{from, to, la, lb}
+	if b.commSet[key] {
+		b.fail(&DeltaDuplicateError{Op: "set_comm_factor", Ref: ref})
+		return b
+	}
+	b.commSet[key] = true
+	b.d.commFactors = append(b.d.commFactors, CommFactorChange{From: from, To: to, LinkA: linkA, LinkB: linkB, Factor: factor})
+	return b
+}
+
+// AddTask appends a task with the given name and nominal execution cost.
+func (b *DeltaBuilder) AddTask(name string, cost float64) *DeltaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if name == "" {
+		b.fail(ErrEmptyDeltaName)
+		return b
+	}
+	if b.taskAdd[name] {
+		b.fail(&DeltaDuplicateError{Op: "add_task", Ref: fmt.Sprintf("%q", name)})
+		return b
+	}
+	if !(cost > 0) || math.IsInf(cost, 0) {
+		b.fail(&DeltaValueError{Op: "add_task", Ref: fmt.Sprintf("%q", name), Value: cost})
+		return b
+	}
+	b.taskAdd[name] = true
+	b.d.addTasks = append(b.d.addTasks, TaskAppend{Name: name, Cost: cost})
+	return b
+}
+
+// AddEdge appends a message from->to with the given nominal communication
+// cost. to must name a task appended by this delta.
+func (b *DeltaBuilder) AddEdge(from, to string, cost float64) *DeltaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if from == "" || to == "" {
+		b.fail(ErrEmptyDeltaName)
+		return b
+	}
+	ref := fmt.Sprintf("%s->%s", from, to)
+	if !(cost >= 0) || math.IsInf(cost, 0) {
+		b.fail(&DeltaValueError{Op: "add_edge", Ref: ref, Value: cost})
+		return b
+	}
+	key := [2]string{from, to}
+	if b.edgeAdd[key] {
+		b.fail(&DeltaDuplicateError{Op: "add_edge", Ref: ref})
+		return b
+	}
+	b.edgeAdd[key] = true
+	b.d.addEdges = append(b.d.addEdges, EdgeAppend{From: from, To: to, Cost: cost})
+	return b
+}
+
+// Build finalizes the delta, returning the first error any operation
+// recorded. The builder must not be reused afterwards.
+func (b *DeltaBuilder) Build() (Delta, error) {
+	if b.err != nil {
+		return Delta{}, b.err
+	}
+	return b.d, nil
+}
+
+// deltaResolution is a delta applied to a concrete problem: the
+// post-delta graph and system plus the old->new resource maps the warm
+// start needs to carry placements across.
+type deltaResolution struct {
+	g2   *graph.Graph
+	sys2 *system.System
+
+	// procMap / linkMap translate old IDs to post-delta IDs; -1 = removed.
+	procMap []system.ProcID
+	linkMap []system.LinkID
+
+	oldTasks int
+	oldEdges int
+
+	// touched are post-delta task IDs directly hit by a factor change
+	// (their candidate evaluations changed even if their slots did not).
+	touched []graph.TaskID
+}
+
+// resolve applies the delta to p, producing the post-delta graph, system
+// and resource maps. All name resolution and structural validation
+// happens here.
+func (d Delta) resolve(p Problem) (*deltaResolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g, sys := p.Graph, p.System
+	nw := sys.Net
+
+	procByName := make(map[string]system.ProcID, nw.NumProcs())
+	for _, pr := range nw.Procs() {
+		procByName[pr.Name] = pr.ID
+	}
+	oldTaskByName := make(map[string]graph.TaskID, g.NumTasks())
+	for _, t := range g.Tasks() {
+		oldTaskByName[t.Name] = t.ID
+	}
+
+	// Resolve removals against the old network.
+	procRemoved := make([]bool, nw.NumProcs())
+	removedNames := make([]string, 0, len(d.removeProcs))
+	for _, rm := range d.removeProcs {
+		id, ok := procByName[rm.Proc]
+		if !ok {
+			return nil, &UnknownProcError{Name: rm.Proc}
+		}
+		procRemoved[id] = true
+		removedNames = append(removedNames, rm.Proc)
+	}
+	linkRemoved := make([]bool, nw.NumLinks())
+	for _, rm := range d.removeLinks {
+		a, ok := procByName[rm.A]
+		if !ok {
+			return nil, &UnknownProcError{Name: rm.A}
+		}
+		z, ok := procByName[rm.B]
+		if !ok {
+			return nil, &UnknownProcError{Name: rm.B}
+		}
+		l, ok := nw.LinkBetween(a, z)
+		if !ok {
+			return nil, &UnknownLinkError{A: rm.A, B: rm.B}
+		}
+		linkRemoved[l] = true
+	}
+
+	// Rebuild the network minus the removals, keeping survivor order (so
+	// processor and link IDs only compact, never shuffle).
+	rd := &deltaResolution{
+		procMap:  make([]system.ProcID, nw.NumProcs()),
+		linkMap:  make([]system.LinkID, nw.NumLinks()),
+		oldTasks: g.NumTasks(),
+		oldEdges: g.NumEdges(),
+	}
+	nb := system.NewBuilder()
+	survivors := 0
+	for _, pr := range nw.Procs() {
+		if procRemoved[pr.ID] {
+			rd.procMap[pr.ID] = -1
+			continue
+		}
+		rd.procMap[pr.ID] = nb.AddProc(pr.Name)
+		survivors++
+	}
+	if survivors == 0 {
+		return nil, ErrNoProcessors
+	}
+	for _, l := range nw.Links() {
+		if linkRemoved[l.ID] || procRemoved[l.A] || procRemoved[l.B] {
+			rd.linkMap[l.ID] = -1
+			continue
+		}
+		rd.linkMap[l.ID] = nb.Connect(rd.procMap[l.A], rd.procMap[l.B])
+	}
+	nw2, err := nb.Build()
+	if err != nil {
+		// Survivor procs and surviving old links cannot trip the builder's
+		// value checks, so the only possible failure is connectivity.
+		return nil, &DisconnectedError{Removed: removedNames}
+	}
+
+	// Rebuild the graph plus the appended sub-DAG. Old task and edge IDs
+	// are preserved because old entries are re-added first, in ID order.
+	gb := graph.NewBuilder()
+	for _, t := range g.Tasks() {
+		gb.AddTask(t.Name, t.Cost)
+	}
+	for _, ta := range d.addTasks {
+		gb.AddTask(ta.Name, ta.Cost)
+	}
+	for _, e := range g.Edges() {
+		gb.AddEdge(e.From, e.To, e.Cost)
+	}
+	for _, ea := range d.addEdges {
+		from, ok := gb.TaskByName(ea.From)
+		if !ok {
+			return nil, &UnknownTaskError{Name: ea.From}
+		}
+		to, ok := gb.TaskByName(ea.To)
+		if !ok {
+			return nil, &UnknownTaskError{Name: ea.To}
+		}
+		if _, old := oldTaskByName[ea.To]; old {
+			return nil, &DeltaEdgeTargetError{From: ea.From, To: ea.To}
+		}
+		gb.AddEdge(from, to, ea.Cost)
+	}
+	g2, err := gb.Build()
+	if err != nil {
+		// Duplicate appended names, bad appended costs, cycles among the
+		// appended tasks: surface the graph package's own typed error.
+		return nil, err
+	}
+	rd.g2 = g2
+
+	// Rebuild the factor matrices over the surviving processors and links,
+	// appended tasks and edges defaulting to factor 1 (nominal cost).
+	m2 := nw2.NumProcs()
+	exec2 := make([][]float64, g2.NumTasks())
+	for t := range exec2 {
+		row := make([]float64, m2)
+		if t < rd.oldTasks {
+			for _, pr := range nw.Procs() {
+				if np := rd.procMap[pr.ID]; np >= 0 {
+					row[np] = sys.Exec[t][pr.ID]
+				}
+			}
+		} else {
+			for j := range row {
+				row[j] = 1
+			}
+		}
+		exec2[t] = row
+	}
+	var comm2 [][]float64
+	if sys.Comm != nil || len(d.commFactors) > 0 {
+		nl2 := nw2.NumLinks()
+		comm2 = make([][]float64, g2.NumEdges())
+		for e := range comm2 {
+			row := make([]float64, nl2)
+			for j := range row {
+				row[j] = 1
+			}
+			if e < rd.oldEdges && sys.Comm != nil {
+				for _, l := range nw.Links() {
+					if nlk := rd.linkMap[l.ID]; nlk >= 0 {
+						row[nlk] = sys.Comm[e][l.ID]
+					}
+				}
+			}
+			comm2[e] = row
+		}
+	}
+	sys2 := &system.System{Net: nw2, Exec: exec2, Comm: comm2}
+
+	// Factor changes resolve against the post-delta graph and network, so
+	// they can target appended tasks and edges too.
+	task2ByName := make(map[string]graph.TaskID, g2.NumTasks())
+	for _, t := range g2.Tasks() {
+		task2ByName[t.Name] = t.ID
+	}
+	proc2ByName := make(map[string]system.ProcID, nw2.NumProcs())
+	for _, pr := range nw2.Procs() {
+		proc2ByName[pr.Name] = pr.ID
+	}
+	for _, fc := range d.execFactors {
+		t, ok := task2ByName[fc.Task]
+		if !ok {
+			return nil, &UnknownTaskError{Name: fc.Task}
+		}
+		pid, ok := proc2ByName[fc.Proc]
+		if !ok {
+			return nil, &UnknownProcError{Name: fc.Proc}
+		}
+		sys2.Exec[t][pid] = fc.Factor
+		rd.touched = append(rd.touched, t)
+	}
+	for _, fc := range d.commFactors {
+		from, ok := task2ByName[fc.From]
+		if !ok {
+			return nil, &UnknownTaskError{Name: fc.From}
+		}
+		to, ok := task2ByName[fc.To]
+		if !ok {
+			return nil, &UnknownTaskError{Name: fc.To}
+		}
+		edge, ok := g2.FindEdge(from, to)
+		if !ok {
+			return nil, &UnknownEdgeError{From: fc.From, To: fc.To}
+		}
+		a, ok := proc2ByName[fc.LinkA]
+		if !ok {
+			return nil, &UnknownProcError{Name: fc.LinkA}
+		}
+		z, ok := proc2ByName[fc.LinkB]
+		if !ok {
+			return nil, &UnknownProcError{Name: fc.LinkB}
+		}
+		l, ok := nw2.LinkBetween(a, z)
+		if !ok {
+			return nil, &UnknownLinkError{A: fc.LinkA, B: fc.LinkB}
+		}
+		sys2.Comm[edge.ID][l] = fc.Factor
+		rd.touched = append(rd.touched, edge.To)
+	}
+	rd.sys2 = sys2
+	return rd, nil
+}
+
+// Apply resolves the delta against a problem and returns the post-delta
+// Problem: the graph with the appended sub-DAG, the system minus the
+// removed processors and links, and the factor changes applied. Appended
+// tasks and edges default to heterogeneity factor 1 on every surviving
+// resource (override with SetExecFactor / SetCommFactor). Apply validates
+// everything and returns typed errors (*UnknownProcError,
+// *UnknownTaskError, *UnknownLinkError, *UnknownEdgeError,
+// *DeltaEdgeTargetError, *DisconnectedError, ErrNoProcessors, and the
+// graph package's builder errors for appended tasks).
+func (d Delta) Apply(p Problem) (Problem, error) {
+	rd, err := d.resolve(p)
+	if err != nil {
+		return Problem{}, err
+	}
+	return Problem{Graph: rd.g2, System: rd.sys2}, nil
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// deltaJSON is the on-disk representation used by MarshalJSON and
+// DeltaFromJSON. Everything is referenced by name, so a delta document is
+// stable under ID renumbering, exactly like the graph interchange format.
+type deltaJSON struct {
+	RemoveProcs []string        `json:"remove_procs,omitempty"`
+	RemoveLinks []deltaLinkJSON `json:"remove_links,omitempty"`
+	ExecFactors []deltaExecJSON `json:"exec_factors,omitempty"`
+	CommFactors []deltaCommJSON `json:"comm_factors,omitempty"`
+	AddTasks    []deltaTaskJSON `json:"add_tasks,omitempty"`
+	AddEdges    []deltaEdgeJSON `json:"add_edges,omitempty"`
+}
+
+type deltaLinkJSON struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+type deltaExecJSON struct {
+	Task   string  `json:"task"`
+	Proc   string  `json:"proc"`
+	Factor float64 `json:"factor"`
+}
+
+type deltaCommJSON struct {
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	LinkA  string  `json:"link_a"`
+	LinkB  string  `json:"link_b"`
+	Factor float64 `json:"factor"`
+}
+
+type deltaTaskJSON struct {
+	Name string  `json:"name"`
+	Cost float64 `json:"cost"`
+}
+
+type deltaEdgeJSON struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Cost float64 `json:"cost"`
+}
+
+// MarshalJSON encodes the delta in the documented wire schema. Operation
+// order within each kind is preserved, so save/load round-trips are
+// byte-stable.
+func (d Delta) MarshalJSON() ([]byte, error) {
+	j := deltaJSON{}
+	for _, op := range d.removeProcs {
+		j.RemoveProcs = append(j.RemoveProcs, op.Proc)
+	}
+	for _, op := range d.removeLinks {
+		j.RemoveLinks = append(j.RemoveLinks, deltaLinkJSON{A: op.A, B: op.B})
+	}
+	for _, op := range d.execFactors {
+		j.ExecFactors = append(j.ExecFactors, deltaExecJSON{Task: op.Task, Proc: op.Proc, Factor: op.Factor})
+	}
+	for _, op := range d.commFactors {
+		j.CommFactors = append(j.CommFactors, deltaCommJSON{
+			From: op.From, To: op.To, LinkA: op.LinkA, LinkB: op.LinkB, Factor: op.Factor,
+		})
+	}
+	for _, op := range d.addTasks {
+		j.AddTasks = append(j.AddTasks, deltaTaskJSON{Name: op.Name, Cost: op.Cost})
+	}
+	for _, op := range d.addEdges {
+		j.AddEdges = append(j.AddEdges, deltaEdgeJSON{From: op.From, To: op.To, Cost: op.Cost})
+	}
+	return json.Marshal(j)
+}
+
+// DeltaFromJSON decodes a delta previously written by MarshalJSON (or
+// hand written in the same schema) and runs the DeltaBuilder's
+// value-level validation. Name resolution against a concrete problem
+// happens later, in Apply or Reschedule.
+func DeltaFromJSON(data []byte) (Delta, error) {
+	var j deltaJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return Delta{}, fmt.Errorf("sched: decode delta: %w", err)
+	}
+	b := NewDeltaBuilder()
+	for _, name := range j.RemoveProcs {
+		b.RemoveProc(name)
+	}
+	for _, l := range j.RemoveLinks {
+		b.RemoveLink(l.A, l.B)
+	}
+	for _, f := range j.ExecFactors {
+		b.SetExecFactor(f.Task, f.Proc, f.Factor)
+	}
+	for _, f := range j.CommFactors {
+		b.SetCommFactor(f.From, f.To, f.LinkA, f.LinkB, f.Factor)
+	}
+	for _, t := range j.AddTasks {
+		b.AddTask(t.Name, t.Cost)
+	}
+	for _, e := range j.AddEdges {
+		b.AddEdge(e.From, e.To, e.Cost)
+	}
+	return b.Build()
+}
+
+// ReadDeltaJSON decodes a delta from r.
+func ReadDeltaJSON(r io.Reader) (Delta, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Delta{}, err
+	}
+	return DeltaFromJSON(data)
+}
+
+// WriteJSON writes the delta to w as indented JSON.
+func (d Delta) WriteJSON(w io.Writer) error {
+	data, err := d.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(json.RawMessage(data), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}

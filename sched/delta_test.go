@@ -1,0 +1,253 @@
+package sched_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/sched"
+	"repro/sched/graph"
+	"repro/sched/system"
+)
+
+// deltaProblem builds a small named problem: a fork-join graph on a
+// 4-processor ring.
+func deltaProblem(t *testing.T) sched.Problem {
+	t.Helper()
+	gb := graph.NewBuilder()
+	a := gb.AddTask("a", 10)
+	b := gb.AddTask("b", 20)
+	c := gb.AddTask("c", 20)
+	d := gb.AddTask("d", 10)
+	gb.AddEdge(a, b, 5)
+	gb.AddEdge(a, c, 5)
+	gb.AddEdge(b, d, 5)
+	gb.AddEdge(c, d, 5)
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := system.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sched.NewProblem(g, system.NewUniform(nw, g.NumTasks(), g.NumEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDeltaBuilderValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *sched.DeltaBuilder)
+		want  any // pointer to the expected typed error, or sentinel
+	}{
+		{"empty proc name", func(b *sched.DeltaBuilder) { b.RemoveProc("") }, sched.ErrEmptyDeltaName},
+		{"dup proc removal", func(b *sched.DeltaBuilder) { b.RemoveProc("P1").RemoveProc("P1") }, &sched.DeltaDuplicateError{}},
+		{"dup link removal reversed", func(b *sched.DeltaBuilder) { b.RemoveLink("P1", "P2").RemoveLink("P2", "P1") }, &sched.DeltaDuplicateError{}},
+		{"zero exec factor", func(b *sched.DeltaBuilder) { b.SetExecFactor("a", "P1", 0) }, &sched.DeltaValueError{}},
+		{"nan comm factor", func(b *sched.DeltaBuilder) { b.SetCommFactor("a", "b", "P1", "P2", math.NaN()) }, &sched.DeltaValueError{}},
+		{"inf task cost", func(b *sched.DeltaBuilder) { b.AddTask("x", math.Inf(1)) }, &sched.DeltaValueError{}},
+		{"negative edge cost", func(b *sched.DeltaBuilder) { b.AddEdge("a", "x", -1) }, &sched.DeltaValueError{}},
+		{"dup task append", func(b *sched.DeltaBuilder) { b.AddTask("x", 1).AddTask("x", 2) }, &sched.DeltaDuplicateError{}},
+		{"dup factor target", func(b *sched.DeltaBuilder) { b.SetExecFactor("a", "P1", 2).SetExecFactor("a", "P1", 3) }, &sched.DeltaDuplicateError{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := sched.NewDeltaBuilder()
+			tc.build(b)
+			_, err := b.Build()
+			if err == nil {
+				t.Fatal("Build succeeded, want error")
+			}
+			switch want := tc.want.(type) {
+			case *sched.DeltaDuplicateError:
+				var e *sched.DeltaDuplicateError
+				if !errors.As(err, &e) {
+					t.Fatalf("got %v, want *DeltaDuplicateError", err)
+				}
+			case *sched.DeltaValueError:
+				var e *sched.DeltaValueError
+				if !errors.As(err, &e) {
+					t.Fatalf("got %v, want *DeltaValueError", err)
+				}
+			case error:
+				if !errors.Is(err, want) {
+					t.Fatalf("got %v, want %v", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestDeltaApply(t *testing.T) {
+	p := deltaProblem(t)
+	d, err := sched.NewDeltaBuilder().
+		RemoveProc("P4").
+		SetExecFactor("b", "P2", 2.5).
+		AddTask("e", 15).
+		AddEdge("d", "e", 5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := d.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.System.Net.NumProcs(); got != 3 {
+		t.Errorf("post-delta procs = %d, want 3", got)
+	}
+	if got := p2.Graph.NumTasks(); got != 5 {
+		t.Errorf("post-delta tasks = %d, want 5", got)
+	}
+	if got := p2.Graph.NumEdges(); got != 5 {
+		t.Errorf("post-delta edges = %d, want 5", got)
+	}
+	// Old task and processor identities survive compaction in order.
+	if name := p2.Graph.Task(1).Name; name != "b" {
+		t.Errorf("task 1 = %q, want b", name)
+	}
+	if f := p2.System.ExecFactor(1, 1); f != 2.5 {
+		t.Errorf("exec factor of b on P2 = %v, want 2.5", f)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("post-delta problem invalid: %v", err)
+	}
+}
+
+func TestDeltaApplyTypedErrors(t *testing.T) {
+	p := deltaProblem(t)
+	mk := func(f func(b *sched.DeltaBuilder)) sched.Delta {
+		b := sched.NewDeltaBuilder()
+		f(b)
+		d, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	if _, err := mk(func(b *sched.DeltaBuilder) { b.RemoveProc("P9") }).Apply(p); err == nil {
+		t.Error("unknown proc: want error")
+	} else {
+		var e *sched.UnknownProcError
+		if !errors.As(err, &e) || e.Name != "P9" {
+			t.Errorf("unknown proc: got %v", err)
+		}
+	}
+	if _, err := mk(func(b *sched.DeltaBuilder) { b.RemoveLink("P1", "P3") }).Apply(p); err == nil {
+		t.Error("unknown link: want error")
+	} else {
+		var e *sched.UnknownLinkError
+		if !errors.As(err, &e) {
+			t.Errorf("unknown link: got %v", err)
+		}
+	}
+	if _, err := mk(func(b *sched.DeltaBuilder) { b.SetExecFactor("zz", "P1", 2) }).Apply(p); err == nil {
+		t.Error("unknown task: want error")
+	} else {
+		var e *sched.UnknownTaskError
+		if !errors.As(err, &e) {
+			t.Errorf("unknown task: got %v", err)
+		}
+	}
+	if _, err := mk(func(b *sched.DeltaBuilder) { b.SetCommFactor("a", "d", "P1", "P2", 2) }).Apply(p); err == nil {
+		t.Error("unknown edge: want error")
+	} else {
+		var e *sched.UnknownEdgeError
+		if !errors.As(err, &e) {
+			t.Errorf("unknown edge: got %v", err)
+		}
+	}
+	if _, err := mk(func(b *sched.DeltaBuilder) { b.AddTask("x", 1).AddEdge("x", "a", 1) }).Apply(p); err == nil {
+		t.Error("edge into old task: want error")
+	} else {
+		var e *sched.DeltaEdgeTargetError
+		if !errors.As(err, &e) {
+			t.Errorf("edge target: got %v", err)
+		}
+	}
+	// Removing two ring links splits the network in two.
+	if _, err := mk(func(b *sched.DeltaBuilder) { b.RemoveLink("P1", "P2").RemoveLink("P3", "P4") }).Apply(p); err == nil {
+		t.Error("disconnect: want error")
+	} else {
+		var e *sched.DisconnectedError
+		if !errors.As(err, &e) {
+			t.Errorf("disconnect: got %v", err)
+		}
+	}
+	del := mk(func(b *sched.DeltaBuilder) {
+		b.RemoveProc("P1").RemoveProc("P2").RemoveProc("P3").RemoveProc("P4")
+	})
+	if _, err := del.Apply(p); !errors.Is(err, sched.ErrNoProcessors) {
+		t.Errorf("remove all: got %v, want ErrNoProcessors", err)
+	}
+	// A proc removal referencing a task factor on the removed proc fails.
+	if _, err := mk(func(b *sched.DeltaBuilder) { b.RemoveProc("P2").SetExecFactor("a", "P2", 2) }).Apply(p); err == nil {
+		t.Error("factor on removed proc: want error")
+	} else {
+		var e *sched.UnknownProcError
+		if !errors.As(err, &e) {
+			t.Errorf("factor on removed proc: got %v", err)
+		}
+	}
+}
+
+func TestDeltaJSONRoundTrip(t *testing.T) {
+	d, err := sched.NewDeltaBuilder().
+		RemoveProc("P4").
+		RemoveLink("P1", "P2").
+		SetExecFactor("b", "P2", 2.5).
+		SetCommFactor("a", "b", "P2", "P3", 0.5).
+		AddTask("e", 15).
+		AddEdge("d", "e", 5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := sched.ReadDeltaJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reload: %v\n%s", err, buf.String())
+	}
+	var buf2 bytes.Buffer
+	if err := d2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("save/load/save not a fixpoint:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+	}
+	if d2.NumOps() != d.NumOps() || d2.Empty() {
+		t.Errorf("reloaded delta has %d ops, want %d", d2.NumOps(), d.NumOps())
+	}
+	// Accessor copies carry the ops through in order.
+	if rp := d2.RemoveProcs(); len(rp) != 1 || rp[0].Proc != "P4" {
+		t.Errorf("RemoveProcs = %+v", rp)
+	}
+	if ae := d2.AddEdges(); len(ae) != 1 || ae[0] != (sched.EdgeAppend{From: "d", To: "e", Cost: 5}) {
+		t.Errorf("AddEdges = %+v", ae)
+	}
+}
+
+func TestDeltaFromJSONRejectsBadDocs(t *testing.T) {
+	for name, doc := range map[string]string{
+		"garbage":    "{",
+		"bad factor": `{"exec_factors":[{"task":"a","proc":"P1","factor":0}]}`,
+		"dup proc":   `{"remove_procs":["P1","P1"]}`,
+		"empty name": `{"add_tasks":[{"name":"","cost":1}]}`,
+	} {
+		if _, err := sched.DeltaFromJSON([]byte(doc)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	if d, err := sched.DeltaFromJSON([]byte("{}")); err != nil || !d.Empty() {
+		t.Errorf("empty doc: got %v, %v", d, err)
+	}
+}

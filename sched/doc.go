@@ -52,6 +52,23 @@
 // the algorithms' migration/placement loops, so long sweeps abort cleanly
 // with ctx.Err().
 //
+// # Quasi-dynamic rescheduling
+//
+// A Delta is a typed, validated edit script against a Problem: remove
+// processors or links, scale execution/communication factors, append
+// tasks and edges. Deltas are built with DeltaBuilder (or loaded from
+// the JSON interchange form via DeltaFromJSON) and applied with
+// Delta.Apply, which rejects edits that name unknown entities,
+// disconnect the network or produce invalid costs — each failure is a
+// typed error (UnknownProcError, DisconnectedError, DeltaValueError,
+// ...). Reschedule(ctx, prev, delta, opts...) then warm-starts BSA from
+// the previous Result instead of scheduling the changed problem from
+// scratch: surviving placements and routes are adopted, only the tasks
+// disturbed by the delta (and whatever their migration ripples touch)
+// are revisited, and the reconverged Result carries a RescheduleTrace
+// plus Stats counters (dirty_tasks, evaluations, delta_ops) that
+// quantify how much work the warm start saved over a cold run.
+//
 // Functional options (WithSeed, WithWorkers, WithFullRebuild,
 // WithInsertion, ...) replace the per-package option structs of earlier
 // revisions; options an algorithm does not understand are ignored, which

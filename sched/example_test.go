@@ -86,6 +86,49 @@ func ExampleResult_BSA() {
 	// no DLS trace on a BSA result
 }
 
+// ExampleReschedule reacts to a processor loss without starting over: it
+// schedules the paper's worked example, kills P4 with a typed Delta and
+// warm-starts BSA from the live schedule. The reconverged result passes
+// the same feasibility checks as a cold run.
+func ExampleReschedule() {
+	g := gen.PaperExampleGraph()
+	sys := gen.PaperExampleSystem(g)
+	problem, err := sched.NewProblem(g, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prev, err := bsa.Schedule(context.Background(), problem, sched.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// P4 drops out of the ring. The delta document also travels as JSON
+	// (DeltaFromJSON / WriteJSON), so the same operation works over the
+	// wire against a schedd job.
+	delta, err := sched.NewDeltaBuilder().RemoveProc("P4").Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, err := sched.Reschedule(context.Background(), *prev, delta, sched.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := warm.Schedule.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("procs %d -> %d, makespan %.0f -> %.0f\n",
+		prev.Schedule.System().Net.NumProcs(), warm.Schedule.System().Net.NumProcs(),
+		prev.Makespan, warm.Makespan)
+	fmt.Printf("dirty tasks %g of %d\n", warm.Stats["dirty_tasks"], g.NumTasks())
+	// Output:
+	// procs 4 -> 3, makespan 135 -> 174
+	// dirty tasks 3 of 9
+}
+
 // Example_interchange generates a workload and a topology, writes both
 // through the public encoders and loads them back — the JSON and DOT
 // formats round-trip byte-identically.

@@ -1,0 +1,46 @@
+package sched_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/sched"
+)
+
+// FuzzDeltaFromJSON asserts the Delta interchange loader's contract on
+// arbitrary input: it never panics, and any document it accepts
+// round-trips through the canonical save with a fixpoint on the second
+// pass (load(save(load(x))) succeeds and saves identically).
+func FuzzDeltaFromJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"remove_procs":["P4"]}`))
+	f.Add([]byte(`{"remove_links":[{"a":"P1","b":"P2"}],"exec_factors":[{"task":"a","proc":"P2","factor":2.5}]}`))
+	f.Add([]byte(`{"comm_factors":[{"from":"a","to":"b","link_a":"P2","link_b":"P3","factor":0.5}]}`))
+	f.Add([]byte(`{"add_tasks":[{"name":"e","cost":15}],"add_edges":[{"from":"d","to":"e","cost":5}]}`))
+	f.Add([]byte(`{"remove_procs":["P1","P1"]}`))
+	f.Add([]byte(`{"exec_factors":[{"task":"a","proc":"P1","factor":0}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := sched.DeltaFromJSON(data)
+		if err != nil {
+			return
+		}
+		var s1 bytes.Buffer
+		if err := d.WriteJSON(&s1); err != nil {
+			t.Fatalf("save(load(x)): %v", err)
+		}
+		d2, err := sched.DeltaFromJSON(s1.Bytes())
+		if err != nil {
+			t.Fatalf("load(save(load(x))) rejected canonical output: %v\ninput: %q\ncanonical: %q", err, data, s1.Bytes())
+		}
+		var s2 bytes.Buffer
+		if err := d2.WriteJSON(&s2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+			t.Fatalf("canonical JSON is not a fixpoint:\nfirst:  %q\nsecond: %q", s1.Bytes(), s2.Bytes())
+		}
+		if d2.NumOps() != d.NumOps() {
+			t.Fatalf("reload changed op count: %d vs %d", d2.NumOps(), d.NumOps())
+		}
+	})
+}

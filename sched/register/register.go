@@ -5,7 +5,9 @@
 //
 //	import _ "repro/sched/register"
 //
-// The adapters are the only non-test code allowed to import the
+// The adapters here — plus sched's own warm-start entry point
+// (sched.Reschedule, which drives internal/core's reschedule context
+// directly) — are the only non-test code allowed to import the
 // internal/core, internal/dls, internal/heft and internal/cpop algorithm
 // packages; everything else goes through repro/sched.
 package register

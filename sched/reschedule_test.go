@@ -1,0 +1,197 @@
+package sched_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/sched"
+	"repro/sched/gen"
+	_ "repro/sched/register"
+	"repro/sched/system"
+)
+
+// coldResult schedules a random layered workload with BSA on a clique.
+func coldResult(t *testing.T, nTasks, nProcs int, seed int64) (sched.Problem, *sched.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := gen.RandomLayered(nTasks, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := system.FullyConnected(nProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sched.NewProblem(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Lookup("bsa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Schedule(context.Background(), p, sched.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res
+}
+
+// checkWarm validates a reschedule result end to end: feasible, complete,
+// replayable under the event-driven simulator.
+func checkWarm(t *testing.T, warm *sched.Result) {
+	t.Helper()
+	if err := warm.Schedule.Validate(); err != nil {
+		t.Fatalf("warm schedule invalid: %v", err)
+	}
+	if !warm.Schedule.Complete() {
+		t.Fatal("warm schedule incomplete")
+	}
+	replay, err := warm.Schedule.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if replay.Length > warm.Makespan {
+		t.Errorf("simulated length %v exceeds makespan %v", replay.Length, warm.Makespan)
+	}
+}
+
+func TestRescheduleRemoveProc(t *testing.T) {
+	_, prev := coldResult(t, 80, 8, 42)
+	d, err := sched.NewDeltaBuilder().RemoveProc("P8").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sched.Reschedule(context.Background(), *prev, d, sched.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWarm(t, warm)
+	if got := warm.Schedule.System().Net.NumProcs(); got != 7 {
+		t.Errorf("post-delta procs = %d, want 7", got)
+	}
+	if warm.Algorithm != "bsa" {
+		t.Errorf("algorithm = %q", warm.Algorithm)
+	}
+	tr, ok := warm.Reschedule()
+	if !ok {
+		t.Fatal("no RescheduleTrace attached")
+	}
+	if tr.DirtyTasks <= 0 {
+		t.Error("trace reports an empty dirty frontier after a proc removal")
+	}
+	cold := prev.Stats.Get("evaluations")
+	if ev := warm.Stats.Get("evaluations"); ev >= cold {
+		t.Errorf("warm evaluations %v not below cold %v", ev, cold)
+	}
+}
+
+func TestRescheduleAppendTasks(t *testing.T) {
+	p, prev := coldResult(t, 60, 8, 11)
+	// Append a two-task chain hanging off two existing tasks.
+	tasks := p.Graph.Tasks()
+	src1 := tasks[len(tasks)-1].Name
+	src2 := tasks[len(tasks)/2].Name
+	d, err := sched.NewDeltaBuilder().
+		AddTask("x1", 20).
+		AddTask("x2", 10).
+		AddEdge(src1, "x1", 5).
+		AddEdge(src2, "x1", 5).
+		AddEdge("x1", "x2", 5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sched.Reschedule(context.Background(), *prev, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWarm(t, warm)
+	if got := warm.Schedule.Graph().NumTasks(); got != 62 {
+		t.Errorf("post-delta tasks = %d, want 62", got)
+	}
+	if warm.Makespan < prev.Makespan {
+		t.Errorf("appending work shortened the makespan: %v < %v", warm.Makespan, prev.Makespan)
+	}
+}
+
+func TestRescheduleFactorChangeAndLinkRemoval(t *testing.T) {
+	p, prev := coldResult(t, 60, 8, 3)
+	name := p.Graph.Tasks()[10].Name
+	d, err := sched.NewDeltaBuilder().
+		RemoveLink("P1", "P2").
+		SetExecFactor(name, "P3", 10).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sched.Reschedule(context.Background(), *prev, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWarm(t, warm)
+}
+
+func TestRescheduleEmptyDelta(t *testing.T) {
+	_, prev := coldResult(t, 60, 8, 5)
+	warm, err := sched.Reschedule(context.Background(), *prev, sched.Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWarm(t, warm)
+	// Reconverging an already-converged schedule must not regress it
+	// beyond the guard+elitism envelope; in practice it stays equal or
+	// improves slightly. Allow equality with a small safety margin.
+	if warm.Makespan > prev.Makespan*1.05 {
+		t.Errorf("empty-delta reschedule regressed makespan: %v vs %v", warm.Makespan, prev.Makespan)
+	}
+}
+
+func TestRescheduleDeterministic(t *testing.T) {
+	_, prev := coldResult(t, 60, 8, 9)
+	d, err := sched.NewDeltaBuilder().RemoveProc("P5").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs [][]byte
+	for i := 0; i < 2; i++ {
+		warm, err := sched.Reschedule(context.Background(), *prev, d, sched.WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := warm.Schedule.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc)
+	}
+	if !bytes.Equal(docs[0], docs[1]) {
+		t.Error("two identical reschedule calls produced different schedules")
+	}
+}
+
+func TestRescheduleRequiresCompleteResult(t *testing.T) {
+	if _, err := sched.Reschedule(context.Background(), sched.Result{}, sched.Delta{}); !errors.Is(err, sched.ErrIncompleteResult) {
+		t.Errorf("got %v, want ErrIncompleteResult", err)
+	}
+}
+
+func TestRescheduleContextCancel(t *testing.T) {
+	_, prev := coldResult(t, 60, 8, 13)
+	d, err := sched.NewDeltaBuilder().RemoveProc("P2").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sched.Reschedule(ctx, *prev, d); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}

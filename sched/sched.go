@@ -108,6 +108,13 @@ func (r *Result) BSA() (*BSATrace, bool) {
 	return t, ok
 }
 
+// Reschedule returns the warm-start trace when the result was produced
+// by the package-level Reschedule function.
+func (r *Result) Reschedule() (*RescheduleTrace, bool) {
+	t, ok := r.trace.(*RescheduleTrace)
+	return t, ok
+}
+
 // DLS returns the DLS trace when the result was produced by the "dls"
 // algorithm.
 func (r *Result) DLS() (*DLSTrace, bool) {

@@ -101,6 +101,17 @@ func (c *Client) Submit(ctx context.Context, req ScheduleRequest) (*JobView, err
 	return &out, nil
 }
 
+// Reschedule queues a quasi-dynamic delta against a finished job
+// (POST /v1/jobs/{id}/reschedule) and returns the new job's initial
+// view.
+func (c *Client) Reschedule(ctx context.Context, id string, req RescheduleRequest) (*JobView, error) {
+	var out JobView
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/reschedule", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Job fetches the current view of a job (GET /v1/jobs/{id}).
 func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
 	var out JobView

@@ -27,6 +27,16 @@ type metrics struct {
 	CachePartials *expvar.Int
 	CacheMisses   *expvar.Int
 	Evaluations   *expvar.Int
+
+	// Reschedule intake: accepted reschedule jobs, plus per-kind delta
+	// operation counts summed over every accepted delta.
+	Reschedules      *expvar.Int
+	DeltaRemoveProcs *expvar.Int
+	DeltaRemoveLinks *expvar.Int
+	DeltaExecFactors *expvar.Int
+	DeltaCommFactors *expvar.Int
+	DeltaAddTasks    *expvar.Int
+	DeltaAddEdges    *expvar.Int
 }
 
 func newMetrics() *metrics {
@@ -44,12 +54,31 @@ func newMetrics() *metrics {
 		{"cache_partials_total", &m.CachePartials},
 		{"cache_misses_total", &m.CacheMisses},
 		{"evaluations_total", &m.Evaluations},
+		{"reschedules_total", &m.Reschedules},
+		{"delta_remove_procs_total", &m.DeltaRemoveProcs},
+		{"delta_remove_links_total", &m.DeltaRemoveLinks},
+		{"delta_exec_factors_total", &m.DeltaExecFactors},
+		{"delta_comm_factors_total", &m.DeltaCommFactors},
+		{"delta_add_tasks_total", &m.DeltaAddTasks},
+		{"delta_add_edges_total", &m.DeltaAddEdges},
 	} {
 		i := new(expvar.Int)
 		*v.dst = i
 		m.vars.Set(v.name, i)
 	}
 	return m
+}
+
+// observeDelta counts one accepted reschedule and its delta's operations
+// by kind.
+func (m *metrics) observeDelta(d sched.Delta) {
+	m.Reschedules.Add(1)
+	m.DeltaRemoveProcs.Add(int64(len(d.RemoveProcs())))
+	m.DeltaRemoveLinks.Add(int64(len(d.RemoveLinks())))
+	m.DeltaExecFactors.Add(int64(len(d.ExecFactors())))
+	m.DeltaCommFactors.Add(int64(len(d.CommFactors())))
+	m.DeltaAddTasks.Add(int64(len(d.AddTasks())))
+	m.DeltaAddEdges.Add(int64(len(d.AddEdges())))
 }
 
 // observe folds one finished result into the aggregate counters.

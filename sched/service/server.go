@@ -64,12 +64,13 @@ func (c *Config) fill() {
 // a binary embedding Server schedules with whatever it blank-imports or
 // registers itself.
 //
-//	POST /v1/schedule     synchronous scheduling (body: ScheduleRequest)
-//	POST /v1/jobs         asynchronous submit, 202 + JobView
-//	GET  /v1/jobs/{id}    job status / result
-//	GET  /v1/algos        registered algorithms
-//	GET  /healthz         liveness ("ok", or "draining" + 503)
-//	GET  /metrics         expvar counter document
+//	POST /v1/schedule                synchronous scheduling (body: ScheduleRequest)
+//	POST /v1/jobs                    asynchronous submit, 202 + JobView
+//	GET  /v1/jobs/{id}               job status / result
+//	POST /v1/jobs/{id}/reschedule    quasi-dynamic delta on a done job, 202 + JobView
+//	GET  /v1/algos                   registered algorithms
+//	GET  /healthz                    liveness ("ok", or "draining" + 503)
+//	GET  /metrics                    expvar counter document
 type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
@@ -97,6 +98,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/reschedule", s.handleReschedule)
 	s.mux.HandleFunc("GET /v1/algos", s.handleAlgos)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -167,22 +169,50 @@ func (s *Server) newJob(base context.Context, req *ScheduleRequest) (*job, *Erro
 	if errBody != nil {
 		return nil, errBody
 	}
+	opts := []sched.Option{sched.WithSeed(req.Seed), sched.WithWorkers(1)}
+	return s.buildJob(base, scheduler.Name(), req.TimeoutMS, func(ctx context.Context) (*sched.Result, error) {
+		return scheduler.Schedule(ctx, p, opts...)
+	}), nil
+}
+
+// newRescheduleJob compiles a reschedule request against a finished
+// source job into a queueable warm-start job. The delta is parsed and
+// resolved against the source schedule's problem up front, so every
+// validation error still surfaces as a typed 4xx before queueing.
+func (s *Server) newRescheduleJob(base context.Context, prev *sched.Result, req *RescheduleRequest) (*job, *ErrorBody) {
+	if len(req.Delta) == 0 || string(req.Delta) == "null" {
+		return nil, &ErrorBody{Code: CodeBadRequest, Message: "missing delta document"}
+	}
+	delta, err := sched.DeltaFromJSON(req.Delta)
+	if err != nil {
+		return nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error(), Detail: validationDetail(err)}
+	}
+	p := sched.Problem{Graph: prev.Schedule.Graph(), System: prev.Schedule.System()}
+	if _, err := delta.Apply(p); err != nil {
+		return nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error(), Detail: validationDetail(err)}
+	}
+	s.metrics.observeDelta(delta)
+	seed := req.Seed
+	return s.buildJob(base, "bsa", req.TimeoutMS, func(ctx context.Context) (*sched.Result, error) {
+		return sched.Reschedule(ctx, *prev, delta, sched.WithSeed(seed))
+	}), nil
+}
+
+// buildJob wraps a run closure in job lifecycle state.
+func (s *Server) buildJob(base context.Context, algo string, timeoutMS int64, run func(context.Context) (*sched.Result, error)) *job {
 	ctx, cancel := base, context.CancelFunc(func() {})
-	if req.TimeoutMS > 0 {
-		ctx, cancel = context.WithTimeout(base, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if timeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(base, time.Duration(timeoutMS)*time.Millisecond)
 	}
-	j := &job{
-		id:        s.store.nextID(),
-		algo:      scheduler.Name(),
-		problem:   p,
-		scheduler: scheduler,
-		opts:      []sched.Option{sched.WithSeed(req.Seed), sched.WithWorkers(1)},
-		ctx:       ctx,
-		cancel:    cancel,
-		status:    JobQueued,
-		done:      make(chan struct{}),
+	return &job{
+		id:     s.store.nextID(),
+		algo:   algo,
+		run:    run,
+		ctx:    ctx,
+		cancel: cancel,
+		status: JobQueued,
+		done:   make(chan struct{}),
 	}
-	return j, nil
 }
 
 // enqueue stores and submits a compiled job, updating the counters. The
@@ -209,9 +239,14 @@ func (s *Server) enqueue(j *job) *ErrorBody {
 	return nil
 }
 
-// runJob executes one job on a pool worker and records its outcome.
+// runJob executes one job on a pool worker and records its outcome. The
+// worker must survive anything the run does: a panicking or nil-result
+// scheduler becomes the job's typed terminal error, never a dead worker
+// goroutine (which would take the whole process down) or a nil
+// dereference while rendering the response.
 func (s *Server) runJob(j *job) {
 	var (
+		res     *sched.Result
 		resp    *ScheduleResponse
 		errBody *ErrorBody
 	)
@@ -220,8 +255,11 @@ func (s *Server) runJob(j *job) {
 		errBody = ctxErrorBody(err)
 	} else {
 		j.setRunning()
-		res, err := j.scheduler.Schedule(j.ctx, j.problem, j.opts...)
+		var err error
+		res, err = runGuarded(j)
 		switch {
+		case err == nil && (res == nil || res.Schedule == nil):
+			errBody = &ErrorBody{Code: CodeScheduleFailed, Message: "scheduler returned no schedule"}
 		case err == nil:
 			s.metrics.observe(res)
 			if resp, err = response(res); err != nil {
@@ -230,16 +268,28 @@ func (s *Server) runJob(j *job) {
 		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 			errBody = ctxErrorBody(err)
 		default:
-			errBody = &ErrorBody{Code: CodeScheduleFailed, Message: err.Error()}
+			errBody = &ErrorBody{Code: CodeScheduleFailed, Message: err.Error(), Detail: validationDetail(err)}
 		}
 	}
 	if errBody != nil {
+		res = nil
 		s.metrics.JobsFailed.Add(1)
 	} else {
 		s.metrics.JobsCompleted.Add(1)
 	}
 	s.metrics.JobsInFlight.Add(-1)
-	j.finish(s.cfg.Now(), resp, errBody)
+	j.finish(s.cfg.Now(), res, resp, errBody)
+}
+
+// runGuarded invokes the job's run closure, converting a panic into an
+// ordinary error.
+func runGuarded(j *job) (res *sched.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("scheduler panicked: %v", r)
+		}
+	}()
+	return j.run(j.ctx)
 }
 
 // ctxErrorBody maps a context error to the wire error body. Cancellation
@@ -253,7 +303,7 @@ func ctxErrorBody(err error) *ErrorBody {
 // ---- handlers ----
 
 // decode parses the JSON body under the body-size cap.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *ScheduleRequest) *ErrorBody {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req any) *ErrorBody {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -311,6 +361,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, errBody := s.newJob(context.Background(), &req)
+	if errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	if errBody := s.enqueue(j); errBody != nil {
+		writeError(w, errBody)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleReschedule accepts a quasi-dynamic delta against a finished
+// job's schedule and queues the warm-started reconvergence as a fresh
+// asynchronous job. The response is the same 202 + JobView shape as
+// POST /v1/jobs; the resulting schedule document is byte-identical to
+// what sched.Reschedule produces for the same inputs.
+func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	src, ok := s.store.get(id, s.cfg.Now(), s.cfg.JobTTL)
+	if !ok {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
+		return
+	}
+	var req RescheduleRequest
+	if errBody := s.decode(w, r, &req); errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	prev, done := src.doneResult()
+	if !done {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, &ErrorBody{Code: CodeJobNotDone, Message: fmt.Sprintf("job %q has no completed schedule to reschedule from", id)})
+		return
+	}
+	j, errBody := s.newRescheduleJob(context.Background(), prev, &req)
 	if errBody != nil {
 		s.metrics.JobsRejected.Add(1)
 		writeError(w, errBody)

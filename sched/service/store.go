@@ -10,7 +10,7 @@ import (
 	"repro/sched"
 )
 
-// job is one unit of scheduling work: a compiled problem plus its
+// job is one unit of scheduling work: a compiled run closure plus its
 // lifecycle state. Handlers compile requests into jobs (so every
 // validation error surfaces before queueing), the pool runs them, and
 // the store keeps finished jobs around until their TTL expires.
@@ -18,9 +18,9 @@ type job struct {
 	id   string
 	algo string
 
-	problem   sched.Problem
-	scheduler sched.Scheduler
-	opts      []sched.Option
+	// run executes the work — a cold scheduler call or a warm-started
+	// reschedule — under the job's context.
+	run func(context.Context) (*sched.Result, error)
 
 	// ctx bounds the run (queue wait included); cancel releases its
 	// timer once the job reaches a terminal state.
@@ -31,6 +31,10 @@ type job struct {
 	status JobStatus
 	result *ScheduleResponse
 	errors *ErrorBody
+	// res retains the library result of a done job so a follow-up
+	// POST /v1/jobs/{id}/reschedule can warm-start from its schedule
+	// without reparsing the wire document. Evicted with the job.
+	res *sched.Result
 
 	// done closes when the job reaches a terminal state; the sync
 	// handler and Client.Wait-backed tests select on it.
@@ -52,19 +56,30 @@ func (j *job) setRunning() {
 	j.mu.Unlock()
 }
 
-func (j *job) finish(now time.Time, res *ScheduleResponse, errBody *ErrorBody) {
+func (j *job) finish(now time.Time, res *sched.Result, resp *ScheduleResponse, errBody *ErrorBody) {
 	j.mu.Lock()
 	if errBody != nil {
 		j.status = JobFailed
 		j.errors = errBody
 	} else {
 		j.status = JobDone
-		j.result = res
+		j.result = resp
+		j.res = res
 	}
 	j.doneAt = now
 	j.mu.Unlock()
 	j.cancel()
 	close(j.done)
+}
+
+// doneResult returns the retained library result once the job is done.
+func (j *job) doneResult() (*sched.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != JobDone || j.res == nil {
+		return nil, false
+	}
+	return j.res, true
 }
 
 // terminalSince returns the terminal-transition time, or false while the

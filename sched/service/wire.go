@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -45,6 +46,20 @@ type HetSpec struct {
 	Lo   float64 `json:"lo"`
 	Hi   float64 `json:"hi"`
 	Seed int64   `json:"seed,omitempty"`
+}
+
+// RescheduleRequest is the wire form of POST /v1/jobs/{id}/reschedule:
+// a quasi-dynamic delta applied to a finished job's schedule. The delta
+// document is sched.DeltaFromJSON's schema (the Delta interchange
+// format).
+type RescheduleRequest struct {
+	// Delta is the problem delta document (required; "{}" is the empty
+	// delta, which just reconverges the schedule).
+	Delta json.RawMessage `json:"delta"`
+	// Seed drives the reconvergence tie-breaking RNG.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS bounds the run, queue wait included. 0 means no bound.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // ScheduleResponse is the wire form of a sched.Result: the schedule
@@ -101,6 +116,7 @@ const (
 	CodeQueueFull        = "queue_full"
 	CodeShuttingDown     = "shutting_down"
 	CodeScheduleFailed   = "schedule_failed"
+	CodeJobNotDone       = "job_not_done"
 )
 
 // ErrorBody is the typed error payload every non-2xx response carries,
@@ -108,6 +124,10 @@ const (
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Detail refines Code for validation failures with the library's
+	// typed error taxonomy ("graph_cycle", "delta_unknown_proc", ...),
+	// so clients can react to the exact defect without parsing Message.
+	Detail string `json:"detail,omitempty"`
 }
 
 func (e *ErrorBody) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
@@ -130,9 +150,75 @@ func httpStatus(code string) int {
 		return http.StatusGatewayTimeout
 	case CodeQueueFull, CodeShuttingDown:
 		return http.StatusServiceUnavailable
+	case CodeJobNotDone:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// validationDetail maps the library's typed validation errors to stable
+// wire detail slugs. Unrecognized errors yield "" (no detail).
+func validationDetail(err error) string {
+	var (
+		dupTask    *graph.DuplicateTaskError
+		taskCost   *graph.TaskCostError
+		edgeRange  *graph.EdgeRangeError
+		selfLoop   *graph.SelfLoopError
+		edgeCost   *graph.EdgeCostError
+		dupEdge    *graph.DuplicateEdgeError
+		cycle      *graph.CycleError
+		factor     *system.FactorError
+		dUnkProc   *sched.UnknownProcError
+		dUnkTask   *sched.UnknownTaskError
+		dUnkLink   *sched.UnknownLinkError
+		dUnkEdge   *sched.UnknownEdgeError
+		dEdgeTgt   *sched.DeltaEdgeTargetError
+		dDisc      *sched.DisconnectedError
+		dValue     *sched.DeltaValueError
+		dDuplicate *sched.DeltaDuplicateError
+	)
+	switch {
+	case errors.Is(err, graph.ErrEmptyTaskName):
+		return "graph_empty_task_name"
+	case errors.As(err, &dupTask):
+		return "graph_duplicate_task"
+	case errors.As(err, &taskCost):
+		return "graph_task_cost"
+	case errors.As(err, &edgeRange):
+		return "graph_edge_range"
+	case errors.As(err, &selfLoop):
+		return "graph_self_loop"
+	case errors.As(err, &edgeCost):
+		return "graph_edge_cost"
+	case errors.As(err, &dupEdge):
+		return "graph_duplicate_edge"
+	case errors.As(err, &cycle):
+		return "graph_cycle"
+	case errors.As(err, &factor):
+		return "system_factor"
+	case errors.Is(err, sched.ErrEmptyDeltaName):
+		return "delta_empty_name"
+	case errors.Is(err, sched.ErrNoProcessors):
+		return "delta_no_processors"
+	case errors.As(err, &dUnkProc):
+		return "delta_unknown_proc"
+	case errors.As(err, &dUnkTask):
+		return "delta_unknown_task"
+	case errors.As(err, &dUnkLink):
+		return "delta_unknown_link"
+	case errors.As(err, &dUnkEdge):
+		return "delta_unknown_edge"
+	case errors.As(err, &dEdgeTgt):
+		return "delta_edge_target"
+	case errors.As(err, &dDisc):
+		return "delta_disconnects"
+	case errors.As(err, &dValue):
+		return "delta_value"
+	case errors.As(err, &dDuplicate):
+		return "delta_duplicate"
+	}
+	return ""
 }
 
 // compile resolves a wire request into a ready-to-run problem: parsed
@@ -145,7 +231,7 @@ func (req *ScheduleRequest) compile(defaultAlgo string) (sched.Problem, sched.Sc
 	}
 	g, err := graph.FromJSON(req.Graph)
 	if err != nil {
-		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("graph: %v", err)}
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("graph: %v", err), Detail: validationDetail(err)}
 	}
 
 	var sys *system.System
@@ -158,7 +244,7 @@ func (req *ScheduleRequest) compile(defaultAlgo string) (sched.Problem, sched.Sc
 		}
 		sys, err = system.SystemFromJSON(req.System)
 		if err != nil {
-			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("system: %v", err)}
+			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("system: %v", err), Detail: validationDetail(err)}
 		}
 	case len(req.Topology) > 0:
 		nw, err := system.FromJSON(req.Topology)
@@ -172,7 +258,7 @@ func (req *ScheduleRequest) compile(defaultAlgo string) (sched.Problem, sched.Sc
 			}
 			sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), h.Lo, h.Hi, rand.New(rand.NewSource(seed)))
 			if err != nil {
-				return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("het: %v", err)}
+				return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("het: %v", err), Detail: validationDetail(err)}
 			}
 		} else {
 			sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
@@ -181,9 +267,12 @@ func (req *ScheduleRequest) compile(defaultAlgo string) (sched.Problem, sched.Sc
 		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "missing system or topology document"}
 	}
 
-	p, err := sched.NewProblem(g, sys)
-	if err != nil {
-		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error()}
+	// Problem.Validate is the library's public well-formedness gate; going
+	// through it (rather than a private re-check) keeps the HTTP 400 body
+	// aligned with what embedding code would see.
+	p := sched.Problem{Graph: g, System: sys}
+	if err := p.Validate(); err != nil {
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error(), Detail: validationDetail(err)}
 	}
 
 	name := req.Algo

@@ -47,6 +47,33 @@ type BSATrace struct {
 	RestoredBest bool
 }
 
+// RescheduleTrace is Result.Trace for results produced by Reschedule:
+// the warm-started BSA reconvergence.
+type RescheduleTrace struct {
+	// DeltaOps is the number of operations in the applied delta and
+	// DirtyTasks the size of the reconvergence frontier after the adopted
+	// schedule was diffed against the previous one.
+	DeltaOps   int
+	DirtyTasks int
+	// Serial is the adopted serialization: the previous schedule's
+	// start-time order with appended tasks at the end.
+	Serial []graph.TaskID
+
+	// The remaining counters mirror BSATrace, restricted to the warm
+	// sweeps actually run.
+	Migrations    int
+	Reverted      int
+	Sweeps        int
+	Evaluations   int
+	Rebuilds      int
+	Placements    int
+	MsgPlacements int
+	CacheHits     int
+	CachePartials int
+	CacheMisses   int
+	RestoredBest  bool
+}
+
 // DLSTrace is Result.Trace for the "dls" algorithm.
 type DLSTrace struct {
 	// Steps is the number of scheduling steps (== tasks); Evaluations

@@ -163,6 +163,32 @@ func TestSimReplayMatrix(t *testing.T) {
 					if replay.Events <= 0 {
 						t.Errorf("replay processed %d events", replay.Events)
 					}
+					// Rescheduled results obey the same replay contract:
+					// doubling one task's execution factor and warm-start
+					// reconverging must yield a feasible schedule whose
+					// simulated length never exceeds its static length.
+					if d.Name == "bsa" {
+						tname := p.Graph.Tasks()[5].Name
+						delta, err := sched.NewDeltaBuilder().SetExecFactor(tname, "P1", 2).Build()
+						if err != nil {
+							t.Fatal(err)
+						}
+						warm, err := sched.Reschedule(ctx, *res, delta, sched.WithSeed(7))
+						if err != nil {
+							t.Fatalf("reschedule: %v", err)
+						}
+						if err := warm.Schedule.Validate(); err != nil {
+							t.Fatalf("infeasible rescheduled schedule: %v", err)
+						}
+						warmReplay, err := warm.Schedule.Replay()
+						if err != nil {
+							t.Fatalf("rescheduled replay: %v", err)
+						}
+						if warmReplay.Length > warm.Makespan {
+							t.Errorf("rescheduled simulated length %v exceeds static length %v",
+								warmReplay.Length, warm.Makespan)
+						}
+					}
 				})
 			}
 		}

@@ -1,0 +1,197 @@
+package tests
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/sched"
+	"repro/sched/gen"
+	"repro/sched/graph"
+	_ "repro/sched/register"
+	"repro/sched/system"
+)
+
+// removableProcDelta returns a single-processor-removal delta that keeps
+// the network connected, plus the post-delta problem it produces. Among
+// removable processors it drains the one hosting the fewest tasks in the
+// previous schedule — the canonical quasi-dynamic scenario of taking the
+// least-loaded node out of service.
+func removableProcDelta(t *testing.T, p sched.Problem, prev *sched.Result) (sched.Delta, sched.Problem) {
+	t.Helper()
+	procs := p.System.Net.Procs()
+	load := make([]int, len(procs))
+	for tid := 0; tid < p.Graph.NumTasks(); tid++ {
+		load[prev.Schedule.ProcOf(graph.TaskID(tid))]++
+	}
+	order := make([]int, len(procs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if load[a] != load[b] {
+			return load[a] < load[b]
+		}
+		return a < b
+	})
+	for _, i := range order {
+		d, err := sched.NewDeltaBuilder().RemoveProc(procs[i].Name).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2, err := d.Apply(p); err == nil {
+			return d, p2
+		}
+	}
+	t.Fatal("no single-processor removal keeps the network connected")
+	return sched.Delta{}, sched.Problem{}
+}
+
+// TestRescheduleQualityMatrix is the warm-start quality property: across
+// the four evaluation topologies with heterogeneity off and on, removing
+// one processor and warm-start reconverging must stay within 10% of the
+// sim-replayed makespan a cold run on the post-delta problem achieves —
+// while evaluating strictly fewer migration candidates than the cold run.
+func TestRescheduleQualityMatrix(t *testing.T) {
+	topos := []struct {
+		name string
+		spec gen.TopoSpec
+	}{
+		{"ring", gen.TopoSpec{Kind: gen.Ring, Procs: 8}},
+		{"hypercube", gen.TopoSpec{Kind: gen.Hypercube, Procs: 8}},
+		{"clique", gen.TopoSpec{Kind: gen.Clique, Procs: 8}},
+		{"random", gen.TopoSpec{Kind: gen.RandomTopo, Procs: 8}},
+	}
+	ctx := context.Background()
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range topos {
+		for _, het := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/het=%v", topo.name, het), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(42))
+				g, err := gen.Generate(gen.Spec{Kind: gen.Random, Size: 60, Granularity: 1}, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nw, err := gen.Topology(topo.spec, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sys *system.System
+				if het {
+					sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+					if err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
+				}
+				p, err := sched.NewProblem(g, sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prev, err := bsa.Schedule(ctx, p, sched.WithSeed(7))
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta, p2 := removableProcDelta(t, p, prev)
+
+				warm, err := sched.Reschedule(ctx, *prev, delta, sched.WithSeed(7))
+				if err != nil {
+					t.Fatalf("reschedule: %v", err)
+				}
+				if err := warm.Schedule.Validate(); err != nil {
+					t.Fatalf("warm schedule invalid: %v", err)
+				}
+				cold, err := bsa.Schedule(ctx, p2, sched.WithSeed(7))
+				if err != nil {
+					t.Fatalf("cold post-delta: %v", err)
+				}
+
+				warmReplay, err := warm.Schedule.Replay()
+				if err != nil {
+					t.Fatalf("warm replay: %v", err)
+				}
+				coldReplay, err := cold.Schedule.Replay()
+				if err != nil {
+					t.Fatalf("cold replay: %v", err)
+				}
+				if warmReplay.Length > coldReplay.Length*1.1 {
+					t.Errorf("warm replayed makespan %v exceeds cold %v by more than 10%%",
+						warmReplay.Length, coldReplay.Length)
+				}
+				warmEv := warm.Stats.Get("evaluations")
+				coldEv := cold.Stats.Get("evaluations")
+				if warmEv >= coldEv {
+					t.Errorf("warm evaluations %v not strictly below cold %v", warmEv, coldEv)
+				}
+			})
+		}
+	}
+}
+
+// TestRescheduleEvaluationSavings is the headline speed claim: after a
+// single-processor-removal delta on the n=500 fully-connected-16
+// benchmark instance, warm-start reconvergence evaluates at least 5x
+// fewer migration candidates than cold-starting on the post-delta
+// problem.
+func TestRescheduleEvaluationSavings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=500 instance; skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(42))
+	g, err := gen.RandomLayered(500, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := system.FullyConnected(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), 1, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sched.NewProblem(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bsa, err := sched.Lookup("bsa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := bsa.Schedule(ctx, p, sched.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, p2 := removableProcDelta(t, p, prev)
+
+	warm, err := sched.Reschedule(ctx, *prev, delta, sched.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Schedule.Validate(); err != nil {
+		t.Fatalf("warm schedule invalid: %v", err)
+	}
+	cold, err := bsa.Schedule(ctx, p2, sched.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmEv := warm.Stats.Get("evaluations")
+	coldEv := cold.Stats.Get("evaluations")
+	if warmEv <= 0 {
+		t.Fatalf("warm run evaluated no candidates (stats: %v)", warm.Stats)
+	}
+	if coldEv < 5*warmEv {
+		t.Errorf("warm start evaluated %v candidates, cold %v: want >= 5x savings (got %.1fx)",
+			warmEv, coldEv, coldEv/warmEv)
+	}
+	t.Logf("evaluations: warm=%v cold=%v (%.1fx), dirty=%v, warm SL=%v cold SL=%v",
+		warmEv, coldEv, coldEv/warmEv, warm.Stats.Get("dirty_tasks"), warm.Makespan, cold.Makespan)
+}
