@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke bench-gate bench-verify benchcmp examples apiseal fuzz service-test
+.PHONY: build test race vet fmt-check bench bench-smoke bench-gate bench-verify benchcmp examples apiseal fuzz service-test cluster-test schedload-smoke bench-schedd profile
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,48 @@ fuzz:
 service-test:
 	$(GO) test -race -count 1 ./sched/service
 	$(GO) test -race -count 1 ./tests -run 'TestSchedd'
+
+# cluster-test runs the distributed-schedd net: the store conformance
+# suite (memory + WAL), WAL crash/recovery, the in-process replica-tier
+# tests, and the two process-level proofs — SIGKILL + reboot on the same
+# WAL directory, and kill-one-of-three with a backlog outstanding. The
+# test harness runs under the race detector; the schedd child binaries
+# are plain builds (the in-process cluster tests cover the server code
+# under -race).
+cluster-test:
+	$(GO) test -race -count 1 ./sched/service -run 'TestStore|TestWAL|TestCluster|TestBatch|TestIdempotent|TestJobEvents'
+	$(GO) test -race -count 1 ./tests -run 'TestScheddWALRestart|TestScheddClusterKillOneOfThree'
+
+# schedload-smoke drives an in-process schedd open-loop for 30 seconds
+# with the default sync/async/batch mix and fails on any 5xx; the report
+# is written to BENCH_schedd.json (CI uploads it as the service perf
+# artifact). The committed BENCH_schedd.json is instead produced by
+# bench-schedd below.
+schedload-smoke:
+	$(GO) run ./cmd/schedload -rps 100 -duration 30s -fail-on-5xx -out BENCH_schedd.json
+
+# bench-schedd regenerates the committed BENCH_schedd.json: the
+# closed-loop single-vs-batch comparison whose batch_speedup field is the
+# batch endpoint's acceptance floor (>= 2x jobs/sec over one-at-a-time
+# submission of the same jobs). The point is deliberately wire-bound —
+# small 10-task jobs in batches of 64 over one connection — because
+# batching amortizes wire + admission overhead, not scheduling compute:
+# on compute-bound jobs (the default 40-task heft ~0.5ms each) the ratio
+# is physically capped near 1.5x no matter how good the batch path is.
+bench-schedd:
+	$(GO) run ./cmd/schedload -compare -duration 5s -conns 1 -n 10 -batch 64 -fail-on-5xx -out BENCH_schedd.json
+
+# profile captures CPU and allocation profiles of the BSA engine on its
+# evaluation-heaviest benchmark point (fully connected 16-processor
+# network, n=500). Open interactively with
+#     go tool pprof -http=: cpu.pprof
+# README's "Profiling the engine" section explains what the flame graph
+# normally looks like and which shapes indicate a regression.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkBSATopologies/incremental$$/full=16$$' -benchtime 10x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -o bsa.test .
+	@echo "wrote cpu.pprof, mem.pprof (binary: bsa.test)"
+	@echo "view: go tool pprof -http=: bsa.test cpu.pprof"
 
 # benchcmp diffs two bench JSONs locally: make benchcmp OLD=a.json NEW=b.json
 benchcmp:

@@ -10,8 +10,12 @@
 //	         [-timeout d] [-async] [-poll d] [-json]
 //	schedctl [-server URL] status JOB_ID [-json]
 //	schedctl [-server URL] wait JOB_ID [-poll d] [-json]
+//	schedctl [-server URL] watch JOB_ID [-json]
+//	schedctl [-server URL] batch (-file b.json | -graph g.json (-topo t.json | -system s.json)
+//	         [-algo name] [-count N] [-seed-base N]) [-key-prefix P] [-wait] [-json]
 //	schedctl [-server URL] algos
 //	schedctl [-server URL] health
+//	schedctl [-server URL] cluster
 //	schedctl [-server URL] metrics
 //
 // schedule submits the problem synchronously by default and prints the
@@ -25,6 +29,14 @@
 // comm_factors, add_tasks, add_edges) to a finished job's schedule and
 // warm-starts BSA from it. By default it waits for the reconverged
 // schedule; -async prints the new job's ID instead.
+//
+// watch follows a job's SSE event stream instead of polling, printing
+// each status transition and exiting when the job is terminal.
+//
+// batch submits many jobs in one request: either a full BatchRequest
+// document (-file), or -count copies of one problem with seeds
+// seed-base, seed-base+1, ... (a parameter sweep). It prints the
+// accepted job IDs; -wait then follows them all to completion.
 package main
 
 import (
@@ -48,7 +60,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: schedctl [-server URL] <schedule|reschedule|status|wait|algos|health|metrics> [args]")
+	return fmt.Errorf("usage: schedctl [-server URL] <schedule|batch|reschedule|status|wait|watch|algos|health|cluster|metrics> [args]")
 }
 
 func run() error {
@@ -66,6 +78,41 @@ func run() error {
 		return schedule(ctx, client, args[1:])
 	case "reschedule":
 		return reschedule(ctx, client, args[1:])
+	case "batch":
+		return batch(ctx, client, args[1:])
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "print the raw wire views")
+		id, rest := peelJobID(args[1:])
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if id == "" && fs.NArg() == 1 {
+			id = fs.Arg(0)
+		} else if fs.NArg() != 0 {
+			id = ""
+		}
+		if id == "" {
+			return fmt.Errorf("watch needs exactly one JOB_ID")
+		}
+		var watchErr error
+		v, err := client.Watch(ctx, id, func(v *service.JobView) {
+			if v.Status.Terminal() {
+				return // the terminal view prints in full below
+			}
+			if *asJSON {
+				watchErr = dumpJSON(v)
+			} else {
+				fmt.Printf("%s: %s\n", v.ID, v.Status)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if watchErr != nil {
+			return watchErr
+		}
+		return printJob(v, *asJSON)
 	case "status", "wait":
 		fs := flag.NewFlagSet(args[0], flag.ExitOnError)
 		poll := fs.Duration("poll", 100*time.Millisecond, "poll interval (wait)")
@@ -114,6 +161,22 @@ func run() error {
 		}
 		fmt.Println("ok")
 		return nil
+	case "cluster":
+		view, err := client.Cluster(ctx)
+		if err != nil {
+			return err
+		}
+		for _, n := range view.Nodes {
+			mark, health := " ", "healthy"
+			if n.Self {
+				mark = "*"
+			}
+			if !n.Healthy {
+				health = "unreachable"
+			}
+			fmt.Printf("%s %-10s %-24s %s\n", mark, n.Token, n.Addr, health)
+		}
+		return nil
 	case "metrics":
 		m, err := client.Metrics(ctx)
 		if err != nil {
@@ -131,6 +194,98 @@ func run() error {
 	default:
 		return usage()
 	}
+}
+
+// batch submits many jobs in one POST /v1/batch round trip.
+func batch(ctx context.Context, client *service.Client, args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	filePath := fs.String("file", "", "full BatchRequest JSON document")
+	graphPath := fs.String("graph", "", "task graph JSON file (sweep mode)")
+	topoPath := fs.String("topo", "", "topology (bare network) JSON file")
+	systemPath := fs.String("system", "", "full system JSON file")
+	algo := fs.String("algo", "", "algorithm name (empty = server default)")
+	count := fs.Int("count", 1, "number of sweep jobs")
+	seedBase := fs.Int64("seed-base", 1, "first sweep seed (job i uses seed-base+i)")
+	keyPrefix := fs.String("key-prefix", "", "idempotency key prefix (job i gets PREFIX-i)")
+	wait := fs.Bool("wait", false, "follow every accepted job to completion")
+	poll := fs.Duration("poll", 100*time.Millisecond, "poll interval while waiting")
+	asJSON := fs.Bool("json", false, "print the raw wire response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var req service.BatchRequest
+	switch {
+	case *filePath != "":
+		data, err := os.ReadFile(*filePath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &req); err != nil {
+			return fmt.Errorf("parse %s: %v", *filePath, err)
+		}
+	case *graphPath != "" && (*topoPath != "") != (*systemPath != ""):
+		var err error
+		if req.Graph, err = os.ReadFile(*graphPath); err != nil {
+			return err
+		}
+		if *systemPath != "" {
+			if req.System, err = os.ReadFile(*systemPath); err != nil {
+				return err
+			}
+		} else if req.Topology, err = os.ReadFile(*topoPath); err != nil {
+			return err
+		}
+		if *count < 1 {
+			return fmt.Errorf("batch needs -count >= 1")
+		}
+		for i := 0; i < *count; i++ {
+			job := service.ScheduleRequest{Algo: *algo, Seed: *seedBase + int64(i)}
+			if *keyPrefix != "" {
+				job.IdempotencyKey = fmt.Sprintf("%s-%d", *keyPrefix, i)
+			}
+			req.Jobs = append(req.Jobs, job)
+		}
+	default:
+		return fmt.Errorf("batch needs -file, or -graph and exactly one of -topo / -system")
+	}
+
+	resp, err := client.SubmitBatch(ctx, req)
+	if err != nil {
+		return err
+	}
+	if *asJSON && !*wait {
+		return dumpJSON(resp)
+	}
+	failed := 0
+	for i, item := range resp.Jobs {
+		if item.Error != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "schedctl: job %d rejected: %s\n", i, item.Error.Error())
+			continue
+		}
+		if !*wait {
+			fmt.Println(item.Job.ID)
+		}
+	}
+	if *wait {
+		for _, item := range resp.Jobs {
+			if item.Job == nil {
+				continue
+			}
+			v, err := client.Wait(ctx, item.Job.ID, *poll)
+			if err != nil {
+				return err
+			}
+			if err := printJob(v, *asJSON); err != nil {
+				return err
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs rejected", failed, len(resp.Jobs))
+	}
+	return nil
 }
 
 // peelJobID splits a leading non-flag token off the argument list so the

@@ -8,6 +8,8 @@
 //
 //	schedd [-addr host:port] [-workers N] [-queue N] [-default-algo name]
 //	       [-job-ttl d] [-max-body bytes] [-drain-timeout d]
+//	       [-store mem|wal] [-data DIR]
+//	       [-advertise host:port] [-peers host1:p1,host2:p2]
 //
 // schedd announces the bound address on stdout ("schedd: listening on
 // ADDR") — with -addr :0 the kernel picks the port, which is how the
@@ -15,6 +17,14 @@
 // the listener stops accepting, queued and running jobs finish, then the
 // process exits 0. A second signal — or -drain-timeout expiring — aborts
 // the drain and exits nonzero.
+//
+// -store wal -data DIR persists accepted jobs to an append-only log in
+// DIR and replays it on boot, so a killed schedd finishes what it
+// accepted. -peers lists the other replicas of a cluster; job ownership
+// is consistent-hashed across all members and requests are forwarded to
+// their owner transparently. -advertise is the address peers use to
+// reach this replica (required with -peers unless -addr names a concrete
+// host).
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,21 +60,71 @@ func run() error {
 	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay retrievable")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max time to wait for queued jobs on shutdown")
+	storeKind := flag.String("store", "mem", "job store: mem (process lifetime) or wal (disk, survives restarts)")
+	dataDir := flag.String("data", "", "data directory for -store wal")
+	advertise := flag.String("advertise", "", "address peers reach this replica at (cluster mode)")
+	peers := flag.String("peers", "", "comma-separated advertised addresses of the other replicas")
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	// Bind before building the server: in cluster mode the advertised
+	// self address may need the kernel-picked port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	cfg := service.Config{
 		DefaultAlgo:  *defaultAlgo,
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		MaxBodyBytes: *maxBody,
 		JobTTL:       *jobTTL,
-	})
-	expvar.Publish("schedd", srv.Vars())
+	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
+	switch *storeKind {
+	case "mem":
+		if *dataDir != "" {
+			return fmt.Errorf("-data needs -store wal")
+		}
+	case "wal":
+		if *dataDir == "" {
+			return fmt.Errorf("-store wal needs -data DIR")
+		}
+		wal, err := service.OpenWAL(*dataDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = wal
+	default:
+		return fmt.Errorf("unknown -store %q (want mem or wal)", *storeKind)
+	}
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	if *advertise != "" || len(peerList) > 0 {
+		self := *advertise
+		if self == "" {
+			tcp, ok := ln.Addr().(*net.TCPAddr)
+			if !ok || tcp.IP.IsUnspecified() {
+				return fmt.Errorf("-peers needs -advertise when -addr does not name a concrete host")
+			}
+			self = tcp.String()
+		}
+		cfg.Self = self
+		cfg.Peers = peerList
+	}
+	if err := cfg.Validate(); err != nil {
 		return err
 	}
+
+	srv := service.New(cfg)
+	expvar.Publish("schedd", srv.Vars())
 	fmt.Printf("schedd: listening on %s\n", ln.Addr())
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -81,7 +142,8 @@ func run() error {
 	fmt.Println("schedd: draining...")
 
 	// Stop accepting connections and finish in-flight handlers, then let
-	// the pool run down the queued backlog.
+	// the pool run down the queued backlog. A completed Drain also closes
+	// the store — the WAL's final compaction.
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -101,6 +102,17 @@ func (c *Client) Submit(ctx context.Context, req ScheduleRequest) (*JobView, err
 	return &out, nil
 }
 
+// SubmitBatch enqueues many jobs in one round trip (POST /v1/batch).
+// Each job is accepted or rejected independently: inspect every
+// BatchItem's Error.
+func (c *Client) SubmitBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Reschedule queues a quasi-dynamic delta against a finished job
 // (POST /v1/jobs/{id}/reschedule) and returns the new job's initial
 // view.
@@ -143,6 +155,72 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobV
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// Watch follows a job's SSE status stream (GET /v1/jobs/{id}/events)
+// until the job reaches a terminal state, returning its final view. fn
+// (optional) observes every received view, the terminal one included.
+// Unlike Wait it never polls: the server pushes each transition.
+func (c *Client) Watch(ctx context.Context, id string, fn func(*JobView)) (*JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(resp.Body)
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var env errorEnvelope
+		if err := json.Unmarshal(data, &env); err == nil && env.Error != nil {
+			apiErr.Body = *env.Error
+		} else {
+			apiErr.Body = ErrorBody{Code: "http_error", Message: strings.TrimSpace(string(data))}
+		}
+		return nil, apiErr
+	}
+	// bufio.Scanner would cap data lines at 64 KiB — a schedule document
+	// inside a terminal view can be far larger — so read whole lines.
+	r := bufio.NewReader(resp.Body)
+	var data []byte
+	for {
+		line, err := r.ReadString('\n')
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case line == "" && len(data) > 0:
+			var v JobView
+			if jerr := json.Unmarshal(data, &v); jerr != nil {
+				return nil, fmt.Errorf("service: bad event payload: %w", jerr)
+			}
+			data = data[:0]
+			if fn != nil {
+				fn(&v)
+			}
+			if v.Status.Terminal() {
+				return &v, nil
+			}
+		}
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, fmt.Errorf("service: event stream ended before the job finished: %w", err)
+		}
+	}
+}
+
+// Cluster fetches replica membership and health (GET /v1/cluster).
+func (c *Client) Cluster(ctx context.Context) (*ClusterView, error) {
+	var out ClusterView
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Algos lists the algorithms registered in the serving binary

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ringPoints is how many virtual points each replica contributes to the
+// hash ring. 64 keeps the ownership split within a few percent of even
+// for small clusters without making ring construction noticeable.
+const ringPoints = 64
+
+// forwardedHeader marks a request that already crossed one replica hop.
+// A forwarded request is always served locally — if the ring says it
+// belongs elsewhere the two replicas disagree about membership, and
+// bouncing it again would loop forever.
+const forwardedHeader = "X-Schedd-Forwarded"
+
+// nodeToken derives a replica's stable 8-hex identity from its
+// advertised address. Job IDs embed it ("3aa01f2c.j17"), so any replica
+// can route a job reference back to its owner without shared state.
+func nodeToken(addr string) string {
+	h := fnv.New32a()
+	h.Write([]byte(addr))
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+type ringSlot struct {
+	hash  uint64
+	token string
+}
+
+// fmix64 is MurmurHash3's 64-bit finalizer. FNV-64a alone has weak
+// avalanche for short inputs that differ only in trailing bytes — which
+// is exactly what ring vpoint labels ("addr#0".."addr#63") and
+// real-world sequential idempotency keys ("sweep-0", "sweep-1", ...)
+// look like. Without the finalizer the vpoints of one node clump into a
+// narrow band and whole key families collapse onto a single owner.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// cluster is one replica's static view of the replica tier: the full
+// member list (self included) arranged on a consistent-hash ring.
+// Membership is configuration, not gossip — every replica is started
+// with the same peer list, so all replicas compute identical rings and
+// route without coordination.
+type cluster struct {
+	self      string // advertised address of this replica
+	selfToken string
+	addrs     map[string]string // token -> advertised address
+	ring      []ringSlot        // sorted by hash
+	client    *http.Client
+}
+
+// newCluster builds the ring over self plus peers. client nil means
+// http.DefaultClient.
+func newCluster(self string, peers []string, client *http.Client) (*cluster, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	c := &cluster{
+		self:      self,
+		selfToken: nodeToken(self),
+		addrs:     make(map[string]string),
+		client:    client,
+	}
+	for _, addr := range append([]string{self}, peers...) {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		token := nodeToken(addr)
+		if prev, ok := c.addrs[token]; ok {
+			if prev == addr {
+				continue // duplicate listing of the same member
+			}
+			return nil, fmt.Errorf("service: node token collision: %q and %q both hash to %s", prev, addr, token)
+		}
+		c.addrs[token] = addr
+		for i := 0; i < ringPoints; i++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", addr, i)
+			c.ring = append(c.ring, ringSlot{hash: fmix64(h.Sum64()), token: token})
+		}
+	}
+	sort.Slice(c.ring, func(i, j int) bool { return c.ring[i].hash < c.ring[j].hash })
+	return c, nil
+}
+
+// size returns the number of members, self included.
+func (c *cluster) size() int { return len(c.addrs) }
+
+// ownerToken returns the token of the replica owning key: the first ring
+// point at or after the key's hash, wrapping around.
+func (c *cluster) ownerToken(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	target := fmix64(h.Sum64())
+	i := sort.Search(len(c.ring), func(i int) bool { return c.ring[i].hash >= target })
+	if i == len(c.ring) {
+		i = 0
+	}
+	return c.ring[i].token
+}
+
+// addrOf resolves a member token to its advertised address.
+func (c *cluster) addrOf(token string) (string, bool) {
+	addr, ok := c.addrs[token]
+	return addr, ok
+}
+
+// jobToken extracts the owner token a job ID carries ("token.j17" →
+// "token"). IDs without one ("j17", single-node) are always local.
+func jobToken(id string) string {
+	if i := strings.IndexByte(id, '.'); i > 0 {
+		return id[:i]
+	}
+	return ""
+}
+
+// tokens returns every member token, sorted.
+func (c *cluster) tokens() []string {
+	out := make([]string, 0, len(c.addrs))
+	for t := range c.addrs {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,7 +1,8 @@
 // Package service turns the repro/sched library into a long-running
 // scheduling service: an HTTP API that accepts problems in the public
 // JSON interchange formats, schedules them on a bounded worker pool with
-// any registered algorithm, and returns complete verified schedules.
+// any registered algorithm, persists accepted jobs through a pluggable
+// Store, and scales past one process as a consistent-hash replica tier.
 //
 // The package consumes only the public repro/sched surface (sched,
 // sched/graph, sched/system) — it is written as the external consumer it
@@ -11,23 +12,96 @@
 //
 // # Wire API
 //
-//	POST /v1/schedule     schedule synchronously; body is a ScheduleRequest,
-//	                      response a ScheduleResponse
-//	POST /v1/jobs         submit asynchronously; 202 + JobView
-//	GET  /v1/jobs/{id}    poll a job until its Status is terminal
-//	GET  /v1/algos        the registry's algorithms
-//	GET  /healthz         liveness (503 "draining" during shutdown)
-//	GET  /metrics         expvar counters: jobs in flight / completed /
-//	                      failed, BSA candidate-cache totals
+//	POST /v1/schedule                schedule synchronously; body is a
+//	                                 ScheduleRequest, response a ScheduleResponse
+//	POST /v1/jobs                    submit asynchronously; 202 + JobView.
+//	                                 An IdempotencyKey deduplicates: resubmitting
+//	                                 an accepted key returns the original job
+//	                                 with 200 instead of scheduling again
+//	POST /v1/batch                   many submissions in one request; top-level
+//	                                 graph/system/topology/het act as per-job
+//	                                 defaults and identical documents compile
+//	                                 once; 202 + BatchResponse with independent
+//	                                 per-job outcomes
+//	GET  /v1/jobs/{id}               poll a job until its Status is terminal
+//	GET  /v1/jobs/{id}/events        SSE stream ("event: status", data: JobView
+//	                                 JSON) of status transitions until terminal —
+//	                                 the push alternative to polling
+//	POST /v1/jobs/{id}/reschedule    quasi-dynamic delta on a done job
+//	GET  /v1/algos                   the registry's algorithms
+//	GET  /v1/cluster                 replica membership with live health probes
+//	GET  /healthz                    liveness (503 "draining" during shutdown)
+//	GET  /metrics                    expvar counters (below)
 //
 // Errors are typed: every non-2xx body is {"error":{"code","message"}}
 // with a stable code (CodeBadRequest, CodeUnknownAlgorithm,
-// CodeDeadlineExceeded, CodeBodyTooLarge, ...). Per-request deadlines
-// (TimeoutMS) map to context cancellation inside the algorithms' own
-// loops, so a timed-out run stops computing instead of merely not being
-// reported.
+// CodeDeadlineExceeded, CodeBodyTooLarge, CodeUpstreamUnavailable, ...).
+// Per-request deadlines (TimeoutMS) map to context cancellation inside
+// the algorithms' own loops, so a timed-out run stops computing instead
+// of merely not being reported.
 //
-// Server is the embeddable core; cmd/schedd wraps it with flags, SIGTERM
-// draining and a listener, and cmd/schedctl drives it from the command
-// line through Client.
+// # Persistence
+//
+// Every asynchronous job is written through the configured Store: Put on
+// accept, Finish on the terminal transition, Evict/Sweep on TTL expiry.
+// The default MemStore keeps records for the process lifetime; OpenWAL
+// returns a disk-backed store (append-only JSON-lines log plus snapshot
+// compaction) that survives restarts. On construction the server replays
+// the store: terminal records become servable again and usable as
+// reschedule sources, pending records — jobs a previous process accepted
+// but never finished — are recompiled from their stored recipe and
+// re-enqueued under their original IDs. Because every registered
+// scheduler is deterministic, the replayed run produces byte-identical
+// schedule documents to what the interrupted run would have; reschedule
+// lineage is recomputed recursively the same way. Synchronous jobs are
+// never persisted (their IDs are not disclosed).
+//
+// # Clustering
+//
+// Config.Self plus Config.Peers put the server in cluster mode: all
+// members (every replica is configured with the same total set) are
+// arranged on a consistent-hash ring with 64 virtual points each. Keyed
+// submissions hash by idempotency key to an owner; job IDs embed their
+// owner's node token ("3aa01f2c.j17"), so status, events, and reschedule
+// requests that land on the wrong replica are forwarded transparently.
+// Clients can talk to any member. A forwarded request is served where it
+// lands (one hop, loop-proof); an unreachable owner yields 502
+// "upstream_unavailable". Replicas share nothing — losing one loses only
+// the jobs it owned (none, once it restarts on the same WAL directory).
+//
+// # Metrics
+//
+// GET /metrics renders the per-server expvar counters:
+//
+//	jobs_accepted            requests admitted to the queue (sync + async)
+//	jobs_in_flight           accepted, not yet terminal
+//	jobs_completed           terminal: done
+//	jobs_failed              terminal: failed (incl. deadline)
+//	jobs_rejected            refused before queueing (4xx/503)
+//	cache_hits_total         BSA sweep-cache full hits, summed over runs
+//	cache_partials_total     BSA sweep-cache partial hits
+//	cache_misses_total       BSA sweep-cache misses
+//	evaluations_total        candidate evaluations, all algorithms
+//	reschedules_total        accepted reschedule jobs
+//	delta_remove_procs_total delta operations by kind, summed over
+//	delta_remove_links_total accepted deltas
+//	delta_exec_factors_total
+//	delta_comm_factors_total
+//	delta_add_tasks_total
+//	delta_add_edges_total
+//	store_replays_total      pending jobs re-enqueued from the store on boot
+//	store_errors_total       store writes that failed
+//	forwards_total           requests relayed to their owning replica
+//	idempotent_hits_total    keyed submissions answered with an existing job
+//	batches_total            batch requests accepted for processing
+//	batch_jobs_total         jobs carried inside those batches
+//	batch_size_le_1          cumulative batch-size histogram: batches with
+//	batch_size_le_4          size <= the bucket bound (le_inf counts all,
+//	batch_size_le_16         so bucket differences give the distribution)
+//	batch_size_le_64
+//	batch_size_le_inf
+//
+// Server is the embeddable core; cmd/schedd wraps it with flags, WAL and
+// cluster wiring, SIGTERM draining and a listener; cmd/schedctl drives
+// it from the command line through Client; cmd/schedload load-tests it.
 package service

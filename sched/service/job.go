@@ -1,0 +1,232 @@
+package service
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sched"
+)
+
+// job is one unit of scheduling work: a compiled run closure plus its
+// lifecycle state. Handlers compile requests into jobs (so every
+// validation error surfaces before queueing), the pool runs them, the
+// jobTable keeps them addressable until their TTL expires, and the
+// server's Store mirrors the persistent Record of every asynchronous
+// job.
+type job struct {
+	// rec carries the job's persistent fields — ID, status, outcome, the
+	// original request document and reschedule lineage. Guarded by mu.
+	rec *Record
+
+	// run executes the work — a cold scheduler call or a warm-started
+	// reschedule — under the job's context.
+	run func(context.Context) (*sched.Result, error)
+
+	// ctx bounds the run (queue wait included); cancel releases its
+	// timer once the job reaches a terminal state.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// persist marks the job as store-backed: accepted asynchronously and
+	// mirrored into the server's Store. Synchronous jobs never are —
+	// their IDs are not disclosed, so nothing can look them up later.
+	persist bool
+
+	mu sync.Mutex
+	// res retains the library result of a done job so a follow-up
+	// reschedule can warm-start from its schedule without recomputing
+	// the lineage. Evicted with the job.
+	res *sched.Result
+	// changed closes on every status transition and is immediately
+	// replaced — SSE streams select on it to wake exactly when the view
+	// they last rendered went stale.
+	changed chan struct{}
+
+	// done closes when the job reaches a terminal state; the sync
+	// handler and Client.Wait-backed tests select on it.
+	done chan struct{}
+}
+
+// view snapshots the job's wire form.
+func (j *job) view() *JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return viewOfRecord(j.rec)
+}
+
+// snapshot returns the wire view plus a channel that signals the first
+// status transition after it — the SSE streaming primitive.
+func (j *job) snapshot() (*JobView, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return viewOfRecord(j.rec), j.changed
+}
+
+// record snapshots the persistent form. The Result, Error and raw
+// document fields are immutable once set, so the shallow copy is safe
+// to hand to a Store.
+func (j *job) record() *Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.clone()
+}
+
+// signal wakes every snapshot waiter. Callers hold mu.
+func (j *job) signal() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.rec.Status = JobRunning
+	j.signal()
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state and returns the Record
+// snapshot the caller persists.
+func (j *job) finish(now time.Time, res *sched.Result, resp *ScheduleResponse, errBody *ErrorBody) *Record {
+	j.mu.Lock()
+	if errBody != nil {
+		j.rec.Status = JobFailed
+		j.rec.Error = errBody
+	} else {
+		j.rec.Status = JobDone
+		j.rec.Result = resp
+		j.res = res
+	}
+	j.rec.DoneAt = now
+	rc := j.rec.clone()
+	j.signal()
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+	return rc
+}
+
+// doneResult returns the retained library result once the job is done.
+func (j *job) doneResult() (*sched.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rec.Status != JobDone || j.res == nil {
+		return nil, false
+	}
+	return j.res, true
+}
+
+// terminalSince returns the terminal-transition time, or false while the
+// job is still queued or running.
+func (j *job) terminalSince() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.DoneAt, j.rec.Status.Terminal()
+}
+
+// jobTable is the in-memory runtime table: every job submitted (or
+// replayed) in this process, TTL-evicted once terminal. It is the live
+// complement of the Store — jobs here carry contexts, run closures and
+// watcher channels that no persistent record can.
+type jobTable struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	seq    atomic.Uint64
+	prefix string
+}
+
+func newJobTable(prefix string) *jobTable {
+	return &jobTable{jobs: make(map[string]*job), prefix: prefix}
+}
+
+// nextID returns a process-unique job ID, prefixed with the replica's
+// node token when clustered ("3a5f9c21.j17") so any replica can route a
+// job reference back to its owner.
+func (t *jobTable) nextID() string {
+	return t.prefix + "j" + strconv.FormatUint(t.seq.Add(1), 10)
+}
+
+// bump raises the ID sequence to at least n — store replay calls it so
+// re-admitted jobs keep their original IDs without colliding with the
+// ones this boot will assign.
+func (t *jobTable) bump(n uint64) {
+	for {
+		cur := t.seq.Load()
+		if cur >= n || t.seq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// idSeq extracts the numeric sequence from a job ID ("j17" or
+// "token.j17" → 17), 0 when the ID has another shape.
+func idSeq(id string) uint64 {
+	if i := strings.LastIndexByte(id, '.'); i >= 0 {
+		id = id[i+1:]
+	}
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func (t *jobTable) put(j *job) {
+	t.mu.Lock()
+	t.jobs[j.rec.ID] = j
+	t.mu.Unlock()
+}
+
+func (t *jobTable) delete(id string) {
+	t.mu.Lock()
+	delete(t.jobs, id)
+	t.mu.Unlock()
+}
+
+// get returns the job, lazily evicting it when its TTL has passed.
+func (t *jobTable) get(id string, now time.Time, ttl time.Duration) (*job, bool) {
+	t.mu.Lock()
+	j, ok := t.jobs[id]
+	t.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if doneAt, terminal := j.terminalSince(); terminal && ttl > 0 && now.Sub(doneAt) >= ttl {
+		t.mu.Lock()
+		delete(t.jobs, id)
+		t.mu.Unlock()
+		return nil, false
+	}
+	return j, true
+}
+
+// sweep evicts every terminal job older than ttl and returns how many it
+// removed.
+func (t *jobTable) sweep(now time.Time, ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, j := range t.jobs {
+		if doneAt, terminal := j.terminalSince(); terminal && now.Sub(doneAt) >= ttl {
+			delete(t.jobs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// size returns the number of live runtime jobs (any state).
+func (t *jobTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.jobs)
+}

@@ -37,6 +37,23 @@ type metrics struct {
 	DeltaCommFactors *expvar.Int
 	DeltaAddTasks    *expvar.Int
 	DeltaAddEdges    *expvar.Int
+
+	// Persistence and cluster traffic.
+	StoreReplays   *expvar.Int // pending jobs re-enqueued from the store on boot
+	StoreErrors    *expvar.Int // store writes that failed
+	Forwards       *expvar.Int // requests relayed to their owning replica
+	IdempotentHits *expvar.Int // keyed submissions answered with an existing job
+
+	// Batch intake: batch requests, jobs they carried, and a cumulative
+	// batch-size histogram (le buckets, Prometheus-style: each counts
+	// batches of size <= its bound).
+	Batches    *expvar.Int
+	BatchJobs  *expvar.Int
+	BatchLe1   *expvar.Int
+	BatchLe4   *expvar.Int
+	BatchLe16  *expvar.Int
+	BatchLe64  *expvar.Int
+	BatchLeInf *expvar.Int
 }
 
 func newMetrics() *metrics {
@@ -61,12 +78,43 @@ func newMetrics() *metrics {
 		{"delta_comm_factors_total", &m.DeltaCommFactors},
 		{"delta_add_tasks_total", &m.DeltaAddTasks},
 		{"delta_add_edges_total", &m.DeltaAddEdges},
+		{"store_replays_total", &m.StoreReplays},
+		{"store_errors_total", &m.StoreErrors},
+		{"forwards_total", &m.Forwards},
+		{"idempotent_hits_total", &m.IdempotentHits},
+		{"batches_total", &m.Batches},
+		{"batch_jobs_total", &m.BatchJobs},
+		{"batch_size_le_1", &m.BatchLe1},
+		{"batch_size_le_4", &m.BatchLe4},
+		{"batch_size_le_16", &m.BatchLe16},
+		{"batch_size_le_64", &m.BatchLe64},
+		{"batch_size_le_inf", &m.BatchLeInf},
 	} {
 		i := new(expvar.Int)
 		*v.dst = i
 		m.vars.Set(v.name, i)
 	}
 	return m
+}
+
+// observeBatch counts one batch request of n jobs into the totals and
+// the cumulative size histogram.
+func (m *metrics) observeBatch(n int) {
+	m.Batches.Add(1)
+	m.BatchJobs.Add(int64(n))
+	if n <= 1 {
+		m.BatchLe1.Add(1)
+	}
+	if n <= 4 {
+		m.BatchLe4.Add(1)
+	}
+	if n <= 16 {
+		m.BatchLe16.Add(1)
+	}
+	if n <= 64 {
+		m.BatchLe64.Add(1)
+	}
+	m.BatchLeInf.Add(1)
 }
 
 // observeDelta counts one accepted reschedule and its delta's operations

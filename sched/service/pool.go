@@ -87,7 +87,7 @@ func newPool(workers, depth int, run func(*job)) *pool {
 // sends are non-blocking, so the critical section cannot stall.
 func (p *pool) submit(j *job) error {
 	h := fnv.New32a()
-	h.Write([]byte(j.id))
+	h.Write([]byte(j.rec.ID))
 	home := p.shards[h.Sum32()%uint32(len(p.shards))]
 
 	p.mu.Lock()

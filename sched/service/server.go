@@ -1,13 +1,16 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +38,26 @@ type Config struct {
 	JobTTL time.Duration
 	// Now overrides the clock (TTL tests). Default time.Now.
 	Now func() time.Time
+
+	// Store persists accepted asynchronous jobs. Nil means a fresh
+	// in-memory store (records live as long as the process); OpenWAL
+	// gives restart durability. New replays the store's contents on
+	// construction: terminal records stay servable, pending ones are
+	// recompiled and re-enqueued.
+	Store Store
+	// Self is this replica's advertised host:port — the address peers
+	// reach it at. Setting it puts the server in cluster mode: job IDs
+	// carry its node token ("3aa01f2c.j17") so any replica can route
+	// them home. Empty means single-node.
+	Self string
+	// Peers are the other replicas' advertised host:port addresses.
+	// Every replica must be configured with the same total member set
+	// (its Self plus its Peers) — membership is configuration, not
+	// gossip, so all replicas compute identical hash rings.
+	Peers []string
+	// HTTPClient issues forwarded requests and peer health probes in
+	// cluster mode. Default http.DefaultClient.
+	HTTPClient *http.Client
 }
 
 func (c *Config) fill() {
@@ -56,52 +79,102 @@ func (c *Config) fill() {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.Store == nil {
+		c.Store = NewMemStore()
+	}
+}
+
+// Validate reports configuration errors New would panic on: peers
+// without an advertised self address, or node-token collisions in the
+// member set.
+func (c *Config) Validate() error {
+	if len(c.Peers) > 0 && c.Self == "" {
+		return fmt.Errorf("service: peers configured without a self address")
+	}
+	if c.Self != "" {
+		if _, err := newCluster(c.Self, c.Peers, c.HTTPClient); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Server is the scheduling service: an http.Handler exposing the wire
-// API plus the worker pool and job store behind it. It consumes only the
-// public repro/sched surface — algorithms arrive through the registry, so
-// a binary embedding Server schedules with whatever it blank-imports or
-// registers itself.
+// API plus the worker pool, job store and (optionally) replica tier
+// behind it. It consumes only the public repro/sched surface —
+// algorithms arrive through the registry, so a binary embedding Server
+// schedules with whatever it blank-imports or registers itself.
 //
 //	POST /v1/schedule                synchronous scheduling (body: ScheduleRequest)
-//	POST /v1/jobs                    asynchronous submit, 202 + JobView
+//	POST /v1/jobs                    asynchronous submit, 202 + JobView (idempotency keys dedupe)
+//	POST /v1/batch                   many submissions in one request, 202 + BatchResponse
 //	GET  /v1/jobs/{id}               job status / result
+//	GET  /v1/jobs/{id}/events        SSE status stream until terminal
 //	POST /v1/jobs/{id}/reschedule    quasi-dynamic delta on a done job, 202 + JobView
 //	GET  /v1/algos                   registered algorithms
+//	GET  /v1/cluster                 replica membership and health
 //	GET  /healthz                    liveness ("ok", or "draining" + 503)
 //	GET  /metrics                    expvar counter document
+//
+// In cluster mode (Config.Self + Config.Peers) job ownership is
+// consistent-hashed across replicas: keyed submissions and job lookups
+// that land on the wrong replica are forwarded transparently to the
+// owner, so clients can talk to any member.
 type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	pool     *pool
-	store    *store
+	jobs     *jobTable
+	rec      Store
+	cluster  *cluster // nil when single-node
 	metrics  *metrics
 	draining atomic.Bool
+
+	// keyMu serializes keyed submissions so two concurrent submits under
+	// one new idempotency key cannot both miss ByKey and double-accept.
+	keyMu sync.Mutex
 
 	janitorStop chan struct{}
 	janitorOnce sync.Once
 }
 
-// New builds a Server and starts its worker pool and TTL janitor. Call
-// Drain to shut it down.
+// New builds a Server, starts its worker pool and TTL janitor, and
+// replays the configured store: terminal records become servable again,
+// pending ones are recompiled and re-enqueued (counted in
+// store_replays_total). It panics on an invalid Config — call
+// Config.Validate first to get the error. Call Drain to shut down.
 func New(cfg Config) *Server {
 	cfg.fill()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	prefix := ""
+	var cl *cluster
+	if cfg.Self != "" {
+		cl, _ = newCluster(cfg.Self, cfg.Peers, cfg.HTTPClient) // Validate already vetted it
+		prefix = cl.selfToken + "."
+	}
 	s := &Server{
 		cfg:         cfg,
 		mux:         http.NewServeMux(),
-		store:       newStore(),
+		jobs:        newJobTable(prefix),
+		rec:         cfg.Store,
+		cluster:     cl,
 		metrics:     newMetrics(),
 		janitorStop: make(chan struct{}),
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runJob)
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/reschedule", s.handleReschedule)
 	s.mux.HandleFunc("GET /v1/algos", s.handleAlgos)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.replay()
 	go s.janitor()
 	return s
 }
@@ -116,13 +189,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // the process-global expvar namespace (cmd/schedd does, as "schedd").
 func (s *Server) Vars() *expvar.Map { return s.metrics.vars }
 
-// Jobs returns the number of jobs currently in the store (any state).
-func (s *Server) Jobs() int { return s.store.size() }
+// Jobs returns the number of live runtime jobs (any state).
+func (s *Server) Jobs() int { return s.jobs.size() }
 
 // Drain gracefully shuts the service down: the intake closes (new
 // submissions get 503 "shutting_down", /healthz turns "draining") and
 // Drain blocks until every accepted job has reached a terminal state or
-// ctx expires. Safe to call more than once.
+// ctx expires. A completed drain also closes the store — for a WAL
+// store that folds the log into its final snapshot. Safe to call more
+// than once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	// Stop the janitor on every exit path — an interrupted drain must not
@@ -136,13 +211,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.rec.Close()
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain interrupted with jobs still running: %w", ctx.Err())
 	}
 }
 
-// janitor periodically evicts expired terminal jobs.
+// janitor periodically evicts expired terminal jobs from the runtime
+// table and the store.
 func (s *Server) janitor() {
 	period := s.cfg.JobTTL / 4
 	if period < time.Second {
@@ -153,33 +229,178 @@ func (s *Server) janitor() {
 	for {
 		select {
 		case <-t.C:
-			s.store.sweep(s.cfg.Now(), s.cfg.JobTTL)
+			now := s.cfg.Now()
+			s.jobs.sweep(now, s.cfg.JobTTL)
+			s.rec.Sweep(now, s.cfg.JobTTL)
 		case <-s.janitorStop:
 			return
 		}
 	}
 }
 
-// newJob compiles a request into a stored, queueable job. base is the
-// context the run hangs off: the request context for synchronous calls,
-// the background context for asynchronous jobs (they outlive the submit
-// request). A TimeoutMS deadline starts here — it covers queue wait.
-func (s *Server) newJob(base context.Context, req *ScheduleRequest) (*job, *ErrorBody) {
-	p, scheduler, errBody := req.compile(s.cfg.DefaultAlgo)
+// ---- store replay ----
+
+// replay re-admits the store's contents on boot. Terminal records need
+// no runtime state — GET /v1/jobs/{id} and reschedule lineage serve them
+// straight from the store. Pending records are jobs a previous process
+// accepted but never finished: each is recompiled from its stored recipe
+// and re-enqueued under its original ID. Every registered scheduler is
+// deterministic, so the replayed run produces byte-identical schedule
+// bytes to what the interrupted one would have.
+//
+// Replayed jobs run without their original TimeoutMS bound — the
+// deadline was relative to the original accept time, which no longer
+// means anything.
+func (s *Server) replay() {
+	recs := s.rec.List()
+	sort.Slice(recs, func(i, j int) bool { return idSeq(recs[i].ID) < idSeq(recs[j].ID) })
+	for _, rec := range recs {
+		s.jobs.bump(idSeq(rec.ID))
+		if rec.Status.Terminal() {
+			continue
+		}
+		s.metrics.StoreReplays.Add(1)
+		j, errBody := s.rebuildJob(rec)
+		if errBody == nil {
+			errBody = s.enqueue(j, true)
+		}
+		if errBody != nil {
+			// The recipe no longer compiles (algorithm unregistered in this
+			// binary, hand-edited log) or the pool is already full: fail the
+			// record so clients see a terminal answer instead of a forever-
+			// queued ghost.
+			rec := rec.clone()
+			rec.Status = JobFailed
+			rec.Error = errBody
+			rec.DoneAt = s.cfg.Now()
+			if err := s.rec.Finish(rec); err != nil {
+				s.metrics.StoreErrors.Add(1)
+			}
+		}
+	}
+}
+
+// rebuildJob reconstructs a runnable job from a pending record's recipe.
+func (s *Server) rebuildJob(rec *Record) (*job, *ErrorBody) {
+	switch rec.Kind {
+	case KindReschedule:
+		delta, err := sched.DeltaFromJSON(rec.Delta)
+		if err != nil {
+			return nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error(), Detail: validationDetail(err)}
+		}
+		return s.buildJob(context.Background(), rec.clone(), 0, s.rescheduleRun(rec.SourceID, delta, rec.Seed)), nil
+	default:
+		var req ScheduleRequest
+		if err := json.Unmarshal(rec.Request, &req); err != nil {
+			return nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("stored request: %v", err)}
+		}
+		p, scheduler, errBody := req.compile(s.cfg.DefaultAlgo, nil)
+		if errBody != nil {
+			return nil, errBody
+		}
+		seed := req.Seed
+		return s.buildJob(context.Background(), rec.clone(), 0, func(ctx context.Context) (*sched.Result, error) {
+			return scheduler.Schedule(ctx, p, sched.WithSeed(seed), sched.WithWorkers(1))
+		}), nil
+	}
+}
+
+// resultOf re-derives a finished library result for id: the retained
+// in-memory result when the job is live and done, otherwise a
+// deterministic recomputation from the stored recipe — recursing through
+// reschedule lineage. It never blocks on another queued job (that could
+// deadlock a single-worker pool); recomputing an ancestor that happens
+// to still be queued yields the same bytes its own run will.
+func (s *Server) resultOf(ctx context.Context, id string) (*sched.Result, error) {
+	if j, ok := s.jobs.get(id, s.cfg.Now(), s.cfg.JobTTL); ok {
+		if res, ok := j.doneResult(); ok {
+			return res, nil
+		}
+	}
+	rec, ok := s.rec.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("reschedule source %q is gone (expired or never persisted)", id)
+	}
+	if rec.Status == JobFailed {
+		return nil, fmt.Errorf("reschedule source %q failed", id)
+	}
+	switch rec.Kind {
+	case KindReschedule:
+		prev, err := s.resultOf(ctx, rec.SourceID)
+		if err != nil {
+			return nil, err
+		}
+		delta, err := sched.DeltaFromJSON(rec.Delta)
+		if err != nil {
+			return nil, err
+		}
+		return sched.Reschedule(ctx, *prev, delta, sched.WithSeed(rec.Seed))
+	default:
+		var req ScheduleRequest
+		if err := json.Unmarshal(rec.Request, &req); err != nil {
+			return nil, fmt.Errorf("stored request for %q: %w", id, err)
+		}
+		p, scheduler, errBody := req.compile(s.cfg.DefaultAlgo, nil)
+		if errBody != nil {
+			return nil, errBody
+		}
+		return scheduler.Schedule(ctx, p, sched.WithSeed(req.Seed), sched.WithWorkers(1))
+	}
+}
+
+// rescheduleRun returns the run closure of a reschedule job: resolve the
+// source result (live fast path or stored-recipe recomputation), then
+// warm-start reconvergence from it.
+func (s *Server) rescheduleRun(sourceID string, delta sched.Delta, seed int64) func(context.Context) (*sched.Result, error) {
+	return func(ctx context.Context) (*sched.Result, error) {
+		prev, err := s.resultOf(ctx, sourceID)
+		if err != nil {
+			return nil, err
+		}
+		return sched.Reschedule(ctx, *prev, delta, sched.WithSeed(seed))
+	}
+}
+
+// ---- job construction ----
+
+// newJob compiles a request into a queueable job. base is the request
+// context for synchronous calls and the background context for
+// asynchronous jobs. persist marks the job store-backed (asynchronous
+// submissions); synchronous jobs never are — their IDs are not
+// disclosed, so nothing can look them up later. cc (nil outside
+// batches) shares compiled documents across a batch.
+func (s *Server) newJob(base context.Context, req *ScheduleRequest, persist bool, cc *compileCache) (*job, *ErrorBody) {
+	p, scheduler, errBody := req.compile(s.cfg.DefaultAlgo, cc)
 	if errBody != nil {
 		return nil, errBody
 	}
-	opts := []sched.Option{sched.WithSeed(req.Seed), sched.WithWorkers(1)}
-	return s.buildJob(base, scheduler.Name(), req.TimeoutMS, func(ctx context.Context) (*sched.Result, error) {
-		return scheduler.Schedule(ctx, p, opts...)
-	}), nil
+	rec := &Record{
+		ID:        s.jobs.nextID(),
+		Kind:      KindSchedule,
+		Algo:      scheduler.Name(),
+		Status:    JobQueued,
+		Key:       req.IdempotencyKey,
+		CreatedAt: s.cfg.Now(),
+	}
+	if persist {
+		rec.Request = req.wireDoc()
+	}
+	seed := req.Seed
+	j := s.buildJob(base, rec, req.TimeoutMS, func(ctx context.Context) (*sched.Result, error) {
+		return scheduler.Schedule(ctx, p, sched.WithSeed(seed), sched.WithWorkers(1))
+	})
+	j.persist = persist
+	return j, nil
 }
 
-// newRescheduleJob compiles a reschedule request against a finished
-// source job into a queueable warm-start job. The delta is parsed and
-// resolved against the source schedule's problem up front, so every
-// validation error still surfaces as a typed 4xx before queueing.
-func (s *Server) newRescheduleJob(base context.Context, prev *sched.Result, req *RescheduleRequest) (*job, *ErrorBody) {
+// newRescheduleJob compiles a reschedule request against a source job
+// into a queueable warm-start job. prev is the source's retained result
+// when it is live and done — the delta is then parsed and resolved
+// against its problem up front, so every validation error still surfaces
+// as a typed 4xx before queueing. prev nil means the source exists only
+// as a stored record: the preflight Apply is skipped (the recomputation
+// happens at run time) and a bad delta becomes the job's terminal error.
+func (s *Server) newRescheduleJob(sourceID string, prev *sched.Result, req *RescheduleRequest) (*job, *ErrorBody) {
 	if len(req.Delta) == 0 || string(req.Delta) == "null" {
 		return nil, &ErrorBody{Code: CodeBadRequest, Message: "missing delta document"}
 	}
@@ -187,48 +408,85 @@ func (s *Server) newRescheduleJob(base context.Context, prev *sched.Result, req 
 	if err != nil {
 		return nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error(), Detail: validationDetail(err)}
 	}
-	p := sched.Problem{Graph: prev.Schedule.Graph(), System: prev.Schedule.System()}
-	if _, err := delta.Apply(p); err != nil {
-		return nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error(), Detail: validationDetail(err)}
+	if prev != nil {
+		p := sched.Problem{Graph: prev.Schedule.Graph(), System: prev.Schedule.System()}
+		if _, err := delta.Apply(p); err != nil {
+			return nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error(), Detail: validationDetail(err)}
+		}
 	}
 	s.metrics.observeDelta(delta)
-	seed := req.Seed
-	return s.buildJob(base, "bsa", req.TimeoutMS, func(ctx context.Context) (*sched.Result, error) {
-		return sched.Reschedule(ctx, *prev, delta, sched.WithSeed(seed))
-	}), nil
+	rec := &Record{
+		ID:        s.jobs.nextID(),
+		Kind:      KindReschedule,
+		Algo:      "bsa",
+		Status:    JobQueued,
+		Delta:     req.Delta,
+		Seed:      req.Seed,
+		SourceID:  sourceID,
+		CreatedAt: s.cfg.Now(),
+	}
+	var run func(context.Context) (*sched.Result, error)
+	if prev != nil {
+		seed := req.Seed
+		run = func(ctx context.Context) (*sched.Result, error) {
+			return sched.Reschedule(ctx, *prev, delta, sched.WithSeed(seed))
+		}
+	} else {
+		run = s.rescheduleRun(sourceID, delta, req.Seed)
+	}
+	j := s.buildJob(context.Background(), rec, req.TimeoutMS, run)
+	j.persist = true
+	return j, nil
 }
 
-// buildJob wraps a run closure in job lifecycle state.
-func (s *Server) buildJob(base context.Context, algo string, timeoutMS int64, run func(context.Context) (*sched.Result, error)) *job {
+// buildJob wraps a record and run closure in job lifecycle state. base
+// is the context the run hangs off: the request context for synchronous
+// calls, the background context for asynchronous jobs (they outlive the
+// submit request). A TimeoutMS deadline starts here — it covers queue
+// wait.
+func (s *Server) buildJob(base context.Context, rec *Record, timeoutMS int64, run func(context.Context) (*sched.Result, error)) *job {
 	ctx, cancel := base, context.CancelFunc(func() {})
 	if timeoutMS > 0 {
 		ctx, cancel = context.WithTimeout(base, time.Duration(timeoutMS)*time.Millisecond)
 	}
 	return &job{
-		id:     s.store.nextID(),
-		algo:   algo,
-		run:    run,
-		ctx:    ctx,
-		cancel: cancel,
-		status: JobQueued,
-		done:   make(chan struct{}),
+		rec:     rec,
+		run:     run,
+		ctx:     ctx,
+		cancel:  cancel,
+		changed: make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 }
 
-// enqueue stores and submits a compiled job, updating the counters. The
-// accepted/in-flight counters move BEFORE the job becomes runnable: a
-// worker can finish it (decrementing in-flight) the instant submit
-// succeeds, and counting afterwards would let a /metrics scrape observe
-// jobs_in_flight at -1 or jobs_completed ahead of jobs_accepted.
-func (s *Server) enqueue(j *job) *ErrorBody {
-	s.store.put(j)
+// enqueue registers and submits a compiled job, updating the counters.
+// replayed marks a job the store already holds (boot replay), skipping
+// the duplicate Put. The accepted/in-flight counters move BEFORE the job
+// becomes runnable: a worker can finish it (decrementing in-flight) the
+// instant submit succeeds, and counting afterwards would let a /metrics
+// scrape observe jobs_in_flight at -1 or jobs_completed ahead of
+// jobs_accepted.
+func (s *Server) enqueue(j *job, replayed bool) *ErrorBody {
+	id := j.rec.ID
+	if j.persist && !replayed {
+		if err := s.rec.Put(j.record()); err != nil {
+			s.metrics.StoreErrors.Add(1)
+			s.metrics.JobsRejected.Add(1)
+			j.cancel()
+			return &ErrorBody{Code: CodeStoreError, Message: fmt.Sprintf("persist job: %v", err)}
+		}
+	}
+	s.jobs.put(j)
 	s.metrics.JobsAccepted.Add(1)
 	s.metrics.JobsInFlight.Add(1)
 	if err := s.pool.submit(j); err != nil {
 		// Remove the stillborn job so it cannot be polled forever.
 		s.metrics.JobsAccepted.Add(-1)
 		s.metrics.JobsInFlight.Add(-1)
-		s.store.delete(j.id)
+		s.jobs.delete(id)
+		if j.persist && !replayed {
+			s.rec.Evict(id)
+		}
 		j.cancel()
 		s.metrics.JobsRejected.Add(1)
 		if errors.Is(err, errDraining) {
@@ -278,7 +536,12 @@ func (s *Server) runJob(j *job) {
 		s.metrics.JobsCompleted.Add(1)
 	}
 	s.metrics.JobsInFlight.Add(-1)
-	j.finish(s.cfg.Now(), res, resp, errBody)
+	rc := j.finish(s.cfg.Now(), res, resp, errBody)
+	if j.persist {
+		if err := s.rec.Finish(rc); err != nil {
+			s.metrics.StoreErrors.Add(1)
+		}
+	}
 }
 
 // runGuarded invokes the job's run closure, converting a panic into an
@@ -300,22 +563,132 @@ func ctxErrorBody(err error) *ErrorBody {
 	return &ErrorBody{Code: CodeDeadlineExceeded, Message: err.Error()}
 }
 
-// ---- handlers ----
+// ---- request plumbing ----
 
-// decode parses the JSON body under the body-size cap.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, req any) *ErrorBody {
+// readBody slurps the JSON body under the body-size cap. Forwarding
+// needs the raw bytes, so decoding is split from reading.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *ErrorBody) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(req); err != nil {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			return &ErrorBody{Code: CodeBodyTooLarge, Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+			return nil, &ErrorBody{Code: CodeBodyTooLarge, Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)}
 		}
+		return nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("read request: %v", err)}
+	}
+	return data, nil
+}
+
+// unmarshalStrict decodes a request body, rejecting unknown fields.
+func unmarshalStrict(data []byte, v any) *ErrorBody {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		return &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("decode request: %v", err)}
 	}
 	return nil
 }
+
+// decode parses the JSON body under the body-size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req any) *ErrorBody {
+	data, errBody := s.readBody(w, r)
+	if errBody != nil {
+		return errBody
+	}
+	return unmarshalStrict(data, req)
+}
+
+// ---- cluster routing ----
+
+// remoteByToken resolves the address to forward a request to: the owner
+// token must name another replica and the request must not already have
+// crossed a hop (a forwarded request is served where it lands — two
+// replicas disagreeing about membership must not bounce it forever).
+func (s *Server) remoteByToken(r *http.Request, token string) (string, bool) {
+	if s.cluster == nil || token == "" || token == s.cluster.selfToken || r.Header.Get(forwardedHeader) != "" {
+		return "", false
+	}
+	return s.cluster.addrOf(token)
+}
+
+// relay forwards the request to addr and streams the response back,
+// flushing per chunk so SSE survives the hop. body nil means a bodyless
+// method.
+func (s *Server) relay(w http.ResponseWriter, r *http.Request, addr string, body []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, "http://"+addr+r.URL.RequestURI(), rd)
+	if err != nil {
+		writeError(w, &ErrorBody{Code: CodeUpstreamUnavailable, Message: fmt.Sprintf("forward to %s: %v", addr, err)})
+		return
+	}
+	req.Header.Set(forwardedHeader, s.cluster.self)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := s.cluster.client.Do(req)
+	if err != nil {
+		writeError(w, &ErrorBody{Code: CodeUpstreamUnavailable, Message: fmt.Sprintf("job owner %s unreachable: %v", addr, err)})
+		return
+	}
+	defer resp.Body.Close()
+	s.metrics.Forwards.Add(1)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+}
+
+// flushCopy copies src to w, flushing after every chunk so streamed
+// responses (SSE) propagate immediately instead of sitting in a buffer.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// storeGet fetches a record, lazily evicting it when its TTL passed —
+// the store mirror of jobTable.get.
+func (s *Server) storeGet(id string) (*Record, bool) {
+	rec, ok := s.rec.Get(id)
+	if !ok {
+		return nil, false
+	}
+	if ttl := s.cfg.JobTTL; rec.Status.Terminal() && ttl > 0 && s.cfg.Now().Sub(rec.DoneAt) >= ttl {
+		s.rec.Evict(id)
+		return nil, false
+	}
+	return rec, true
+}
+
+// currentView renders the freshest view of a job: the live runtime job
+// when present (its status moves before the store's), else the stored
+// record.
+func (s *Server) currentView(rec *Record) *JobView {
+	if j, ok := s.jobs.get(rec.ID, s.cfg.Now(), s.cfg.JobTTL); ok {
+		return j.view()
+	}
+	return viewOfRecord(rec)
+}
+
+// ---- handlers ----
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req ScheduleRequest
@@ -324,13 +697,16 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBody)
 		return
 	}
-	j, errBody := s.newJob(r.Context(), &req)
+	// Synchronous calls are served wherever they land: the job is private
+	// to this request, so ownership routing (and the idempotency key) do
+	// not apply.
+	j, errBody := s.newJob(r.Context(), &req, false, nil)
 	if errBody != nil {
 		s.metrics.JobsRejected.Add(1)
 		writeError(w, errBody)
 		return
 	}
-	if errBody := s.enqueue(j); errBody != nil {
+	if errBody := s.enqueue(j, false); errBody != nil {
 		writeError(w, errBody)
 		return
 	}
@@ -343,8 +719,8 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	// A synchronous job's ID is never disclosed, so nobody can poll it:
 	// drop it now instead of letting every sync response's schedule
-	// document sit in the store for a full JobTTL.
-	s.store.delete(j.id)
+	// document sit in the table for a full JobTTL.
+	s.jobs.delete(j.rec.ID)
 	v := j.view()
 	if v.Error != nil {
 		writeError(w, v.Error)
@@ -354,57 +730,254 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req ScheduleRequest
-	if errBody := s.decode(w, r, &req); errBody != nil {
-		s.metrics.JobsRejected.Add(1)
-		writeError(w, errBody)
-		return
+	body, errBody := s.readBody(w, r)
+	if errBody == nil {
+		var req ScheduleRequest
+		if errBody = unmarshalStrict(body, &req); errBody == nil {
+			// Keyed submissions are owned by the key's hash owner so
+			// duplicates land on one replica no matter who received them;
+			// keyless ones stay local (their ID carries this node's token,
+			// which routes every later lookup here).
+			if req.IdempotencyKey != "" {
+				if addr, ok := s.remoteByToken(r, s.cluster.ownerTokenIfClustered(req.IdempotencyKey)); ok {
+					s.relay(w, r, addr, body)
+					return
+				}
+			}
+			s.submitLocal(w, &req, nil)
+			return
+		}
 	}
-	j, errBody := s.newJob(context.Background(), &req)
+	s.metrics.JobsRejected.Add(1)
+	writeError(w, errBody)
+}
+
+// ownerTokenIfClustered is ownerToken tolerating a nil receiver, so the
+// single-node path needs no branch.
+func (c *cluster) ownerTokenIfClustered(key string) string {
+	if c == nil {
+		return ""
+	}
+	return c.ownerToken(key)
+}
+
+// submitLocal accepts one asynchronous submission on this replica,
+// deduplicating by idempotency key. A duplicate returns the original
+// job's current view with HTTP 200 (not 202 — nothing was accepted).
+func (s *Server) submitLocal(w http.ResponseWriter, req *ScheduleRequest, cc *compileCache) {
+	if req.IdempotencyKey != "" {
+		s.keyMu.Lock()
+		defer s.keyMu.Unlock()
+		if rec, ok := s.rec.ByKey(req.IdempotencyKey); ok {
+			if _, live := s.storeGet(rec.ID); live {
+				s.metrics.IdempotentHits.Add(1)
+				writeJSON(w, http.StatusOK, s.currentView(rec))
+				return
+			}
+			// The key's job TTL-expired: the key is free again.
+		}
+	}
+	j, errBody := s.newJob(context.Background(), req, true, cc)
 	if errBody != nil {
 		s.metrics.JobsRejected.Add(1)
 		writeError(w, errBody)
 		return
 	}
-	if errBody := s.enqueue(j); errBody != nil {
+	if errBody := s.enqueue(j, false); errBody != nil {
 		writeError(w, errBody)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
-// handleReschedule accepts a quasi-dynamic delta against a finished
-// job's schedule and queues the warm-started reconvergence as a fresh
-// asynchronous job. The response is the same 202 + JobView shape as
-// POST /v1/jobs; the resulting schedule document is byte-identical to
-// what sched.Reschedule produces for the same inputs.
-func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	src, ok := s.store.get(id, s.cfg.Now(), s.cfg.JobTTL)
-	if !ok {
-		s.metrics.JobsRejected.Add(1)
-		writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
-		return
-	}
-	var req RescheduleRequest
-	if errBody := s.decode(w, r, &req); errBody != nil {
-		s.metrics.JobsRejected.Add(1)
-		writeError(w, errBody)
-		return
-	}
-	prev, done := src.doneResult()
-	if !done {
-		s.metrics.JobsRejected.Add(1)
-		writeError(w, &ErrorBody{Code: CodeJobNotDone, Message: fmt.Sprintf("job %q has no completed schedule to reschedule from", id)})
-		return
-	}
-	j, errBody := s.newRescheduleJob(context.Background(), prev, &req)
+// handleBatch accepts many submissions in one request. Top-level
+// documents act as per-job defaults and byte-identical documents compile
+// once, so a parameter sweep pays wire and compile cost once instead of
+// per job. Jobs are accepted or rejected independently — the response
+// carries one BatchItem per job, in order — and in cluster mode each job
+// is routed to its key's owner in per-owner sub-batches.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, errBody := s.readBody(w, r)
 	if errBody != nil {
 		s.metrics.JobsRejected.Add(1)
 		writeError(w, errBody)
 		return
 	}
-	if errBody := s.enqueue(j); errBody != nil {
+	var batch BatchRequest
+	if errBody := unmarshalStrict(body, &batch); errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	if len(batch.Jobs) == 0 {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, &ErrorBody{Code: CodeBadRequest, Message: "empty batch"})
+		return
+	}
+	// Resolve the defaults into each job so downstream handling (local or
+	// forwarded) sees self-contained requests.
+	for i := range batch.Jobs {
+		job := &batch.Jobs[i]
+		if !hasDoc(job.Graph) {
+			job.Graph = batch.Graph
+		}
+		if !hasDoc(job.System) && !hasDoc(job.Topology) {
+			job.System = batch.System
+			job.Topology = batch.Topology
+			if job.Het == nil {
+				job.Het = batch.Het
+			}
+		}
+	}
+	s.metrics.observeBatch(len(batch.Jobs))
+
+	resp := BatchResponse{Jobs: make([]BatchItem, len(batch.Jobs))}
+	local := make([]int, 0, len(batch.Jobs))
+	remote := make(map[string][]int) // owner token -> job indices
+	for i := range batch.Jobs {
+		token := ""
+		if key := batch.Jobs[i].IdempotencyKey; key != "" {
+			token = s.cluster.ownerTokenIfClustered(key)
+		}
+		if _, ok := s.remoteByToken(r, token); ok {
+			remote[token] = append(remote[token], i)
+		} else {
+			local = append(local, i)
+		}
+	}
+	cc := newCompileCache()
+	for _, i := range local {
+		resp.Jobs[i] = s.batchItemLocal(&batch.Jobs[i], cc)
+	}
+	for token, idxs := range remote {
+		addr, _ := s.cluster.addrOf(token)
+		items := s.batchForward(r, addr, batch.Jobs, idxs)
+		for k, i := range idxs {
+			resp.Jobs[i] = items[k]
+		}
+	}
+	writeJSON(w, http.StatusAccepted, &resp)
+}
+
+// batchItemLocal accepts one batch job on this replica. It mirrors
+// submitLocal without writing to the response directly.
+func (s *Server) batchItemLocal(req *ScheduleRequest, cc *compileCache) BatchItem {
+	if req.IdempotencyKey != "" {
+		s.keyMu.Lock()
+		defer s.keyMu.Unlock()
+		if rec, ok := s.rec.ByKey(req.IdempotencyKey); ok {
+			if _, live := s.storeGet(rec.ID); live {
+				s.metrics.IdempotentHits.Add(1)
+				return BatchItem{Job: s.currentView(rec)}
+			}
+		}
+	}
+	j, errBody := s.newJob(context.Background(), req, true, cc)
+	if errBody == nil {
+		errBody = s.enqueue(j, false)
+	}
+	if errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		return BatchItem{Error: errBody}
+	}
+	return BatchItem{Job: j.view()}
+}
+
+// batchForward ships the indexed jobs to their owner as a sub-batch and
+// returns its items; an unreachable owner fails each job with 502.
+func (s *Server) batchForward(r *http.Request, addr string, jobs []ScheduleRequest, idxs []int) []BatchItem {
+	sub := BatchRequest{Jobs: make([]ScheduleRequest, len(idxs))}
+	for k, i := range idxs {
+		sub.Jobs[k] = jobs[i]
+	}
+	fail := func(err error) []BatchItem {
+		e := &ErrorBody{Code: CodeUpstreamUnavailable, Message: fmt.Sprintf("job owner %s unreachable: %v", addr, err)}
+		items := make([]BatchItem, len(idxs))
+		for k := range items {
+			items[k] = BatchItem{Error: e}
+		}
+		return items
+	}
+	data, err := json.Marshal(&sub)
+	if err != nil {
+		return fail(err)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, "http://"+addr+"/v1/batch", bytes.NewReader(data))
+	if err != nil {
+		return fail(err)
+	}
+	req.Header.Set(forwardedHeader, s.cluster.self)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.cluster.client.Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	s.metrics.Forwards.Add(1)
+	respData, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fail(err)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(respData, &out); err != nil || len(out.Jobs) != len(idxs) {
+		return fail(fmt.Errorf("malformed sub-batch response (http %d)", resp.StatusCode))
+	}
+	return out.Jobs
+}
+
+// handleReschedule accepts a quasi-dynamic delta against a finished
+// job's schedule and queues the warm-started reconvergence as a fresh
+// asynchronous job. The response is the same 202 + JobView shape as
+// POST /v1/jobs; the resulting schedule document is byte-identical to
+// what sched.Reschedule produces for the same inputs. The source may be
+// live (retained result, delta preflighted against its problem) or a
+// stored record from before a restart (recomputed at run time).
+func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, errBody := s.readBody(w, r)
+	if errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	if addr, ok := s.remoteByToken(r, jobToken(id)); ok {
+		s.relay(w, r, addr, body)
+		return
+	}
+	var req RescheduleRequest
+	if errBody := unmarshalStrict(body, &req); errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	var prev *sched.Result
+	if src, ok := s.jobs.get(id, s.cfg.Now(), s.cfg.JobTTL); ok {
+		done := false
+		if prev, done = src.doneResult(); !done {
+			s.metrics.JobsRejected.Add(1)
+			writeError(w, &ErrorBody{Code: CodeJobNotDone, Message: fmt.Sprintf("job %q has no completed schedule to reschedule from", id)})
+			return
+		}
+	} else if rec, ok := s.storeGet(id); ok {
+		if rec.Status != JobDone {
+			s.metrics.JobsRejected.Add(1)
+			writeError(w, &ErrorBody{Code: CodeJobNotDone, Message: fmt.Sprintf("job %q has no completed schedule to reschedule from", id)})
+			return
+		}
+		// prev stays nil: the run recomputes the source result from its
+		// stored recipe.
+	} else {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
+		return
+	}
+	j, errBody := s.newRescheduleJob(id, prev, &req)
+	if errBody != nil {
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, errBody)
+		return
+	}
+	if errBody := s.enqueue(j, false); errBody != nil {
 		writeError(w, errBody)
 		return
 	}
@@ -413,12 +986,83 @@ func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, ok := s.store.get(id, s.cfg.Now(), s.cfg.JobTTL)
-	if !ok {
-		writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
+	if addr, ok := s.remoteByToken(r, jobToken(id)); ok {
+		s.relay(w, r, addr, nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.view())
+	if j, ok := s.jobs.get(id, s.cfg.Now(), s.cfg.JobTTL); ok {
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	if rec, ok := s.storeGet(id); ok {
+		writeJSON(w, http.StatusOK, viewOfRecord(rec))
+		return
+	}
+	writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
+}
+
+// handleEvents streams a job's status transitions as server-sent events
+// ("event: status", data: the JobView JSON) until the job is terminal or
+// the client goes away. The stream coalesces: a client always sees the
+// current view and the terminal view, but may skip intermediate states
+// it was too slow for.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if addr, ok := s.remoteByToken(r, jobToken(id)); ok {
+		s.relay(w, r, addr, nil)
+		return
+	}
+	j, live := s.jobs.get(id, s.cfg.Now(), s.cfg.JobTTL)
+	var rec *Record
+	if !live {
+		var ok bool
+		if rec, ok = s.storeGet(id); !ok {
+			writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
+			return
+		}
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &ErrorBody{Code: CodeBadRequest, Message: "streaming unsupported by this connection"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if !live {
+		// Store-only records are terminal (pending ones always have a live
+		// job): one event tells the whole story.
+		writeSSE(w, viewOfRecord(rec))
+		flusher.Flush()
+		return
+	}
+	for {
+		v, changed := j.snapshot()
+		if err := writeSSE(w, v); err != nil {
+			return
+		}
+		flusher.Flush()
+		if v.Status.Terminal() {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one SSE status event. The data line is compact JSON —
+// newlines would break the line-oriented framing.
+func writeSSE(w io.Writer, v *JobView) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: status\ndata: %s\n\n", data)
+	return err
 }
 
 func (s *Server) handleAlgos(w http.ResponseWriter, r *http.Request) {
@@ -428,6 +1072,57 @@ func (s *Server) handleAlgos(w http.ResponseWriter, r *http.Request) {
 		out = append(out, AlgoInfo{Name: d.Name, Aliases: d.Aliases, Description: d.Description})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCluster reports the configured member set with a live health
+// probe of every peer. A single-node server answers with a synthetic
+// one-row view, so clients need not special-case topology.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, &ClusterView{
+			Self:  "local",
+			Nodes: []NodeView{{Token: "local", Self: true, Healthy: true, Jobs: s.jobs.size()}},
+		})
+		return
+	}
+	tokens := s.cluster.tokens()
+	view := &ClusterView{Self: s.cluster.selfToken, Nodes: make([]NodeView, len(tokens))}
+	var wg sync.WaitGroup
+	for i, token := range tokens {
+		addr, _ := s.cluster.addrOf(token)
+		node := NodeView{Token: token, Addr: addr}
+		if token == s.cluster.selfToken {
+			node.Self = true
+			node.Healthy = !s.draining.Load()
+			node.Jobs = s.jobs.size()
+			view.Nodes[i] = node
+			continue
+		}
+		wg.Add(1)
+		go func(i int, node NodeView) {
+			defer wg.Done()
+			node.Healthy = s.probe(r.Context(), node.Addr)
+			view.Nodes[i] = node
+		}(i, node)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// probe checks a peer's /healthz within a second.
+func (s *Server) probe(ctx context.Context, addr string) bool {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.cluster.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,163 +1,239 @@
 package service
 
 import (
-	"context"
-	"strconv"
+	"encoding/json"
+	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
-
-	"repro/sched"
 )
 
-// job is one unit of scheduling work: a compiled run closure plus its
-// lifecycle state. Handlers compile requests into jobs (so every
-// validation error surfaces before queueing), the pool runs them, and
-// the store keeps finished jobs around until their TTL expires.
-type job struct {
-	id   string
-	algo string
+// RecordKind distinguishes how a stored job is recomputed after a
+// restart: a plain scheduling job re-runs its request document, a
+// reschedule job re-derives its source result through its lineage and
+// re-applies its delta.
+type RecordKind string
 
-	// run executes the work — a cold scheduler call or a warm-started
-	// reschedule — under the job's context.
-	run func(context.Context) (*sched.Result, error)
+const (
+	KindSchedule   RecordKind = "schedule"
+	KindReschedule RecordKind = "reschedule"
+)
 
-	// ctx bounds the run (queue wait included); cancel releases its
-	// timer once the job reaches a terminal state.
-	ctx    context.Context
-	cancel context.CancelFunc
+// Record is the persistent form of one asynchronous job — everything a
+// restarted server needs to serve its result again or, for a job that
+// never finished, to re-run it: the original request document
+// (KindSchedule) or the source-job ID plus delta document
+// (KindReschedule). Every registered scheduler is deterministic, so a
+// record doubles as a recipe: replaying it reproduces the exact schedule
+// bytes the interrupted run would have produced.
+type Record struct {
+	ID     string     `json:"id"`
+	Kind   RecordKind `json:"kind"`
+	Algo   string     `json:"algo"`
+	Status JobStatus  `json:"status"`
+	// Key is the idempotency key the job was accepted under, if any.
+	Key string `json:"idempotency_key,omitempty"`
+	// Request is the original ScheduleRequest document (KindSchedule).
+	Request json.RawMessage `json:"request,omitempty"`
+	// Delta, Seed and SourceID are the reschedule lineage
+	// (KindReschedule): the delta document applied to SourceID's result
+	// under the given tie-break seed.
+	Delta    json.RawMessage `json:"delta,omitempty"`
+	Seed     int64           `json:"seed,omitempty"`
+	SourceID string          `json:"source_id,omitempty"`
+	// Result and Error carry the terminal outcome, set by Finish.
+	Result *ScheduleResponse `json:"result,omitempty"`
+	Error  *ErrorBody        `json:"error,omitempty"`
 
-	mu     sync.Mutex
-	status JobStatus
-	result *ScheduleResponse
-	errors *ErrorBody
-	// res retains the library result of a done job so a follow-up
-	// POST /v1/jobs/{id}/reschedule can warm-start from its schedule
-	// without reparsing the wire document. Evicted with the job.
-	res *sched.Result
-
-	// done closes when the job reaches a terminal state; the sync
-	// handler and Client.Wait-backed tests select on it.
-	done chan struct{}
-	// doneAt is the terminal-transition time, the TTL eviction anchor.
-	doneAt time.Time
+	CreatedAt time.Time `json:"created_at"`
+	DoneAt    time.Time `json:"done_at,omitzero"`
 }
 
-// view snapshots the job's wire form.
-func (j *job) view() *JobView {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return &JobView{ID: j.id, Status: j.status, Algo: j.algo, Result: j.result, Error: j.errors}
+// clone returns a shallow copy. Result, Error and the raw documents are
+// treated as immutable once set, so sharing them across copies is safe.
+func (r *Record) clone() *Record {
+	c := *r
+	return &c
 }
 
-func (j *job) setRunning() {
-	j.mu.Lock()
-	j.status = JobRunning
-	j.mu.Unlock()
+// Store persists accepted asynchronous jobs. The server writes every
+// async job through it — Put on accept, Finish on the terminal
+// transition, Evict/Sweep on TTL expiry — and replays it on boot:
+// terminal records stay retrievable through GET /v1/jobs/{id} and usable
+// as reschedule sources, pending ones are recompiled and re-enqueued.
+// MemStore keeps records for the process lifetime; WALStore survives
+// restarts.
+//
+// Implementations must be safe for concurrent use, must return snapshot
+// records that stay valid after eviction, and must keep the FIRST
+// terminal state a record reaches — a second Finish of the same ID is a
+// no-op. The conformance suite in store_conformance_test.go pins the
+// exact contract; a new Store lands as one file plus a suite
+// registration.
+type Store interface {
+	// Put inserts a newly accepted, non-terminal record and indexes its
+	// idempotency key. Inserting an ID that already exists is an error.
+	Put(rec *Record) error
+	// Finish records rec's terminal transition. Finishing an unknown ID
+	// or passing a non-terminal status is an error; finishing an
+	// already-terminal record is a no-op (first terminal state wins).
+	Finish(rec *Record) error
+	// Get returns a snapshot of the record, false when absent.
+	Get(id string) (*Record, bool)
+	// ByKey resolves an idempotency key to its record's snapshot.
+	ByKey(key string) (*Record, bool)
+	// List snapshots every record, in no particular order.
+	List() []*Record
+	// Evict removes one record (any state), reporting whether it existed.
+	Evict(id string) bool
+	// Sweep evicts every terminal record whose DoneAt is at least ttl
+	// before now and returns how many it removed. The clock arrives as an
+	// argument so stores stay clockless (and tests can inject time).
+	Sweep(now time.Time, ttl time.Duration) int
+	// Len is the number of stored records (any state).
+	Len() int
+	// Close releases the store's resources. The store is unusable after.
+	Close() error
 }
 
-func (j *job) finish(now time.Time, res *sched.Result, resp *ScheduleResponse, errBody *ErrorBody) {
-	j.mu.Lock()
-	if errBody != nil {
-		j.status = JobFailed
-		j.errors = errBody
-	} else {
-		j.status = JobDone
-		j.result = resp
-		j.res = res
-	}
-	j.doneAt = now
-	j.mu.Unlock()
-	j.cancel()
-	close(j.done)
-}
-
-// doneResult returns the retained library result once the job is done.
-func (j *job) doneResult() (*sched.Result, bool) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.status != JobDone || j.res == nil {
-		return nil, false
-	}
-	return j.res, true
-}
-
-// terminalSince returns the terminal-transition time, or false while the
-// job is still queued or running.
-func (j *job) terminalSince() (time.Time, bool) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.doneAt, j.status.Terminal()
-}
-
-// store is the in-memory job table with TTL eviction: terminal jobs are
-// dropped ttl after they finish, both lazily on lookup and by the
-// server's janitor sweep. Live jobs are never evicted.
-type store struct {
+// MemStore is the in-memory Store: records live exactly as long as the
+// process. It is the default when Config.Store is nil, and the reference
+// implementation whose index the WAL store reuses.
+type MemStore struct {
 	mu   sync.Mutex
-	jobs map[string]*job
-	seq  atomic.Uint64
+	recs map[string]*Record
+	keys map[string]string // idempotency key -> job ID
 }
 
-func newStore() *store {
-	return &store{jobs: make(map[string]*job)}
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{recs: make(map[string]*Record), keys: make(map[string]string)}
 }
 
-// nextID returns a process-unique job ID.
-func (s *store) nextID() string {
-	return "j" + strconv.FormatUint(s.seq.Add(1), 10)
+func (m *MemStore) Put(rec *Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.put(rec)
 }
 
-func (s *store) put(j *job) {
-	s.mu.Lock()
-	s.jobs[j.id] = j
-	s.mu.Unlock()
+// put inserts without locking; WAL replay reuses it under its own lock.
+func (m *MemStore) put(rec *Record) error {
+	if _, ok := m.recs[rec.ID]; ok {
+		return fmt.Errorf("service: store already has job %q", rec.ID)
+	}
+	m.load(rec)
+	return nil
 }
 
-func (s *store) delete(id string) {
-	s.mu.Lock()
-	delete(s.jobs, id)
-	s.mu.Unlock()
+// load force-inserts a record snapshot, replacing any existing entry —
+// the snapshot-restore primitive.
+func (m *MemStore) load(rec *Record) {
+	c := rec.clone()
+	m.recs[c.ID] = c
+	if c.Key != "" {
+		m.keys[c.Key] = c.ID
+	}
 }
 
-// get returns the job, lazily evicting it when its TTL has passed.
-func (s *store) get(id string, now time.Time, ttl time.Duration) (*job, bool) {
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
+func (m *MemStore) Finish(rec *Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := m.finish(rec)
+	return err
+}
+
+// finish applies a terminal transition, reporting whether it changed
+// anything (false for the idempotent second finish).
+func (m *MemStore) finish(rec *Record) (bool, error) {
+	if !rec.Status.Terminal() {
+		return false, fmt.Errorf("service: finish with non-terminal status %q for job %q", rec.Status, rec.ID)
+	}
+	cur, ok := m.recs[rec.ID]
+	if !ok {
+		return false, fmt.Errorf("service: finish of unknown job %q", rec.ID)
+	}
+	if cur.Status.Terminal() {
+		return false, nil // first terminal state wins
+	}
+	m.recs[rec.ID] = rec.clone()
+	return true, nil
+}
+
+func (m *MemStore) Get(id string) (*Record, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[id]
 	if !ok {
 		return nil, false
 	}
-	if doneAt, terminal := j.terminalSince(); terminal && ttl > 0 && now.Sub(doneAt) >= ttl {
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.mu.Unlock()
-		return nil, false
-	}
-	return j, true
+	return rec.clone(), true
 }
 
-// sweep evicts every terminal job older than ttl and returns how many it
-// removed.
-func (s *store) sweep(now time.Time, ttl time.Duration) int {
+func (m *MemStore) ByKey(key string) (*Record, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.keys[key]
+	if !ok {
+		return nil, false
+	}
+	rec, ok := m.recs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.clone(), true
+}
+
+func (m *MemStore) List() []*Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Record, 0, len(m.recs))
+	for _, rec := range m.recs {
+		out = append(out, rec.clone())
+	}
+	return out
+}
+
+func (m *MemStore) Evict(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evict(id)
+}
+
+func (m *MemStore) evict(id string) bool {
+	rec, ok := m.recs[id]
+	if !ok {
+		return false
+	}
+	delete(m.recs, id)
+	if rec.Key != "" {
+		delete(m.keys, rec.Key)
+	}
+	return true
+}
+
+func (m *MemStore) Sweep(now time.Time, ttl time.Duration) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweepLocked(now, ttl)
+}
+
+func (m *MemStore) sweepLocked(now time.Time, ttl time.Duration) int {
 	if ttl <= 0 {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for id, j := range s.jobs {
-		if doneAt, terminal := j.terminalSince(); terminal && now.Sub(doneAt) >= ttl {
-			delete(s.jobs, id)
+	for id, rec := range m.recs {
+		if rec.Status.Terminal() && now.Sub(rec.DoneAt) >= ttl {
+			m.evict(id)
 			n++
 		}
 	}
 	return n
 }
 
-// size returns the number of stored jobs (any state).
-func (s *store) size() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.jobs)
+func (m *MemStore) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.recs)
 }
+
+func (m *MemStore) Close() error { return nil }

@@ -1,0 +1,92 @@
+package service_test
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/sched/gen"
+	_ "repro/sched/register"
+	"repro/sched/service"
+	"repro/sched/system"
+)
+
+// benchServer starts an in-process service with one worker and returns a
+// client plus the wire documents for a small generated problem — the
+// wire-bound regime where admission overhead, not scheduling compute,
+// decides throughput.
+func benchServer(b *testing.B) (*service.Client, []byte, []byte) {
+	b.Helper()
+	srv := service.New(service.Config{Workers: 1, QueueDepth: 1 << 16})
+	ts := httptest.NewServer(srv)
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Drain(context.Background()) //nolint:errcheck
+	})
+	rng := rand.New(rand.NewSource(1))
+	kind, _ := gen.KindByName("random")
+	g, err := gen.Generate(gen.Spec{Kind: kind, Size: 10, Granularity: 1}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tk, _ := gen.TopoKindByName("ring")
+	nw, err := gen.Topology(gen.TopoSpec{Kind: tk, Procs: 8}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := system.NewUniform(nw, g.NumTasks(), g.NumEdges())
+	gdoc, err := g.MarshalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sdoc, err := sys.MarshalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return service.NewClient(ts.URL, nil), gdoc, sdoc
+}
+
+// BenchmarkSubmitSingle measures the full per-job cost of one-at-a-time
+// asynchronous submission: HTTP round trip, parse, compile, persist,
+// enqueue, run. The single/batch pair is the wire-amortization story
+// BENCH_schedd.json tracks (cmd/schedload -compare).
+func BenchmarkSubmitSingle(b *testing.B) {
+	client, gdoc, sdoc := benchServer(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Submit(ctx, service.ScheduleRequest{
+			Graph: gdoc, System: sdoc, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmitBatch measures the same jobs admitted in batches of 64;
+// ns/op stays per job for direct comparison with BenchmarkSubmitSingle.
+func BenchmarkSubmitBatch(b *testing.B) {
+	const size = 64
+	client, gdoc, sdoc := benchServer(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for submitted := 0; submitted < b.N; submitted += size {
+		req := service.BatchRequest{Graph: gdoc, System: sdoc}
+		n := min(size, b.N-submitted)
+		for k := 0; k < n; k++ {
+			req.Jobs = append(req.Jobs, service.ScheduleRequest{Seed: int64(submitted + k)})
+		}
+		resp, err := client.SubmitBatch(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, item := range resp.Jobs {
+			if item.Error != nil {
+				b.Fatalf("batch item: %v", item.Error)
+			}
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// walCompactEvery is the default number of appended operations after
+// which the log is folded into a fresh snapshot.
+const walCompactEvery = 4096
+
+const (
+	walFileName      = "wal.log"
+	snapshotFileName = "snapshot.json"
+)
+
+// walEntry is one logged operation. Sweeps log their clock arguments
+// instead of each eviction, so a 10k-record sweep costs one line and
+// replays deterministically.
+type walEntry struct {
+	Op  string        `json:"op"` // "put" | "finish" | "evict" | "sweep"
+	Rec *Record       `json:"rec,omitempty"`
+	ID  string        `json:"id,omitempty"`
+	Now time.Time     `json:"now,omitzero"`
+	TTL time.Duration `json:"ttl_ns,omitempty"`
+}
+
+// WALStore is the disk-backed Store: an append-only record log plus a
+// periodic snapshot, so accepted jobs — including reschedule lineage —
+// survive a restart. Layout inside the data directory:
+//
+//	snapshot.json   full record array as of the last compaction
+//	wal.log         JSON lines of operations since that snapshot
+//
+// OpenWAL loads the snapshot, replays the log (tolerating a torn final
+// line from a crash mid-append), and compacts the log back into a fresh
+// snapshot once it accumulates CompactEvery operations — and again on
+// Close, so a cleanly shut down store reboots from the snapshot alone.
+//
+// Durability is process-crash grade: every append reaches the kernel
+// before the operation returns (so records survive a SIGKILL), but
+// writes are not fsynced individually — only snapshots are — so a
+// whole-machine power loss can drop the ops since the last compaction.
+type WALStore struct {
+	mem *MemStore // doubles as the lock: every WAL op holds mem.mu
+	dir string
+	f   *os.File
+	ops int
+	// compactEvery is the compaction threshold; see CompactEvery.
+	compactEvery int
+}
+
+// OpenWAL opens (creating if needed) the WAL store in dir and replays
+// its contents.
+func OpenWAL(dir string) (*WALStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: wal dir: %w", err)
+	}
+	w := &WALStore{mem: NewMemStore(), dir: dir, compactEvery: walCompactEvery}
+	if err := w.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := w.replayLog(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: open wal: %w", err)
+	}
+	w.f = f
+	return w, nil
+}
+
+// CompactEvery overrides the compaction threshold (default 4096 ops).
+// Useful for tests and for tuning write amplification against reboot
+// time.
+func (w *WALStore) CompactEvery(n int) {
+	w.mem.mu.Lock()
+	defer w.mem.mu.Unlock()
+	if n > 0 {
+		w.compactEvery = n
+	}
+}
+
+// Dir returns the store's data directory.
+func (w *WALStore) Dir() string { return w.dir }
+
+func (w *WALStore) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(w.dir, snapshotFileName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: read snapshot: %w", err)
+	}
+	var recs []*Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return fmt.Errorf("service: parse snapshot: %w", err)
+	}
+	for _, rec := range recs {
+		w.mem.load(rec)
+	}
+	return nil
+}
+
+// replayLog applies wal.log on top of the snapshot. A line that does not
+// parse — a torn append from a crash — truncates the file there: the
+// torn operation never happened.
+func (w *WALStore) replayLog() error {
+	path := filepath.Join(w.dir, walFileName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	var (
+		good int64 // byte offset of the end of the last good line
+		r    = bufio.NewReader(f)
+	)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 && err == nil {
+			var e walEntry
+			if jsonErr := json.Unmarshal(line, &e); jsonErr != nil {
+				break // corrupt line: drop it and everything after
+			}
+			w.apply(&e)
+			good += int64(len(line))
+			w.ops++
+			continue
+		}
+		// err != nil: EOF (possibly with a final unterminated line — a
+		// torn append, dropped) or a read error; stop either way.
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("service: replay wal: %w", err)
+		}
+		break
+	}
+	if fi, err := os.Stat(path); err == nil && fi.Size() > good {
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("service: truncate torn wal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply replays one logged operation into the index. Replay is lenient
+// where the live API is strict: a finish without a matching put (only
+// possible in a hand-edited log) is loaded as-is rather than failing the
+// whole boot.
+func (w *WALStore) apply(e *walEntry) {
+	switch e.Op {
+	case "put":
+		if e.Rec != nil {
+			w.mem.load(e.Rec)
+		}
+	case "finish":
+		if e.Rec != nil {
+			if _, err := w.mem.finish(e.Rec); err != nil {
+				w.mem.load(e.Rec)
+			}
+		}
+	case "evict":
+		w.mem.evict(e.ID)
+	case "sweep":
+		w.mem.sweepLocked(e.Now, e.TTL)
+	}
+}
+
+// append logs one operation and compacts when the log is due. Callers
+// hold mem.mu.
+func (w *WALStore) append(e *walEntry) error {
+	if w.f == nil {
+		return fmt.Errorf("service: wal store is closed")
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("service: encode wal entry: %w", err)
+	}
+	if _, err := w.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("service: append wal: %w", err)
+	}
+	w.ops++
+	if w.ops >= w.compactEvery {
+		return w.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked folds the current state into snapshot.json (written to a
+// temp file, fsynced, then renamed, so a crash mid-compaction leaves the
+// previous snapshot intact) and truncates the log. Callers hold mem.mu.
+func (w *WALStore) compactLocked() error {
+	recs := make([]*Record, 0, len(w.mem.recs))
+	for _, rec := range w.mem.recs {
+		recs = append(recs, rec)
+	}
+	data, err := json.MarshalIndent(recs, "", " ")
+	if err != nil {
+		return fmt.Errorf("service: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(w.dir, snapshotFileName+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: snapshot tmp: %w", err)
+	}
+	if _, err := tf.Write(data); err == nil {
+		err = tf.Sync()
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("service: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotFileName)); err != nil {
+		return fmt.Errorf("service: install snapshot: %w", err)
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("service: truncate wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("service: rewind wal: %w", err)
+	}
+	w.ops = 0
+	return nil
+}
+
+func (w *WALStore) Put(rec *Record) error {
+	w.mem.mu.Lock()
+	defer w.mem.mu.Unlock()
+	if err := w.mem.put(rec); err != nil {
+		return err
+	}
+	if err := w.append(&walEntry{Op: "put", Rec: rec.clone()}); err != nil {
+		w.mem.evict(rec.ID)
+		return err
+	}
+	return nil
+}
+
+func (w *WALStore) Finish(rec *Record) error {
+	w.mem.mu.Lock()
+	defer w.mem.mu.Unlock()
+	changed, err := w.mem.finish(rec)
+	if err != nil || !changed {
+		return err
+	}
+	return w.append(&walEntry{Op: "finish", Rec: rec.clone()})
+}
+
+func (w *WALStore) Get(id string) (*Record, bool)    { return w.mem.Get(id) }
+func (w *WALStore) ByKey(key string) (*Record, bool) { return w.mem.ByKey(key) }
+func (w *WALStore) List() []*Record                  { return w.mem.List() }
+func (w *WALStore) Len() int                         { return w.mem.Len() }
+
+func (w *WALStore) Evict(id string) bool {
+	w.mem.mu.Lock()
+	defer w.mem.mu.Unlock()
+	if !w.mem.evict(id) {
+		return false
+	}
+	w.append(&walEntry{Op: "evict", ID: id}) //nolint:errcheck // eviction is best-effort cleanup
+	return true
+}
+
+func (w *WALStore) Sweep(now time.Time, ttl time.Duration) int {
+	w.mem.mu.Lock()
+	defer w.mem.mu.Unlock()
+	n := w.mem.sweepLocked(now, ttl)
+	if n > 0 {
+		w.append(&walEntry{Op: "sweep", Now: now, TTL: ttl}) //nolint:errcheck // eviction is best-effort cleanup
+	}
+	return n
+}
+
+// Close compacts one final time (so the next boot reads the snapshot
+// alone) and releases the log file. Idempotent.
+func (w *WALStore) Close() error {
+	w.mem.mu.Lock()
+	defer w.mem.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.compactLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

@@ -1,0 +1,210 @@
+package service_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/sched/service"
+)
+
+// Behavior specific to the WAL store beyond the conformance suite:
+// reboot fidelity, crash tolerance (torn tail, no Close), and log
+// compaction.
+
+func openWAL(t *testing.T, dir string) *service.WALStore {
+	t.Helper()
+	w, err := service.OpenWAL(dir)
+	if err != nil {
+		t.Fatalf("open wal %s: %v", dir, err)
+	}
+	return w
+}
+
+func TestWALReopenAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Put(queuedRec("j1", "alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(queuedRec("j2", "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(doneRec("j1", "alpha", storeEpoch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent, and a closed store rejects writes.
+	if err := w.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if err := w.Put(queuedRec("j3", "")); err == nil {
+		t.Error("put on a closed store succeeded")
+	}
+
+	// A clean shutdown compacts: the next boot reads the snapshot alone.
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Errorf("wal.log after close: size %v, err %v (want empty)", fi, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+		t.Errorf("snapshot.json missing after close: %v", err)
+	}
+
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	done, ok := w2.Get("j1")
+	if !ok || done.Status != service.JobDone || done.Result == nil || done.Result.Makespan != 42 {
+		t.Fatalf("j1 after reopen = %+v, %v", done, ok)
+	}
+	if rec, ok := w2.ByKey("alpha"); !ok || rec.ID != "j1" {
+		t.Errorf("key index not rebuilt: %+v, %v", rec, ok)
+	}
+	if pending, ok := w2.Get("j2"); !ok || pending.Status != service.JobQueued {
+		t.Errorf("pending j2 after reopen = %+v, %v", pending, ok)
+	}
+	if w2.Dir() != dir {
+		t.Errorf("dir = %q, want %q", w2.Dir(), dir)
+	}
+}
+
+// TestWALReopenWithoutClose is the SIGKILL shape: the first store is
+// abandoned mid-life — no Close, no final compaction — and a fresh open
+// of the same directory must still see every completed operation,
+// because appends reach the file before the operation returns.
+func TestWALReopenWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Put(queuedRec("j1", "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(doneRec("j1", "", storeEpoch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(queuedRec("j2", "")); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the dead process's state is whatever hit wal.log.
+
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	if rec, ok := w2.Get("j1"); !ok || rec.Status != service.JobDone {
+		t.Errorf("j1 = %+v, %v", rec, ok)
+	}
+	if rec, ok := w2.Get("j2"); !ok || rec.Status != service.JobQueued {
+		t.Errorf("j2 = %+v, %v", rec, ok)
+	}
+}
+
+// TestWALTornTailTruncated: a crash mid-append leaves a final line that
+// does not parse. Opening the store must drop the torn operation (and
+// anything after it), truncate the file back to the last good line, and
+// serve everything before it.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Put(queuedRec("j1", "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(queuedRec("j2", "")); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon w (crash) and tear the tail by hand.
+	logPath := filepath.Join(dir, "wal.log")
+	good, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","rec":{"id":"torn","stat`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	if w2.Len() != 2 {
+		t.Errorf("len = %d after torn-tail recovery, want 2", w2.Len())
+	}
+	if _, ok := w2.Get("torn"); ok {
+		t.Error("torn record materialized")
+	}
+	if fi, err := os.Stat(logPath); err != nil {
+		t.Fatal(err)
+	} else if fi.Size() != good.Size() {
+		t.Errorf("log size %d, want truncated back to %d", fi.Size(), good.Size())
+	}
+
+	// The recovered store keeps working — the truncated tail does not
+	// poison later appends.
+	if err := w2.Put(queuedRec("j3", "")); err != nil {
+		t.Fatal(err)
+	}
+	w3 := openWAL(t, dir)
+	defer w3.Close()
+	if w3.Len() != 3 {
+		t.Errorf("len = %d after post-recovery append and reopen, want 3", w3.Len())
+	}
+}
+
+// TestWALCompaction drives the ops threshold down so a handful of writes
+// trigger a fold into snapshot.json, then checks both the on-disk shape
+// and that a reboot from the compacted state is lossless.
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	w.CompactEvery(4)
+	const n = 5
+	for i := range n {
+		if err := w.Put(queuedRec(fmt.Sprintf("j%d", i), "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5 puts with a threshold of 4: one compaction fired, one op remains
+	// in the log.
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+		t.Fatalf("snapshot.json missing after threshold: %v", err)
+	}
+	logData, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := countLines(logData); lines != 1 {
+		t.Errorf("wal.log holds %d ops after compaction, want 1", lines)
+	}
+
+	// Evictions and sweeps must survive compaction too — fold state, not
+	// history.
+	w.Evict("j0")
+	for i := 1; i < n; i++ {
+		if err := w.Finish(doneRec(fmt.Sprintf("j%d", i), "", storeEpoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Sweep(storeEpoch.Add(time.Hour), time.Minute)
+	if w.Len() != 0 {
+		t.Fatalf("len = %d after sweep, want 0", w.Len())
+	}
+	// Abandon without Close: the reboot must replay to the same emptiness.
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	if w2.Len() != 0 {
+		t.Errorf("len = %d after reopen, want 0 (evictions lost in compaction?)", w2.Len())
+	}
+}
+
+func countLines(data []byte) int {
+	n := 0
+	for _, b := range data {
+		if b == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,16 +1,27 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 
 	"repro/sched"
 	"repro/sched/graph"
 	"repro/sched/system"
 )
+
+// hasDoc reports whether a raw interchange document is actually present.
+// An omitted field and an explicit JSON null both count as missing —
+// encoders that lack omitempty on a document field (including this
+// package's own ScheduleRequest.Graph) serialize absence as "null".
+func hasDoc(doc json.RawMessage) bool {
+	trimmed := bytes.TrimSpace(doc)
+	return len(trimmed) > 0 && !bytes.Equal(trimmed, []byte("null"))
+}
 
 // ScheduleRequest is the wire form of one scheduling problem, built
 // entirely from the PR-4 public interchange formats: the graph document
@@ -38,6 +49,72 @@ type ScheduleRequest struct {
 	// TimeoutMS bounds the run: the server maps it to a context deadline
 	// covering queue wait plus scheduling. 0 means no per-request bound.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IdempotencyKey deduplicates asynchronous submissions: resubmitting
+	// any request under a key the server already accepted returns the
+	// original job (HTTP 200 instead of 202) rather than scheduling again.
+	// Keys live exactly as long as their job — once it TTL-expires, the
+	// key is free again. Ignored on synchronous /v1/schedule calls.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+// wireDoc renders the request as its persistence document — equivalent
+// to json.Marshal's output — without reflection. The graph and system
+// documents are appended verbatim: their syntax was already validated by
+// the strict wire decode, and encoding/json would otherwise recompact
+// every byte of them per job, which dominates batch admission (a 64-job
+// batch recompacts the shared graph document 64 times over). The result
+// only ever feeds json.Unmarshal back into a ScheduleRequest on replay.
+func (req *ScheduleRequest) wireDoc() json.RawMessage {
+	buf := make([]byte, 0, 96+len(req.Graph)+len(req.System)+len(req.Topology))
+	buf = append(buf, '{')
+	key := func(name string) {
+		if buf[len(buf)-1] != '{' {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '"')
+		buf = append(buf, name...)
+		buf = append(buf, '"', ':')
+	}
+	str := func(s string) {
+		q, _ := json.Marshal(s) // escaping only; marshaling a string cannot fail
+		buf = append(buf, q...)
+	}
+	if req.Algo != "" {
+		key("algo")
+		str(req.Algo)
+	}
+	key("graph") // no omitempty: absence round-trips as null
+	if len(req.Graph) == 0 {
+		buf = append(buf, "null"...)
+	} else {
+		buf = append(buf, req.Graph...)
+	}
+	if len(req.System) > 0 {
+		key("system")
+		buf = append(buf, req.System...)
+	}
+	if len(req.Topology) > 0 {
+		key("topology")
+		buf = append(buf, req.Topology...)
+	}
+	if req.Het != nil {
+		key("het")
+		h, _ := json.Marshal(req.Het) // plain float/int struct cannot fail
+		buf = append(buf, h...)
+	}
+	if req.Seed != 0 {
+		key("seed")
+		buf = strconv.AppendInt(buf, req.Seed, 10)
+	}
+	if req.TimeoutMS != 0 {
+		key("timeout_ms")
+		buf = strconv.AppendInt(buf, req.TimeoutMS, 10)
+	}
+	if req.IdempotencyKey != "" {
+		key("idempotency_key")
+		str(req.IdempotencyKey)
+	}
+	return append(buf, '}')
 }
 
 // HetSpec mirrors bsasched's -het flag: factors drawn uniformly from
@@ -92,10 +169,77 @@ type JobView struct {
 	ID     string    `json:"id"`
 	Status JobStatus `json:"status"`
 	Algo   string    `json:"algo"`
+	// Source is the job this one was rescheduled from, when any.
+	Source string `json:"source,omitempty"`
 	// Result is set once Status is "done".
 	Result *ScheduleResponse `json:"result,omitempty"`
 	// Error is set once Status is "failed".
 	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// viewOfRecord renders a record's wire form. Records are snapshots, so
+// the Result/Error pointers can be shared directly.
+func viewOfRecord(rec *Record) *JobView {
+	return &JobView{
+		ID:     rec.ID,
+		Status: rec.Status,
+		Algo:   rec.Algo,
+		Source: rec.SourceID,
+		Result: rec.Result,
+		Error:  rec.Error,
+	}
+}
+
+// BatchRequest is the wire form of POST /v1/batch: many scheduling
+// problems in one round trip. The top-level Graph / System / Topology /
+// Het act as defaults — a job with no graph inherits Graph, and a job
+// with neither system nor topology inherits the System/Topology/Het
+// group — so a parameter sweep over one problem ships the documents
+// once. Byte-identical documents within a batch are also compiled once,
+// amortizing parse + validation cost across the jobs that share them.
+type BatchRequest struct {
+	Graph    json.RawMessage `json:"graph,omitempty"`
+	System   json.RawMessage `json:"system,omitempty"`
+	Topology json.RawMessage `json:"topology,omitempty"`
+	Het      *HetSpec        `json:"het,omitempty"`
+	// Jobs are the individual submissions; each is accepted (or rejected)
+	// independently.
+	Jobs []ScheduleRequest `json:"jobs"`
+}
+
+// BatchItem is the per-job outcome inside a BatchResponse: exactly one
+// of Job (accepted, same view as POST /v1/jobs) and Error (rejected —
+// one bad job does not fail its batch) is set.
+type BatchItem struct {
+	Job   *JobView   `json:"job,omitempty"`
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// BatchResponse is the wire form of a batch submission: one item per
+// requested job, in request order.
+type BatchResponse struct {
+	Jobs []BatchItem `json:"jobs"`
+}
+
+// NodeView describes one replica in GET /v1/cluster.
+type NodeView struct {
+	Token string `json:"token"`
+	Addr  string `json:"addr"`
+	Self  bool   `json:"self,omitempty"`
+	// Healthy is the result of probing the node's /healthz (always true
+	// for the answering node itself).
+	Healthy bool `json:"healthy"`
+	// Jobs is the answering node's live job count; peers report their own
+	// through their own /v1/cluster.
+	Jobs int `json:"jobs,omitempty"`
+}
+
+// ClusterView is the membership/health document of GET /v1/cluster.
+type ClusterView struct {
+	// Self is the answering replica's token.
+	Self string `json:"self"`
+	// Nodes lists every configured member, sorted by token.
+	Nodes []NodeView `json:"nodes"`
 }
 
 // AlgoInfo describes one registered algorithm (GET /v1/algos).
@@ -117,6 +261,12 @@ const (
 	CodeShuttingDown     = "shutting_down"
 	CodeScheduleFailed   = "schedule_failed"
 	CodeJobNotDone       = "job_not_done"
+	// CodeUpstreamUnavailable marks a request this replica forwarded to
+	// the job's owner but could not deliver (owner down or unreachable).
+	CodeUpstreamUnavailable = "upstream_unavailable"
+	// CodeStoreError marks a persistence failure: the job was not
+	// accepted because the store rejected the write.
+	CodeStoreError = "store_error"
 )
 
 // ErrorBody is the typed error payload every non-2xx response carries,
@@ -152,6 +302,8 @@ func httpStatus(code string) int {
 		return http.StatusServiceUnavailable
 	case CodeJobNotDone:
 		return http.StatusConflict
+	case CodeUpstreamUnavailable:
+		return http.StatusBadGateway
 	default:
 		return http.StatusInternalServerError
 	}
@@ -221,47 +373,116 @@ func validationDetail(err error) string {
 	return ""
 }
 
+// compileCache memoizes compiled interchange documents within one batch
+// request, so N jobs sharing one graph/system document parse and
+// validate it once. Keys are the raw document bytes (plus, for
+// topology-derived systems, the graph dimensions and heterogeneity spec
+// the materialization depends on). Safe to share across the batch's jobs
+// because compiled graphs and systems are read-only to every scheduler.
+// Not safe for concurrent use — it memoizes a single handler's loop.
+type compileCache struct {
+	graphs  map[string]*graph.Graph
+	systems map[string]*system.System
+}
+
+func newCompileCache() *compileCache {
+	return &compileCache{graphs: make(map[string]*graph.Graph), systems: make(map[string]*system.System)}
+}
+
+func (cc *compileCache) graph(doc json.RawMessage) (*graph.Graph, bool) {
+	if cc == nil {
+		return nil, false
+	}
+	g, ok := cc.graphs[string(doc)]
+	return g, ok
+}
+
+func (cc *compileCache) putGraph(doc json.RawMessage, g *graph.Graph) {
+	if cc != nil {
+		cc.graphs[string(doc)] = g
+	}
+}
+
+// systemKey folds in everything the materialized system depends on
+// besides the document itself.
+func systemKey(doc json.RawMessage, g *graph.Graph, het *HetSpec) string {
+	key := fmt.Sprintf("%d/%d|", g.NumTasks(), g.NumEdges())
+	if het != nil {
+		key += fmt.Sprintf("het %g,%g,%d|", het.Lo, het.Hi, het.Seed)
+	}
+	return key + string(doc)
+}
+
+func (cc *compileCache) system(key string) (*system.System, bool) {
+	if cc == nil {
+		return nil, false
+	}
+	sys, ok := cc.systems[key]
+	return sys, ok
+}
+
+func (cc *compileCache) putSystem(key string, sys *system.System) {
+	if cc != nil {
+		cc.systems[key] = sys
+	}
+}
+
 // compile resolves a wire request into a ready-to-run problem: parsed
 // graph, materialized system and a constructed scheduler. All validation
 // errors surface here, before the job enters the queue, so asynchronous
-// submissions still fail fast with a typed 4xx.
-func (req *ScheduleRequest) compile(defaultAlgo string) (sched.Problem, sched.Scheduler, *ErrorBody) {
-	if len(req.Graph) == 0 {
+// submissions still fail fast with a typed 4xx. cc (nil outside batch
+// handling) short-circuits recompilation of repeated documents.
+func (req *ScheduleRequest) compile(defaultAlgo string, cc *compileCache) (sched.Problem, sched.Scheduler, *ErrorBody) {
+	if !hasDoc(req.Graph) {
 		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "missing graph document"}
 	}
-	g, err := graph.FromJSON(req.Graph)
-	if err != nil {
-		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("graph: %v", err), Detail: validationDetail(err)}
+	g, ok := cc.graph(req.Graph)
+	if !ok {
+		var err error
+		g, err = graph.FromJSON(req.Graph)
+		if err != nil {
+			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("graph: %v", err), Detail: validationDetail(err)}
+		}
+		cc.putGraph(req.Graph, g)
 	}
 
 	var sys *system.System
 	switch {
-	case len(req.System) > 0 && len(req.Topology) > 0:
+	case hasDoc(req.System) && hasDoc(req.Topology):
 		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "system and topology are mutually exclusive"}
-	case len(req.System) > 0:
+	case hasDoc(req.System):
 		if req.Het != nil {
 			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "het applies to topology, not to a full system document"}
 		}
-		sys, err = system.SystemFromJSON(req.System)
-		if err != nil {
-			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("system: %v", err), Detail: validationDetail(err)}
-		}
-	case len(req.Topology) > 0:
-		nw, err := system.FromJSON(req.Topology)
-		if err != nil {
-			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("topology: %v", err)}
-		}
-		if h := req.Het; h != nil {
-			seed := h.Seed
-			if seed == 0 {
-				seed = 1
-			}
-			sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), h.Lo, h.Hi, rand.New(rand.NewSource(seed)))
+		key := systemKey(req.System, g, nil)
+		if sys, ok = cc.system(key); !ok {
+			var err error
+			sys, err = system.SystemFromJSON(req.System)
 			if err != nil {
-				return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("het: %v", err), Detail: validationDetail(err)}
+				return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("system: %v", err), Detail: validationDetail(err)}
 			}
-		} else {
-			sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
+			cc.putSystem(key, sys)
+		}
+	case hasDoc(req.Topology):
+		key := systemKey(req.Topology, g, req.Het)
+		if sys, ok = cc.system(key); !ok {
+			nw, err := system.FromJSON(req.Topology)
+			if err != nil {
+				return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("topology: %v", err)}
+			}
+			if h := req.Het; h != nil {
+				seed := h.Seed
+				if seed == 0 {
+					seed = 1
+				}
+				sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), h.Lo, h.Hi, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("het: %v", err), Detail: validationDetail(err)}
+				}
+			} else {
+				sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
+			}
+			cc.putSystem(key, sys)
 		}
 	default:
 		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "missing system or topology document"}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestWireDocMatchesMarshal pins the hand-rolled persistence renderer to
+// encoding/json: for already-compact documents the output is
+// byte-identical to json.Marshal, and for any input the round trip
+// through json.Unmarshal reproduces the request exactly — which is the
+// property boot replay actually depends on.
+func TestWireDocMatchesMarshal(t *testing.T) {
+	compactGraph := json.RawMessage(`{"tasks":[{"id":"T1","exec":40}]}`)
+	cases := map[string]ScheduleRequest{
+		"minimal": {Graph: compactGraph},
+		"full": {
+			Algo:           "bsa",
+			Graph:          compactGraph,
+			System:         json.RawMessage(`{"procs":4}`),
+			Het:            &HetSpec{Lo: 1, Hi: 50, Seed: 7},
+			Seed:           -3,
+			TimeoutMS:      1500,
+			IdempotencyKey: "sweep \"quoted\" / unicode ü\n",
+		},
+		"topology":     {Topology: json.RawMessage(`{"links":[]}`), Graph: compactGraph},
+		"absent-graph": {Algo: "heft"},
+		"null-graph":   {Graph: json.RawMessage(`null`), Seed: 9},
+	}
+	for name, req := range cases {
+		t.Run(name, func(t *testing.T) {
+			want, err := json.Marshal(&req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := req.wireDoc()
+			if !bytes.Equal(got, want) {
+				t.Errorf("wireDoc = %s\njson.Marshal = %s", got, want)
+			}
+			var back ScheduleRequest
+			if err := json.Unmarshal(got, &back); err != nil {
+				t.Fatalf("round trip: %v", err)
+			}
+		})
+	}
+
+	// Non-compact documents are appended verbatim (that is the point), so
+	// only the round trip is pinned, not byte identity.
+	spaced := ScheduleRequest{Graph: json.RawMessage("{ \"tasks\" : [] }\n"), Seed: 2}
+	var back ScheduleRequest
+	if err := json.Unmarshal(spaced.wireDoc(), &back); err != nil {
+		t.Fatalf("round trip of non-compact doc: %v", err)
+	}
+	var wantG, gotG any
+	if err := json.Unmarshal(spaced.Graph, &wantG); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(back.Graph, &gotG); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotG, wantG) || back.Seed != 2 {
+		t.Errorf("round trip changed the request: %+v", back)
+	}
+}
