@@ -191,6 +191,12 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(*JobView)) (*JobV
 		line = strings.TrimRight(line, "\r\n")
 		switch {
 		case strings.HasPrefix(line, "data:"):
+			// Per the SSE spec, consecutive data lines of one event join
+			// with a newline. The server emits compact single-line JSON
+			// today (see writeSSE), but the client must not depend on it.
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
 			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
 		case line == "" && len(data) > 0:
 			var v JobView

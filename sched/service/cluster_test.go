@@ -334,6 +334,72 @@ func TestClusterWatchForwarded(t *testing.T) {
 	}
 }
 
+// TestClusterBatchOwnerErrorPropagated: an owner that is reachable but
+// answers a forwarded sub-batch with a top-level typed error (here a
+// draining replica's 503 shutting_down) has that exact code passed
+// through to each of its items — not mislabeled upstream_unavailable,
+// which is reserved for owners we could not get an answer from.
+func TestClusterBatchOwnerErrorPropagated(t *testing.T) {
+	registerFixtures()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// A stub "draining owner": answers every request with the envelope a
+	// real draining replica sends.
+	stubLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error":{"code":%q,"message":"server is draining"}}`, service.CodeShuttingDown)
+	})}
+	go stub.Serve(stubLn) //nolint:errcheck
+	defer stub.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{Workers: 2, Self: ln.Addr().String(), Peers: []string{stubLn.Addr().String()}})
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck
+	defer hs.Close()
+	defer func() {
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	client := service.NewClient("http://"+ln.Addr().String(), nil)
+
+	// Enough keyed jobs that both ring tokens own some.
+	var batch service.BatchRequest
+	for i := range 16 {
+		req := paperRequest(t)
+		req.IdempotencyKey = fmt.Sprintf("prop-%d", i)
+		batch.Jobs = append(batch.Jobs, req)
+	}
+	resp, err := client.SubmitBatch(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, drainingHits := 0, 0
+	for i, item := range resp.Jobs {
+		switch {
+		case item.Job != nil:
+			accepted++
+		case item.Error != nil && item.Error.Code == service.CodeShuttingDown:
+			drainingHits++
+		default:
+			t.Errorf("item %d: error %+v, want the owner's shutting_down passed through", i, item.Error)
+		}
+	}
+	if accepted == 0 || drainingHits == 0 {
+		t.Errorf("accepted=%d drainingHits=%d; 16 keys never split across both owners", accepted, drainingHits)
+	}
+}
+
 // TestClusterDeadOwner: requests owned by an unreachable replica fail
 // fast with 502 upstream_unavailable, and the cluster view marks the
 // node unhealthy — while jobs owned by the survivors keep completing.

@@ -262,6 +262,12 @@ func (s *Server) replay() {
 		s.metrics.StoreReplays.Add(1)
 		j, errBody := s.rebuildJob(rec)
 		if errBody == nil {
+			// The store already holds this record (that is how we got here),
+			// so the rebuilt job must write its terminal transition back —
+			// otherwise the record stays "queued" forever: never TTL-swept,
+			// re-run on every boot, and served stale once the runtime job
+			// expires.
+			j.persist = true
 			errBody = s.enqueue(j, true)
 		}
 		if errBody != nil {
@@ -884,7 +890,10 @@ func (s *Server) batchItemLocal(req *ScheduleRequest, cc *compileCache) BatchIte
 }
 
 // batchForward ships the indexed jobs to their owner as a sub-batch and
-// returns its items; an unreachable owner fails each job with 502.
+// returns its items. An owner that answers with a top-level error
+// (draining, body too large, ...) has that error propagated to each
+// item; only an owner we could not get an answer from fails them with
+// 502 upstream_unavailable.
 func (s *Server) batchForward(r *http.Request, addr string, jobs []ScheduleRequest, idxs []int) []BatchItem {
 	sub := BatchRequest{Jobs: make([]ScheduleRequest, len(idxs))}
 	for k, i := range idxs {
@@ -917,6 +926,20 @@ func (s *Server) batchForward(r *http.Request, addr string, jobs []ScheduleReque
 	respData, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return fail(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		// The owner was reachable and answered with a typed error (draining,
+		// body too large, ...): pass its real code through to every item
+		// instead of mislabeling it "unreachable".
+		var env errorEnvelope
+		if err := json.Unmarshal(respData, &env); err == nil && env.Error != nil {
+			items := make([]BatchItem, len(idxs))
+			for k := range items {
+				items[k] = BatchItem{Error: env.Error}
+			}
+			return items
+		}
+		return fail(fmt.Errorf("owner answered http %d with no error envelope", resp.StatusCode))
 	}
 	var out BatchResponse
 	if err := json.Unmarshal(respData, &out); err != nil || len(out.Jobs) != len(idxs) {

@@ -461,6 +461,40 @@ func TestStoreReplayOnBoot(t *testing.T) {
 	if m["store_replays_total"] != 2 {
 		t.Errorf("store_replays_total = %d, want 2", m["store_replays_total"])
 	}
+
+	// The replayed runs must write their terminal transitions back to the
+	// store. The client-visible "done" races the store write by a hair
+	// (the runtime job turns terminal first), so poll briefly.
+	for _, id := range []string{"j50", "j51"} {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			rec, ok := ms.Get(id)
+			if ok && rec.Status.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("store record %s never turned terminal after its replayed run (got %+v, %v)", id, rec, ok)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Third life: with every record terminal, boot replays nothing — the
+	// jobs must not run a second time.
+	srv3 := service.New(service.Config{Workers: 1, Store: ms})
+	ts3 := httptest.NewServer(srv3)
+	defer ts3.Close()
+	client3 := service.NewClient(ts3.URL, nil)
+	m3, err := client3.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3["store_replays_total"] != 0 {
+		t.Errorf("store_replays_total on third boot = %d, want 0 (terminal transition not persisted?)", m3["store_replays_total"])
+	}
+	if err := srv3.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestWALRestartLineage is the in-process half of the restart story the

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 )
 
@@ -16,6 +17,7 @@ const walCompactEvery = 4096
 
 const (
 	walFileName      = "wal.log"
+	walOldFileName   = "wal.old.log"
 	snapshotFileName = "snapshot.json"
 )
 
@@ -35,12 +37,15 @@ type walEntry struct {
 // survive a restart. Layout inside the data directory:
 //
 //	snapshot.json   full record array as of the last compaction
+//	wal.old.log     rotated-out log of a compaction in progress (or one
+//	                a crash interrupted); absent in steady state
 //	wal.log         JSON lines of operations since that snapshot
 //
-// OpenWAL loads the snapshot, replays the log (tolerating a torn final
-// line from a crash mid-append), and compacts the log back into a fresh
-// snapshot once it accumulates CompactEvery operations — and again on
-// Close, so a cleanly shut down store reboots from the snapshot alone.
+// OpenWAL loads the snapshot, replays wal.old.log then wal.log
+// (tolerating a torn final line from a crash mid-append), and compacts
+// the logs back into a fresh snapshot once they accumulate CompactEvery
+// operations — and again on Close, so a cleanly shut down store reboots
+// from the snapshot alone.
 //
 // Durability is process-crash grade: every append reaches the kernel
 // before the operation returns (so records survive a SIGKILL), but
@@ -53,10 +58,15 @@ type WALStore struct {
 	ops int
 	// compactEvery is the compaction threshold; see CompactEvery.
 	compactEvery int
+	// compactMu serializes compactions so the expensive snapshot
+	// encode + fsync can run without mem.mu held.
+	compactMu sync.Mutex
 }
 
 // OpenWAL opens (creating if needed) the WAL store in dir and replays
-// its contents.
+// its contents. A leftover wal.old.log (a crash mid-compaction) is
+// replayed before wal.log and folded away by an immediate compaction,
+// so the interrupted compaction completes on boot.
 func OpenWAL(dir string) (*WALStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: wal dir: %w", err)
@@ -65,7 +75,11 @@ func OpenWAL(dir string) (*WALStore, error) {
 	if err := w.loadSnapshot(); err != nil {
 		return nil, err
 	}
-	if err := w.replayLog(); err != nil {
+	hadOld, err := w.replayLogFile(filepath.Join(dir, walOldFileName))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.replayLogFile(filepath.Join(dir, walFileName)); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -73,6 +87,12 @@ func OpenWAL(dir string) (*WALStore, error) {
 		return nil, fmt.Errorf("service: open wal: %w", err)
 	}
 	w.f = f
+	if hadOld {
+		if err := w.compactLocked(); err != nil {
+			f.Close() //nolint:errcheck // already failing; report the compaction error
+			return nil, err
+		}
+	}
 	return w, nil
 }
 
@@ -108,17 +128,17 @@ func (w *WALStore) loadSnapshot() error {
 	return nil
 }
 
-// replayLog applies wal.log on top of the snapshot. A line that does not
-// parse — a torn append from a crash — truncates the file there: the
-// torn operation never happened.
-func (w *WALStore) replayLog() error {
-	path := filepath.Join(w.dir, walFileName)
+// replayLogFile applies one log file on top of the current state,
+// reporting whether the file existed. A line that does not parse — a
+// torn append from a crash — truncates the file there: the torn
+// operation never happened.
+func (w *WALStore) replayLogFile(path string) (bool, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil
+		return false, nil
 	}
 	if err != nil {
-		return fmt.Errorf("service: open wal for replay: %w", err)
+		return false, fmt.Errorf("service: open wal for replay: %w", err)
 	}
 	defer f.Close()
 	var (
@@ -140,16 +160,16 @@ func (w *WALStore) replayLog() error {
 		// err != nil: EOF (possibly with a final unterminated line — a
 		// torn append, dropped) or a read error; stop either way.
 		if err != nil && err != io.EOF {
-			return fmt.Errorf("service: replay wal: %w", err)
+			return true, fmt.Errorf("service: replay wal: %w", err)
 		}
 		break
 	}
 	if fi, err := os.Stat(path); err == nil && fi.Size() > good {
 		if err := os.Truncate(path, good); err != nil {
-			return fmt.Errorf("service: truncate torn wal tail: %w", err)
+			return true, fmt.Errorf("service: truncate torn wal tail: %w", err)
 		}
 	}
-	return nil
+	return true, nil
 }
 
 // apply replays one logged operation into the index. Replay is lenient
@@ -175,8 +195,9 @@ func (w *WALStore) apply(e *walEntry) {
 	}
 }
 
-// append logs one operation and compacts when the log is due. Callers
-// hold mem.mu.
+// append logs one operation. Callers hold mem.mu; compaction is NOT
+// triggered here — the public operations call maybeCompact after
+// releasing the lock, so the snapshot write never stalls readers.
 func (w *WALStore) append(e *walEntry) error {
 	if w.f == nil {
 		return fmt.Errorf("service: wal store is closed")
@@ -189,20 +210,65 @@ func (w *WALStore) append(e *walEntry) error {
 		return fmt.Errorf("service: append wal: %w", err)
 	}
 	w.ops++
-	if w.ops >= w.compactEvery {
-		return w.compactLocked()
-	}
 	return nil
 }
 
-// compactLocked folds the current state into snapshot.json (written to a
-// temp file, fsynced, then renamed, so a crash mid-compaction leaves the
-// previous snapshot intact) and truncates the log. Callers hold mem.mu.
-func (w *WALStore) compactLocked() error {
+// maybeCompact folds the log into a fresh snapshot once it holds
+// compactEvery operations. The expensive part — encoding and fsyncing
+// the full record set — runs WITHOUT mem.mu held, so Get/ByKey/appends
+// proceed during compaction: under the lock the live log is only
+// rotated aside (wal.log → wal.old.log) and the record pointers copied
+// (records are immutable once stored, so sharing them is race-free). A
+// crash anywhere in between leaves the previous snapshot plus both
+// logs, which OpenWAL replays in order and re-compacts.
+//
+// Compaction failure never fails the operation that tripped it — the
+// logs stay intact and replayable, the next threshold crossing retries,
+// and Close's final compaction reports any lasting trouble.
+func (w *WALStore) maybeCompact() {
+	w.compactMu.Lock()
+	defer w.compactMu.Unlock()
+	w.mem.mu.Lock()
+	if w.f == nil || w.ops < w.compactEvery {
+		w.mem.mu.Unlock()
+		return
+	}
+	recs, err := w.rotateLocked()
+	w.mem.mu.Unlock()
+	if err == nil {
+		err = w.installSnapshot(recs)
+	}
+	_ = err // best-effort: state stays replayable, retried at the next threshold
+}
+
+// rotateLocked moves the live log aside as wal.old.log, starts a fresh
+// wal.log, and returns the record set the next snapshot must contain.
+// Callers hold mem.mu.
+func (w *WALStore) rotateLocked() ([]*Record, error) {
+	walPath := filepath.Join(w.dir, walFileName)
+	oldPath := filepath.Join(w.dir, walOldFileName)
+	if err := os.Rename(walPath, oldPath); err != nil {
+		return nil, fmt.Errorf("service: rotate wal: %w", err)
+	}
+	nf, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		os.Rename(oldPath, walPath) //nolint:errcheck // best-effort rollback; both names replay on boot
+		return nil, fmt.Errorf("service: reopen wal after rotate: %w", err)
+	}
+	w.f.Close() //nolint:errcheck // append-only fd, everything already reached the kernel
+	w.f = nf
+	w.ops = 0
 	recs := make([]*Record, 0, len(w.mem.recs))
 	for _, rec := range w.mem.recs {
 		recs = append(recs, rec)
 	}
+	return recs, nil
+}
+
+// installSnapshot writes recs to snapshot.json (temp file, fsync,
+// rename — a crash mid-write leaves the previous snapshot intact) and
+// retires the rotated-out log the snapshot subsumes.
+func (w *WALStore) installSnapshot(recs []*Record) error {
 	data, err := json.MarshalIndent(recs, "", " ")
 	if err != nil {
 		return fmt.Errorf("service: encode snapshot: %w", err)
@@ -224,6 +290,24 @@ func (w *WALStore) compactLocked() error {
 	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotFileName)); err != nil {
 		return fmt.Errorf("service: install snapshot: %w", err)
 	}
+	if err := os.Remove(filepath.Join(w.dir, walOldFileName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("service: retire old wal: %w", err)
+	}
+	return nil
+}
+
+// compactLocked is the synchronous full compaction — snapshot the
+// current state, retire wal.old.log, truncate the live log — used where
+// stalling is fine and rotation is not wanted: boot recovery and Close.
+// Callers hold mem.mu or have exclusive access (OpenWAL).
+func (w *WALStore) compactLocked() error {
+	recs := make([]*Record, 0, len(w.mem.recs))
+	for _, rec := range w.mem.recs {
+		recs = append(recs, rec)
+	}
+	if err := w.installSnapshot(recs); err != nil {
+		return err
+	}
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("service: truncate wal: %w", err)
 	}
@@ -236,25 +320,32 @@ func (w *WALStore) compactLocked() error {
 
 func (w *WALStore) Put(rec *Record) error {
 	w.mem.mu.Lock()
-	defer w.mem.mu.Unlock()
-	if err := w.mem.put(rec); err != nil {
+	err := w.mem.put(rec)
+	if err == nil {
+		if err = w.append(&walEntry{Op: "put", Rec: rec.clone()}); err != nil {
+			w.mem.evict(rec.ID)
+		}
+	}
+	w.mem.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	if err := w.append(&walEntry{Op: "put", Rec: rec.clone()}); err != nil {
-		w.mem.evict(rec.ID)
-		return err
-	}
+	w.maybeCompact()
 	return nil
 }
 
 func (w *WALStore) Finish(rec *Record) error {
 	w.mem.mu.Lock()
-	defer w.mem.mu.Unlock()
 	changed, err := w.mem.finish(rec)
-	if err != nil || !changed {
+	if err == nil && changed {
+		err = w.append(&walEntry{Op: "finish", Rec: rec.clone()})
+	}
+	w.mem.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return w.append(&walEntry{Op: "finish", Rec: rec.clone()})
+	w.maybeCompact()
+	return nil
 }
 
 func (w *WALStore) Get(id string) (*Record, bool)    { return w.mem.Get(id) }
@@ -264,27 +355,37 @@ func (w *WALStore) Len() int                         { return w.mem.Len() }
 
 func (w *WALStore) Evict(id string) bool {
 	w.mem.mu.Lock()
-	defer w.mem.mu.Unlock()
-	if !w.mem.evict(id) {
-		return false
+	ok := w.mem.evict(id)
+	if ok {
+		w.append(&walEntry{Op: "evict", ID: id}) //nolint:errcheck // eviction is best-effort cleanup
 	}
-	w.append(&walEntry{Op: "evict", ID: id}) //nolint:errcheck // eviction is best-effort cleanup
-	return true
+	w.mem.mu.Unlock()
+	if ok {
+		w.maybeCompact()
+	}
+	return ok
 }
 
 func (w *WALStore) Sweep(now time.Time, ttl time.Duration) int {
 	w.mem.mu.Lock()
-	defer w.mem.mu.Unlock()
 	n := w.mem.sweepLocked(now, ttl)
 	if n > 0 {
 		w.append(&walEntry{Op: "sweep", Now: now, TTL: ttl}) //nolint:errcheck // eviction is best-effort cleanup
+	}
+	w.mem.mu.Unlock()
+	if n > 0 {
+		w.maybeCompact()
 	}
 	return n
 }
 
 // Close compacts one final time (so the next boot reads the snapshot
-// alone) and releases the log file. Idempotent.
+// alone) and releases the log file. Idempotent. A successful final
+// compaction supersedes any earlier background-compaction failure; if
+// the final one fails too, that error is reported.
 func (w *WALStore) Close() error {
+	w.compactMu.Lock()
+	defer w.compactMu.Unlock()
 	w.mem.mu.Lock()
 	defer w.mem.mu.Unlock()
 	if w.f == nil {

@@ -199,6 +199,65 @@ func TestWALCompaction(t *testing.T) {
 	}
 }
 
+// TestWALInterruptedCompactionRecovered: a crash between log rotation
+// and snapshot install leaves wal.old.log beside a younger wal.log.
+// Boot must replay old-then-new on top of the snapshot, fold the result
+// into a fresh snapshot, and retire wal.old.log.
+func TestWALInterruptedCompactionRecovered(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Put(queuedRec("j1", "alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(doneRec("j1", "alpha", storeEpoch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(queuedRec("j2", "")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window by hand: the live log is rotated aside,
+	// a fresh log holds the ops that landed after rotation, and no new
+	// snapshot was installed.
+	if err := os.Rename(filepath.Join(dir, "wal.log"), filepath.Join(dir, "wal.old.log")); err != nil {
+		t.Fatal(err)
+	}
+	post := `{"op":"put","rec":{"id":"j3","kind":"schedule","algo":"bsa","status":"queued","request":{"seed":1},"created_at":"2026-08-08T12:00:00Z"}}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), []byte(post), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	if rec, ok := w2.Get("j1"); !ok || rec.Status != service.JobDone {
+		t.Errorf("j1 from old log = %+v, %v", rec, ok)
+	}
+	if rec, ok := w2.Get("j2"); !ok || rec.Status != service.JobQueued {
+		t.Errorf("j2 from old log = %+v, %v", rec, ok)
+	}
+	if rec, ok := w2.Get("j3"); !ok || rec.Status != service.JobQueued {
+		t.Errorf("j3 from post-rotation log = %+v, %v", rec, ok)
+	}
+	if rec, ok := w2.ByKey("alpha"); !ok || rec.ID != "j1" {
+		t.Errorf("key index after recovery = %+v, %v", rec, ok)
+	}
+	// The boot completed the interrupted compaction: the old log is
+	// retired and everything lives in the snapshot.
+	if _, err := os.Stat(filepath.Join(dir, "wal.old.log")); !os.IsNotExist(err) {
+		t.Errorf("wal.old.log still present after recovery (err=%v)", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Errorf("wal.log after recovery compaction: %v, %v (want empty)", fi, err)
+	}
+
+	// And a third boot from the folded state sees the same records.
+	w2.Close()
+	w3 := openWAL(t, dir)
+	defer w3.Close()
+	if w3.Len() != 3 {
+		t.Errorf("len = %d after recovery and reboot, want 3", w3.Len())
+	}
+}
+
 func countLines(data []byte) int {
 	n := 0
 	for _, b := range data {
