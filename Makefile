@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke bench-gate bench-verify benchcmp examples apiseal fuzz service-test cluster-test schedload-smoke bench-schedd profile
+.PHONY: build test race vet fmt-check bench bench-smoke bench-gate bench-verify benchcmp examples apiseal fuzz service-test cluster-test chaos-test schedload-smoke bench-schedd profile
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,17 @@ service-test:
 cluster-test:
 	$(GO) test -race -count 1 ./sched/service -run 'TestStore|TestWAL|TestCluster|TestBatch|TestIdempotent|TestJobEvents'
 	$(GO) test -race -count 1 ./tests -run 'TestScheddWALRestart|TestScheddClusterKillOneOfThree'
+
+# chaos-test runs the fault-injection suite under the race detector: the
+# resilience tests (store-failure surfacing, client retry, SSE
+# reconnect, in-process failover) and the seeded chaos harness (3-node
+# tier under dropped/reset/5xx'd wire traffic, breaker load-shedding,
+# random store write failures). The seeds are fixed in the tests, so a
+# red run reproduces locally with this exact command. The JSON verbose
+# log is written for CI to upload on failure.
+chaos-test:
+	$(GO) test -race -count 1 -v ./sched/service -run 'TestSubmitStore|TestWaitRetries|TestRetryHonors|TestWatchReconnect|TestClusterFailover' 2>&1 | tee chaos-service.log
+	$(GO) test -race -count 1 -v ./tests -run 'TestChaos' 2>&1 | tee chaos-e2e.log
 
 # schedload-smoke drives an in-process schedd open-loop for 30 seconds
 # with the default sync/async/batch mix and fails on any 5xx; the report

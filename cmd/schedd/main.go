@@ -10,6 +10,8 @@
 //	       [-job-ttl d] [-max-body bytes] [-drain-timeout d]
 //	       [-store mem|wal] [-data DIR]
 //	       [-advertise host:port] [-peers host1:p1,host2:p2]
+//	       [-replicas N] [-probe-interval d] [-probe-timeout d]
+//	       [-probe-misses N]
 //
 // schedd announces the bound address on stdout ("schedd: listening on
 // ADDR") — with -addr :0 the kernel picks the port, which is how the
@@ -25,6 +27,14 @@
 // their owner transparently. -advertise is the address peers use to
 // reach this replica (required with -peers unless -addr names a concrete
 // host).
+//
+// -replicas N (cluster mode) makes every accepted job's persistence
+// record stream to the owner's N-1 ring successors before the 202, so
+// killing any single replica loses nothing: a background failure
+// detector (-probe-interval, -probe-timeout, -probe-misses) marks the
+// dead owner, its first live successor adopts and re-runs the pending
+// jobs byte-identically, and when the owner returns the records
+// reconcile back under idempotency keys and terminal-state precedence.
 package main
 
 import (
@@ -64,6 +74,10 @@ func run() error {
 	dataDir := flag.String("data", "", "data directory for -store wal")
 	advertise := flag.String("advertise", "", "address peers reach this replica at (cluster mode)")
 	peers := flag.String("peers", "", "comma-separated advertised addresses of the other replicas")
+	replicas := flag.Int("replicas", 1, "copies of each job's record across the cluster (1 = no replication)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "failure-detector probe period (cluster mode)")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+	probeMisses := flag.Int("probe-misses", 3, "consecutive probe misses before a peer is declared dead")
 	flag.Parse()
 
 	// Bind before building the server: in cluster mode the advertised
@@ -74,11 +88,15 @@ func run() error {
 	}
 
 	cfg := service.Config{
-		DefaultAlgo:  *defaultAlgo,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		MaxBodyBytes: *maxBody,
-		JobTTL:       *jobTTL,
+		DefaultAlgo:   *defaultAlgo,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		MaxBodyBytes:  *maxBody,
+		JobTTL:        *jobTTL,
+		Replicas:      *replicas,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		ProbeMisses:   *probeMisses,
 	}
 
 	switch *storeKind {

@@ -373,18 +373,36 @@ func (lg *loadgen) reset() {
 // that is the client-experienced truth, not a measurement bug.
 const backpressureDelay = 2 * time.Millisecond
 
-// noteBackpressure counts n shed jobs and pauses the calling worker.
-func (lg *loadgen) noteBackpressure(n int64) {
+// retryAfterCap bounds how much of a server's Retry-After hint a worker
+// honors. The hint's integer-seconds resolution is meant for polite
+// external clients; a load generator sleeping full seconds per shed job
+// would stop generating load, so it takes the hint but caps the pause.
+const retryAfterCap = 100 * time.Millisecond
+
+// noteBackpressure counts n shed jobs and pauses the calling worker —
+// for the server's Retry-After hint when one arrived (capped), else the
+// default delay.
+func (lg *loadgen) noteBackpressure(n int64, retryAfter time.Duration) {
+	delay := backpressureDelay
+	if retryAfter > 0 {
+		delay = retryAfter
+		if delay > retryAfterCap {
+			delay = retryAfterCap
+		}
+		lg.mu.Lock()
+		lg.errs["retry_after_honored"]++
+		lg.mu.Unlock()
+	}
 	lg.mu.Lock()
 	lg.errs["backpressure"] += n
 	lg.mu.Unlock()
-	time.Sleep(backpressureDelay)
+	time.Sleep(delay)
 }
 
 func (lg *loadgen) submitOne(ctx context.Context, i int64) error {
 	_, err := lg.client.Submit(ctx, lg.request(i))
 	if apiErr, ok := err.(*service.APIError); ok && apiErr.Body.Code == service.CodeQueueFull {
-		lg.noteBackpressure(1)
+		lg.noteBackpressure(1, apiErr.RetryAfter)
 		return nil
 	}
 	return err
@@ -421,7 +439,9 @@ func (lg *loadgen) submitBatch(ctx context.Context, i int64) error {
 		lg.mu.Unlock()
 	}
 	if shed > 0 {
-		lg.noteBackpressure(shed)
+		// Per-item rejections ride a 2xx envelope, so no Retry-After
+		// header reaches the client; use the default pacing delay.
+		lg.noteBackpressure(shed, 0)
 	}
 	return nil
 }

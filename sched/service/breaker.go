@@ -1,0 +1,94 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is a circuit breaker's position.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // normal operation
+	breakerOpen                         // tripping: traffic refused until cooldown
+	breakerHalfOpen                     // cooldown elapsed: one probe in flight
+)
+
+// breaker is a per-peer circuit breaker guarding forwarded traffic.
+// Closed it counts consecutive failures; at threshold it opens and
+// refuses attempts outright, so a dead peer costs one bounded error
+// per cooldown instead of a connect timeout per request. After the
+// cooldown one probe request is let through (half-open): success
+// closes the breaker, failure re-opens it for another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether an attempt may proceed now. In the half-open
+// state only a single probe is admitted at a time; everything else is
+// refused until the probe reports back.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed attempt, closing the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a failed attempt, reporting whether this one tripped
+// the breaker open (for the breaker_open_total counter): a closed
+// breaker reaching its threshold, or a half-open probe failing.
+func (b *breaker) failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures < b.threshold {
+			return false
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	default: // already open (a late failure from before the trip)
+		return false
+	}
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosTransport is a seeded, deterministic fault-injecting
+// http.RoundTripper: each request draws from a private PRNG (in a
+// fixed order, so a given seed and request sequence always injects the
+// same faults) and may be delayed, dropped before reaching the
+// network, reset mid-flight, or answered with a synthesized 503. It
+// wraps the transport clients and replicas forward through, turning
+// the chaos suite's "3-node cluster under faults" into a reproducible
+// test instead of a flake generator.
+//
+// Rates are probabilities in [0, 1]; the zero value injects nothing.
+type ChaosTransport struct {
+	// DropRate fails the request before it is sent (a connect error).
+	DropRate float64
+	// ResetRate sends the request but fails while reading the response
+	// (a connection reset).
+	ResetRate float64
+	// FiveXXRate answers with a synthesized 503 carrying a typed
+	// "chaos_injected" error envelope, without touching the network.
+	FiveXXRate float64
+	// LatencyRate delays the request by Latency before sending it.
+	LatencyRate float64
+	// Latency is the injected delay (default 5ms when a latency fault
+	// fires with Latency unset).
+	Latency time.Duration
+
+	base     http.RoundTripper
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected atomic.Int64
+}
+
+// NewChaosTransport wraps base (nil means http.DefaultTransport) with
+// fault injection seeded by seed. Configure the rates on the returned
+// value before issuing requests.
+func NewChaosTransport(base http.RoundTripper, seed int64) *ChaosTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &ChaosTransport{base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Injected returns how many faults have fired so far.
+func (t *ChaosTransport) Injected() int64 { return t.injected.Load() }
+
+// draw samples the fault plan for one request. All four draws happen
+// on every request, in a fixed order, so the fault sequence depends
+// only on the seed and the request count — never on timing.
+func (t *ChaosTransport) draw() (drop, reset, fiveXX, delay bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	drop = t.rng.Float64() < t.DropRate
+	reset = t.rng.Float64() < t.ResetRate
+	fiveXX = t.rng.Float64() < t.FiveXXRate
+	delay = t.rng.Float64() < t.LatencyRate
+	return
+}
+
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	drop, reset, fiveXX, delay := t.draw()
+	if delay {
+		t.injected.Add(1)
+		d := t.Latency
+		if d <= 0 {
+			d = 5 * time.Millisecond
+		}
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if drop {
+		t.injected.Add(1)
+		return nil, fmt.Errorf("chaos: connection dropped (%s %s)", req.Method, req.URL.Path)
+	}
+	if fiveXX {
+		t.injected.Add(1)
+		body := []byte(`{"error":{"code":"chaos_injected","message":"chaos: synthesized 503"}}`)
+		return &http.Response{
+			StatusCode:    http.StatusServiceUnavailable,
+			Status:        "503 Service Unavailable",
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if reset {
+		t.injected.Add(1)
+		resp.Body.Close()
+		resp.Body = io.NopCloser(&resetReader{})
+	}
+	return resp, nil
+}
+
+// resetReader fails every read, simulating a connection reset after
+// the response headers arrived.
+type resetReader struct{}
+
+func (*resetReader) Read([]byte) (int, error) {
+	return 0, errors.New("chaos: connection reset mid-body")
+}
+
+// ErrInjectedFault is the error FaultyStore's gated writes return.
+var ErrInjectedFault = errors.New("chaos: injected store fault")
+
+// FaultyStore wraps a Store with deterministic write-failure
+// injection: Put, Finish and Adopt — the paths whose failures a
+// correct server must turn into typed 503s rather than ack-then-lose —
+// can be made to fail on demand (FailNext) or by seeded rate
+// (FailRate). Reads and evictions pass through untouched.
+type FaultyStore struct {
+	inner Store
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rate     float64
+	failNext int
+	injected int64
+}
+
+// NewFaultyStore wraps inner with fault injection seeded by seed.
+func NewFaultyStore(inner Store, seed int64) *FaultyStore {
+	return &FaultyStore{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// FailNext makes the next n gated writes fail with ErrInjectedFault.
+func (f *FaultyStore) FailNext(n int) {
+	f.mu.Lock()
+	f.failNext = n
+	f.mu.Unlock()
+}
+
+// FailRate makes each gated write fail with probability r, drawn from
+// the seeded PRNG.
+func (f *FaultyStore) FailRate(r float64) {
+	f.mu.Lock()
+	f.rate = r
+	f.mu.Unlock()
+}
+
+// Injected returns how many writes have been failed so far.
+func (f *FaultyStore) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// gate decides whether this write fails.
+func (f *FaultyStore) gate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext > 0 {
+		f.failNext--
+		f.injected++
+		return ErrInjectedFault
+	}
+	if f.rate > 0 && f.rng.Float64() < f.rate {
+		f.injected++
+		return ErrInjectedFault
+	}
+	return nil
+}
+
+func (f *FaultyStore) Put(rec *Record) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Put(rec)
+}
+
+func (f *FaultyStore) Finish(rec *Record) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Finish(rec)
+}
+
+func (f *FaultyStore) Adopt(rec *Record) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Adopt(rec)
+}
+
+func (f *FaultyStore) Get(id string) (*Record, bool)              { return f.inner.Get(id) }
+func (f *FaultyStore) ByKey(key string) (*Record, bool)           { return f.inner.ByKey(key) }
+func (f *FaultyStore) List() []*Record                            { return f.inner.List() }
+func (f *FaultyStore) Evict(id string) bool                       { return f.inner.Evict(id) }
+func (f *FaultyStore) Sweep(now time.Time, ttl time.Duration) int { return f.inner.Sweep(now, ttl) }
+func (f *FaultyStore) Len() int                                   { return f.inner.Len() }
+func (f *FaultyStore) Close() error                               { return f.inner.Close() }

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // ringPoints is how many virtual points each replica contributes to the
@@ -59,6 +61,14 @@ type cluster struct {
 	addrs     map[string]string // token -> advertised address
 	ring      []ringSlot        // sorted by hash
 	client    *http.Client
+
+	// Per-peer circuit breakers guarding forwarded traffic, created
+	// lazily per address. Threshold and cooldown come from the server's
+	// Config (defaults here cover clusters built directly in tests).
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	bmu              sync.Mutex
+	breakers         map[string]*breaker // addr -> breaker
 }
 
 // newCluster builds the ring over self plus peers. client nil means
@@ -68,10 +78,13 @@ func newCluster(self string, peers []string, client *http.Client) (*cluster, err
 		client = http.DefaultClient
 	}
 	c := &cluster{
-		self:      self,
-		selfToken: nodeToken(self),
-		addrs:     make(map[string]string),
-		client:    client,
+		self:             self,
+		selfToken:        nodeToken(self),
+		addrs:            make(map[string]string),
+		client:           client,
+		breakerThreshold: 5,
+		breakerCooldown:  2 * time.Second,
+		breakers:         make(map[string]*breaker),
 	}
 	for _, addr := range append([]string{self}, peers...) {
 		addr = strings.TrimSpace(addr)
@@ -125,6 +138,35 @@ func jobToken(id string) string {
 		return id[:i]
 	}
 	return ""
+}
+
+// breakerFor returns addr's circuit breaker, creating it on first use.
+func (c *cluster) breakerFor(addr string) *breaker {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	b, ok := c.breakers[addr]
+	if !ok {
+		b = newBreaker(c.breakerThreshold, c.breakerCooldown)
+		c.breakers[addr] = b
+	}
+	return b
+}
+
+// successorsOf returns up to n distinct member tokens after token in
+// sorted-token order, wrapping around — the replication targets of the
+// member owning token, and (filtered by liveness) the failover order
+// when it dies.
+func (c *cluster) successorsOf(token string, n int) []string {
+	tokens := c.tokens()
+	i := sort.SearchStrings(tokens, token)
+	if i == len(tokens) {
+		i = 0
+	}
+	var out []string
+	for k := 1; k < len(tokens) && len(out) < n; k++ {
+		out = append(out, tokens[(i+k)%len(tokens)])
+	}
+	return out
 }
 
 // tokens returns every member token, sorted.

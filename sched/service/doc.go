@@ -66,8 +66,53 @@
 // requests that land on the wrong replica are forwarded transparently.
 // Clients can talk to any member. A forwarded request is served where it
 // lands (one hop, loop-proof); an unreachable owner yields 502
-// "upstream_unavailable". Replicas share nothing — losing one loses only
-// the jobs it owned (none, once it restarts on the same WAL directory).
+// "upstream_unavailable".
+//
+// # Fault tolerance
+//
+// With Config.Replicas > 1 the tier survives losing a member outright.
+// On accept, the owner synchronously streams the job's persistence
+// record — wire documents, idempotency key, reschedule lineage — to its
+// Replicas-1 ring successors before the 202 goes out, so every accepted
+// job exists on more than one node. A background failure detector
+// probes every peer each ProbeInterval; ProbeMisses consecutive misses
+// walk the peer alive → suspect → dead (GET /v1/cluster reports the
+// state per node). Once an owner is dead, routing sends its references
+// to the first live successor, which adopts the replicated pending
+// jobs — re-running them from the recipe, byte-identical because every
+// scheduler is deterministic — and serves reads for the replicated
+// terminal ones. When the owner returns, probes mark it alive again and
+// the successors push the terminal records back; idempotency keys and
+// first-terminal-wins precedence make reconciliation convergent, never
+// a duplicate execution.
+//
+// Forwarded traffic is guarded by per-peer circuit breakers
+// (BreakerThreshold consecutive failures open the circuit; after
+// BreakerCooldown a single half-open probe may close it) and bounded by
+// ForwardTimeout, so a dead peer sheds load instead of absorbing it.
+// Every 503 carries a Retry-After header. Client.WithRetry returns a
+// client that retries idempotent requests — GETs and idempotency-keyed
+// submissions — on transport errors and 502/503 with exponential
+// backoff, full jitter, and the server's Retry-After as the floor;
+// Client.Watch reconnects cut SSE streams through the Last-Event-ID
+// header without re-delivering views.
+//
+// The failure modes, what a client observes, and the counter that
+// proves each one:
+//
+//	fault                    client sees                       metric
+//	owner dead, replicated   job completes via successor       failovers_total, adopted_jobs_total
+//	owner dead, Replicas=1   502 upstream_unavailable          forward_errors_total
+//	peer unreachable         502 after breaker opens, instant  breaker_open_total, breaker_short_circuits_total
+//	store write fails        503 store_unavailable, no ack     store_errors_total
+//	queue full / draining    503 + Retry-After                 jobs_rejected
+//	probe misses             /v1/cluster state suspect/dead    probe_failures_total
+//	owner returns            keys answer original IDs          reconciles_total
+//
+// ChaosTransport (an http.RoundTripper) and FaultyStore (a Store
+// wrapper) inject seeded, deterministic faults — latency, drops,
+// resets, synthesized 503s, write failures — and power the chaos suite
+// in tests/ (make chaos-test).
 //
 // # Metrics
 //
@@ -100,6 +145,15 @@
 //	batch_size_le_16         so bucket differences give the distribution)
 //	batch_size_le_64
 //	batch_size_le_inf
+//	probe_failures_total     failed health probes (detector + /v1/cluster)
+//	failovers_total          dead-owner adoptions triggered on this node
+//	adopted_jobs_total       replicated pending jobs re-run here
+//	replicated_jobs_total    records successfully streamed to successors
+//	replication_errors_total replication sends that failed
+//	reconciles_total         records reconciled back into this owner
+//	breaker_open_total       circuit breakers tripped open
+//	breaker_short_circuits_total forwards refused by an open breaker
+//	forward_errors_total     forward attempts that reached the wire and failed
 //
 // Server is the embeddable core; cmd/schedd wraps it with flags, WAL and
 // cluster wiring, SIGTERM draining and a listener; cmd/schedctl drives

@@ -36,7 +36,16 @@ type job struct {
 	// their IDs are not disclosed, so nothing can look them up later.
 	persist bool
 
+	// sink, when set on a non-persisted job, receives the terminal
+	// Record instead of the server's Store — adopted foreign jobs route
+	// their outcome into the replica side-store this way.
+	sink func(*Record)
+
 	mu sync.Mutex
+	// version counts status transitions, starting at 1 for the queued
+	// view. SSE events carry it as their event ID, so a reconnecting
+	// client resumes with Last-Event-ID and skips views it already saw.
+	version int
 	// res retains the library result of a done job so a follow-up
 	// reschedule can warm-start from its schedule without recomputing
 	// the lineage. Evicted with the job.
@@ -58,12 +67,13 @@ func (j *job) view() *JobView {
 	return viewOfRecord(j.rec)
 }
 
-// snapshot returns the wire view plus a channel that signals the first
-// status transition after it — the SSE streaming primitive.
-func (j *job) snapshot() (*JobView, <-chan struct{}) {
+// snapshot returns the wire view, its version and a channel that
+// signals the first status transition after it — the SSE streaming
+// primitive.
+func (j *job) snapshot() (*JobView, int, <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return viewOfRecord(j.rec), j.changed
+	return viewOfRecord(j.rec), j.version, j.changed
 }
 
 // record snapshots the persistent form. The Result, Error and raw
@@ -77,6 +87,7 @@ func (j *job) record() *Record {
 
 // signal wakes every snapshot waiter. Callers hold mu.
 func (j *job) signal() {
+	j.version++
 	close(j.changed)
 	j.changed = make(chan struct{})
 }

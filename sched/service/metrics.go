@@ -44,6 +44,18 @@ type metrics struct {
 	Forwards       *expvar.Int // requests relayed to their owning replica
 	IdempotentHits *expvar.Int // keyed submissions answered with an existing job
 
+	// Fault tolerance: replication, failure detection, failover and the
+	// circuit breakers guarding inter-replica traffic.
+	ProbeFailures        *expvar.Int // failure-detector probes that missed
+	Failovers            *expvar.Int // peer deaths this node took over for
+	AdoptedJobs          *expvar.Int // replicated pending jobs re-run after an owner death
+	ReplicatedJobs       *expvar.Int // job records successfully streamed to a successor
+	ReplicationErrors    *expvar.Int // replication sends that failed (best-effort)
+	Reconciles           *expvar.Int // records reconciled with a returned owner
+	BreakerOpens         *expvar.Int // circuit breakers tripped open
+	BreakerShortCircuits *expvar.Int // forwards refused by an open breaker
+	ForwardErrors        *expvar.Int // forwards that reached the wire and failed
+
 	// Batch intake: batch requests, jobs they carried, and a cumulative
 	// batch-size histogram (le buckets, Prometheus-style: each counts
 	// batches of size <= its bound).
@@ -82,6 +94,15 @@ func newMetrics() *metrics {
 		{"store_errors_total", &m.StoreErrors},
 		{"forwards_total", &m.Forwards},
 		{"idempotent_hits_total", &m.IdempotentHits},
+		{"probe_failures_total", &m.ProbeFailures},
+		{"failovers_total", &m.Failovers},
+		{"adopted_jobs_total", &m.AdoptedJobs},
+		{"replicated_jobs_total", &m.ReplicatedJobs},
+		{"replication_errors_total", &m.ReplicationErrors},
+		{"reconciles_total", &m.Reconciles},
+		{"breaker_open_total", &m.BreakerOpens},
+		{"breaker_short_circuits_total", &m.BreakerShortCircuits},
+		{"forward_errors_total", &m.ForwardErrors},
 		{"batches_total", &m.Batches},
 		{"batch_jobs_total", &m.BatchJobs},
 		{"batch_size_le_1", &m.BatchLe1},

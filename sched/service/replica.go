@@ -1,0 +1,150 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// replicaSet is the side-store of records replicated from other owners:
+// each owner streams its accepted jobs' persistence records to its ring
+// successors, and the successors hold them here — segregated from the
+// node's own Store so a replica never confuses foreign jobs with the
+// ones it owns. When the failure detector declares an owner dead, the
+// first live successor adopts the owner's pending records (re-running
+// them byte-identically from the recipe) and serves reads for the
+// terminal ones; when the owner returns, the records flow back through
+// reconciliation.
+type replicaSet struct {
+	mu      sync.Mutex
+	byOwner map[string]map[string]*Record // owner token -> job ID -> record
+	keys    map[string]string             // idempotency key -> job ID
+}
+
+func newReplicaSet() *replicaSet {
+	return &replicaSet{byOwner: make(map[string]map[string]*Record), keys: make(map[string]string)}
+}
+
+// store installs record snapshots replicated by owner, under terminal-
+// state precedence: a record that already reached a terminal state here
+// is never downgraded by a stale pending copy.
+func (r *replicaSet) store(owner string, recs []*Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.byOwner[owner]
+	if m == nil {
+		m = make(map[string]*Record)
+		r.byOwner[owner] = m
+	}
+	for _, rec := range recs {
+		if cur, ok := m[rec.ID]; ok && cur.Status.Terminal() {
+			continue
+		}
+		c := rec.clone()
+		m[c.ID] = c
+		if c.Key != "" {
+			r.keys[c.Key] = c.ID
+		}
+	}
+}
+
+// get returns a snapshot of a replicated record, deriving the owner
+// from the ID's token prefix.
+func (r *replicaSet) get(id string) (*Record, bool) {
+	owner := jobToken(id)
+	if owner == "" {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.byOwner[owner][id]
+	if !ok {
+		return nil, false
+	}
+	return rec.clone(), true
+}
+
+// byKey resolves an idempotency key to its replicated record.
+func (r *replicaSet) byKey(key string) (*Record, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.keys[key]
+	if !ok {
+		return nil, false
+	}
+	rec, ok := r.byOwner[jobToken(id)][id]
+	if !ok {
+		return nil, false
+	}
+	return rec.clone(), true
+}
+
+// pending snapshots owner's non-terminal records in ID-sequence order —
+// the adoption work list after the owner dies.
+func (r *replicaSet) pending(owner string) []*Record {
+	r.mu.Lock()
+	out := make([]*Record, 0, len(r.byOwner[owner]))
+	for _, rec := range r.byOwner[owner] {
+		if !rec.Status.Terminal() {
+			out = append(out, rec.clone())
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return idSeq(out[i].ID) < idSeq(out[j].ID) })
+	return out
+}
+
+// terminalRecords snapshots owner's terminal records — the
+// reconciliation payload when the owner returns.
+func (r *replicaSet) terminalRecords(owner string) []*Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Record, 0, len(r.byOwner[owner]))
+	for _, rec := range r.byOwner[owner] {
+		if rec.Status.Terminal() {
+			out = append(out, rec.clone())
+		}
+	}
+	return out
+}
+
+// finish applies a terminal outcome to a replicated record, under the
+// same first-terminal-wins rule as the Store.
+func (r *replicaSet) finish(rec *Record) {
+	owner := jobToken(rec.ID)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.byOwner[owner][rec.ID]; ok && cur.Status.Terminal() {
+		return
+	}
+	if r.byOwner[owner] == nil {
+		r.byOwner[owner] = make(map[string]*Record)
+	}
+	r.byOwner[owner][rec.ID] = rec.clone()
+}
+
+// sweep evicts terminal replicated records older than ttl, mirroring
+// the Store's TTL policy so the side-store cannot grow without bound.
+func (r *replicaSet) sweep(now time.Time, ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for owner, m := range r.byOwner {
+		for id, rec := range m {
+			if rec.Status.Terminal() && now.Sub(rec.DoneAt) >= ttl {
+				delete(m, id)
+				if rec.Key != "" && r.keys[rec.Key] == id {
+					delete(r.keys, rec.Key)
+				}
+				n++
+			}
+		}
+		if len(m) == 0 {
+			delete(r.byOwner, owner)
+		}
+	}
+	return n
+}

@@ -1,0 +1,433 @@
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/sched/service"
+)
+
+// Resilience tests: store-failure surfacing, client retry under
+// transient faults, SSE reconnection, and in-process owner failover.
+// The process-level (SIGKILL) and chaos-rate variants live in tests/.
+
+// flakyTransport fails the first n round trips with a transport error,
+// then delegates — the deterministic "connection refused mid-poll"
+// fixture.
+type flakyTransport struct {
+	base      http.RoundTripper
+	remaining atomic.Int32
+	failures  atomic.Int32
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.remaining.Add(-1) >= 0 {
+		f.failures.Add(1)
+		return nil, &url.Error{Op: "Get", URL: req.URL.String(), Err: errors.New("connection refused (injected)")}
+	}
+	return f.base.RoundTrip(req)
+}
+
+// TestSubmitStoreUnavailable pins the WAL-error contract: when the
+// store rejects the accept-path write, the client gets a typed 503
+// store_unavailable with Retry-After — never a 202 for a job that was
+// not durably recorded — and the very next submission succeeds.
+func TestSubmitStoreUnavailable(t *testing.T) {
+	fs := service.NewFaultyStore(service.NewMemStore(), 1)
+	_, client, _ := newTestService(t, service.Config{Workers: 2, Store: fs})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	fs.FailNext(1)
+	req := paperRequest(t)
+	req.IdempotencyKey = "disk-1"
+	_, err := client.Submit(ctx, req)
+	wantAPIError(t, err, http.StatusServiceUnavailable, service.CodeStoreUnavailable)
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter <= 0 {
+		t.Errorf("503 store_unavailable carried no Retry-After (got %v)", apiErr.RetryAfter)
+	}
+	if n := fs.Len(); n != 0 {
+		t.Fatalf("store holds %d records after a failed accept, want 0 (ack-then-lose)", n)
+	}
+	if got := fs.Injected(); got != 1 {
+		t.Fatalf("injected = %d, want 1", got)
+	}
+
+	// The fault was one-shot: the retried submission must land.
+	v, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit after transient store fault: %v", err)
+	}
+	if _, err := client.Wait(ctx, v.ID, 0); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+}
+
+// TestSubmitStoreUnavailableWAL runs the same contract against a real
+// WAL underneath the fault injector: a failed append surfaces as 503
+// and the log replays cleanly afterwards.
+func TestSubmitStoreUnavailableWAL(t *testing.T) {
+	wal, err := service.OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := service.NewFaultyStore(wal, 1)
+	_, client, _ := newTestService(t, service.Config{Workers: 2, Store: fs})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	fs.FailNext(1)
+	req := paperRequest(t)
+	req.IdempotencyKey = "disk-wal-1"
+	_, err = client.Submit(ctx, req)
+	wantAPIError(t, err, http.StatusServiceUnavailable, service.CodeStoreUnavailable)
+
+	v, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit after transient WAL fault: %v", err)
+	}
+	if _, err := client.Wait(ctx, v.ID, 0); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+}
+
+// TestWaitRetriesTransientTransport: a retry-policy client absorbs
+// connection-level failures mid-poll; the same faults fail a plain
+// client on the spot.
+func TestWaitRetriesTransientTransport(t *testing.T) {
+	_, client, baseURL := newTestService(t, service.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	v, err := client.Submit(ctx, paperRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain client: the injected failure surfaces immediately.
+	plainFT := &flakyTransport{base: http.DefaultTransport}
+	plainFT.remaining.Store(1)
+	plain := service.NewClient(baseURL, &http.Client{Transport: plainFT})
+	if _, err := plain.Job(ctx, v.ID); err == nil {
+		t.Fatal("plain client absorbed a transport failure")
+	}
+
+	// Retry client: two consecutive refusals are within budget.
+	ft := &flakyTransport{base: http.DefaultTransport}
+	ft.remaining.Store(2)
+	retry := service.NewClient(baseURL, &http.Client{Transport: ft}).WithRetry(service.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	})
+	final, err := retry.Wait(ctx, v.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait through transient failures: %v", err)
+	}
+	if final.Status != service.JobDone {
+		t.Fatalf("status = %q, want done", final.Status)
+	}
+	if got := ft.failures.Load(); got != 2 {
+		t.Errorf("injected failures consumed = %d, want 2", got)
+	}
+}
+
+// TestRetryHonorsContextDeadline: with the server answering nothing but
+// 503 + Retry-After, the client's backoff must yield to the caller's
+// deadline instead of sleeping through it.
+func TestRetryHonorsContextDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":{"code":"queue_full","message":"always full"}}`)
+	}))
+	defer ts.Close()
+
+	client := service.NewClient(ts.URL, nil).WithRetry(service.RetryPolicy{MaxAttempts: 10})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Job(ctx, "x")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	// 9 retries at the 1s Retry-After floor would take ~9s; the deadline
+	// must cut the backoff short.
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline ignored: returned after %v", elapsed)
+	}
+}
+
+// TestWatchReconnectResumesFromLastEventID: when the SSE stream is cut
+// mid-job, a retry-policy client reconnects with Last-Event-ID and the
+// server resumes from the next transition — no view delivered twice.
+func TestWatchReconnectResumesFromLastEventID(t *testing.T) {
+	_, client, baseURL := newTestService(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	gate := armGate()
+	req := paperRequest(t)
+	req.Algo = "testgate"
+	v, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The proxy passes everything through, except that the FIRST /events
+	// stream is killed right after its first complete event — the
+	// injected mid-stream cut.
+	target, err := url.Parse(baseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(target)
+	var eventConns atomic.Int32
+	var resumeID atomic.Value // Last-Event-ID of the reconnect
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/events") {
+			rp.ServeHTTP(w, r)
+			return
+		}
+		n := eventConns.Add(1)
+		if n > 1 {
+			resumeID.Store(r.Header.Get("Last-Event-ID"))
+			rp.ServeHTTP(w, r)
+			return
+		}
+		preq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, baseURL+r.URL.Path, nil)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		resp, err := http.DefaultTransport.RoundTrip(preq)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		fl, _ := w.(http.Flusher)
+		br := bufio.NewReader(resp.Body)
+		for {
+			line, err := br.ReadString('\n')
+			if line != "" {
+				io.WriteString(w, line)
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			if err != nil {
+				return
+			}
+			if line == "\n" {
+				panic(http.ErrAbortHandler) // one full event out, cut the stream
+			}
+		}
+	}))
+	defer proxy.Close()
+
+	watcher := service.NewClient(proxy.URL, nil).WithRetry(service.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+	})
+	var mu sync.Mutex
+	var seen []service.JobStatus
+	done := make(chan error, 1)
+	var final *service.JobView
+	go func() {
+		var werr error
+		final, werr = watcher.Watch(ctx, v.ID, func(jv *service.JobView) {
+			mu.Lock()
+			seen = append(seen, jv.Status)
+			mu.Unlock()
+		})
+		done <- werr
+	}()
+
+	// Hold the job open until the watcher is on its second connection,
+	// so the terminal event can only arrive through the resumed stream.
+	for eventConns.Load() < 2 {
+		select {
+		case err := <-done:
+			t.Fatalf("watch returned before reconnecting: %v", err)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if final == nil || final.Status != service.JobDone {
+		t.Fatalf("final view = %+v, want done", final)
+	}
+
+	got, _ := resumeID.Load().(string)
+	if got == "" {
+		t.Error("reconnect carried no Last-Event-ID")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(seen); i++ {
+		if seen[i] == seen[i-1] {
+			t.Fatalf("duplicate view delivered across reconnect: %v", seen)
+		}
+	}
+	if len(seen) == 0 || seen[len(seen)-1] != service.JobDone {
+		t.Fatalf("views = %v, want trailing done", seen)
+	}
+}
+
+// TestClusterFailoverAdoptsDeadOwnersJobs is the in-process tentpole
+// check: with -replicas 2 semantics, killing one replica mid-backlog
+// loses nothing — the dead owner's replicated pending jobs are adopted
+// by its ring successor, re-run byte-identically, and served without a
+// single 502.
+func TestClusterFailoverAdoptsDeadOwnersJobs(t *testing.T) {
+	nodes := newTestCluster(t, 3, service.Config{
+		Workers:       2,
+		Replicas:      2,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		ProbeMisses:   2,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	gate := armGate()
+	const jobs = 18
+	type accepted struct {
+		id   string
+		seed int64
+	}
+	var all []accepted
+	for i := range jobs {
+		req := paperRequest(t)
+		req.Algo = "testgate" // block on the gate: a real mid-backlog kill
+		req.Seed = int64(i%5 + 1)
+		req.IdempotencyKey = fmt.Sprintf("fo-%d", i)
+		v, err := nodes[0].client.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		all = append(all, accepted{id: v.ID, seed: req.Seed})
+	}
+
+	// Pick a victim that is NOT the entry node and owns part of the
+	// backlog. With 18 keys over 3 replicas each member owns some.
+	tokens := tokenByAddr(t, nodes[0])
+	victim := -1
+	for i := 1; i < len(nodes); i++ {
+		tok := tokens[nodes[i].addr]
+		for _, a := range all {
+			if jobOwnerToken(a.id) == tok {
+				victim = i
+				break
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no non-entry node owns any job; ring split degenerate")
+	}
+	victimAddr := nodes[victim].addr
+	victimToken := tokens[victimAddr]
+	var victimJobs int
+	for _, a := range all {
+		if jobOwnerToken(a.id) == victimToken {
+			victimJobs++
+		}
+	}
+	nodes[victim].stop()
+
+	// Wait for the survivors' failure detectors to declare it dead.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		view, err := nodes[0].client.Cluster(ctx)
+		if err != nil {
+			t.Fatalf("cluster view: %v", err)
+		}
+		dead := false
+		for _, n := range view.Nodes {
+			if n.Addr == victimAddr && n.State == "dead" {
+				dead = true
+			}
+		}
+		if dead {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never declared dead")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	close(gate)
+
+	// Every accepted job — the dead owner's included — must reach a
+	// terminal state with the schedule bytes the single-node library
+	// produces, through a client with NO retry policy: zero 502s.
+	for _, a := range all {
+		final, err := nodes[0].client.Wait(ctx, a.id, 20*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s (owner %s, victim %s): %v", a.id, jobOwnerToken(a.id), victimToken, err)
+		}
+		if final.Status != service.JobDone || final.Result == nil {
+			t.Fatalf("job %s = %+v, want done", a.id, final)
+		}
+		wantSched, wantMakespan := paperReference(t, "bsa", a.seed)
+		if final.Result.Makespan != wantMakespan {
+			t.Errorf("job %s makespan = %v, want %v", a.id, final.Result.Makespan, wantMakespan)
+		}
+		if !bytes.Equal(compact(t, final.Result.Schedule), compact(t, wantSched)) {
+			t.Errorf("job %s schedule bytes diverged from the single-node run", a.id)
+		}
+	}
+
+	// The failover left its fingerprints in the survivors' metrics.
+	var failovers, adopted, replicated int64
+	for i, n := range nodes {
+		if i == victim {
+			continue
+		}
+		m, err := n.client.Metrics(ctx)
+		if err != nil {
+			t.Fatalf("metrics %s: %v", n.addr, err)
+		}
+		failovers += m["failovers_total"]
+		adopted += m["adopted_jobs_total"]
+		replicated += m["replicated_jobs_total"]
+	}
+	if failovers < 1 {
+		t.Errorf("failovers_total = %d, want >= 1", failovers)
+	}
+	if adopted < int64(victimJobs) {
+		t.Errorf("adopted_jobs_total = %d, want >= %d (the victim's backlog)", adopted, victimJobs)
+	}
+	// Accept-time replication is synchronous, so every job the survivors
+	// own was replicated before its 202. (The victim's own counter died
+	// with it, and finish-time replication may still be in flight.)
+	if replicated < int64(jobs-victimJobs) {
+		t.Errorf("replicated_jobs_total = %d, want >= %d", replicated, jobs-victimJobs)
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +60,32 @@ type Config struct {
 	// HTTPClient issues forwarded requests and peer health probes in
 	// cluster mode. Default http.DefaultClient.
 	HTTPClient *http.Client
+
+	// Replicas is how many copies of each accepted job's persistence
+	// record the tier holds: the owner plus Replicas-1 ring successors.
+	// 1 (the default) disables replication and failover entirely —
+	// losing a replica loses access to its jobs, exactly the PR-7
+	// behavior. Values above the member count are clamped to it.
+	Replicas int
+	// ProbeInterval is the failure detector's probe period (only
+	// running when Replicas > 1). Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout caps one health probe — the detector's and the ones
+	// GET /v1/cluster fans out. Default 1s.
+	ProbeTimeout time.Duration
+	// ProbeMisses is how many consecutive failed probes declare a peer
+	// dead (alive → suspect → dead). Default 3.
+	ProbeMisses int
+	// BreakerThreshold is how many consecutive forward failures trip a
+	// peer's circuit breaker open. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic
+	// before letting one probe request through. Default 2s.
+	BreakerCooldown time.Duration
+	// ForwardTimeout bounds one forwarded attempt (job lookups,
+	// sub-batches, replication pushes). SSE relays are exempt — they
+	// stream for as long as the client watches. Default 10s.
+	ForwardTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -81,6 +109,27 @@ func (c *Config) fill() {
 	}
 	if c.Store == nil {
 		c.Store = NewMemStore()
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ProbeMisses < 1 {
+		c.ProbeMisses = 3
+	}
+	if c.BreakerThreshold < 1 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 10 * time.Second
 	}
 }
 
@@ -130,6 +179,12 @@ type Server struct {
 	metrics  *metrics
 	draining atomic.Bool
 
+	// detector and replicas implement the fault-tolerant tier; both are
+	// nil unless clustered with Replicas > 1. replicas holds record
+	// copies streamed by other owners, detector drives failover.
+	detector *detector
+	replicas *replicaSet
+
 	// keyMu serializes keyed submissions so two concurrent submits under
 	// one new idempotency key cannot both miss ByKey and double-accept.
 	keyMu sync.Mutex
@@ -152,7 +207,12 @@ func New(cfg Config) *Server {
 	var cl *cluster
 	if cfg.Self != "" {
 		cl, _ = newCluster(cfg.Self, cfg.Peers, cfg.HTTPClient) // Validate already vetted it
+		cl.breakerThreshold = cfg.BreakerThreshold
+		cl.breakerCooldown = cfg.BreakerCooldown
 		prefix = cl.selfToken + "."
+		if cfg.Replicas > cl.size() {
+			cfg.Replicas = cl.size()
+		}
 	}
 	s := &Server{
 		cfg:         cfg,
@@ -174,6 +234,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/internal/replicate", s.handleReplicate)
+	if cl != nil && cfg.Replicas > 1 {
+		s.replicas = newReplicaSet()
+		s.detector = newDetector(s)
+		go s.detector.run()
+	}
 	s.replay()
 	go s.janitor()
 	return s
@@ -200,6 +266,9 @@ func (s *Server) Jobs() int { return s.jobs.size() }
 // than once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.detector != nil {
+		s.detector.close()
+	}
 	// Stop the janitor on every exit path — an interrupted drain must not
 	// leak its goroutine and ticker for the rest of the process.
 	defer s.janitorOnce.Do(func() { close(s.janitorStop) })
@@ -232,6 +301,9 @@ func (s *Server) janitor() {
 			now := s.cfg.Now()
 			s.jobs.sweep(now, s.cfg.JobTTL)
 			s.rec.Sweep(now, s.cfg.JobTTL)
+			if s.replicas != nil {
+				s.replicas.sweep(now, s.cfg.JobTTL)
+			}
 		case <-s.janitorStop:
 			return
 		}
@@ -324,6 +396,11 @@ func (s *Server) resultOf(ctx context.Context, id string) (*sched.Result, error)
 		}
 	}
 	rec, ok := s.rec.Get(id)
+	if !ok && s.replicas != nil {
+		// A replicated copy of a dead owner's record serves as the recipe
+		// just as well — it is byte-identical to what the owner stored.
+		rec, ok = s.replicas.get(id)
+	}
 	if !ok {
 		return nil, fmt.Errorf("reschedule source %q is gone (expired or never persisted)", id)
 	}
@@ -460,6 +537,7 @@ func (s *Server) buildJob(base context.Context, rec *Record, timeoutMS int64, ru
 		run:     run,
 		ctx:     ctx,
 		cancel:  cancel,
+		version: 1,
 		changed: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -479,7 +557,7 @@ func (s *Server) enqueue(j *job, replayed bool) *ErrorBody {
 			s.metrics.StoreErrors.Add(1)
 			s.metrics.JobsRejected.Add(1)
 			j.cancel()
-			return &ErrorBody{Code: CodeStoreError, Message: fmt.Sprintf("persist job: %v", err)}
+			return &ErrorBody{Code: CodeStoreUnavailable, Message: fmt.Sprintf("persist job: %v", err)}
 		}
 	}
 	s.jobs.put(j)
@@ -547,6 +625,14 @@ func (s *Server) runJob(j *job) {
 		if err := s.rec.Finish(rc); err != nil {
 			s.metrics.StoreErrors.Add(1)
 		}
+		// The terminal outcome replicates too, so successors can serve
+		// (not recompute) finished jobs after this node dies — and a job
+		// accepted here under a dead owner's key flows back to that owner
+		// once it returns.
+		s.replicateRecords([]*Record{rc})
+		s.reconcileForeignKey(rc)
+	} else if j.sink != nil {
+		j.sink(rc)
 	}
 }
 
@@ -607,35 +693,97 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, req any) *ErrorB
 
 // ---- cluster routing ----
 
-// remoteByToken resolves the address to forward a request to: the owner
+// routeToken resolves the address to forward a request to: the owner
 // token must name another replica and the request must not already have
 // crossed a hop (a forwarded request is served where it lands — two
 // replicas disagreeing about membership must not bounce it forever).
-func (s *Server) remoteByToken(r *http.Request, token string) (string, bool) {
+// When the owner is dead and failover is on, the request reroutes to
+// the owner's first live ring successor — the replica that adopted its
+// jobs — or stays local when that successor is this node.
+func (s *Server) routeToken(r *http.Request, token string) (string, bool) {
 	if s.cluster == nil || token == "" || token == s.cluster.selfToken || r.Header.Get(forwardedHeader) != "" {
 		return "", false
+	}
+	if s.replicas != nil && s.detector.dead(token) {
+		if _, member := s.cluster.addrOf(token); member {
+			succ := s.firstLiveSuccessor(token)
+			if succ == "" || succ == s.cluster.selfToken {
+				return "", false
+			}
+			return s.cluster.addrOf(succ)
+		}
 	}
 	return s.cluster.addrOf(token)
 }
 
+// firstLiveSuccessor returns the member that takes over for a dead
+// owner: the first of its ring successors the detector does not
+// consider dead (this node is always live from its own perspective).
+// Empty when every other member is dead too.
+func (s *Server) firstLiveSuccessor(token string) string {
+	for _, succ := range s.cluster.successorsOf(token, s.cluster.size()-1) {
+		if succ == s.cluster.selfToken || !s.detector.dead(succ) {
+			return succ
+		}
+	}
+	return ""
+}
+
+// errBreakerOpen is what forward returns when the peer's circuit
+// breaker refuses the attempt outright.
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// forward issues one inter-replica request through addr's circuit
+// breaker: an open breaker refuses the attempt without touching the
+// network (a dead peer costs one bounded probe per cooldown instead of
+// a connect timeout per request), failures count toward tripping it,
+// and any success closes it.
+func (s *Server) forward(req *http.Request, addr string) (*http.Response, error) {
+	br := s.cluster.breakerFor(addr)
+	if !br.allow(time.Now()) {
+		s.metrics.BreakerShortCircuits.Add(1)
+		return nil, errBreakerOpen
+	}
+	resp, err := s.cluster.client.Do(req)
+	if err != nil {
+		s.metrics.ForwardErrors.Add(1)
+		if br.failure(time.Now()) {
+			s.metrics.BreakerOpens.Add(1)
+		}
+		return nil, err
+	}
+	br.success()
+	return resp, nil
+}
+
 // relay forwards the request to addr and streams the response back,
 // flushing per chunk so SSE survives the hop. body nil means a bodyless
-// method.
+// method. Every attempt is bounded by ForwardTimeout except SSE
+// streams, which legitimately outlive any fixed bound.
 func (s *Server) relay(w http.ResponseWriter, r *http.Request, addr string, body []byte) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, "http://"+addr+r.URL.RequestURI(), rd)
+	ctx := r.Context()
+	if !strings.HasSuffix(r.URL.Path, "/events") {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ForwardTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, "http://"+addr+r.URL.RequestURI(), rd)
 	if err != nil {
 		writeError(w, &ErrorBody{Code: CodeUpstreamUnavailable, Message: fmt.Sprintf("forward to %s: %v", addr, err)})
 		return
 	}
 	req.Header.Set(forwardedHeader, s.cluster.self)
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := s.cluster.client.Do(req)
+	resp, err := s.forward(req, addr)
 	if err != nil {
 		writeError(w, &ErrorBody{Code: CodeUpstreamUnavailable, Message: fmt.Sprintf("job owner %s unreachable: %v", addr, err)})
 		return
@@ -694,6 +842,219 @@ func (s *Server) currentView(rec *Record) *JobView {
 	return viewOfRecord(rec)
 }
 
+// ---- replication and failover ----
+
+// replicateRequest is the body of POST /v1/internal/replicate: an owner
+// streaming record snapshots to its ring successors, or (Reconcile) a
+// successor pushing outcomes back to a returned owner.
+type replicateRequest struct {
+	Origin    string    `json:"origin"` // sender's node token
+	Reconcile bool      `json:"reconcile,omitempty"`
+	Records   []*Record `json:"records"`
+}
+
+// handleReplicate receives replication and reconciliation pushes from
+// peers. Replication lands in the replica side-store; reconciliation
+// folds into this node's own store under first-terminal-wins.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, &ErrorBody{Code: CodeBadRequest, Message: "replication requires cluster mode"})
+		return
+	}
+	var req replicateRequest
+	if errBody := s.decode(w, r, &req); errBody != nil {
+		writeError(w, errBody)
+		return
+	}
+	if req.Reconcile {
+		s.reconcile(req.Records)
+	} else {
+		if s.replicas == nil {
+			writeError(w, &ErrorBody{Code: CodeBadRequest, Message: "replication disabled on this replica (-replicas 1)"})
+			return
+		}
+		s.replicas.store(req.Origin, req.Records)
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"records": len(req.Records)})
+}
+
+// reconcile folds records pushed by a peer into this node's own store:
+// terminal outcomes a successor computed while this node was dead, and
+// keyed jobs a successor accepted on its behalf. Adopt keeps the first
+// terminal state, so anything this node already finished — including a
+// WAL-replayed run that raced the push — is untouched, and the replayed
+// run's bytes are identical to the adopted ones anyway.
+func (s *Server) reconcile(recs []*Record) {
+	for _, rec := range recs {
+		if jobToken(rec.ID) == s.cluster.selfToken {
+			s.jobs.bump(idSeq(rec.ID))
+		}
+		if err := s.rec.Adopt(rec); err != nil {
+			s.metrics.StoreErrors.Add(1)
+			continue
+		}
+		s.metrics.Reconciles.Add(1)
+	}
+}
+
+// replicateJob streams one accepted job's persistence record to this
+// node's ring successors — called after enqueue and BEFORE the 202 is
+// written, so a SIGKILL right after the ack can never leave the record
+// without a surviving copy. Not under keyMu: replication is network
+// I/O, and serializing all keyed intake behind a slow successor would
+// be worse than the benign double-send a racing duplicate could cause.
+func (s *Server) replicateJob(j *job) {
+	if s.replicas == nil || !j.persist {
+		return
+	}
+	s.replicateRecords([]*Record{j.record()})
+}
+
+// replicateRecords pushes record snapshots to every ring successor.
+// Best-effort per target: a successor that cannot be reached costs a
+// counter (replication_errors_total), not the acceptance — the local
+// store already holds the record.
+func (s *Server) replicateRecords(recs []*Record) {
+	if s.replicas == nil || len(recs) == 0 {
+		return
+	}
+	data, err := json.Marshal(&replicateRequest{Origin: s.cluster.selfToken, Records: recs})
+	if err != nil {
+		s.metrics.ReplicationErrors.Add(1)
+		return
+	}
+	for _, token := range s.cluster.successorsOf(s.cluster.selfToken, s.cfg.Replicas-1) {
+		addr, ok := s.cluster.addrOf(token)
+		if !ok {
+			continue
+		}
+		if s.sendReplicate(addr, data) {
+			s.metrics.ReplicatedJobs.Add(int64(len(recs)))
+		} else {
+			s.metrics.ReplicationErrors.Add(1)
+		}
+	}
+}
+
+// sendReplicate posts one replication payload to addr through its
+// circuit breaker, bounded by ForwardTimeout.
+func (s *Server) sendReplicate(addr string, data []byte) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/v1/internal/replicate", bytes.NewReader(data))
+	if err != nil {
+		return false
+	}
+	req.Header.Set(forwardedHeader, s.cluster.self)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.forward(req, addr)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for connection reuse
+	return resp.StatusCode/100 == 2
+}
+
+// onPeerDead is the detector's death hook: when this node is the dead
+// owner's first live successor it fails over, re-enqueueing every
+// replicated pending job under its original ID. Adopted jobs run with
+// persist off and their outcome routed into the replica side-store —
+// the records belong to the dead owner's store, not this node's — so a
+// replayed run on the recovered owner and the adopted run here converge
+// on byte-identical results via reconciliation.
+func (s *Server) onPeerDead(token string) {
+	if s.replicas == nil || s.firstLiveSuccessor(token) != s.cluster.selfToken {
+		return
+	}
+	s.metrics.Failovers.Add(1)
+	for _, rec := range s.replicas.pending(token) {
+		if _, live := s.jobs.get(rec.ID, s.cfg.Now(), s.cfg.JobTTL); live {
+			continue // already adopted by an earlier death of the same owner
+		}
+		j, errBody := s.rebuildJob(rec)
+		if errBody == nil {
+			j.persist = false
+			j.sink = s.replicas.finish
+			errBody = s.enqueue(j, true)
+		}
+		if errBody != nil {
+			failed := rec.clone()
+			failed.Status = JobFailed
+			failed.Error = errBody
+			failed.DoneAt = s.cfg.Now()
+			s.replicas.finish(failed)
+			continue
+		}
+		s.metrics.AdoptedJobs.Add(1)
+	}
+}
+
+// onPeerRecovered is the detector's recovery hook: push everything this
+// node holds on the returned owner's behalf — terminal outcomes of its
+// adopted jobs, plus terminal jobs accepted here under keys the owner's
+// ring range covers — so its store converges with what happened while
+// it was gone. The push runs in a goroutine (reconciliation must not
+// block probing) and is idempotent end to end.
+func (s *Server) onPeerRecovered(token string) {
+	if s.replicas == nil {
+		return
+	}
+	recs := s.replicas.terminalRecords(token)
+	for _, rec := range s.rec.List() {
+		if rec.Status.Terminal() && rec.Key != "" && s.cluster.ownerToken(rec.Key) == token {
+			recs = append(recs, rec)
+		}
+	}
+	if len(recs) == 0 {
+		return
+	}
+	addr, ok := s.cluster.addrOf(token)
+	if !ok {
+		return
+	}
+	go s.sendReconcile(addr, recs)
+}
+
+// reconcileForeignKey pushes a finished keyed record to the key's hash
+// owner when that owner is another live member — the job was accepted
+// here on a dead owner's behalf during failover, and without the push
+// the returned owner would re-accept the key as brand new.
+func (s *Server) reconcileForeignKey(rc *Record) {
+	if s.replicas == nil || rc.Key == "" {
+		return
+	}
+	owner := s.cluster.ownerToken(rc.Key)
+	if owner == s.cluster.selfToken || s.detector.dead(owner) {
+		return // dead owners get the push from onPeerRecovered instead
+	}
+	addr, ok := s.cluster.addrOf(owner)
+	if !ok {
+		return
+	}
+	go s.sendReconcile(addr, []*Record{rc})
+}
+
+func (s *Server) sendReconcile(addr string, recs []*Record) {
+	data, err := json.Marshal(&replicateRequest{Origin: s.cluster.selfToken, Reconcile: true, Records: recs})
+	if err != nil {
+		return
+	}
+	s.sendReplicate(addr, data)
+}
+
+// unknownJobError distinguishes "never heard of this job" from "its
+// owner is a dead member and no replica holds a copy": the former is a
+// 404, the latter a 502 the client may retry once the owner returns.
+func (s *Server) unknownJobError(id string) *ErrorBody {
+	if token := jobToken(id); token != "" && s.cluster != nil && token != s.cluster.selfToken {
+		if _, member := s.cluster.addrOf(token); member {
+			return &ErrorBody{Code: CodeUpstreamUnavailable, Message: fmt.Sprintf("job %q's owner %s is unreachable and no replica holds it", id, token)}
+		}
+	}
+	return &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)}
+}
+
 // ---- handlers ----
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -745,7 +1106,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// keyless ones stay local (their ID carries this node's token,
 			// which routes every later lookup here).
 			if req.IdempotencyKey != "" {
-				if addr, ok := s.remoteByToken(r, s.cluster.ownerTokenIfClustered(req.IdempotencyKey)); ok {
+				if addr, ok := s.routeToken(r, s.cluster.ownerTokenIfClustered(req.IdempotencyKey)); ok {
 					s.relay(w, r, addr, body)
 					return
 				}
@@ -771,29 +1132,52 @@ func (c *cluster) ownerTokenIfClustered(key string) string {
 // deduplicating by idempotency key. A duplicate returns the original
 // job's current view with HTTP 200 (not 202 — nothing was accepted).
 func (s *Server) submitLocal(w http.ResponseWriter, req *ScheduleRequest, cc *compileCache) {
+	dup, j, errBody := s.accept(req, cc)
+	switch {
+	case errBody != nil:
+		writeError(w, errBody)
+	case dup != nil:
+		writeJSON(w, http.StatusOK, dup)
+	default:
+		s.replicateJob(j)
+		writeJSON(w, http.StatusAccepted, j.view())
+	}
+}
+
+// accept admits one asynchronous submission: dedup by idempotency key
+// (this node's store first, then the replica side-store — a key whose
+// dead owner's copy landed here must not double-accept), compile,
+// enqueue. Exactly one of the three returns is set. keyMu is held only
+// through the dedup-check-and-enqueue window, NOT through replication —
+// the caller replicates after, so keyed intake never serializes behind
+// a slow successor's network round trip.
+func (s *Server) accept(req *ScheduleRequest, cc *compileCache) (*JobView, *job, *ErrorBody) {
 	if req.IdempotencyKey != "" {
 		s.keyMu.Lock()
 		defer s.keyMu.Unlock()
 		if rec, ok := s.rec.ByKey(req.IdempotencyKey); ok {
 			if _, live := s.storeGet(rec.ID); live {
 				s.metrics.IdempotentHits.Add(1)
-				writeJSON(w, http.StatusOK, s.currentView(rec))
-				return
+				return s.currentView(rec), nil, nil
 			}
 			// The key's job TTL-expired: the key is free again.
+		}
+		if s.replicas != nil {
+			if rec, ok := s.replicas.byKey(req.IdempotencyKey); ok {
+				s.metrics.IdempotentHits.Add(1)
+				return s.currentView(rec), nil, nil
+			}
 		}
 	}
 	j, errBody := s.newJob(context.Background(), req, true, cc)
 	if errBody != nil {
 		s.metrics.JobsRejected.Add(1)
-		writeError(w, errBody)
-		return
+		return nil, nil, errBody
 	}
 	if errBody := s.enqueue(j, false); errBody != nil {
-		writeError(w, errBody)
-		return
+		return nil, nil, errBody
 	}
-	writeJSON(w, http.StatusAccepted, j.view())
+	return nil, j, nil
 }
 
 // handleBatch accepts many submissions in one request. Top-level
@@ -839,14 +1223,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	resp := BatchResponse{Jobs: make([]BatchItem, len(batch.Jobs))}
 	local := make([]int, 0, len(batch.Jobs))
-	remote := make(map[string][]int) // owner token -> job indices
+	remote := make(map[string][]int) // forward address -> job indices
 	for i := range batch.Jobs {
 		token := ""
 		if key := batch.Jobs[i].IdempotencyKey; key != "" {
 			token = s.cluster.ownerTokenIfClustered(key)
 		}
-		if _, ok := s.remoteByToken(r, token); ok {
-			remote[token] = append(remote[token], i)
+		// Keyed by resolved address, not owner token: failover can route
+		// two different dead owners' keys to one adopter, and those still
+		// belong in a single sub-batch.
+		if addr, ok := s.routeToken(r, token); ok {
+			remote[addr] = append(remote[addr], i)
 		} else {
 			local = append(local, i)
 		}
@@ -855,8 +1242,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for _, i := range local {
 		resp.Jobs[i] = s.batchItemLocal(&batch.Jobs[i], cc)
 	}
-	for token, idxs := range remote {
-		addr, _ := s.cluster.addrOf(token)
+	for addr, idxs := range remote {
 		items := s.batchForward(r, addr, batch.Jobs, idxs)
 		for k, i := range idxs {
 			resp.Jobs[i] = items[k]
@@ -868,25 +1254,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // batchItemLocal accepts one batch job on this replica. It mirrors
 // submitLocal without writing to the response directly.
 func (s *Server) batchItemLocal(req *ScheduleRequest, cc *compileCache) BatchItem {
-	if req.IdempotencyKey != "" {
-		s.keyMu.Lock()
-		defer s.keyMu.Unlock()
-		if rec, ok := s.rec.ByKey(req.IdempotencyKey); ok {
-			if _, live := s.storeGet(rec.ID); live {
-				s.metrics.IdempotentHits.Add(1)
-				return BatchItem{Job: s.currentView(rec)}
-			}
-		}
-	}
-	j, errBody := s.newJob(context.Background(), req, true, cc)
-	if errBody == nil {
-		errBody = s.enqueue(j, false)
-	}
-	if errBody != nil {
-		s.metrics.JobsRejected.Add(1)
+	dup, j, errBody := s.accept(req, cc)
+	switch {
+	case errBody != nil:
 		return BatchItem{Error: errBody}
+	case dup != nil:
+		return BatchItem{Job: dup}
+	default:
+		s.replicateJob(j)
+		return BatchItem{Job: j.view()}
 	}
-	return BatchItem{Job: j.view()}
 }
 
 // batchForward ships the indexed jobs to their owner as a sub-batch and
@@ -911,13 +1288,15 @@ func (s *Server) batchForward(r *http.Request, addr string, jobs []ScheduleReque
 	if err != nil {
 		return fail(err)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, "http://"+addr+"/v1/batch", bytes.NewReader(data))
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/v1/batch", bytes.NewReader(data))
 	if err != nil {
 		return fail(err)
 	}
 	req.Header.Set(forwardedHeader, s.cluster.self)
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := s.cluster.client.Do(req)
+	resp, err := s.forward(req, addr)
 	if err != nil {
 		return fail(err)
 	}
@@ -963,7 +1342,7 @@ func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBody)
 		return
 	}
-	if addr, ok := s.remoteByToken(r, jobToken(id)); ok {
+	if addr, ok := s.routeToken(r, jobToken(id)); ok {
 		s.relay(w, r, addr, body)
 		return
 	}
@@ -981,7 +1360,7 @@ func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
 			writeError(w, &ErrorBody{Code: CodeJobNotDone, Message: fmt.Sprintf("job %q has no completed schedule to reschedule from", id)})
 			return
 		}
-	} else if rec, ok := s.storeGet(id); ok {
+	} else if rec, ok := s.sourceRecord(id); ok {
 		if rec.Status != JobDone {
 			s.metrics.JobsRejected.Add(1)
 			writeError(w, &ErrorBody{Code: CodeJobNotDone, Message: fmt.Sprintf("job %q has no completed schedule to reschedule from", id)})
@@ -991,7 +1370,7 @@ func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
 		// stored recipe.
 	} else {
 		s.metrics.JobsRejected.Add(1)
-		writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
+		writeError(w, s.unknownJobError(id))
 		return
 	}
 	j, errBody := s.newRescheduleJob(id, prev, &req)
@@ -1004,12 +1383,28 @@ func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBody)
 		return
 	}
+	s.replicateJob(j)
 	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// sourceRecord resolves a record usable as a reschedule source: this
+// node's own store, then the replica side-store (a dead owner's job
+// this node holds a copy of).
+func (s *Server) sourceRecord(id string) (*Record, bool) {
+	if rec, ok := s.storeGet(id); ok {
+		return rec, true
+	}
+	if s.replicas != nil {
+		if rec, ok := s.replicas.get(id); ok {
+			return rec, true
+		}
+	}
+	return nil, false
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if addr, ok := s.remoteByToken(r, jobToken(id)); ok {
+	if addr, ok := s.routeToken(r, jobToken(id)); ok {
 		s.relay(w, r, addr, nil)
 		return
 	}
@@ -1021,26 +1416,40 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, viewOfRecord(rec))
 		return
 	}
-	writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
+	if s.replicas != nil {
+		if rec, ok := s.replicas.get(id); ok {
+			writeJSON(w, http.StatusOK, viewOfRecord(rec))
+			return
+		}
+	}
+	writeError(w, s.unknownJobError(id))
 }
 
 // handleEvents streams a job's status transitions as server-sent events
 // ("event: status", data: the JobView JSON) until the job is terminal or
 // the client goes away. The stream coalesces: a client always sees the
 // current view and the terminal view, but may skip intermediate states
-// it was too slow for.
+// it was too slow for. Events carry monotonically increasing ids (the
+// job's transition version), so a client reconnecting with Last-Event-ID
+// resumes without re-receiving views it already processed.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if addr, ok := s.remoteByToken(r, jobToken(id)); ok {
+	if addr, ok := s.routeToken(r, jobToken(id)); ok {
 		s.relay(w, r, addr, nil)
 		return
+	}
+	lastID := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			lastID = n
+		}
 	}
 	j, live := s.jobs.get(id, s.cfg.Now(), s.cfg.JobTTL)
 	var rec *Record
 	if !live {
 		var ok bool
-		if rec, ok = s.storeGet(id); !ok {
-			writeError(w, &ErrorBody{Code: CodeNotFound, Message: fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.cfg.JobTTL)})
+		if rec, ok = s.sourceRecord(id); !ok {
+			writeError(w, s.unknownJobError(id))
 			return
 		}
 	}
@@ -1054,18 +1463,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	if !live {
-		// Store-only records are terminal (pending ones always have a live
-		// job): one event tells the whole story.
-		writeSSE(w, viewOfRecord(rec))
+		// Record-only jobs have no transition stream (own-store records
+		// here are terminal; a replicated pending record gains a live job
+		// only once its owner is declared dead): one event tells the whole
+		// story as of now.
+		writeSSE(w, lastID+1, viewOfRecord(rec)) //nolint:errcheck // single shot; nothing to do on a gone client
 		flusher.Flush()
 		return
 	}
 	for {
-		v, changed := j.snapshot()
-		if err := writeSSE(w, v); err != nil {
-			return
+		v, version, changed := j.snapshot()
+		if version > lastID {
+			if err := writeSSE(w, version, v); err != nil {
+				return
+			}
+			flusher.Flush()
+			lastID = version
 		}
-		flusher.Flush()
 		if v.Status.Terminal() {
 			return
 		}
@@ -1077,14 +1491,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeSSE emits one SSE status event. The data line is compact JSON —
-// newlines would break the line-oriented framing.
-func writeSSE(w io.Writer, v *JobView) error {
+// writeSSE emits one SSE status event with its id. The data line is
+// compact JSON — newlines would break the line-oriented framing.
+func writeSSE(w io.Writer, id int, v *JobView) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "event: status\ndata: %s\n\n", data)
+	_, err = fmt.Fprintf(w, "id: %d\nevent: status\ndata: %s\n\n", id, data)
 	return err
 }
 
@@ -1114,13 +1528,22 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	for i, token := range tokens {
 		addr, _ := s.cluster.addrOf(token)
 		node := NodeView{Token: token, Addr: addr}
+		if s.detector != nil {
+			node.State = s.detector.stateOf(token)
+		}
 		if token == s.cluster.selfToken {
 			node.Self = true
 			node.Healthy = !s.draining.Load()
 			node.Jobs = s.jobs.size()
+			if s.detector != nil {
+				node.State = peerAlive
+			}
 			view.Nodes[i] = node
 			continue
 		}
+		// Probes fan out concurrently, each capped at ProbeTimeout, so one
+		// slow or dead peer delays the view by at most one timeout instead
+		// of stalling the whole walk.
 		wg.Add(1)
 		go func(i int, node NodeView) {
 			defer wg.Done()
@@ -1132,9 +1555,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
-// probe checks a peer's /healthz within a second.
+// probe checks a peer's /healthz within the configured ProbeTimeout.
 func (s *Server) probe(ctx context.Context, addr string) bool {
-	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
 	if err != nil {
@@ -1150,6 +1573,7 @@ func (s *Server) probe(ctx context.Context, addr string) bool {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -1169,6 +1593,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // the response is already committed
 }
 
+// retryAfterSeconds is the Retry-After hint attached to every 503: the
+// conditions behind them (full queue, drain, store hiccup) clear on the
+// order of a second, so clients should pause rather than hammer.
+const retryAfterSeconds = 1
+
 func writeError(w http.ResponseWriter, e *ErrorBody) {
-	writeJSON(w, httpStatus(e.Code), errorEnvelope{Error: e})
+	status := httpStatus(e.Code)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	writeJSON(w, status, errorEnvelope{Error: e})
 }

@@ -77,6 +77,13 @@ type Store interface {
 	// or passing a non-terminal status is an error; finishing an
 	// already-terminal record is a no-op (first terminal state wins).
 	Finish(rec *Record) error
+	// Adopt force-installs a record snapshot in any state — the
+	// replication/reconciliation primitive. Unlike Put it tolerates an
+	// existing entry, and unlike Finish it can insert unknown IDs; the
+	// one invariant it keeps is terminal-state precedence: a record that
+	// already reached a terminal state is never replaced (the first
+	// terminal outcome wins, exactly as with Finish).
+	Adopt(rec *Record) error
 	// Get returns a snapshot of the record, false when absent.
 	Get(id string) (*Record, bool)
 	// ByKey resolves an idempotency key to its record's snapshot.
@@ -156,6 +163,24 @@ func (m *MemStore) finish(rec *Record) (bool, error) {
 	}
 	m.recs[rec.ID] = rec.clone()
 	return true, nil
+}
+
+func (m *MemStore) Adopt(rec *Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.adopt(rec)
+	return nil
+}
+
+// adopt force-installs a snapshot under terminal-state precedence,
+// reporting whether it changed anything (false when the stored record
+// is already terminal).
+func (m *MemStore) adopt(rec *Record) bool {
+	if cur, ok := m.recs[rec.ID]; ok && cur.Status.Terminal() {
+		return false
+	}
+	m.load(rec)
+	return true
 }
 
 func (m *MemStore) Get(id string) (*Record, bool) {

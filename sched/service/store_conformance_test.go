@@ -304,3 +304,84 @@ func TestStoreEvictionWhileStreaming(t *testing.T) {
 		}
 	})
 }
+
+// TestStoreAdopt pins the reconciliation contract: Adopt force-installs
+// a replicated record — unknown IDs insert, pending entries are
+// replaced in place, but a record that already reached a terminal state
+// locally is never displaced (first-terminal-wins, same as Finish).
+func TestStoreAdopt(t *testing.T) {
+	forEachStore(t, func(t *testing.T, s service.Store) {
+		// Unknown ID: Adopt inserts where Finish would error.
+		if err := s.Adopt(doneRec("foreign", "fkey", storeEpoch)); err != nil {
+			t.Fatalf("adopt of an unknown ID: %v", err)
+		}
+		got, ok := s.Get("foreign")
+		if !ok || got.Status != service.JobDone || got.Result == nil {
+			t.Fatalf("adopted record = %+v, %v", got, ok)
+		}
+		if rec, ok := s.ByKey("fkey"); !ok || rec.ID != "foreign" {
+			t.Errorf("adopted key not indexed: %+v, %v", rec, ok)
+		}
+
+		// Pending entry: the adopted terminal state replaces it.
+		if err := s.Put(queuedRec("j1", "k1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Adopt(doneRec("j1", "k1", storeEpoch)); err != nil {
+			t.Fatalf("adopt over pending: %v", err)
+		}
+		if got, _ := s.Get("j1"); got.Status != service.JobDone || got.Result.Makespan != 42 {
+			t.Errorf("adopt did not replace the pending entry: %+v", got)
+		}
+
+		// Terminal entry: a conflicting adopted outcome is a silent no-op.
+		late := queuedRec("j1", "k1")
+		late.Status = service.JobFailed
+		late.Error = &service.ErrorBody{Code: service.CodeScheduleFailed, Message: "divergent"}
+		late.DoneAt = storeEpoch.Add(time.Hour)
+		if err := s.Adopt(late); err != nil {
+			t.Fatalf("adopt over terminal errored: %v", err)
+		}
+		if got, _ := s.Get("j1"); got.Status != service.JobDone || got.Result == nil {
+			t.Errorf("adopt displaced an existing terminal state: %+v", got)
+		}
+
+		// A pending adopted record is legal too (owner replicating its
+		// backlog): it lands and stays readable.
+		if err := s.Adopt(queuedRec("j2", "")); err != nil {
+			t.Fatalf("adopt of a pending record: %v", err)
+		}
+		if got, ok := s.Get("j2"); !ok || got.Status != service.JobQueued {
+			t.Errorf("pending adopt = %+v, %v", got, ok)
+		}
+	})
+}
+
+// TestStoreAdoptSurvivesRestart pins that WAL-backed adoption is
+// durable: an adopted record must replay after reopen exactly like a
+// Put/Finish pair would.
+func TestStoreAdoptSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	w, err := service.OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Adopt(doneRec("foreign", "fkey", storeEpoch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := service.OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, ok := w2.Get("foreign")
+	if !ok || got.Status != service.JobDone || got.Result == nil || got.Result.Makespan != 42 {
+		t.Fatalf("adopted record lost across restart: %+v, %v", got, ok)
+	}
+	if rec, ok := w2.ByKey("fkey"); !ok || rec.ID != "foreign" {
+		t.Errorf("adopted key lost across restart: %+v, %v", rec, ok)
+	}
+}

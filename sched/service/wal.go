@@ -25,7 +25,7 @@ const (
 // instead of each eviction, so a 10k-record sweep costs one line and
 // replays deterministically.
 type walEntry struct {
-	Op  string        `json:"op"` // "put" | "finish" | "evict" | "sweep"
+	Op  string        `json:"op"` // "put" | "finish" | "adopt" | "evict" | "sweep"
 	Rec *Record       `json:"rec,omitempty"`
 	ID  string        `json:"id,omitempty"`
 	Now time.Time     `json:"now,omitzero"`
@@ -188,6 +188,10 @@ func (w *WALStore) apply(e *walEntry) {
 				w.mem.load(e.Rec)
 			}
 		}
+	case "adopt":
+		if e.Rec != nil {
+			w.mem.adopt(e.Rec)
+		}
 	case "evict":
 		w.mem.evict(e.ID)
 	case "sweep":
@@ -339,6 +343,20 @@ func (w *WALStore) Finish(rec *Record) error {
 	changed, err := w.mem.finish(rec)
 	if err == nil && changed {
 		err = w.append(&walEntry{Op: "finish", Rec: rec.clone()})
+	}
+	w.mem.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	w.maybeCompact()
+	return nil
+}
+
+func (w *WALStore) Adopt(rec *Record) error {
+	w.mem.mu.Lock()
+	var err error
+	if w.mem.adopt(rec) {
+		err = w.append(&walEntry{Op: "adopt", Rec: rec.clone()})
 	}
 	w.mem.mu.Unlock()
 	if err != nil {

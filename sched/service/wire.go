@@ -229,6 +229,10 @@ type NodeView struct {
 	// Healthy is the result of probing the node's /healthz (always true
 	// for the answering node itself).
 	Healthy bool `json:"healthy"`
+	// State is the answering node's failure-detector verdict on this
+	// member: "alive", "suspect" or "dead". Empty when the answering
+	// node runs no detector (single-node, or replication disabled).
+	State string `json:"state,omitempty"`
 	// Jobs is the answering node's live job count; peers report their own
 	// through their own /v1/cluster.
 	Jobs int `json:"jobs,omitempty"`
@@ -264,9 +268,14 @@ const (
 	// CodeUpstreamUnavailable marks a request this replica forwarded to
 	// the job's owner but could not deliver (owner down or unreachable).
 	CodeUpstreamUnavailable = "upstream_unavailable"
-	// CodeStoreError marks a persistence failure: the job was not
-	// accepted because the store rejected the write.
-	CodeStoreError = "store_error"
+	// CodeStoreUnavailable marks a persistence failure: the job was not
+	// accepted because the store rejected the write. It maps to 503 —
+	// the condition is transient (disk pressure, store mid-failover), so
+	// clients retry exactly like queue_full.
+	CodeStoreUnavailable = "store_unavailable"
+	// CodeStoreError is the pre-rename alias of CodeStoreUnavailable,
+	// kept so embedders switching on the old constant keep compiling.
+	CodeStoreError = CodeStoreUnavailable
 )
 
 // ErrorBody is the typed error payload every non-2xx response carries,
@@ -298,7 +307,7 @@ func httpStatus(code string) int {
 		return http.StatusRequestEntityTooLarge
 	case CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
-	case CodeQueueFull, CodeShuttingDown:
+	case CodeQueueFull, CodeShuttingDown, CodeStoreUnavailable:
 		return http.StatusServiceUnavailable
 	case CodeJobNotDone:
 		return http.StatusConflict

@@ -1,0 +1,313 @@
+package tests
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	_ "repro/sched/register"
+	"repro/sched/service"
+)
+
+// The chaos suite: a replica tier running under seeded, deterministic
+// fault injection — dropped connections, synthesized 503s, reset
+// bodies, injected latency on the wire; write failures in the store.
+// The assertions are the tentpole invariants: no accepted job is lost,
+// no schedule byte diverges from the single-node run, every error a
+// client ultimately sees is a typed envelope, and circuit breakers
+// bound the traffic a dead peer absorbs. Fixed seeds make the fault
+// sequence reproducible run to run.
+
+// chaosSeed is the suite's fixed base seed (also pinned in the Makefile
+// chaos-test target). Changing it changes which requests fault, never
+// whether the invariants hold.
+const chaosSeed = 0xC0FFEE
+
+// chaosNode is one in-process replica with its chaos-wrapped peer
+// transport.
+type chaosNode struct {
+	srv    *service.Server
+	client *service.Client
+	addr   string
+	chaos  *service.ChaosTransport
+	stop   func()
+}
+
+// startChaosCluster boots n in-process replicas whose INTER-NODE
+// traffic (forwards, replication, probes) runs through per-node
+// ChaosTransports. configure, when non-nil, tweaks each node's Config.
+func startChaosCluster(t *testing.T, n int, faulty bool, configure func(i int, cfg *service.Config)) []*chaosNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*chaosNode, n)
+	for i := range nodes {
+		ct := service.NewChaosTransport(nil, chaosSeed+int64(i))
+		if faulty {
+			ct.DropRate = 0.05
+			ct.FiveXXRate = 0.05
+			ct.LatencyRate = 0.25
+			ct.Latency = 2 * time.Millisecond
+		}
+		cfg := service.Config{
+			Workers:    2,
+			Self:       addrs[i],
+			HTTPClient: &http.Client{Transport: ct},
+		}
+		for j, a := range addrs {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, a)
+			}
+		}
+		if configure != nil {
+			configure(i, &cfg)
+		}
+		srv := service.New(cfg)
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(lns[i]) //nolint:errcheck
+		stopped := false
+		node := &chaosNode{
+			srv:    srv,
+			client: service.NewClient("http://"+addrs[i], nil),
+			addr:   addrs[i],
+			chaos:  ct,
+		}
+		node.stop = func() {
+			if !stopped {
+				stopped = true
+				hs.Close()
+			}
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				t.Errorf("drain %s: %v", node.addr, err)
+			}
+			node.stop()
+		})
+		nodes[i] = node
+	}
+	return nodes
+}
+
+// TestChaosClusterNoJobLost runs a 3-node tier with faults on every
+// inter-node AND client hop: every accepted job must still reach done
+// with the library's exact schedule bytes, and any error the retrying
+// client surfaces must be a typed envelope.
+func TestChaosClusterNoJobLost(t *testing.T) {
+	nodes := startChaosCluster(t, 3, true, func(i int, cfg *service.Config) {
+		cfg.Replicas = 2
+		cfg.ProbeInterval = 50 * time.Millisecond
+		cfg.ProbeTimeout = 250 * time.Millisecond
+		cfg.ProbeMisses = 3
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// The client's own hop faults too — drops before the wire and resets
+	// mid-body (the retry loop absorbs both; 5xx injection client-side
+	// would be indistinguishable from real server 503s in the count).
+	clientChaos := service.NewChaosTransport(nil, chaosSeed+99)
+	clientChaos.DropRate = 0.05
+	clientChaos.ResetRate = 0.05
+	clientChaos.LatencyRate = 0.25
+	clientChaos.Latency = 2 * time.Millisecond
+	client := service.NewClient("http://"+nodes[0].addr, &http.Client{Transport: clientChaos}).
+		WithRetry(service.RetryPolicy{
+			MaxAttempts: 6,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			Seed:        chaosSeed,
+		})
+
+	_, _, gdoc, sdoc := paperDocs(t, t.TempDir())
+	const n = 30
+	type accepted struct {
+		id   string
+		seed int64
+	}
+	var all []accepted
+	for i := 0; i < n; i++ {
+		v, err := client.Submit(ctx, service.ScheduleRequest{
+			Graph: gdoc, System: sdoc, Seed: int64(i % 7),
+			IdempotencyKey: fmt.Sprintf("chaos-%d", i),
+		})
+		if err != nil {
+			// The retry budget can be exhausted under sustained faults —
+			// but what surfaces must be a typed envelope, never a raw
+			// transport error.
+			var apiErr *service.APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("submit %d surfaced an untyped error: %v", i, err)
+			}
+			continue
+		}
+		all = append(all, accepted{id: v.ID, seed: int64(i % 7)})
+	}
+	if len(all) < n/2 {
+		t.Fatalf("only %d/%d submissions accepted; fault rates drowned the tier", len(all), n)
+	}
+
+	for _, a := range all {
+		final, err := client.Wait(ctx, a.id, 10*time.Millisecond)
+		if err != nil {
+			var apiErr *service.APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("wait %s surfaced an untyped error: %v", a.id, err)
+			}
+			t.Fatalf("accepted job %s lost: %v", a.id, err)
+		}
+		if final.Status != service.JobDone || final.Result == nil {
+			t.Fatalf("job %s = %q (%v), want done", a.id, final.Status, final.Error)
+		}
+		if got, want := compactJSON(t, final.Result.Schedule), compactJSON(t, paperScheduleRef(t, a.seed)); !bytes.Equal(got, want) {
+			t.Errorf("job %s schedule diverged from the single-node bytes (seed %d)", a.id, a.seed)
+		}
+	}
+
+	var injected int64
+	for _, node := range nodes {
+		injected += node.chaos.Injected()
+	}
+	injected += clientChaos.Injected()
+	if injected == 0 {
+		t.Error("chaos transports injected nothing; the suite tested fair weather")
+	}
+	t.Logf("%d/%d jobs done under %d injected faults", len(all), n, injected)
+}
+
+// TestChaosBreakerShedsLoad: hammering a dead peer's jobs must not
+// hammer the dead peer — after BreakerThreshold forward failures the
+// survivor's circuit opens and answers from its own state (a typed 502)
+// without another connection attempt.
+func TestChaosBreakerShedsLoad(t *testing.T) {
+	nodes := startChaosCluster(t, 2, false, func(i int, cfg *service.Config) {
+		cfg.BreakerThreshold = 5
+		cfg.BreakerCooldown = time.Minute // no half-open probe mid-test
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	view, err := nodes[0].client.Cluster(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadToken := ""
+	for _, n := range view.Nodes {
+		if n.Addr == nodes[1].addr {
+			deadToken = n.Token
+		}
+	}
+	if deadToken == "" {
+		t.Fatalf("node 1 missing from cluster view: %+v", view.Nodes)
+	}
+	nodes[1].stop()
+
+	// 60 lookups of a dead-owned reference through a plain client: every
+	// one answers 502 upstream_unavailable, but only the first
+	// BreakerThreshold are allowed to touch the network.
+	const hammer = 60
+	deadID := deadToken + ".j42"
+	for i := 0; i < hammer; i++ {
+		_, err := nodes[0].client.Job(ctx, deadID)
+		var apiErr *service.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 502 || apiErr.Body.Code != service.CodeUpstreamUnavailable {
+			t.Fatalf("lookup %d: got %v, want typed 502 %s", i, err, service.CodeUpstreamUnavailable)
+		}
+	}
+
+	m, err := nodes[0].client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["breaker_open_total"] < 1 {
+		t.Errorf("breaker_open_total = %d, want >= 1", m["breaker_open_total"])
+	}
+	if got := m["forward_errors_total"]; got > 5 {
+		t.Errorf("forward_errors_total = %d: breaker let more than threshold attempts through", got)
+	}
+	if got := m["breaker_short_circuits_total"]; got < hammer-10 {
+		t.Errorf("breaker_short_circuits_total = %d, want >= %d", got, hammer-10)
+	}
+}
+
+// TestChaosStoreFaults: under seeded random write failures every
+// submission either lands durably (and completes) or is refused with a
+// typed 503 store_unavailable — acknowledged-then-lost never happens.
+func TestChaosStoreFaults(t *testing.T) {
+	fs := service.NewFaultyStore(service.NewMemStore(), chaosSeed)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{Workers: 2, Store: fs})
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		hs.Close()
+	})
+	client := service.NewClient("http://"+ln.Addr().String(), nil).WithRetry(service.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        chaosSeed,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	_, _, gdoc, sdoc := paperDocs(t, t.TempDir())
+	fs.FailRate(0.3)
+	const n = 20
+	var accepted []string
+	refused := 0
+	for i := 0; i < n; i++ {
+		v, err := client.Submit(ctx, service.ScheduleRequest{
+			Graph: gdoc, System: sdoc, Seed: int64(i),
+			IdempotencyKey: fmt.Sprintf("disk-%d", i),
+		})
+		if err != nil {
+			var apiErr *service.APIError
+			if !errors.As(err, &apiErr) || apiErr.StatusCode != 503 || apiErr.Body.Code != service.CodeStoreUnavailable {
+				t.Fatalf("submit %d: got %v, want typed 503 %s", i, err, service.CodeStoreUnavailable)
+			}
+			refused++
+			continue
+		}
+		accepted = append(accepted, v.ID)
+	}
+	fs.FailRate(0)
+	if fs.Injected() == 0 {
+		t.Fatal("no store faults injected; rate path untested")
+	}
+
+	// Every 202 is a durable promise: the job must complete.
+	for _, id := range accepted {
+		final, err := client.Wait(ctx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("accepted job %s lost: %v", id, err)
+		}
+		if final.Status != service.JobDone {
+			t.Fatalf("job %s = %q (%v), want done", id, final.Status, final.Error)
+		}
+	}
+	t.Logf("%d accepted and completed, %d refused typed, %d faults injected", len(accepted), refused, fs.Injected())
+}
