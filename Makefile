@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke bench-gate bench-verify benchcmp examples apiseal fuzz service-test cluster-test chaos-test schedload-smoke bench-schedd profile
+.PHONY: build test race vet fmt-check bench bench-smoke bench-gate bench-verify benchcmp examples apiseal fuzz service-test cluster-test chaos-test schedload-smoke bench-schedd profile atlas
 
 build:
 	$(GO) build ./...
@@ -65,9 +65,10 @@ apiseal:
 
 # fuzz runs each loader fuzz target for FUZZTIME (the CI smoke uses 20s;
 # raise it locally for a real hunt). Go runs one -fuzz target per
-# invocation, hence the five lines. Seed corpora are committed under
-# sched/testdata/fuzz and sched/{graph,system}/testdata/fuzz plus the
-# golden interchange files.
+# invocation, hence the seven lines. Seed corpora are committed under
+# sched/testdata/fuzz, sched/{graph,system,workload}/testdata/fuzz and
+# the golden interchange files; the workload corpora are seeded from the
+# testdata/workloads scenario pack.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./sched/graph -run '^$$' -fuzz '^FuzzGraphFromDOT$$' -fuzztime $(FUZZTIME)
@@ -75,6 +76,16 @@ fuzz:
 	$(GO) test ./sched/system -run '^$$' -fuzz '^FuzzSystemFromDOT$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./sched/system -run '^$$' -fuzz '^FuzzSystemFromJSON$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./sched -run '^$$' -fuzz '^FuzzDeltaFromJSON$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./sched/workload -run '^$$' -fuzz '^FuzzWorkloadSTG$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./sched/workload -run '^$$' -fuzz '^FuzzWorkloadJSON$$' -fuzztime $(FUZZTIME)
+
+# atlas regenerates the README results atlas in one command: every
+# topology family x algorithm x heterogeneity on one seeded instance,
+# every schedule validated + replay-checked, spliced between the README's
+# atlas markers. Deterministic: a second run leaves README.md untouched
+# (CI asserts byte identity).
+atlas:
+	$(GO) run ./cmd/experiments -atlas -algos BSA,DLS,HEFT,CPOP -readme README.md
 
 # service-test runs the scheduling service's handler + drain suite under
 # the race detector, plus the end-to-end test that builds and SIGTERMs a

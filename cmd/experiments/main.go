@@ -7,6 +7,8 @@
 //	experiments [-figure 3|4|5|6|7|0] [-full] [-procs 16] [-reps N]
 //	            [-seed N] [-algos DLS,BSA,HEFT,CPOP] [-out dir] [-plot]
 //	experiments -example        # the Table 1 / Figure 2 worked example
+//	experiments -atlas [-readme README.md]   # results atlas: every topology
+//	                            # family x algorithm x het, replay-validated
 //
 // -figure 0 (default) runs all five figures. Without -full a reduced size
 // sweep runs in seconds; -full uses the paper's complete design (sizes
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -47,6 +50,8 @@ func run() error {
 	plot := flag.Bool("plot", false, "print ASCII plots in addition to tables")
 	example := flag.Bool("example", false, "run the Table 1 / Figure 2 worked example and exit")
 	ablation := flag.Bool("ablation", false, "run the BSA design-choice ablation study and exit")
+	atlas := flag.Bool("atlas", false, "regenerate the results atlas (every topology family x algorithm x het) and exit")
+	readme := flag.String("readme", "", "with -atlas: README file whose atlas markers are rewritten in place")
 	workers := flag.Int("workers", 0, "parallel scenario-cell workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "stream per-cell progress to stderr during figure runs")
 	flag.Parse()
@@ -108,6 +113,10 @@ func run() error {
 		cfg.Algorithms = append(cfg.Algorithms, experiment.Algorithm(strings.ToUpper(a)))
 	}
 
+	if *atlas {
+		return runAtlas(cfg, *readme)
+	}
+
 	figures := []int{3, 4, 5, 6, 7}
 	if *figure != 0 {
 		figures = []int{*figure}
@@ -146,6 +155,40 @@ func run() error {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+	return nil
+}
+
+// runAtlas regenerates the results atlas — every topology family x
+// algorithm x heterogeneity, replay-validated — prints it, and, when a
+// README path is given, rewrites the file's atlas-marker region in place.
+// The table depends only on the seeds, so a second run is byte-identical
+// (CI asserts exactly that).
+func runAtlas(cfg experiment.Config, readme string) error {
+	a, err := experiment.RunAtlas(cfg)
+	if err != nil {
+		return err
+	}
+	table := a.Markdown()
+	fmt.Print(table)
+	if readme == "" {
+		return nil
+	}
+	old, err := os.ReadFile(readme)
+	if err != nil {
+		return err
+	}
+	next, err := experiment.SpliceAtlas(old, table)
+	if err != nil {
+		return err
+	}
+	if bytes.Equal(next, old) {
+		fmt.Fprintf(os.Stderr, "%s atlas already up to date\n", readme)
+		return nil
+	}
+	if err := os.WriteFile(readme, next, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rewrote the atlas table in %s\n", readme)
 	return nil
 }
 

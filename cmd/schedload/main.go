@@ -7,13 +7,15 @@
 //
 //	schedload [-server URL] [-rps N] [-duration d] [-mix sync=1,async=8,batch=1]
 //	          [-batch N] [-conns N] [-compare] [-fail-on-5xx] [-out FILE]
-//	          [-graph kind] [-n N] [-granularity g] [-topology kind] [-procs N]
-//	          [-algo name] [-seed N]
+//	          [-graph kind] [-workload FILE] [-n N] [-granularity g]
+//	          [-topology kind] [-procs N] [-algo name] [-seed N]
 //
 // Without -server, schedload starts an in-process schedd on a loopback
 // port and drives that — the self-contained mode CI uses. The workload
 // is one generated problem (sched/gen families) submitted over and over
-// with varying seeds.
+// with varying seeds; -workload replays a real imported instance
+// (testdata/workloads, .stg or workflow .json) instead of a generated
+// graph, so BENCH_schedd.json can be produced from real workloads.
 //
 // The default mode is an open loop: requests fire on the target-RPS
 // schedule regardless of how fast responses come back, so a slow server
@@ -44,6 +46,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -52,8 +55,10 @@ import (
 	"time"
 
 	"repro/sched/gen"
+	"repro/sched/graph"
 	_ "repro/sched/register"
 	"repro/sched/service"
+	"repro/sched/workload"
 )
 
 func main() {
@@ -115,6 +120,7 @@ func run() error {
 	failOn5xx := flag.Bool("fail-on-5xx", false, "exit nonzero if any 5xx was observed")
 	out := flag.String("out", "", "write the report here instead of stdout")
 	graphKind := flag.String("graph", "random", "generated graph family (sched/gen kinds)")
+	workloadFile := flag.String("workload", "", "replay a workload instance (.stg or workflow .json) instead of generating -graph")
 	nTasks := flag.Int("n", 40, "approximate task count")
 	granularity := flag.Float64("granularity", 1.0, "mean-exec / mean-comm")
 	topoKind := flag.String("topology", "ring", "generated network family")
@@ -123,16 +129,24 @@ func run() error {
 	seed := flag.Int64("seed", 1, "problem generation seed (job i adds i)")
 	flag.Parse()
 
-	kind, ok := gen.KindByName(*graphKind)
-	if !ok {
-		return fmt.Errorf("unknown -graph %q", *graphKind)
-	}
-	tk, ok := gen.TopoKindByName(*topoKind)
-	if !ok {
-		return fmt.Errorf("unknown -topology %q", *topoKind)
+	tk, err := gen.TopoKindByName(*topoKind)
+	if err != nil {
+		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	g, err := gen.Generate(gen.Spec{Kind: kind, Size: *nTasks, Granularity: *granularity}, rng)
+	var g *graph.Graph
+	graphLabel := *graphKind
+	if *workloadFile != "" {
+		g, err = workload.LoadFile(*workloadFile, workload.Options{Granularity: *granularity})
+		graphLabel = "workload:" + filepath.Base(*workloadFile)
+	} else {
+		var kind gen.Kind
+		kind, err = gen.KindByName(*graphKind)
+		if err != nil {
+			return err
+		}
+		g, err = gen.Generate(gen.Spec{Kind: kind, Size: *nTasks, Granularity: *granularity}, rng)
+	}
 	if err != nil {
 		return err
 	}
@@ -185,7 +199,7 @@ func run() error {
 		CPUs:      runtime.NumCPU(),
 		DurationS: duration.Seconds(),
 		Problem: problemInfo{
-			Graph:    *graphKind,
+			Graph:    graphLabel,
 			Tasks:    g.NumTasks(),
 			Edges:    g.NumEdges(),
 			Topology: *topoKind,

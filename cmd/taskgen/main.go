@@ -40,9 +40,9 @@ func run() error {
 	if *format != "json" && *format != "dot" {
 		return fmt.Errorf("unknown -format %q (want json or dot)", *format)
 	}
-	kind, ok := gen.KindByName(*kindName)
-	if !ok {
-		return fmt.Errorf("unknown kind %q", *kindName)
+	kind, err := gen.KindByName(*kindName)
+	if err != nil {
+		return err
 	}
 
 	g, err := gen.Generate(gen.Spec{Kind: kind, Size: *size, Granularity: *gran}, rand.New(rand.NewSource(*seed)))

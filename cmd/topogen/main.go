@@ -40,9 +40,9 @@ func run() error {
 	if *format != "json" && *format != "dot" {
 		return fmt.Errorf("unknown -format %q (want json or dot)", *format)
 	}
-	kind, ok := gen.TopoKindByName(*kindName)
-	if !ok {
-		return fmt.Errorf("unknown kind %q", *kindName)
+	kind, err := gen.TopoKindByName(*kindName)
+	if err != nil {
+		return err
 	}
 	nw, err := gen.Topology(gen.TopoSpec{Kind: kind, Procs: *procs, Rows: *rows},
 		rand.New(rand.NewSource(*seed)))

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func atlasConfig() Config {
+	cfg := QuickConfig()
+	cfg.Procs = 8
+	cfg.Sizes = []int{40}
+	cfg.Algorithms = []Algorithm{BSA, DLS}
+	return cfg
+}
+
+// TestAtlasCoversEveryFamily proves the atlas reaches the whole TopoKind
+// enum — including the mesh/torus/fat-tree/hierarchical families — with a
+// replay-validated cell for every (algorithm, het) pair.
+func TestAtlasCoversEveryFamily(t *testing.T) {
+	a, err := RunAtlas(atlasConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := AtlasFamilies()
+	if len(a.Rows) != len(families) {
+		t.Fatalf("atlas has %d rows, want %d (one per family)", len(a.Rows), len(families))
+	}
+	for i, r := range a.Rows {
+		if r.Family != families[i] {
+			t.Errorf("row %d is %s, want %s", i, r.Family, families[i])
+		}
+		if r.Procs != 8 || r.Links <= 0 {
+			t.Errorf("%s: got %d procs, %d links", r.Family, r.Procs, r.Links)
+		}
+		if len(r.Cells) != len(a.Algos) {
+			t.Fatalf("%s: %d cell pairs, want %d", r.Family, len(r.Cells), len(a.Algos))
+		}
+		for ai, pair := range r.Cells {
+			for hi, c := range pair {
+				if c.Makespan <= 0 {
+					t.Errorf("%s/%s het=%d: makespan %v", r.Family, a.Algos[ai], hi, c.Makespan)
+				}
+				if c.Simulated > c.Makespan {
+					t.Errorf("%s/%s het=%d: simulated %v exceeds static %v",
+						r.Family, a.Algos[ai], hi, c.Simulated, c.Makespan)
+				}
+			}
+		}
+	}
+}
+
+// TestAtlasDeterministic pins the atlas contract `make atlas` relies on:
+// two runs from the same config render byte-identical markdown.
+func TestAtlasDeterministic(t *testing.T) {
+	first, err := RunAtlas(atlasConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunAtlas(atlasConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Markdown() != second.Markdown() {
+		t.Errorf("atlas not deterministic:\n--- first ---\n%s\n--- second ---\n%s",
+			first.Markdown(), second.Markdown())
+	}
+	for _, family := range AtlasFamilies() {
+		if !strings.Contains(first.Markdown(), "| "+family.String()+" |") {
+			t.Errorf("markdown lacks a row for %s", family)
+		}
+	}
+}
+
+// TestSpliceAtlas proves the README splice is marker-bounded and
+// idempotent (the CI determinism smoke depends on both).
+func TestSpliceAtlas(t *testing.T) {
+	readme := []byte("# title\n\nintro\n\n<!-- atlas:begin -->\nstale table\n<!-- atlas:end -->\n\ntail\n")
+	out, err := SpliceAtlas(readme, "| fresh |\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# title\n\nintro\n\n<!-- atlas:begin -->\n| fresh |\n<!-- atlas:end -->\n\ntail\n"
+	if string(out) != want {
+		t.Errorf("splice:\n%s\nwant:\n%s", out, want)
+	}
+	again, err := SpliceAtlas(out, "| fresh |\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(out) {
+		t.Errorf("splice not idempotent:\n%s\nvs\n%s", again, out)
+	}
+	if _, err := SpliceAtlas([]byte("no markers"), "x"); err == nil {
+		t.Error("missing markers should error")
+	}
+	if _, err := SpliceAtlas([]byte("<!-- atlas:end --><!-- atlas:begin -->"), "x"); err == nil {
+		t.Error("reversed markers should error")
+	}
+}

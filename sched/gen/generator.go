@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"repro/sched/graph"
 )
@@ -64,14 +65,34 @@ func (k Kind) String() string {
 	}
 }
 
-// KindByName resolves a family name as printed by Kind.String.
-func KindByName(name string) (Kind, bool) {
+// KindNames lists every graph family name, in enum order.
+func KindNames() []string {
+	names := make([]string, 0, int(Random)+1)
 	for k := GaussElim; k <= Random; k++ {
-		if k.String() == name {
-			return k, true
+		names = append(names, k.String())
+	}
+	return names
+}
+
+// UnknownKindError is returned by KindByName for a name that matches no
+// graph family; it enumerates the valid names.
+type UnknownKindError struct {
+	Name string
+}
+
+func (e *UnknownKindError) Error() string {
+	return fmt.Sprintf("gen: unknown graph kind %q (valid: %s)", e.Name, strings.Join(KindNames(), ", "))
+}
+
+// KindByName resolves a family name as printed by Kind.String,
+// case-insensitively. Unknown names yield an *UnknownKindError.
+func KindByName(name string) (Kind, error) {
+	for k := GaussElim; k <= Random; k++ {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
 		}
 	}
-	return 0, false
+	return 0, &UnknownKindError{Name: name}
 }
 
 // RegularKinds lists the application-graph families used for the paper's

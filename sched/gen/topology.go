@@ -3,6 +3,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/sched/system"
 )
@@ -30,6 +31,14 @@ const (
 	Tree
 	// Line is a linear processor array.
 	Line
+	// Torus is a 2-D mesh with wraparound links.
+	Torus
+	// FatTree is a two-level leaf-spine fabric (complete bipartite
+	// spines x leaves).
+	FatTree
+	// Hierarchical is a NUMA-like fabric of intra-group cliques joined
+	// by scarce inter-group leader links.
+	Hierarchical
 )
 
 // String returns the family name.
@@ -51,19 +60,45 @@ func (k TopoKind) String() string {
 		return "tree"
 	case Line:
 		return "line"
+	case Torus:
+		return "torus"
+	case FatTree:
+		return "fattree"
+	case Hierarchical:
+		return "hierarchical"
 	default:
 		return fmt.Sprintf("TopoKind(%d)", int(k))
 	}
 }
 
-// TopoKindByName resolves a family name as printed by TopoKind.String.
-func TopoKindByName(name string) (TopoKind, bool) {
-	for k := Ring; k <= Line; k++ {
-		if k.String() == name {
-			return k, true
+// TopoKindNames lists every topology family name, in enum order.
+func TopoKindNames() []string {
+	names := make([]string, 0, int(Hierarchical)+1)
+	for k := Ring; k <= Hierarchical; k++ {
+		names = append(names, k.String())
+	}
+	return names
+}
+
+// UnknownTopoKindError is returned by TopoKindByName for a name that
+// matches no topology family; it enumerates the valid names.
+type UnknownTopoKindError struct {
+	Name string
+}
+
+func (e *UnknownTopoKindError) Error() string {
+	return fmt.Sprintf("gen: unknown topology kind %q (valid: %s)", e.Name, strings.Join(TopoKindNames(), ", "))
+}
+
+// TopoKindByName resolves a family name as printed by TopoKind.String,
+// case-insensitively. Unknown names yield an *UnknownTopoKindError.
+func TopoKindByName(name string) (TopoKind, error) {
+	for k := Ring; k <= Hierarchical; k++ {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
 		}
 	}
-	return 0, false
+	return 0, &UnknownTopoKindError{Name: name}
 }
 
 // EvalTopologies lists the paper's four evaluation topologies.
@@ -80,6 +115,12 @@ type TopoSpec struct {
 	// MinDeg and MaxDeg bound processor degrees for RandomTopo; both 0
 	// selects the paper's [2, 8], clamped to feasibility for tiny Procs.
 	MinDeg, MaxDeg int
+	// Spines is the spine count for FatTree (0 picks max(1, Procs/4)).
+	Spines int
+	// Groups is the group count for Hierarchical (0 picks the largest
+	// divisor of Procs not exceeding its square root, so 8 processors
+	// become 2 groups of 4; a prime count degenerates to one clique).
+	Groups int
 }
 
 // Topology builds the network described by spec. Randomness (RandomTopo
@@ -123,18 +164,42 @@ func Topology(spec TopoSpec, rng *rand.Rand) (*system.Network, error) {
 		}
 		return system.RandomConnected(m, minDeg, maxDeg, rng)
 	case Mesh:
-		rows := spec.Rows
-		if rows == 0 {
-			for rows = 1; (rows+1)*(rows+1) <= m; rows++ {
-			}
-			for m%rows != 0 {
-				rows--
-			}
-		}
-		if rows < 1 || m%rows != 0 {
-			return nil, fmt.Errorf("gen: mesh with %d processors not divisible by %d rows", m, rows)
+		rows, err := meshRows(spec.Rows, m)
+		if err != nil {
+			return nil, err
 		}
 		return system.Mesh2D(rows, m/rows)
+	case Torus:
+		rows, err := meshRows(spec.Rows, m)
+		if err != nil {
+			return nil, err
+		}
+		return system.Torus2D(rows, m/rows)
+	case FatTree:
+		spines := spec.Spines
+		if spines == 0 {
+			spines = m / 4
+			if spines < 1 {
+				spines = 1
+			}
+		}
+		if spines >= m {
+			return nil, fmt.Errorf("gen: fat-tree with %d processors needs fewer than %d spines for at least one leaf", m, m)
+		}
+		return system.FatTree(spines, m-spines)
+	case Hierarchical:
+		groups := spec.Groups
+		if groups == 0 {
+			for groups = 1; (groups+1)*(groups+1) <= m; groups++ {
+			}
+			for m%groups != 0 {
+				groups--
+			}
+		}
+		if groups < 1 || m%groups != 0 {
+			return nil, fmt.Errorf("gen: hierarchical with %d processors not divisible into %d groups", m, groups)
+		}
+		return system.Hierarchical(groups, m/groups)
 	case Star:
 		return system.Star(m)
 	case Tree:
@@ -144,4 +209,20 @@ func Topology(spec TopoSpec, rng *rand.Rand) (*system.Network, error) {
 	default:
 		return nil, fmt.Errorf("gen: unknown topology kind %d", int(spec.Kind))
 	}
+}
+
+// meshRows resolves the row count for Mesh and Torus (0 picks the most
+// square layout dividing m).
+func meshRows(rows, m int) (int, error) {
+	if rows == 0 {
+		for rows = 1; (rows+1)*(rows+1) <= m; rows++ {
+		}
+		for m%rows != 0 {
+			rows--
+		}
+	}
+	if rows < 1 || m%rows != 0 {
+		return 0, fmt.Errorf("gen: mesh with %d processors not divisible by %d rows", m, rows)
+	}
+	return rows, nil
 }

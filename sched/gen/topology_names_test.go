@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTopoKindByName(t *testing.T) {
+	for k := Ring; k <= Hierarchical; k++ {
+		got, err := TopoKindByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("TopoKindByName(%q) = %v, %v", k.String(), got, err)
+		}
+		// Lookup is case-insensitive.
+		upper, err := TopoKindByName(strings.ToUpper(k.String()))
+		if err != nil || upper != k {
+			t.Errorf("TopoKindByName(%q) = %v, %v", strings.ToUpper(k.String()), upper, err)
+		}
+	}
+	_, err := TopoKindByName("banyan")
+	var ue *UnknownTopoKindError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want *UnknownTopoKindError", err)
+	}
+	if ue.Name != "banyan" {
+		t.Errorf("Name = %q", ue.Name)
+	}
+	// The error must enumerate every valid family.
+	for _, name := range TopoKindNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for k := GaussElim; k <= Random; k++ {
+		got, err := KindByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if got, err := KindByName("LaPlAcE"); err != nil || got != Laplace {
+		t.Errorf("case-insensitive KindByName = %v, %v", got, err)
+	}
+	_, err := KindByName("fft2")
+	var ue *UnknownKindError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want *UnknownKindError", err)
+	}
+	for _, name := range KindNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestTopologyNewFamilies(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  TopoSpec
+		procs int
+		links int
+	}{
+		// 8 processors pick the 2x4 layout; only rows wrap (cols=4>2).
+		{"torus default rows", TopoSpec{Kind: Torus, Procs: 8}, 8, 10 + 2},
+		{"torus explicit", TopoSpec{Kind: Torus, Procs: 12, Rows: 3}, 12, 24},
+		// Default spines = procs/4.
+		{"fattree default", TopoSpec{Kind: FatTree, Procs: 8}, 8, 2 * 6},
+		{"fattree explicit", TopoSpec{Kind: FatTree, Procs: 6, Spines: 3}, 6, 9},
+		// Default groups: largest divisor <= sqrt(8) is 2 -> 2x4.
+		{"hierarchical default", TopoSpec{Kind: Hierarchical, Procs: 8}, 8, 2*6 + 1},
+		{"hierarchical explicit", TopoSpec{Kind: Hierarchical, Procs: 12, Groups: 3}, 12, 3*6 + 3},
+		// A prime count degenerates to one clique.
+		{"hierarchical prime", TopoSpec{Kind: Hierarchical, Procs: 7}, 7, 21},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := Topology(tc.spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nw.NumProcs() != tc.procs || nw.NumLinks() != tc.links {
+				t.Fatalf("got %d procs %d links, want %d/%d",
+					nw.NumProcs(), nw.NumLinks(), tc.procs, tc.links)
+			}
+		})
+	}
+
+	if _, err := Topology(TopoSpec{Kind: FatTree, Procs: 4, Spines: 4}, nil); err == nil {
+		t.Error("fat-tree without leaves should fail")
+	}
+	if _, err := Topology(TopoSpec{Kind: Hierarchical, Procs: 8, Groups: 3}, nil); err == nil {
+		t.Error("non-dividing group count should fail")
+	}
+	if _, err := Topology(TopoSpec{Kind: Torus, Procs: 8, Rows: 3}, nil); err == nil {
+		t.Error("non-dividing torus rows should fail")
+	}
+}

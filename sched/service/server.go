@@ -1211,9 +1211,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if !hasDoc(job.Graph) {
 			job.Graph = batch.Graph
 		}
-		if !hasDoc(job.System) && !hasDoc(job.Topology) {
+		if !hasDoc(job.System) && !hasDoc(job.Topology) && job.Topo == nil {
 			job.System = batch.System
 			job.Topology = batch.Topology
+			job.Topo = batch.Topo
 			if job.Het == nil {
 				job.Het = batch.Het
 			}

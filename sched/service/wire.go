@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"repro/sched"
+	"repro/sched/gen"
 	"repro/sched/graph"
 	"repro/sched/system"
 )
@@ -28,9 +29,10 @@ func hasDoc(doc json.RawMessage) bool {
 // is graph.FromJSON's schema, the system document system.SystemFromJSON's
 // and the topology document system.FromJSON's (a bare network).
 //
-// Exactly one of System and Topology must be present. A bare Topology
-// yields a homogeneous system unless Het asks for random min-normalized
-// factors (the paper's heterogeneity model, seeded for reproducibility).
+// Exactly one of System, Topology and Topo must be present. A bare
+// Topology (or a generated Topo) yields a homogeneous system unless Het
+// asks for random min-normalized factors (the paper's heterogeneity
+// model, seeded for reproducibility).
 type ScheduleRequest struct {
 	// Algo selects the algorithm by registry name or alias,
 	// case-insensitively. Empty means the server's default ("bsa").
@@ -42,7 +44,10 @@ type ScheduleRequest struct {
 	System json.RawMessage `json:"system,omitempty"`
 	// Topology is a bare network document; factors default to 1.
 	Topology json.RawMessage `json:"topology,omitempty"`
-	// Het draws random min-normalized factors over Topology.
+	// Topo asks the server to generate a named topology family instead
+	// of shipping a network document.
+	Topo *TopoSpecWire `json:"topo,omitempty"`
+	// Het draws random min-normalized factors over Topology or Topo.
 	Het *HetSpec `json:"het,omitempty"`
 	// Seed drives the algorithm's tie-breaking RNG.
 	Seed int64 `json:"seed,omitempty"`
@@ -97,6 +102,11 @@ func (req *ScheduleRequest) wireDoc() json.RawMessage {
 		key("topology")
 		buf = append(buf, req.Topology...)
 	}
+	if req.Topo != nil {
+		key("topo")
+		t, _ := json.Marshal(req.Topo) // plain int/string struct cannot fail
+		buf = append(buf, t...)
+	}
 	if req.Het != nil {
 		key("het")
 		h, _ := json.Marshal(req.Het) // plain float/int struct cannot fail
@@ -115,6 +125,31 @@ func (req *ScheduleRequest) wireDoc() json.RawMessage {
 		str(req.IdempotencyKey)
 	}
 	return append(buf, '}')
+}
+
+// TopoSpecWire is the wire form of a generated topology: the server
+// builds the named sched/gen family instead of parsing a shipped
+// network document. Equal specs always materialize identical networks,
+// so replicas and WAL replay reconstruct the same system.
+type TopoSpecWire struct {
+	// Kind is the family name (gen.TopoKindByName, case-insensitive):
+	// ring, hypercube, clique, random, mesh, star, tree, line, torus,
+	// fattree, hierarchical.
+	Kind string `json:"kind"`
+	// Procs is the processor count (required).
+	Procs int `json:"procs"`
+	// Rows is the row count for mesh/torus (0 picks the most square).
+	Rows int `json:"rows,omitempty"`
+	// MinDeg/MaxDeg bound degrees for the random family.
+	MinDeg int `json:"min_deg,omitempty"`
+	MaxDeg int `json:"max_deg,omitempty"`
+	// Spines is the spine count for fattree (0 picks procs/4).
+	Spines int `json:"spines,omitempty"`
+	// Groups is the group count for hierarchical (0 picks the most
+	// square divisor).
+	Groups int `json:"groups,omitempty"`
+	// Seed drives the random family's generator; 0 means 1.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // HetSpec mirrors bsasched's -het flag: factors drawn uniformly from
@@ -192,15 +227,17 @@ func viewOfRecord(rec *Record) *JobView {
 
 // BatchRequest is the wire form of POST /v1/batch: many scheduling
 // problems in one round trip. The top-level Graph / System / Topology /
-// Het act as defaults — a job with no graph inherits Graph, and a job
-// with neither system nor topology inherits the System/Topology/Het
-// group — so a parameter sweep over one problem ships the documents
-// once. Byte-identical documents within a batch are also compiled once,
-// amortizing parse + validation cost across the jobs that share them.
+// Topo / Het act as defaults — a job with no graph inherits Graph, and
+// a job with no system, topology or topo inherits the
+// System/Topology/Topo/Het group — so a parameter sweep over one
+// problem ships the documents once. Byte-identical documents within a
+// batch are also compiled once, amortizing parse + validation cost
+// across the jobs that share them.
 type BatchRequest struct {
 	Graph    json.RawMessage `json:"graph,omitempty"`
 	System   json.RawMessage `json:"system,omitempty"`
 	Topology json.RawMessage `json:"topology,omitempty"`
+	Topo     *TopoSpecWire   `json:"topo,omitempty"`
 	Het      *HetSpec        `json:"het,omitempty"`
 	// Jobs are the individual submissions; each is accepted (or rejected)
 	// independently.
@@ -330,6 +367,7 @@ func validationDetail(err error) string {
 		dupEdge    *graph.DuplicateEdgeError
 		cycle      *graph.CycleError
 		factor     *system.FactorError
+		unkTopo    *gen.UnknownTopoKindError
 		dUnkProc   *sched.UnknownProcError
 		dUnkTask   *sched.UnknownTaskError
 		dUnkLink   *sched.UnknownLinkError
@@ -358,6 +396,8 @@ func validationDetail(err error) string {
 		return "graph_cycle"
 	case errors.As(err, &factor):
 		return "system_factor"
+	case errors.As(err, &unkTopo):
+		return "unknown_topo_kind"
 	case errors.Is(err, sched.ErrEmptyDeltaName):
 		return "delta_empty_name"
 	case errors.Is(err, sched.ErrNoProcessors):
@@ -455,10 +495,18 @@ func (req *ScheduleRequest) compile(defaultAlgo string, cc *compileCache) (sched
 		cc.putGraph(req.Graph, g)
 	}
 
+	sources := 0
+	for _, present := range []bool{hasDoc(req.System), hasDoc(req.Topology), req.Topo != nil} {
+		if present {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "system, topology and topo are mutually exclusive"}
+	}
+
 	var sys *system.System
 	switch {
-	case hasDoc(req.System) && hasDoc(req.Topology):
-		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "system and topology are mutually exclusive"}
 	case hasDoc(req.System):
 		if req.Het != nil {
 			return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "het applies to topology, not to a full system document"}
@@ -479,22 +527,27 @@ func (req *ScheduleRequest) compile(defaultAlgo string, cc *compileCache) (sched
 			if err != nil {
 				return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("topology: %v", err)}
 			}
-			if h := req.Het; h != nil {
-				seed := h.Seed
-				if seed == 0 {
-					seed = 1
-				}
-				sys, err = system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), h.Lo, h.Hi, rand.New(rand.NewSource(seed)))
-				if err != nil {
-					return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("het: %v", err), Detail: validationDetail(err)}
-				}
-			} else {
-				sys = system.NewUniform(nw, g.NumTasks(), g.NumEdges())
+			var body *ErrorBody
+			if sys, body = materializeSystem(nw, g, req.Het); body != nil {
+				return sched.Problem{}, nil, body
+			}
+			cc.putSystem(key, sys)
+		}
+	case req.Topo != nil:
+		spec, _ := json.Marshal(req.Topo) // plain int/string struct cannot fail
+		key := systemKey(append([]byte("topo|"), spec...), g, req.Het)
+		if sys, ok = cc.system(key); !ok {
+			nw, body := req.Topo.build()
+			if body != nil {
+				return sched.Problem{}, nil, body
+			}
+			if sys, body = materializeSystem(nw, g, req.Het); body != nil {
+				return sched.Problem{}, nil, body
 			}
 			cc.putSystem(key, sys)
 		}
 	default:
-		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "missing system or topology document"}
+		return sched.Problem{}, nil, &ErrorBody{Code: CodeBadRequest, Message: "missing system, topology or topo"}
 	}
 
 	// Problem.Validate is the library's public well-formedness gate; going
@@ -514,6 +567,51 @@ func (req *ScheduleRequest) compile(defaultAlgo string, cc *compileCache) (sched
 		return sched.Problem{}, nil, &ErrorBody{Code: CodeUnknownAlgorithm, Message: err.Error()}
 	}
 	return p, scheduler, nil
+}
+
+// build materializes the named topology family. Equal specs yield
+// identical networks: the only randomness (the random family) is drawn
+// from the spec's own seed.
+func (t *TopoSpecWire) build() (*system.Network, *ErrorBody) {
+	kind, err := gen.TopoKindByName(t.Kind)
+	if err != nil {
+		return nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("topo: %v", err), Detail: validationDetail(err)}
+	}
+	seed := t.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	nw, err := gen.Topology(gen.TopoSpec{
+		Kind:   kind,
+		Procs:  t.Procs,
+		Rows:   t.Rows,
+		MinDeg: t.MinDeg,
+		MaxDeg: t.MaxDeg,
+		Spines: t.Spines,
+		Groups: t.Groups,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("topo: %v", err)}
+	}
+	return nw, nil
+}
+
+// materializeSystem turns a bare network into a System: uniform factors,
+// or the paper's seeded random min-normalized heterogeneity when het is
+// present.
+func materializeSystem(nw *system.Network, g *graph.Graph, h *HetSpec) (*system.System, *ErrorBody) {
+	if h == nil {
+		return system.NewUniform(nw, g.NumTasks(), g.NumEdges()), nil
+	}
+	seed := h.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	sys, err := system.NewRandomMinNormalized(nw, g.NumTasks(), g.NumEdges(), h.Lo, h.Hi, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("het: %v", err), Detail: validationDetail(err)}
+	}
+	return sys, nil
 }
 
 // response converts a finished sched.Result to its wire form.

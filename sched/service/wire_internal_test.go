@@ -25,7 +25,12 @@ func TestWireDocMatchesMarshal(t *testing.T) {
 			TimeoutMS:      1500,
 			IdempotencyKey: "sweep \"quoted\" / unicode ü\n",
 		},
-		"topology":     {Topology: json.RawMessage(`{"links":[]}`), Graph: compactGraph},
+		"topology": {Topology: json.RawMessage(`{"links":[]}`), Graph: compactGraph},
+		"topo": {
+			Graph: compactGraph,
+			Topo:  &TopoSpecWire{Kind: "hierarchical", Procs: 8, Groups: 2, Seed: 5},
+			Het:   &HetSpec{Lo: 1, Hi: 10, Seed: 3},
+		},
 		"absent-graph": {Algo: "heft"},
 		"null-graph":   {Graph: json.RawMessage(`null`), Seed: 9},
 	}

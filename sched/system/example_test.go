@@ -1,0 +1,45 @@
+package system_test
+
+import (
+	"fmt"
+
+	"repro/sched/system"
+)
+
+// ExampleTorus2D builds a 4x4 torus: a mesh whose rows and columns wrap
+// around, so every processor has exactly four neighbours.
+func ExampleTorus2D() {
+	nw, err := system.Torus2D(4, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d processors, %d links, degree %d\n",
+		nw.NumProcs(), nw.NumLinks(), nw.Degree(0))
+	// Output: 16 processors, 32 links, degree 4
+}
+
+// ExampleFatTree builds a two-level leaf-spine fabric: 2 spines, each
+// connected to all 6 leaves. Leaf-to-leaf messages cross a spine and
+// contend there.
+func ExampleFatTree() {
+	nw, err := system.FatTree(2, 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d processors, %d links, spine degree %d\n",
+		nw.NumProcs(), nw.NumLinks(), nw.Degree(0))
+	// Output: 8 processors, 12 links, spine degree 6
+}
+
+// ExampleHierarchical builds a NUMA-like fabric: two cliques of four,
+// joined by a single leader-to-leader link — the scarce resource a
+// contention-aware scheduler must respect.
+func ExampleHierarchical() {
+	nw, err := system.Hierarchical(2, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d processors, %d links (%d per group + 1 between)\n",
+		nw.NumProcs(), nw.NumLinks(), 6)
+	// Output: 8 processors, 13 links (6 per group + 1 between)
+}

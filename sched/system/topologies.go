@@ -107,6 +107,91 @@ func Mesh2D(rows, cols int) (*Network, error) {
 	return b.Build()
 }
 
+// Torus2D returns a rows x cols 2-D torus: a mesh plus wraparound links
+// closing every row and column. A dimension of length 1 or 2 gets no
+// wraparound (it would self-loop or duplicate the mesh link), so small
+// tori degenerate gracefully toward the mesh.
+func Torus2D(rows, cols int) (*Network, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("system: invalid torus %dx%d", rows, cols)
+	}
+	b, err := newProcs(rows * cols)
+	if err != nil {
+		return nil, err
+	}
+	at := func(r, c int) ProcID { return ProcID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.Connect(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				b.Connect(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	for r := 0; r < rows && cols > 2; r++ {
+		b.Connect(at(r, cols-1), at(r, 0))
+	}
+	for c := 0; c < cols && rows > 2; c++ {
+		b.Connect(at(rows-1, c), at(0, c))
+	}
+	return b.Build()
+}
+
+// FatTree returns a two-level leaf-spine fabric: every spine connects to
+// every leaf (a complete bipartite graph), the folded-Clos core of a
+// fat-tree. The model has no dedicated switch nodes, so spines are
+// ordinary processors P1..P(spines) and leaves follow; leaf-to-leaf
+// traffic crosses a spine and contends there, which is exactly the
+// behaviour the scheduler should see.
+func FatTree(spines, leaves int) (*Network, error) {
+	if spines < 1 || leaves < 1 {
+		return nil, fmt.Errorf("system: fat-tree needs at least 1 spine and 1 leaf, got %d/%d", spines, leaves)
+	}
+	b, err := newProcs(spines + leaves)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < spines; s++ {
+		for l := 0; l < leaves; l++ {
+			b.Connect(ProcID(s), ProcID(spines+l))
+		}
+	}
+	return b.Build()
+}
+
+// Hierarchical returns a NUMA-like fabric of `groups` cliques of
+// `perGroup` processors each: links inside a group are plentiful, while
+// groups are joined only through their leaders (each group's first
+// processor) arranged in a ring — one scarce, contended link per group
+// boundary. Two groups share a single link; a dimension of 1 degenerates
+// to a plain clique (groups=1) or a leader ring (perGroup=1).
+func Hierarchical(groups, perGroup int) (*Network, error) {
+	if groups < 1 || perGroup < 1 {
+		return nil, fmt.Errorf("system: hierarchical needs at least 1 group of 1, got %dx%d", groups, perGroup)
+	}
+	b, err := newProcs(groups * perGroup)
+	if err != nil {
+		return nil, err
+	}
+	leader := func(g int) ProcID { return ProcID(g * perGroup) }
+	for g := 0; g < groups; g++ {
+		for i := 0; i < perGroup; i++ {
+			for j := i + 1; j < perGroup; j++ {
+				b.Connect(ProcID(g*perGroup+i), ProcID(g*perGroup+j))
+			}
+		}
+	}
+	for g := 0; g+1 < groups; g++ {
+		b.Connect(leader(g), leader(g+1))
+	}
+	if groups > 2 {
+		b.Connect(leader(groups-1), leader(0))
+	}
+	return b.Build()
+}
+
 // Star returns a star with P1 at the centre.
 func Star(m int) (*Network, error) {
 	b, err := newProcs(m)

@@ -92,6 +92,106 @@ func TestMesh2D(t *testing.T) {
 	}
 }
 
+func TestTorus2D(t *testing.T) {
+	nw, err := Torus2D(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full wraparound: every processor has degree 4, links = 2*m.
+	if nw.NumProcs() != 12 || nw.NumLinks() != 24 {
+		t.Fatalf("torus3x4: m=%d links=%d, want 12/24", nw.NumProcs(), nw.NumLinks())
+	}
+	for p := 0; p < 12; p++ {
+		if nw.Degree(ProcID(p)) != 4 {
+			t.Fatalf("torus degree(%d)=%d, want 4", p, nw.Degree(ProcID(p)))
+		}
+	}
+	// Dimensions of length 2 get no wraparound (it would duplicate the
+	// mesh link), so a 2x4 torus only closes the rows.
+	small, err := Torus2D(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumLinks() != 2*3+4+2 {
+		t.Fatalf("torus2x4 links=%d, want 12", small.NumLinks())
+	}
+	// 1x1 and 2x2 degenerate to the mesh.
+	if nw, err := Torus2D(2, 2); err != nil || nw.NumLinks() != 4 {
+		t.Errorf("torus2x2: %v links=%d, want mesh's 4", err, nw.NumLinks())
+	}
+	if _, err := Torus2D(0, 3); err == nil {
+		t.Error("torus 0x3 should fail")
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	nw, err := FatTree(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumProcs() != 8 || nw.NumLinks() != 12 {
+		t.Fatalf("fattree2x6: m=%d links=%d, want 8/12", nw.NumProcs(), nw.NumLinks())
+	}
+	// Spines see every leaf; leaves see every spine and no other leaf.
+	for s := 0; s < 2; s++ {
+		if nw.Degree(ProcID(s)) != 6 {
+			t.Fatalf("spine degree=%d, want 6", nw.Degree(ProcID(s)))
+		}
+	}
+	for l := 2; l < 8; l++ {
+		if nw.Degree(ProcID(l)) != 2 {
+			t.Fatalf("leaf degree=%d, want 2", nw.Degree(ProcID(l)))
+		}
+	}
+	for _, link := range nw.Links() {
+		if link.A >= 2 && link.B >= 2 {
+			t.Fatalf("leaf-leaf link %v in a bipartite fabric", link)
+		}
+	}
+	if _, err := FatTree(0, 4); err == nil {
+		t.Error("fat-tree without spines should fail")
+	}
+	if _, err := FatTree(2, 0); err == nil {
+		t.Error("fat-tree without leaves should fail")
+	}
+}
+
+func TestHierarchical(t *testing.T) {
+	nw, err := Hierarchical(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 cliques of 4 (6 links each) + a 3-leader ring.
+	if nw.NumProcs() != 12 || nw.NumLinks() != 3*6+3 {
+		t.Fatalf("hier3x4: m=%d links=%d, want 12/21", nw.NumProcs(), nw.NumLinks())
+	}
+	// Non-leader cross-group links must not exist.
+	for _, l := range nw.Links() {
+		ga, gb := int(l.A)/4, int(l.B)/4
+		if ga != gb && (int(l.A)%4 != 0 || int(l.B)%4 != 0) {
+			t.Fatalf("non-leader inter-group link %v", l)
+		}
+	}
+	// Two groups share exactly one link.
+	two, err := Hierarchical(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.NumLinks() != 2*3+1 {
+		t.Fatalf("hier2x3 links=%d, want 7", two.NumLinks())
+	}
+	// Degenerate shapes: one group is a clique, groups of one a ring.
+	if nw, err := Hierarchical(1, 5); err != nil || nw.NumLinks() != 10 {
+		t.Errorf("hier1x5: %v links=%d, want clique's 10", err, nw.NumLinks())
+	}
+	if nw, err := Hierarchical(5, 1); err != nil || nw.NumLinks() != 5 {
+		t.Errorf("hier5x1: %v links=%d, want ring's 5", err, nw.NumLinks())
+	}
+	if _, err := Hierarchical(0, 2); err == nil {
+		t.Error("hierarchical 0x2 should fail")
+	}
+}
+
 func TestStarAndTreeAndLine(t *testing.T) {
 	nw, err := Star(8)
 	if err != nil || nw.Degree(0) != 7 {

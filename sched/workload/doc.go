@@ -1,0 +1,29 @@
+// Package workload imports standard benchmark task graphs into the
+// sched/graph representation.
+//
+// Two importers are provided:
+//
+//   - FromSTG parses the STG standard-task-graph text format used by the
+//     Kasahara-lab benchmark suite (one task per line: index, processing
+//     time, predecessor count, predecessor indices). STG carries no
+//     communication costs, so every edge receives a uniform nominal cost
+//     derived from the mean execution cost and Options.Granularity —
+//     the same CCR convention the in-repo generator uses.
+//
+//   - FromWorkflowJSON parses a WfCommons/Pegasus-style scientific
+//     workflow JSON subset (workflow.tasks with name, runtime, parents
+//     and files). Edge costs are derived from the bytes a child reads
+//     among its parent's output files; edges without shared files fall
+//     back to the Granularity convention.
+//
+// Both importers produce deterministic task and edge ordering (file
+// order), report malformed inputs with typed errors (*ParseError,
+// *UnknownTaskError, *UnknownFormatError, *OptionError) and let
+// structural violations surface as the sched/graph builder's own typed
+// errors (cycles, duplicate edges, non-finite costs). LoadFile
+// dispatches on the file extension, so tools can accept either format
+// through one flag.
+//
+// A committed scenario pack of small instances in both formats lives at
+// the repository root under testdata/workloads.
+package workload

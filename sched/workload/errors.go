@@ -1,0 +1,52 @@
+package workload
+
+import "fmt"
+
+// ParseError reports malformed workload input. Line is 1-based for the
+// line-oriented STG format and 0 when the error is not line-addressable
+// (workflow JSON documents).
+type ParseError struct {
+	Format string // "stg" or "workflow-json"
+	Line   int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("workload: %s line %d: %s", e.Format, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("workload: %s: %s", e.Format, e.Msg)
+}
+
+// UnknownTaskError reports a workflow task whose parents list names a
+// task that does not appear in the document.
+type UnknownTaskError struct {
+	Task   string // the referencing task
+	Parent string // the missing parent
+}
+
+func (e *UnknownTaskError) Error() string {
+	return fmt.Sprintf("workload: task %q lists unknown parent %q", e.Task, e.Parent)
+}
+
+// UnknownFormatError is returned by LoadFile for a file extension no
+// importer claims.
+type UnknownFormatError struct {
+	Path string
+	Ext  string
+}
+
+func (e *UnknownFormatError) Error() string {
+	return fmt.Sprintf("workload: %s: unknown workload format %q (want .stg or .json)", e.Path, e.Ext)
+}
+
+// OptionError reports an Options field that is not a positive, finite
+// number.
+type OptionError struct {
+	Field string
+	Value float64
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("workload: option %s must be positive and finite, got %v", e.Field, e.Value)
+}

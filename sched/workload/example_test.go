@@ -1,0 +1,38 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/sched/workload"
+)
+
+// ExampleFromSTG imports a four-task diamond written in the STG text
+// format. STG carries no communication costs, so edges get the uniform
+// meanExec/Granularity cost.
+func ExampleFromSTG() {
+	const stg = `4
+0 2 0
+1 3 1 0
+2 4 1 0
+3 2 2 1 2
+`
+	g, err := workload.FromSTG([]byte(stg), workload.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d tasks, %d edges, edge cost %.2f\n", g.NumTasks(), g.NumEdges(), g.Edge(0).Cost)
+	// Output: 4 tasks, 4 edges, edge cost 2.75
+}
+
+// ExampleLoadFile loads a workflow-JSON instance from the committed
+// scenario pack; the extension picks the importer.
+func ExampleLoadFile() {
+	g, err := workload.LoadFile("../../testdata/workloads/montage-small.json", workload.Options{})
+	if err != nil {
+		panic(err)
+	}
+	last := g.Tasks()[g.NumTasks()-1]
+	fmt.Printf("%s ... %s: %d tasks, %d edges\n",
+		g.Task(0).Name, last.Name, g.NumTasks(), g.NumEdges())
+	// Output: mProject_1 ... mAdd: 11 tasks, 16 edges
+}

@@ -1,0 +1,97 @@
+package workload_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/sched/graph"
+	"repro/sched/workload"
+)
+
+// seedPack adds every committed scenario-pack instance matching the
+// glob as a fuzz seed, so the fuzzers start from real accepted inputs.
+func seedPack(f *testing.F, pattern string) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "workloads", pattern))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatalf("no scenario-pack seeds match %q", pattern)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+}
+
+// importChecks verifies the contract every accepted import must honor:
+// the same bytes import to the same graph (determinism), and the graph
+// round-trips through the canonical JSON interchange form as a fixpoint
+// — save(load(x)) reloads cleanly and re-saves to the same bytes.
+func importChecks(t *testing.T, g *graph.Graph, reload func() (*graph.Graph, error)) {
+	t.Helper()
+	j1, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatalf("save(load(x)): %v", err)
+	}
+	g2, err := reload()
+	if err != nil {
+		t.Fatalf("second import of accepted input failed: %v", err)
+	}
+	j2, err := g2.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("import is not deterministic:\nfirst:  %q\nsecond: %q", j1, j2)
+	}
+	g3, err := graph.FromJSON(j1)
+	if err != nil {
+		t.Fatalf("graph.FromJSON rejected an imported graph: %v\njson: %q", err, j1)
+	}
+	j3, err := g3.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j3) {
+		t.Fatalf("canonical JSON of imported graph is not a fixpoint:\nfirst:  %q\nsecond: %q", j1, j3)
+	}
+}
+
+// FuzzWorkloadSTG: FromSTG must never panic, and any STG input it
+// accepts must import deterministically and round-trip through the
+// graph JSON interchange form.
+func FuzzWorkloadSTG(f *testing.F) {
+	seedPack(f, "*.stg")
+	f.Add([]byte("4\n0 2 0\n1 3 1 0\n2 4 1 0\n3 2 2 1 2\n"))
+	f.Add([]byte("1\n0 0 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := workload.FromSTG(data, workload.Options{})
+		if err != nil {
+			return
+		}
+		importChecks(t, g, func() (*graph.Graph, error) {
+			return workload.FromSTG(data, workload.Options{})
+		})
+	})
+}
+
+// FuzzWorkloadJSON: the same contract for the workflow-JSON importer.
+func FuzzWorkloadJSON(f *testing.F) {
+	seedPack(f, "*.json")
+	f.Add([]byte(`{"workflow":{"tasks":[{"name":"a","runtime":2},{"name":"b","runtime":3,"parents":["a"]}]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := workload.FromWorkflowJSON(data, workload.Options{})
+		if err != nil {
+			return
+		}
+		importChecks(t, g, func() (*graph.Graph, error) {
+			return workload.FromWorkflowJSON(data, workload.Options{})
+		})
+	})
+}

@@ -1,0 +1,68 @@
+package workload
+
+import "math"
+
+// Options control cost scaling during import. The zero value selects
+// every default, so workload.Options{} is always valid.
+type Options struct {
+	// ExecScale multiplies every task cost after parsing (applied after
+	// ZeroCost substitution). Unit-cost STG instances become
+	// heterogeneity-meaningful by scaling them into the same cost range
+	// the generator emits. Default 1.
+	ExecScale float64
+
+	// Granularity sets the nominal communication cost for inputs that do
+	// not carry one (all STG edges; workflow edges without shared file
+	// data): cost = meanExec / Granularity, the CCR convention shared
+	// with gen.Spec. Granularity 1 makes communication as expensive as
+	// computation on average — the contention-sensitive regime. Default 1.
+	Granularity float64
+
+	// ZeroCost replaces a parsed task cost of exactly zero (STG dummy
+	// nodes kept via KeepDummies, zero-runtime workflow tasks) so the
+	// graph.Builder positive-cost rule holds. Negative or non-finite
+	// parsed costs are NOT substituted; they surface as the builder's
+	// *graph.TaskCostError. Default 1.
+	ZeroCost float64
+
+	// KeepDummies keeps STG's zero-cost entry/exit dummy tasks (their
+	// cost becomes ZeroCost) instead of dropping them and their edges.
+	// Default false: the dummies carry no work and only exist to make
+	// the STG graph single-entry/single-exit.
+	KeepDummies bool
+
+	// BytesPerUnit converts workflow file sizes (bytes) into
+	// communication cost units. Default 1 MiB per unit, so a 64 MiB
+	// intermediate file costs 64 time units on a unit-factor link.
+	BytesPerUnit float64
+}
+
+// norm fills defaults and validates; it returns the first bad field.
+func (o Options) norm() (Options, error) {
+	if o.ExecScale == 0 {
+		o.ExecScale = 1
+	}
+	if o.Granularity == 0 {
+		o.Granularity = 1
+	}
+	if o.ZeroCost == 0 {
+		o.ZeroCost = 1
+	}
+	if o.BytesPerUnit == 0 {
+		o.BytesPerUnit = 1 << 20
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"ExecScale", o.ExecScale},
+		{"Granularity", o.Granularity},
+		{"ZeroCost", o.ZeroCost},
+		{"BytesPerUnit", o.BytesPerUnit},
+	} {
+		if !(f.v > 0) || math.IsInf(f.v, 0) {
+			return o, &OptionError{Field: f.name, Value: f.v}
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/sched/graph"
+)
+
+const stgFormat = "stg"
+
+type stgTask struct {
+	line  int // 1-based source line, for error reporting
+	cost  float64
+	preds []int
+}
+
+// FromSTG parses the STG standard-task-graph text format: a header line
+// with the task count, then one line per task of the form
+//
+//	index processing-time npred pred-1 ... pred-npred
+//
+// Comments start with '#' and run to end of line; blank lines are
+// ignored. Task indices must be sequential from 0. The file may contain
+// exactly the declared number of tasks, or two more (the suite's
+// zero-cost entry/exit dummies); unless Options.KeepDummies is set, a
+// zero-cost predecessor-less first task and a zero-cost successor-less
+// last task are dropped together with their edges.
+//
+// STG carries no communication costs: every edge gets the uniform
+// nominal cost meanExec/Options.Granularity. Task order (and therefore
+// graph.TaskID assignment) follows the file; edges follow each task's
+// predecessor list.
+//
+// Malformed input is reported as *ParseError with a 1-based line
+// number; structural violations (self-loops, duplicate edges, cycles,
+// non-finite costs) surface as the sched/graph builder's typed errors.
+func FromSTG(data []byte, opts Options) (*graph.Graph, error) {
+	opts, err := opts.norm()
+	if err != nil {
+		return nil, err
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	declared := -1
+	var tasks []stgTask
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if declared < 0 {
+			if len(fields) != 1 {
+				return nil, &ParseError{Format: stgFormat, Line: lineNo, Msg: "header must be a single task count"}
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 0 {
+				return nil, &ParseError{Format: stgFormat, Line: lineNo, Msg: fmt.Sprintf("bad task count %q", fields[0])}
+			}
+			declared = n
+			continue
+		}
+		t, perr := parseSTGTask(fields, len(tasks), lineNo)
+		if perr != nil {
+			return nil, perr
+		}
+		tasks = append(tasks, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, &ParseError{Format: stgFormat, Line: lineNo + 1, Msg: err.Error()}
+	}
+	if declared < 0 {
+		return nil, &ParseError{Format: stgFormat, Msg: "empty input"}
+	}
+	if len(tasks) != declared && len(tasks) != declared+2 {
+		return nil, &ParseError{Format: stgFormat, Msg: fmt.Sprintf(
+			"declared %d tasks, found %d (want %d, or %d with entry/exit dummies)",
+			declared, len(tasks), declared, declared+2)}
+	}
+
+	// Validate predecessor ranges up front (with line numbers) and track
+	// which tasks have successors, which the dummy-sink rule needs.
+	hasSucc := make([]bool, len(tasks))
+	for _, t := range tasks {
+		for _, p := range t.preds {
+			if p < 0 || p >= len(tasks) {
+				return nil, &ParseError{Format: stgFormat, Line: t.line,
+					Msg: fmt.Sprintf("predecessor %d out of range [0,%d)", p, len(tasks))}
+			}
+			hasSucc[p] = true
+		}
+	}
+
+	drop := make([]bool, len(tasks))
+	if !opts.KeepDummies && len(tasks) > 1 {
+		if tasks[0].cost == 0 && len(tasks[0].preds) == 0 {
+			drop[0] = true
+		}
+		if last := len(tasks) - 1; tasks[last].cost == 0 && !hasSucc[last] {
+			drop[last] = true
+		}
+	}
+
+	b := graph.NewBuilder()
+	id := make([]graph.TaskID, len(tasks))
+	kept, sum := 0, 0.0
+	for i, t := range tasks {
+		if drop[i] {
+			continue
+		}
+		cost := t.cost
+		if cost == 0 {
+			cost = opts.ZeroCost
+		}
+		cost *= opts.ExecScale
+		id[i] = b.AddTask(fmt.Sprintf("n%d", i), cost)
+		kept++
+		sum += cost
+	}
+	if kept == 0 {
+		return nil, &ParseError{Format: stgFormat, Msg: "no tasks"}
+	}
+	comm := sum / float64(kept) / opts.Granularity
+	for i, t := range tasks {
+		if drop[i] {
+			continue
+		}
+		for _, p := range t.preds {
+			if drop[p] {
+				continue
+			}
+			b.AddEdge(id[p], id[i], comm)
+		}
+	}
+	return b.Build()
+}
+
+// ReadSTG parses an STG document from r (see FromSTG).
+func ReadSTG(r io.Reader, opts Options) (*graph.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromSTG(data, opts)
+}
+
+func parseSTGTask(fields []string, want, line int) (stgTask, error) {
+	t := stgTask{line: line}
+	idx, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return t, &ParseError{Format: stgFormat, Line: line, Msg: fmt.Sprintf("bad task index %q", fields[0])}
+	}
+	if idx != want {
+		return t, &ParseError{Format: stgFormat, Line: line, Msg: fmt.Sprintf("task index %d out of order (want %d)", idx, want)}
+	}
+	if len(fields) < 3 {
+		return t, &ParseError{Format: stgFormat, Line: line, Msg: "task line needs index, processing time and predecessor count"}
+	}
+	t.cost, err = strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return t, &ParseError{Format: stgFormat, Line: line, Msg: fmt.Sprintf("bad processing time %q", fields[1])}
+	}
+	npred, err := strconv.Atoi(fields[2])
+	if err != nil || npred < 0 {
+		return t, &ParseError{Format: stgFormat, Line: line, Msg: fmt.Sprintf("bad predecessor count %q", fields[2])}
+	}
+	if len(fields) != 3+npred {
+		return t, &ParseError{Format: stgFormat, Line: line,
+			Msg: fmt.Sprintf("predecessor count %d does not match %d listed", npred, len(fields)-3)}
+	}
+	t.preds = make([]int, npred)
+	for i, f := range fields[3:] {
+		t.preds[i], err = strconv.Atoi(f)
+		if err != nil {
+			return t, &ParseError{Format: stgFormat, Line: line, Msg: fmt.Sprintf("bad predecessor index %q", f)}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,199 @@
+package workload_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/sched/graph"
+	"repro/sched/workload"
+)
+
+const diamondSTG = "4\n0 2 0\n1 3 1 0\n2 4 1 0\n3 2 2 1 2\n"
+
+func mustSTG(t *testing.T, src string, opts workload.Options) *graph.Graph {
+	t.Helper()
+	g, err := workload.FromSTG([]byte(src), opts)
+	if err != nil {
+		t.Fatalf("FromSTG: %v", err)
+	}
+	return g
+}
+
+func TestSTGDiamond(t *testing.T) {
+	g := mustSTG(t, diamondSTG, workload.Options{})
+	if g.NumTasks() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %d tasks %d edges, want 4/4", g.NumTasks(), g.NumEdges())
+	}
+	wantCost := []float64{2, 3, 4, 2}
+	for i, want := range wantCost {
+		task := g.Task(graph.TaskID(i))
+		if task.Cost != want {
+			t.Errorf("task %d cost %v, want %v", i, task.Cost, want)
+		}
+		if wantName := []string{"n0", "n1", "n2", "n3"}[i]; task.Name != wantName {
+			t.Errorf("task %d name %q, want %q", i, task.Name, wantName)
+		}
+	}
+	// STG has no comm costs: every edge gets meanExec/granularity.
+	wantComm := (2.0 + 3 + 4 + 2) / 4
+	for _, e := range g.Edges() {
+		if e.Cost != wantComm {
+			t.Errorf("edge %d->%d cost %v, want %v", e.From, e.To, e.Cost, wantComm)
+		}
+	}
+}
+
+func TestSTGCommentsAndBlankLines(t *testing.T) {
+	src := "# header comment\n\n4 # count\n0 2 0\n\n1 3 1 0\n2 4 1 0 # fan\n3 2 2 1 2\n# trailer\n"
+	g := mustSTG(t, src, workload.Options{})
+	if g.NumTasks() != 4 {
+		t.Fatalf("got %d tasks, want 4", g.NumTasks())
+	}
+}
+
+func TestSTGDummyDropping(t *testing.T) {
+	g, err := workload.LoadFile("../../testdata/workloads/sparse10.stg", workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 10 {
+		t.Fatalf("dummies not dropped: %d tasks, want 10", g.NumTasks())
+	}
+	// Names keep the original STG indices.
+	if got := g.Task(0).Name; got != "n1" {
+		t.Errorf("first kept task %q, want n1", got)
+	}
+	for _, task := range g.Tasks() {
+		if task.Name == "n0" || task.Name == "n11" {
+			t.Errorf("dummy %s survived", task.Name)
+		}
+	}
+}
+
+func TestSTGKeepDummies(t *testing.T) {
+	g, err := workload.LoadFile("../../testdata/workloads/sparse10.stg",
+		workload.Options{KeepDummies: true, ZeroCost: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 12 {
+		t.Fatalf("got %d tasks, want 12", g.NumTasks())
+	}
+	if got := g.Task(0).Cost; got != 0.5 {
+		t.Errorf("entry dummy cost %v, want ZeroCost 0.5", got)
+	}
+}
+
+func TestSTGScaling(t *testing.T) {
+	g := mustSTG(t, diamondSTG, workload.Options{ExecScale: 10, Granularity: 2})
+	if got := g.Task(0).Cost; got != 20 {
+		t.Errorf("scaled cost %v, want 20", got)
+	}
+	wantComm := (20.0 + 30 + 40 + 20) / 4 / 2
+	if got := g.Edge(0).Cost; got != wantComm {
+		t.Errorf("comm %v, want %v", got, wantComm)
+	}
+}
+
+func TestSTGZeroCostSubstitution(t *testing.T) {
+	// A zero-cost task in the middle of the graph is not a dummy; its
+	// cost is substituted so the positive-cost rule holds.
+	src := "3\n0 2 0\n1 0 1 0\n2 4 1 1\n"
+	g := mustSTG(t, src, workload.Options{ZeroCost: 7})
+	if got := g.Task(1).Cost; got != 7 {
+		t.Errorf("zero task cost %v, want 7", got)
+	}
+}
+
+func TestSTGParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		line      int
+		frag      string
+	}{
+		{"empty", "", 0, "empty input"},
+		{"bad count", "x\n", 1, "bad task count"},
+		{"negative count", "-1\n", 1, "bad task count"},
+		{"multi-field header", "4 2\n", 1, "single task count"},
+		{"short line", "1\n0 1\n", 2, "needs index"},
+		{"bad index", "1\nz 1 0\n", 2, "bad task index"},
+		{"out of order", "2\n0 1 0\n5 1 0\n", 3, "out of order"},
+		{"bad time", "1\n0 zz 0\n", 2, "bad processing time"},
+		{"bad npred", "1\n0 1 -2\n", 2, "bad predecessor count"},
+		{"npred mismatch", "2\n0 1 0\n1 1 2 0\n", 3, "does not match"},
+		{"bad pred", "2\n0 1 0\n1 1 1 q\n", 3, "bad predecessor index"},
+		{"pred range", "2\n0 1 0\n1 1 1 9\n", 3, "out of range"},
+		{"count mismatch", "5\n0 1 0\n1 1 1 0\n", 0, "declared 5 tasks, found 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := workload.FromSTG([]byte(tc.src), workload.Options{})
+			var pe *workload.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *ParseError", err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line %d, want %d", pe.Line, tc.line)
+			}
+			if !strings.Contains(pe.Error(), tc.frag) {
+				t.Errorf("error %q missing %q", pe.Error(), tc.frag)
+			}
+		})
+	}
+}
+
+func TestSTGBuilderErrorsFlow(t *testing.T) {
+	// Structural violations surface as the graph builder's own typed
+	// errors, not as workload errors.
+	var selfLoop *graph.SelfLoopError
+	if _, err := workload.FromSTG([]byte("2\n0 1 0\n1 1 1 1\n"), workload.Options{}); !errors.As(err, &selfLoop) {
+		t.Errorf("self-loop err = %v, want *graph.SelfLoopError", err)
+	}
+	var dup *graph.DuplicateEdgeError
+	if _, err := workload.FromSTG([]byte("2\n0 1 0\n1 1 2 0 0\n"), workload.Options{}); !errors.As(err, &dup) {
+		t.Errorf("duplicate err = %v, want *graph.DuplicateEdgeError", err)
+	}
+	var cost *graph.TaskCostError
+	if _, err := workload.FromSTG([]byte("1\n0 -4 0\n"), workload.Options{}); !errors.As(err, &cost) {
+		t.Errorf("negative cost err = %v, want *graph.TaskCostError", err)
+	}
+	var cycle *graph.CycleError
+	if _, err := workload.FromSTG([]byte("3\n0 1 0\n1 1 1 2\n2 1 1 1\n"), workload.Options{}); !errors.As(err, &cycle) {
+		t.Errorf("cycle err = %v, want *graph.CycleError", err)
+	}
+}
+
+func TestSTGOptionError(t *testing.T) {
+	var oe *workload.OptionError
+	if _, err := workload.FromSTG([]byte(diamondSTG), workload.Options{Granularity: math.Inf(1)}); !errors.As(err, &oe) {
+		t.Fatalf("err = %v, want *OptionError", err)
+	} else if oe.Field != "Granularity" {
+		t.Errorf("field %q, want Granularity", oe.Field)
+	}
+}
+
+func TestSTGDeterministic(t *testing.T) {
+	g1 := mustSTG(t, diamondSTG, workload.Options{})
+	g2 := mustSTG(t, diamondSTG, workload.Options{})
+	j1, err := g1.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := g2.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("two imports of the same STG differ")
+	}
+}
+
+func TestReadSTG(t *testing.T) {
+	g, err := workload.ReadSTG(strings.NewReader(diamondSTG), workload.Options{})
+	if err != nil || g.NumTasks() != 4 {
+		t.Fatalf("ReadSTG = %v, %v", g, err)
+	}
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/sched/graph"
+)
+
+const wfFormat = "workflow-json"
+
+// The accepted WfCommons/Pegasus-style subset. Unknown fields are
+// ignored so real instances with provenance metadata still load; the
+// synonym pairs (runtime/runtimeInSeconds, size/sizeInBytes) cover the
+// schema versions in circulation.
+type wfDoc struct {
+	Name     string  `json:"name"`
+	Workflow *wfSpec `json:"workflow"`
+}
+
+type wfSpec struct {
+	Tasks []wfTask `json:"tasks"`
+}
+
+type wfTask struct {
+	Name             string   `json:"name"`
+	ID               string   `json:"id"`
+	Runtime          *float64 `json:"runtime"`
+	RuntimeInSeconds *float64 `json:"runtimeInSeconds"`
+	Parents          []string `json:"parents"`
+	Files            []wfFile `json:"files"`
+}
+
+type wfFile struct {
+	Name        string   `json:"name"`
+	Link        string   `json:"link"` // "input" or "output"
+	Size        *float64 `json:"size"`
+	SizeInBytes *float64 `json:"sizeInBytes"`
+}
+
+// FromWorkflowJSON parses a WfCommons-style scientific-workflow JSON
+// subset: an object with workflow.tasks, each task carrying a unique
+// name (or id), a runtime in seconds, the names of its parents, and
+// optionally the files it reads (link "input") and writes (link
+// "output") with sizes in bytes.
+//
+// Task cost is runtime (ZeroCost for zero runtimes) times
+// Options.ExecScale. The cost of edge parent→child is the total size of
+// the parent's output files the child lists as inputs, divided by
+// Options.BytesPerUnit; edges with no shared file data fall back to
+// meanExec/Options.Granularity. Task and edge order follow the
+// document, so imports are deterministic.
+//
+// Malformed documents are reported as *ParseError, dangling parent
+// references as *UnknownTaskError; structural violations (duplicate
+// names, cycles, non-finite costs) surface as the sched/graph builder's
+// typed errors.
+func FromWorkflowJSON(data []byte, opts Options) (*graph.Graph, error) {
+	opts, err := opts.norm()
+	if err != nil {
+		return nil, err
+	}
+	var doc wfDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, &ParseError{Format: wfFormat, Msg: err.Error()}
+	}
+	if doc.Workflow == nil {
+		return nil, &ParseError{Format: wfFormat, Msg: "missing workflow object"}
+	}
+	tasks := doc.Workflow.Tasks
+	if len(tasks) == 0 {
+		return nil, &ParseError{Format: wfFormat, Msg: "workflow has no tasks"}
+	}
+
+	// Parents may reference either names or ids; register both. A key
+	// claimed by two different tasks would make references ambiguous.
+	index := make(map[string]int, len(tasks))
+	reg := func(key string, i int) error {
+		if key == "" {
+			return nil
+		}
+		if j, ok := index[key]; ok && j != i {
+			return &ParseError{Format: wfFormat, Msg: fmt.Sprintf("duplicate task identifier %q", key)}
+		}
+		index[key] = i
+		return nil
+	}
+	names := make([]string, len(tasks))
+	for i, t := range tasks {
+		names[i] = t.Name
+		if names[i] == "" {
+			names[i] = t.ID
+		}
+		if names[i] == "" {
+			return nil, &ParseError{Format: wfFormat, Msg: fmt.Sprintf("task %d has neither name nor id", i)}
+		}
+		if err := reg(t.Name, i); err != nil {
+			return nil, err
+		}
+		if err := reg(t.ID, i); err != nil {
+			return nil, err
+		}
+	}
+
+	b := graph.NewBuilder()
+	id := make([]graph.TaskID, len(tasks))
+	sum := 0.0
+	for i, t := range tasks {
+		cost := 0.0
+		switch {
+		case t.Runtime != nil:
+			cost = *t.Runtime
+		case t.RuntimeInSeconds != nil:
+			cost = *t.RuntimeInSeconds
+		}
+		if cost == 0 {
+			cost = opts.ZeroCost
+		}
+		cost *= opts.ExecScale
+		id[i] = b.AddTask(names[i], cost)
+		sum += cost
+	}
+	fallback := sum / float64(len(tasks)) / opts.Granularity
+
+	outBytes := make([]map[string]float64, len(tasks))
+	for i, t := range tasks {
+		for _, f := range t.Files {
+			if f.Link != "output" || f.Name == "" {
+				continue
+			}
+			if outBytes[i] == nil {
+				outBytes[i] = make(map[string]float64)
+			}
+			outBytes[i][f.Name] += fileSize(f)
+		}
+	}
+	for i, t := range tasks {
+		for _, parent := range t.Parents {
+			j, ok := index[parent]
+			if !ok {
+				return nil, &UnknownTaskError{Task: names[i], Parent: parent}
+			}
+			cost := 0.0
+			for _, f := range t.Files {
+				if f.Link != "input" {
+					continue
+				}
+				cost += outBytes[j][f.Name]
+			}
+			if cost == 0 {
+				cost = fallback
+			} else {
+				cost /= opts.BytesPerUnit
+			}
+			b.AddEdge(id[j], id[i], cost)
+		}
+	}
+	return b.Build()
+}
+
+// ReadWorkflowJSON parses a workflow document from r (see
+// FromWorkflowJSON).
+func ReadWorkflowJSON(r io.Reader, opts Options) (*graph.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromWorkflowJSON(data, opts)
+}
+
+func fileSize(f wfFile) float64 {
+	switch {
+	case f.Size != nil:
+		return *f.Size
+	case f.SizeInBytes != nil:
+		return *f.SizeInBytes
+	}
+	return 0
+}

@@ -1,0 +1,183 @@
+package workload_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/sched/graph"
+	"repro/sched/workload"
+)
+
+func wfEdgeCost(t *testing.T, g *graph.Graph, from, to string) float64 {
+	t.Helper()
+	var u, v graph.TaskID = -1, -1
+	for _, task := range g.Tasks() {
+		switch task.Name {
+		case from:
+			u = task.ID
+		case to:
+			v = task.ID
+		}
+	}
+	e, ok := g.FindEdge(u, v)
+	if !ok {
+		t.Fatalf("no edge %s->%s", from, to)
+	}
+	return e.Cost
+}
+
+func TestWorkflowMontage(t *testing.T) {
+	g, err := workload.LoadFile("../../testdata/workloads/montage-small.json", workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 11 || g.NumEdges() != 16 {
+		t.Fatalf("got %d tasks %d edges, want 11/16", g.NumTasks(), g.NumEdges())
+	}
+	// Edge costs come from the bytes the child reads among the parent's
+	// outputs, in MiB with the default BytesPerUnit.
+	if got := wfEdgeCost(t, g, "mProject_1", "mDiffFit_12"); got != 4.0 {
+		t.Errorf("mProject_1->mDiffFit_12 = %v, want 4 (4 MiB file)", got)
+	}
+	if got := wfEdgeCost(t, g, "mBgModel", "mBackground_1"); got != 0.125 {
+		t.Errorf("mBgModel->mBackground_1 = %v, want 0.125 (128 KiB table)", got)
+	}
+	if got := g.Task(0).Cost; got != 12.5 {
+		t.Errorf("mProject_1 cost %v, want runtime 12.5", got)
+	}
+}
+
+func TestWorkflowFallbackEdges(t *testing.T) {
+	g, err := workload.LoadFile("../../testdata/workloads/epigenomics-small.json", workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 10 || g.NumEdges() != 10 {
+		t.Fatalf("got %d tasks %d edges, want 10/10", g.NumTasks(), g.NumEdges())
+	}
+	// No file data anywhere: every edge falls back to meanExec/granularity.
+	want := 75.5 / 10
+	for _, e := range g.Edges() {
+		if e.Cost != want {
+			t.Errorf("edge %d->%d cost %v, want fallback %v", e.From, e.To, e.Cost, want)
+		}
+	}
+	// Tasks without a name use their id.
+	if got := g.Task(0).Name; got != "fastqSplit" {
+		t.Errorf("task 0 name %q, want id fallback fastqSplit", got)
+	}
+}
+
+func TestWorkflowBytesPerUnit(t *testing.T) {
+	g, err := workload.LoadFile("../../testdata/workloads/montage-small.json",
+		workload.Options{BytesPerUnit: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wfEdgeCost(t, g, "mProject_1", "mDiffFit_12"); got != 4096 {
+		t.Errorf("KiB-scaled edge = %v, want 4096", got)
+	}
+}
+
+func wfjson(tasks string) []byte {
+	return []byte(fmt.Sprintf(`{"workflow":{"tasks":[%s]}}`, tasks))
+}
+
+func TestWorkflowErrors(t *testing.T) {
+	parseCases := []struct {
+		name string
+		doc  string
+		frag string
+	}{
+		{"invalid json", `{`, "unexpected end"},
+		{"missing workflow", `{"name":"x"}`, "missing workflow"},
+		{"no tasks", `{"workflow":{"tasks":[]}}`, "no tasks"},
+		{"anonymous task", string(wfjson(`{"runtime":1}`)), "neither name nor id"},
+		{"ambiguous id", string(wfjson(`{"name":"a","runtime":1},{"name":"b","id":"a","runtime":1}`)), "duplicate task identifier"},
+	}
+	for _, tc := range parseCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := workload.FromWorkflowJSON([]byte(tc.doc), workload.Options{})
+			var pe *workload.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *ParseError", err)
+			}
+			if !strings.Contains(pe.Error(), tc.frag) {
+				t.Errorf("error %q missing %q", pe.Error(), tc.frag)
+			}
+		})
+	}
+
+	t.Run("unknown parent", func(t *testing.T) {
+		_, err := workload.FromWorkflowJSON(wfjson(`{"name":"a","runtime":1,"parents":["ghost"]}`), workload.Options{})
+		var ue *workload.UnknownTaskError
+		if !errors.As(err, &ue) {
+			t.Fatalf("err = %v, want *UnknownTaskError", err)
+		}
+		if ue.Task != "a" || ue.Parent != "ghost" {
+			t.Errorf("got %+v", ue)
+		}
+	})
+	t.Run("duplicate name", func(t *testing.T) {
+		// Two tasks with the SAME display name hit the builder's
+		// duplicate rule via the identifier map.
+		_, err := workload.FromWorkflowJSON(wfjson(`{"name":"a","runtime":1},{"name":"a","runtime":2}`), workload.Options{})
+		var pe *workload.ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *ParseError", err)
+		}
+	})
+	t.Run("negative runtime", func(t *testing.T) {
+		_, err := workload.FromWorkflowJSON(wfjson(`{"name":"a","runtime":-2}`), workload.Options{})
+		var ce *graph.TaskCostError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %v, want *graph.TaskCostError", err)
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		_, err := workload.FromWorkflowJSON(wfjson(`{"name":"a","runtime":1,"parents":["b"]},{"name":"b","runtime":1,"parents":["a"]}`), workload.Options{})
+		var cy *graph.CycleError
+		if !errors.As(err, &cy) {
+			t.Fatalf("err = %v, want *graph.CycleError", err)
+		}
+	})
+}
+
+func TestWorkflowZeroRuntime(t *testing.T) {
+	g, err := workload.FromWorkflowJSON(wfjson(`{"name":"a"},{"name":"b","runtime":4,"parents":["a"]}`),
+		workload.Options{ZeroCost: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Task(0).Cost; got != 3 {
+		t.Errorf("zero-runtime cost %v, want ZeroCost 3", got)
+	}
+}
+
+func TestReadWorkflowJSON(t *testing.T) {
+	doc := `{"workflow":{"tasks":[{"name":"a","runtime":2}]}}`
+	g, err := workload.ReadWorkflowJSON(strings.NewReader(doc), workload.Options{})
+	if err != nil || g.NumTasks() != 1 {
+		t.Fatalf("ReadWorkflowJSON = %v, %v", g, err)
+	}
+}
+
+func TestLoadFileDispatch(t *testing.T) {
+	if _, err := workload.LoadFile("../../testdata/workloads/diamond.stg", workload.Options{}); err != nil {
+		t.Errorf("stg dispatch: %v", err)
+	}
+	if _, err := workload.LoadFile("../../testdata/workloads/montage-small.json", workload.Options{}); err != nil {
+		t.Errorf("json dispatch: %v", err)
+	}
+	var fe *workload.UnknownFormatError
+	if _, err := workload.LoadFile("../../testdata/workloads/README.md", workload.Options{}); !errors.As(err, &fe) {
+		t.Errorf("err = %v, want *UnknownFormatError", err)
+	} else if fe.Ext != ".md" {
+		t.Errorf("ext %q, want .md", fe.Ext)
+	}
+	if _, err := workload.LoadFile("does-not-exist.stg", workload.Options{}); err == nil {
+		t.Error("missing file: want error")
+	}
+}

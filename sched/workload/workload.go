@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/sched/graph"
+)
+
+// LoadFile reads a workload instance and dispatches on the file
+// extension: ".stg" parses via FromSTG, ".json" via FromWorkflowJSON.
+// Any other extension is an *UnknownFormatError.
+func LoadFile(path string, opts Options) (*graph.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".stg":
+		return FromSTG(data, opts)
+	case ".json":
+		return FromWorkflowJSON(data, opts)
+	default:
+		return nil, &UnknownFormatError{Path: path, Ext: ext}
+	}
+}

@@ -99,8 +99,9 @@ func TestAllSchedulersAllFamilies(t *testing.T) {
 // TestSimReplayMatrix is the systematic replay net: every REGISTERED
 // algorithm — not just the hardwired BSA/DLS pair of
 // internal/sim/sim_test.go — must produce schedules the independent
-// event-driven simulator can reproduce, on all four evaluation
-// topologies with heterogeneity off and on. The simulated makespan may
+// event-driven simulator can reproduce, on the paper's four evaluation
+// topologies plus the mesh/torus/fat-tree/hierarchical families, with
+// heterogeneity off and on. The simulated makespan may
 // close reserved idle gaps but can never exceed the static schedule
 // length the algorithm promised.
 func TestSimReplayMatrix(t *testing.T) {
@@ -112,6 +113,10 @@ func TestSimReplayMatrix(t *testing.T) {
 		{"hypercube", gen.TopoSpec{Kind: gen.Hypercube, Procs: 8}},
 		{"clique", gen.TopoSpec{Kind: gen.Clique, Procs: 8}},
 		{"random", gen.TopoSpec{Kind: gen.RandomTopo, Procs: 8}},
+		{"mesh", gen.TopoSpec{Kind: gen.Mesh, Procs: 8}},
+		{"torus", gen.TopoSpec{Kind: gen.Torus, Procs: 8}},
+		{"fattree", gen.TopoSpec{Kind: gen.FatTree, Procs: 8}},
+		{"hierarchical", gen.TopoSpec{Kind: gen.Hierarchical, Procs: 8}},
 	}
 	ctx := context.Background()
 	for _, d := range sched.List() {
