@@ -40,15 +40,19 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-gate re-runs bench against the committed BENCH_core.json and fails
-# on a >15% regression of BenchmarkBSA's oracle-relative speedups (the
-# ratio form survives host changes; see cmd/benchcmp). Only the n=500
-# entries gate: the small sizes finish in single-digit milliseconds and
-# their 3-iteration ratios are too noisy to enforce.
+# on a >15% regression of the oracle-relative speedups (the ratio form
+# survives host changes; see cmd/benchcmp). The filter gates the FULL
+# matrix — every BenchmarkBSA size row and every BenchmarkBSATopologies
+# topology row — so a regression on the documented hot spots (full=16,
+# the n=1000/2000 production sizes, full=32/ring=64) cannot pass CI
+# silently; best-of-9 (3 iterations x -count 3) damps the small sizes'
+# noise enough for the shared 15% threshold. Entries present in only one
+# report are listed by benchcmp but do not gate.
 bench-gate:
 	@cp BENCH_core.json /tmp/bench-baseline.json
 	@rm -f BENCH_core.json  # a failed bench must not leave the stale committed report behind
 	$(MAKE) bench
-	$(GO) run ./cmd/benchcmp -speedups -filter '^BenchmarkBSA/.*/n=500$$' -max-regress 0.15 /tmp/bench-baseline.json BENCH_core.json
+	$(GO) run ./cmd/benchcmp -speedups -filter '^BenchmarkBSA' -max-regress 0.15 /tmp/bench-baseline.json BENCH_core.json
 
 # bench-verify fails loudly when BENCH_core.json is missing, unparseable
 # or empty — CI runs it before publishing the bench artifact so the bench

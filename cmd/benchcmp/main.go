@@ -77,17 +77,38 @@ func main() {
 		regressed = func(old, new float64) bool { return new > old*(1+*maxRegress) }
 	}
 
-	names := make([]string, 0, len(newVals))
+	// Partition the union of entry names: common entries are compared and
+	// gated; entries present in only one report are listed explicitly so a
+	// benchmark silently vanishing (or a baseline missing new rows) is
+	// visible in the gate output instead of being skipped without a trace.
+	var names, onlyOld, onlyNew []string
 	for name := range newVals {
-		if _, ok := oldVals[name]; !ok {
-			continue // new benchmark: nothing to gate against
-		}
 		if re != nil && !re.MatchString(name) {
 			continue
 		}
-		names = append(names, name)
+		if _, ok := oldVals[name]; ok {
+			names = append(names, name)
+		} else {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	for name := range oldVals {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		if _, ok := newVals[name]; !ok {
+			onlyOld = append(onlyOld, name)
+		}
 	}
 	sort.Strings(names)
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	for _, name := range onlyNew {
+		fmt.Printf("%-60s %14s %14.2f          %s  only in %s\n", name, "-", newVals[name], unit, flag.Arg(1))
+	}
+	for _, name := range onlyOld {
+		fmt.Printf("%-60s %14.2f %14s          %s  only in %s\n", name, oldVals[name], "-", unit, flag.Arg(0))
+	}
 	if len(names) == 0 {
 		fatal(fmt.Errorf("no common entries to compare (filter %q, speedups=%v)", *filter, *speedups))
 	}

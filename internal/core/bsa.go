@@ -91,11 +91,24 @@ type Options struct {
 	// resulting schedule is identical for every Workers value; only
 	// Result.Evaluations varies, because the parallel path speculatively
 	// batch-evaluates every candidate of a pivot and re-evaluates the rows
-	// invalidated by a committed migration. The pool only serves the
-	// cache-off engine: with the candidate cache on (the default) rows are
-	// brought current one decision at a time, and the per-decision batches
-	// are too small for fan-out to pay.
+	// invalidated by a committed migration. With the candidate cache on
+	// (the default) the pool instead prefetches the pivot's stale cached
+	// rows in parallel before the decision loop (see prefetchRows); rows
+	// a commit dirties mid-loop are still brought current one decision at
+	// a time.
 	Workers int
+
+	// Backend selects the engine's schedule-state backend by name (see
+	// backend.go): "soa" keeps slot state in structure-of-arrays form
+	// with rank-keyed visibility so cone updates mutate only genuinely
+	// changed placements; "reference" is the original lazily-stripped
+	// Timeline implementation. Empty picks per topology (SoA on dense
+	// networks where its no-strip sweeps win, reference elsewhere — see
+	// defaultBackend). Every registered backend produces byte-identical
+	// schedules (enforced by the backend conformance suite); the
+	// full-rebuild oracle always runs on the reference backend regardless
+	// of this setting.
+	Backend string
 }
 
 // Result is the outcome of a BSA run.
@@ -172,6 +185,9 @@ func ScheduleContext(ctx context.Context, g *graph.Graph, sys *system.System, op
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if _, err := resolveBackend(opt.Backend, opt.UseFullRebuild, sys.Net); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -208,10 +224,12 @@ func ScheduleContext(ctx context.Context, g *graph.Graph, sys *system.System, op
 	en := newEngine(g, sys, serial, pivot0, engineConfig{
 		pruneRoutes:    !opt.DisableRoutePruning,
 		guardSlack:     slack,
+		backend:        opt.Backend,
 		fullRebuild:    opt.UseFullRebuild,
 		workers:        workers,
 		candidateCache: !opt.DisableCandidateCache,
 	})
+	en.setContext(ctx)
 
 	// Stage 3: breadth-first bubble migration, iterated to a fixpoint.
 	maxSweeps := opt.MaxSweeps
@@ -258,7 +276,7 @@ func ScheduleContext(ctx context.Context, g *graph.Graph, sys *system.System, op
 		res.CachePartials = en.cache.partial
 		res.CacheMisses = en.cache.misses
 	}
-	res.Schedule = en.s
+	res.Schedule = en.finalSchedule()
 	return res, nil
 }
 
@@ -311,6 +329,8 @@ func sweepOnce(ctx context.Context, en *engine, sys *system.System, bfs []system
 			}
 			batch = en.batchEval(tasks, neighbors)
 			batchVersion = en.version
+		} else {
+			en.prefetchRows(tasks, pivot, neighbors)
 		}
 		for ti, t := range tasks {
 			var bestFT, vipFT float64
@@ -341,6 +361,12 @@ func sweepOnce(ctx context.Context, en *engine, sys *system.System, bfs []system
 				} else {
 					res.Reverted++
 				}
+				if en.cancelErr != nil {
+					// The bounded-interval poll inside the cone update saw
+					// a canceled context; the slot state is torn, so abort
+					// without another decision.
+					return en.cancelErr
+				}
 			case !opt.DisableVIPFollow && vipY >= 0 && vipFT <= curFT*(1+vipSlack)+cmpEps:
 				// No neighbour strictly improves the finish time, but the
 				// VIP lives on one: follow it ("if the finish time does
@@ -356,6 +382,9 @@ func sweepOnce(ctx context.Context, en *engine, sys *system.System, bfs []system
 					res.Migrations++
 				} else {
 					res.Reverted++
+				}
+				if en.cancelErr != nil {
+					return en.cancelErr
 				}
 			}
 		}

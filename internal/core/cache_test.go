@@ -110,14 +110,17 @@ func TestCandidateCacheCountsConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	g := randomConnectedDAG(rng, 60, 0.12)
 	sys := randomSystem(t, rng, g, 6)
-	on, err := Schedule(g, sys, Options{Seed: 7})
+	// Workers pinned to 1: the parallel paths (batchEval, prefetchRows)
+	// evaluate speculatively, so Result.Evaluations is only comparable
+	// between runs when both are fully sequential.
+	on, err := Schedule(g, sys, Options{Seed: 7, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if on.CacheMisses == 0 {
 		t.Fatal("a fresh run must miss at least once per task visited")
 	}
-	off, err := Schedule(g, sys, Options{Seed: 7, DisableCandidateCache: true})
+	off, err := Schedule(g, sys, Options{Seed: 7, Workers: 1, DisableCandidateCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

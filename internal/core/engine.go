@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,10 @@ import (
 type engineConfig struct {
 	pruneRoutes bool
 	guardSlack  float64
+	// backend names the schedule-state backend (see backend.go). Empty
+	// resolves to the default: the reference backend for the full-rebuild
+	// oracle, the SoA backend for the incremental engine.
+	backend string
 	// fullRebuild selects the original oracle engine: every committed
 	// migration reconstructs the whole timeline from (serial, assign,
 	// routes) and guard rollbacks rebuild once more. The default
@@ -46,7 +51,19 @@ type engine struct {
 	routes *routeArena
 	s      *schedule.Schedule
 
+	// be owns the slot state (who occupies each processor/link when) and
+	// the operations on it; see backend.go. en.s.Tasks/Msgs stay the
+	// engine-maintained per-item ground truth either way.
+	be backend
+
 	cfg engineConfig
+
+	// ctx is polled at bounded intervals inside cone updates (see
+	// pollCancel); cancelErr latches the first observed ctx error so a
+	// canceled run aborts between, not inside, timeline mutations.
+	ctx       context.Context
+	cancelErr error
+	pollCount int
 
 	// norm prunes loops out of migrated routes in place (no per-commit
 	// allocations).
@@ -57,8 +74,14 @@ type engine struct {
 	cache *candCache
 
 	// curLen caches s.Length() after every (re)build so the guard and
-	// elitism checks do not rescan all tasks.
-	curLen float64
+	// elitism checks do not rescan all tasks. lenArg is the task realizing
+	// it; updEndMax/updEndArg track the largest end among tasks re-placed
+	// by the current update. Together they keep curLen incremental: a full
+	// rescan is only needed when the argmax task itself was re-placed.
+	curLen    float64
+	lenArg    graph.TaskID
+	updEndMax float64
+	updEndArg graph.TaskID
 
 	// version counts kept migrations; batch-evaluated candidate finish
 	// times are valid only while the version is unchanged.
@@ -85,11 +108,14 @@ type engine struct {
 	// Per-worker scratch for migration evaluation (index 0 serves the
 	// sequential path), the flat arena behind per-pivot batch results, and
 	// the sweep's reusable task/row buffers.
-	scratch []*evalScratch
-	ftFlat  []float64
-	ftRows  [][]float64
-	taskBuf []graph.TaskID
-	rowBuf  []float64
+	scratch    []*evalScratch
+	ftFlat     []float64
+	ftRows     [][]float64
+	inEvals    []inEdgeEval
+	staleRows  []graph.TaskID
+	dirtyTasks []graph.TaskID
+	taskBuf    []graph.TaskID
+	rowBuf     []float64
 
 	// Event-driven update state (see updateFrom). All per-update flags are
 	// epoch-stamped so an update starts with a single counter increment
@@ -205,17 +231,66 @@ func newEngineCore(g *graph.Graph, sys *system.System, serial []graph.TaskID, cf
 			en.cache = newCandCache(g.NumTasks(), g.NumEdges(), sys.Net.NumProcs(), sys.Net.NumLinks())
 		}
 	}
-	// The worker pool only serves the cache-off engine (see batchEval), so
-	// a cached engine needs just the sequential scratch.
+	// The worker pool serves both the cache-off batch evaluation and the
+	// cache-on frontier prefetch, so every worker gets a scratch.
 	nscratch := cfg.workers
-	if nscratch < 1 || cfg.candidateCache {
+	if nscratch < 1 {
 		nscratch = 1
 	}
 	en.scratch = make([]*evalScratch, nscratch)
 	for i := range en.scratch {
 		en.scratch[i] = newEvalScratch(sys.Net.NumLinks())
 	}
+	name, err := resolveBackend(cfg.backend, cfg.fullRebuild, sys.Net)
+	if err != nil {
+		// The public contexts validate Options.Backend before building an
+		// engine, so an unknown name here is an internal caller's bug.
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	en.be = backendRegistry[name](en)
 	return en
+}
+
+// setContext arms bounded-interval cancellation polling inside cone
+// updates. Both scheduling contexts call it right after construction;
+// the zero ctx (nil) disables interior polling.
+func (en *engine) setContext(ctx context.Context) { en.ctx = ctx }
+
+// cancelPollEvery is how many processed cone-update items go by between
+// two ctx.Err() polls. One item costs on the order of a microsecond, so
+// this bounds cancellation latency to well under a millisecond while
+// keeping the poll overhead unmeasurable.
+const cancelPollEvery = 256
+
+// pollCancel counts processed items and, every cancelPollEvery of them,
+// polls the run's context. It reports whether the run is canceled; once
+// true the current update must unwind without further timeline mutations
+// (the slot state is torn — commitMigration skips the guard and the sweep
+// loop surfaces en.cancelErr).
+func (en *engine) pollCancel() bool {
+	if en.cancelErr != nil {
+		return true
+	}
+	if en.ctx == nil {
+		return false
+	}
+	if en.pollCount++; en.pollCount < cancelPollEvery {
+		return false
+	}
+	en.pollCount = 0
+	if err := en.ctx.Err(); err != nil {
+		en.cancelErr = err
+		return true
+	}
+	return false
+}
+
+// finalSchedule materializes the backend's slot state into the Schedule's
+// timelines and returns the schedule; the contexts call it before handing
+// the schedule out, and tests call it before Validate.
+func (en *engine) finalSchedule() *schedule.Schedule {
+	en.be.finalize()
+	return en.s
 }
 
 // finishInit derives the initial timelines from the seeded ground truth
@@ -265,35 +340,30 @@ func (en *engine) restoreBest() bool {
 	return true
 }
 
-// rebuild recomputes the full timeline from (serial, assign, routes).
+// rebuild recomputes the full slot state from (serial, assign, routes).
 func (en *engine) rebuild() {
 	en.rebuilds++
-	en.s.Reset()
-	en.placeFrom(0)
-	en.curLen = en.s.Length()
+	en.be.rebuild()
+	en.rescanLen()
 }
 
-// The event-driven incremental update.
-//
-// A full rebuild replays (serial, assign, routes) from scratch; its result
-// for any item is a deterministic function of the placements of strictly
-// earlier serial turns on the timelines the item touches. updateFrom
-// exploits that: after a migration only the dependency cone of the moved
-// task can change, so it processes a worklist of potentially affected
-// items in serial-rank order and leaves everything else exactly where it
-// is — no snapshot is needed, the schedule itself holds the placements.
-//
-// Timelines are stripped lazily: the first time a changed item needs to
-// re-place onto a timeline at rank r, every not-yet-reprocessed slot of
-// rank >= r is removed (and its owner queued), so earliest-fit sees
-// precisely the state a full rebuild would see at that turn. Items whose
-// inputs are unchanged and whose timelines were never dirtied keep (or,
-// if stripped, re-reserve verbatim) their old placement. Dirtiness is
-// tracked per timeline: content diverged from the old schedule, which
-// forces later items on that timeline through real placement.
-//
-// The result is byte-identical to a full rebuild — asserted against the
-// UseFullRebuild oracle by the equivalence property tests.
+// rescanLen re-derives curLen and its argmax task from scratch.
+func (en *engine) rescanLen() {
+	var sl float64
+	arg := graph.TaskID(0)
+	for i := range en.s.Tasks {
+		if en.s.Tasks[i].Placed && en.s.Tasks[i].End > sl {
+			sl = en.s.Tasks[i].End
+			arg = graph.TaskID(i)
+		}
+	}
+	en.curLen, en.lenArg = sl, arg
+}
+
+// Event-driven incremental update scaffolding shared by the backends: the
+// epoch-stamped worklist. Queued items are consumed in serial-rank order
+// by the backend's updateFrom (see backend_ref.go for the semantics every
+// backend reproduces).
 
 func (en *engine) queueTask(t graph.TaskID) {
 	if en.taskQueued[t] == en.epoch || en.taskDone[t] == en.epoch {
@@ -313,43 +383,10 @@ func (en *engine) queueMsg(e graph.EdgeID) {
 	en.pending++
 }
 
-// stripProc drops every not-yet-reprocessed slot of rank >= rank from p's
-// timeline and queues the owners (except self, the item being processed).
-func (en *engine) stripProc(p system.ProcID, rank int, self graph.TaskID) {
-	if en.procStripped[p] == en.epoch {
-		return
-	}
-	en.procStripped[p] = en.epoch
-	en.procStripAt[p] = int64(rank)
-	en.s.ProcTimeline(p).FilterOwners(func(owner int64) bool {
-		t := graph.TaskID(owner)
-		return en.pos[t] < rank || en.taskDone[t] == en.epoch
-	}, func(owner int64) {
-		if t := graph.TaskID(owner); t != self {
-			en.queueTask(t)
-		}
-	})
-}
-
-// stripLink is stripProc for a link timeline (owners are message hops).
-func (en *engine) stripLink(l system.LinkID, rank int, self graph.EdgeID) {
-	if en.linkStripped[l] == en.epoch {
-		return
-	}
-	en.linkStripped[l] = en.epoch
-	en.linkStripAt[l] = int64(rank)
-	en.s.LinkTimeline(l).FilterOwners(func(owner int64) bool {
-		e := schedule.MsgOwnerEdge(owner)
-		return en.msgPos[e] < rank || en.msgDone[e] == en.epoch
-	}, func(owner int64) {
-		if e := schedule.MsgOwnerEdge(owner); e != self {
-			en.queueMsg(e)
-		}
-	})
-}
-
 // updateFrom incrementally re-derives the schedule after a migration of
-// mig, processing only the migration's dependency cone.
+// mig, processing only the migration's dependency cone. The worklist
+// seeding and bookkeeping are shared; the per-item processing is the
+// backend's.
 func (en *engine) updateFrom(mig graph.TaskID) {
 	en.rebuilds++
 	en.epoch++
@@ -365,109 +402,13 @@ func (en *engine) updateFrom(mig graph.TaskID) {
 		en.queueMsg(e)
 	}
 	en.queueTask(mig)
-	// Work is consumed in serial-rank order: queued items only ever sit at
-	// the current rank or later, so a single pass over the pending-rank
-	// flags replaces a priority queue. Within one rank, messages go in
-	// In() order before the task, as in placeFrom.
-	n := len(en.serial)
-	for rank := en.pos[mig]; rank < n && en.pending > 0; rank++ {
-		if en.rankPending[rank] != en.epoch {
-			continue
-		}
-		u := en.serial[rank]
-		in := en.g.In(u)
-	restart:
-		for i := 0; i < len(in); i++ {
-			e := in[i]
-			if en.msgQueued[e] != en.epoch || en.msgDone[e] == en.epoch {
-				continue
-			}
-			if en.processMsg(e, rank) {
-				// Stripping surfaced an equal-rank sibling with an
-				// earlier In() position; replay the rank in order.
-				goto restart
-			}
-			en.pending--
-		}
-		if en.taskQueued[u] == en.epoch && en.taskDone[u] != en.epoch {
-			en.processTask(u, rank)
-			en.pending--
-		}
+	en.updEndMax = -1
+	en.be.updateFrom(mig)
+	if en.taskChanged[en.lenArg] == en.epoch {
+		en.rescanLen()
+	} else if en.updEndMax > en.curLen {
+		en.curLen, en.lenArg = en.updEndMax, en.updEndArg
 	}
-	en.curLen = en.s.Length()
-}
-
-// processMsg handles one message turn of the update; it reports whether
-// the message must be requeued because stripping surfaced an equal-rank
-// sibling with an earlier In() position.
-func (en *engine) processMsg(e graph.EdgeID, rank int) (requeue bool) {
-	edge := en.g.Edge(e)
-	dirty := edge.From == en.migTask || edge.To == en.migTask ||
-		en.taskChanged[edge.From] == en.epoch
-	if !dirty {
-		for _, l := range en.routes.route(e) {
-			if en.linkDirtied[l] == en.epoch {
-				dirty = true
-				break
-			}
-		}
-	}
-	sm := &en.s.Msgs[e]
-	if !dirty {
-		// Placement unchanged; re-reserve any hop a strip dropped.
-		for h := range sm.Hops {
-			hop := &sm.Hops[h]
-			l := hop.Link
-			if en.linkStripped[l] == en.epoch && int64(rank) >= en.linkStripAt[l] {
-				if err := en.s.LinkTimeline(l).ReserveExact(hop.Start, hop.End, schedule.MsgOwner(e, h)); err != nil {
-					panic(fmt.Sprintf("core: update restore message %d: %v", e, err))
-				}
-			}
-		}
-		en.msgDone[e] = en.epoch
-		return false
-	}
-	for _, hop := range sm.Hops {
-		en.stripLink(hop.Link, rank, e)
-	}
-	for _, l := range en.routes.route(e) {
-		en.stripLink(l, rank, e)
-	}
-	for _, e2 := range en.g.In(edge.To)[:en.inIndex[e]] {
-		if en.msgQueued[e2] == en.epoch && en.msgDone[e2] != en.epoch {
-			return true
-		}
-	}
-	en.msgPlaces++
-	oldArr := sm.Arrival
-	en.oldHops = append(en.oldHops[:0], sm.Hops...)
-	sm.Hops = sm.Hops[:0]
-	sm.Arrival = 0
-	sm.Placed = false
-	arr, err := en.s.PlaceMessage(e, en.routes.route(e))
-	if err != nil {
-		panic(fmt.Sprintf("core: update message %d: %v", e, err))
-	}
-	hopsChanged := !hopsEqual(en.s.Msgs[e].Hops, en.oldHops)
-	if hopsChanged {
-		for i := range en.oldHops {
-			en.markLinkDirty(en.oldHops[i].Link)
-		}
-		for _, hop := range en.s.Msgs[e].Hops {
-			en.markLinkDirty(hop.Link)
-		}
-	}
-	if arr != oldArr {
-		en.drtTouched[edge.To] = en.epoch
-		en.queueTask(edge.To)
-	}
-	if en.cache != nil && (hopsChanged || arr != oldArr) {
-		// Each message is re-placed at most once per update (msgDone), so
-		// the change list needs no dedup.
-		en.cache.updMsgs = append(en.cache.updMsgs, e)
-	}
-	en.msgDone[e] = en.epoch
-	return false
 }
 
 // markLinkDirty flags l's timeline as diverged this update and, when the
@@ -491,51 +432,6 @@ func (en *engine) markProcDirty(p system.ProcID) {
 	if en.cache != nil {
 		en.cache.updProcs = append(en.cache.updProcs, p)
 	}
-}
-
-// processTask handles one task turn of the update.
-func (en *engine) processTask(u graph.TaskID, rank int) {
-	st := &en.s.Tasks[u]
-	dirty := u == en.migTask || en.drtTouched[u] == en.epoch ||
-		en.procDirtied[en.assign[u]] == en.epoch
-	if !dirty {
-		p := st.Proc
-		if en.procStripped[p] == en.epoch && int64(rank) >= en.procStripAt[p] {
-			if err := en.s.ProcTimeline(p).ReserveExact(st.Start, st.End, schedule.TaskOwner(u)); err != nil {
-				panic(fmt.Sprintf("core: update restore task %d: %v", u, err))
-			}
-		}
-		en.taskDone[u] = en.epoch
-		return
-	}
-	old := *st
-	en.stripProc(old.Proc, rank, u)
-	en.stripProc(en.assign[u], rank, u)
-	var drt float64
-	for _, e := range en.g.In(u) {
-		if a := en.s.Msgs[e].Arrival; a > drt {
-			drt = a
-		}
-	}
-	*st = schedule.TaskSlot{}
-	en.placements++
-	if _, err := en.s.PlaceTaskEarliest(u, en.assign[u], drt); err != nil {
-		panic(fmt.Sprintf("core: update task %d: %v", u, err))
-	}
-	if *st != old {
-		en.markProcDirty(old.Proc)
-		en.markProcDirty(st.Proc)
-		en.taskChanged[u] = en.epoch
-		if en.cache != nil {
-			// taskChanged is set in exactly this one place, at most once
-			// per task per update, so the list needs no dedup.
-			en.cache.updTasks = append(en.cache.updTasks, u)
-		}
-		for _, e := range en.g.Out(u) {
-			en.queueMsg(e)
-		}
-	}
-	en.taskDone[u] = en.epoch
 }
 
 func hopsEqual(a, b []schedule.Hop) bool {
@@ -680,7 +576,7 @@ func (en *engine) evalMigration(t graph.TaskID, y system.ProcID, sc *evalScratch
 					link = l
 				}
 				dur := en.s.HopDuration(e, link)
-				start := en.s.LinkTimeline(link).EarliestFitWithExtra(ready, dur, sc.extra[link])
+				start := en.be.linkEarliestFitWithExtra(link, ready, dur, sc.extra[link])
 				sc.add(link, start, start+dur)
 				arr = start + dur
 			}
@@ -690,7 +586,7 @@ func (en *engine) evalMigration(t graph.TaskID, y system.ProcID, sc *evalScratch
 		}
 	}
 	dur := en.s.ExecDuration(t, y)
-	start := en.s.ProcTimeline(y).EarliestFit(drt, dur)
+	start := en.be.procEarliestFit(y, drt, dur)
 	return start + dur, drt
 }
 
@@ -746,14 +642,90 @@ func (en *engine) batchEval(tasks []graph.TaskID, neighbors []system.Adj) [][]fl
 	return rows
 }
 
+// inEdgeEval is one prefetched in-edge of the pivot: everything
+// evalMigration reads per incoming message, gathered once per row instead
+// of once per (row, neighbour) pair. hops aliases the live schedule, which
+// is fine because evaluation never mutates it.
+type inEdgeEval struct {
+	fromProc system.ProcID
+	fromEnd  float64
+	ready    float64
+	cost     float64
+	commRow  []float64 // sys.Comm[e]; nil for homogeneous links
+	hops     []schedule.Hop
+}
+
 // evalRow fills row with the tentative finish time of t on each neighbour,
 // evaluated sequentially against the current timelines. Both engines share
 // the pooled-scratch evaluation: the oracle's legacy per-call overlay map
-// had identical decision arithmetic and only differed in allocating.
+// had identical decision arithmetic and only differed in allocating. The
+// per-edge inputs are prefetched once for the whole row; the arithmetic is
+// exactly evalMigration's, so the two paths stay bit-identical.
 func (en *engine) evalRow(t graph.TaskID, neighbors []system.Adj, row []float64) {
+	ins := en.inEvals[:0]
+	for _, e := range en.g.In(t) {
+		edge := en.g.Edge(e)
+		sm := &en.s.Msgs[e]
+		var commRow []float64
+		if en.sys.Comm != nil {
+			commRow = en.sys.Comm[e]
+		}
+		ins = append(ins, inEdgeEval{
+			fromProc: en.assign[edge.From],
+			fromEnd:  en.s.Tasks[edge.From].End,
+			ready:    sm.Arrival,
+			cost:     edge.Cost,
+			commRow:  commRow,
+			hops:     sm.Hops,
+		})
+	}
+	en.inEvals = ins
 	sc := en.scratch[0]
+	pivot := en.assign[t]
+	taskCost := en.g.Task(t).Cost
+	execRow := en.sys.Exec[t]
 	for ni, a := range neighbors {
-		row[ni], _ = en.evalMigration(t, a.Proc, sc)
+		y := a.Proc
+		sc.reset()
+		link := system.LinkID(-1) // pivot->y link, resolved at most once
+		var drt float64
+		for i := range ins {
+			in := &ins[i]
+			var arr float64
+			if in.fromProc == y {
+				arr = in.fromEnd
+			} else {
+				arr = -1
+				for h := range in.hops {
+					if in.hops[h].To == y {
+						arr = in.hops[h].End
+						break
+					}
+				}
+				if arr < 0 {
+					if link < 0 {
+						l, ok := en.sys.Net.LinkBetween(pivot, y)
+						if !ok {
+							panic(fmt.Sprintf("core: no link between P%d and neighbour P%d", pivot+1, y+1))
+						}
+						link = l
+					}
+					dur := in.cost
+					if in.commRow != nil {
+						dur = in.commRow[link] * in.cost
+					}
+					start := en.be.linkEarliestFitWithExtra(link, in.ready, dur, sc.extra[link])
+					sc.add(link, start, start+dur)
+					arr = start + dur
+				}
+			}
+			if arr > drt {
+				drt = arr
+			}
+		}
+		dur := execRow[y] * taskCost
+		start := en.be.procEarliestFit(y, drt, dur)
+		row[ni] = start + dur
 	}
 	en.evaluations += len(neighbors)
 }
@@ -776,6 +748,13 @@ func (en *engine) commitMigration(t graph.TaskID, y system.ProcID, guard bool) b
 		en.save(t)
 	}
 	en.applyMigration(t, y)
+	if en.cancelErr != nil {
+		// Canceled mid-update: the slot state is torn and the caller is
+		// about to abort the run, so neither the guard (whose rollback
+		// would run another cone update on torn state) nor the elitism
+		// bookkeeping may run.
+		return kept
+	}
 	if guard && en.curLen > en.savedLen*(1+en.cfg.guardSlack)+cmpEps {
 		en.restore()
 		if en.cfg.fullRebuild {

@@ -28,7 +28,7 @@ func TestEngineInitialSerialization(t *testing.T) {
 	if got := en.s.Length(); got != want {
 		t.Fatalf("initial SL=%v, want %v", got, want)
 	}
-	if err := en.s.Validate(); err != nil {
+	if err := en.finalSchedule().Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if en.s.TotalComm() != 0 {
@@ -50,7 +50,7 @@ func TestEngineMigrationKeepsValidity(t *testing.T) {
 		{2, 3}, // T3 again: P1 -> P4 (multi-hop route for T1->T3)
 	} {
 		en.applyMigration(mv.task, mv.to)
-		if err := en.s.Validate(); err != nil {
+		if err := en.finalSchedule().Validate(); err != nil {
 			t.Fatalf("after moving task %d to P%d: %v", mv.task, mv.to+1, err)
 		}
 	}
@@ -89,7 +89,7 @@ func TestEngineGuardRollsBack(t *testing.T) {
 		if en.assign[8] != 1 {
 			t.Fatal("rollback did not restore assignment")
 		}
-		if err := en.s.Validate(); err != nil {
+		if err := en.finalSchedule().Validate(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -103,7 +103,7 @@ func TestEngineUnguardedCommitKeeps(t *testing.T) {
 	if en.assign[8] != 0 {
 		t.Fatal("assignment not updated")
 	}
-	if err := en.s.Validate(); err != nil {
+	if err := en.finalSchedule().Validate(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -16,6 +16,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/schedule"
 	"repro/sched/graph"
@@ -62,11 +63,15 @@ func Reschedule(g *graph.Graph, sys *system.System, warm WarmStart, opt Options)
 // breadth-first migration sweeps restricted to that frontier. The warm
 // path always uses the incremental engine with the candidate cache on —
 // the commit-stamped change lists are what make frontier expansion sound
-// — so Options.UseFullRebuild, DisableCandidateCache and Workers are
-// ignored. Result.Serial reports the adopted serial order;
-// Result.DirtyTasks the frontier size after adoption diffing.
+// — so Options.UseFullRebuild and DisableCandidateCache are ignored;
+// Options.Workers and Options.Backend are honored like the cold path.
+// Result.Serial reports the adopted serial order; Result.DirtyTasks the
+// frontier size after adoption diffing.
 func RescheduleContext(ctx context.Context, g *graph.Graph, sys *system.System, warm WarmStart, opt Options) (*Result, error) {
 	if err := sys.Validate(g.NumTasks(), g.NumEdges()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if _, err := resolveBackend(opt.Backend, false, sys.Net); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
@@ -92,13 +97,19 @@ func RescheduleContext(ctx context.Context, g *graph.Graph, sys *system.System, 
 	case slack < 0:
 		slack = 0
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	en := newWarmEngine(g, sys, warm.Serial, warm.Assign, warm.Routes, engineConfig{
 		pruneRoutes:    !opt.DisableRoutePruning,
 		guardSlack:     slack,
+		backend:        opt.Backend,
 		fullRebuild:    false,
-		workers:        1,
+		workers:        workers,
 		candidateCache: true,
 	})
+	en.setContext(ctx)
 
 	ds := newDirtySet(n)
 	for _, t := range warm.Dirty {
@@ -184,7 +195,7 @@ func RescheduleContext(ctx context.Context, g *graph.Graph, sys *system.System, 
 	res.CacheHits = en.cache.hits
 	res.CachePartials = en.cache.partial
 	res.CacheMisses = en.cache.misses
-	res.Schedule = en.s
+	res.Schedule = en.finalSchedule()
 	return res, nil
 }
 
@@ -299,6 +310,19 @@ func warmSweepOnce(ctx context.Context, en *engine, sys *system.System, bfs []sy
 		if len(tasks) == 0 {
 			continue
 		}
+		// Prefetch the rows of the tasks dirty at pass start; tasks a
+		// mid-pass commit marks are still picked up by the live flag check
+		// below and evaluated serially, exactly as before.
+		dirty := en.dirtyTasks[:0]
+		for _, t := range tasks {
+			if ds.flag[t] {
+				dirty = append(dirty, t)
+			}
+		}
+		en.dirtyTasks = dirty
+		if len(dirty) > 0 {
+			en.prefetchRows(dirty, pivot, neighbors)
+		}
 		for _, t := range tasks {
 			if !ds.flag[t] {
 				continue
@@ -319,6 +343,11 @@ func warmSweepOnce(ctx context.Context, en *engine, sys *system.System, bfs []sy
 				} else {
 					res.Reverted++
 				}
+				if en.cancelErr != nil {
+					// Canceled mid-cone-update; the slot state is torn, so
+					// abort without another decision.
+					return en.cancelErr
+				}
 			case !opt.DisableVIPFollow && vipY >= 0 && vipFT <= curFT*(1+vipSlack)+cmpEps:
 				kept := en.commitMigration(t, vipY, guard)
 				recordStep(opt, res, t, pivot, vipY, kept)
@@ -327,6 +356,9 @@ func warmSweepOnce(ctx context.Context, en *engine, sys *system.System, bfs []sy
 					ds.expand(en)
 				} else {
 					res.Reverted++
+				}
+				if en.cancelErr != nil {
+					return en.cancelErr
 				}
 			}
 		}

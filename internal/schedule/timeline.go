@@ -27,6 +27,11 @@ type Timeline struct {
 // timeEps absorbs floating-point noise when comparing slot boundaries.
 const timeEps = 1e-9
 
+// TimeEps is timeEps for callers that replicate the fit arithmetic outside
+// this package (the BSA engine's structure-of-arrays backend must produce
+// bit-identical fits).
+const TimeEps = timeEps
+
 // searchEndAbove returns the index of the first slot whose End exceeds t.
 // Hand-rolled binary search: this runs once per placement, fit and strip
 // restore, where sort.Search's per-probe closure call is measurable.
@@ -226,6 +231,14 @@ func (tl *Timeline) ReserveEarliest(ready, dur float64, owner int64) float64 {
 	start, idx := tl.earliestFit(ready, dur)
 	tl.insertAt(idx, Slot{Start: start, End: start + dur, Owner: owner})
 	return start
+}
+
+// AdoptSlots replaces the timeline's contents with the given slots, which
+// must be start-sorted and non-overlapping. Engine backends that maintain
+// slot state in their own layout use it to materialize a Timeline view for
+// validation and rendering.
+func (tl *Timeline) AdoptSlots(slots []Slot) {
+	tl.slots = append(tl.slots[:0], slots...)
 }
 
 // RemoveOwner removes all slots with the given owner and reports how many

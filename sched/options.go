@@ -12,11 +12,18 @@ type Config struct {
 	Seed int64
 
 	// Workers bounds intra-run parallelism for algorithms that have any
-	// (BSA's speculative candidate batch evaluation). 0 means GOMAXPROCS,
-	// 1 forces sequential evaluation; the schedule is identical either
-	// way. Only BSA's cache-off engine batches candidates, so Workers has
-	// no effect unless CandidateCache is disabled.
+	// (BSA's speculative candidate evaluation: batch evaluation on the
+	// cache-off engine, parallel row prefetch on the cached engine).
+	// 0 means GOMAXPROCS, 1 forces sequential evaluation; the schedule is
+	// identical either way.
 	Workers int
+
+	// Backend selects BSA's schedule-state backend by name: "soa"
+	// (structure-of-arrays slot state, no strip/restore churn) or
+	// "reference" (the original lazily-stripped timelines). Empty picks
+	// per topology — the backends produce byte-identical schedules
+	// (conformance-tested), so the choice is purely a speed trade.
+	Backend string
 
 	// FullRebuild selects BSA's legacy full-rebuild engine, the
 	// correctness oracle of the incremental engine.
@@ -78,10 +85,15 @@ func NewConfig(opts ...Option) Config {
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 
 // WithWorkers bounds intra-run worker goroutines (0 = GOMAXPROCS,
-// 1 = sequential). Results are identical for every value. The pool only
-// serves BSA's cache-off engine — pair with WithCandidateCache(false) to
-// see an effect.
+// 1 = sequential). Results are identical for every value; the pool
+// serves speculative candidate evaluation on both BSA engines (batch
+// evaluation cache-off, row prefetch cache-on).
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithBackend selects BSA's schedule-state backend ("soa" or
+// "reference"; empty picks per topology). Schedules are byte-identical
+// across backends — the knob trades speed, never output.
+func WithBackend(name string) Option { return func(c *Config) { c.Backend = name } }
 
 // WithFullRebuild toggles BSA's legacy full-rebuild oracle engine.
 func WithFullRebuild(on bool) Option { return func(c *Config) { c.FullRebuild = on } }

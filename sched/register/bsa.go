@@ -41,6 +41,7 @@ func (b bsaScheduler) Schedule(ctx context.Context, p sched.Problem, opts ...sch
 	res, err := core.ScheduleContext(ctx, p.Graph, p.System, core.Options{
 		Seed:                  cfg.Seed,
 		Workers:               cfg.Workers,
+		Backend:               cfg.Backend,
 		UseFullRebuild:        b.fullRebuild || cfg.FullRebuild,
 		MaxSweeps:             cfg.MaxSweeps,
 		GuardSlack:            cfg.GuardSlack,
